@@ -1,0 +1,158 @@
+/**
+ * @file
+ * E10 — Output-reporting pressure (ties to the authors' companion
+ * HPCA'18 reporting-bottleneck study). Short (10-nt) probe patterns
+ * raise the report rate so the output event buffer model is actually
+ * exercised: (a) report rate vs mismatch budget; (b) stall overhead vs
+ * host drain rate at fixed budget. Full cycle simulation.
+ */
+
+#include <cstdio>
+
+#include "workloads.hpp"
+
+#include "ap/simulator.hpp"
+#include "automata/builders.hpp"
+#include "common/cli.hpp"
+#include "fpga/report.hpp"
+
+using namespace crispr;
+
+namespace {
+
+ap::ApMachine
+buildMachine(const bench::Workload &w, int d)
+{
+    core::PatternSet set =
+        core::buildPatternSet(w.guides, core::pamNRG(), d, true);
+    std::vector<automata::Nfa> nfas;
+    for (const core::Pattern &p : set.patterns)
+        nfas.push_back(automata::buildHammingNfa(p.spec));
+    automata::Nfa u = automata::unionNfas(nfas);
+    return ap::fromNfa(u);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("E10: AP output-buffer pressure");
+    cli.addInt("genome-kb", 512, "genome size in KB (cycle-simulated)");
+    cli.addInt("guides", 4, "number of short probe guides");
+    cli.addInt("max-d", 5, "largest mismatch budget");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const size_t genome_len =
+        static_cast<size_t>(cli.getInt("genome-kb")) << 10;
+    const size_t num_guides =
+        static_cast<size_t>(cli.getInt("guides"));
+
+    bench::printBanner(
+        "E10",
+        strprintf("AP reporting pressure — %zu KB genome, %zu short "
+                  "(10-nt) probes, cycle sim",
+                  genome_len >> 10, num_guides),
+        "report rate grows steeply with d; a finite output buffer "
+        "turns reporting bursts into input stalls");
+
+    genome::GenomeSpec gs;
+    gs.length = genome_len;
+    gs.model = genome::CompositionModel::GcBiased;
+    gs.seed = 51;
+    bench::Workload w;
+    w.genome = genome::generateGenome(gs);
+    w.guides = core::guidesFromGenome(w.genome, num_guides, 10, 52);
+
+    // (a) Report rate vs mismatch budget, generous buffer.
+    std::printf("\n(a) report rate vs d (buffer 1024, drain 1/8)\n");
+    Table table({"d", "events", "events/Ksym", "reporting cycles",
+                 "stall cycles", "stall overhead"});
+    for (int d = 0; d <= cli.getInt("max-d"); ++d) {
+        ap::ApMachine machine = buildMachine(w, d);
+        ap::ApSimulator sim(machine, {});
+        ap::ApRunStats stats = sim.run(w.genome.codes(), nullptr);
+        table.row()
+            .add(d)
+            .add(stats.reportEvents)
+            .add(static_cast<double>(stats.reportEvents) * 1e3 /
+                     static_cast<double>(stats.symbolCycles),
+                 2)
+            .add(stats.reportingCycles)
+            .add(stats.stallCycles)
+            .add(static_cast<double>(stats.stallCycles) /
+                     static_cast<double>(stats.symbolCycles),
+                 4);
+    }
+    std::printf("%s", table.str().c_str());
+
+    // (b) Stall overhead vs drain rate at the highest budget.
+    const int d = static_cast<int>(cli.getInt("max-d"));
+    std::printf("\n(b) stall overhead vs host drain rate (d=%d, "
+                "buffer 64)\n", d);
+    Table sweep({"drain (cycles/vector)", "stall cycles",
+                 "stall overhead", "kernel slowdown"});
+    ap::ApMachine machine = buildMachine(w, d);
+    for (uint32_t drain : {8u, 64u, 256u, 1024u}) {
+        ap::ApSimConfig cfg;
+        cfg.eventBufferDepth = 64;
+        cfg.drainCyclesPerVector = drain;
+        ap::ApSimulator sim(machine, cfg);
+        ap::ApRunStats stats = sim.run(w.genome.codes(), nullptr);
+        sweep.row()
+            .add(static_cast<uint64_t>(drain))
+            .add(stats.stallCycles)
+            .add(static_cast<double>(stats.stallCycles) /
+                     static_cast<double>(stats.symbolCycles),
+                 4)
+            .add(static_cast<double>(stats.totalCycles()) /
+                     static_cast<double>(stats.symbolCycles),
+                 3);
+    }
+    std::printf("%s", sweep.str().c_str());
+    std::printf("a slow host drain (right column > 1.0) stalls the "
+                "stream: the paper's proposed reporting-architecture "
+                "improvements target exactly this overhead.\n");
+
+    // (c) Report-stream encodings (the paper's proposed improvements):
+    // output bytes + drain time per format for the d=max run.
+    std::printf("\n(c) report-stream encodings at d=%d (1.5 GB/s host "
+                "link)\n", d);
+    std::vector<automata::ReportEvent> events;
+    {
+        ap::ApSimulator sim(machine, {});
+        sim.run(w.genome.codes(), [&](uint32_t id, uint64_t end) {
+            events.push_back(automata::ReportEvent{id, end});
+        });
+        automata::normalizeEvents(events);
+    }
+    size_t report_states = 0;
+    for (const auto &el : machine.elements())
+        report_states += el.report;
+    fpga::ReportTraffic traffic =
+        fpga::trafficOf(events, report_states, w.genome.size());
+
+    Table enc({"format", "bytes", "bytes/event", "drain (us)"});
+    for (fpga::ReportFormat f :
+         {fpga::ReportFormat::RecordPerEvent,
+          fpga::ReportFormat::CycleBitmap,
+          fpga::ReportFormat::CompressedIds,
+          fpga::ReportFormat::OffsetDelta}) {
+        const uint64_t bytes = fpga::encodedBytes(f, traffic, events);
+        enc.row()
+            .add(fpga::reportFormatName(f))
+            .add(bytes)
+            .add(traffic.events
+                     ? static_cast<double>(bytes) /
+                           static_cast<double>(traffic.events)
+                     : 0.0,
+                 2)
+            .add(fpga::drainSeconds(bytes, 1.5) * 1e6, 2);
+    }
+    std::printf("%s", enc.str().c_str());
+    std::printf("recommended: %s\n",
+                fpga::reportFormatName(
+                    fpga::recommendFormat(traffic, events)));
+    return 0;
+}

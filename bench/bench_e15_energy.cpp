@@ -1,0 +1,101 @@
+/**
+ * @file
+ * E15 — Energy comparison: kernel energy (power x kernel time) per
+ * platform on the canonical workload. Spatial automata's win is even
+ * larger in energy than in time because the AP and FPGA run at a small
+ * fraction of a discrete GPU's power.
+ */
+
+#include <cstdio>
+
+#include "workloads.hpp"
+
+#include "common/cli.hpp"
+#include "baselines/casot.hpp"
+
+using namespace crispr;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("E15: kernel energy per platform");
+    cli.addInt("genome-mb", 8, "genome size in MB");
+    cli.addInt("guides", 200, "number of guides");
+    cli.addInt("d", 4, "mismatch budget");
+    cli.addInt("cpu-watts", 90, "host CPU package power under load");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const size_t genome_len =
+        static_cast<size_t>(cli.getInt("genome-mb")) << 20;
+    const size_t guides = static_cast<size_t>(cli.getInt("guides"));
+    const int d = static_cast<int>(cli.getInt("d"));
+    const double cpu_watts =
+        static_cast<double>(cli.getInt("cpu-watts"));
+
+    bench::printBanner(
+        "E15",
+        strprintf("kernel energy — %zu MB genome, %zu guides, d=%d",
+                  genome_len >> 20, guides, d),
+        "energy gaps exceed the time gaps: spatial automata run at a "
+        "fraction of GPU/CPU power");
+
+    bench::Workload w = bench::makeWorkload(genome_len, guides, 91);
+    core::PatternSet set =
+        core::buildPatternSet(w.guides, core::pamNRG(), d, true);
+
+    ap::ApDeviceSpec ap_spec;
+    fpga::FpgaDeviceSpec fpga_spec;
+    gpu::SimtModel gpu_model;
+    baselines::GpuDeviceModel coff_model;
+
+    bench::SpatialEstimate fpga = bench::estimateFpga(genome_len, set);
+    bench::SpatialEstimate ap = bench::estimateAp(genome_len, set);
+    bench::SpatialEstimate infant =
+        bench::estimateInfant2(w.genome, set, gpu_model);
+    baselines::CasOffinderWork coff =
+        bench::estimateCasOffinderWork(w.genome, set);
+    const double coff_kernel = coff_model.kernelSeconds(coff);
+
+    // CasOT measured (single thread, host CPU).
+    auto specs = set.specsForStream(false);
+    baselines::CasOtResult casot = baselines::casOtScan(w.genome, specs);
+
+    // AP power: only the chips holding the design draw active power.
+    std::vector<ap::MachineStats> machines;
+    for (const core::Pattern &p : set.patterns)
+        machines.push_back(ap::MachineStats{
+            automata::hammingNfaStates(p.spec.masks.size(),
+                                       p.spec.maxMismatches,
+                                       p.spec.mismatchLo,
+                                       p.spec.mismatchHi),
+            0, 0, 0});
+    ap::Placement placement = ap::placeMachines(machines, ap_spec);
+    const double ap_watts =
+        ap_spec.wattsPerChip * std::max<uint32_t>(1, placement.chipsUsed);
+
+    Table table({"platform", "kernel (s)", "power (W)", "energy (J)",
+                 "efficiency vs casoffinder"});
+    const double coff_energy = coff_kernel * coff_model.watts;
+    auto add = [&](const char *name, double kernel, double watts) {
+        const double joules = kernel * watts;
+        table.row()
+            .add(name)
+            .add(kernel, 4)
+            .add(watts, 1)
+            .add(joules, 3)
+            .add(bench::speedupCell(coff_energy, joules));
+    };
+    add("ap (matrix)", ap.kernelSeconds, ap_watts);
+    add("fpga", fpga.kernelSeconds, fpga_spec.watts);
+    add("infant2-gpu", infant.kernelSeconds, gpu_model.watts);
+    add("casoffinder (gpu)", coff_kernel, coff_model.watts);
+    add("casot (cpu, measured)", casot.seconds, cpu_watts);
+
+    std::printf("%s", table.str().c_str());
+    std::printf("AP power scales with occupied chips (%u chip(s) "
+                "here); CPU package power is a host-dependent "
+                "estimate (--cpu-watts).\n",
+                placement.chipsUsed);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * E2 — Platform capacity (paper platform-configuration table): how many
+ * guide patterns (both strands) fit on one AP D480 board and one KU060
+ * FPGA, per mismatch budget, with utilisation.
+ */
+
+#include <cstdio>
+
+#include "workloads.hpp"
+
+#include "ap/capacity.hpp"
+#include "automata/builders.hpp"
+#include "common/cli.hpp"
+#include "fpga/resource.hpp"
+
+using namespace crispr;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("E2: guides per device vs mismatch budget");
+    cli.addInt("max-d", 5, "largest mismatch budget");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    bench::printBanner(
+        "E2", "device capacity: guides per AP board / FPGA",
+        "spatial capacity shrinks ~1/d for the matrix design; the "
+        "counter design capacity is counter-bound and flat in d");
+
+    ap::ApDeviceSpec ap_spec;
+    fpga::FpgaDeviceSpec fpga_spec;
+    auto guides = core::randomGuides(1, 20, 9);
+
+    Table table({"d", "matrix STEs/guide", "AP guides/board",
+                 "AP-counter guides/board", "FPGA guides/device",
+                 "FPGA clock (MHz) @80% full"});
+
+    for (int d = 1; d <= cli.getInt("max-d"); ++d) {
+        core::PatternSet set =
+            core::buildPatternSet(guides, core::pamNRG(), d, true);
+        // Matrix machine resources per guide (2 strands).
+        size_t stes = 0;
+        for (const core::Pattern &p : set.patterns)
+            stes += automata::hammingNfaStates(
+                p.spec.masks.size(), p.spec.maxMismatches,
+                p.spec.mismatchLo, p.spec.mismatchHi);
+        ap::MachineStats per_strand{stes / 2, 0, 0, 0};
+        uint64_t ap_guides =
+            ap::machinesPerBoard(per_strand, ap_spec) / 2;
+
+        // Counter design: PAM(3) + 2*20 STEs, 1 counter, 1 gate per
+        // strand.
+        ap::MachineStats counter{43, 1, 1, 0};
+        uint64_t apc_guides =
+            ap::machinesPerBoard(counter, ap_spec) / 2;
+
+        // FPGA: how many guides until LUTs run out (solve by scaling a
+        // one-guide estimate).
+        automata::Nfa one =
+            automata::buildHammingNfa(set.patterns[0].spec);
+        automata::NfaStats ns = automata::computeStats(one);
+        fpga::ResourceEstimate one_est =
+            fpga::estimateResources(ns, fpga_spec);
+        const double luts_per_guide =
+            2.0 * static_cast<double>(one_est.luts - 256);
+        uint64_t fpga_guides = static_cast<uint64_t>(
+            (static_cast<double>(fpga_spec.luts) - 256.0) /
+            luts_per_guide);
+
+        // Clock at 80% utilisation.
+        automata::NfaStats full = ns;
+        full.states = static_cast<size_t>(0.8 * fpga_spec.luts * 0.8);
+        full.edges = full.states * 2;
+        fpga::ResourceEstimate full_est =
+            fpga::estimateResources(full, fpga_spec);
+
+        table.row()
+            .add(d)
+            .add(static_cast<uint64_t>(stes / 2))
+            .add(ap_guides)
+            .add(apc_guides)
+            .add(fpga_guides)
+            .add(full_est.clockHz / 1e6, 1);
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("AP board: %u chips x %u STEs = %llu STEs; "
+                "FPGA: %s (%llu LUTs)\n",
+                ap_spec.chipsPerBoard(), ap_spec.stesPerChip(),
+                static_cast<unsigned long long>(ap_spec.stesPerBoard()),
+                fpga_spec.name,
+                static_cast<unsigned long long>(fpga_spec.luts));
+    return 0;
+}

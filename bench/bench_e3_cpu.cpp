@@ -1,0 +1,80 @@
+/**
+ * @file
+ * E3 — CPU comparison (paper Fig.: single-thread HyperScan vs CasOT):
+ * measured wall-clock of the HScan engine against the CasOT
+ * reimplementation (direct and indexed modes) over a mismatch sweep.
+ * The paper's >=29.7x claim was against the original Perl CasOT; the
+ * "casot perl-adj" column applies the documented scripting factor.
+ */
+
+#include <cstdio>
+
+#include "workloads.hpp"
+
+#include "common/cli.hpp"
+
+using namespace crispr;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("E3: CPU engines vs CasOT over a mismatch sweep");
+    cli.addInt("genome-mb", 8, "genome size in MB");
+    cli.addInt("guides", 10, "number of guides");
+    cli.addInt("max-d", 4, "largest mismatch budget");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const size_t genome_len =
+        static_cast<size_t>(cli.getInt("genome-mb")) << 20;
+    const size_t guides = static_cast<size_t>(cli.getInt("guides"));
+
+    bench::printBanner(
+        "E3",
+        strprintf("CPU: HScan vs CasOT — %zu MB genome, %zu guides, "
+                  "NRG PAM, both strands",
+                  genome_len >> 20, guides),
+        "HyperScan outperforms CasOT by over 29.7x (vs the Perl "
+        "original; measured C++ CasOT is a conservative stand-in)");
+
+    bench::Workload w = bench::makeWorkload(genome_len, guides);
+    core::EngineParams params = bench::defaultParams();
+
+    Table table({"d", "hscan (s)", "hscan path", "prefilter (s)",
+                 "casot (s)", "casot-indexed (s)", "casot perl-adj (s)",
+                 "hscan vs casot", "hscan vs perl-adj", "hits"});
+
+    for (int d = 1; d <= cli.getInt("max-d"); ++d) {
+        bench::Row hscan =
+            bench::runRow(core::EngineKind::HscanAuto, w, d, params);
+        bench::Row prefilter = bench::runRow(
+            core::EngineKind::HscanPrefilter, w, d, params);
+        bench::Row casot =
+            bench::runRow(core::EngineKind::CasOt, w, d, params);
+        bench::Row casot_idx =
+            bench::runRow(core::EngineKind::CasOtIndexed, w, d, params);
+        const double perl_adj =
+            casot.metrics.count("casot.perl_adjusted_s")
+                ? casot.metrics.at("casot.perl_adjusted_s")
+                : 0.0;
+
+        table.row()
+            .add(d)
+            .add(hscan.kernelSeconds, 3)
+            .add(hscan.metrics.at("hscan.dfa_path") > 0.5
+                     ? "dfa"
+                     : "bit-parallel")
+            .add(prefilter.kernelSeconds, 3)
+            .add(casot.kernelSeconds, 3)
+            .add(casot_idx.kernelSeconds, 3)
+            .add(perl_adj, 2)
+            .add(bench::speedupCell(casot.kernelSeconds,
+                                    hscan.kernelSeconds))
+            .add(bench::speedupCell(perl_adj, hscan.kernelSeconds))
+            .add(static_cast<uint64_t>(hscan.hits));
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("expected shape: hscan ~flat-ish in d; casot-indexed "
+                "grows combinatorially in d (seed-variant explosion).\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * E8 — Scaling with genome size (paper Fig.): every platform is linear
+ * in the stream length; the slopes differ by orders of magnitude. The
+ * crossover against the tools is independent of genome size (both
+ * sides linear), which is why the paper's hg19 ratios transfer to the
+ * synthetic genomes used here.
+ */
+
+#include <cstdio>
+
+#include "workloads.hpp"
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "hscan/multipattern.hpp"
+
+using namespace crispr;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("E8: runtime vs genome size");
+    cli.addInt("guides", 10, "number of guides");
+    cli.addInt("d", 3, "mismatch budget");
+    cli.addInt("max-mb", 64, "largest genome size (MB)");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const size_t guides = static_cast<size_t>(cli.getInt("guides"));
+    const int d = static_cast<int>(cli.getInt("d"));
+    const size_t max_mb = static_cast<size_t>(cli.getInt("max-mb"));
+
+    bench::printBanner(
+        "E8",
+        strprintf("runtime vs genome size — %zu guides, d=%d", guides,
+                  d),
+        "all platforms linear in genome length; slopes differ by "
+        "orders of magnitude");
+
+    // Build once at the largest size; prefixes give the smaller sizes.
+    bench::Workload w = bench::makeWorkload(max_mb << 20, guides, 31);
+    core::PatternSet set =
+        core::buildPatternSet(w.guides, core::pamNRG(), d, true);
+    hscan::Database db =
+        hscan::Database::compile(set.specsForStream(false));
+
+    baselines::GpuDeviceModel gpu_model;
+    Table table({"genome", "hscan cpu (s)", "hscan MB/s", "infant2 (s)",
+                 "fpga (s)", "ap (s)", "casoffinder (s)"});
+
+    for (size_t mb = 1; mb <= max_mb; mb *= 4) {
+        const size_t len = mb << 20;
+        genome::Sequence g = w.genome.slice(0, len);
+
+        Stopwatch timer;
+        hscan::Scanner scanner(db);
+        scanner.scanAll(g);
+        const double hscan_s = timer.seconds();
+
+        bench::SpatialEstimate fpga = bench::estimateFpga(len, set);
+        bench::SpatialEstimate ap = bench::estimateAp(len, set);
+        bench::SpatialEstimate infant = bench::estimateInfant2(g, set);
+        baselines::CasOffinderWork coff =
+            bench::estimateCasOffinderWork(g, set);
+
+        table.row()
+            .add(formatBytes(len))
+            .add(hscan_s, 3)
+            .add(static_cast<double>(len) / (hscan_s * 1e6), 1)
+            .add(infant.kernelSeconds, 4)
+            .add(fpga.kernelSeconds, 4)
+            .add(ap.kernelSeconds, 4)
+            .add(gpu_model.kernelSeconds(coff), 4);
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}

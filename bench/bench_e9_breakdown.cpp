@@ -1,0 +1,133 @@
+/**
+ * @file
+ * E9 — End-to-end time decomposition (paper Fig./discussion of the
+ * "1.5x is kernel-only" caveat): configure / input-transfer / kernel /
+ * output-drain per platform. The AP's reconfiguration and the FPGA's
+ * bitstream load dominate small inputs and amortise on large ones.
+ */
+
+#include <cstdio>
+
+#include "workloads.hpp"
+
+#include "ap/capacity.hpp"
+#include "common/cli.hpp"
+
+using namespace crispr;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("E9: end-to-end decomposition per platform");
+    cli.addInt("genome-mb", 16, "genome size in MB");
+    cli.addInt("guides", 200, "number of guides");
+    cli.addInt("d", 4, "mismatch budget");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const size_t genome_len =
+        static_cast<size_t>(cli.getInt("genome-mb")) << 20;
+    const size_t guides = static_cast<size_t>(cli.getInt("guides"));
+    const int d = static_cast<int>(cli.getInt("d"));
+
+    bench::printBanner(
+        "E9",
+        strprintf("time decomposition — %zu MB, %zu guides, d=%d",
+                  genome_len >> 20, guides, d),
+        "kernel-only AP advantage shrinks end-to-end (configuration "
+        "and output drain)");
+
+    bench::Workload w = bench::makeWorkload(genome_len, guides, 41);
+    core::PatternSet set =
+        core::buildPatternSet(w.guides, core::pamNRG(), d, true);
+
+    // Event census for the output-drain models, from the fast CPU path.
+    baselines::GpuDeviceModel gpu_model;
+    baselines::CasOffinderWork coff =
+        bench::estimateCasOffinderWork(w.genome, set);
+    const uint64_t events = coff.pamHits / 64; // matches << candidates
+
+    Table table({"platform", "configure (s)", "transfer (s)",
+                 "kernel (s)", "output (s)", "total (s)",
+                 "kernel share"});
+
+    // FPGA.
+    {
+        bench::SpatialEstimate e =
+            bench::estimateFpga(genome_len, set);
+        fpga::FpgaDeviceSpec spec;
+        const double configure = spec.configureSeconds * e.passes;
+        const double output = static_cast<double>(events) * 8.0 / 1.5e9;
+        const double total = configure + e.kernelSeconds + output;
+        table.row()
+            .add("fpga")
+            .add(configure, 3)
+            .add("(overlapped)")
+            .add(e.kernelSeconds, 3)
+            .add(output, 4)
+            .add(total, 3)
+            .add(e.kernelSeconds / total, 2);
+    }
+    // AP.
+    {
+        bench::SpatialEstimate e = bench::estimateAp(genome_len, set);
+        ap::ApDeviceSpec spec;
+        ap::ApTimeBreakdown t =
+            ap::estimateRun(genome_len, events, e.passes, spec);
+        const double total =
+            t.configureSeconds + e.kernelSeconds + t.outputSeconds;
+        table.row()
+            .add("ap (matrix)")
+            .add(t.configureSeconds, 3)
+            .add("(overlapped)")
+            .add(e.kernelSeconds, 3)
+            .add(t.outputSeconds, 4)
+            .add(total, 3)
+            .add(e.kernelSeconds / total, 2);
+    }
+    // GPU iNFAnt2.
+    {
+        bench::SpatialEstimate e = bench::estimateInfant2(w.genome, set);
+        const double transfer = e.totalSeconds - e.kernelSeconds;
+        table.row()
+            .add("infant2-gpu")
+            .add(0.0, 3)
+            .add(formatSeconds(transfer))
+            .add(e.kernelSeconds, 3)
+            .add(0.0, 4)
+            .add(e.totalSeconds, 3)
+            .add(e.kernelSeconds / e.totalSeconds, 2);
+    }
+    // Cas-OFFinder.
+    {
+        const double kernel = gpu_model.kernelSeconds(coff);
+        const double total = gpu_model.totalSeconds(coff);
+        table.row()
+            .add("casoffinder")
+            .add(0.0, 3)
+            .add(formatSeconds(static_cast<double>(genome_len) /
+                               (gpu_model.pcieGBs * 1e9)))
+            .add(kernel, 3)
+            .add(formatSeconds(total - kernel -
+                               static_cast<double>(genome_len) /
+                                   (gpu_model.pcieGBs * 1e9)))
+            .add(total, 3)
+            .add(kernel / total, 2);
+    }
+    std::printf("%s", table.str().c_str());
+
+    // The paper's caveat, quantified: kernel-only vs end-to-end ratio.
+    bench::SpatialEstimate fpga = bench::estimateFpga(genome_len, set);
+    bench::SpatialEstimate apx = bench::estimateAp(genome_len, set);
+    ap::ApTimeBreakdown apt =
+        ap::estimateRun(genome_len, events, apx.passes, {});
+    const double fpga_total = fpga.totalSeconds;
+    const double ap_total =
+        apt.configureSeconds + apx.kernelSeconds + apt.outputSeconds;
+    std::printf("\nAP vs FPGA: kernel-only %s, end-to-end %s "
+                "(paper reports the 1.5x as kernel-only)\n",
+                bench::speedupCell(fpga.kernelSeconds,
+                                   apx.kernelSeconds).c_str(),
+                bench::speedupCell(fpga_total, ap_total).c_str());
+    return 0;
+}

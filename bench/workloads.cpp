@@ -1,0 +1,260 @@
+#include "workloads.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "automata/builders.hpp"
+#include "common/logging.hpp"
+
+namespace crispr::bench {
+
+using core::EngineKind;
+using core::PatternSet;
+
+Workload
+makeWorkload(size_t genome_len, size_t num_guides, uint64_t seed)
+{
+    Workload w;
+    genome::GenomeSpec spec;
+    spec.length = genome_len;
+    spec.model = genome::CompositionModel::GcBiased;
+    spec.n_fraction = 0.003;
+    spec.seed = seed;
+    w.genome = genome::generateGenome(spec);
+    w.guides = core::guidesFromGenome(w.genome, num_guides, 20, seed + 1);
+    return w;
+}
+
+core::EngineParams
+defaultParams()
+{
+    core::EngineParams params;
+    // Benchmarks favour the analytic device models beyond 1 MB so the
+    // harness completes quickly; correctness of the analytic path is
+    // covered by the test suite.
+    params.fullSimSymbolLimit = 1ull << 20;
+    params.gpuChunk = 512 << 10;
+    return params;
+}
+
+Row
+runRow(EngineKind engine, const Workload &w, int d,
+       const core::EngineParams &params, const core::PamSpec &pam)
+{
+    core::SearchConfig cfg;
+    cfg.engine = engine;
+    cfg.maxMismatches = d;
+    cfg.pam = pam;
+    cfg.params = params;
+    core::SearchResult res = core::search(w.genome, w.guides, cfg);
+
+    Row row;
+    row.engine = core::engineName(engine);
+    row.compileSeconds = res.run.timing.compileSeconds;
+    row.hostSeconds = res.run.timing.hostSeconds;
+    row.kernelSeconds = res.run.timing.kernelSeconds;
+    row.totalSeconds = res.run.timing.totalSeconds;
+    row.hits = res.hits.size();
+    row.events = res.run.events.size();
+    row.metrics = res.run.metrics;
+    return row;
+}
+
+baselines::CasOffinderWork
+estimateCasOffinderWork(const genome::Sequence &g, const PatternSet &set)
+{
+    baselines::CasOffinderWork work;
+    work.genomeBytes = g.size();
+
+    // Group patterns by exact-region layout, as the tool's stage 1 does.
+    // For the guide+PAM shapes built by core::buildPatternSet there are
+    // at most two shapes (forward, reverse).
+    struct Shape
+    {
+        std::vector<std::pair<size_t, genome::BaseMask>> exact;
+        size_t len;
+        size_t guides = 0;
+        double meanCompare = 0.0;
+    };
+    std::vector<Shape> shapes;
+    for (const core::Pattern &p : set.patterns) {
+        const auto &spec = p.spec;
+        Shape key;
+        key.len = spec.masks.size();
+        const size_t hi = std::min(spec.mismatchHi, key.len);
+        for (size_t j = 0; j < key.len; ++j)
+            if (j < spec.mismatchLo || j >= hi)
+                key.exact.emplace_back(j, spec.masks[j]);
+        // Expected early-exit depth: mismatches arrive with probability
+        // 3/4 per position on random background; the compare stops
+        // after d+1 mismatches.
+        key.meanCompare = std::min<double>(
+            static_cast<double>(hi - spec.mismatchLo),
+            (spec.maxMismatches + 1) / 0.75);
+        auto it = std::find_if(shapes.begin(), shapes.end(),
+                               [&](const Shape &s) {
+                                   return s.exact == key.exact &&
+                                          s.len == key.len;
+                               });
+        if (it == shapes.end()) {
+            shapes.push_back(key);
+            it = shapes.end() - 1;
+        }
+        ++it->guides;
+        it->meanCompare = key.meanCompare;
+    }
+
+    for (const Shape &shape : shapes) {
+        if (g.size() < shape.len)
+            continue;
+        uint64_t candidates = 0;
+        const uint64_t positions = g.size() - shape.len + 1;
+        work.positionsScanned += positions;
+        for (uint64_t s = 0; s < positions; ++s) {
+            bool ok = true;
+            for (auto [j, mask] : shape.exact) {
+                ++work.basesCompared;
+                if (!genome::maskMatches(mask, g[s + j])) {
+                    ok = false;
+                    break;
+                }
+            }
+            candidates += ok;
+        }
+        work.pamHits += candidates;
+        work.comparisons += candidates * shape.guides;
+        work.basesCompared += static_cast<uint64_t>(
+            static_cast<double>(candidates) * shape.guides *
+            shape.meanCompare);
+    }
+    return work;
+}
+
+namespace {
+
+automata::NfaStats
+unionStats(const PatternSet &set)
+{
+    automata::NfaStats total;
+    for (const core::Pattern &p : set.patterns) {
+        automata::Nfa nfa = automata::buildHammingNfa(p.spec);
+        automata::NfaStats s = automata::computeStats(nfa);
+        total.states += s.states;
+        total.edges += s.edges;
+        total.startStates += s.startStates;
+        total.reportStates += s.reportStates;
+        total.maxFanOut = std::max(total.maxFanOut, s.maxFanOut);
+        total.maxFanIn = std::max(total.maxFanIn, s.maxFanIn);
+    }
+    return total;
+}
+
+} // namespace
+
+SpatialEstimate
+estimateFpga(uint64_t symbols, const PatternSet &set,
+             const fpga::FpgaDeviceSpec &spec)
+{
+    automata::NfaStats stats = unionStats(set);
+    fpga::ResourceEstimate res = fpga::estimateResources(stats, spec);
+    SpatialEstimate e;
+    e.clockHz = res.clockHz;
+    e.passes = res.passes;
+    e.stateCount = stats.states;
+    e.utilization = res.lutUtilization;
+    const double stream = static_cast<double>(symbols) / res.clockHz;
+    const double pcie =
+        static_cast<double>(symbols) / (spec.pcieGBs * 1e9);
+    e.kernelSeconds = std::max(stream, pcie) * res.passes;
+    e.totalSeconds =
+        e.kernelSeconds + spec.configureSeconds * res.passes;
+    return e;
+}
+
+SpatialEstimate
+estimateAp(uint64_t symbols, const PatternSet &set, bool counter_design,
+           const ap::ApDeviceSpec &spec)
+{
+    std::vector<ap::MachineStats> machines;
+    machines.reserve(set.patterns.size());
+    for (const core::Pattern &p : set.patterns) {
+        ap::MachineStats ms;
+        if (counter_design) {
+            const size_t len = p.spec.masks.size();
+            const size_t lo = p.spec.mismatchLo;
+            ms.stes = lo + 2 * (len - lo); // PAM chain + chain + detectors
+            ms.counters = 1;
+            ms.gates = 1;
+        } else {
+            ms.stes = automata::hammingNfaStates(
+                p.spec.masks.size(), p.spec.maxMismatches,
+                p.spec.mismatchLo, p.spec.mismatchHi);
+        }
+        machines.push_back(ms);
+    }
+    ap::Placement placement = ap::placeMachines(machines, spec);
+
+    SpatialEstimate e;
+    e.clockHz = spec.clockHz;
+    e.passes = placement.passes;
+    e.stateCount = placement.stes;
+    e.utilization = placement.utilization;
+    // The counter design needs a forward and a reversed pass.
+    const uint64_t streamed = counter_design ? 2 * symbols : symbols;
+    e.kernelSeconds =
+        static_cast<double>(streamed) / spec.clockHz * placement.passes;
+    e.totalSeconds = e.kernelSeconds +
+                     spec.configureSeconds * placement.passes;
+    return e;
+}
+
+SpatialEstimate
+estimateInfant2(const genome::Sequence &g, const PatternSet &set,
+                const gpu::SimtModel &model, size_t chunk)
+{
+    std::vector<automata::Nfa> nfas;
+    for (const core::Pattern &p : set.patterns)
+        nfas.push_back(automata::buildHammingNfa(p.spec));
+    automata::Nfa u = automata::unionNfas(nfas);
+    gpu::TransitionGraph graph(u);
+
+    uint64_t hist[genome::kNumSymbols] = {};
+    for (size_t i = 0; i < g.size(); ++i)
+        ++hist[g[i]];
+    const size_t overlap = set.siteLength() + 2;
+    gpu::Infant2Work work =
+        gpu::workFromHistogram(graph, hist, g.size(), chunk, overlap);
+    gpu::Infant2Time t =
+        gpu::estimateInfant2Time(work, graph, g.size(), model);
+
+    SpatialEstimate e;
+    e.clockHz = model.clockHz;
+    e.passes = 1;
+    e.stateCount = u.size();
+    e.kernelSeconds = t.kernelSeconds;
+    e.totalSeconds = t.totalSeconds();
+    return e;
+}
+
+void
+printBanner(const std::string &id, const std::string &title,
+            const std::string &paper_claim)
+{
+    std::printf("\n================================================"
+                "===============================\n");
+    std::printf("%s: %s\n", id.c_str(), title.c_str());
+    if (!paper_claim.empty())
+        std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("================================================"
+                "===============================\n");
+}
+
+std::string
+speedupCell(double base, double other)
+{
+    if (other <= 0.0)
+        return "n/a";
+    return strprintf("%.1fx", base / other);
+}
+
+} // namespace crispr::bench

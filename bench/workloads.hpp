@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared workload construction and measurement helpers for the
+ * experiment harnesses (bench_e1 .. bench_e12). See DESIGN.md section 5
+ * for the experiment index.
+ */
+
+#ifndef CRISPR_BENCH_WORKLOADS_HPP_
+#define CRISPR_BENCH_WORKLOADS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/search.hpp"
+#include "genome/generator.hpp"
+
+namespace crispr::bench {
+
+/** A benchmark workload: synthetic genome + guide set sampled from it. */
+struct Workload
+{
+    genome::Sequence genome;
+    std::vector<core::Guide> guides;
+};
+
+/**
+ * Deterministic workload: GC-biased genome of `genome_len` bases with a
+ * small N fraction, and `num_guides` 20-nt guides sampled from it.
+ */
+Workload makeWorkload(size_t genome_len, size_t num_guides,
+                      uint64_t seed = 42);
+
+/** Default engine parameters used across experiments (paper setups). */
+core::EngineParams defaultParams();
+
+/** One engine measurement row. */
+struct Row
+{
+    std::string engine;
+    double compileSeconds = 0.0;
+    double hostSeconds = 0.0;
+    double kernelSeconds = 0.0; //!< comparable execution time
+    double totalSeconds = 0.0;
+    size_t hits = 0;
+    size_t events = 0;
+    std::map<std::string, double> metrics;
+};
+
+/** Run one engine through core::search and collect a row. */
+Row runRow(core::EngineKind engine, const Workload &w, int d,
+           const core::EngineParams &params = defaultParams(),
+           const core::PamSpec &pam = core::pamNRG());
+
+/**
+ * Analytic Cas-OFFinder work estimate for sweeps too large to execute:
+ * stage-1 candidates come from a real PAM scan of the genome; stage-2
+ * base compares use the expected early-exit depth on random background
+ * ((d+1) / P(mismatch), P(mismatch)=3/4 for concrete guides).
+ */
+baselines::CasOffinderWork
+estimateCasOffinderWork(const genome::Sequence &g,
+                        const core::PatternSet &set);
+
+/** Analytic FPGA kernel estimate (resource model, no execution). */
+struct SpatialEstimate
+{
+    double kernelSeconds = 0.0;
+    double totalSeconds = 0.0;
+    double clockHz = 0.0;
+    uint32_t passes = 1;
+    uint64_t stateCount = 0;
+    double utilization = 0.0;
+};
+
+SpatialEstimate estimateFpga(uint64_t symbols, const core::PatternSet &set,
+                             const fpga::FpgaDeviceSpec &spec = {});
+
+/** Analytic AP kernel estimate (capacity model, no execution).
+ *  @param counter_design use the O(L) counter machines (doubles the
+ *         streamed symbols: forward + reversed pass). */
+SpatialEstimate estimateAp(uint64_t symbols, const core::PatternSet &set,
+                           bool counter_design = false,
+                           const ap::ApDeviceSpec &spec = {});
+
+/** Analytic iNFAnt2 kernel estimate from the symbol histogram. */
+SpatialEstimate estimateInfant2(const genome::Sequence &g,
+                                const core::PatternSet &set,
+                                const gpu::SimtModel &model = {},
+                                size_t chunk = 512 << 10);
+
+/** Print a standard experiment banner. */
+void printBanner(const std::string &id, const std::string &title,
+                 const std::string &paper_claim);
+
+/** Format a speedup "AxB" cell, guarding division by zero. */
+std::string speedupCell(double base, double other);
+
+} // namespace crispr::bench
+
+#endif // CRISPR_BENCH_WORKLOADS_HPP_

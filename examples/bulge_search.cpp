@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bulge search example: finds off-target sites that plain Hamming
+ * search misses because the genome carries a DNA/RNA bulge (an
+ * inserted or deleted base) relative to the guide.
+ *
+ * Usage: bulge_search [--d 2] [--bulges 1] [--engine nfa-reference]
+ */
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/bulge.hpp"
+#include "core/search.hpp"
+#include "genome/generator.hpp"
+
+using namespace crispr;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("Find bulge-tolerant off-target sites");
+    cli.addInt("d", 2, "mismatch budget");
+    cli.addInt("bulges", 1, "bulge budget");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    // Demo genome with one planted clean site, one mismatched site and
+    // one *bulged* site (deleted protospacer base) for the same guide.
+    genome::GenomeSpec spec;
+    spec.length = 1 << 20;
+    spec.seed = 123;
+    genome::Sequence genome_seq = genome::generateGenome(spec);
+    core::Guide guide =
+        core::makeGuide("demo", "GTCACCTCCAATGACTAGGG");
+
+    genome::Sequence site = guide.protospacer;
+    site.append(genome::Sequence::fromString("TGG"));
+    genome::plantSite(genome_seq, 200000, site);
+
+    Rng rng(5);
+    genome::plantSite(genome_seq, 500000,
+                      genome::mutateSite(site, 2, 0, 20, rng));
+
+    genome::Sequence bulged; // delete protospacer position 7
+    for (size_t i = 0; i < site.size(); ++i)
+        if (i != 7)
+            bulged.push_back(site[i]);
+    genome::plantSite(genome_seq, 800000, bulged);
+
+    const int d = static_cast<int>(cli.getInt("d"));
+    const int b = static_cast<int>(cli.getInt("bulges"));
+
+    // Plain Hamming search misses the bulged site...
+    core::SearchConfig plain;
+    plain.maxMismatches = d;
+    core::SearchResult without =
+        core::search(genome_seq, {guide}, plain);
+
+    // ...the edit-distance automaton finds it.
+    core::BulgeConfig cfg;
+    cfg.maxMismatches = d;
+    cfg.maxBulges = b;
+    core::BulgeResult with_bulges =
+        core::bulgeSearch(genome_seq, {guide}, cfg);
+
+    std::cout << "guide " << guide.protospacer.str() << " + NRG, d="
+              << d << ", bulges=" << b << "\n\n";
+    std::cout << "hamming-only hits: " << without.hits.size() << "\n";
+    for (const auto &h : without.hits)
+        std::cout << "  start=" << h.start << " strand="
+                  << core::strandStr(h.strand) << " mm="
+                  << h.mismatches << "\n";
+    std::cout << "bulge-tolerant hits: " << with_bulges.hits.size()
+              << " (automaton: " << with_bulges.nfaStates
+              << " states)\n";
+    for (const auto &h : with_bulges.hits)
+        std::cout << "  end=" << h.end << " strand="
+                  << core::strandStr(h.strand) << "\n";
+    std::cout << "\nthe site planted at 800000 (base deleted) appears "
+                 "only in the bulge-tolerant result.\n";
+    return 0;
+}

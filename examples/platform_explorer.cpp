@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Platform explorer: runs one off-target workload across every engine
+ * in the registry and prints a side-by-side comparison — the
+ * interactive version of the paper's cross-platform evaluation.
+ *
+ * Usage:
+ *   platform_explorer [--genome-mb 4] [--guides 10] [--d 3]
+ */
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/report.hpp"
+#include "core/search.hpp"
+#include "genome/generator.hpp"
+
+using namespace crispr;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("Compare every engine on one off-target workload");
+    cli.addInt("genome-mb", 4, "genome size in MB");
+    cli.addInt("guides", 10, "number of guides");
+    cli.addInt("d", 3, "maximum mismatches");
+    cli.addBool("skip-slow", "skip the brute-force golden engine");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const size_t genome_len =
+        static_cast<size_t>(cli.getInt("genome-mb")) << 20;
+
+    genome::GenomeSpec spec;
+    spec.length = genome_len;
+    spec.model = genome::CompositionModel::GcBiased;
+    spec.seed = 4;
+    genome::Sequence genome_seq = genome::generateGenome(spec);
+    auto guides = core::guidesFromGenome(
+        genome_seq, static_cast<size_t>(cli.getInt("guides")), 20, 5);
+
+    std::cout << "workload: " << formatBytes(genome_len) << " genome, "
+              << guides.size() << " guides, d=" << cli.getInt("d")
+              << ", NRG PAM, both strands\n";
+
+    Table table({"engine", "hits", "compile", "host", "kernel*",
+                 "total*", "notes"});
+    size_t golden_hits = 0;
+    bool have_golden = false;
+
+    for (core::EngineKind kind : core::allEngines()) {
+        if (cli.getBool("skip-slow") &&
+            kind == core::EngineKind::Brute)
+            continue;
+        core::SearchConfig config;
+        config.maxMismatches = static_cast<int>(cli.getInt("d"));
+        config.engine = kind;
+        config.params.fullSimSymbolLimit = 2ull << 20;
+
+        core::SearchResult res =
+            core::search(genome_seq, guides, config);
+        if (kind == core::EngineKind::Brute) {
+            golden_hits = res.hits.size();
+            have_golden = true;
+        }
+        std::string note = res.run.notes;
+        if (have_golden && res.hits.size() != golden_hits)
+            note = strprintf("%zu/%zu golden hits! ", res.hits.size(),
+                             golden_hits) + note;
+        table.row()
+            .add(core::engineName(kind))
+            .add(static_cast<uint64_t>(res.hits.size()))
+            .add(formatSeconds(res.run.timing.compileSeconds))
+            .add(formatSeconds(res.run.timing.hostSeconds))
+            .add(formatSeconds(res.run.timing.kernelSeconds))
+            .add(formatSeconds(res.run.timing.totalSeconds))
+            .add(note.substr(0, 40));
+    }
+    std::cout << table.str();
+    std::cout << "* kernel/total are modelled device times for the "
+                 "GPU/FPGA/AP engines and measured wall-clock for the "
+                 "CPU engines (see DESIGN.md).\n";
+    return 0;
+}

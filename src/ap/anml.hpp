@@ -1,0 +1,35 @@
+/**
+ * @file
+ * ANML serialisation of full AP machines — STEs plus the counter and
+ * boolean elements the plain automata ANML writer cannot express.
+ * Round-trip safe (writer output parses back to an identical machine).
+ */
+
+#ifndef CRISPR_AP_ANML_HPP_
+#define CRISPR_AP_ANML_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "ap/machine.hpp"
+
+namespace crispr::ap {
+
+/** Serialise a machine as ANML-style XML. */
+void writeMachineAnml(std::ostream &out, const ApMachine &machine,
+                      const std::string &network_id = "offtarget");
+
+/** Serialise to a string. */
+std::string machineAnmlString(const ApMachine &machine,
+                              const std::string &network_id =
+                                  "offtarget");
+
+/** Parse ANML produced by writeMachineAnml(). */
+ApMachine readMachineAnml(std::istream &in);
+
+/** Parse from a string. */
+ApMachine machineAnmlFromString(const std::string &text);
+
+} // namespace crispr::ap
+
+#endif // CRISPR_AP_ANML_HPP_

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Automata Processor capacity and timing model, parameterised on the
+ * published D480 architecture: STEs arranged in 256-STE blocks, 192
+ * blocks per chip (49,152 STEs), 768 counters and 2,304 boolean cells
+ * per chip, 8 chips per rank, 4 ranks per PCIe board, 133 MHz symbol
+ * rate. Used for E2 (capacity), E5/E6 (kernel time) and E9 (end-to-end
+ * breakdown).
+ */
+
+#ifndef CRISPR_AP_CAPACITY_HPP_
+#define CRISPR_AP_CAPACITY_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "ap/machine.hpp"
+
+namespace crispr::ap {
+
+/** Device architecture constants (defaults: Micron D480). */
+struct ApDeviceSpec
+{
+    uint32_t stesPerBlock = 256;
+    uint32_t blocksPerChip = 192;
+    uint32_t countersPerChip = 768;
+    uint32_t gatesPerChip = 2304;
+    uint32_t chipsPerRank = 8;
+    uint32_t ranksPerBoard = 4;
+    double clockHz = 133.33e6;
+
+    /** One-time automaton load (flow-through configuration), seconds. */
+    double configureSeconds = 0.05;
+    /** Active power per chip (published D480 estimate ~4 W). */
+    double wattsPerChip = 4.0;
+    /** Host->board input streaming bandwidth (DDR interface), bytes/s. */
+    double inputBandwidth = 1.0e9;
+
+    uint32_t stesPerChip() const { return stesPerBlock * blocksPerChip; }
+    uint32_t chipsPerBoard() const { return chipsPerRank * ranksPerBoard; }
+    uint64_t
+    stesPerBoard() const
+    {
+        return static_cast<uint64_t>(stesPerChip()) * chipsPerBoard();
+    }
+};
+
+/** Placement result for a set of automata on one board. */
+struct Placement
+{
+    uint64_t stes = 0;      //!< STEs requested
+    uint64_t counters = 0;
+    uint64_t gates = 0;
+    uint64_t blocksUsed = 0;
+    uint32_t chipsUsed = 0;
+    bool fits = false;       //!< everything placed on one board
+    uint32_t passes = 1;     //!< reconfiguration passes if it does not fit
+    double utilization = 0.0; //!< STEs / (blocksUsed * stesPerBlock)
+};
+
+/**
+ * Place a set of automata (given as per-automaton resource stats) onto
+ * a board: connected components are packed into blocks first-fit (a
+ * component larger than a block spans whole blocks, modelling routing
+ * constraints); counters/gates are chip-level resources.
+ */
+Placement placeMachines(const std::vector<MachineStats> &machines,
+                        const ApDeviceSpec &spec = {});
+
+/** How many identical automata of the given size fit on one board. */
+uint64_t machinesPerBoard(const MachineStats &one,
+                          const ApDeviceSpec &spec = {});
+
+/** End-to-end time decomposition of an AP run. */
+struct ApTimeBreakdown
+{
+    double configureSeconds = 0.0; //!< per-pass automaton load
+    double kernelSeconds = 0.0;    //!< symbol + stall cycles
+    double outputSeconds = 0.0;    //!< result read-back
+    double
+    totalSeconds() const
+    {
+        return configureSeconds + kernelSeconds + outputSeconds;
+    }
+};
+
+/**
+ * Analytic run-time estimate (used when full cycle simulation is not
+ * needed): passes * symbols / clock plus configuration per pass and
+ * output drain proportional to report events.
+ */
+ApTimeBreakdown estimateRun(uint64_t symbols, uint64_t report_events,
+                            uint32_t passes,
+                            const ApDeviceSpec &spec = {});
+
+} // namespace crispr::ap
+
+#endif // CRISPR_AP_CAPACITY_HPP_

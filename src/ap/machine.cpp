@@ -1,0 +1,234 @@
+#include "ap/machine.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::ap {
+
+using automata::Nfa;
+using automata::StartKind;
+using automata::SymbolClass;
+
+ElemId
+ApMachine::addSte(SymbolClass cls, StartKind start, std::string name)
+{
+    Element e;
+    e.kind = ElemKind::Ste;
+    e.cls = cls;
+    e.start = start;
+    e.name = std::move(name);
+    elems_.push_back(std::move(e));
+    return static_cast<ElemId>(elems_.size() - 1);
+}
+
+ElemId
+ApMachine::addCounter(uint32_t target, CounterMode mode, std::string name)
+{
+    if (target == 0)
+        fatal("counter target must be >= 1");
+    Element e;
+    e.kind = ElemKind::Counter;
+    e.target = target;
+    e.mode = mode;
+    e.name = std::move(name);
+    elems_.push_back(std::move(e));
+    return static_cast<ElemId>(elems_.size() - 1);
+}
+
+ElemId
+ApMachine::addGate(GateType type, std::string name)
+{
+    Element e;
+    e.kind = ElemKind::Gate;
+    e.gate = type;
+    e.name = std::move(name);
+    elems_.push_back(std::move(e));
+    return static_cast<ElemId>(elems_.size() - 1);
+}
+
+void
+ApMachine::setReport(ElemId e, uint32_t report_id)
+{
+    CRISPR_ASSERT(e < elems_.size());
+    elems_[e].report = true;
+    elems_[e].reportId = report_id;
+}
+
+void
+ApMachine::connect(ElemId from, ElemId to, Port port, bool inverted)
+{
+    CRISPR_ASSERT(from < elems_.size() && to < elems_.size());
+    wires_.push_back(Wire{from, to, port, inverted});
+}
+
+MachineStats
+ApMachine::stats() const
+{
+    MachineStats st;
+    for (const Element &e : elems_) {
+        switch (e.kind) {
+          case ElemKind::Ste:
+            ++st.stes;
+            break;
+          case ElemKind::Counter:
+            ++st.counters;
+            break;
+          case ElemKind::Gate:
+            ++st.gates;
+            break;
+        }
+    }
+    st.wires = wires_.size();
+    return st;
+}
+
+void
+ApMachine::validate() const
+{
+    for (const Wire &w : wires_) {
+        const Element &src = elems_[w.from];
+        const Element &dst = elems_[w.to];
+        switch (dst.kind) {
+          case ElemKind::Ste:
+            if (w.port != Port::In)
+                fatal("STE '%s' driven on a non-In port",
+                      dst.name.c_str());
+            if (w.inverted)
+                fatal("STE inputs cannot be inverted");
+            break;
+          case ElemKind::Counter:
+            if (w.port == Port::In)
+                fatal("counter '%s' must be driven on CountUp or Reset",
+                      dst.name.c_str());
+            if (w.inverted)
+                fatal("counter inputs cannot be inverted");
+            break;
+          case ElemKind::Gate:
+            if (w.port != Port::In)
+                fatal("gate '%s' driven on a non-In port",
+                      dst.name.c_str());
+            if (src.kind == ElemKind::Gate)
+                fatal("gate-to-gate wiring is not supported "
+                      "(single combinational layer)");
+            break;
+        }
+    }
+    for (ElemId e = 0; e < elems_.size(); ++e) {
+        if (elems_[e].kind != ElemKind::Gate)
+            continue;
+        bool has_input = false;
+        for (const Wire &w : wires_)
+            if (w.to == e)
+                has_input = true;
+        if (!has_input)
+            fatal("gate '%s' has no inputs", elems_[e].name.c_str());
+    }
+}
+
+ApMachine
+fromNfa(const Nfa &nfa)
+{
+    ApMachine m;
+    for (automata::StateId s = 0; s < nfa.size(); ++s) {
+        const auto &st = nfa.state(s);
+        ElemId e = m.addSte(st.cls, st.start);
+        if (st.report)
+            m.setReport(e, st.reportId);
+    }
+    for (automata::StateId s = 0; s < nfa.size(); ++s)
+        for (automata::StateId t : nfa.state(s).out)
+            m.connect(s, t);
+    m.validate();
+    return m;
+}
+
+ApMachine
+buildCounterMachine(const automata::HammingSpec &spec)
+{
+    const size_t len = spec.masks.size();
+    const size_t lo = spec.mismatchLo;
+    const size_t hi = std::min(spec.mismatchHi, len);
+    if (lo == 0)
+        fatal("counter design requires a leading exact region "
+              "(PAM-first pattern orientation)");
+    if (lo >= len)
+        fatal("counter design requires a non-empty mismatch region");
+    if (hi != len)
+        fatal("counter design requires the mismatch region to extend to "
+              "the pattern end");
+    if (spec.maxMismatches < 0)
+        fatal("negative mismatch budget");
+
+    ApMachine m;
+
+    // PAM trigger chain: exact-match STEs over positions [0, lo).
+    ElemId prev = kInvalidElem;
+    for (size_t j = 0; j < lo; ++j) {
+        ElemId ste = m.addSte(SymbolClass::match(spec.masks[j]),
+                              j == 0 ? StartKind::AllInput
+                                     : StartKind::None,
+                              strprintf("pam%zu", j));
+        if (prev != kInvalidElem)
+            m.connect(prev, ste);
+        prev = ste;
+    }
+    const ElemId trigger = prev;
+
+    // Counter: latches once mismatches exceed the budget.
+    const ElemId counter = m.addCounter(
+        static_cast<uint32_t>(spec.maxMismatches) + 1, CounterMode::Latch,
+        "mm_counter");
+    // A fresh candidate resets the count.
+    m.connect(trigger, counter, Port::Reset);
+
+    // Position chain (consumes any symbol) and mismatch detectors.
+    ElemId chain_prev = trigger;
+    ElemId chain_last = kInvalidElem;
+    for (size_t j = lo; j < len; ++j) {
+        ElemId chain = m.addSte(SymbolClass::any(), StartKind::None,
+                                strprintf("pos%zu", j));
+        ElemId det = m.addSte(SymbolClass::mismatch(spec.masks[j]),
+                              StartKind::None, strprintf("mm%zu", j));
+        m.connect(chain_prev, chain);
+        m.connect(chain_prev, det);
+        m.connect(det, counter, Port::CountUp);
+        chain_prev = chain;
+        chain_last = chain;
+    }
+
+    // Report gate: chain end AND NOT(counter latched).
+    const ElemId gate = m.addGate(GateType::And, "report");
+    m.connect(chain_last, gate);
+    m.connect(counter, gate, Port::In, /*inverted=*/true);
+    m.setReport(gate, spec.reportId);
+
+    m.validate();
+    return m;
+}
+
+void
+mergeMachines(ApMachine &dst, const ApMachine &other)
+{
+    const ElemId offset = static_cast<ElemId>(dst.size());
+    for (const Element &e : other.elements()) {
+        ElemId id = kInvalidElem;
+        switch (e.kind) {
+          case ElemKind::Ste:
+            id = dst.addSte(e.cls, e.start, e.name);
+            break;
+          case ElemKind::Counter:
+            id = dst.addCounter(e.target, e.mode, e.name);
+            break;
+          case ElemKind::Gate:
+            id = dst.addGate(e.gate, e.name);
+            break;
+        }
+        if (e.report)
+            dst.setReport(id, e.reportId);
+    }
+    for (const Wire &w : other.wires())
+        dst.connect(w.from + offset, w.to + offset, w.port, w.inverted);
+}
+
+} // namespace crispr::ap

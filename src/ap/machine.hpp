@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Micron Automata Processor machine model: a network of state
+ * transition elements (STEs), saturating counter elements, and
+ * combinational boolean gates, as exposed by ANML.
+ *
+ * Two machine builders matter for the paper:
+ *  - fromNfa(): direct mapping of the mismatch-matrix automaton
+ *    (STEs only);
+ *  - buildCounterMachine(): the AP-specific counter design — a PAM
+ *    trigger chain, an L-deep position chain, L mismatch-detector STEs
+ *    pulsing one counter, and an AND-NOT report gate. O(L) STEs instead
+ *    of O(L*d). Its documented limitation: overlapping trigger windows
+ *    share the counter, so candidates closer than one window length can
+ *    be mis-counted (quantified by the E11 ablation).
+ */
+
+#ifndef CRISPR_AP_MACHINE_HPP_
+#define CRISPR_AP_MACHINE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/builders.hpp"
+#include "automata/nfa.hpp"
+
+namespace crispr::ap {
+
+using ElemId = uint32_t;
+
+inline constexpr ElemId kInvalidElem = 0xffffffffu;
+
+/** Element kinds available on the AP fabric. */
+enum class ElemKind : uint8_t
+{
+    Ste,
+    Counter,
+    Gate,
+};
+
+/** Counter output behaviour. */
+enum class CounterMode : uint8_t
+{
+    Pulse, //!< output active only on the cycle the target is reached
+    Latch, //!< output stays active from target until reset
+};
+
+/** Boolean gate function over its (optionally inverted) inputs. */
+enum class GateType : uint8_t
+{
+    And,
+    Or,
+};
+
+/** Input port of an element. */
+enum class Port : uint8_t
+{
+    In,      //!< STE enable / gate input
+    CountUp, //!< counter increment
+    Reset,   //!< counter reset (dominant over CountUp)
+};
+
+/** A connection in the machine. */
+struct Wire
+{
+    ElemId from;
+    ElemId to;
+    Port port = Port::In;
+    bool inverted = false; //!< gate inputs only
+};
+
+/** One fabric element. */
+struct Element
+{
+    ElemKind kind = ElemKind::Ste;
+    std::string name;
+
+    // STE fields.
+    automata::SymbolClass cls;
+    automata::StartKind start = automata::StartKind::None;
+
+    // Counter fields.
+    uint32_t target = 0;
+    CounterMode mode = CounterMode::Latch;
+
+    // Gate fields.
+    GateType gate = GateType::And;
+
+    bool report = false;
+    uint32_t reportId = 0;
+};
+
+/** Resource usage of a machine (for the capacity model). */
+struct MachineStats
+{
+    size_t stes = 0;
+    size_t counters = 0;
+    size_t gates = 0;
+    size_t wires = 0;
+};
+
+/** An AP automaton network. */
+class ApMachine
+{
+  public:
+    ElemId addSte(automata::SymbolClass cls,
+                  automata::StartKind start = automata::StartKind::None,
+                  std::string name = {});
+    ElemId addCounter(uint32_t target, CounterMode mode,
+                      std::string name = {});
+    ElemId addGate(GateType type, std::string name = {});
+
+    void setReport(ElemId e, uint32_t report_id);
+
+    void connect(ElemId from, ElemId to, Port port = Port::In,
+                 bool inverted = false);
+
+    size_t size() const { return elems_.size(); }
+    const Element &element(ElemId e) const { return elems_[e]; }
+    const std::vector<Element> &elements() const { return elems_; }
+    const std::vector<Wire> &wires() const { return wires_; }
+
+    MachineStats stats() const;
+
+    /**
+     * Validate structural rules: gate inputs only from STEs/counters
+     * (single combinational layer), counter ports used correctly, STEs
+     * only driven on Port::In. Raises FatalError on violations.
+     */
+    void validate() const;
+
+  private:
+    std::vector<Element> elems_;
+    std::vector<Wire> wires_;
+};
+
+/** Map a homogeneous NFA (e.g. the mismatch matrix) onto STEs 1:1. */
+ApMachine fromNfa(const automata::Nfa &nfa);
+
+/**
+ * Build the counter design for one Hamming spec. Requires the exact
+ * region (PAM) to be a *prefix* of the pattern (mismatchLo > 0), i.e.
+ * PAM-first orientation — see core::compile for how search orients
+ * patterns/streams to satisfy this.
+ */
+ApMachine buildCounterMachine(const automata::HammingSpec &spec);
+
+/** Merge `other` into `dst` as a disjoint network. */
+void mergeMachines(ApMachine &dst, const ApMachine &other);
+
+} // namespace crispr::ap
+
+#endif // CRISPR_AP_MACHINE_HPP_

@@ -1,0 +1,106 @@
+#include "ap/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace crispr::ap {
+
+namespace {
+
+/** Passes needed for `total_stes` of `stes_per_machine`-sized automata
+ *  on one board (block-granular). */
+uint32_t
+passesFor(uint64_t total_stes, uint64_t stes_per_machine,
+          const ApDeviceSpec &spec)
+{
+    if (total_stes == 0)
+        return 1;
+    CRISPR_ASSERT(stes_per_machine > 0);
+    const uint64_t machines =
+        (total_stes + stes_per_machine - 1) / stes_per_machine;
+    const uint64_t per_board =
+        std::max<uint64_t>(1, machinesPerBoard(
+                                  MachineStats{stes_per_machine, 0, 0, 0},
+                                  spec));
+    return static_cast<uint32_t>((machines + per_board - 1) / per_board);
+}
+
+} // namespace
+
+ScalingEstimate
+estimateBaseline(uint64_t symbols, uint64_t total_stes,
+                 uint64_t stes_per_machine, const ApDeviceSpec &spec)
+{
+    ScalingEstimate e;
+    e.devices = 1;
+    e.passesPerDevice = passesFor(total_stes, stes_per_machine, spec);
+    e.kernelSeconds = static_cast<double>(symbols) / spec.clockHz *
+                      e.passesPerDevice;
+    return e;
+}
+
+ScalingEstimate
+estimateStriping(uint64_t symbols, uint64_t overlap, uint32_t devices,
+                 uint64_t total_stes, uint64_t stes_per_machine,
+                 const ApDeviceSpec &spec)
+{
+    if (devices == 0)
+        fatal("need at least one device");
+    ScalingEstimate e;
+    e.devices = devices;
+    e.passesPerDevice = passesFor(total_stes, stes_per_machine, spec);
+    const uint64_t per_device =
+        (symbols + devices - 1) / devices + overlap;
+    e.kernelSeconds = static_cast<double>(per_device) / spec.clockHz *
+                      e.passesPerDevice;
+    return e;
+}
+
+ScalingEstimate
+estimatePartition(uint64_t symbols, uint32_t devices,
+                  uint64_t total_stes, uint64_t stes_per_machine,
+                  const ApDeviceSpec &spec)
+{
+    if (devices == 0)
+        fatal("need at least one device");
+    ScalingEstimate e;
+    e.devices = devices;
+    const uint64_t share = (total_stes + devices - 1) / devices;
+    e.passesPerDevice = passesFor(share, stes_per_machine, spec);
+    e.kernelSeconds = static_cast<double>(symbols) / spec.clockHz *
+                      e.passesPerDevice;
+    return e;
+}
+
+double
+strideInflation(uint32_t k)
+{
+    CRISPR_ASSERT(k >= 1);
+    return static_cast<double>(k) + 0.3 * (k - 1);
+}
+
+ScalingEstimate
+estimateStride(uint64_t symbols, uint32_t k, uint64_t total_stes,
+               uint64_t stes_per_machine, const ApDeviceSpec &spec)
+{
+    if (k == 0)
+        fatal("stride factor must be >= 1");
+    ScalingEstimate e;
+    e.devices = 1;
+    e.steInflation = strideInflation(k);
+    const uint64_t inflated_total = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(total_stes) * e.steInflation));
+    const uint64_t inflated_machine = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(stes_per_machine) *
+                  e.steInflation));
+    e.passesPerDevice =
+        passesFor(inflated_total, inflated_machine, spec);
+    const uint64_t strided_symbols = (symbols + k - 1) / k;
+    e.kernelSeconds = static_cast<double>(strided_symbols) /
+                      spec.clockHz * e.passesPerDevice;
+    return e;
+}
+
+} // namespace crispr::ap

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Models of the paper's proposed methods to further improve spatial
+ * off-target search, and of the architectural modifications it
+ * suggests for future automata-processing hardware:
+ *
+ *  - genome striping: split the input stream across D devices (each
+ *    scans 1/D of the genome plus a pattern-length overlap);
+ *  - pattern partitioning: split the automata across D devices that
+ *    each scan the whole stream concurrently (capacity scaling without
+ *    extra passes);
+ *  - input striding: consume k symbols per cycle by compiling the
+ *    automaton over the k-th power alphabet — rate x k at an STE
+ *    inflation cost (the "future hardware" modification);
+ *  - faster report path: see fpga/report.hpp.
+ */
+
+#ifndef CRISPR_AP_SCALING_HPP_
+#define CRISPR_AP_SCALING_HPP_
+
+#include <cstdint>
+
+#include "ap/capacity.hpp"
+
+namespace crispr::ap {
+
+/** Estimate of one scaling option. */
+struct ScalingEstimate
+{
+    double kernelSeconds = 0.0;
+    uint32_t devices = 1;
+    uint32_t passesPerDevice = 1;
+    double steInflation = 1.0; //!< STE cost multiplier vs baseline
+};
+
+/**
+ * Baseline: one board, possibly multiple reconfiguration passes.
+ * `total_stes` is the design's STE demand; block-granular placement is
+ * approximated by `stes_per_machine` (one automaton's size).
+ */
+ScalingEstimate estimateBaseline(uint64_t symbols, uint64_t total_stes,
+                                 uint64_t stes_per_machine,
+                                 const ApDeviceSpec &spec = {});
+
+/**
+ * Genome striping across `devices` boards: each board holds the whole
+ * design (so per-board passes are unchanged) and scans
+ * symbols/devices + overlap.
+ */
+ScalingEstimate estimateStriping(uint64_t symbols, uint64_t overlap,
+                                 uint32_t devices, uint64_t total_stes,
+                                 uint64_t stes_per_machine,
+                                 const ApDeviceSpec &spec = {});
+
+/**
+ * Pattern partitioning across `devices` boards: each board holds 1/D
+ * of the design and scans the whole stream; eliminates passes while
+ * the per-board share fits.
+ */
+ScalingEstimate estimatePartition(uint64_t symbols, uint32_t devices,
+                                  uint64_t total_stes,
+                                  uint64_t stes_per_machine,
+                                  const ApDeviceSpec &spec = {});
+
+/**
+ * STE inflation of the stride-k alphabet-power transform for the
+ * mismatch-matrix design: each state's 5-symbol class becomes a
+ * 5^k-pair class and the k-step transition relation needs ~k
+ * intermediate variants per state; empirically modelled as
+ * inflation(k) = k + 0.3 * (k - 1) (calibrated against hand-derived
+ * stride-2 constructions of chain automata).
+ */
+double strideInflation(uint32_t k);
+
+/**
+ * Input striding at factor k: symbol rate x k, STE demand x
+ * strideInflation(k), possibly pushing the design into more passes.
+ */
+ScalingEstimate estimateStride(uint64_t symbols, uint32_t k,
+                               uint64_t total_stes,
+                               uint64_t stes_per_machine,
+                               const ApDeviceSpec &spec = {});
+
+} // namespace crispr::ap
+
+#endif // CRISPR_AP_SCALING_HPP_

@@ -1,0 +1,229 @@
+#include "ap/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::ap {
+
+using automata::ReportEvent;
+using automata::ReportSink;
+using automata::StartKind;
+
+ApSimulator::ApSimulator(const ApMachine &machine, const ApSimConfig &config)
+    : machine_(machine), config_(config)
+{
+    machine_.validate();
+    const size_t n = machine_.size();
+    steIn_.resize(n); // reused as per-element successor lists (see below)
+
+    for (ElemId e = 0; e < n; ++e) {
+        const Element &el = machine_.element(e);
+        if (el.kind == ElemKind::Counter)
+            counters_.push_back(CounterWiring{e, {}, {}});
+        else if (el.kind == ElemKind::Gate)
+            gates_.push_back(GateWiring{e, {}});
+    }
+    auto counterOf = [&](ElemId e) -> CounterWiring & {
+        for (auto &c : counters_)
+            if (c.counter == e)
+                return c;
+        panic("counter wiring lookup failed");
+    };
+    auto gateOf = [&](ElemId e) -> GateWiring & {
+        for (auto &g : gates_)
+            if (g.gate == e)
+                return g;
+        panic("gate wiring lookup failed");
+    };
+
+    // steIn_[src] = STE successors of element src (enable wiring).
+    for (const Wire &w : machine_.wires()) {
+        const Element &dst = machine_.element(w.to);
+        switch (dst.kind) {
+          case ElemKind::Ste:
+            steIn_[w.from].push_back(w.to);
+            break;
+          case ElemKind::Counter:
+            if (w.port == Port::CountUp)
+                counterOf(w.to).countUp.push_back(w.from);
+            else
+                counterOf(w.to).reset.push_back(w.from);
+            break;
+          case ElemKind::Gate:
+            gateOf(w.to).inputs.emplace_back(w.from, w.inverted);
+            break;
+        }
+    }
+}
+
+ApRunStats
+ApSimulator::run(std::span<const uint8_t> input, const ReportSink &sink)
+{
+    const size_t n = machine_.size();
+    ApRunStats stats;
+
+    // Sparse frontier bookkeeping: O(active + enabled) per cycle.
+    std::vector<char> active(n, 0);
+    std::vector<char> enabled(n, 0);
+    std::vector<ElemId> active_list, prev_active_list, enabled_list;
+
+    std::vector<ElemId> all_input_stes, sod_stes;
+    std::vector<ElemId> reporters; // reporting elements, checked sparsely
+    for (ElemId e = 0; e < n; ++e) {
+        const Element &el = machine_.element(e);
+        if (el.kind == ElemKind::Ste) {
+            if (el.start == StartKind::AllInput)
+                all_input_stes.push_back(e);
+            else if (el.start == StartKind::StartOfData)
+                sod_stes.push_back(e);
+        }
+    }
+
+    std::vector<uint32_t> counter_value(counters_.size(), 0);
+
+    uint64_t buffer_fill = 0;
+    uint64_t drain_credit = 0;
+
+    bool at_start = true;
+    for (size_t t = 0; t < input.size(); ++t) {
+        const uint8_t c = input[t];
+        CRISPR_ASSERT(c < genome::kNumSymbols);
+
+        // --- Phase 1: STE enables (successors of last cycle's active
+        // elements, plus spontaneous starts), then activation. ---
+        enabled_list.clear();
+        auto enable = [&](ElemId e) {
+            if (!enabled[e]) {
+                enabled[e] = 1;
+                enabled_list.push_back(e);
+            }
+        };
+        for (ElemId src : prev_active_list)
+            for (ElemId dst : steIn_[src])
+                enable(dst);
+        for (ElemId e : all_input_stes)
+            enable(e);
+        if (at_start)
+            for (ElemId e : sod_stes)
+                enable(e);
+        at_start = false;
+
+        active_list.clear();
+        for (ElemId e : enabled_list) {
+            enabled[e] = 0; // clear for the next cycle
+            if (machine_.element(e).cls.matches(c)) {
+                active[e] = 1;
+                active_list.push_back(e);
+                ++stats.steActivations;
+            }
+        }
+
+        // --- Phase 2: counters (reset dominant, then count). ---
+        for (size_t i = 0; i < counters_.size(); ++i) {
+            const CounterWiring &cw = counters_[i];
+            const Element &el = machine_.element(cw.counter);
+            bool reset = false;
+            for (ElemId src : cw.reset)
+                if (active[src])
+                    reset = true;
+            if (reset)
+                counter_value[i] = 0;
+            bool pulse = false;
+            for (ElemId src : cw.countUp)
+                if (active[src])
+                    pulse = true;
+            bool out;
+            if (pulse && counter_value[i] < el.target) {
+                ++counter_value[i];
+                out = counter_value[i] == el.target; // pulse on reach
+            } else {
+                out = false;
+            }
+            if (el.mode == CounterMode::Latch)
+                out = counter_value[i] >= el.target;
+            if (out) {
+                active[cw.counter] = 1;
+                active_list.push_back(cw.counter);
+            }
+        }
+
+        // --- Phase 3: gates (combinational over this cycle). ---
+        for (const GateWiring &gw : gates_) {
+            const Element &el = machine_.element(gw.gate);
+            bool out = el.gate == GateType::And;
+            for (auto [src, inverted] : gw.inputs) {
+                const bool v = active[src] != 0;
+                const bool term = inverted ? !v : v;
+                if (el.gate == GateType::And)
+                    out = out && term;
+                else
+                    out = out || term;
+            }
+            if (out) {
+                active[gw.gate] = 1;
+                active_list.push_back(gw.gate);
+            }
+        }
+
+        // --- Phase 4: reports + output event buffer model. ---
+        bool reported = false;
+        for (ElemId e : active_list) {
+            const Element &el = machine_.element(e);
+            if (el.report) {
+                reported = true;
+                ++stats.reportEvents;
+                if (sink)
+                    sink(el.reportId, static_cast<uint64_t>(t));
+            }
+        }
+        ++stats.symbolCycles;
+        if (reported)
+            ++stats.reportingCycles;
+        if (config_.eventBufferDepth > 0) {
+            if (++drain_credit >= config_.drainCyclesPerVector) {
+                drain_credit = 0;
+                if (buffer_fill > 0)
+                    --buffer_fill;
+            }
+            if (reported) {
+                if (buffer_fill >= config_.eventBufferDepth) {
+                    // Stall the stream until one slot drains.
+                    const uint64_t wait =
+                        config_.drainCyclesPerVector - drain_credit;
+                    stats.stallCycles += wait;
+                    drain_credit = 0;
+                    // One slot drains during the stall, one is refilled:
+                    // occupancy stays at the high-water mark.
+                } else {
+                    ++buffer_fill;
+                }
+            }
+        }
+
+        // Prepare next cycle: clear active flags, swap frontiers.
+        std::swap(prev_active_list, active_list);
+        for (ElemId e : active_list) // the *old* prev list
+            active[e] = 0;
+        // Note: flags of the new prev_active_list stay set only during
+        // phases 2-3 of this cycle; clear them now and track enables via
+        // the list alone.
+        for (ElemId e : prev_active_list)
+            active[e] = 0;
+    }
+
+    return stats;
+}
+
+std::vector<ReportEvent>
+ApSimulator::scanAll(const genome::Sequence &seq)
+{
+    std::vector<ReportEvent> events;
+    run(seq.codes(), [&](uint32_t id, uint64_t end) {
+        events.push_back(ReportEvent{id, end});
+    });
+    automata::normalizeEvents(events);
+    return events;
+}
+
+} // namespace crispr::ap

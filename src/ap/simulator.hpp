@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cycle-level Automata Processor simulator: executes an ApMachine one
+ * input symbol per clock, models the output event buffer (the reporting
+ * bottleneck characterised by Wadden et al., HPCA'18), and converts
+ * cycles to time at the D480's 133 MHz symbol rate.
+ */
+
+#ifndef CRISPR_AP_SIMULATOR_HPP_
+#define CRISPR_AP_SIMULATOR_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "ap/machine.hpp"
+#include "automata/interp.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::ap {
+
+/** Simulator configuration (device timing + reporting architecture). */
+struct ApSimConfig
+{
+    double clockHz = 133.33e6; //!< D480 symbol rate
+
+    /**
+     * Output event buffer model: each cycle with >= 1 report consumes
+     * one event-vector slot; the host drains one slot every
+     * `drainCyclesPerVector` cycles; a full buffer stalls the input
+     * stream. Depth 0 disables the model (infinite buffer).
+     */
+    uint32_t eventBufferDepth = 1024;
+    uint32_t drainCyclesPerVector = 8;
+};
+
+/** Statistics of one simulated run. */
+struct ApRunStats
+{
+    uint64_t symbolCycles = 0;   //!< one per input symbol
+    uint64_t stallCycles = 0;    //!< output-buffer back-pressure
+    uint64_t reportingCycles = 0; //!< cycles with >= 1 report
+    uint64_t reportEvents = 0;
+    uint64_t steActivations = 0; //!< total STE firings (energy proxy)
+
+    uint64_t totalCycles() const { return symbolCycles + stallCycles; }
+};
+
+/** The simulator. Construct once per machine; run() is re-entrant. */
+class ApSimulator
+{
+  public:
+    explicit ApSimulator(const ApMachine &machine,
+                         const ApSimConfig &config = {});
+
+    /**
+     * Stream `input` through the machine from the reset state.
+     * @param sink receives (reportId, symbol index) events.
+     * @return run statistics, including modelled stall cycles.
+     */
+    ApRunStats run(std::span<const uint8_t> input,
+                   const automata::ReportSink &sink);
+
+    /** Convenience: run and collect normalised events. */
+    std::vector<automata::ReportEvent>
+    scanAll(const genome::Sequence &seq);
+
+    /** Kernel time of a run at the configured clock. */
+    double
+    kernelSeconds(const ApRunStats &stats) const
+    {
+        return static_cast<double>(stats.totalCycles()) / config_.clockHz;
+    }
+
+    const ApSimConfig &config() const { return config_; }
+
+  private:
+    const ApMachine &machine_;
+    ApSimConfig config_;
+
+    // Flattened wiring, grouped by destination kind/port.
+    std::vector<std::vector<ElemId>> steIn_;      // per STE: sources
+    struct CounterWiring
+    {
+        ElemId counter;
+        std::vector<ElemId> countUp;
+        std::vector<ElemId> reset;
+    };
+    std::vector<CounterWiring> counters_;
+    struct GateWiring
+    {
+        ElemId gate;
+        std::vector<std::pair<ElemId, bool>> inputs; // (src, inverted)
+    };
+    std::vector<GateWiring> gates_;
+};
+
+} // namespace crispr::ap
+
+#endif // CRISPR_AP_SIMULATOR_HPP_

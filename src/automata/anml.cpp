@@ -1,0 +1,162 @@
+#include "automata/anml.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+
+namespace {
+
+const char *
+startAttr(StartKind k)
+{
+    switch (k) {
+      case StartKind::None:
+        return "none";
+      case StartKind::StartOfData:
+        return "start-of-data";
+      case StartKind::AllInput:
+        return "all-input";
+    }
+    return "none";
+}
+
+StartKind
+parseStart(const std::string &s)
+{
+    if (s == "none")
+        return StartKind::None;
+    if (s == "start-of-data")
+        return StartKind::StartOfData;
+    if (s == "all-input")
+        return StartKind::AllInput;
+    fatal("ANML: unknown start kind '%s'", s.c_str());
+}
+
+/** Extract attribute `name` from an XML tag body; empty if absent. */
+std::string
+attrOf(const std::string &tag, const std::string &name)
+{
+    const std::string needle = name + "=\"";
+    auto at = tag.find(needle);
+    if (at == std::string::npos)
+        return "";
+    at += needle.size();
+    auto end = tag.find('"', at);
+    if (end == std::string::npos)
+        fatal("ANML: unterminated attribute '%s'", name.c_str());
+    return tag.substr(at, end - at);
+}
+
+} // namespace
+
+void
+writeAnml(std::ostream &out, const Nfa &nfa, const std::string &network_id)
+{
+    out << "<anml version=\"1.0\">\n";
+    out << "  <automata-network id=\"" << network_id << "\">\n";
+    for (StateId s = 0; s < nfa.size(); ++s) {
+        const auto &st = nfa.state(s);
+        out << "    <state-transition-element id=\"q" << s
+            << "\" symbol-set=\"" << st.cls.str() << "\" start=\""
+            << startAttr(st.start) << "\"";
+        if (st.report)
+            out << " report-code=\"" << st.reportId << "\"";
+        if (st.out.empty()) {
+            out << "/>\n";
+            continue;
+        }
+        out << ">\n";
+        for (StateId t : st.out) {
+            out << "      <activate-on-match element=\"q" << t << "\"/>\n";
+        }
+        out << "    </state-transition-element>\n";
+    }
+    out << "  </automata-network>\n";
+    out << "</anml>\n";
+}
+
+std::string
+anmlString(const Nfa &nfa, const std::string &network_id)
+{
+    std::ostringstream os;
+    writeAnml(os, nfa, network_id);
+    return os.str();
+}
+
+Nfa
+readAnml(std::istream &in)
+{
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return anmlFromString(text);
+}
+
+Nfa
+anmlFromString(const std::string &text)
+{
+    Nfa nfa;
+    std::map<std::string, StateId> name_to_id;
+    // Pass 1: create states in document order.
+    struct Pending
+    {
+        StateId from;
+        std::string to;
+    };
+    std::vector<Pending> edges;
+
+    size_t pos = 0;
+    std::string open_element; // id of the STE whose children we are in
+    StateId open_id = kInvalidState;
+    while (true) {
+        auto lt = text.find('<', pos);
+        if (lt == std::string::npos)
+            break;
+        auto gt = text.find('>', lt);
+        if (gt == std::string::npos)
+            fatal("ANML: unterminated tag");
+        std::string tag = text.substr(lt + 1, gt - lt - 1);
+        pos = gt + 1;
+        if (tag.rfind("state-transition-element", 0) == 0) {
+            std::string id = attrOf(tag, "id");
+            std::string symbols = attrOf(tag, "symbol-set");
+            std::string start = attrOf(tag, "start");
+            std::string report = attrOf(tag, "report-code");
+            if (id.empty() || symbols.empty())
+                fatal("ANML: STE missing id or symbol-set");
+            StateId s = nfa.addState(
+                SymbolClass::parse(symbols),
+                start.empty() ? StartKind::None : parseStart(start));
+            if (!report.empty())
+                nfa.setReport(s, static_cast<uint32_t>(
+                                     std::stoul(report)));
+            if (name_to_id.count(id))
+                fatal("ANML: duplicate element id '%s'", id.c_str());
+            name_to_id[id] = s;
+            if (tag.back() != '/')
+                open_id = s;
+        } else if (tag.rfind("activate-on-match", 0) == 0) {
+            if (open_id == kInvalidState)
+                fatal("ANML: activate-on-match outside an element");
+            edges.push_back({open_id, attrOf(tag, "element")});
+        } else if (tag == "/state-transition-element") {
+            open_id = kInvalidState;
+        }
+        // Other tags (<anml>, <automata-network>, closers) are skipped.
+    }
+
+    for (const auto &e : edges) {
+        auto it = name_to_id.find(e.to);
+        if (it == name_to_id.end())
+            fatal("ANML: edge to unknown element '%s'", e.to.c_str());
+        nfa.addEdge(e.from, it->second);
+    }
+    nfa.validate();
+    return nfa;
+}
+
+} // namespace crispr::automata

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ANML-style XML serialisation of homogeneous automata (the Automata
+ * Processor's network markup language). A pragmatic subset: one
+ * <state-transition-element> per state with symbol-set, start kind,
+ * report code, and <activate-on-match> children.
+ */
+
+#ifndef CRISPR_AUTOMATA_ANML_HPP_
+#define CRISPR_AUTOMATA_ANML_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "automata/nfa.hpp"
+
+namespace crispr::automata {
+
+/** Serialise an automaton as ANML-style XML. */
+void writeAnml(std::ostream &out, const Nfa &nfa,
+               const std::string &network_id = "offtarget");
+
+/** Serialise to a string. */
+std::string anmlString(const Nfa &nfa,
+                       const std::string &network_id = "offtarget");
+
+/**
+ * Parse ANML-style XML produced by writeAnml() (round-trip safe).
+ * Raises FatalError on malformed input.
+ */
+Nfa readAnml(std::istream &in);
+
+/** Parse from a string. */
+Nfa anmlFromString(const std::string &text);
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_ANML_HPP_

@@ -1,0 +1,159 @@
+#include "automata/builders.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+
+namespace {
+
+/**
+ * Shared shape logic between the builder and the closed-form counter.
+ * Position indices below are 1-based (position i consumes masks[i-1]).
+ */
+struct Grid
+{
+    size_t len;       // pattern length
+    int d;            // mismatch budget
+    size_t lo, hi;    // 0-based half-open mismatch-allowed range
+
+    bool
+    allowed(size_t i) const // 1-based position
+    {
+        return i - 1 >= lo && i - 1 < hi;
+    }
+
+    /** Number of mismatch-allowed positions among 1..i. */
+    size_t
+    allowedUpTo(size_t i) const
+    {
+        size_t a = std::min(i, hi);
+        return a > lo ? a - lo : 0;
+    }
+
+    /** Does the "matched position i with k mismatches so far" state exist? */
+    bool
+    mExists(size_t i, int k) const
+    {
+        return k >= 0 && k <= d &&
+               static_cast<size_t>(k) <= allowedUpTo(i - 1);
+    }
+
+    /** Does the "mismatched position i, k mismatches total" state exist? */
+    bool
+    xExists(size_t i, int k) const
+    {
+        return k >= 1 && k <= d && allowed(i) &&
+               static_cast<size_t>(k - 1) <= allowedUpTo(i - 1);
+    }
+};
+
+} // namespace
+
+Nfa
+buildHammingNfa(const HammingSpec &spec)
+{
+    const size_t len = spec.masks.size();
+    if (len == 0)
+        fatal("cannot build an automaton for an empty pattern");
+    for (auto m : spec.masks)
+        if ((m & 0xf) == 0)
+            fatal("pattern contains an unmatchable (empty) position");
+    if (spec.maxMismatches < 0)
+        fatal("negative mismatch budget");
+
+    Grid g{len, spec.maxMismatches, spec.mismatchLo,
+           std::min(spec.mismatchHi, len)};
+    if (g.lo > g.hi)
+        fatal("mismatch range is inverted");
+
+    Nfa nfa;
+    // m_id[i-1][k] / x_id[i-1][k]: state ids of the grid nodes.
+    std::vector<std::vector<StateId>> m_id(len), x_id(len);
+    for (size_t i = 1; i <= len; ++i) {
+        m_id[i - 1].assign(g.d + 1, kInvalidState);
+        x_id[i - 1].assign(g.d + 1, kInvalidState);
+        for (int k = 0; k <= g.d; ++k) {
+            StartKind start = (i == 1) ? StartKind::AllInput
+                                       : StartKind::None;
+            if (g.mExists(i, k)) {
+                m_id[i - 1][k] = nfa.addState(
+                    SymbolClass::match(spec.masks[i - 1]), start);
+            }
+            if (g.xExists(i, k)) {
+                x_id[i - 1][k] = nfa.addState(
+                    SymbolClass::mismatch(spec.masks[i - 1]), start);
+            }
+        }
+    }
+
+    auto connect = [&](StateId from, size_t i, int k) {
+        // Successors of a node that has consumed position i with k
+        // mismatches in total.
+        if (i == len)
+            return;
+        if (m_id[i][k] != kInvalidState)
+            nfa.addEdge(from, m_id[i][k]);
+        if (k + 1 <= g.d && x_id[i][k + 1] != kInvalidState)
+            nfa.addEdge(from, x_id[i][k + 1]);
+    };
+
+    for (size_t i = 1; i <= len; ++i) {
+        for (int k = 0; k <= g.d; ++k) {
+            if (m_id[i - 1][k] != kInvalidState)
+                connect(m_id[i - 1][k], i, k);
+            if (x_id[i - 1][k] != kInvalidState)
+                connect(x_id[i - 1][k], i, k);
+        }
+    }
+
+    for (int k = 0; k <= g.d; ++k) {
+        if (m_id[len - 1][k] != kInvalidState)
+            nfa.setReport(m_id[len - 1][k], spec.reportId);
+        if (x_id[len - 1][k] != kInvalidState)
+            nfa.setReport(x_id[len - 1][k], spec.reportId);
+    }
+
+    nfa.validate();
+    return nfa;
+}
+
+Nfa
+buildExactNfa(std::span<const genome::BaseMask> masks, uint32_t report_id)
+{
+    HammingSpec spec;
+    spec.masks.assign(masks.begin(), masks.end());
+    spec.maxMismatches = 0;
+    spec.reportId = report_id;
+    return buildHammingNfa(spec);
+}
+
+Nfa
+unionNfas(std::span<const Nfa> nfas)
+{
+    Nfa out;
+    for (const Nfa &n : nfas)
+        out.merge(n);
+    return out;
+}
+
+size_t
+hammingNfaStates(size_t pattern_len, int max_mismatches, size_t mismatch_lo,
+                 size_t mismatch_hi)
+{
+    Grid g{pattern_len, max_mismatches, mismatch_lo,
+           std::min(mismatch_hi, pattern_len)};
+    size_t n = 0;
+    for (size_t i = 1; i <= pattern_len; ++i) {
+        for (int k = 0; k <= g.d; ++k) {
+            if (g.mExists(i, k))
+                ++n;
+            if (g.xExists(i, k))
+                ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace crispr::automata

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Automata constructions for off-target search. The central one is the
+ * mismatch-matrix Hamming automaton (the paper's Figure-2-style design):
+ * a grid of (mismatch-count x position) states where each consumed
+ * pattern position either matches (stay in row k) or mismatches (drop to
+ * row k+1), reporting at the last column of every row k <= d.
+ */
+
+#ifndef CRISPR_AUTOMATA_BUILDERS_HPP_
+#define CRISPR_AUTOMATA_BUILDERS_HPP_
+
+#include <span>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "genome/alphabet.hpp"
+
+namespace crispr::automata {
+
+/** Parameters of a Hamming pattern automaton. */
+struct HammingSpec
+{
+    /** Pattern, one IUPAC mask per position. */
+    std::vector<genome::BaseMask> masks;
+    /** Maximum number of mismatches tolerated. */
+    int maxMismatches = 0;
+    /**
+     * Half-open range [lo, hi) of pattern positions where mismatches are
+     * permitted. Positions outside must match their mask exactly (used
+     * to pin the PAM). Defaults to the whole pattern.
+     */
+    size_t mismatchLo = 0;
+    size_t mismatchHi = SIZE_MAX;
+    /** Report id attached to every accepting state. */
+    uint32_t reportId = 0;
+};
+
+/**
+ * Build the mismatch-matrix homogeneous NFA for a spec. Start-anywhere
+ * semantics (all-input starts). State count is O(L * d).
+ */
+Nfa buildHammingNfa(const HammingSpec &spec);
+
+/** Exact-match chain automaton (Hamming with d = 0). */
+Nfa buildExactNfa(std::span<const genome::BaseMask> masks,
+                  uint32_t report_id);
+
+/**
+ * Disjoint union of many automata (multi-pattern database). Report ids
+ * are preserved from the inputs.
+ */
+Nfa unionNfas(std::span<const Nfa> nfas);
+
+/**
+ * Closed-form state count of buildHammingNfa for capacity planning
+ * (must equal buildHammingNfa(spec).size(); tested).
+ */
+size_t hammingNfaStates(size_t pattern_len, int max_mismatches,
+                        size_t mismatch_lo, size_t mismatch_hi);
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_BUILDERS_HPP_

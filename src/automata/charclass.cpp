@@ -1,0 +1,49 @@
+#include "automata/charclass.hpp"
+
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+
+std::string
+SymbolClass::str() const
+{
+    if (bits_ == 0x1f)
+        return "*";
+    static constexpr char names[] = {'A', 'C', 'G', 'T', 'N'};
+    std::string inner;
+    for (int b = 0; b < 5; ++b)
+        if ((bits_ >> b) & 1u)
+            inner.push_back(names[b]);
+    if (inner.size() == 1)
+        return inner;
+    return "[" + inner + "]";
+}
+
+SymbolClass
+SymbolClass::parse(const std::string &text)
+{
+    if (text == "*")
+        return any();
+    std::string inner = text;
+    if (!inner.empty() && inner.front() == '[') {
+        if (inner.back() != ']')
+            fatal("unterminated symbol class '%s'", text.c_str());
+        inner = inner.substr(1, inner.size() - 2);
+    }
+    uint8_t bits = 0;
+    for (char c : inner) {
+        switch (c) {
+          case 'A': case 'a': bits |= 1u << 0; break;
+          case 'C': case 'c': bits |= 1u << 1; break;
+          case 'G': case 'g': bits |= 1u << 2; break;
+          case 'T': case 't': bits |= 1u << 3; break;
+          case 'N': case 'n': bits |= 1u << 4; break;
+          default:
+            fatal("invalid symbol-class character '%c' in '%s'", c,
+                  text.c_str());
+        }
+    }
+    return SymbolClass(bits);
+}
+
+} // namespace crispr::automata

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Symbol classes over the 5-symbol genome alphabet {A,C,G,T,N}.
+ *
+ * The library's automata are *homogeneous* (ANML / Automata-Processor
+ * style): the matching condition lives on the state, as a SymbolClass.
+ * Off-target semantics baked into the class constructors:
+ *  - match(m):    genome symbol matches pattern mask m; N never matches.
+ *  - mismatch(m): complement of match(m) over ACGT, *plus* N — an
+ *    unresolved genome base always counts as a mismatch.
+ */
+
+#ifndef CRISPR_AUTOMATA_CHARCLASS_HPP_
+#define CRISPR_AUTOMATA_CHARCLASS_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "genome/alphabet.hpp"
+
+namespace crispr::automata {
+
+/** Set of genome symbol codes, one bit per code (bit 4 = N). */
+class SymbolClass
+{
+  public:
+    constexpr SymbolClass() = default;
+    constexpr explicit SymbolClass(uint8_t bits) : bits_(bits & 0x1f) {}
+
+    /** Class matching exactly the bases of an IUPAC mask (never N). */
+    static constexpr SymbolClass
+    match(genome::BaseMask m)
+    {
+        return SymbolClass(m & 0xf);
+    }
+
+    /** Class matching everything a pattern position does NOT (incl. N). */
+    static constexpr SymbolClass
+    mismatch(genome::BaseMask m)
+    {
+        return SymbolClass(static_cast<uint8_t>((~m & 0xf) | 0x10));
+    }
+
+    /** Class matching every genome symbol, including N. */
+    static constexpr SymbolClass any() { return SymbolClass(0x1f); }
+
+    /** Class matching nothing. */
+    static constexpr SymbolClass none() { return SymbolClass(0); }
+
+    constexpr bool
+    matches(uint8_t code) const
+    {
+        return ((bits_ >> code) & 1u) != 0;
+    }
+
+    constexpr uint8_t bits() const { return bits_; }
+    constexpr bool empty() const { return bits_ == 0; }
+
+    constexpr SymbolClass
+    operator|(SymbolClass o) const
+    {
+        return SymbolClass(static_cast<uint8_t>(bits_ | o.bits_));
+    }
+
+    constexpr SymbolClass
+    operator&(SymbolClass o) const
+    {
+        return SymbolClass(static_cast<uint8_t>(bits_ & o.bits_));
+    }
+
+    constexpr bool operator==(const SymbolClass &) const = default;
+
+    /** Render as a bracket expression, e.g. "[ACG]" or "[CN]". */
+    std::string str() const;
+
+    /**
+     * Parse a bracket expression produced by str(). Accepts single
+     * letters A C G T N and "[..]" groups; '*' means any().
+     */
+    static SymbolClass parse(const std::string &text);
+
+  private:
+    uint8_t bits_ = 0;
+};
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_CHARCLASS_HPP_

@@ -1,0 +1,212 @@
+#include "automata/dfa.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+
+std::span<const uint32_t>
+Dfa::reportsOf(uint32_t state) const
+{
+    return {reportIds_.data() + reportBegin_[state],
+            reportIds_.data() + reportBegin_[state + 1]};
+}
+
+uint32_t
+Dfa::scan(std::span<const uint8_t> input, const ReportSink &sink,
+          uint64_t base_offset, uint32_t from_state) const
+{
+    uint32_t cur = from_state;
+    for (size_t t = 0; t < input.size(); ++t) {
+        cur = trans_[cur * kAlphabet + input[t]];
+        if (accepting(cur) && sink) {
+            for (uint32_t id : reportsOf(cur))
+                sink(id, base_offset + t);
+        }
+    }
+    return cur;
+}
+
+std::vector<ReportEvent>
+Dfa::scanAll(const genome::Sequence &seq) const
+{
+    std::vector<ReportEvent> events;
+    scan(seq.codes(), [&](uint32_t id, uint64_t end) {
+        events.push_back(ReportEvent{id, end});
+    });
+    return events;
+}
+
+size_t
+Dfa::tableBytes() const
+{
+    return trans_.size() * sizeof(uint32_t) +
+           reportBegin_.size() * sizeof(uint32_t) +
+           reportIds_.size() * sizeof(uint32_t);
+}
+
+Dfa
+Dfa::fromTables(uint32_t num_states, std::vector<uint32_t> trans,
+                const std::vector<std::vector<uint32_t>> &reports)
+{
+    CRISPR_ASSERT(trans.size() ==
+                  static_cast<size_t>(num_states) * kAlphabet);
+    CRISPR_ASSERT(reports.size() == num_states);
+    Dfa d;
+    d.numStates_ = num_states;
+    d.trans_ = std::move(trans);
+    d.reportBegin_.assign(num_states + 1, 0);
+    for (uint32_t s = 0; s < num_states; ++s) {
+        d.reportBegin_[s + 1] =
+            d.reportBegin_[s] + static_cast<uint32_t>(reports[s].size());
+    }
+    d.reportIds_.reserve(d.reportBegin_[num_states]);
+    for (uint32_t s = 0; s < num_states; ++s) {
+        auto sorted = reports[s];
+        std::sort(sorted.begin(), sorted.end());
+        sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                     sorted.end());
+        // CSR offsets were computed from the pre-dedup sizes; rebuild if
+        // dedup removed anything.
+        for (uint32_t id : sorted)
+            d.reportIds_.push_back(id);
+        d.reportBegin_[s + 1] =
+            static_cast<uint32_t>(d.reportIds_.size());
+    }
+    return d;
+}
+
+namespace {
+
+/** Hash for the bit-set keys of the subset-construction map. */
+struct VecHash
+{
+    size_t
+    operator()(const std::vector<uint64_t> &v) const
+    {
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (uint64_t w : v) {
+            h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        }
+        return static_cast<size_t>(h);
+    }
+};
+
+} // namespace
+
+std::optional<Dfa>
+subsetConstruct(const Nfa &nfa, uint32_t max_states)
+{
+    const size_t n = nfa.size();
+    const size_t words = (n + 63) / 64;
+    constexpr int kAlpha = Dfa::kAlphabet;
+
+    // Per-symbol class masks and spontaneous-start masks.
+    std::vector<std::vector<uint64_t>> cmask(
+        kAlpha, std::vector<uint64_t>(words, 0));
+    std::vector<uint64_t> all_start(words, 0), sod_start(words, 0);
+    auto set_bit = [](std::vector<uint64_t> &v, size_t i) {
+        v[i >> 6] |= 1ULL << (i & 63);
+    };
+    for (StateId s = 0; s < n; ++s) {
+        const auto &st = nfa.state(s);
+        for (uint8_t c = 0; c < kAlpha; ++c)
+            if (st.cls.matches(c))
+                set_bit(cmask[c], s);
+        if (st.start == StartKind::AllInput)
+            set_bit(all_start, s);
+        if (st.start == StartKind::StartOfData)
+            set_bit(sod_start, s);
+    }
+
+    // DFA states are sets of NFA states. Two initial flavours: set index
+    // 0 is the true initial state (start-of-data states still enabled);
+    // every other state uses only all-input spontaneous starts. To keep
+    // the construction uniform we tag the initial state with an extra
+    // bit appended past the NFA states.
+    const size_t tag_words = (n + 1 + 63) / 64;
+    auto make_key = [&](const std::vector<uint64_t> &set, bool initial) {
+        std::vector<uint64_t> key(tag_words, 0);
+        std::copy(set.begin(), set.end(), key.begin());
+        if (initial)
+            key[n >> 6] |= 1ULL << (n & 63);
+        return key;
+    };
+
+    std::unordered_map<std::vector<uint64_t>, uint32_t, VecHash> ids;
+    std::vector<std::vector<uint64_t>> sets;   // NFA-state set per DFA id
+    std::vector<char> is_initial;              // SOD-enabled flag per id
+    std::vector<uint32_t> trans;
+    std::vector<std::vector<uint32_t>> reports;
+
+    std::vector<uint64_t> empty(words, 0);
+    ids.emplace(make_key(empty, true), 0);
+    sets.push_back(empty);
+    is_initial.push_back(1);
+
+    std::vector<uint64_t> succ(words), next(words);
+    for (uint32_t cur = 0; cur < sets.size(); ++cur) {
+        if (trans.size() < (cur + 1) * static_cast<size_t>(kAlpha))
+            trans.resize((cur + 1) * kAlpha, 0);
+
+        // Successor-enabled set of `cur` (symbol independent part).
+        std::fill(succ.begin(), succ.end(), 0);
+        const auto &set = sets[cur];
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t bits = set[w];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                const StateId s = static_cast<StateId>(w * 64 + b);
+                for (StateId t : nfa.state(s).out)
+                    set_bit(succ, t);
+            }
+        }
+        for (size_t w = 0; w < words; ++w) {
+            succ[w] |= all_start[w];
+            if (is_initial[cur])
+                succ[w] |= sod_start[w];
+        }
+
+        for (uint8_t c = 0; c < kAlpha; ++c) {
+            for (size_t w = 0; w < words; ++w)
+                next[w] = succ[w] & cmask[c][w];
+            auto key = make_key(next, false);
+            auto [it, inserted] =
+                ids.emplace(std::move(key),
+                            static_cast<uint32_t>(sets.size()));
+            if (inserted) {
+                if (sets.size() >= max_states)
+                    return std::nullopt;
+                sets.push_back(next);
+                is_initial.push_back(0);
+            }
+            trans[cur * kAlpha + c] = it->second;
+        }
+    }
+
+    // Report sets per DFA state.
+    const uint32_t num_states = static_cast<uint32_t>(sets.size());
+    trans.resize(static_cast<size_t>(num_states) * kAlpha, 0);
+    reports.resize(num_states);
+    for (uint32_t q = 0; q < num_states; ++q) {
+        const auto &set = sets[q];
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t bits = set[w];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                const StateId s = static_cast<StateId>(w * 64 + b);
+                if (nfa.state(s).report)
+                    reports[q].push_back(nfa.state(s).reportId);
+            }
+        }
+    }
+
+    return Dfa::fromTables(num_states, std::move(trans), reports);
+}
+
+} // namespace crispr::automata

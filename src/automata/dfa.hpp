@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic automata: subset construction from a homogeneous NFA,
+ * a dense 5-symbol transition table, and a streaming scanner. This is
+ * the fast path of the HScan CPU engine (one table lookup per base).
+ */
+
+#ifndef CRISPR_AUTOMATA_DFA_HPP_
+#define CRISPR_AUTOMATA_DFA_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "automata/interp.hpp"
+#include "automata/nfa.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::automata {
+
+/**
+ * A DFA over the 5-symbol genome alphabet. State 0 is the initial state
+ * (the "no pattern progress" state; with start-anywhere patterns the
+ * automaton never dies, it falls back toward state 0).
+ */
+class Dfa
+{
+  public:
+    static constexpr int kAlphabet = genome::kNumSymbols;
+
+    /** Number of states. */
+    uint32_t size() const { return numStates_; }
+
+    /** Transition function. */
+    uint32_t
+    next(uint32_t state, uint8_t symbol) const
+    {
+        return trans_[state * kAlphabet + symbol];
+    }
+
+    /** True iff the state reports at least one pattern. */
+    bool
+    accepting(uint32_t state) const
+    {
+        return reportBegin_[state] != reportBegin_[state + 1];
+    }
+
+    /** Report ids attached to a state (sorted, unique). */
+    std::span<const uint32_t> reportsOf(uint32_t state) const;
+
+    /**
+     * Scan `input`, invoking `sink` per (report id, end index) with
+     * `base_offset` added. Resumable: pass the returned state back in.
+     * @return the DFA state after the last symbol.
+     */
+    uint32_t scan(std::span<const uint8_t> input, const ReportSink &sink,
+                  uint64_t base_offset = 0, uint32_t from_state = 0) const;
+
+    /** Collect all events of a whole-sequence scan. */
+    std::vector<ReportEvent> scanAll(const genome::Sequence &seq) const;
+
+    /** Memory footprint of the transition/report tables in bytes. */
+    size_t tableBytes() const;
+
+    /** Construct directly from tables (used by the builders below). */
+    static Dfa fromTables(uint32_t num_states, std::vector<uint32_t> trans,
+                          const std::vector<std::vector<uint32_t>> &reports);
+
+  private:
+    uint32_t numStates_ = 0;
+    std::vector<uint32_t> trans_;       // numStates * kAlphabet
+    std::vector<uint32_t> reportBegin_; // numStates + 1 (CSR offsets)
+    std::vector<uint32_t> reportIds_;   // CSR payload
+};
+
+/**
+ * Determinize a homogeneous NFA by subset construction.
+ * @param max_states abort threshold to bound the (worst-case
+ *        exponential) blow-up.
+ * @return std::nullopt if the cap was exceeded.
+ */
+std::optional<Dfa> subsetConstruct(const Nfa &nfa, uint32_t max_states);
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_DFA_HPP_

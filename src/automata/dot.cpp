@@ -1,0 +1,44 @@
+#include "automata/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace crispr::automata {
+
+void
+writeDot(std::ostream &out, const Nfa &nfa, const std::string &name)
+{
+    out << "digraph \"" << name << "\" {\n";
+    out << "  rankdir=LR;\n";
+    out << "  node [fontname=\"monospace\"];\n";
+    for (StateId s = 0; s < nfa.size(); ++s) {
+        const auto &st = nfa.state(s);
+        out << "  q" << s << " [label=\"q" << s << "\\n"
+            << st.cls.str() << "\"";
+        if (st.report)
+            out << ", shape=doublecircle";
+        else if (st.start != StartKind::None)
+            out << ", shape=diamond";
+        else
+            out << ", shape=circle";
+        if (st.start == StartKind::AllInput)
+            out << ", style=filled, fillcolor=lightblue";
+        else if (st.start == StartKind::StartOfData)
+            out << ", style=filled, fillcolor=lightyellow";
+        out << "];\n";
+    }
+    for (StateId s = 0; s < nfa.size(); ++s)
+        for (StateId t : nfa.state(s).out)
+            out << "  q" << s << " -> q" << t << ";\n";
+    out << "}\n";
+}
+
+std::string
+dotString(const Nfa &nfa, const std::string &name)
+{
+    std::ostringstream os;
+    writeDot(os, nfa, name);
+    return os.str();
+}
+
+} // namespace crispr::automata

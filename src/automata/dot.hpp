@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Graphviz DOT export of homogeneous automata, for visualising the
+ * designs (the automata_zoo example emits these next to the ANML).
+ */
+
+#ifndef CRISPR_AUTOMATA_DOT_HPP_
+#define CRISPR_AUTOMATA_DOT_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "automata/nfa.hpp"
+
+namespace crispr::automata {
+
+/** Write `dot` source for the automaton; start states are diamonds,
+ *  reporting states double circles; labels are the symbol classes. */
+void writeDot(std::ostream &out, const Nfa &nfa,
+              const std::string &name = "automaton");
+
+/** Render to a string. */
+std::string dotString(const Nfa &nfa,
+                      const std::string &name = "automaton");
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_DOT_HPP_

@@ -1,0 +1,242 @@
+#include "automata/edit.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+
+namespace {
+
+/** Shared rule predicates between the builder and the DP reference. */
+struct Rules
+{
+    const EditSpec &spec;
+    size_t len;
+    size_t lo, hi;
+
+    explicit Rules(const EditSpec &s)
+        : spec(s), len(s.masks.size()), lo(s.editLo),
+          hi(std::min(s.editHi, s.masks.size()))
+    {
+    }
+
+    /** Position j (0-based) may be substituted or deleted. */
+    bool
+    editable(size_t j) const
+    {
+        return j >= lo && j < hi;
+    }
+
+    /** Insertion allowed with i pattern positions consumed. */
+    bool
+    insertionAt(size_t i) const
+    {
+        return i >= 1 && i <= len - 1 && i >= lo && i < hi;
+    }
+
+    /** Positions i..len-1 can all be deleted. */
+    bool
+    suffixDeletable(size_t i) const
+    {
+        for (size_t j = i; j < len; ++j)
+            if (!editable(j))
+                return false;
+        return true;
+    }
+};
+
+void
+validateSpec(const EditSpec &spec)
+{
+    if (spec.masks.empty())
+        fatal("cannot build an automaton for an empty pattern");
+    for (auto m : spec.masks)
+        if ((m & 0xf) == 0)
+            fatal("pattern contains an unmatchable (empty) position");
+    if (spec.maxMismatches < 0 || spec.maxBulges < 0)
+        fatal("negative edit budget");
+    if (spec.editLo > std::min(spec.editHi, spec.masks.size()))
+        fatal("edit window is inverted");
+}
+
+} // namespace
+
+Nfa
+buildEditNfa(const EditSpec &spec)
+{
+    validateSpec(spec);
+    const Rules rules(spec);
+    const size_t len = rules.len;
+    const int d = spec.maxMismatches;
+    const int bmax = spec.maxBulges;
+
+    Nfa nfa;
+    // Node key: (type, consumed, mismatches, bulges).
+    enum Type : int { kMatch, kSubst, kInsert };
+    using Key = std::tuple<int, size_t, int, int>;
+    std::map<Key, StateId> ids;
+    std::deque<Key> work;
+
+    auto nodeOf = [&](int type, size_t i, int m, int b,
+                      bool start) -> StateId {
+        Key key{type, i, m, b};
+        auto it = ids.find(key);
+        if (it != ids.end()) {
+            if (start)
+                nfa.state(it->second).start = StartKind::AllInput;
+            return it->second;
+        }
+        SymbolClass cls;
+        switch (type) {
+          case kMatch:
+            cls = SymbolClass::match(spec.masks[i - 1]);
+            break;
+          case kSubst:
+            cls = SymbolClass::mismatch(spec.masks[i - 1]);
+            break;
+          default:
+            cls = SymbolClass::any();
+            break;
+        }
+        StateId s = nfa.addState(
+            cls, start ? StartKind::AllInput : StartKind::None);
+        // Accept if the remaining suffix can be deleted in budget.
+        if (rules.suffixDeletable(i) &&
+            b + static_cast<int>(len - i) <= bmax) {
+            nfa.setReport(s, spec.reportId);
+        }
+        ids.emplace(key, s);
+        work.push_back(key);
+        return s;
+    };
+
+    // Consume-next helper: from configuration (i, m, b), connect (or
+    // start-enable) every "delete k, then consume position i+k" target.
+    auto expandConsume = [&](size_t i, int m, int b, StateId from,
+                             bool as_start) {
+        for (size_t k = 0;; ++k) {
+            const int nb = b + static_cast<int>(k);
+            if (nb > bmax || i + k >= len)
+                break;
+            // positions i .. i+k-1 must be deletable.
+            if (k > 0 && !rules.editable(i + k - 1))
+                break;
+            const size_t consume = i + k; // 0-based position consumed
+            // Match.
+            {
+                StateId t =
+                    nodeOf(kMatch, consume + 1, m, nb, as_start);
+                if (!as_start)
+                    nfa.addEdge(from, t);
+            }
+            // Substitution.
+            if (rules.editable(consume) && m + 1 <= d) {
+                StateId t =
+                    nodeOf(kSubst, consume + 1, m + 1, nb, as_start);
+                if (!as_start)
+                    nfa.addEdge(from, t);
+            }
+        }
+    };
+
+    // Start configurations: leading deletions then first consumption.
+    expandConsume(0, 0, 0, kInvalidState, /*as_start=*/true);
+
+    // BFS over reachable configurations.
+    while (!work.empty()) {
+        auto [type, i, m, b] = work.front();
+        work.pop_front();
+        const StateId from = ids.at(Key{type, i, m, b});
+        expandConsume(i, m, b, from, false);
+        if (rules.insertionAt(i) && b + 1 <= bmax) {
+            StateId t = nodeOf(kInsert, i, m, b + 1, false);
+            nfa.addEdge(from, t);
+        }
+    }
+
+    nfa.trim();
+    nfa.validate();
+    return nfa;
+}
+
+std::vector<ReportEvent>
+editDistanceScan(const genome::Sequence &text, const EditSpec &spec)
+{
+    validateSpec(spec);
+    const Rules rules(spec);
+    const size_t len = rules.len;
+    const int d = spec.maxMismatches;
+    const int bmax = spec.maxBulges;
+    constexpr int kInf = 1 << 20;
+
+    // dp[b][i]: minimum substitutions aligning pattern prefix of length
+    // i against a window ending at the current text position, using at
+    // most b bulges.
+    std::vector<std::vector<int>> prev(
+        bmax + 1, std::vector<int>(len + 1, kInf));
+    std::vector<std::vector<int>> cur = prev;
+
+    // Initial (virtual t = -1) column: i leading deletions cost i
+    // bulges and 0 substitutions.
+    for (int b = 0; b <= bmax; ++b) {
+        prev[b][0] = 0;
+        for (size_t i = 1; i <= len; ++i) {
+            if (static_cast<int>(i) <= b && rules.editable(i - 1) &&
+                prev[b][i - 1] == 0) {
+                prev[b][i] = 0;
+            }
+        }
+    }
+    // (The chain above requires every deleted prefix position to be
+    // editable; prev[b][i-1]==0 propagates that.)
+
+    std::vector<ReportEvent> events;
+    for (size_t t = 0; t < text.size(); ++t) {
+        const uint8_t c = text[t];
+        for (int b = 0; b <= bmax; ++b) {
+            cur[b][0] = 0; // free window start
+            for (size_t i = 1; i <= len; ++i) {
+                int best = kInf;
+                // Match / substitution of position i-1.
+                const int via = prev[b][i - 1];
+                if (via < kInf) {
+                    if (genome::maskMatches(spec.masks[i - 1], c))
+                        best = std::min(best, via);
+                    else if (rules.editable(i - 1))
+                        best = std::min(best, via + 1);
+                }
+                // Insertion (consume text, keep i).
+                if (b > 0 && rules.insertionAt(i))
+                    best = std::min(best, prev[b - 1][i]);
+                // Deletion (skip position i-1, same text column).
+                if (b > 0 && rules.editable(i - 1))
+                    best = std::min(best, cur[b - 1][i - 1]);
+                cur[b][i] = best;
+            }
+        }
+        if (cur[bmax][len] <= d)
+            events.push_back(
+                ReportEvent{spec.reportId, static_cast<uint64_t>(t)});
+        std::swap(prev, cur);
+    }
+    return events;
+}
+
+std::vector<ReportEvent>
+editDistanceScan(const genome::Sequence &text,
+                 std::span<const EditSpec> specs)
+{
+    std::vector<ReportEvent> events;
+    for (const EditSpec &spec : specs) {
+        auto one = editDistanceScan(text, spec);
+        events.insert(events.end(), one.begin(), one.end());
+    }
+    normalizeEvents(events);
+    return events;
+}
+
+} // namespace crispr::automata

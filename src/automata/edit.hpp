@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Edit-distance (bulge-tolerant) pattern automata — the natural
+ * extension of the paper's Hamming formulation. CRISPR terminology:
+ * a "DNA bulge" is an extra genome base (insertion against the guide),
+ * an "RNA bulge" a missing one (deletion). Budgets are typed: up to
+ * `maxMismatches` substitutions and up to `maxBulges` indels, all
+ * confined to the editable window (the PAM stays exact and rigid).
+ *
+ * The construction is a homogeneous Levenshtein automaton:
+ *  - M/X nodes consume a pattern position by match / substitution;
+ *  - I nodes consume a genome symbol without advancing the pattern
+ *    (insertion), allowed strictly inside the pattern;
+ *  - deletions are epsilon-compressed into "skip-then-consume" edges
+ *    and into leading/trailing deletion handling at start/accept.
+ *
+ * `editDistanceScan` is the DP golden reference with exactly the same
+ * transition rules; the two are cross-validated in the test-suite.
+ */
+
+#ifndef CRISPR_AUTOMATA_EDIT_HPP_
+#define CRISPR_AUTOMATA_EDIT_HPP_
+
+#include <vector>
+
+#include "automata/interp.hpp"
+#include "automata/nfa.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::automata {
+
+/** Parameters of an edit-distance pattern automaton. */
+struct EditSpec
+{
+    /** Pattern, one IUPAC mask per position. */
+    std::vector<genome::BaseMask> masks;
+    /** Maximum substitutions tolerated. */
+    int maxMismatches = 0;
+    /** Maximum bulges (insertions + deletions) tolerated. */
+    int maxBulges = 0;
+    /**
+     * Half-open range [lo, hi) of positions where edits (substitutions
+     * and deletions; insertions at the boundaries strictly inside it)
+     * are permitted. Defaults to the whole pattern.
+     */
+    size_t editLo = 0;
+    size_t editHi = SIZE_MAX;
+    /** Report id attached to every accepting state. */
+    uint32_t reportId = 0;
+};
+
+/**
+ * Build the homogeneous edit-distance NFA. State count is
+ * O(L * (d+1) * (b+1)); with maxBulges == 0 the result accepts exactly
+ * the language of buildHammingNfa (tested).
+ */
+Nfa buildEditNfa(const EditSpec &spec);
+
+/**
+ * Golden DP scan: emits one event per text position t where some
+ * window ending at t aligns to the pattern within the typed budgets,
+ * under exactly the automaton's transition rules. O(n * L * b) time.
+ */
+std::vector<ReportEvent>
+editDistanceScan(const genome::Sequence &text, const EditSpec &spec);
+
+/** Multi-spec convenience wrapper over editDistanceScan (normalised). */
+std::vector<ReportEvent>
+editDistanceScan(const genome::Sequence &text,
+                 std::span<const EditSpec> specs);
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_EDIT_HPP_

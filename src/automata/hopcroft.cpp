@@ -1,0 +1,147 @@
+#include "automata/hopcroft.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+
+Dfa
+hopcroftMinimize(const Dfa &dfa)
+{
+    const uint32_t n = dfa.size();
+    constexpr int kAlpha = Dfa::kAlphabet;
+    if (n == 0)
+        return dfa;
+
+    // --- Initial partition by report-id set. ---
+    std::map<std::vector<uint32_t>, uint32_t> sig_block;
+    std::vector<uint32_t> block_of(n);
+    for (uint32_t s = 0; s < n; ++s) {
+        std::vector<uint32_t> sig(dfa.reportsOf(s).begin(),
+                                  dfa.reportsOf(s).end());
+        auto [it, inserted] =
+            sig_block.emplace(std::move(sig),
+                              static_cast<uint32_t>(sig_block.size()));
+        block_of[s] = it->second;
+    }
+    uint32_t num_blocks = static_cast<uint32_t>(sig_block.size());
+
+    // --- Inverse transition lists (CSR per symbol). ---
+    std::vector<std::vector<std::vector<uint32_t>>> inv(
+        kAlpha, std::vector<std::vector<uint32_t>>(n));
+    for (uint32_t s = 0; s < n; ++s)
+        for (uint8_t c = 0; c < kAlpha; ++c)
+            inv[c][dfa.next(s, c)].push_back(s);
+
+    // --- Block membership bookkeeping. ---
+    std::vector<std::vector<uint32_t>> members(num_blocks);
+    for (uint32_t s = 0; s < n; ++s)
+        members[block_of[s]].push_back(s);
+
+    // Worklist of (block, symbol) splitters.
+    std::set<std::pair<uint32_t, uint8_t>> work;
+    for (uint32_t b = 0; b < num_blocks; ++b)
+        for (uint8_t c = 0; c < kAlpha; ++c)
+            work.insert({b, c});
+
+    std::vector<uint32_t> touched_blocks;
+    std::vector<std::vector<uint32_t>> moved; // per touched block
+    std::vector<int32_t> touch_idx; // block -> index into moved, or -1
+
+    touch_idx.assign(num_blocks, -1);
+
+    while (!work.empty()) {
+        auto [a, c] = *work.begin();
+        work.erase(work.begin());
+
+        // X = set of states with a c-transition into block `a`.
+        touched_blocks.clear();
+        for (uint32_t q : members[a]) {
+            for (uint32_t p : inv[c][q]) {
+                uint32_t b = block_of[p];
+                if (touch_idx[b] < 0) {
+                    touch_idx[b] =
+                        static_cast<int32_t>(touched_blocks.size());
+                    touched_blocks.push_back(b);
+                    if (moved.size() < touched_blocks.size())
+                        moved.emplace_back();
+                    moved[touch_idx[b]].clear();
+                }
+                moved[touch_idx[b]].push_back(p);
+            }
+        }
+
+        for (uint32_t b : touched_blocks) {
+            auto &hits = moved[touch_idx[b]];
+            std::sort(hits.begin(), hits.end());
+            hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+            touch_idx[b] = -1;
+            if (hits.size() == members[b].size())
+                continue; // whole block goes to X: no split
+
+            // Split block b into (b \ X) and the new block (b ∩ X).
+            const uint32_t nb = num_blocks++;
+            members.emplace_back();
+            touch_idx.push_back(-1);
+            std::vector<uint32_t> keep;
+            keep.reserve(members[b].size() - hits.size());
+            size_t hi = 0;
+            std::sort(members[b].begin(), members[b].end());
+            for (uint32_t s : members[b]) {
+                if (hi < hits.size() && hits[hi] == s) {
+                    ++hi;
+                    members[nb].push_back(s);
+                    block_of[s] = nb;
+                } else {
+                    keep.push_back(s);
+                }
+            }
+            members[b] = std::move(keep);
+
+            // Update worklist (Hopcroft's smaller-half rule).
+            for (uint8_t cc = 0; cc < kAlpha; ++cc) {
+                if (work.count({b, cc})) {
+                    work.insert({nb, cc});
+                } else {
+                    if (members[b].size() <= members[nb].size())
+                        work.insert({b, cc});
+                    else
+                        work.insert({nb, cc});
+                }
+            }
+        }
+    }
+
+    // --- Rebuild the DFA with block 0 = block of the old initial state. ---
+    std::vector<uint32_t> renum(num_blocks, UINT32_MAX);
+    uint32_t next_id = 0;
+    renum[block_of[0]] = next_id++;
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+        if (members[b].empty())
+            continue;
+        if (renum[b] == UINT32_MAX)
+            renum[b] = next_id++;
+    }
+    const uint32_t m = next_id;
+
+    std::vector<uint32_t> trans(static_cast<size_t>(m) * kAlpha, 0);
+    std::vector<std::vector<uint32_t>> reports(m);
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+        if (members[b].empty())
+            continue;
+        const uint32_t q = renum[b];
+        const uint32_t rep = members[b].front();
+        for (uint8_t c = 0; c < kAlpha; ++c)
+            trans[q * kAlpha + c] = renum[block_of[dfa.next(rep, c)]];
+        auto rs = dfa.reportsOf(rep);
+        reports[q].assign(rs.begin(), rs.end());
+    }
+
+    return Dfa::fromTables(m, std::move(trans), reports);
+}
+
+} // namespace crispr::automata

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Hopcroft DFA minimisation. Initial partition distinguishes states by
+ * their exact report-id sets, so minimisation preserves multi-pattern
+ * report semantics, not just accept/reject.
+ */
+
+#ifndef CRISPR_AUTOMATA_HOPCROFT_HPP_
+#define CRISPR_AUTOMATA_HOPCROFT_HPP_
+
+#include "automata/dfa.hpp"
+
+namespace crispr::automata {
+
+/**
+ * Minimise a DFA. The result is language- and report-equivalent; state 0
+ * of the result corresponds to state 0 of the input.
+ */
+Dfa hopcroftMinimize(const Dfa &dfa);
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_HOPCROFT_HPP_

@@ -1,0 +1,141 @@
+#include "automata/interp.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+
+void
+normalizeEvents(std::vector<ReportEvent> &events)
+{
+    std::sort(events.begin(), events.end(),
+              [](const ReportEvent &a, const ReportEvent &b) {
+                  return a.end != b.end ? a.end < b.end
+                                        : a.reportId < b.reportId;
+              });
+    events.erase(std::unique(events.begin(), events.end()), events.end());
+}
+
+namespace {
+
+inline void
+setBit(std::vector<uint64_t> &v, size_t i)
+{
+    v[i >> 6] |= 1ULL << (i & 63);
+}
+
+} // namespace
+
+NfaInterpreter::NfaInterpreter(const Nfa &nfa)
+    : nfa_(nfa), words_((nfa.size() + 63) / 64), atStart_(true)
+{
+    current_.assign(words_, 0);
+    enabled_.assign(words_, 0);
+    classMask_.assign(genome::kNumSymbols, std::vector<uint64_t>(words_, 0));
+    allInputMask_.assign(words_, 0);
+    startOfDataMask_.assign(words_, 0);
+    reportMask_.assign(words_, 0);
+
+    for (StateId s = 0; s < nfa.size(); ++s) {
+        const auto &st = nfa.state(s);
+        for (uint8_t c = 0; c < genome::kNumSymbols; ++c)
+            if (st.cls.matches(c))
+                setBit(classMask_[c], s);
+        if (st.start == StartKind::AllInput)
+            setBit(allInputMask_, s);
+        if (st.start == StartKind::StartOfData) {
+            setBit(startOfDataMask_, s);
+            setBit(allInputMask_, s); // SOD implies enabled at t == 0 only;
+                                      // handled by atStart_ gating below.
+        }
+        if (st.report)
+            setBit(reportMask_, s);
+    }
+    // Remove SOD bits from the steady-state enable mask.
+    for (size_t w = 0; w < words_; ++w)
+        allInputMask_[w] &= ~startOfDataMask_[w];
+}
+
+void
+NfaInterpreter::reset()
+{
+    std::fill(current_.begin(), current_.end(), 0);
+    atStart_ = true;
+    activations_ = 0;
+}
+
+void
+NfaInterpreter::scan(std::span<const uint8_t> input, const ReportSink &sink,
+                     uint64_t base_offset)
+{
+    for (size_t t = 0; t < input.size(); ++t) {
+        const uint8_t c = input[t];
+        CRISPR_ASSERT(c < genome::kNumSymbols);
+
+        // Enabled set: successors of active states plus start states.
+        std::fill(enabled_.begin(), enabled_.end(), 0);
+        for (size_t w = 0; w < words_; ++w) {
+            uint64_t bits = current_[w];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                const StateId s = static_cast<StateId>(w * 64 + b);
+                for (StateId succ : nfa_.state(s).out)
+                    setBit(enabled_, succ);
+            }
+        }
+        for (size_t w = 0; w < words_; ++w) {
+            enabled_[w] |= allInputMask_[w];
+            if (atStart_)
+                enabled_[w] |= startOfDataMask_[w];
+        }
+        atStart_ = false;
+
+        // Activate: enabled AND symbol-class match.
+        const auto &cmask = classMask_[c];
+        bool any_report = false;
+        for (size_t w = 0; w < words_; ++w) {
+            const uint64_t act = enabled_[w] & cmask[w];
+            current_[w] = act;
+            activations_ += static_cast<uint64_t>(std::popcount(act));
+            if (act & reportMask_[w])
+                any_report = true;
+        }
+
+        if (any_report && sink) {
+            for (size_t w = 0; w < words_; ++w) {
+                uint64_t bits = current_[w] & reportMask_[w];
+                while (bits) {
+                    const int b = std::countr_zero(bits);
+                    bits &= bits - 1;
+                    const StateId s = static_cast<StateId>(w * 64 + b);
+                    sink(nfa_.state(s).reportId, base_offset + t);
+                }
+            }
+        }
+    }
+}
+
+std::vector<ReportEvent>
+NfaInterpreter::scanAll(const genome::Sequence &seq)
+{
+    reset();
+    std::vector<ReportEvent> events;
+    scan(seq.codes(), [&](uint32_t id, uint64_t end) {
+        events.push_back(ReportEvent{id, end});
+    });
+    return events;
+}
+
+size_t
+NfaInterpreter::activeCount() const
+{
+    size_t n = 0;
+    for (uint64_t w : current_)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+} // namespace crispr::automata

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reference interpreter for homogeneous NFAs: a bit-vector frontier
+ * updated per input symbol. This is the semantic ground truth every
+ * platform engine is validated against, and the functional core the
+ * FPGA fabric simulator reuses.
+ */
+
+#ifndef CRISPR_AUTOMATA_INTERP_HPP_
+#define CRISPR_AUTOMATA_INTERP_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::automata {
+
+/** A report event: pattern `reportId` matched ending at `end` (the index
+ *  of the last consumed symbol). */
+struct ReportEvent
+{
+    uint32_t reportId;
+    uint64_t end;
+
+    auto operator<=>(const ReportEvent &) const = default;
+};
+
+/** Callback invoked once per (reporting state firing, symbol index). */
+using ReportSink = std::function<void(uint32_t report_id, uint64_t end)>;
+
+/**
+ * Sort events by (end, reportId) and drop duplicates, in place. Engines
+ * may legitimately emit one event per accepting state; the normalised
+ * form (at most one event per (pattern, end)) is what gets compared.
+ */
+void normalizeEvents(std::vector<ReportEvent> &events);
+
+/**
+ * Streaming NFA interpreter. Holds the activation frontier between
+ * scan() calls so an input can be fed in chunks.
+ */
+class NfaInterpreter
+{
+  public:
+    explicit NfaInterpreter(const Nfa &nfa);
+
+    /** Reset to the before-any-input state. */
+    void reset();
+
+    /**
+     * Consume `input` (genome codes), invoking `sink` for every report.
+     * `base_offset` is added to local symbol indices in the events.
+     */
+    void scan(std::span<const uint8_t> input, const ReportSink &sink,
+              uint64_t base_offset = 0);
+
+    /** Convenience: scan a Sequence from offset 0, collecting events. */
+    std::vector<ReportEvent> scanAll(const genome::Sequence &seq);
+
+    /** Number of states currently active (diagnostics). */
+    size_t activeCount() const;
+
+    /**
+     * Total state activations accumulated over all scans since the last
+     * reset (the work metric spatial platforms execute for free).
+     */
+    uint64_t activationCount() const { return activations_; }
+
+  private:
+    const Nfa &nfa_;
+    size_t words_;
+    bool atStart_;
+    uint64_t activations_ = 0;
+    std::vector<uint64_t> current_;  // active after last symbol
+    std::vector<uint64_t> enabled_;  // scratch: enabled for next symbol
+    // Precomputed per-symbol state masks: bit s set iff symbol in cls(s).
+    std::vector<std::vector<uint64_t>> classMask_;
+    std::vector<uint64_t> allInputMask_;
+    std::vector<uint64_t> startOfDataMask_;
+    std::vector<uint64_t> reportMask_;
+};
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_INTERP_HPP_

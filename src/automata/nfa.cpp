@@ -1,0 +1,201 @@
+#include "automata/nfa.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+
+StateId
+Nfa::addState(SymbolClass cls, StartKind start)
+{
+    State s;
+    s.cls = cls;
+    s.start = start;
+    states_.push_back(std::move(s));
+    return static_cast<StateId>(states_.size() - 1);
+}
+
+void
+Nfa::setReport(StateId s, uint32_t report_id)
+{
+    CRISPR_ASSERT(s < states_.size());
+    states_[s].report = true;
+    states_[s].reportId = report_id;
+}
+
+void
+Nfa::addEdge(StateId from, StateId to)
+{
+    CRISPR_ASSERT(from < states_.size() && to < states_.size());
+    states_[from].out.push_back(to);
+}
+
+std::vector<StateId>
+Nfa::startStates() const
+{
+    std::vector<StateId> out;
+    for (StateId s = 0; s < states_.size(); ++s)
+        if (states_[s].start != StartKind::None)
+            out.push_back(s);
+    return out;
+}
+
+std::vector<StateId>
+Nfa::reportStates() const
+{
+    std::vector<StateId> out;
+    for (StateId s = 0; s < states_.size(); ++s)
+        if (states_[s].report)
+            out.push_back(s);
+    return out;
+}
+
+size_t
+Nfa::edgeCount() const
+{
+    size_t n = 0;
+    for (const auto &s : states_)
+        n += s.out.size();
+    return n;
+}
+
+size_t
+Nfa::maxFanOut() const
+{
+    size_t n = 0;
+    for (const auto &s : states_)
+        n = std::max(n, s.out.size());
+    return n;
+}
+
+size_t
+Nfa::maxFanIn() const
+{
+    std::vector<size_t> in(states_.size(), 0);
+    for (const auto &s : states_)
+        for (StateId t : s.out)
+            ++in[t];
+    size_t n = 0;
+    for (size_t v : in)
+        n = std::max(n, v);
+    return n;
+}
+
+int64_t
+Nfa::maxReportId() const
+{
+    int64_t m = -1;
+    for (const auto &s : states_)
+        if (s.report)
+            m = std::max(m, static_cast<int64_t>(s.reportId));
+    return m;
+}
+
+StateId
+Nfa::merge(const Nfa &other)
+{
+    const StateId offset = static_cast<StateId>(states_.size());
+    states_.reserve(states_.size() + other.states_.size());
+    for (const State &s : other.states_) {
+        State copy = s;
+        for (StateId &t : copy.out)
+            t += offset;
+        states_.push_back(std::move(copy));
+    }
+    return offset;
+}
+
+void
+Nfa::trim()
+{
+    const size_t n = states_.size();
+    std::vector<char> fwd(n, 0), bwd(n, 0);
+
+    // Forward reachability from start states.
+    std::deque<StateId> work;
+    for (StateId s = 0; s < n; ++s) {
+        if (states_[s].start != StartKind::None) {
+            fwd[s] = 1;
+            work.push_back(s);
+        }
+    }
+    while (!work.empty()) {
+        StateId s = work.front();
+        work.pop_front();
+        for (StateId t : states_[s].out) {
+            if (!fwd[t]) {
+                fwd[t] = 1;
+                work.push_back(t);
+            }
+        }
+    }
+
+    // Backward reachability from report states.
+    std::vector<std::vector<StateId>> in(n);
+    for (StateId s = 0; s < n; ++s)
+        for (StateId t : states_[s].out)
+            in[t].push_back(s);
+    for (StateId s = 0; s < n; ++s) {
+        if (states_[s].report) {
+            bwd[s] = 1;
+            work.push_back(s);
+        }
+    }
+    while (!work.empty()) {
+        StateId s = work.front();
+        work.pop_front();
+        for (StateId p : in[s]) {
+            if (!bwd[p]) {
+                bwd[p] = 1;
+                work.push_back(p);
+            }
+        }
+    }
+
+    std::vector<StateId> remap(n, kInvalidState);
+    std::vector<State> kept;
+    for (StateId s = 0; s < n; ++s) {
+        if (fwd[s] && bwd[s]) {
+            remap[s] = static_cast<StateId>(kept.size());
+            kept.push_back(states_[s]);
+        }
+    }
+    for (State &s : kept) {
+        std::vector<StateId> out;
+        for (StateId t : s.out)
+            if (remap[t] != kInvalidState)
+                out.push_back(remap[t]);
+        s.out = std::move(out);
+    }
+    states_ = std::move(kept);
+}
+
+void
+Nfa::validate() const
+{
+    for (const State &s : states_) {
+        for (StateId t : s.out) {
+            if (t >= states_.size())
+                panic("NFA edge to out-of-range state %u", t);
+        }
+        if (s.report && s.cls.empty())
+            panic("report state with empty symbol class can never fire");
+    }
+}
+
+NfaStats
+computeStats(const Nfa &nfa)
+{
+    NfaStats st;
+    st.states = nfa.size();
+    st.edges = nfa.edgeCount();
+    st.startStates = nfa.startStates().size();
+    st.reportStates = nfa.reportStates().size();
+    st.maxFanOut = nfa.maxFanOut();
+    st.maxFanIn = nfa.maxFanIn();
+    return st;
+}
+
+} // namespace crispr::automata

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Homogeneous nondeterministic finite automata (the ANML / Automata
+ * Processor model). Every state carries a SymbolClass; a state becomes
+ * active after consuming symbol c at step t iff
+ *
+ *     c is in the state's class  AND
+ *     (some predecessor was active at step t-1, or the state is an
+ *      all-input start, or it is a start-of-data start and t == 0).
+ *
+ * This is the representation all four platform engines consume.
+ */
+
+#ifndef CRISPR_AUTOMATA_NFA_HPP_
+#define CRISPR_AUTOMATA_NFA_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/charclass.hpp"
+
+namespace crispr::automata {
+
+/** Dense state identifier within one Nfa. */
+using StateId = uint32_t;
+
+inline constexpr StateId kInvalidState = 0xffffffffu;
+
+/** How a state can self-activate (independent of predecessors). */
+enum class StartKind : uint8_t
+{
+    None,        //!< only predecessor activation
+    StartOfData, //!< active enable at t == 0 only
+    AllInput,    //!< active enable at every step (start-anywhere)
+};
+
+/** A homogeneous NFA. */
+class Nfa
+{
+  public:
+    /** One homogeneous state. */
+    struct State
+    {
+        SymbolClass cls;
+        StartKind start = StartKind::None;
+        bool report = false;
+        uint32_t reportId = 0;
+        std::vector<StateId> out; //!< successor states
+    };
+
+    Nfa() = default;
+
+    /** Add a state; returns its id. */
+    StateId addState(SymbolClass cls, StartKind start = StartKind::None);
+
+    /** Mark a state as reporting with the given report id. */
+    void setReport(StateId s, uint32_t report_id);
+
+    /** Add an activation edge from `from` to `to`. */
+    void addEdge(StateId from, StateId to);
+
+    size_t size() const { return states_.size(); }
+    bool empty() const { return states_.empty(); }
+
+    const State &state(StateId s) const { return states_[s]; }
+    State &state(StateId s) { return states_[s]; }
+
+    const std::vector<State> &states() const { return states_; }
+
+    /** Ids of all start states (either kind). */
+    std::vector<StateId> startStates() const;
+
+    /** Ids of all reporting states. */
+    std::vector<StateId> reportStates() const;
+
+    /** Total number of activation edges. */
+    size_t edgeCount() const;
+
+    /** Largest out-degree over all states (spatial-fabric fan-out). */
+    size_t maxFanOut() const;
+
+    /** Largest in-degree over all states (spatial-fabric fan-in). */
+    size_t maxFanIn() const;
+
+    /** Highest report id present, or -1 if no report states. */
+    int64_t maxReportId() const;
+
+    /**
+     * Append a disjoint copy of `other`; state ids of the copy are the
+     * originals shifted by the previous size(). Report ids are kept.
+     * @return the id offset applied to `other`'s states.
+     */
+    StateId merge(const Nfa &other);
+
+    /**
+     * Remove states that cannot be reached from any start state or
+     * cannot reach any report state. Report ids are preserved.
+     */
+    void trim();
+
+    /** Validate internal consistency; raises PanicError on corruption. */
+    void validate() const;
+
+  private:
+    std::vector<State> states_;
+};
+
+/** Size/shape statistics for capacity models and the E1 experiment. */
+struct NfaStats
+{
+    size_t states = 0;
+    size_t edges = 0;
+    size_t startStates = 0;
+    size_t reportStates = 0;
+    size_t maxFanOut = 0;
+    size_t maxFanIn = 0;
+};
+
+/** Compute statistics of an automaton. */
+NfaStats computeStats(const Nfa &nfa);
+
+} // namespace crispr::automata
+
+#endif // CRISPR_AUTOMATA_NFA_HPP_

@@ -1,0 +1,54 @@
+#include "baselines/brute.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::baselines {
+
+using automata::HammingSpec;
+using automata::ReportEvent;
+
+int
+windowMismatches(const genome::Sequence &genome, size_t start,
+                 const HammingSpec &spec)
+{
+    const size_t len = spec.masks.size();
+    CRISPR_ASSERT(start + len <= genome.size());
+    const size_t lo = spec.mismatchLo;
+    const size_t hi = std::min(spec.mismatchHi, len);
+    int mismatches = 0;
+    for (size_t j = 0; j < len; ++j) {
+        if (genome::maskMatches(spec.masks[j], genome[start + j]))
+            continue;
+        const bool allowed = j >= lo && j < hi;
+        if (!allowed)
+            return -1;
+        if (++mismatches > spec.maxMismatches)
+            return -1;
+    }
+    return mismatches;
+}
+
+std::vector<ReportEvent>
+bruteForceScan(const genome::Sequence &genome,
+               std::span<const HammingSpec> specs)
+{
+    std::vector<ReportEvent> events;
+    for (const HammingSpec &spec : specs) {
+        const size_t len = spec.masks.size();
+        if (len == 0 || genome.size() < len)
+            continue;
+        for (size_t s = 0; s + len <= genome.size(); ++s) {
+            if (windowMismatches(genome, s, spec) >= 0) {
+                events.push_back(
+                    ReportEvent{spec.reportId,
+                                static_cast<uint64_t>(s + len - 1)});
+            }
+        }
+    }
+    normalizeEvents(events);
+    return events;
+}
+
+} // namespace crispr::baselines

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Golden brute-force verifier: a direct O(genome x pattern) Hamming scan
+ * that defines the ground-truth match set every engine (CPU, GPU, FPGA,
+ * AP, and both baseline tools) is validated against.
+ */
+
+#ifndef CRISPR_BASELINES_BRUTE_HPP_
+#define CRISPR_BASELINES_BRUTE_HPP_
+
+#include <span>
+#include <vector>
+
+#include "automata/builders.hpp"
+#include "automata/interp.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::baselines {
+
+/**
+ * Scan `genome` for every spec: a window starting at s matches when all
+ * exact positions (outside [mismatchLo, mismatchHi)) match their mask
+ * and the mismatch-allowed positions have at most maxMismatches
+ * mismatching positions (a genome N counts as a mismatch; an N at an
+ * exact position disqualifies the window).
+ *
+ * @return events (reportId, end index of the window), sorted by
+ *         (end, reportId), at most one event per (spec, window).
+ */
+std::vector<automata::ReportEvent>
+bruteForceScan(const genome::Sequence &genome,
+               std::span<const automata::HammingSpec> specs);
+
+/**
+ * Mismatch count of one window, or -1 when the window is rejected
+ * (exact-region mismatch or over budget). `start` + pattern length must
+ * be within the genome.
+ */
+int windowMismatches(const genome::Sequence &genome, size_t start,
+                     const automata::HammingSpec &spec);
+
+// normalizeEvents lives in automata/interp.hpp; re-exported here for
+// convenience of baseline users.
+using automata::normalizeEvents;
+
+} // namespace crispr::baselines
+
+#endif // CRISPR_BASELINES_BRUTE_HPP_

@@ -1,0 +1,159 @@
+#include "baselines/casoffinder.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "baselines/brute.hpp"
+
+namespace crispr::baselines {
+
+using automata::HammingSpec;
+using automata::ReportEvent;
+
+namespace {
+
+/** Shape signature: specs sharing it can share the stage-1 PAM scan. */
+struct ShapeKey
+{
+    size_t len;
+    size_t lo;
+    size_t hi;
+    std::vector<genome::BaseMask> exactMasks; // masks outside [lo, hi)
+
+    bool
+    operator<(const ShapeKey &o) const
+    {
+        if (len != o.len)
+            return len < o.len;
+        if (lo != o.lo)
+            return lo < o.lo;
+        if (hi != o.hi)
+            return hi < o.hi;
+        return exactMasks < o.exactMasks;
+    }
+};
+
+ShapeKey
+shapeOf(const HammingSpec &spec)
+{
+    ShapeKey key;
+    key.len = spec.masks.size();
+    key.lo = spec.mismatchLo;
+    key.hi = std::min(spec.mismatchHi, key.len);
+    for (size_t j = 0; j < key.len; ++j) {
+        if (j < key.lo || j >= key.hi)
+            key.exactMasks.push_back(spec.masks[j]);
+    }
+    return key;
+}
+
+} // namespace
+
+double
+GpuDeviceModel::kernelSeconds(const CasOffinderWork &work) const
+{
+    // Stage 1 streams the genome linearly (coalesced).
+    const double stage1 =
+        static_cast<double>(work.genomeBytes) / (memoryGBs * 1e9);
+    // Stage 2 gathers candidate windows (uncoalesced, dominating).
+    const double gather_bytes =
+        static_cast<double>(work.basesCompared); // one byte per probe
+    const double stage2_mem =
+        gather_bytes / (memoryGBs * gatherEfficiency * 1e9);
+    const double stage2_alu =
+        static_cast<double>(work.basesCompared) * compareNsPerBase * 1e-9;
+    const double batches = std::max<double>(
+        1.0, static_cast<double>(work.genomeBytes) /
+                 static_cast<double>(chunkBytes));
+    return stage1 + std::max(stage2_mem, stage2_alu) +
+           batches * launchOverheadS;
+}
+
+double
+GpuDeviceModel::totalSeconds(const CasOffinderWork &work) const
+{
+    const double transfer =
+        static_cast<double>(work.genomeBytes) / (pcieGBs * 1e9);
+    const double host =
+        static_cast<double>(work.pamHits) * hostNsPerCandidate * 1e-9;
+    return kernelSeconds(work) + transfer + host;
+}
+
+CasOffinderResult
+casOffinderScan(const genome::Sequence &genome,
+                std::span<const HammingSpec> specs)
+{
+    Stopwatch timer;
+    CasOffinderResult result;
+    result.work.genomeBytes = genome.size();
+
+    // Group specs by shape so stage 1 runs once per distinct PAM layout
+    // (the tool scans once per PAM orientation).
+    std::map<ShapeKey, std::vector<const HammingSpec *>> groups;
+    for (const HammingSpec &s : specs)
+        groups[shapeOf(s)].push_back(&s);
+
+    for (const auto &[key, group] : groups) {
+        if (genome.size() < key.len)
+            continue;
+        const size_t len = key.len;
+        const size_t lo = key.lo;
+        const size_t hi = key.hi;
+
+        // Stage 1: collect candidate starts where the exact region
+        // matches. (On the device this is one thread per position.)
+        std::vector<size_t> exact_pos;
+        for (size_t j = 0; j < len; ++j)
+            if (j < lo || j >= hi)
+                exact_pos.push_back(j);
+        const HammingSpec &proto = *group.front();
+
+        std::vector<uint64_t> candidates;
+        for (size_t s = 0; s + len <= genome.size(); ++s) {
+            ++result.work.positionsScanned;
+            bool ok = true;
+            for (size_t j : exact_pos) {
+                ++result.work.basesCompared;
+                if (!genome::maskMatches(proto.masks[j], genome[s + j])) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                candidates.push_back(s);
+        }
+        result.work.pamHits += candidates.size();
+
+        // Stage 2: compare every (candidate, guide) pair with early exit.
+        for (uint64_t s : candidates) {
+            for (const HammingSpec *spec : group) {
+                ++result.work.comparisons;
+                int mismatches = 0;
+                bool ok = true;
+                for (size_t j = lo; j < hi; ++j) {
+                    ++result.work.basesCompared;
+                    if (!genome::maskMatches(spec->masks[j],
+                                             genome[s + j])) {
+                        if (++mismatches > spec->maxMismatches) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if (ok) {
+                    ++result.work.matches;
+                    result.events.push_back(
+                        ReportEvent{spec->reportId, s + len - 1});
+                }
+            }
+        }
+    }
+
+    normalizeEvents(result.events);
+    result.hostSeconds = timer.seconds();
+    return result;
+}
+
+} // namespace crispr::baselines

@@ -1,0 +1,272 @@
+#include "baselines/casot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "baselines/brute.hpp"
+
+namespace crispr::baselines {
+
+using automata::HammingSpec;
+using automata::ReportEvent;
+
+namespace {
+
+struct ShapeKey
+{
+    size_t len;
+    size_t lo;
+    size_t hi;
+    std::vector<genome::BaseMask> exactMasks;
+
+    bool
+    operator<(const ShapeKey &o) const
+    {
+        if (len != o.len)
+            return len < o.len;
+        if (lo != o.lo)
+            return lo < o.lo;
+        if (hi != o.hi)
+            return hi < o.hi;
+        return exactMasks < o.exactMasks;
+    }
+};
+
+ShapeKey
+shapeOf(const HammingSpec &spec)
+{
+    ShapeKey key;
+    key.len = spec.masks.size();
+    key.lo = spec.mismatchLo;
+    key.hi = std::min(spec.mismatchHi, key.len);
+    for (size_t j = 0; j < key.len; ++j)
+        if (j < key.lo || j >= key.hi)
+            key.exactMasks.push_back(spec.masks[j]);
+    return key;
+}
+
+/** Enumerate the candidate start positions whose exact region matches. */
+std::vector<uint64_t>
+pamSites(const genome::Sequence &genome, const ShapeKey &key,
+         const HammingSpec &proto, CasOtWork &work)
+{
+    std::vector<uint64_t> sites;
+    if (genome.size() < key.len)
+        return sites;
+    std::vector<size_t> exact_pos;
+    for (size_t j = 0; j < key.len; ++j)
+        if (j < key.lo || j >= key.hi)
+            exact_pos.push_back(j);
+    for (size_t s = 0; s + key.len <= genome.size(); ++s) {
+        bool ok = true;
+        for (size_t j : exact_pos) {
+            if (!genome::maskMatches(proto.masks[j], genome[s + j])) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            sites.push_back(s);
+    }
+    work.pamSites += sites.size();
+    return sites;
+}
+
+/** Seed positions: the mismatch-allowed positions adjacent to the PAM. */
+std::vector<size_t>
+seedPositions(const ShapeKey &key, size_t seed_len)
+{
+    std::vector<size_t> mm;
+    for (size_t j = key.lo; j < key.hi; ++j)
+        mm.push_back(j);
+    const size_t n = std::min(seed_len, mm.size());
+    std::vector<size_t> seed;
+    if (key.lo == 0) {
+        // Exact region trails (forward 3'-PAM): seed is PAM-proximal,
+        // i.e. the last n mismatchable positions.
+        seed.assign(mm.end() - static_cast<ptrdiff_t>(n), mm.end());
+    } else {
+        // Exact region leads (reverse-complement pattern).
+        seed.assign(mm.begin(), mm.begin() + static_cast<ptrdiff_t>(n));
+    }
+    return seed;
+}
+
+/** Sorted (seedCode, site) index plus N-containing irregular sites. */
+struct SeedIndex
+{
+    std::vector<std::pair<uint32_t, uint64_t>> entries;
+    std::vector<uint64_t> irregular;
+};
+
+SeedIndex
+buildIndex(const genome::Sequence &genome,
+           const std::vector<uint64_t> &sites,
+           const std::vector<size_t> &seed_pos)
+{
+    SeedIndex index;
+    index.entries.reserve(sites.size());
+    for (uint64_t s : sites) {
+        uint32_t code = 0;
+        bool regular = true;
+        for (size_t j : seed_pos) {
+            const uint8_t b = genome[s + j];
+            if (b >= 4) {
+                regular = false;
+                break;
+            }
+            code = (code << 2) | b;
+        }
+        if (regular)
+            index.entries.emplace_back(code, s);
+        else
+            index.irregular.push_back(s);
+    }
+    std::sort(index.entries.begin(), index.entries.end());
+    return index;
+}
+
+/** Concrete base codes of the query at the seed positions. */
+std::vector<uint8_t>
+querySeed(const HammingSpec &spec, const std::vector<size_t> &seed_pos)
+{
+    std::vector<uint8_t> bases;
+    bases.reserve(seed_pos.size());
+    for (size_t j : seed_pos) {
+        const genome::BaseMask m = spec.masks[j] & 0xf;
+        if (std::popcount(static_cast<unsigned>(m)) != 1)
+            fatal("CasOT indexed mode requires concrete (non-degenerate) "
+                  "bases at seed positions");
+        bases.push_back(
+            static_cast<uint8_t>(std::countr_zero(
+                static_cast<unsigned>(m))));
+    }
+    return bases;
+}
+
+} // namespace
+
+CasOtResult
+casOtScan(const genome::Sequence &genome,
+          std::span<const HammingSpec> specs, const CasOtConfig &cfg)
+{
+    if (cfg.seedLength == 0 || cfg.seedLength > 16)
+        fatal("CasOT seed length must be 1..16");
+
+    Stopwatch timer;
+    CasOtResult result;
+
+    std::map<ShapeKey, std::vector<const HammingSpec *>> groups;
+    for (const HammingSpec &s : specs)
+        groups[shapeOf(s)].push_back(&s);
+
+    for (const auto &[key, group] : groups) {
+        const HammingSpec &proto = *group.front();
+        std::vector<uint64_t> sites =
+            pamSites(genome, key, proto, result.work);
+
+        if (cfg.mode == CasOtMode::Direct) {
+            // The tool's actual loop: every site against every query,
+            // all positions compared (no early exit, as in the script).
+            for (uint64_t s : sites) {
+                for (const HammingSpec *spec : group) {
+                    ++result.work.comparisons;
+                    int mismatches = 0;
+                    for (size_t j = key.lo; j < key.hi; ++j) {
+                        ++result.work.basesCompared;
+                        if (!genome::maskMatches(spec->masks[j],
+                                                 genome[s + j]))
+                            ++mismatches;
+                    }
+                    if (mismatches <= spec->maxMismatches) {
+                        ++result.work.matches;
+                        result.events.push_back(ReportEvent{
+                            spec->reportId, s + key.len - 1});
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Indexed mode.
+        Stopwatch index_timer;
+        const std::vector<size_t> seed_pos =
+            seedPositions(key, cfg.seedLength);
+        SeedIndex index = buildIndex(genome, sites, seed_pos);
+        result.indexBuildSeconds += index_timer.seconds();
+
+        for (const HammingSpec *spec : group) {
+            const std::vector<uint8_t> seed = querySeed(*spec, seed_pos);
+            const size_t k_seed =
+                std::min(static_cast<size_t>(spec->maxMismatches),
+                         cfg.maxSeedMismatches);
+
+            // Enumerate every seed variant within k_seed mismatches.
+            // Each variant visits a distinct code, so no dedup needed.
+            std::vector<uint8_t> variant = seed;
+            auto lookup = [&](uint32_t code) {
+                ++result.work.indexLookups;
+                auto range = std::equal_range(
+                    index.entries.begin(), index.entries.end(),
+                    std::make_pair(code, uint64_t{0}),
+                    [](const auto &a, const auto &b) {
+                        return a.first < b.first;
+                    });
+                for (auto it = range.first; it != range.second; ++it) {
+                    ++result.work.verifications;
+                    if (windowMismatches(genome, it->second, *spec) >= 0) {
+                        ++result.work.matches;
+                        result.events.push_back(ReportEvent{
+                            spec->reportId, it->second + key.len - 1});
+                    }
+                }
+            };
+
+            auto encode = [&] {
+                uint32_t code = 0;
+                for (uint8_t b : variant)
+                    code = (code << 2) | b;
+                return code;
+            };
+
+            // Recursive enumeration over positions >= idx with
+            // `remaining` substitutions left.
+            auto enumerate = [&](auto &&self, size_t idx,
+                                 size_t remaining) -> void {
+                ++result.work.seedVariants;
+                lookup(encode());
+                if (remaining == 0)
+                    return;
+                for (size_t i = idx; i < variant.size(); ++i) {
+                    const uint8_t orig = variant[i];
+                    for (uint8_t delta = 1; delta <= 3; ++delta) {
+                        variant[i] =
+                            static_cast<uint8_t>((orig + delta) & 3);
+                        self(self, i + 1, remaining - 1);
+                    }
+                    variant[i] = orig;
+                }
+            };
+            enumerate(enumerate, 0, k_seed);
+
+            // Irregular (N-in-seed) sites: verified linearly.
+            for (uint64_t s : index.irregular) {
+                ++result.work.verifications;
+                if (windowMismatches(genome, s, *spec) >= 0) {
+                    ++result.work.matches;
+                    result.events.push_back(
+                        ReportEvent{spec->reportId, s + key.len - 1});
+                }
+            }
+        }
+    }
+
+    normalizeEvents(result.events);
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace crispr::baselines

@@ -1,0 +1,125 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace crispr {
+
+Cli::Cli(std::string description) : description_(std::move(description)) {}
+
+void
+Cli::addString(const std::string &name, const std::string &def,
+               const std::string &help)
+{
+    flags_[name] = Flag{Flag::Kind::String, def, help, def};
+}
+
+void
+Cli::addInt(const std::string &name, int64_t def, const std::string &help)
+{
+    std::string s = std::to_string(def);
+    flags_[name] = Flag{Flag::Kind::Int, s, help, s};
+}
+
+void
+Cli::addBool(const std::string &name, const std::string &help)
+{
+    flags_[name] = Flag{Flag::Kind::Bool, "0", help, "0"};
+}
+
+bool
+Cli::parse(int argc, const char *const *argv)
+{
+    program_ = argc > 0 ? argv[0] : "prog";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            fatal("unknown flag --%s (try --help)", name.c_str());
+        Flag &f = it->second;
+        if (f.kind == Flag::Kind::Bool) {
+            f.value = has_value ? value : "1";
+            if (f.value == "true")
+                f.value = "1";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                fatal("flag --%s expects a value", name.c_str());
+            value = argv[++i];
+        }
+        if (f.kind == Flag::Kind::Int) {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                fatal("flag --%s expects an integer, got '%s'",
+                      name.c_str(), value.c_str());
+        }
+        f.value = value;
+    }
+    return true;
+}
+
+const Cli::Flag &
+Cli::find(const std::string &name, Flag::Kind kind) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        panic("flag --%s was never declared", name.c_str());
+    if (it->second.kind != kind)
+        panic("flag --%s accessed with the wrong type", name.c_str());
+    return it->second;
+}
+
+const std::string &
+Cli::getString(const std::string &name) const
+{
+    return find(name, Flag::Kind::String).value;
+}
+
+int64_t
+Cli::getInt(const std::string &name) const
+{
+    return std::strtoll(find(name, Flag::Kind::Int).value.c_str(),
+                        nullptr, 0);
+}
+
+bool
+Cli::getBool(const std::string &name) const
+{
+    return find(name, Flag::Kind::Bool).value == "1";
+}
+
+std::string
+Cli::usage() const
+{
+    std::string out = description_ + "\n\nUsage: " + program_ +
+                      " [flags]\n\nFlags:\n";
+    for (const auto &[name, f] : flags_) {
+        out += strprintf("  --%-18s %s (default: %s)\n", name.c_str(),
+                         f.help.c_str(),
+                         f.def.empty() ? "\"\"" : f.def.c_str());
+    }
+    return out;
+}
+
+} // namespace crispr

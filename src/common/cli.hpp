@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal command-line flag parser used by the example programs and the
+ * benchmark harnesses. Supports `--flag value`, `--flag=value`, and
+ * boolean `--flag` forms, plus automatic --help generation.
+ */
+
+#ifndef CRISPR_COMMON_CLI_HPP_
+#define CRISPR_COMMON_CLI_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace crispr {
+
+/** Declarative command-line parser. Declare flags, then parse(). */
+class Cli
+{
+  public:
+    explicit Cli(std::string description);
+
+    /** Declare a string flag with default value. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    /** Declare an integer flag with default value. */
+    void addInt(const std::string &name, int64_t def,
+                const std::string &help);
+    /** Declare a boolean flag (default false). */
+    void addBool(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Returns false if --help was requested (usage printed).
+     * Unknown flags raise FatalError.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    const std::string &getString(const std::string &name) const;
+    int64_t getInt(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Render the usage/help text. */
+    std::string usage() const;
+
+  private:
+    struct Flag
+    {
+        enum class Kind { String, Int, Bool } kind;
+        std::string value;
+        std::string help;
+        std::string def;
+    };
+
+    const Flag &find(const std::string &name, Flag::Kind kind) const;
+
+    std::string description_;
+    std::string program_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace crispr
+
+#endif // CRISPR_COMMON_CLI_HPP_

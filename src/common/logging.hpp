@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status / error reporting helpers in the gem5 spirit: fatal() for user
+ * errors, panic() for internal invariant violations, warn()/inform() for
+ * non-fatal diagnostics.
+ */
+
+#ifndef CRISPR_COMMON_LOGGING_HPP_
+#define CRISPR_COMMON_LOGGING_HPP_
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace crispr {
+
+/** Error raised for conditions caused by bad user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error raised for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Raise a FatalError for a condition that is the user's fault
+ * (bad configuration, malformed input file, ...).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Raise a PanicError for a condition that should never happen regardless
+ * of user input (an internal bug).
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+} // namespace crispr
+
+/**
+ * Check an internal invariant; raises PanicError when violated.
+ * Active in all build types (this library is correctness-first).
+ */
+#define CRISPR_ASSERT(cond)                                               \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::crispr::panic("assertion failed: %s at %s:%d", #cond,       \
+                            __FILE__, __LINE__);                          \
+        }                                                                 \
+    } while (0)
+
+#endif // CRISPR_COMMON_LOGGING_HPP_

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the measured (CPU-side) experiments.
+ */
+
+#ifndef CRISPR_COMMON_STOPWATCH_HPP_
+#define CRISPR_COMMON_STOPWATCH_HPP_
+
+#include <chrono>
+
+namespace crispr {
+
+/** Monotonic wall-clock stopwatch with nanosecond resolution. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from now. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace crispr
+
+#endif // CRISPR_COMMON_STOPWATCH_HPP_

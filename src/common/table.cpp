@@ -1,0 +1,138 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace crispr {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    CRISPR_ASSERT(!header_.empty());
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    if (rows_.empty())
+        rows_.emplace_back();
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(const char *cell)
+{
+    return add(std::string(cell));
+}
+
+Table &
+Table::add(double v, int precision)
+{
+    return add(strprintf("%.*f", precision, v));
+}
+
+Table &
+Table::add(uint64_t v)
+{
+    return add(strprintf("%llu", static_cast<unsigned long long>(v)));
+}
+
+Table &
+Table::add(int64_t v)
+{
+    return add(strprintf("%lld", static_cast<long long>(v)));
+}
+
+Table &
+Table::add(int v)
+{
+    return add(strprintf("%d", v));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto rule = [&] {
+        std::string s = "+";
+        for (size_t w : width)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (size_t c = 0; c < width.size(); ++c) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+        }
+        return s + "\n";
+    };
+
+    std::string out = rule() + line(header_) + rule();
+    for (const auto &r : rows_)
+        out += line(r);
+    out += rule();
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto join = [](const std::vector<std::string> &cells) {
+        std::string s;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                s += ",";
+            s += cells[c];
+        }
+        return s + "\n";
+    };
+    std::string out = join(header_);
+    for (const auto &r : rows_)
+        out += join(r);
+    return out;
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    int u = 0;
+    while (v >= 1024.0 && u < 4) {
+        v /= 1024.0;
+        ++u;
+    }
+    return strprintf("%.1f %s", v, units[u]);
+}
+
+std::string
+formatSeconds(double s)
+{
+    if (s < 0)
+        return strprintf("%.3g s", s);
+    if (s < 1e-6)
+        return strprintf("%.1f ns", s * 1e9);
+    if (s < 1e-3)
+        return strprintf("%.2f us", s * 1e6);
+    if (s < 1.0)
+        return strprintf("%.2f ms", s * 1e3);
+    return strprintf("%.3f s", s);
+}
+
+} // namespace crispr

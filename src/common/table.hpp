@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table formatting used by the benchmark harnesses to print
+ * paper-style result tables, plus a CSV emitter for post-processing.
+ */
+
+#ifndef CRISPR_COMMON_TABLE_HPP_
+#define CRISPR_COMMON_TABLE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crispr {
+
+/**
+ * A simple column-aligned ASCII table. Cells are strings; numeric
+ * convenience adders format with sensible precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    Table &row();
+
+    /** Append one cell to the current row. */
+    Table &add(const std::string &cell);
+    Table &add(const char *cell);
+    Table &add(double v, int precision = 3);
+    Table &add(uint64_t v);
+    Table &add(int64_t v);
+    Table &add(int v);
+
+    /** Render with box-drawing separators. */
+    std::string str() const;
+
+    /** Render as CSV (header + rows). */
+    std::string csv() const;
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a byte count as a human-readable string (e.g. "16.0 MB"). */
+std::string formatBytes(uint64_t bytes);
+
+/** Format a duration in seconds with an auto-selected unit. */
+std::string formatSeconds(double s);
+
+} // namespace crispr
+
+#endif // CRISPR_COMMON_TABLE_HPP_

@@ -1,0 +1,167 @@
+#include "core/bulge.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "automata/dfa.hpp"
+#include "fpga/fabric.hpp"
+
+namespace crispr::core {
+
+using automata::EditSpec;
+using automata::Nfa;
+using automata::ReportEvent;
+
+std::vector<EditSpec>
+buildEditSpecs(const std::vector<Guide> &guides, const PamSpec &pam,
+               int max_mismatches, int max_bulges, bool both_strands)
+{
+    if (guides.empty())
+        fatal("no guides given");
+    std::vector<EditSpec> specs;
+    for (uint32_t gi = 0; gi < guides.size(); ++gi) {
+        const Guide &g = guides[gi];
+        std::vector<genome::BaseMask> site;
+        for (size_t i = 0; i < g.protospacer.size(); ++i)
+            site.push_back(
+                static_cast<genome::BaseMask>(1u << g.protospacer[i]));
+        for (genome::BaseMask m : pam.masks())
+            site.push_back(m);
+
+        EditSpec fwd;
+        fwd.masks = site;
+        fwd.maxMismatches = max_mismatches;
+        fwd.maxBulges = max_bulges;
+        fwd.editLo = 0;
+        fwd.editHi = g.protospacer.size();
+        fwd.reportId = gi * 2;
+        specs.push_back(fwd);
+
+        if (both_strands) {
+            EditSpec rev;
+            rev.masks = genome::reverseComplementMasks(site);
+            rev.maxMismatches = max_mismatches;
+            rev.maxBulges = max_bulges;
+            rev.editLo = pam.size();
+            rev.editHi = rev.masks.size();
+            rev.reportId = gi * 2 + 1;
+            specs.push_back(rev);
+        }
+    }
+    return specs;
+}
+
+namespace {
+
+std::vector<BulgeHit>
+hitsFromEditEvents(const std::vector<ReportEvent> &raw)
+{
+    std::vector<BulgeHit> hits;
+    hits.reserve(raw.size());
+    for (const ReportEvent &ev : raw) {
+        hits.push_back(BulgeHit{ev.reportId / 2,
+                                ev.reportId % 2 == 0 ? Strand::Forward
+                                                     : Strand::Reverse,
+                                ev.end});
+    }
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    return hits;
+}
+
+} // namespace
+
+BulgeResult
+bulgeSearch(const genome::Sequence &genome_seq,
+            const std::vector<Guide> &guides, const BulgeConfig &config)
+{
+    BulgeResult result;
+    Stopwatch compile_timer;
+    std::vector<EditSpec> specs =
+        buildEditSpecs(guides, config.pam, config.maxMismatches,
+                       config.maxBulges, config.bothStrands);
+    Nfa merged;
+    for (const EditSpec &spec : specs)
+        merged.merge(automata::buildEditNfa(spec));
+    result.nfaStates = merged.size();
+    result.timing.compileSeconds = compile_timer.seconds();
+
+    std::vector<ReportEvent> events;
+    auto sink = [&](uint32_t id, uint64_t end) {
+        events.push_back(ReportEvent{id, end});
+    };
+
+    Stopwatch timer;
+    switch (config.engine) {
+      case EngineKind::Reference: {
+        automata::NfaInterpreter interp(merged);
+        interp.scan(genome_seq.codes(), sink);
+        result.timing.kernelSeconds = timer.seconds();
+        break;
+      }
+      case EngineKind::HscanDfa: {
+        auto dfa = automata::subsetConstruct(
+            merged, config.params.hscanOpts.maxDfaStates);
+        if (!dfa) {
+            warn("edit DFA over the state budget; falling back to the "
+                 "reference interpreter");
+            automata::NfaInterpreter interp(merged);
+            interp.scan(genome_seq.codes(), sink);
+        } else {
+            dfa->scan(genome_seq.codes(), sink);
+        }
+        result.timing.kernelSeconds = timer.seconds();
+        break;
+      }
+      case EngineKind::Fpga: {
+        fpga::FpgaFabric fabric(merged, config.params.fpgaSpec);
+        fabric.run(genome_seq.codes(), sink);
+        result.timing.kernelSeconds =
+            static_cast<double>(genome_seq.size()) /
+            fabric.resources().clockHz * fabric.resources().passes;
+        break;
+      }
+      case EngineKind::Ap: {
+        ap::ApMachine machine = ap::fromNfa(merged);
+        ap::ApSimulator sim(machine, config.params.apSimConfig);
+        ap::ApRunStats stats = sim.run(genome_seq.codes(), sink);
+        result.timing.kernelSeconds = sim.kernelSeconds(stats);
+        break;
+      }
+      case EngineKind::GpuInfant2: {
+        gpu::Infant2Engine engine(merged, config.params.gpuModel,
+                                  config.params.gpuChunk,
+                                  /*overlap=*/specs.front().masks.size() +
+                                      static_cast<size_t>(
+                                          config.maxBulges) + 2);
+        events = engine.scanAll(genome_seq);
+        result.timing.kernelSeconds =
+            engine.estimateTime().kernelSeconds;
+        break;
+      }
+      default:
+        fatal("engine %s does not support bulge search "
+              "(automata engines only)", engineName(config.engine));
+    }
+    result.timing.hostSeconds = timer.seconds();
+    result.timing.totalSeconds = result.timing.kernelSeconds;
+
+    automata::normalizeEvents(events);
+    result.hits = hitsFromEditEvents(events);
+    return result;
+}
+
+std::vector<BulgeHit>
+bulgeSearchGolden(const genome::Sequence &genome_seq,
+                  const std::vector<Guide> &guides,
+                  const BulgeConfig &config)
+{
+    std::vector<EditSpec> specs =
+        buildEditSpecs(guides, config.pam, config.maxMismatches,
+                       config.maxBulges, config.bothStrands);
+    auto events = automata::editDistanceScan(genome_seq, specs);
+    return hitsFromEditEvents(events);
+}
+
+} // namespace crispr::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bulge-tolerant off-target search (extension of the paper's Hamming
+ * formulation): up to `maxMismatches` substitutions plus up to
+ * `maxBulges` DNA/RNA bulges (genome insertions/deletions) in the
+ * protospacer, PAM exact and rigid.
+ *
+ * Because bulged alignments have variable window lengths, hits are
+ * reported by their *end* coordinate on the scanned strand (the paper's
+ * automata report exactly this), not converted to fixed-width windows.
+ */
+
+#ifndef CRISPR_CORE_BULGE_HPP_
+#define CRISPR_CORE_BULGE_HPP_
+
+#include <vector>
+
+#include "automata/edit.hpp"
+#include "core/engines.hpp"
+
+namespace crispr::core {
+
+/** One bulge-tolerant hit. */
+struct BulgeHit
+{
+    uint32_t guide;
+    Strand strand;
+    /** Forward-genome offset of the last base of the aligned window. */
+    uint64_t end;
+
+    auto operator<=>(const BulgeHit &) const = default;
+};
+
+/** Configuration of a bulge-tolerant search. */
+struct BulgeConfig
+{
+    PamSpec pam = pamNRG();
+    int maxMismatches = 3;
+    int maxBulges = 1;
+    bool bothStrands = true;
+    /**
+     * Engine. The edit automaton is a plain homogeneous NFA, so every
+     * automata engine runs it: Reference, Fpga, Ap, GpuInfant2, and
+     * HscanDfa (subset construction; falls back to Reference when over
+     * the state budget). The bit-parallel path and the baseline tools
+     * do not support bulges.
+     */
+    EngineKind engine = EngineKind::Reference;
+    EngineParams params;
+};
+
+/** Result of a bulge-tolerant search. */
+struct BulgeResult
+{
+    std::vector<BulgeHit> hits;
+    EngineTiming timing;
+    size_t nfaStates = 0;
+};
+
+/** Build the per-strand edit specs for a guide set (site order).
+ *  Report id = guide * 2 + (strand == Reverse). */
+std::vector<automata::EditSpec>
+buildEditSpecs(const std::vector<Guide> &guides, const PamSpec &pam,
+               int max_mismatches, int max_bulges, bool both_strands);
+
+/** Run a bulge-tolerant search. */
+BulgeResult bulgeSearch(const genome::Sequence &genome,
+                        const std::vector<Guide> &guides,
+                        const BulgeConfig &config = {});
+
+/** Golden reference for tests/verification: the DP scan, as hits. */
+std::vector<BulgeHit>
+bulgeSearchGolden(const genome::Sequence &genome,
+                  const std::vector<Guide> &guides,
+                  const BulgeConfig &config = {});
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_BULGE_HPP_

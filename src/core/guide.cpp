@@ -1,0 +1,79 @@
+#include "core/guide.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "genome/generator.hpp"
+
+namespace crispr::core {
+
+std::vector<genome::BaseMask>
+PamSpec::masks() const
+{
+    if (iupac.empty())
+        fatal("PAM must have at least one position");
+    return genome::masksFromIupac(iupac);
+}
+
+PamSpec
+pamNGG()
+{
+    return PamSpec{"NGG"};
+}
+
+PamSpec
+pamNAG()
+{
+    return PamSpec{"NAG"};
+}
+
+PamSpec
+pamNRG()
+{
+    return PamSpec{"NRG"};
+}
+
+Guide
+makeGuide(const std::string &name, const std::string &sequence)
+{
+    if (sequence.empty())
+        fatal("guide '%s' has an empty sequence", name.c_str());
+    for (char c : sequence) {
+        const uint8_t code = genome::baseCode(c);
+        if (code >= 4)
+            fatal("guide '%s' contains non-ACGT character '%c'",
+                  name.c_str(), c);
+    }
+    return Guide{name, genome::Sequence::fromString(sequence)};
+}
+
+std::vector<Guide>
+randomGuides(size_t count, size_t length, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Guide> guides;
+    guides.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        guides.push_back(Guide{strprintf("g%zu", i),
+                               genome::randomGuide(rng, length)});
+    }
+    return guides;
+}
+
+std::vector<Guide>
+guidesFromGenome(const genome::Sequence &ref, size_t count,
+                 size_t length, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Guide> guides;
+    guides.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        genome::Sequence s =
+            genome::sampleGuideFromGenome(ref, rng, length);
+        if (s.empty())
+            fatal("genome has no N-free window of length %zu", length);
+        guides.push_back(Guide{strprintf("g%zu", i), std::move(s)});
+    }
+    return guides;
+}
+
+} // namespace crispr::core

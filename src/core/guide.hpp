@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Guide RNA and PAM modelling: the user-facing vocabulary of the
+ * library. A Cas9 target site on the forward strand is laid out as
+ * 20 nt of protospacer followed by a 3' PAM (NGG canonically; NAG / NRG
+ * accepted as non-canonical).
+ */
+
+#ifndef CRISPR_CORE_GUIDE_HPP_
+#define CRISPR_CORE_GUIDE_HPP_
+
+#include <string>
+#include <vector>
+
+#include "genome/sequence.hpp"
+
+namespace crispr::core {
+
+/** PAM specification: an IUPAC string 3' of the protospacer. */
+struct PamSpec
+{
+    std::string iupac = "NGG";
+
+    /** Masks of the PAM positions. */
+    std::vector<genome::BaseMask> masks() const;
+
+    size_t size() const { return iupac.size(); }
+};
+
+/** Common PAM presets. */
+PamSpec pamNGG();
+PamSpec pamNAG();
+PamSpec pamNRG(); //!< R = A|G: canonical + non-canonical in one pattern
+
+/** A guide RNA targeting sequence. */
+struct Guide
+{
+    std::string name;
+    genome::Sequence protospacer; //!< concrete ACGT, 5'->3'
+};
+
+/**
+ * Construct a guide from an ASCII protospacer. The sequence must be
+ * concrete ACGT (U tolerated); degenerate letters are rejected.
+ */
+Guide makeGuide(const std::string &name, const std::string &sequence);
+
+/** Generate `count` random guides of `length` nt (deterministic). */
+std::vector<Guide> randomGuides(size_t count, size_t length,
+                                uint64_t seed);
+
+/**
+ * Sample `count` guides from N-free windows of a genome (each then has
+ * at least one perfect on-target site).
+ */
+std::vector<Guide> guidesFromGenome(const genome::Sequence &ref,
+                                    size_t count, size_t length,
+                                    uint64_t seed);
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_GUIDE_HPP_

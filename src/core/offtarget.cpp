@@ -1,0 +1,120 @@
+#include "core/offtarget.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hpp"
+#include "baselines/brute.hpp"
+
+namespace crispr::core {
+
+std::vector<OffTargetHit>
+hitsFromEvents(const genome::Sequence &genome, const PatternSet &set,
+               const std::vector<automata::ReportEvent> &events,
+               bool drop_unverified, size_t *dropped)
+{
+    if (dropped)
+        *dropped = 0;
+    std::vector<OffTargetHit> hits;
+    hits.reserve(events.size());
+    const size_t len = set.siteLength();
+    for (const automata::ReportEvent &ev : events) {
+        if (ev.reportId >= set.patterns.size())
+            panic("event with unknown pattern id %u", ev.reportId);
+        const Pattern &p = set.patterns[ev.reportId];
+        CRISPR_ASSERT(p.spec.masks.size() == len);
+        uint64_t start;
+        if (!p.reversedStream) {
+            CRISPR_ASSERT(ev.end + 1 >= len);
+            start = ev.end + 1 - len;
+        } else {
+            CRISPR_ASSERT(ev.end < genome.size());
+            start = genome.size() - 1 - ev.end;
+        }
+        const automata::HammingSpec fwd = set.forwardSpec(ev.reportId);
+        const int mm = baselines::windowMismatches(genome, start, fwd);
+        if (mm < 0) {
+            if (drop_unverified) {
+                if (dropped)
+                    ++*dropped;
+                continue;
+            }
+            panic("engine reported a site at %llu that fails "
+                  "re-verification",
+                  static_cast<unsigned long long>(start));
+        }
+        hits.push_back(OffTargetHit{p.guideIndex, p.strand, start, mm});
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const OffTargetHit &a, const OffTargetHit &b) {
+                  if (a.guide != b.guide)
+                      return a.guide < b.guide;
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  return a.strand < b.strand;
+              });
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    return hits;
+}
+
+std::string
+hitSiteString(const genome::Sequence &genome, const PatternSet &set,
+              const OffTargetHit &hit)
+{
+    genome::Sequence window = genome.slice(hit.start, set.siteLength());
+    if (hit.strand == Strand::Reverse)
+        window = window.reverseComplement();
+    return window.str();
+}
+
+std::string
+hitAlignmentString(const genome::Sequence &genome, const PatternSet &set,
+                   const OffTargetHit &hit)
+{
+    // Locate the pattern of (guide, strand) to get its forward spec.
+    const Pattern *pattern = nullptr;
+    for (const Pattern &p : set.patterns) {
+        if (p.guideIndex == hit.guide && p.strand == hit.strand) {
+            pattern = &p;
+            break;
+        }
+    }
+    if (!pattern)
+        panic("hit references a (guide, strand) with no pattern");
+    const automata::HammingSpec fwd = set.forwardSpec(pattern->spec.reportId);
+
+    std::string site = genome.slice(hit.start, set.siteLength()).str();
+    std::string out;
+    out.reserve(site.size());
+    for (size_t j = 0; j < site.size(); ++j) {
+        const bool match =
+            genome::maskMatches(fwd.masks[j], genome[hit.start + j]);
+        out.push_back(match ? site[j]
+                            : static_cast<char>(
+                                  std::tolower(
+                                      static_cast<unsigned char>(
+                                          site[j]))));
+    }
+    if (hit.strand == Strand::Reverse) {
+        // Present in guide orientation: reverse complement, preserving
+        // case annotations.
+        std::string rc;
+        rc.reserve(out.size());
+        for (auto it = out.rbegin(); it != out.rend(); ++it) {
+            const char c = *it;
+            const bool lower = std::islower(static_cast<unsigned char>(c));
+            const uint8_t code = genome::baseCode(c);
+            char comp = code < genome::kNumSymbols
+                            ? genome::baseChar(
+                                  genome::complementCode(code))
+                            : 'N';
+            rc.push_back(lower ? static_cast<char>(std::tolower(
+                                     static_cast<unsigned char>(comp)))
+                               : comp);
+        }
+        out = std::move(rc);
+    }
+    return out;
+}
+
+} // namespace crispr::core

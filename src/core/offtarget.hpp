@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Off-target hits: engine-independent, forward-genome-coordinate
+ * results. Raw engine events ((pattern id, stream end index)) are
+ * converted here, with the mismatch count recomputed against the
+ * genome so every engine reports identical, verified hits.
+ */
+
+#ifndef CRISPR_CORE_OFFTARGET_HPP_
+#define CRISPR_CORE_OFFTARGET_HPP_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/interp.hpp"
+#include "core/compile.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::core {
+
+/** One off-target site. */
+struct OffTargetHit
+{
+    uint32_t guide;     //!< guide index in the search's guide list
+    Strand strand;
+    uint64_t start;     //!< forward-genome offset of the site's first base
+    int mismatches;     //!< Hamming distance within the protospacer
+
+    auto operator<=>(const OffTargetHit &) const = default;
+};
+
+/**
+ * Convert engine events to hits. Events carry the pattern id; the
+ * pattern's stream orientation decides the coordinate mapping:
+ *  - forward stream: start = end - len + 1
+ *  - reversed stream: start = genome_len - 1 - end
+ * The mismatch count is recomputed against the forward genome; events
+ * that fail re-verification raise PanicError (an engine bug) unless
+ * `drop_unverified` is set (used for the AP counter design, whose
+ * shared-counter overlap artefacts can produce spurious events; the
+ * count of dropped events is returned via `dropped`).
+ *
+ * The result is sorted by (guide, start, strand) and deduplicated.
+ */
+std::vector<OffTargetHit>
+hitsFromEvents(const genome::Sequence &genome, const PatternSet &set,
+               const std::vector<automata::ReportEvent> &events,
+               bool drop_unverified = false, size_t *dropped = nullptr);
+
+/** The site sequence of a hit as it reads 5'->3' on its strand. */
+std::string hitSiteString(const genome::Sequence &genome,
+                          const PatternSet &set, const OffTargetHit &hit);
+
+/**
+ * Aligned annotation of a hit against its guide: upper case where the
+ * site matches the guide pattern, lower case at mismatching positions
+ * (the CasOFFinder output convention).
+ */
+std::string hitAlignmentString(const genome::Sequence &genome,
+                               const PatternSet &set,
+                               const OffTargetHit &hit);
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_OFFTARGET_HPP_

@@ -1,0 +1,91 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace crispr::core {
+
+void
+printHits(std::ostream &out, const genome::Sequence &genome_seq,
+          const std::vector<Guide> &guides, const SearchResult &result,
+          size_t max_lines, const genome::RecordMap *record_map)
+{
+    size_t n = 0;
+    for (const OffTargetHit &hit : result.hits) {
+        if (n++ >= max_lines) {
+            out << "... (" << result.hits.size() - max_lines
+                << " more hits)\n";
+            break;
+        }
+        out << guides[hit.guide].name << '\t';
+        if (record_map) {
+            auto loc = record_map->locateWindow(
+                hit.start, result.patterns.siteLength());
+            out << loc.name << ':' << loc.offset;
+        } else {
+            out << hit.start;
+        }
+        out << '\t' << strandStr(hit.strand) << '\t' << hit.mismatches
+            << '\t'
+            << hitAlignmentString(genome_seq, result.patterns, hit)
+            << '\n';
+    }
+}
+
+void
+printSummary(std::ostream &out, const std::vector<Guide> &guides,
+             const SearchResult &result)
+{
+    const int max_mm = result.patterns.maxMismatches;
+    std::vector<std::string> header = {"guide", "total"};
+    for (int k = 0; k <= max_mm; ++k)
+        header.push_back(strprintf("mm=%d", k));
+    Table table(std::move(header));
+
+    std::vector<std::vector<uint64_t>> counts(
+        guides.size(), std::vector<uint64_t>(max_mm + 1, 0));
+    for (const OffTargetHit &hit : result.hits) {
+        if (hit.guide < counts.size() && hit.mismatches <= max_mm)
+            ++counts[hit.guide][hit.mismatches];
+    }
+    for (size_t gi = 0; gi < guides.size(); ++gi) {
+        uint64_t total = 0;
+        for (uint64_t c : counts[gi])
+            total += c;
+        table.row().add(guides[gi].name).add(total);
+        for (int k = 0; k <= max_mm; ++k)
+            table.add(counts[gi][k]);
+    }
+    out << table.str();
+}
+
+std::string
+timingLine(const EngineRun &run)
+{
+    return strprintf(
+        "%-18s events=%-8zu compile=%-10s host=%-10s kernel=%-10s "
+        "total=%s",
+        engineName(run.kind), run.events.size(),
+        formatSeconds(run.timing.compileSeconds).c_str(),
+        formatSeconds(run.timing.hostSeconds).c_str(),
+        formatSeconds(run.timing.kernelSeconds).c_str(),
+        formatSeconds(run.timing.totalSeconds).c_str());
+}
+
+void
+writeHitsCsv(std::ostream &out, const genome::Sequence &genome_seq,
+             const std::vector<Guide> &guides, const SearchResult &result)
+{
+    out << "guide,start,strand,mismatches,site\n";
+    for (const OffTargetHit &hit : result.hits) {
+        out << guides[hit.guide].name << ',' << hit.start << ','
+            << strandStr(hit.strand) << ',' << hit.mismatches << ','
+            << hitSiteString(genome_seq, result.patterns, hit) << '\n';
+    }
+}
+
+} // namespace crispr::core

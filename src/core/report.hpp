@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Result presentation: CasOFFinder-style hit listings, per-guide
+ * summaries, and CSV output for the experiment harnesses.
+ */
+
+#ifndef CRISPR_CORE_REPORT_HPP_
+#define CRISPR_CORE_REPORT_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/search.hpp"
+#include "genome/record_map.hpp"
+
+namespace crispr::core {
+
+/**
+ * Print one line per hit:
+ *   guide-name  start  strand  mismatches  aligned-site
+ * (mismatching positions in lower case, the CasOFFinder convention).
+ * With a RecordMap, positions print as record:offset instead of the
+ * global stream offset.
+ */
+void printHits(std::ostream &out, const genome::Sequence &genome,
+               const std::vector<Guide> &guides,
+               const SearchResult &result, size_t max_lines = SIZE_MAX,
+               const genome::RecordMap *record_map = nullptr);
+
+/** Per-guide hit counts broken down by mismatch count. */
+void printSummary(std::ostream &out, const std::vector<Guide> &guides,
+                  const SearchResult &result);
+
+/** Timing/metrics one-liner for an engine run. */
+std::string timingLine(const EngineRun &run);
+
+/** Hits as CSV (guide,start,strand,mismatches,site). */
+void writeHitsCsv(std::ostream &out, const genome::Sequence &genome,
+                  const std::vector<Guide> &guides,
+                  const SearchResult &result);
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_REPORT_HPP_

@@ -1,0 +1,135 @@
+#include "core/score.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace crispr::core {
+
+namespace {
+
+/** Hsu et al. 2013 per-position mismatch weights for 20-nt guides,
+ *  index 0 = PAM-distal. Higher weight = more damaging mismatch. */
+constexpr double kHsuWeights[20] = {
+    0.000, 0.000, 0.014, 0.000, 0.000, 0.395, 0.317, 0.000, 0.389,
+    0.079, 0.445, 0.508, 0.613, 0.851, 0.732, 0.828, 0.615, 0.804,
+    0.685, 0.583,
+};
+
+double
+weightAt(size_t pos, size_t guide_length)
+{
+    if (guide_length == 20)
+        return kHsuWeights[pos];
+    // Fallback: linear ramp from 0 (PAM-distal) to ~0.8 (PAM-proximal).
+    if (guide_length <= 1)
+        return 0.0;
+    return 0.8 * static_cast<double>(pos) /
+           static_cast<double>(guide_length - 1);
+}
+
+} // namespace
+
+double
+sitePenalty(const std::vector<size_t> &mismatch_positions,
+            size_t guide_length)
+{
+    if (mismatch_positions.empty())
+        return 1.0; // a perfect duplicate competes at full strength
+
+    // Product of (1 - w_p) over mismatches ...
+    double product = 1.0;
+    for (size_t p : mismatch_positions) {
+        CRISPR_ASSERT(p < guide_length);
+        product *= 1.0 - weightAt(p, guide_length);
+    }
+    // ... damped by mean pairwise mismatch distance and count (the
+    // published formula's second and third factors).
+    const size_t n = mismatch_positions.size();
+    double distance_term = 1.0;
+    if (n > 1) {
+        auto sorted = mismatch_positions;
+        std::sort(sorted.begin(), sorted.end());
+        const double mean_d =
+            static_cast<double>(sorted.back() - sorted.front()) /
+            static_cast<double>(n - 1);
+        distance_term =
+            1.0 / ((static_cast<double>(guide_length - 1) - mean_d) /
+                       static_cast<double>(guide_length - 1) * 4.0 +
+                   1.0);
+    }
+    const double count_term =
+        1.0 / (static_cast<double>(n) * static_cast<double>(n));
+    return product * distance_term * count_term;
+}
+
+std::vector<size_t>
+hitMismatchPositions(const genome::Sequence &genome_seq,
+                     const PatternSet &set, const OffTargetHit &hit)
+{
+    const Pattern *pattern = nullptr;
+    for (const Pattern &p : set.patterns) {
+        if (p.guideIndex == hit.guide && p.strand == hit.strand) {
+            pattern = &p;
+            break;
+        }
+    }
+    if (!pattern)
+        panic("hit references a (guide, strand) with no pattern");
+    const automata::HammingSpec fwd =
+        set.forwardSpec(pattern->spec.reportId);
+
+    std::vector<size_t> positions;
+    const size_t glen = set.guideLength;
+    for (size_t j = 0; j < fwd.masks.size(); ++j) {
+        if (genome::maskMatches(fwd.masks[j], genome_seq[hit.start + j]))
+            continue;
+        // Map site position to guide coordinates (5'->3').
+        size_t guide_pos;
+        if (hit.strand == Strand::Forward) {
+            CRISPR_ASSERT(j < glen);
+            guide_pos = j;
+        } else {
+            // Reverse-strand site: forward-coordinate position j maps
+            // to guide position (siteLength-1-j) - pamLength.
+            CRISPR_ASSERT(j >= set.pamLength);
+            guide_pos = set.siteLength() - 1 - j;
+            CRISPR_ASSERT(guide_pos < glen);
+        }
+        positions.push_back(guide_pos);
+    }
+    std::sort(positions.begin(), positions.end());
+    return positions;
+}
+
+std::vector<GuideScore>
+scoreGuides(const genome::Sequence &genome_seq,
+            const std::vector<Guide> &guides, const SearchResult &result)
+{
+    std::vector<GuideScore> scores(guides.size());
+    for (uint32_t gi = 0; gi < guides.size(); ++gi)
+        scores[gi].guide = gi;
+
+    for (const OffTargetHit &hit : result.hits) {
+        CRISPR_ASSERT(hit.guide < scores.size());
+        GuideScore &score = scores[hit.guide];
+        if (hit.mismatches == 0) {
+            ++score.onTargets;
+            // The first perfect site is the intended target; further
+            // duplicates compete at full penalty.
+            if (score.onTargets > 1)
+                score.penaltySum += 1.0;
+            continue;
+        }
+        ++score.offTargets;
+        score.penaltySum += sitePenalty(
+            hitMismatchPositions(genome_seq, result.patterns, hit),
+            result.patterns.guideLength);
+    }
+    for (GuideScore &score : scores)
+        score.specificity = 100.0 / (1.0 + score.penaltySum);
+    return scores;
+}
+
+} // namespace crispr::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Guide specificity scoring: the downstream consumer of off-target
+ * search results. Implements the position-weighted (MIT/Hsu-style)
+ * per-site penalty and the aggregate specificity score
+ *
+ *   S(guide) = 100 / (1 + sum over off-target sites of s_site),
+ *
+ * where each site's s_site decays with its mismatch count and the
+ * PAM-distal-ness of the mismatching positions. The exact published
+ * weight table is reproduced for 20-nt guides; other lengths fall back
+ * to a linear position ramp.
+ */
+
+#ifndef CRISPR_CORE_SCORE_HPP_
+#define CRISPR_CORE_SCORE_HPP_
+
+#include <vector>
+
+#include "core/search.hpp"
+
+namespace crispr::core {
+
+/**
+ * Single-site penalty in [0, 1]: 1 for a perfect off-target duplicate,
+ * decaying with mismatch count and position. `mismatch_positions` are
+ * 0-based protospacer positions (0 = PAM-distal end for the standard
+ * 5'->3' guide orientation).
+ */
+double sitePenalty(const std::vector<size_t> &mismatch_positions,
+                   size_t guide_length);
+
+/**
+ * Mismatching protospacer positions of a hit (guide coordinates,
+ * 5'->3'), recomputed against the genome.
+ */
+std::vector<size_t>
+hitMismatchPositions(const genome::Sequence &genome,
+                     const PatternSet &set, const OffTargetHit &hit);
+
+/** Per-guide specificity summary. */
+struct GuideScore
+{
+    uint32_t guide = 0;
+    size_t onTargets = 0;   //!< perfect (0-mismatch) sites
+    size_t offTargets = 0;  //!< sites with >= 1 mismatch
+    double penaltySum = 0.0;
+    double specificity = 100.0; //!< 100 / (1 + penaltySum)
+};
+
+/**
+ * Aggregate specificity per guide from a search result. Perfect sites
+ * beyond the first are treated as off-target duplicates (full
+ * penalty), matching the usual convention.
+ */
+std::vector<GuideScore>
+scoreGuides(const genome::Sequence &genome,
+            const std::vector<Guide> &guides, const SearchResult &result);
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_SCORE_HPP_

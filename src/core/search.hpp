@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The library's top-level entry point: off-target search of a guide set
+ * against a genome on a chosen engine.
+ *
+ * @code
+ *   using namespace crispr;
+ *   auto genome = genome::readFastaFile("hg.fa");
+ *   auto seq = genome::concatenateRecords(genome);
+ *   std::vector<core::Guide> guides = {
+ *       core::makeGuide("g1", "GGGTGGGGGGAGTTTGCTCC")};
+ *   core::SearchConfig cfg;
+ *   cfg.maxMismatches = 3;
+ *   cfg.engine = core::EngineKind::HscanAuto;
+ *   core::SearchResult res = core::search(seq, guides, cfg);
+ * @endcode
+ */
+
+#ifndef CRISPR_CORE_SEARCH_HPP_
+#define CRISPR_CORE_SEARCH_HPP_
+
+#include <vector>
+
+#include "core/engines.hpp"
+#include "core/offtarget.hpp"
+
+namespace crispr::core {
+
+/** Search configuration. */
+struct SearchConfig
+{
+    PamSpec pam = pamNRG();    //!< NGG + NAG in one class, per the paper
+    int maxMismatches = 3;
+    bool bothStrands = true;
+    EngineKind engine = EngineKind::HscanAuto;
+    EngineParams params;
+};
+
+/** Search result: verified hits plus the raw engine run. */
+struct SearchResult
+{
+    std::vector<OffTargetHit> hits;
+    PatternSet patterns;
+    EngineRun run;
+    size_t droppedEvents = 0; //!< unverifiable events (AP counter design)
+};
+
+/** Run an off-target search. */
+SearchResult search(const genome::Sequence &genome,
+                    const std::vector<Guide> &guides,
+                    const SearchConfig &config = {});
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_SEARCH_HPP_

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Umbrella header: the library's public API surface in one include.
+ *
+ * @code
+ *   #include "crispr.hpp"
+ *   auto res = crispr::core::search(genome, guides, config);
+ * @endcode
+ */
+
+#ifndef CRISPR_CRISPR_HPP_
+#define CRISPR_CRISPR_HPP_
+
+// Common substrate.
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+// Genome substrate.
+#include "genome/alphabet.hpp"
+#include "genome/fasta.hpp"
+#include "genome/generator.hpp"
+#include "genome/packed.hpp"
+#include "genome/record_map.hpp"
+#include "genome/sequence.hpp"
+
+// Automata.
+#include "automata/anml.hpp"
+#include "automata/builders.hpp"
+#include "automata/dfa.hpp"
+#include "automata/dot.hpp"
+#include "automata/edit.hpp"
+#include "automata/hopcroft.hpp"
+#include "automata/interp.hpp"
+
+// Engines.
+#include "ap/capacity.hpp"
+#include "ap/machine.hpp"
+#include "ap/scaling.hpp"
+#include "ap/simulator.hpp"
+#include "baselines/brute.hpp"
+#include "baselines/casoffinder.hpp"
+#include "baselines/casot.hpp"
+#include "fpga/fabric.hpp"
+#include "fpga/report.hpp"
+#include "fpga/resource.hpp"
+#include "gpu/infant2.hpp"
+#include "hscan/multipattern.hpp"
+#include "hscan/parallel.hpp"
+#include "hscan/prefilter.hpp"
+
+// Public search API.
+#include "core/bulge.hpp"
+#include "core/guide.hpp"
+#include "core/report.hpp"
+#include "core/score.hpp"
+#include "core/search.hpp"
+
+#endif // CRISPR_CRISPR_HPP_

@@ -1,0 +1,58 @@
+#include "fpga/fabric.hpp"
+
+#include "common/logging.hpp"
+
+namespace crispr::fpga {
+
+using automata::ReportEvent;
+using automata::ReportSink;
+
+FpgaFabric::FpgaFabric(automata::Nfa nfa, const FpgaDeviceSpec &spec)
+    : nfa_(std::move(nfa)), spec_(spec)
+{
+    nfa_.validate();
+    resources_ = estimateResources(automata::computeStats(nfa_), spec_);
+}
+
+FpgaRunStats
+FpgaFabric::run(std::span<const uint8_t> input, const ReportSink &sink)
+{
+    FpgaRunStats stats;
+    automata::NfaInterpreter interp(nfa_);
+    interp.scan(input, [&](uint32_t id, uint64_t end) {
+        ++stats.reportEvents;
+        if (sink)
+            sink(id, end);
+    });
+    stats.cycles = input.size();
+    stats.stateToggles = interp.activationCount();
+    return stats;
+}
+
+std::vector<ReportEvent>
+FpgaFabric::scanAll(const genome::Sequence &seq)
+{
+    std::vector<ReportEvent> events;
+    run(seq.codes(), [&](uint32_t id, uint64_t end) {
+        events.push_back(ReportEvent{id, end});
+    });
+    automata::normalizeEvents(events);
+    return events;
+}
+
+FpgaTimeBreakdown
+FpgaFabric::timeBreakdown(uint64_t symbols) const
+{
+    FpgaTimeBreakdown t;
+    t.configureSeconds = spec_.configureSeconds * resources_.passes;
+    const double stream =
+        static_cast<double>(symbols) / resources_.clockHz;
+    const double pcie =
+        static_cast<double>(symbols) / (spec_.pcieGBs * 1e9);
+    // Streaming overlaps the kernel; the slower of the two paces it.
+    t.kernelSeconds = std::max(stream, pcie) * resources_.passes;
+    t.transferSeconds = 0.0; // folded into kernel pacing above
+    return t;
+}
+
+} // namespace crispr::fpga

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * FPGA spatial-automata fabric simulator: functionally cycle-accurate
+ * (every state register updates once per clock; one input symbol per
+ * clock), with the kernel time derived from the resource model's
+ * achievable frequency. Functional behaviour is exactly the homogeneous
+ * NFA semantics, reusing the reference interpreter as the datapath.
+ */
+
+#ifndef CRISPR_FPGA_FABRIC_HPP_
+#define CRISPR_FPGA_FABRIC_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "automata/interp.hpp"
+#include "fpga/resource.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::fpga {
+
+/** Statistics of one fabric run. */
+struct FpgaRunStats
+{
+    uint64_t cycles = 0;       //!< symbol clocks (1 per input symbol)
+    uint64_t reportEvents = 0;
+    uint64_t stateToggles = 0; //!< FF activations (energy proxy)
+};
+
+/** End-to-end time decomposition. */
+struct FpgaTimeBreakdown
+{
+    double configureSeconds = 0.0;
+    double transferSeconds = 0.0; //!< input streaming over PCIe
+    double kernelSeconds = 0.0;
+    double
+    totalSeconds() const
+    {
+        return configureSeconds + transferSeconds + kernelSeconds;
+    }
+};
+
+/** A compiled spatial design: automaton + resources + clock. */
+class FpgaFabric
+{
+  public:
+    /** "Synthesise" an automaton onto the device (resource model). */
+    FpgaFabric(automata::Nfa nfa, const FpgaDeviceSpec &spec = {});
+
+    const ResourceEstimate &resources() const { return resources_; }
+    const FpgaDeviceSpec &device() const { return spec_; }
+
+    /** Run the fabric over an input stream. */
+    FpgaRunStats run(std::span<const uint8_t> input,
+                     const automata::ReportSink &sink);
+
+    /** Run and collect normalised events. */
+    std::vector<automata::ReportEvent>
+    scanAll(const genome::Sequence &seq);
+
+    /** Kernel seconds of a run at the modelled clock. */
+    double
+    kernelSeconds(const FpgaRunStats &stats) const
+    {
+        return static_cast<double>(stats.cycles) / resources_.clockHz *
+               resources_.passes;
+    }
+
+    /** Full time decomposition for `symbols` of input. */
+    FpgaTimeBreakdown timeBreakdown(uint64_t symbols) const;
+
+  private:
+    automata::Nfa nfa_;
+    FpgaDeviceSpec spec_;
+    ResourceEstimate resources_;
+};
+
+} // namespace crispr::fpga
+
+#endif // CRISPR_FPGA_FABRIC_HPP_

@@ -1,0 +1,121 @@
+#include "fpga/report.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::fpga {
+
+const char *
+reportFormatName(ReportFormat format)
+{
+    switch (format) {
+      case ReportFormat::RecordPerEvent:
+        return "record-per-event";
+      case ReportFormat::CycleBitmap:
+        return "cycle-bitmap";
+      case ReportFormat::CompressedIds:
+        return "compressed-ids";
+      case ReportFormat::OffsetDelta:
+        return "offset-delta";
+    }
+    return "unknown";
+}
+
+ReportTraffic
+trafficOf(const std::vector<automata::ReportEvent> &events,
+          uint64_t report_states, uint64_t total_cycles)
+{
+    ReportTraffic t;
+    t.events = events.size();
+    t.reportStates = report_states;
+    t.totalCycles = total_cycles;
+    uint64_t last = UINT64_MAX;
+    for (const auto &e : events) {
+        if (e.end != last) {
+            ++t.reportingCycles;
+            last = e.end;
+        }
+    }
+    return t;
+}
+
+namespace {
+
+uint64_t
+varintBytes(uint64_t v)
+{
+    uint64_t bytes = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++bytes;
+    }
+    return bytes;
+}
+
+} // namespace
+
+uint64_t
+encodedBytes(ReportFormat format, const ReportTraffic &traffic,
+             const std::vector<automata::ReportEvent> &events)
+{
+    switch (format) {
+      case ReportFormat::RecordPerEvent:
+        // 32-bit id + 32-bit offset per event.
+        return traffic.events * 8;
+      case ReportFormat::CycleBitmap: {
+        // Per reporting cycle: 32-bit offset + one bit per reporting
+        // element, byte-padded.
+        const uint64_t bitmap = (traffic.reportStates + 7) / 8;
+        return traffic.reportingCycles * (4 + bitmap);
+      }
+      case ReportFormat::CompressedIds:
+        // Per reporting cycle: 32-bit offset + 8-bit count; 16-bit id
+        // per event in the cycle.
+        return traffic.reportingCycles * 5 + traffic.events * 2;
+      case ReportFormat::OffsetDelta: {
+        // Varint offset deltas between reporting cycles + 8-bit count
+        // + 16-bit ids.
+        uint64_t bytes = 0;
+        uint64_t last = 0;
+        uint64_t last_cycle = UINT64_MAX;
+        for (const auto &e : events) {
+            if (e.end != last_cycle) {
+                bytes += varintBytes(e.end - last) + 1;
+                last = e.end;
+                last_cycle = e.end;
+            }
+            bytes += 2;
+        }
+        return bytes;
+      }
+    }
+    panic("unknown report format");
+}
+
+double
+drainSeconds(uint64_t bytes, double link_gbs)
+{
+    CRISPR_ASSERT(link_gbs > 0);
+    return static_cast<double>(bytes) / (link_gbs * 1e9);
+}
+
+ReportFormat
+recommendFormat(const ReportTraffic &traffic,
+                const std::vector<automata::ReportEvent> &events)
+{
+    ReportFormat best = ReportFormat::RecordPerEvent;
+    uint64_t best_bytes = encodedBytes(best, traffic, events);
+    for (ReportFormat f :
+         {ReportFormat::CycleBitmap, ReportFormat::CompressedIds,
+          ReportFormat::OffsetDelta}) {
+        const uint64_t bytes = encodedBytes(f, traffic, events);
+        if (bytes < best_bytes) {
+            best_bytes = bytes;
+            best = f;
+        }
+    }
+    return best;
+}
+
+} // namespace crispr::fpga

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Report-stream encodings for spatial automata platforms. The paper's
+ * closing section proposes reporting-architecture improvements; this
+ * module models the output traffic of the candidate encodings so the
+ * E10 experiment can compare them:
+ *
+ *  - RecordPerEvent: one (report-id, offset) record per event — what
+ *    the AP driver effectively delivers;
+ *  - CycleBitmap: one bitmap over all reporting elements per reporting
+ *    cycle plus the cycle offset — what a naive FPGA capture does;
+ *  - CompressedIds: per reporting cycle, the offset plus a short id
+ *    list — the paper-style compression (few reporters fire at once);
+ *  - OffsetDelta: CompressedIds with varint-coded offset deltas —
+ *    exploits report clustering.
+ */
+
+#ifndef CRISPR_FPGA_REPORT_HPP_
+#define CRISPR_FPGA_REPORT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/interp.hpp"
+
+namespace crispr::fpga {
+
+/** Candidate report-stream encodings. */
+enum class ReportFormat
+{
+    RecordPerEvent,
+    CycleBitmap,
+    CompressedIds,
+    OffsetDelta,
+};
+
+const char *reportFormatName(ReportFormat format);
+
+/** Aggregate description of a run's report traffic. */
+struct ReportTraffic
+{
+    uint64_t events = 0;          //!< total report events
+    uint64_t reportingCycles = 0; //!< cycles with >= 1 event
+    uint64_t reportStates = 0;    //!< reporting elements in the design
+    uint64_t totalCycles = 0;     //!< stream length
+};
+
+/** Gather traffic statistics from a normalised event list. */
+ReportTraffic trafficOf(const std::vector<automata::ReportEvent> &events,
+                        uint64_t report_states, uint64_t total_cycles);
+
+/** Encoded output bytes of a run under a format (exact for
+ *  RecordPerEvent/CycleBitmap; OffsetDelta uses the actual deltas). */
+uint64_t encodedBytes(ReportFormat format, const ReportTraffic &traffic,
+                      const std::vector<automata::ReportEvent> &events);
+
+/** Seconds to drain `bytes` over the host link. */
+double drainSeconds(uint64_t bytes, double link_gbs);
+
+/** The cheapest format for the given traffic. */
+ReportFormat recommendFormat(const ReportTraffic &traffic,
+                             const std::vector<automata::ReportEvent>
+                                 &events);
+
+} // namespace crispr::fpga
+
+#endif // CRISPR_FPGA_REPORT_HPP_

@@ -1,0 +1,44 @@
+#include "fpga/resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crispr::fpga {
+
+ResourceEstimate
+estimateResources(const automata::NfaStats &stats,
+                  const FpgaDeviceSpec &spec)
+{
+    ResourceEstimate r;
+    // Per STE: the 5-way symbol decode is shared; matching the decoded
+    // one-hot against the state's class plus the enable AND folds into
+    // one LUT6. The enable OR over fan-in costs a LUT6 tree.
+    const uint64_t match_luts = stats.states;
+    const uint64_t enable_luts = (stats.edges + 5) / 6;
+    const uint64_t infra_luts = 256; // stream interface + control
+    r.luts = match_luts + enable_luts + infra_luts;
+    r.flipflops = stats.states + 512;
+    // Report capture: one BRAM FIFO per 64 reporting states plus the
+    // offset counter block.
+    r.brams = 2 + (stats.reportStates + 63) / 64;
+
+    r.lutUtilization = static_cast<double>(r.luts) /
+                       static_cast<double>(spec.luts);
+    const double ff_util = static_cast<double>(r.flipflops) /
+                           static_cast<double>(spec.flipflops);
+    const double util = std::max(r.lutUtilization, ff_util);
+    r.fits = r.luts <= spec.luts && r.flipflops <= spec.flipflops &&
+             r.brams <= spec.brams;
+    r.passes = r.fits ? 1
+                      : static_cast<uint32_t>(std::ceil(util));
+
+    // Congestion model: achievable clock degrades with utilisation of
+    // the (per-pass) device.
+    const double per_pass_util = std::min(1.0, util / r.passes);
+    double clock =
+        spec.baseClockHz / (1.0 + spec.congestionAlpha * per_pass_util);
+    r.clockHz = std::max(clock, spec.minClockHz);
+    return r;
+}
+
+} // namespace crispr::fpga

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * FPGA resource and frequency model for spatial automata (the REAPR
+ * flow the paper uses): one flip-flop per STE, LUT-mapped symbol match
+ * and enable logic, BRAM-backed report capture. The achievable clock
+ * degrades with device utilisation (routing congestion), which is what
+ * makes a full board slower per symbol than the AP's fixed 133 MHz.
+ */
+
+#ifndef CRISPR_FPGA_RESOURCE_HPP_
+#define CRISPR_FPGA_RESOURCE_HPP_
+
+#include <cstdint>
+
+#include "automata/nfa.hpp"
+
+namespace crispr::fpga {
+
+/** Target device constants (defaults: Xilinx Kintex UltraScale KU060). */
+struct FpgaDeviceSpec
+{
+    const char *name = "xcku060";
+    uint64_t luts = 331680;
+    uint64_t flipflops = 663360;
+    uint64_t brams = 1080;       //!< 36 Kb blocks
+    /**
+     * Small-design achievable clock and its congestion slope
+     * (f = base / (1 + alpha * util)). REAPR reports 200-680 MHz for
+     * small automata and ~100 MHz once routing congests; the slope is
+     * calibrated so a device-filling off-target design closes timing
+     * near 90 MHz — the clock the paper's own "AP kernel 1.5x faster
+     * than FPGA" result implies (AP is fixed at 133 MHz).
+     */
+    double baseClockHz = 220e6;
+    double congestionAlpha = 5.5;
+    double minClockHz = 60e6;
+    double pcieGBs = 3.0;        //!< streaming input bandwidth
+    double configureSeconds = 0.35; //!< partial-reconfig bitstream load
+    double watts = 25.0;         //!< board power under load (KU060 card)
+};
+
+/** Resource estimate of a compiled automaton. */
+struct ResourceEstimate
+{
+    uint64_t luts = 0;
+    uint64_t flipflops = 0;
+    uint64_t brams = 0;
+    double lutUtilization = 0.0;
+    bool fits = false;
+    uint32_t passes = 1;     //!< reconfig passes when over capacity
+    double clockHz = 0.0;    //!< modelled achievable frequency
+};
+
+/** Estimate resources + clock for an automaton on a device. */
+ResourceEstimate estimateResources(const automata::NfaStats &stats,
+                                   const FpgaDeviceSpec &spec = {});
+
+} // namespace crispr::fpga
+
+#endif // CRISPR_FPGA_RESOURCE_HPP_

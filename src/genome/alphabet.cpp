@@ -1,0 +1,123 @@
+#include "genome/alphabet.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "common/logging.hpp"
+
+namespace crispr::genome {
+
+namespace {
+
+constexpr std::array<uint8_t, 256>
+makeCodeTable()
+{
+    std::array<uint8_t, 256> t{};
+    for (auto &v : t)
+        v = kCodeInvalid;
+    t['A'] = t['a'] = 0;
+    t['C'] = t['c'] = 1;
+    t['G'] = t['g'] = 2;
+    t['T'] = t['t'] = 3;
+    t['U'] = t['u'] = 3; // RNA input tolerated
+    t['N'] = t['n'] = kCodeN;
+    return t;
+}
+
+constexpr std::array<uint8_t, 256> kCodeTable = makeCodeTable();
+
+constexpr BaseMask A = 1, C = 2, G = 4, T = 8;
+
+constexpr std::array<BaseMask, 256>
+makeIupacTable()
+{
+    std::array<BaseMask, 256> t{};
+    auto set = [&t](char lo, char hi, BaseMask m) {
+        t[static_cast<unsigned char>(lo)] = m;
+        t[static_cast<unsigned char>(hi)] = m;
+    };
+    set('a', 'A', A);
+    set('c', 'C', C);
+    set('g', 'G', G);
+    set('t', 'T', T);
+    set('u', 'U', T);
+    set('r', 'R', A | G);
+    set('y', 'Y', C | T);
+    set('s', 'S', G | C);
+    set('w', 'W', A | T);
+    set('k', 'K', G | T);
+    set('m', 'M', A | C);
+    set('b', 'B', C | G | T);
+    set('d', 'D', A | G | T);
+    set('h', 'H', A | C | T);
+    set('v', 'V', A | C | G);
+    set('n', 'N', A | C | G | T);
+    return t;
+}
+
+constexpr std::array<BaseMask, 256> kIupacTable = makeIupacTable();
+
+constexpr char kMaskToIupac[16] = {
+    '?', 'A', 'C', 'M', 'G', 'R', 'S', 'V',
+    'T', 'W', 'Y', 'H', 'K', 'D', 'B', 'N',
+};
+
+} // namespace
+
+uint8_t
+baseCode(char c)
+{
+    return kCodeTable[static_cast<unsigned char>(c)];
+}
+
+char
+baseChar(uint8_t code)
+{
+    static constexpr char chars[] = {'A', 'C', 'G', 'T', 'N'};
+    CRISPR_ASSERT(code < kNumSymbols);
+    return chars[code];
+}
+
+uint8_t
+complementCode(uint8_t code)
+{
+    CRISPR_ASSERT(code < kNumSymbols);
+    return code == kCodeN ? kCodeN : static_cast<uint8_t>(3 - code);
+}
+
+BaseMask
+iupacMask(char c)
+{
+    return kIupacTable[static_cast<unsigned char>(c)];
+}
+
+char
+maskIupac(BaseMask mask)
+{
+    CRISPR_ASSERT(mask < 16);
+    return kMaskToIupac[mask];
+}
+
+BaseMask
+complementMask(BaseMask mask)
+{
+    // Complementing the base set: base b is in the result iff
+    // complement(b) is in the input. A<->T is bit0<->bit3, C<->G is
+    // bit1<->bit2, i.e. a 4-bit reversal.
+    BaseMask out = 0;
+    for (int b = 0; b < 4; ++b)
+        if ((mask >> b) & 1u)
+            out |= static_cast<BaseMask>(1u << (3 - b));
+    return out;
+}
+
+void
+validateIupac(const std::string &s, const char *what)
+{
+    for (char c : s) {
+        if (iupacMask(c) == 0)
+            fatal("%s contains non-IUPAC character '%c'", what, c);
+    }
+}
+
+} // namespace crispr::genome

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DNA alphabet: base codes, IUPAC degenerate codes, complements.
+ *
+ * Conventions used throughout the library:
+ *  - A genome is a stream of 3-bit codes: A=0, C=1, G=2, T=3, N=4.
+ *  - A pattern position is a 4-bit BaseMask over {A,C,G,T}; bit b is set
+ *    iff base code b matches. IUPAC letters map to masks (N -> 0b1111,
+ *    R -> A|G, ...).
+ *  - A genome 'N' matches *no* mask: unresolved reference positions never
+ *    produce hits (this matches CasOFFinder/CasOT behaviour).
+ */
+
+#ifndef CRISPR_GENOME_ALPHABET_HPP_
+#define CRISPR_GENOME_ALPHABET_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace crispr::genome {
+
+/** Number of distinct genome symbol codes (A, C, G, T, N). */
+inline constexpr int kNumSymbols = 5;
+
+/** Code of the unresolved base 'N' in a genome stream. */
+inline constexpr uint8_t kCodeN = 4;
+
+/** Code of an invalid / non-DNA character. */
+inline constexpr uint8_t kCodeInvalid = 0xff;
+
+/** 4-bit match mask over base codes {A=1, C=2, G=4, T=8}. */
+using BaseMask = uint8_t;
+
+/** Mask that matches any concrete base (IUPAC 'N'). */
+inline constexpr BaseMask kMaskAny = 0xf;
+
+/**
+ * Convert an ASCII base character to its code.
+ * @return 0-3 for acgtACGT, 4 for nN, kCodeInvalid otherwise.
+ */
+uint8_t baseCode(char c);
+
+/** Convert a code (0-4) back to an upper-case ASCII character. */
+char baseChar(uint8_t code);
+
+/** Complement of a base code (A<->T, C<->G, N->N). */
+uint8_t complementCode(uint8_t code);
+
+/**
+ * Convert an IUPAC character (ACGTURYSWKMBDHVN, case-insensitive) to a
+ * BaseMask. @return 0 for non-IUPAC characters.
+ */
+BaseMask iupacMask(char c);
+
+/** Inverse of iupacMask(); returns the canonical IUPAC letter of a mask. */
+char maskIupac(BaseMask mask);
+
+/** Complement of a mask (complement of the base set it denotes). */
+BaseMask complementMask(BaseMask mask);
+
+/** True iff genome symbol code `code` matches pattern mask `mask`. */
+inline bool
+maskMatches(BaseMask mask, uint8_t code)
+{
+    // N (code 4) shifts past the 4-bit mask and never matches.
+    return code < 4 && ((mask >> code) & 1u);
+}
+
+/** Validate that every character of `s` is IUPAC; fatal() otherwise. */
+void validateIupac(const std::string &s, const char *what);
+
+} // namespace crispr::genome
+
+#endif // CRISPR_GENOME_ALPHABET_HPP_

@@ -1,0 +1,77 @@
+#include "genome/fasta_stream.hpp"
+
+#include <istream>
+
+#include "common/logging.hpp"
+#include "genome/alphabet.hpp"
+
+namespace crispr::genome {
+
+FastaStreamReader::FastaStreamReader(std::istream &in) : in_(in) {}
+
+bool
+FastaStreamReader::next(size_t max_codes, std::vector<uint8_t> &out)
+{
+    out.clear();
+    CRISPR_ASSERT(max_codes > 0);
+
+    while (out.size() < max_codes) {
+        if (linePos_ >= line_.size()) {
+            // Fetch the next non-empty line.
+            if (!std::getline(in_, line_)) {
+                line_.clear();
+                linePos_ = 0;
+                break;
+            }
+            if (!line_.empty() && line_.back() == '\r')
+                line_.pop_back();
+            linePos_ = 0;
+            if (line_.empty())
+                continue;
+            if (line_[0] == '>') {
+                std::string header = line_.substr(1);
+                auto ws = header.find_first_of(" \t");
+                std::string name =
+                    ws == std::string::npos ? header
+                                            : header.substr(0, ws);
+                if (name.empty())
+                    fatal("FASTA stream: empty record name");
+                if (sawRecord_)
+                    pendingSeparator_ = true;
+                sawRecord_ = true;
+                // The record's start offset accounts for the pending
+                // separator that will be emitted first.
+                records_.push_back(RecordInfo{
+                    std::move(name),
+                    offset_ + (pendingSeparator_ ? 1 : 0)});
+                line_.clear();
+                continue;
+            }
+            if (!sawRecord_)
+                fatal("FASTA stream: sequence data before any '>' "
+                      "header");
+        }
+        if (pendingSeparator_) {
+            out.push_back(kCodeN);
+            ++offset_;
+            pendingSeparator_ = false;
+            continue;
+        }
+        while (linePos_ < line_.size() && out.size() < max_codes) {
+            const char c = line_[linePos_++];
+            uint8_t code = baseCode(c);
+            if (code == kCodeInvalid) {
+                code = iupacMask(c) != 0 ? kCodeN : kCodeInvalid;
+            }
+            if (code == kCodeInvalid)
+                fatal("FASTA stream: invalid character '%c'", c);
+            out.push_back(code);
+            ++offset_;
+        }
+    }
+    if (out.empty() && !sawRecord_)
+        fatal("FASTA stream contains no records");
+    return !out.empty();
+}
+
+} // namespace crispr::genome

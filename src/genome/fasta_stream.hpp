@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Streaming FASTA reader: decodes a (possibly multi-gigabyte)
+ * multi-record FASTA into genome-code chunks without materialising the
+ * whole reference, inserting the same single-N record separators as
+ * concatenateRecords() so chunked scanning over the stream is
+ * bit-identical to scanning the concatenated sequence (tested).
+ */
+
+#ifndef CRISPR_GENOME_FASTA_STREAM_HPP_
+#define CRISPR_GENOME_FASTA_STREAM_HPP_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crispr::genome {
+
+/** Incremental FASTA decoder. */
+class FastaStreamReader
+{
+  public:
+    /** @param in FASTA text stream; must outlive the reader. */
+    explicit FastaStreamReader(std::istream &in);
+
+    /**
+     * Decode up to `max_codes` further genome codes into `out`
+     * (cleared first). @return false when the stream is exhausted and
+     * nothing was produced.
+     */
+    bool next(size_t max_codes, std::vector<uint8_t> &out);
+
+    /** Global stream offset of the next code to be produced. */
+    uint64_t offset() const { return offset_; }
+
+    /** Names of the records seen so far, with their stream offsets. */
+    struct RecordInfo
+    {
+        std::string name;
+        uint64_t start;
+    };
+    const std::vector<RecordInfo> &records() const { return records_; }
+
+  private:
+    std::istream &in_;
+    uint64_t offset_ = 0;
+    bool sawRecord_ = false;
+    bool pendingSeparator_ = false;
+    std::string line_;
+    size_t linePos_ = 0;
+    std::vector<RecordInfo> records_;
+};
+
+} // namespace crispr::genome
+
+#endif // CRISPR_GENOME_FASTA_STREAM_HPP_

@@ -1,0 +1,167 @@
+#include "genome/generator.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::genome {
+
+namespace {
+
+/** Draw one base from a cumulative distribution over {A,C,G,T}. */
+uint8_t
+drawBase(Rng &rng, const double *cum)
+{
+    double u = rng.uniform();
+    for (uint8_t b = 0; b < 3; ++b)
+        if (u < cum[b])
+            return b;
+    return 3;
+}
+
+} // namespace
+
+Sequence
+generateGenome(const GenomeSpec &spec)
+{
+    Rng rng(spec.seed);
+    std::vector<uint8_t> codes(spec.length);
+
+    switch (spec.model) {
+      case CompositionModel::Uniform: {
+        for (size_t i = 0; i < spec.length; ++i)
+            codes[i] = static_cast<uint8_t>(rng.below(4));
+        break;
+      }
+      case CompositionModel::GcBiased: {
+        // Human genome ~41% GC: P(A)=P(T)=0.295, P(C)=P(G)=0.205.
+        const double cum[3] = {0.295, 0.500, 0.705};
+        for (size_t i = 0; i < spec.length; ++i)
+            codes[i] = drawBase(rng, cum);
+        break;
+      }
+      case CompositionModel::Markov1: {
+        // Order-1 transition probabilities with CpG depletion, the most
+        // prominent dinucleotide bias of mammalian genomes.
+        // Rows: previous base A,C,G,T; cumulative over next base A,C,G.
+        static const double cum[4][3] = {
+            {0.33, 0.51, 0.79}, // after A
+            {0.36, 0.62, 0.67}, // after C: CG rare (5%)
+            {0.30, 0.51, 0.79}, // after G
+            {0.22, 0.42, 0.70}, // after T
+        };
+        uint8_t prev = static_cast<uint8_t>(rng.below(4));
+        for (size_t i = 0; i < spec.length; ++i) {
+            uint8_t b = drawBase(rng, cum[prev]);
+            codes[i] = b;
+            prev = b;
+        }
+        break;
+      }
+    }
+
+    if (spec.n_fraction > 0.0 && spec.length > 0) {
+        // Insert N runs (assembly gaps) of geometric length, mean 50.
+        size_t n_total =
+            static_cast<size_t>(spec.n_fraction *
+                                static_cast<double>(spec.length));
+        size_t placed = 0;
+        while (placed < n_total) {
+            size_t run = 1 + rng.below(100);
+            run = std::min(run, n_total - placed);
+            size_t at = rng.below(spec.length);
+            for (size_t i = 0; i < run && at + i < spec.length; ++i)
+                codes[at + i] = kCodeN;
+            placed += run;
+        }
+    }
+
+    return Sequence(std::move(codes));
+}
+
+Sequence
+randomGuide(Rng &rng, size_t length)
+{
+    std::vector<uint8_t> codes(length);
+    for (auto &c : codes)
+        c = static_cast<uint8_t>(rng.below(4));
+    return Sequence(std::move(codes));
+}
+
+Sequence
+sampleGuideFromGenome(const Sequence &genome, Rng &rng, size_t length)
+{
+    if (genome.size() < length)
+        return Sequence();
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        size_t at = rng.below(genome.size() - length + 1);
+        Sequence window = genome.slice(at, length);
+        if (window.countN() == 0)
+            return window;
+    }
+    return Sequence();
+}
+
+Sequence
+mutateSite(const Sequence &site, int mismatches, size_t lo, size_t hi,
+           Rng &rng)
+{
+    CRISPR_ASSERT(lo <= hi && hi <= site.size());
+    CRISPR_ASSERT(static_cast<size_t>(mismatches) <= hi - lo);
+    Sequence out = site;
+    std::vector<size_t> positions;
+    for (size_t i = lo; i < hi; ++i)
+        positions.push_back(i);
+    // Partial Fisher-Yates: pick `mismatches` distinct positions.
+    for (int m = 0; m < mismatches; ++m) {
+        size_t j = m + rng.below(positions.size() - m);
+        std::swap(positions[m], positions[j]);
+        size_t at = positions[m];
+        uint8_t old = out[at];
+        CRISPR_ASSERT(old < 4);
+        uint8_t nb = static_cast<uint8_t>((old + 1 + rng.below(3)) & 3);
+        out[at] = nb;
+    }
+    return out;
+}
+
+void
+plantSite(Sequence &genome, size_t offset, const Sequence &site)
+{
+    CRISPR_ASSERT(offset + site.size() <= genome.size());
+    for (size_t i = 0; i < site.size(); ++i)
+        genome[offset + i] = site[i];
+}
+
+std::vector<size_t>
+plantMutatedSites(Sequence &genome, const Sequence &site, int count,
+                  int mismatches, size_t mut_lo, size_t mut_hi, Rng &rng)
+{
+    std::vector<size_t> offsets;
+    if (genome.size() < site.size())
+        return offsets;
+    std::vector<std::pair<size_t, size_t>> used; // [start, end)
+    int attempts = 0;
+    while (static_cast<int>(offsets.size()) < count && attempts < count * 200) {
+        ++attempts;
+        size_t at = rng.below(genome.size() - site.size() + 1);
+        size_t end = at + site.size();
+        bool overlaps = false;
+        for (auto [s, e] : used) {
+            if (at < e && s < end) {
+                overlaps = true;
+                break;
+            }
+        }
+        if (overlaps)
+            continue;
+        Sequence mutated = mutateSite(site, mismatches, mut_lo, mut_hi, rng);
+        plantSite(genome, at, mutated);
+        used.emplace_back(at, end);
+        offsets.push_back(at);
+    }
+    std::sort(offsets.begin(), offsets.end());
+    return offsets;
+}
+
+} // namespace crispr::genome

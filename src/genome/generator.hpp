@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic synthetic-genome and guide-set generation: the stand-in
+ * for hg19 + published gRNA sets (see the substitution table in
+ * DESIGN.md). Supports planting off-target sites with a known mismatch
+ * count so tests and benches have exact ground truth.
+ */
+
+#ifndef CRISPR_GENOME_GENERATOR_HPP_
+#define CRISPR_GENOME_GENERATOR_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::genome {
+
+/** Base-composition models for synthetic genomes. */
+enum class CompositionModel
+{
+    Uniform,  //!< each base equiprobable
+    GcBiased, //!< human-like ~41% GC content
+    Markov1,  //!< order-1 Markov chain with human-like dinucleotide bias
+};
+
+/** Parameters of synthetic genome generation. */
+struct GenomeSpec
+{
+    size_t length = 1 << 20;
+    CompositionModel model = CompositionModel::GcBiased;
+    double n_fraction = 0.0; //!< fraction of positions replaced by N runs
+    uint64_t seed = 42;
+};
+
+/** Generate a synthetic genome per the spec. Deterministic in the seed. */
+Sequence generateGenome(const GenomeSpec &spec);
+
+/** A site planted into a genome, with its ground-truth properties. */
+struct PlantedSite
+{
+    size_t offset;      //!< start of the site in the genome
+    uint32_t guide;     //!< index of the guide it derives from
+    int mismatches;     //!< exact Hamming distance to the guide pattern
+    bool reverse;       //!< planted on the reverse strand
+};
+
+/**
+ * Generate a random guide protospacer (concrete ACGT sequence) of the
+ * given length.
+ */
+Sequence randomGuide(Rng &rng, size_t length = 20);
+
+/**
+ * Sample a guide protospacer from a genome (guaranteeing an on-target
+ * site exists), avoiding windows containing N. @return empty sequence if
+ * no N-free window exists.
+ */
+Sequence sampleGuideFromGenome(const Sequence &genome, Rng &rng,
+                               size_t length = 20);
+
+/**
+ * Mutate `site` at exactly `mismatches` distinct positions chosen from
+ * [lo, hi) (changing each base to a different concrete base).
+ */
+Sequence mutateSite(const Sequence &site, int mismatches, size_t lo,
+                    size_t hi, Rng &rng);
+
+/**
+ * Overwrite genome[offset .. offset+site.size()) with `site`.
+ * Offsets out of range raise PanicError.
+ */
+void plantSite(Sequence &genome, size_t offset, const Sequence &site);
+
+/**
+ * Plant `count` non-overlapping mutated copies of `site` (a concrete
+ * guide+PAM sequence), each with exactly `mismatches` mismatches confined
+ * to [mut_lo, mut_hi). Returns the planted offsets. Best-effort: if the
+ * genome is too crowded fewer sites may be planted.
+ */
+std::vector<size_t> plantMutatedSites(Sequence &genome, const Sequence &site,
+                                      int count, int mismatches,
+                                      size_t mut_lo, size_t mut_hi,
+                                      Rng &rng);
+
+} // namespace crispr::genome
+
+#endif // CRISPR_GENOME_GENERATOR_HPP_

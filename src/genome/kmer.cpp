@@ -1,0 +1,58 @@
+#include "genome/kmer.hpp"
+
+#include "common/logging.hpp"
+
+namespace crispr::genome {
+
+bool
+encodeKmer(const Sequence &seq, size_t pos, size_t k, uint64_t &code)
+{
+    CRISPR_ASSERT(k > 0 && k <= kMaxK);
+    CRISPR_ASSERT(pos + k <= seq.size());
+    uint64_t c = 0;
+    for (size_t i = 0; i < k; ++i) {
+        uint8_t b = seq[pos + i];
+        if (b >= 4)
+            return false;
+        c = (c << 2) | b;
+    }
+    code = c;
+    return true;
+}
+
+Sequence
+decodeKmer(uint64_t code, size_t k)
+{
+    CRISPR_ASSERT(k > 0 && k <= kMaxK);
+    std::vector<uint8_t> codes(k);
+    for (size_t i = 0; i < k; ++i) {
+        codes[k - 1 - i] = static_cast<uint8_t>(code & 3);
+        code >>= 2;
+    }
+    return Sequence(std::move(codes));
+}
+
+void
+forEachKmer(const Sequence &seq, size_t k,
+            const std::function<void(size_t, uint64_t)> &fn)
+{
+    CRISPR_ASSERT(k > 0 && k <= kMaxK);
+    if (seq.size() < k)
+        return;
+    const uint64_t mask = (k == 32) ? ~0ULL : ((1ULL << (2 * k)) - 1);
+    uint64_t code = 0;
+    size_t valid = 0; // number of consecutive non-N bases ending here
+    for (size_t i = 0; i < seq.size(); ++i) {
+        uint8_t b = seq[i];
+        if (b >= 4) {
+            valid = 0;
+            code = 0;
+            continue;
+        }
+        code = ((code << 2) | b) & mask;
+        if (++valid >= k)
+            fn(i + 1 - k, code);
+    }
+}
+
+} // namespace crispr::genome

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * 2-bit k-mer coding and a rolling k-mer scanner. Used by the CasOT
+ * baseline's exact-seed index.
+ */
+
+#ifndef CRISPR_GENOME_KMER_HPP_
+#define CRISPR_GENOME_KMER_HPP_
+
+#include <cstdint>
+#include <functional>
+
+#include "genome/sequence.hpp"
+
+namespace crispr::genome {
+
+/** Maximum k representable in a 64-bit 2-bit code. */
+inline constexpr size_t kMaxK = 31;
+
+/**
+ * Encode genome[pos .. pos+k) into a 2-bit packed code (base at `pos` in
+ * the most significant position).
+ * @return true on success; false if the window contains an N.
+ */
+bool encodeKmer(const Sequence &seq, size_t pos, size_t k, uint64_t &code);
+
+/** Decode a 2-bit k-mer code back into a Sequence of length k. */
+Sequence decodeKmer(uint64_t code, size_t k);
+
+/**
+ * Invoke `fn(pos, code)` for every N-free k-mer window of `seq`, using a
+ * rolling update (O(1) per position).
+ */
+void forEachKmer(const Sequence &seq, size_t k,
+                 const std::function<void(size_t, uint64_t)> &fn);
+
+} // namespace crispr::genome
+
+#endif // CRISPR_GENOME_KMER_HPP_

@@ -1,0 +1,89 @@
+#include "genome/packed.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::genome {
+
+PackedSequence
+PackedSequence::pack(const Sequence &seq)
+{
+    PackedSequence p;
+    p.size_ = seq.size();
+    p.words_.assign((seq.size() + 3) / 4, 0);
+    for (size_t i = 0; i < seq.size(); ++i) {
+        uint8_t code = seq[i];
+        if (code == kCodeN) {
+            p.nPositions_.push_back(i);
+            code = 0; // stored as A; the exception list overrides
+        }
+        p.words_[i >> 2] |= static_cast<uint8_t>(code << ((i & 3) * 2));
+    }
+    return p;
+}
+
+Sequence
+PackedSequence::unpack() const
+{
+    std::vector<uint8_t> codes;
+    decode(0, size_, codes);
+    return Sequence(std::move(codes));
+}
+
+void
+PackedSequence::decode(size_t pos, size_t len,
+                       std::vector<uint8_t> &out) const
+{
+    if (pos >= size_) {
+        out.clear();
+        return;
+    }
+    const size_t end = std::min(size_, pos + len);
+    out.resize(end - pos);
+    for (size_t i = pos; i < end; ++i)
+        out[i - pos] = static_cast<uint8_t>(
+            (words_[i >> 2] >> ((i & 3) * 2)) & 3);
+    // Patch N exceptions intersecting [pos, end).
+    auto it = std::lower_bound(nPositions_.begin(), nPositions_.end(),
+                               static_cast<uint64_t>(pos));
+    for (; it != nPositions_.end() && *it < end; ++it)
+        out[*it - pos] = kCodeN;
+}
+
+uint8_t
+PackedSequence::at(size_t pos) const
+{
+    CRISPR_ASSERT(pos < size_);
+    if (std::binary_search(nPositions_.begin(), nPositions_.end(),
+                           static_cast<uint64_t>(pos)))
+        return kCodeN;
+    return static_cast<uint8_t>(
+        (words_[pos >> 2] >> ((pos & 3) * 2)) & 3);
+}
+
+size_t
+PackedSequence::memoryBytes() const
+{
+    return words_.size() + nPositions_.size() * sizeof(uint64_t);
+}
+
+void
+PackedSequence::forEachChunk(
+    size_t chunk_len, size_t overlap,
+    const std::function<void(size_t, std::span<const uint8_t>)> &fn)
+    const
+{
+    CRISPR_ASSERT(chunk_len > 0);
+    std::vector<uint8_t> buffer;
+    for (size_t at = 0; at < size_; at += chunk_len) {
+        const size_t lead = at >= overlap ? at - overlap : 0;
+        const size_t end = std::min(size_, at + chunk_len);
+        decode(lead, end - lead, buffer);
+        fn(at, std::span<const uint8_t>(buffer.data(), buffer.size()));
+        if (end == size_)
+            break;
+    }
+}
+
+} // namespace crispr::genome

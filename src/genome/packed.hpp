@@ -1,0 +1,61 @@
+/**
+ * @file
+ * 2-bit packed genome storage: 4 bases per byte plus an exception list
+ * for N positions. Cuts resident memory 4x for hg-scale references;
+ * a chunked decode adapter feeds the (byte-per-base) scan engines.
+ */
+
+#ifndef CRISPR_GENOME_PACKED_HPP_
+#define CRISPR_GENOME_PACKED_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "genome/sequence.hpp"
+
+namespace crispr::genome {
+
+/** A 2-bit packed DNA sequence with N exceptions. */
+class PackedSequence
+{
+  public:
+    PackedSequence() = default;
+
+    /** Pack a byte-per-base sequence. */
+    static PackedSequence pack(const Sequence &seq);
+
+    /** Unpack the whole sequence. */
+    Sequence unpack() const;
+
+    /** Decode [pos, pos+len) into `out` (resized; clamped at end). */
+    void decode(size_t pos, size_t len, std::vector<uint8_t> &out) const;
+
+    /** Base code (0-4) at a position. */
+    uint8_t at(size_t pos) const;
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Resident bytes (packed payload + N exceptions). */
+    size_t memoryBytes() const;
+
+    /**
+     * Stream the sequence in chunks of `chunk_len` decoded codes with
+     * `overlap` leading codes repeated from the previous chunk (for
+     * seamless pattern scanning). fn(chunk_start, codes) where codes
+     * spans [chunk_start - lead, chunk_end).
+     */
+    void forEachChunk(size_t chunk_len, size_t overlap,
+                      const std::function<void(
+                          size_t, std::span<const uint8_t>)> &fn) const;
+
+  private:
+    size_t size_ = 0;
+    std::vector<uint8_t> words_;       //!< 4 bases per byte
+    std::vector<uint64_t> nPositions_; //!< sorted N positions
+};
+
+} // namespace crispr::genome
+
+#endif // CRISPR_GENOME_PACKED_HPP_

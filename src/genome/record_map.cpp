@@ -1,0 +1,58 @@
+#include "genome/record_map.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::genome {
+
+RecordMap
+RecordMap::fromRecords(const std::vector<FastaRecord> &records)
+{
+    RecordMap map;
+    uint64_t at = 0;
+    for (size_t r = 0; r < records.size(); ++r) {
+        if (r > 0)
+            ++at; // the N separator
+        map.names_.push_back(records[r].name);
+        map.starts_.push_back(at);
+        map.lengths_.push_back(records[r].seq.size());
+        at += records[r].seq.size();
+    }
+    map.total_ = at;
+    return map;
+}
+
+RecordMap::Location
+RecordMap::locate(uint64_t global) const
+{
+    Location loc;
+    if (starts_.empty() || global >= total_)
+        return loc;
+    auto it = std::upper_bound(starts_.begin(), starts_.end(), global);
+    const size_t idx = static_cast<size_t>(it - starts_.begin()) - 1;
+    loc.name = names_[idx];
+    loc.offset = global - starts_[idx];
+    loc.withinRecord = loc.offset < lengths_[idx];
+    if (!loc.withinRecord)
+        loc.offset = lengths_[idx]; // clamp onto the separator edge
+    return loc;
+}
+
+RecordMap::Location
+RecordMap::locateWindow(uint64_t global, size_t len) const
+{
+    Location loc = locate(global);
+    if (!loc.withinRecord)
+        return loc;
+    if (len > 0) {
+        Location last = locate(global + len - 1);
+        if (!last.withinRecord || last.name != loc.name) {
+            loc.withinRecord = false;
+            return loc;
+        }
+    }
+    return loc;
+}
+
+} // namespace crispr::genome

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Record map: converts offsets in a concatenated multi-record scan
+ * stream (see concatenateRecords) back to (record name, local offset)
+ * coordinates — chromosome-style reporting for multi-FASTA references.
+ */
+
+#ifndef CRISPR_GENOME_RECORD_MAP_HPP_
+#define CRISPR_GENOME_RECORD_MAP_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genome/fasta.hpp"
+
+namespace crispr::genome {
+
+/** Maps concatenated-stream offsets to per-record coordinates. */
+class RecordMap
+{
+  public:
+    RecordMap() = default;
+
+    /** Build from FASTA records (mirrors concatenateRecords layout:
+     *  one N separator between consecutive records). */
+    static RecordMap fromRecords(const std::vector<FastaRecord> &records);
+
+    /** A located position. */
+    struct Location
+    {
+        std::string name;    //!< record name ("" when out of range)
+        uint64_t offset = 0; //!< 0-based offset within the record
+        bool withinRecord = false; //!< false on separators / past end
+    };
+
+    /** Locate a global stream offset. */
+    Location locate(uint64_t global) const;
+
+    /**
+     * Locate a window [global, global+len); withinRecord only if the
+     * whole window lies inside one record (no separator crossing).
+     */
+    Location locateWindow(uint64_t global, size_t len) const;
+
+    size_t recordCount() const { return names_.size(); }
+
+    /** Total stream length (records + separators). */
+    uint64_t streamLength() const { return total_; }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<uint64_t> starts_;  //!< stream offset of each record
+    std::vector<uint64_t> lengths_;
+    uint64_t total_ = 0;
+};
+
+} // namespace crispr::genome
+
+#endif // CRISPR_GENOME_RECORD_MAP_HPP_

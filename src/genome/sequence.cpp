@@ -1,0 +1,124 @@
+#include "genome/sequence.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::genome {
+
+Sequence::Sequence(std::vector<uint8_t> codes) : codes_(std::move(codes))
+{
+    for (uint8_t c : codes_)
+        CRISPR_ASSERT(c < kNumSymbols);
+}
+
+Sequence
+Sequence::fromString(const std::string &ascii)
+{
+    std::vector<uint8_t> codes;
+    codes.reserve(ascii.size());
+    for (char ch : ascii) {
+        if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r')
+            fatal("sequence string contains whitespace");
+        uint8_t code = baseCode(ch);
+        if (code == kCodeInvalid) {
+            // Degenerate IUPAC letters in a *genome* are unresolved
+            // positions; collapse them to N like the real tools do.
+            code = iupacMask(ch) != 0 ? kCodeN : kCodeInvalid;
+        }
+        if (code == kCodeInvalid)
+            fatal("invalid sequence character '%c'", ch);
+        codes.push_back(code);
+    }
+    Sequence s;
+    s.codes_ = std::move(codes);
+    return s;
+}
+
+std::string
+Sequence::str() const
+{
+    std::string out;
+    out.reserve(codes_.size());
+    for (uint8_t c : codes_)
+        out.push_back(baseChar(c));
+    return out;
+}
+
+void
+Sequence::push_back(uint8_t code)
+{
+    CRISPR_ASSERT(code < kNumSymbols);
+    codes_.push_back(code);
+}
+
+void
+Sequence::append(const Sequence &other)
+{
+    codes_.insert(codes_.end(), other.codes_.begin(), other.codes_.end());
+}
+
+Sequence
+Sequence::slice(size_t pos, size_t len) const
+{
+    Sequence out;
+    if (pos >= codes_.size())
+        return out;
+    size_t end = std::min(codes_.size(), pos + len);
+    out.codes_.assign(codes_.begin() + pos, codes_.begin() + end);
+    return out;
+}
+
+Sequence
+Sequence::reverseComplement() const
+{
+    Sequence out;
+    out.codes_.resize(codes_.size());
+    for (size_t i = 0; i < codes_.size(); ++i)
+        out.codes_[codes_.size() - 1 - i] = complementCode(codes_[i]);
+    return out;
+}
+
+size_t
+Sequence::countN() const
+{
+    return static_cast<size_t>(
+        std::count(codes_.begin(), codes_.end(), kCodeN));
+}
+
+size_t
+maskHamming(std::span<const BaseMask> pattern, const Sequence &text,
+            size_t pos, size_t limit)
+{
+    CRISPR_ASSERT(pos + pattern.size() <= text.size());
+    size_t mismatches = 0;
+    for (size_t i = 0; i < pattern.size(); ++i) {
+        if (!maskMatches(pattern[i], text[pos + i])) {
+            if (++mismatches > limit)
+                return mismatches;
+        }
+    }
+    return mismatches;
+}
+
+std::vector<BaseMask>
+masksFromIupac(const std::string &pattern)
+{
+    validateIupac(pattern, "pattern");
+    std::vector<BaseMask> out;
+    out.reserve(pattern.size());
+    for (char c : pattern)
+        out.push_back(iupacMask(c));
+    return out;
+}
+
+std::vector<BaseMask>
+reverseComplementMasks(std::span<const BaseMask> m)
+{
+    std::vector<BaseMask> out(m.size());
+    for (size_t i = 0; i < m.size(); ++i)
+        out[m.size() - 1 - i] = complementMask(m[i]);
+    return out;
+}
+
+} // namespace crispr::genome

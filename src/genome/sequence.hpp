@@ -1,0 +1,94 @@
+/**
+ * @file
+ * In-memory DNA sequence: a contiguous vector of base codes (0-4) that
+ * every engine in the library streams over. Conversions to/from ASCII,
+ * reverse complement, slicing, and Hamming distance live here.
+ */
+
+#ifndef CRISPR_GENOME_SEQUENCE_HPP_
+#define CRISPR_GENOME_SEQUENCE_HPP_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "genome/alphabet.hpp"
+
+namespace crispr::genome {
+
+/**
+ * A DNA sequence stored as one base code (0-4) per byte.
+ *
+ * A byte-per-base layout (rather than 2-bit packing) keeps the scan loops
+ * of all engines branch-free and is what streaming automata hardware
+ * consumes (one input symbol per cycle).
+ */
+class Sequence
+{
+  public:
+    Sequence() = default;
+
+    /** Construct from raw codes (values must be < kNumSymbols). */
+    explicit Sequence(std::vector<uint8_t> codes);
+
+    /**
+     * Parse from ASCII. Characters acgtACGTuU map to codes; every other
+     * IUPAC / unknown character maps to N. Whitespace is rejected.
+     */
+    static Sequence fromString(const std::string &ascii);
+
+    /** Render as an upper-case ASCII string. */
+    std::string str() const;
+
+    size_t size() const { return codes_.size(); }
+    bool empty() const { return codes_.empty(); }
+
+    uint8_t operator[](size_t i) const { return codes_[i]; }
+    uint8_t &operator[](size_t i) { return codes_[i]; }
+
+    const uint8_t *data() const { return codes_.data(); }
+    uint8_t *data() { return codes_.data(); }
+
+    std::span<const uint8_t> codes() const { return codes_; }
+
+    /** Append a single base code. */
+    void push_back(uint8_t code);
+
+    /** Append another sequence. */
+    void append(const Sequence &other);
+
+    /** Copy of the subsequence [pos, pos+len). Clamped at the end. */
+    Sequence slice(size_t pos, size_t len) const;
+
+    /** Reverse complement of this sequence. */
+    Sequence reverseComplement() const;
+
+    /** Count of N symbols. */
+    size_t countN() const;
+
+    bool operator==(const Sequence &other) const = default;
+
+  private:
+    std::vector<uint8_t> codes_;
+};
+
+/**
+ * Hamming distance between a pattern of BaseMasks and a genome window
+ * starting at `pos` (same length as the pattern). A genome N counts as a
+ * mismatch against every mask.
+ * @return number of mismatching positions, or `limit+1` via early exit
+ *         once the count exceeds `limit` (pass SIZE_MAX for exact count).
+ */
+size_t maskHamming(std::span<const BaseMask> pattern, const Sequence &text,
+                   size_t pos, size_t limit);
+
+/** Convert an IUPAC pattern string to a vector of BaseMasks. */
+std::vector<BaseMask> masksFromIupac(const std::string &pattern);
+
+/** Reverse complement of a mask pattern. */
+std::vector<BaseMask> reverseComplementMasks(std::span<const BaseMask> m);
+
+} // namespace crispr::genome
+
+#endif // CRISPR_GENOME_SEQUENCE_HPP_

@@ -1,0 +1,209 @@
+#include "gpu/infant2.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace crispr::gpu {
+
+using automata::ReportEvent;
+
+Infant2Engine::Infant2Engine(const automata::Nfa &nfa,
+                             const SimtModel &model, size_t chunk_size,
+                             size_t overlap)
+    : graph_(nfa), model_(model), chunkSize_(chunk_size), overlap_(overlap)
+{
+    if (chunkSize_ == 0)
+        fatal("iNFAnt2 chunk size must be positive");
+    if (overlap_ >= chunkSize_)
+        fatal("iNFAnt2 overlap must be smaller than the chunk size");
+}
+
+void
+Infant2Engine::scanChunk(std::span<const uint8_t> input, uint64_t base,
+                         uint64_t emit_from,
+                         std::vector<ReportEvent> &events)
+{
+    const size_t words = (graph_.numStates() + 63) / 64;
+    std::vector<uint64_t> cur(words, 0), next(words, 0);
+    auto test = [&](const std::vector<uint64_t> &v, uint32_t i) {
+        return (v[i >> 6] >> (i & 63)) & 1u;
+    };
+    auto set = [&](std::vector<uint64_t> &v, uint32_t i) {
+        v[i >> 6] |= 1ULL << (i & 63);
+    };
+
+    for (size_t t = 0; t < input.size(); ++t) {
+        const uint8_t c = input[t];
+        CRISPR_ASSERT(c < genome::kNumSymbols);
+        std::fill(next.begin(), next.end(), 0);
+
+        // The kernel fetches the whole per-symbol list; each thread
+        // tests its transition's source bit in shared memory.
+        const auto &list = graph_.transitions(c);
+        work_.transitionsFetched += list.size();
+        for (const Transition &tr : list) {
+            if (test(cur, tr.src)) {
+                ++work_.transitionsTaken;
+                set(next, tr.dst);
+            }
+        }
+        // Persistent (start-anywhere) states are re-injected per symbol.
+        for (uint32_t s : graph_.persistentStarts(c)) {
+            ++work_.startInjections;
+            set(next, s);
+        }
+        if (base + t == 0) {
+            for (uint32_t s : graph_.sodStarts(c))
+                set(next, s);
+        }
+
+        // Report phase: scan the (sparse) frontier for report states.
+        const uint64_t pos = base + t;
+        if (pos >= emit_from) {
+            for (size_t w = 0; w < words; ++w) {
+                uint64_t bits = next[w];
+                while (bits) {
+                    const uint32_t s = static_cast<uint32_t>(
+                        w * 64 + static_cast<size_t>(
+                                     std::countr_zero(bits)));
+                    bits &= bits - 1;
+                    const int64_t id = graph_.reportOf(s);
+                    if (id >= 0) {
+                        ++work_.reportEvents;
+                        events.push_back(ReportEvent{
+                            static_cast<uint32_t>(id), pos});
+                    }
+                }
+            }
+        }
+        std::swap(cur, next);
+        ++work_.symbols;
+    }
+}
+
+std::vector<ReportEvent>
+Infant2Engine::scanAll(const genome::Sequence &seq)
+{
+    work_ = Infant2Work{};
+    genomeBytes_ = seq.size();
+    std::vector<ReportEvent> events;
+
+    const size_t n = seq.size();
+    const size_t step = chunkSize_ - overlap_;
+    for (size_t start = 0; start < n; start += step) {
+        const size_t lead = start >= overlap_ ? start - overlap_ : 0;
+        const size_t end = std::min(n, start + step);
+        if (start >= end)
+            break;
+        ++work_.chunks;
+        scanChunk(std::span<const uint8_t>(seq.data() + lead, end - lead),
+                  lead, /*emit_from=*/start, events);
+        if (end == n)
+            break;
+    }
+
+    automata::normalizeEvents(events);
+    return events;
+}
+
+Infant2Time
+estimateInfant2Time(const Infant2Work &work, const TransitionGraph &graph,
+                    uint64_t genome_bytes, const SimtModel &model)
+{
+    Infant2Time t;
+    // One-time transfers: genome stream + transition tables.
+    const double table_bytes =
+        static_cast<double>(graph.totalTransitions()) *
+        model.bytesPerTransition;
+    t.transferSeconds =
+        (static_cast<double>(genome_bytes) + table_bytes) /
+        (model.pcieGBs * 1e9);
+
+    // Kernel: chunks run concurrently, one block per SM; a wave of
+    // smCount chunks takes the per-chunk serial symbol loop.
+    const double waves =
+        std::ceil(static_cast<double>(work.chunks) /
+                  static_cast<double>(model.smCount));
+    const double symbols_per_chunk =
+        work.chunks ? static_cast<double>(work.symbols) /
+                          static_cast<double>(work.chunks)
+                    : 0.0;
+    const double trans_per_symbol =
+        work.symbols ? static_cast<double>(work.transitionsFetched) /
+                           static_cast<double>(work.symbols)
+                     : 0.0;
+
+    // Per-symbol cycles: fixed sync + transition rounds; each round the
+    // block's threads process one record each, in lockstep.
+    const double rounds =
+        std::ceil(trans_per_symbol /
+                  static_cast<double>(model.threadsPerBlock));
+    // The per-symbol list fetch also moves T x record-size bytes through
+    // the SM's load path; whichever of compute rounds or fetch dominates
+    // paces the symbol.
+    const double fetch_cycles = trans_per_symbol *
+                                model.bytesPerTransition /
+                                model.bytesPerCyclePerSm;
+    const double cycles_per_symbol =
+        model.syncCyclesPerSymbol +
+        std::max(rounds * model.cyclesPerTransition, fetch_cycles);
+    // Memory-bandwidth floor: all blocks together re-fetch their lists.
+    const double bytes_per_symbol_all_blocks =
+        trans_per_symbol * model.bytesPerTransition *
+        std::min<double>(static_cast<double>(work.chunks), model.smCount);
+    const double mem_s_per_symbol =
+        bytes_per_symbol_all_blocks / (model.memoryGBs * 1e9);
+
+    const double compute_s_per_symbol = cycles_per_symbol / model.clockHz;
+    t.kernelSeconds =
+        waves * symbols_per_chunk *
+            std::max(compute_s_per_symbol, mem_s_per_symbol) +
+        model.launchOverheadS;
+    return t;
+}
+
+Infant2Work
+workFromHistogram(const TransitionGraph &graph, const uint64_t *histogram,
+                  uint64_t genome_len, size_t chunk_size, size_t overlap)
+{
+    CRISPR_ASSERT(chunk_size > overlap);
+    Infant2Work work;
+    const uint64_t step = chunk_size - overlap;
+    work.chunks = genome_len ? (genome_len + step - 1) / step : 0;
+    // Overlap regions are re-scanned by the following chunk; the
+    // histogram approximation charges them at the average composition.
+    uint64_t total = 0;
+    for (uint8_t c = 0; c < genome::kNumSymbols; ++c)
+        total += histogram[c];
+    CRISPR_ASSERT(total == genome_len);
+    const double rescan_factor =
+        genome_len == 0
+            ? 1.0
+            : 1.0 + static_cast<double>(
+                        (work.chunks > 0 ? work.chunks - 1 : 0) * overlap) /
+                        static_cast<double>(genome_len);
+    for (uint8_t c = 0; c < genome::kNumSymbols; ++c) {
+        work.transitionsFetched += histogram[c] *
+                                   graph.transitions(c).size();
+        work.startInjections +=
+            histogram[c] * graph.persistentStarts(c).size();
+    }
+    work.symbols = static_cast<uint64_t>(
+        static_cast<double>(genome_len) * rescan_factor);
+    work.transitionsFetched = static_cast<uint64_t>(
+        static_cast<double>(work.transitionsFetched) * rescan_factor);
+    work.startInjections = static_cast<uint64_t>(
+        static_cast<double>(work.startInjections) * rescan_factor);
+    return work;
+}
+
+Infant2Time
+Infant2Engine::estimateTime() const
+{
+    return estimateInfant2Time(work_, graph_, genomeBytes_, model_);
+}
+
+} // namespace crispr::gpu

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * iNFAnt2 engine simulator: executes the transition-list NFA algorithm
+ * exactly (functional results validated against the reference
+ * interpreter) while counting the device work units — transitions
+ * fetched, frontier words exchanged, per-symbol synchronisations — that
+ * a calibrated SIMT timing model converts into estimated GPU kernel
+ * time. The genome is split into overlapping chunks processed by
+ * concurrent thread blocks, as the tool does for single long streams.
+ */
+
+#ifndef CRISPR_GPU_INFANT2_HPP_
+#define CRISPR_GPU_INFANT2_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/interp.hpp"
+#include "genome/sequence.hpp"
+#include "gpu/transition_graph.hpp"
+
+namespace crispr::gpu {
+
+/** SIMT device constants (defaults: GTX-980-class, the paper's era). */
+struct SimtModel
+{
+    uint32_t smCount = 16;
+    uint32_t threadsPerBlock = 256;
+    double clockHz = 1.216e9;
+    double memoryGBs = 224.0;
+    double pcieGBs = 6.0;
+    double launchOverheadS = 20e-6;
+    double watts = 165.0; //!< board TDP under load (GTX-980 class)
+
+    /** Per-symbol block synchronisation + frontier swap, cycles. */
+    double syncCyclesPerSymbol = 48.0;
+    /** Cycles to process one transition record (fetch+test+set). */
+    double cyclesPerTransition = 4.0;
+    /** Transition record size in device memory, bytes. */
+    uint32_t bytesPerTransition = 8;
+    /** Per-SM transition-list fetch throughput, bytes per core cycle. */
+    double bytesPerCyclePerSm = 32.0;
+};
+
+/** Work counters from a functional run. */
+struct Infant2Work
+{
+    uint64_t symbols = 0;            //!< including chunk-overlap re-scan
+    uint64_t transitionsFetched = 0; //!< full per-symbol list fetches
+    uint64_t transitionsTaken = 0;   //!< source was active
+    uint64_t startInjections = 0;
+    uint64_t reportEvents = 0;
+    uint64_t chunks = 0;
+};
+
+/** Timing estimate decomposition. */
+struct Infant2Time
+{
+    double transferSeconds = 0.0; //!< genome + transition tables
+    double kernelSeconds = 0.0;
+    double
+    totalSeconds() const
+    {
+        return transferSeconds + kernelSeconds;
+    }
+};
+
+/**
+ * Convert work counters into estimated device time. Exposed as a free
+ * function so callers that compute work analytically (symbol histogram
+ * x transition-list lengths) can reuse the model without a functional
+ * run.
+ */
+Infant2Time estimateInfant2Time(const Infant2Work &work,
+                                const TransitionGraph &graph,
+                                uint64_t genome_bytes,
+                                const SimtModel &model);
+
+/**
+ * Analytic work computation from a symbol histogram (one count per
+ * genome code): exact for transitionsFetched/startInjections/symbols,
+ * leaving transitionsTaken and reportEvents zero.
+ */
+Infant2Work workFromHistogram(const TransitionGraph &graph,
+                              const uint64_t *histogram,
+                              uint64_t genome_len, size_t chunk_size,
+                              size_t overlap);
+
+/** The engine. */
+class Infant2Engine
+{
+  public:
+    /**
+     * @param overlap chunk overlap in symbols; must be >= longest
+     *        pattern - 1 for chunked results to equal a global scan.
+     */
+    Infant2Engine(const automata::Nfa &nfa, const SimtModel &model = {},
+                  size_t chunk_size = 1 << 20, size_t overlap = 64);
+
+    /**
+     * Execute over a genome: one thread block per chunk, overlap
+     * re-scanned, events deduplicated across chunk seams.
+     */
+    std::vector<automata::ReportEvent>
+    scanAll(const genome::Sequence &seq);
+
+    /** Work counters of the last scanAll(). */
+    const Infant2Work &work() const { return work_; }
+
+    /** Convert the last run's work into estimated device time. */
+    Infant2Time estimateTime() const;
+
+    const TransitionGraph &graph() const { return graph_; }
+
+  private:
+    void scanChunk(std::span<const uint8_t> input, uint64_t base,
+                   uint64_t emit_from,
+                   std::vector<automata::ReportEvent> &events);
+
+    TransitionGraph graph_;
+    SimtModel model_;
+    size_t chunkSize_;
+    size_t overlap_;
+    Infant2Work work_;
+    uint64_t genomeBytes_ = 0;
+};
+
+} // namespace crispr::gpu
+
+#endif // CRISPR_GPU_INFANT2_HPP_

@@ -1,0 +1,68 @@
+#include "gpu/transition_graph.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::gpu {
+
+using automata::Nfa;
+using automata::StartKind;
+
+TransitionGraph::TransitionGraph(const Nfa &nfa)
+    : numStates_(static_cast<uint32_t>(nfa.size())),
+      lists_(genome::kNumSymbols), starts_(genome::kNumSymbols),
+      sodStarts_(genome::kNumSymbols), reports_(nfa.size(), -1)
+{
+    for (automata::StateId s = 0; s < nfa.size(); ++s) {
+        const auto &st = nfa.state(s);
+        if (st.report)
+            reports_[s] = st.reportId;
+        for (uint8_t c = 0; c < genome::kNumSymbols; ++c) {
+            if (!st.cls.matches(c))
+                continue;
+            if (st.start == StartKind::AllInput)
+                starts_[c].push_back(s);
+            else if (st.start == StartKind::StartOfData)
+                sodStarts_[c].push_back(s);
+        }
+    }
+    for (automata::StateId s = 0; s < nfa.size(); ++s) {
+        const auto &st = nfa.state(s);
+        for (automata::StateId t : st.out) {
+            const auto &dst = nfa.state(t);
+            for (uint8_t c = 0; c < genome::kNumSymbols; ++c) {
+                if (dst.cls.matches(c))
+                    lists_[c].push_back(Transition{s, t});
+            }
+        }
+    }
+    // iNFAnt sorts lists by destination for coalesced writes.
+    for (auto &list : lists_) {
+        std::sort(list.begin(), list.end(),
+                  [](const Transition &a, const Transition &b) {
+                      return a.dst != b.dst ? a.dst < b.dst
+                                            : a.src < b.src;
+                  });
+    }
+}
+
+uint64_t
+TransitionGraph::totalTransitions() const
+{
+    uint64_t n = 0;
+    for (const auto &list : lists_)
+        n += list.size();
+    return n;
+}
+
+size_t
+TransitionGraph::maxListLength() const
+{
+    size_t n = 0;
+    for (const auto &list : lists_)
+        n = std::max(n, list.size());
+    return n;
+}
+
+} // namespace crispr::gpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * iNFAnt2-style NFA representation: symbol-indexed transition lists.
+ * For every input symbol the engine fetches the *entire* list of
+ * transitions labelled with that symbol and filters by source activity
+ * — the data layout that makes NFA traversal GPU-amenable but whose
+ * fetch cost grows with automaton size irrespective of how many states
+ * are actually active (the paper's explanation for the GPU's weak
+ * results).
+ */
+
+#ifndef CRISPR_GPU_TRANSITION_GRAPH_HPP_
+#define CRISPR_GPU_TRANSITION_GRAPH_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfa.hpp"
+
+namespace crispr::gpu {
+
+/** One (source, destination) transition record. */
+struct Transition
+{
+    uint32_t src;
+    uint32_t dst;
+};
+
+/** Symbol-sorted transition lists plus per-symbol start/report sets. */
+class TransitionGraph
+{
+  public:
+    /** Compile from a homogeneous NFA. */
+    explicit TransitionGraph(const automata::Nfa &nfa);
+
+    uint32_t numStates() const { return numStates_; }
+
+    /** Transition list for a symbol. */
+    const std::vector<Transition> &
+    transitions(uint8_t symbol) const
+    {
+        return lists_[symbol];
+    }
+
+    /** States spontaneously enabled on every symbol (all-input starts)
+     *  whose class contains `symbol`. */
+    const std::vector<uint32_t> &
+    persistentStarts(uint8_t symbol) const
+    {
+        return starts_[symbol];
+    }
+
+    /** Start-of-data starts whose class contains `symbol`. */
+    const std::vector<uint32_t> &
+    sodStarts(uint8_t symbol) const
+    {
+        return sodStarts_[symbol];
+    }
+
+    /** Report id of a state, or -1 if non-reporting. */
+    int64_t
+    reportOf(uint32_t state) const
+    {
+        return reports_[state];
+    }
+
+    /** Total transition records (device memory footprint). */
+    uint64_t totalTransitions() const;
+
+    /** Largest per-symbol list (worst-case per-symbol fetch). */
+    size_t maxListLength() const;
+
+  private:
+    uint32_t numStates_ = 0;
+    std::vector<std::vector<Transition>> lists_;      // per symbol
+    std::vector<std::vector<uint32_t>> starts_;       // per symbol
+    std::vector<std::vector<uint32_t>> sodStarts_;    // per symbol
+    std::vector<int64_t> reports_;                    // per state
+};
+
+} // namespace crispr::gpu
+
+#endif // CRISPR_GPU_TRANSITION_GRAPH_HPP_

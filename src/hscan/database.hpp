@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Compiled pattern database (the analogue of hs_database): a set of
+ * Hamming pattern specs compiled once, scanned many times, and
+ * serialisable to a byte blob so compilation can be done offline.
+ */
+
+#ifndef CRISPR_HSCAN_DATABASE_HPP_
+#define CRISPR_HSCAN_DATABASE_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/builders.hpp"
+#include "hscan/dfa_scanner.hpp"
+
+namespace crispr::hscan {
+
+/** Scan-path selection. */
+enum class ScanMode : uint8_t
+{
+    Auto,        //!< DFA if it fits the state budget, else bit-parallel
+    Dfa,         //!< force the DFA path (fatal if over budget)
+    BitParallel, //!< force the bit-parallel path
+};
+
+/** Compile-time options. */
+struct DatabaseOptions
+{
+    ScanMode mode = ScanMode::Auto;
+    uint32_t maxDfaStates = 1u << 17;
+    bool minimizeDfa = true;
+};
+
+/**
+ * The compiled database: pattern specs, the chosen scan path, and (for
+ * the DFA path) the compiled automaton, kept so scanners are cheap to
+ * spawn.
+ */
+class Database
+{
+  public:
+    /** Compile a database from pattern specs. */
+    static Database compile(std::vector<automata::HammingSpec> specs,
+                            const DatabaseOptions &opts = {});
+
+    /** Which path was chosen. */
+    ScanMode effectiveMode() const { return effective_; }
+
+    const std::vector<automata::HammingSpec> &specs() const
+    {
+        return specs_;
+    }
+
+    const DatabaseOptions &options() const { return opts_; }
+
+    /** Compiled DFA prototype; engaged iff effectiveMode() == Dfa. */
+    const std::optional<DfaScanner> &dfaPrototype() const
+    {
+        return dfaProto_;
+    }
+
+    /** Serialise to a versioned binary blob (specs + options). */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Reconstruct from a blob produced by serialize(). Recompiles the
+     * scan path (blobs are portable; compiled tables are not).
+     */
+    static Database deserialize(const std::vector<uint8_t> &blob);
+
+    /** Human-readable one-line summary. */
+    std::string info() const;
+
+  private:
+    Database() = default;
+
+    std::vector<automata::HammingSpec> specs_;
+    DatabaseOptions opts_;
+    ScanMode effective_ = ScanMode::BitParallel;
+    std::optional<DfaScanner> dfaProto_;
+};
+
+} // namespace crispr::hscan
+
+#endif // CRISPR_HSCAN_DATABASE_HPP_

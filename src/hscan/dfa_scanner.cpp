@@ -1,0 +1,36 @@
+#include "hscan/dfa_scanner.hpp"
+
+#include "automata/hopcroft.hpp"
+
+namespace crispr::hscan {
+
+std::optional<DfaScanner>
+DfaScanner::compile(std::span<const automata::HammingSpec> specs,
+                    const DfaOptions &opts)
+{
+    std::vector<automata::Nfa> nfas;
+    nfas.reserve(specs.size());
+    for (const auto &spec : specs)
+        nfas.push_back(automata::buildHammingNfa(spec));
+    automata::Nfa merged = automata::unionNfas(nfas);
+
+    auto dfa = automata::subsetConstruct(merged, opts.maxStates);
+    if (!dfa)
+        return std::nullopt;
+    if (opts.minimize)
+        *dfa = automata::hopcroftMinimize(*dfa);
+    return DfaScanner(std::move(*dfa));
+}
+
+std::vector<automata::ReportEvent>
+DfaScanner::scanAll(const genome::Sequence &seq)
+{
+    reset();
+    std::vector<automata::ReportEvent> events;
+    scan(seq.codes(), [&](uint32_t id, uint64_t end) {
+        events.push_back(automata::ReportEvent{id, end});
+    });
+    return events;
+}
+
+} // namespace crispr::hscan

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DFA-based streaming scanner: the HScan fast path. Compiles a set of
+ * Hamming pattern specs into a single minimised DFA (one table lookup
+ * per input base) when the subset construction stays within a state
+ * budget.
+ */
+
+#ifndef CRISPR_HSCAN_DFA_SCANNER_HPP_
+#define CRISPR_HSCAN_DFA_SCANNER_HPP_
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "automata/builders.hpp"
+#include "automata/dfa.hpp"
+
+namespace crispr::hscan {
+
+/** Compilation limits and switches for the DFA path. */
+struct DfaOptions
+{
+    uint32_t maxStates = 1u << 17; //!< subset-construction cap
+    bool minimize = true;          //!< run Hopcroft after construction
+};
+
+/** Streaming scanner around a compiled DFA. */
+class DfaScanner
+{
+  public:
+    /**
+     * Compile specs into one DFA. @return std::nullopt if the subset
+     * construction exceeded opts.maxStates.
+     */
+    static std::optional<DfaScanner>
+    compile(std::span<const automata::HammingSpec> specs,
+            const DfaOptions &opts = {});
+
+    /** Reset streaming state to the initial DFA state. */
+    void reset() { state_ = 0; }
+
+    /** Consume a chunk, emitting events through `sink`. */
+    void
+    scan(std::span<const uint8_t> input, const automata::ReportSink &sink,
+         uint64_t base_offset = 0)
+    {
+        state_ = dfa_->scan(input, sink, base_offset, state_);
+    }
+
+    /** Whole-sequence convenience scan (resets first). */
+    std::vector<automata::ReportEvent>
+    scanAll(const genome::Sequence &seq);
+
+    const automata::Dfa &dfa() const { return *dfa_; }
+
+  private:
+    explicit DfaScanner(automata::Dfa dfa)
+        : dfa_(std::make_shared<automata::Dfa>(std::move(dfa)))
+    {}
+
+    std::shared_ptr<automata::Dfa> dfa_; //!< shared: scanner is copyable
+    uint32_t state_ = 0;
+};
+
+} // namespace crispr::hscan
+
+#endif // CRISPR_HSCAN_DFA_SCANNER_HPP_

@@ -1,0 +1,62 @@
+#include "hscan/multipattern.hpp"
+
+#include "common/logging.hpp"
+
+namespace crispr::hscan {
+
+namespace {
+
+std::variant<DfaScanner, ShiftOrMatcher>
+makeImpl(const Database &db)
+{
+    if (db.effectiveMode() == ScanMode::Dfa) {
+        CRISPR_ASSERT(db.dfaPrototype().has_value());
+        return *db.dfaPrototype();
+    }
+    return ShiftOrMatcher(db.specs());
+}
+
+} // namespace
+
+Scanner::Scanner(const Database &db) : impl_(makeImpl(db)) {}
+
+void
+Scanner::reset()
+{
+    std::visit([](auto &s) { s.reset(); }, impl_);
+    stats_ = ScanStats{};
+}
+
+void
+Scanner::scan(std::span<const uint8_t> input,
+              const automata::ReportSink &sink, uint64_t base_offset)
+{
+    stats_.symbols += input.size();
+    auto counting = [&](uint32_t id, uint64_t end) {
+        ++stats_.events;
+        if (sink)
+            sink(id, end);
+    };
+    std::visit([&](auto &s) { s.scan(input, counting, base_offset); },
+               impl_);
+}
+
+std::vector<automata::ReportEvent>
+Scanner::scanAll(const genome::Sequence &seq)
+{
+    reset();
+    std::vector<automata::ReportEvent> events;
+    scan(seq.codes(), [&](uint32_t id, uint64_t end) {
+        events.push_back(automata::ReportEvent{id, end});
+    });
+    return events;
+}
+
+ScanMode
+Scanner::mode() const
+{
+    return std::holds_alternative<DfaScanner>(impl_) ? ScanMode::Dfa
+                                                     : ScanMode::BitParallel;
+}
+
+} // namespace crispr::hscan

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The HScan public scanning facade: spawn a Scanner from a compiled
+ * Database and stream genome chunks through it. Mirrors the
+ * hs_scan_stream usage pattern of the library the paper benchmarks.
+ */
+
+#ifndef CRISPR_HSCAN_MULTIPATTERN_HPP_
+#define CRISPR_HSCAN_MULTIPATTERN_HPP_
+
+#include <cstdint>
+#include <variant>
+
+#include "hscan/database.hpp"
+#include "hscan/shiftor.hpp"
+
+namespace crispr::hscan {
+
+/** Accumulated scan statistics. */
+struct ScanStats
+{
+    uint64_t symbols = 0; //!< input symbols consumed
+    uint64_t events = 0;  //!< report events emitted
+};
+
+/**
+ * A streaming scanner instantiated from a Database. Copyable; each copy
+ * carries independent stream state.
+ */
+class Scanner
+{
+  public:
+    explicit Scanner(const Database &db);
+
+    /** Reset stream state (and statistics). */
+    void reset();
+
+    /** Consume one chunk of genome codes. */
+    void scan(std::span<const uint8_t> input,
+              const automata::ReportSink &sink, uint64_t base_offset = 0);
+
+    /** Whole-sequence convenience scan (resets first). */
+    std::vector<automata::ReportEvent>
+    scanAll(const genome::Sequence &seq);
+
+    /** Which path this scanner runs. */
+    ScanMode mode() const;
+
+    const ScanStats &stats() const { return stats_; }
+
+  private:
+    std::variant<DfaScanner, ShiftOrMatcher> impl_;
+    ScanStats stats_;
+};
+
+} // namespace crispr::hscan
+
+#endif // CRISPR_HSCAN_MULTIPATTERN_HPP_

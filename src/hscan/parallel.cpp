@@ -1,0 +1,79 @@
+#include "hscan/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace crispr::hscan {
+
+using automata::ReportEvent;
+
+std::vector<ReportEvent>
+parallelScan(const Database &db, const genome::Sequence &seq,
+             const ParallelOptions &options)
+{
+    size_t max_len = 0;
+    for (const auto &spec : db.specs())
+        max_len = std::max(max_len, spec.masks.size());
+    const size_t overlap = max_len > 0 ? max_len - 1 : 0;
+
+    size_t chunk = options.chunkSize;
+    if (chunk <= overlap)
+        fatal("parallel chunk size must exceed the pattern length");
+
+    unsigned threads = options.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+
+    const size_t n = seq.size();
+    std::vector<std::pair<size_t, size_t>> work; // (emit_from, end)
+    for (size_t at = 0; at < n; at += chunk)
+        work.emplace_back(at, std::min(n, at + chunk));
+    if (work.empty())
+        return {};
+
+    std::vector<ReportEvent> events;
+    std::mutex events_mutex;
+    std::atomic<size_t> next{0};
+
+    auto worker = [&] {
+        Scanner scanner(db);
+        std::vector<ReportEvent> local;
+        for (;;) {
+            const size_t w = next.fetch_add(1);
+            if (w >= work.size())
+                break;
+            auto [emit_from, end] = work[w];
+            const size_t lead =
+                emit_from >= overlap ? emit_from - overlap : 0;
+            scanner.reset();
+            scanner.scan(
+                {seq.data() + lead, end - lead},
+                [&](uint32_t id, uint64_t at) {
+                    if (at >= emit_from)
+                        local.push_back(ReportEvent{id, at});
+                },
+                lead);
+        }
+        std::lock_guard<std::mutex> lock(events_mutex);
+        events.insert(events.end(), local.begin(), local.end());
+    };
+
+    std::vector<std::thread> pool;
+    const unsigned spawn =
+        static_cast<unsigned>(std::min<size_t>(threads, work.size()));
+    pool.reserve(spawn);
+    for (unsigned t = 0; t < spawn; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    automata::normalizeEvents(events);
+    return events;
+}
+
+} // namespace crispr::hscan

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Multi-threaded scanning: splits the genome into overlapping chunks,
+ * scans them on a thread pool (one Scanner clone per thread), and
+ * merges events deterministically. The paper evaluates Hyperscan
+ * single-threaded; this is the obvious multicore extension a library
+ * user wants, with bit-identical results to the serial scan (tested).
+ */
+
+#ifndef CRISPR_HSCAN_PARALLEL_HPP_
+#define CRISPR_HSCAN_PARALLEL_HPP_
+
+#include <cstdint>
+
+#include "hscan/multipattern.hpp"
+
+namespace crispr::hscan {
+
+/** Parallel-scan options. */
+struct ParallelOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+    /** Chunk size per work item (before overlap). */
+    size_t chunkSize = 4 << 20;
+};
+
+/**
+ * Scan `seq` with the database across threads. Each chunk is re-scanned
+ * with enough leading overlap that no match is lost at a seam; events
+ * are deduplicated and returned normalised (sorted by (end, id)).
+ */
+std::vector<automata::ReportEvent>
+parallelScan(const Database &db, const genome::Sequence &seq,
+             const ParallelOptions &options = {});
+
+} // namespace crispr::hscan
+
+#endif // CRISPR_HSCAN_PARALLEL_HPP_

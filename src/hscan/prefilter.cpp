@@ -1,0 +1,103 @@
+#include "hscan/prefilter.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::hscan {
+
+using automata::HammingSpec;
+using automata::ReportEvent;
+
+PrefilterMatcher::PrefilterMatcher(std::span<const HammingSpec> specs)
+{
+    if (specs.empty())
+        fatal("prefilter matcher needs at least one pattern");
+    for (const HammingSpec &spec : specs) {
+        const size_t len = spec.masks.size();
+        const size_t lo = spec.mismatchLo;
+        const size_t hi = std::min(spec.mismatchHi, len);
+        std::vector<size_t> anchor;
+        for (size_t j = 0; j < len; ++j)
+            if (j < lo || j >= hi)
+                anchor.push_back(j);
+        if (anchor.empty())
+            fatal("prefilter requires an exact (anchor) region; "
+                  "pattern %u has none", spec.reportId);
+
+        std::vector<genome::BaseMask> anchor_mask;
+        anchor_mask.reserve(anchor.size());
+        for (size_t j : anchor)
+            anchor_mask.push_back(spec.masks[j]);
+
+        auto it = std::find_if(
+            shapes_.begin(), shapes_.end(), [&](const Shape &s) {
+                return s.len == len && s.anchorPos == anchor &&
+                       s.anchorMask == anchor_mask;
+            });
+        if (it == shapes_.end()) {
+            Shape shape;
+            shape.len = len;
+            shape.anchorPos = std::move(anchor);
+            shape.anchorMask = std::move(anchor_mask);
+            shapes_.push_back(std::move(shape));
+            it = shapes_.end() - 1;
+        }
+        it->specs.push_back(spec);
+    }
+}
+
+std::vector<ReportEvent>
+PrefilterMatcher::scanAll(const genome::Sequence &seq)
+{
+    stats_ = PrefilterStats{};
+    std::vector<ReportEvent> events;
+    for (const Shape &shape : shapes_) {
+        if (seq.size() < shape.len)
+            continue;
+        const size_t positions = seq.size() - shape.len + 1;
+        const size_t *anchor = shape.anchorPos.data();
+        const genome::BaseMask *amask = shape.anchorMask.data();
+        const size_t acount = shape.anchorPos.size();
+
+        for (size_t s = 0; s < positions; ++s) {
+            ++stats_.anchorsProbed;
+            bool anchored = true;
+            for (size_t a = 0; a < acount; ++a) {
+                if (!genome::maskMatches(amask[a], seq[s + anchor[a]])) {
+                    anchored = false;
+                    break;
+                }
+            }
+            if (!anchored)
+                continue;
+            ++stats_.anchorsHit;
+            for (const HammingSpec &spec : shape.specs) {
+                ++stats_.verifications;
+                const size_t lo = spec.mismatchLo;
+                const size_t hi = std::min(spec.mismatchHi, shape.len);
+                int mismatches = 0;
+                bool ok = true;
+                for (size_t j = lo; j < hi; ++j) {
+                    if (!genome::maskMatches(spec.masks[j],
+                                             seq[s + j])) {
+                        if (++mismatches > spec.maxMismatches) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if (ok) {
+                    ++stats_.events;
+                    events.push_back(ReportEvent{
+                        spec.reportId,
+                        static_cast<uint64_t>(s + shape.len - 1)});
+                }
+            }
+        }
+    }
+    automata::normalizeEvents(events);
+    return events;
+}
+
+} // namespace crispr::hscan

@@ -1,0 +1,97 @@
+#include "hscan/shiftor.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::hscan {
+
+using automata::HammingSpec;
+using automata::ReportSink;
+
+ShiftOrMatcher::ShiftOrMatcher(std::span<const HammingSpec> specs)
+{
+    pats_.reserve(specs.size());
+    for (const HammingSpec &spec : specs) {
+        const size_t len = spec.masks.size();
+        if (len == 0 || len > 64)
+            fatal("bit-parallel matcher requires 1..64 pattern positions "
+                  "(got %zu)", len);
+        if (spec.maxMismatches < 0)
+            fatal("negative mismatch budget");
+        CompiledPattern p{};
+        for (size_t j = 0; j < len; ++j) {
+            for (uint8_t c = 0; c < 4; ++c) {
+                if (genome::maskMatches(spec.masks[j], c))
+                    p.symbolMask[c] |= 1ULL << j;
+            }
+            // Genome N never matches a pattern position: symbolMask[N]=0.
+        }
+        const size_t hi = std::min(spec.mismatchHi, len);
+        for (size_t j = spec.mismatchLo; j < hi; ++j)
+            p.mismatchMask |= 1ULL << j;
+        p.acceptBit = 1ULL << (len - 1);
+        p.reportId = spec.reportId;
+        p.maxMismatches = spec.maxMismatches;
+        p.rows.assign(static_cast<size_t>(spec.maxMismatches) + 1, 0);
+        pats_.push_back(std::move(p));
+    }
+}
+
+void
+ShiftOrMatcher::reset()
+{
+    for (auto &p : pats_)
+        std::fill(p.rows.begin(), p.rows.end(), 0);
+}
+
+void
+ShiftOrMatcher::scan(std::span<const uint8_t> input, const ReportSink &sink,
+                     uint64_t base_offset)
+{
+    for (size_t t = 0; t < input.size(); ++t) {
+        const uint8_t c = input[t];
+        CRISPR_ASSERT(c < genome::kNumSymbols);
+        for (auto &p : pats_) {
+            const uint64_t match = p.symbolMask[c];
+            // Row 0: extend by an exact match only.
+            uint64_t prev = p.rows[0]; // R_{k-1} before this update
+            uint64_t r0 = ((prev << 1) | 1ULL) & match;
+            p.rows[0] = r0;
+            bool hit = (r0 & p.acceptBit) != 0;
+            for (size_t k = 1; k < p.rows.size(); ++k) {
+                const uint64_t cur = p.rows[k];
+                const uint64_t extended = ((cur << 1) | 1ULL) & match;
+                const uint64_t substituted =
+                    ((prev << 1) | 1ULL) & p.mismatchMask;
+                prev = cur;
+                p.rows[k] = extended | substituted;
+                hit = hit || (p.rows[k] & p.acceptBit);
+            }
+            if (hit && sink)
+                sink(p.reportId, base_offset + t);
+        }
+    }
+}
+
+std::vector<automata::ReportEvent>
+ShiftOrMatcher::scanAll(const genome::Sequence &seq)
+{
+    reset();
+    std::vector<automata::ReportEvent> events;
+    scan(seq.codes(), [&](uint32_t id, uint64_t end) {
+        events.push_back(automata::ReportEvent{id, end});
+    });
+    return events;
+}
+
+size_t
+ShiftOrMatcher::stateBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &p : pats_)
+        bytes += sizeof(CompiledPattern) + p.rows.size() * sizeof(uint64_t);
+    return bytes;
+}
+
+} // namespace crispr::hscan

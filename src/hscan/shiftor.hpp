@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bit-parallel Hamming matcher (Baeza-Yates-Gonnet / Wu-Manber shift-and
+ * with one machine word per mismatch row). This is the robust path of
+ * the HScan engine: O(d+1) word operations per pattern per input symbol,
+ * independent of automaton blow-up, for patterns up to 64 positions.
+ *
+ * Row invariant after consuming text[0..t]: bit j of row R_k is set iff
+ * text[t-j .. t] matches pattern[0 .. j] with at most k mismatches,
+ * where mismatches are only permitted at positions inside the pattern's
+ * mismatch window (the PAM stays exact).
+ */
+
+#ifndef CRISPR_HSCAN_SHIFTOR_HPP_
+#define CRISPR_HSCAN_SHIFTOR_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "automata/builders.hpp"
+#include "automata/interp.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::hscan {
+
+/** Streaming bit-parallel multi-pattern Hamming matcher. */
+class ShiftOrMatcher
+{
+  public:
+    /**
+     * Compile a set of Hamming pattern specs. Pattern length must be
+     * <= 64. Reports use each spec's reportId; at most one event per
+     * (pattern, end position) is emitted, tagged with the minimal
+     * mismatch count... (the event carries only id and end; the count
+     * is recoverable from the rows but not part of ReportEvent).
+     */
+    explicit ShiftOrMatcher(
+        std::span<const automata::HammingSpec> specs);
+
+    /** Reset all rows to the before-any-input state. */
+    void reset();
+
+    /** Consume a chunk of genome codes, emitting report events. */
+    void scan(std::span<const uint8_t> input,
+              const automata::ReportSink &sink, uint64_t base_offset = 0);
+
+    /** Whole-sequence convenience scan (resets first). */
+    std::vector<automata::ReportEvent>
+    scanAll(const genome::Sequence &seq);
+
+    size_t patternCount() const { return pats_.size(); }
+
+    /** Bytes of working state (rows + masks), for the E12 microbench. */
+    size_t stateBytes() const;
+
+  private:
+    struct CompiledPattern
+    {
+        uint64_t symbolMask[genome::kNumSymbols]; //!< B[c]
+        uint64_t mismatchMask;                    //!< positions allowing mm
+        uint64_t acceptBit;                       //!< 1 << (len-1)
+        uint32_t reportId;
+        int maxMismatches;
+        std::vector<uint64_t> rows;               //!< d+1 live rows
+    };
+
+    std::vector<CompiledPattern> pats_;
+};
+
+} // namespace crispr::hscan
+
+#endif // CRISPR_HSCAN_SHIFTOR_HPP_

@@ -1,0 +1,98 @@
+/** @file Unit tests for the DNA alphabet. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "genome/alphabet.hpp"
+
+namespace crispr::genome {
+namespace {
+
+TEST(Alphabet, BaseCodes)
+{
+    EXPECT_EQ(baseCode('A'), 0);
+    EXPECT_EQ(baseCode('c'), 1);
+    EXPECT_EQ(baseCode('G'), 2);
+    EXPECT_EQ(baseCode('t'), 3);
+    EXPECT_EQ(baseCode('U'), 3); // RNA tolerated
+    EXPECT_EQ(baseCode('N'), kCodeN);
+    EXPECT_EQ(baseCode('x'), kCodeInvalid);
+    EXPECT_EQ(baseCode('>'), kCodeInvalid);
+}
+
+TEST(Alphabet, BaseCharsRoundTrip)
+{
+    for (uint8_t c = 0; c < kNumSymbols; ++c)
+        EXPECT_EQ(baseCode(baseChar(c)), c);
+}
+
+TEST(Alphabet, ComplementPairs)
+{
+    EXPECT_EQ(complementCode(baseCode('A')), baseCode('T'));
+    EXPECT_EQ(complementCode(baseCode('C')), baseCode('G'));
+    EXPECT_EQ(complementCode(baseCode('G')), baseCode('C'));
+    EXPECT_EQ(complementCode(baseCode('T')), baseCode('A'));
+    EXPECT_EQ(complementCode(kCodeN), kCodeN);
+}
+
+TEST(Alphabet, ComplementIsInvolution)
+{
+    for (uint8_t c = 0; c < kNumSymbols; ++c)
+        EXPECT_EQ(complementCode(complementCode(c)), c);
+}
+
+TEST(Alphabet, IupacMasks)
+{
+    EXPECT_EQ(iupacMask('A'), 0b0001);
+    EXPECT_EQ(iupacMask('C'), 0b0010);
+    EXPECT_EQ(iupacMask('G'), 0b0100);
+    EXPECT_EQ(iupacMask('T'), 0b1000);
+    EXPECT_EQ(iupacMask('R'), 0b0101); // A|G
+    EXPECT_EQ(iupacMask('Y'), 0b1010); // C|T
+    EXPECT_EQ(iupacMask('S'), 0b0110); // G|C
+    EXPECT_EQ(iupacMask('W'), 0b1001); // A|T
+    EXPECT_EQ(iupacMask('K'), 0b1100); // G|T
+    EXPECT_EQ(iupacMask('M'), 0b0011); // A|C
+    EXPECT_EQ(iupacMask('B'), 0b1110);
+    EXPECT_EQ(iupacMask('D'), 0b1101);
+    EXPECT_EQ(iupacMask('H'), 0b1011);
+    EXPECT_EQ(iupacMask('V'), 0b0111);
+    EXPECT_EQ(iupacMask('N'), kMaskAny);
+    EXPECT_EQ(iupacMask('Z'), 0);
+    EXPECT_EQ(iupacMask('n'), kMaskAny); // case insensitive
+}
+
+TEST(Alphabet, MaskIupacRoundTrip)
+{
+    for (genome::BaseMask m = 1; m < 16; ++m)
+        EXPECT_EQ(iupacMask(maskIupac(m)), m) << "mask " << int(m);
+}
+
+TEST(Alphabet, MaskMatchesSemantics)
+{
+    EXPECT_TRUE(maskMatches(iupacMask('R'), baseCode('A')));
+    EXPECT_TRUE(maskMatches(iupacMask('R'), baseCode('G')));
+    EXPECT_FALSE(maskMatches(iupacMask('R'), baseCode('C')));
+    // Genome N never matches any mask, even IUPAC 'N'.
+    EXPECT_FALSE(maskMatches(kMaskAny, kCodeN));
+    EXPECT_FALSE(maskMatches(iupacMask('A'), kCodeN));
+}
+
+TEST(Alphabet, ComplementMaskMirrorsBaseSet)
+{
+    EXPECT_EQ(complementMask(iupacMask('A')), iupacMask('T'));
+    EXPECT_EQ(complementMask(iupacMask('R')), iupacMask('Y'));
+    EXPECT_EQ(complementMask(iupacMask('S')), iupacMask('S'));
+    EXPECT_EQ(complementMask(iupacMask('N')), iupacMask('N'));
+    for (genome::BaseMask m = 0; m < 16; ++m)
+        EXPECT_EQ(complementMask(complementMask(m)), m);
+}
+
+TEST(Alphabet, ValidateIupac)
+{
+    EXPECT_NO_THROW(validateIupac("ACGTNRWSKM", "test"));
+    EXPECT_THROW(validateIupac("ACGX", "test"), FatalError);
+}
+
+} // namespace
+} // namespace crispr::genome

@@ -1,0 +1,96 @@
+/** @file Unit tests for ANML serialisation. */
+
+#include <gtest/gtest.h>
+
+#include "automata/anml.hpp"
+#include "automata/builders.hpp"
+#include "automata/interp.hpp"
+#include "common/logging.hpp"
+#include "test_util.hpp"
+
+namespace crispr::automata {
+namespace {
+
+bool
+sameAutomaton(const Nfa &a, const Nfa &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (StateId s = 0; s < a.size(); ++s) {
+        const auto &x = a.state(s);
+        const auto &y = b.state(s);
+        if (x.cls != y.cls || x.start != y.start || x.report != y.report ||
+            (x.report && x.reportId != y.reportId) || x.out != y.out)
+            return false;
+    }
+    return true;
+}
+
+TEST(Anml, RoundTripsHammingAutomaton)
+{
+    Rng rng(5);
+    auto spec = crispr::test::randomGuideSpec(rng, 10, 3, 2, 17);
+    Nfa nfa = buildHammingNfa(spec);
+    Nfa back = anmlFromString(anmlString(nfa));
+    EXPECT_TRUE(sameAutomaton(nfa, back));
+}
+
+TEST(Anml, RoundTripPreservesBehaviour)
+{
+    Rng rng(6);
+    auto spec = crispr::test::randomGuideSpec(rng, 8, 3, 1, 3);
+    Nfa nfa = buildHammingNfa(spec);
+    Nfa back = anmlFromString(anmlString(nfa));
+    genome::Sequence g = crispr::test::randomGenome(rng, 1000);
+    NfaInterpreter ia(nfa), ib(back);
+    auto ea = ia.scanAll(g);
+    auto eb = ib.scanAll(g);
+    normalizeEvents(ea);
+    normalizeEvents(eb);
+    EXPECT_EQ(ea, eb);
+}
+
+TEST(Anml, OutputContainsExpectedMarkup)
+{
+    Nfa nfa;
+    StateId a = nfa.addState(SymbolClass::parse("[AG]"),
+                             StartKind::AllInput);
+    StateId b = nfa.addState(SymbolClass::parse("T"));
+    nfa.addEdge(a, b);
+    nfa.setReport(b, 9);
+    std::string text = anmlString(nfa, "net1");
+    EXPECT_NE(text.find("automata-network id=\"net1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("symbol-set=\"[AG]\""), std::string::npos);
+    EXPECT_NE(text.find("start=\"all-input\""), std::string::npos);
+    EXPECT_NE(text.find("report-code=\"9\""), std::string::npos);
+    EXPECT_NE(text.find("activate-on-match element=\"q1\""),
+              std::string::npos);
+}
+
+TEST(Anml, ParseErrors)
+{
+    EXPECT_THROW(anmlFromString("<state-transition-element id=\"a\"/>"),
+                 FatalError);
+    EXPECT_THROW(
+        anmlFromString("<state-transition-element id=\"a\" "
+                       "symbol-set=\"A\" start=\"bogus\"/>"),
+        FatalError);
+    // Duplicate id.
+    EXPECT_THROW(
+        anmlFromString("<state-transition-element id=\"a\" "
+                       "symbol-set=\"A\"/>"
+                       "<state-transition-element id=\"a\" "
+                       "symbol-set=\"C\"/>"),
+        FatalError);
+    // Edge to an unknown element.
+    EXPECT_THROW(
+        anmlFromString("<state-transition-element id=\"a\" "
+                       "symbol-set=\"A\">"
+                       "<activate-on-match element=\"zz\"/>"
+                       "</state-transition-element>"),
+        FatalError);
+}
+
+} // namespace
+} // namespace crispr::automata

@@ -1,0 +1,104 @@
+/** @file Unit tests for full-machine ANML serialisation, plus the
+ *  umbrella-header compile check. */
+
+#include <gtest/gtest.h>
+
+#include "crispr.hpp" // umbrella header: must compile standalone
+
+#include "ap/anml.hpp"
+#include "ap/simulator.hpp"
+#include "test_util.hpp"
+
+namespace crispr::ap {
+namespace {
+
+ApMachine
+counterMachine()
+{
+    automata::HammingSpec spec;
+    spec.masks = genome::masksFromIupac("CGG" "ACGTACGTAC");
+    spec.maxMismatches = 2;
+    spec.mismatchLo = 3;
+    spec.mismatchHi = 13;
+    spec.reportId = 9;
+    return buildCounterMachine(spec);
+}
+
+bool
+sameMachine(const ApMachine &a, const ApMachine &b)
+{
+    if (a.size() != b.size() || a.wires().size() != b.wires().size())
+        return false;
+    for (ElemId e = 0; e < a.size(); ++e) {
+        const Element &x = a.element(e);
+        const Element &y = b.element(e);
+        if (x.kind != y.kind || x.cls != y.cls || x.start != y.start ||
+            x.target != y.target || x.mode != y.mode ||
+            x.gate != y.gate || x.report != y.report ||
+            (x.report && x.reportId != y.reportId) || x.name != y.name)
+            return false;
+    }
+    for (size_t w = 0; w < a.wires().size(); ++w) {
+        const Wire &x = a.wires()[w];
+        const Wire &y = b.wires()[w];
+        if (x.from != y.from || x.to != y.to || x.port != y.port ||
+            x.inverted != y.inverted)
+            return false;
+    }
+    return true;
+}
+
+TEST(ApAnml, RoundTripsCounterMachine)
+{
+    ApMachine m = counterMachine();
+    ApMachine back = machineAnmlFromString(machineAnmlString(m));
+    EXPECT_TRUE(sameMachine(m, back));
+}
+
+TEST(ApAnml, RoundTripPreservesBehaviour)
+{
+    ApMachine m = counterMachine();
+    ApMachine back = machineAnmlFromString(machineAnmlString(m));
+    crispr::Rng rng(401);
+    genome::Sequence g = crispr::test::randomGenome(rng, 2000);
+    ApSimulator sa(m), sb(back);
+    EXPECT_EQ(sa.scanAll(g), sb.scanAll(g));
+}
+
+TEST(ApAnml, OutputContainsElementMarkup)
+{
+    std::string text = machineAnmlString(counterMachine(), "net");
+    EXPECT_NE(text.find("<counter id="), std::string::npos);
+    EXPECT_NE(text.find("at-target=\"latch\""), std::string::npos);
+    EXPECT_NE(text.find("<boolean id="), std::string::npos);
+    EXPECT_NE(text.find("function=\"and\""), std::string::npos);
+    EXPECT_NE(text.find("port=\"count\""), std::string::npos);
+    EXPECT_NE(text.find("port=\"reset\""), std::string::npos);
+    EXPECT_NE(text.find("inverted=\"1\""), std::string::npos);
+    EXPECT_NE(text.find("report-code=\"9\""), std::string::npos);
+}
+
+TEST(ApAnml, ParseErrors)
+{
+    EXPECT_THROW(machineAnmlFromString("<counter id=\"a\"/>"),
+                 FatalError);
+    EXPECT_THROW(
+        machineAnmlFromString("<wire from=\"a\" to=\"b\"/>"),
+        FatalError);
+    EXPECT_THROW(machineAnmlFromString(
+                     "<boolean id=\"a\" function=\"and\"/>"
+                     "<boolean id=\"a\" function=\"or\"/>"),
+                 FatalError);
+}
+
+TEST(ApAnml, RoundTripsPlainSteNetworkToo)
+{
+    crispr::Rng rng(402);
+    auto spec = crispr::test::randomGuideSpec(rng, 10, 3, 2, 3);
+    ApMachine m = fromNfa(automata::buildHammingNfa(spec));
+    ApMachine back = machineAnmlFromString(machineAnmlString(m));
+    EXPECT_TRUE(sameMachine(m, back));
+}
+
+} // namespace
+} // namespace crispr::ap

@@ -1,0 +1,102 @@
+/** @file Unit tests for the AP capacity/timing model. */
+
+#include <gtest/gtest.h>
+
+#include "ap/capacity.hpp"
+
+namespace crispr::ap {
+namespace {
+
+TEST(ApCapacity, DeviceConstantsDeriveD480)
+{
+    ApDeviceSpec spec;
+    EXPECT_EQ(spec.stesPerChip(), 49152u);
+    EXPECT_EQ(spec.chipsPerBoard(), 32u);
+    EXPECT_EQ(spec.stesPerBoard(), 49152ull * 32);
+}
+
+TEST(ApCapacity, SmallMachinesPackIntoBlocks)
+{
+    // 100-STE automata: two fit per 256-STE block.
+    std::vector<MachineStats> machines(10, MachineStats{100, 0, 0, 0});
+    Placement p = placeMachines(machines);
+    EXPECT_EQ(p.stes, 1000u);
+    EXPECT_EQ(p.blocksUsed, 5u);
+    EXPECT_TRUE(p.fits);
+    EXPECT_EQ(p.passes, 1u);
+    EXPECT_NEAR(p.utilization, 1000.0 / (5 * 256), 1e-9);
+}
+
+TEST(ApCapacity, LargeMachinesSpanBlocks)
+{
+    std::vector<MachineStats> machines(1, MachineStats{600, 0, 0, 0});
+    Placement p = placeMachines(machines);
+    EXPECT_EQ(p.blocksUsed, 3u); // ceil(600/256)
+    EXPECT_EQ(p.chipsUsed, 1u);
+}
+
+TEST(ApCapacity, CountersLimitChips)
+{
+    // 1000 counters at 768/chip need 2 chips even with few STEs.
+    std::vector<MachineStats> machines(1000, MachineStats{10, 1, 1, 0});
+    Placement p = placeMachines(machines);
+    EXPECT_GE(p.chipsUsed, 2u);
+    EXPECT_TRUE(p.fits);
+}
+
+TEST(ApCapacity, OverflowRequiresPasses)
+{
+    // Each automaton takes a whole block (200 STEs); 192 blocks/chip,
+    // 32 chips/board = 6144 blocks. 10000 such automata need 2 passes.
+    std::vector<MachineStats> machines(10000,
+                                       MachineStats{200, 0, 0, 0});
+    Placement p = placeMachines(machines);
+    EXPECT_FALSE(p.fits);
+    EXPECT_EQ(p.passes, 2u);
+}
+
+TEST(ApCapacity, MachinesPerBoard)
+{
+    ApDeviceSpec spec;
+    // 128-STE machine: 2 per block -> 2*192*32 per board.
+    MachineStats m{128, 0, 0, 0};
+    EXPECT_EQ(machinesPerBoard(m, spec), 2ull * 192 * 32);
+    // Counter design: 43 STEs (5/block... 256/43 = 5), 1 counter
+    // (768/chip), 1 gate (2304/chip): counters bind first.
+    MachineStats c{43, 1, 1, 0};
+    EXPECT_EQ(machinesPerBoard(c, spec), 768ull * 32);
+    // Zero-STE machine is degenerate.
+    EXPECT_EQ(machinesPerBoard(MachineStats{}, spec), 0u);
+}
+
+TEST(ApCapacity, EstimateRunDecomposition)
+{
+    ApDeviceSpec spec;
+    const uint64_t symbols = 1ull << 20;
+    ApTimeBreakdown t = estimateRun(symbols, 1000, 1, spec);
+    EXPECT_DOUBLE_EQ(t.configureSeconds, spec.configureSeconds);
+    // Kernel paced by the 133 MHz symbol rate (slower than input BW).
+    EXPECT_NEAR(t.kernelSeconds,
+                static_cast<double>(symbols) / spec.clockHz, 1e-6);
+    EXPECT_GT(t.outputSeconds, 0.0);
+    EXPECT_NEAR(t.totalSeconds(),
+                t.configureSeconds + t.kernelSeconds + t.outputSeconds,
+                1e-12);
+
+    // Two passes double configure and kernel.
+    ApTimeBreakdown t2 = estimateRun(symbols, 1000, 2, spec);
+    EXPECT_NEAR(t2.kernelSeconds, 2 * t.kernelSeconds, 1e-9);
+    EXPECT_NEAR(t2.configureSeconds, 2 * t.configureSeconds, 1e-9);
+}
+
+TEST(ApCapacity, EmptyPlacement)
+{
+    Placement p = placeMachines({});
+    EXPECT_EQ(p.stes, 0u);
+    EXPECT_EQ(p.blocksUsed, 0u);
+    EXPECT_EQ(p.chipsUsed, 0u);
+    EXPECT_TRUE(p.fits);
+}
+
+} // namespace
+} // namespace crispr::ap

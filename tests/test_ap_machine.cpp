@@ -1,0 +1,135 @@
+/** @file Unit tests for the AP machine model. */
+
+#include <gtest/gtest.h>
+
+#include "ap/machine.hpp"
+#include "automata/builders.hpp"
+#include "common/logging.hpp"
+#include "test_util.hpp"
+
+namespace crispr::ap {
+namespace {
+
+using automata::HammingSpec;
+using automata::StartKind;
+using automata::SymbolClass;
+
+HammingSpec
+pamFirstSpec(const std::string &pattern, int d, size_t pam_len,
+             uint32_t id = 0)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac(pattern);
+    spec.maxMismatches = d;
+    spec.mismatchLo = pam_len;
+    spec.mismatchHi = spec.masks.size();
+    spec.reportId = id;
+    return spec;
+}
+
+TEST(ApMachine, FromNfaPreservesStructure)
+{
+    crispr::Rng rng(3);
+    auto spec = crispr::test::randomGuideSpec(rng, 8, 3, 2, 5);
+    automata::Nfa nfa = automata::buildHammingNfa(spec);
+    ApMachine m = fromNfa(nfa);
+    EXPECT_EQ(m.size(), nfa.size());
+    MachineStats st = m.stats();
+    EXPECT_EQ(st.stes, nfa.size());
+    EXPECT_EQ(st.counters, 0u);
+    EXPECT_EQ(st.gates, 0u);
+    EXPECT_EQ(st.wires, nfa.edgeCount());
+}
+
+TEST(ApMachine, CounterDesignResourceShape)
+{
+    // PAM(3) + guide(20): 3 PAM STEs + 20 chain + 20 detectors,
+    // 1 counter, 1 gate — O(L), independent of d.
+    auto spec =
+        pamFirstSpec("CCN" "ACGTACGTACGTACGTACGT", 3, 3);
+    ApMachine m = buildCounterMachine(spec);
+    MachineStats st = m.stats();
+    EXPECT_EQ(st.stes, 43u);
+    EXPECT_EQ(st.counters, 1u);
+    EXPECT_EQ(st.gates, 1u);
+
+    auto spec5 = pamFirstSpec("CCN" "ACGTACGTACGTACGTACGT", 5, 3);
+    EXPECT_EQ(buildCounterMachine(spec5).stats().stes, 43u);
+}
+
+TEST(ApMachine, CounterDesignRequiresPamFirst)
+{
+    HammingSpec site_order;
+    site_order.masks = genome::masksFromIupac("ACGTNGG");
+    site_order.maxMismatches = 1;
+    site_order.mismatchLo = 0;
+    site_order.mismatchHi = 4;
+    EXPECT_THROW(buildCounterMachine(site_order), FatalError);
+
+    // Empty mismatch region.
+    HammingSpec all_exact;
+    all_exact.masks = genome::masksFromIupac("ACGT");
+    all_exact.maxMismatches = 0;
+    all_exact.mismatchLo = 4;
+    all_exact.mismatchHi = 4;
+    EXPECT_THROW(buildCounterMachine(all_exact), FatalError);
+}
+
+TEST(ApMachine, ValidateCatchesBadWiring)
+{
+    ApMachine m;
+    ElemId ste = m.addSte(SymbolClass::any(), StartKind::AllInput);
+    ElemId ctr = m.addCounter(2, CounterMode::Latch);
+    ElemId gate = m.addGate(GateType::And);
+    m.connect(ste, gate);
+    m.connect(ste, ctr, Port::CountUp);
+
+    // Counter driven on Port::In is invalid.
+    ApMachine bad1 = m;
+    bad1.connect(ste, ctr, Port::In);
+    EXPECT_THROW(bad1.validate(), FatalError);
+
+    // Gate-to-gate wiring is invalid (single combinational layer).
+    ApMachine bad2 = m;
+    ElemId gate2 = bad2.addGate(GateType::Or);
+    bad2.connect(gate, gate2);
+    EXPECT_THROW(bad2.validate(), FatalError);
+
+    // Inverted STE input is invalid.
+    ApMachine bad3 = m;
+    ElemId ste2 = bad3.addSte(SymbolClass::any());
+    bad3.connect(ste, ste2, Port::In, /*inverted=*/true);
+    EXPECT_THROW(bad3.validate(), FatalError);
+
+    // A gate with no inputs is invalid.
+    ApMachine bad4;
+    bad4.addGate(GateType::And);
+    EXPECT_THROW(bad4.validate(), FatalError);
+}
+
+TEST(ApMachine, CounterTargetMustBePositive)
+{
+    ApMachine m;
+    EXPECT_THROW(m.addCounter(0, CounterMode::Latch), FatalError);
+}
+
+TEST(ApMachine, MergeOffsetsWiring)
+{
+    auto spec = pamFirstSpec("CCN" "ACGT", 1, 3, 7);
+    ApMachine a = buildCounterMachine(spec);
+    const size_t one = a.size();
+    const size_t wires = a.wires().size();
+    ApMachine b = buildCounterMachine(spec);
+    mergeMachines(a, b);
+    EXPECT_EQ(a.size(), 2 * one);
+    EXPECT_EQ(a.wires().size(), 2 * wires);
+    // Second copy's wires reference the second copy's elements.
+    for (size_t w = wires; w < a.wires().size(); ++w) {
+        EXPECT_GE(a.wires()[w].from, one);
+        EXPECT_GE(a.wires()[w].to, one);
+    }
+    EXPECT_NO_THROW(a.validate());
+}
+
+} // namespace
+} // namespace crispr::ap

@@ -1,0 +1,224 @@
+/** @file Unit tests for the AP cycle simulator. */
+
+#include <gtest/gtest.h>
+
+#include "ap/simulator.hpp"
+#include "automata/builders.hpp"
+#include "baselines/brute.hpp"
+#include "test_util.hpp"
+
+namespace crispr::ap {
+namespace {
+
+using automata::HammingSpec;
+using automata::ReportEvent;
+using automata::StartKind;
+using automata::SymbolClass;
+using genome::Sequence;
+
+TEST(ApSim, MatrixMachineEqualsGoldenScan)
+{
+    crispr::Rng rng(61);
+    for (int d = 0; d <= 3; ++d) {
+        auto spec = crispr::test::randomGuideSpec(rng, 10, 3, d, 2);
+        automata::Nfa nfa = automata::buildHammingNfa(spec);
+        ApMachine m = fromNfa(nfa);
+        ApSimulator sim(m);
+        Sequence g = crispr::test::randomGenome(rng, 3000, 0.01);
+        auto got = sim.scanAll(g);
+        auto want = baselines::bruteForceScan(g, std::span(&spec, 1));
+        EXPECT_EQ(got, want) << "d=" << d;
+    }
+}
+
+TEST(ApSim, RunStatsPopulated)
+{
+    crispr::Rng rng(62);
+    auto spec = crispr::test::randomGuideSpec(rng, 8, 3, 1, 0);
+    ApMachine m = fromNfa(automata::buildHammingNfa(spec));
+    ApSimulator sim(m);
+    Sequence g = crispr::test::randomGenome(rng, 1000);
+    ApRunStats stats = sim.run(g.codes(), nullptr);
+    EXPECT_EQ(stats.symbolCycles, 1000u);
+    EXPECT_GT(stats.steActivations, 0u);
+    EXPECT_GT(sim.kernelSeconds(stats), 0.0);
+    EXPECT_NEAR(sim.kernelSeconds(stats),
+                1000.0 / sim.config().clockHz, 1e-4);
+}
+
+HammingSpec
+pamFirstSpec(const std::string &pattern, int d, size_t pam_len,
+             uint32_t id = 0)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac(pattern);
+    spec.maxMismatches = d;
+    spec.mismatchLo = pam_len;
+    spec.mismatchHi = spec.masks.size();
+    spec.reportId = id;
+    return spec;
+}
+
+TEST(ApSimCounter, FindsIsolatedSitesExactly)
+{
+    // Counter design on a genome with well-separated planted sites:
+    // results must equal the golden scan.
+    crispr::Rng rng(63);
+    const std::string pattern = "CGG" "ACGTACGTACGTACGTACGT";
+    auto spec = pamFirstSpec(pattern, 2, 3, 4);
+
+    // A genome unlikely to contain accidental CGG-triggered overlaps:
+    // all-T background with planted sites.
+    Sequence g = Sequence::fromString(std::string(2000, 'T'));
+    Sequence site = Sequence::fromString(pattern);
+    for (size_t at : {50u, 500u, 1500u}) {
+        Sequence mut = genome::mutateSite(site, 2, 3, 23, rng);
+        genome::plantSite(g, at, mut);
+    }
+
+    ApMachine m = buildCounterMachine(spec);
+    ApSimulator sim(m);
+    auto got = sim.scanAll(g);
+    auto want = baselines::bruteForceScan(g, std::span(&spec, 1));
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(got.size(), 3u);
+}
+
+TEST(ApSimCounter, RejectsOverBudgetSites)
+{
+    const std::string pattern = "CGG" "AAAAAAAAAA";
+    auto spec = pamFirstSpec(pattern, 1, 3);
+    Sequence g = Sequence::fromString(
+        std::string("TTTT") + "CGGAACAAAAAAA" + std::string(20, 'T') +
+        "CGGAACAACAAAA" + std::string(20, 'T'));
+    // First site: 1 mismatch (C at guide pos 2) -> reported.
+    // Second site: 2 mismatches -> suppressed by the counter.
+    ApMachine m = buildCounterMachine(spec);
+    ApSimulator sim(m);
+    auto got = sim.scanAll(g);
+    auto want = baselines::bruteForceScan(g, std::span(&spec, 1));
+    EXPECT_EQ(got, want);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].end, 4u + 13u - 1u);
+}
+
+TEST(ApSimCounter, OverlappingTriggersShareTheCounter)
+{
+    // The documented limitation: a second PAM trigger inside an open
+    // window resets the shared counter, so the first window can be
+    // reported even though it exceeds the budget (a false positive
+    // relative to the golden scan).
+    const std::string pattern = "GG" "AAAAAAAA";
+    auto spec = pamFirstSpec(pattern, 1, 2);
+    //            0123456789...
+    Sequence g = Sequence::fromString("GGACCGGAAAAAAAATTTT");
+    // Window at 0: GG then ACCGGAAA -> mismatches at guide pos 1,2 (C,C)
+    // and pos 3,4 (G,G)... well over budget -> golden scan rejects it.
+    // But the GG at 5-6 re-triggers and resets the counter mid-window.
+    ApMachine m = buildCounterMachine(spec);
+    ApSimulator sim(m);
+    auto got = sim.scanAll(g);
+    auto want = baselines::bruteForceScan(g, std::span(&spec, 1));
+    // The golden scan finds the window at 5 (GG + AAAAAAAA exact).
+    ASSERT_GE(want.size(), 1u);
+    // The counter design reports a superset here (the overlap artefact).
+    for (const auto &e : want)
+        EXPECT_TRUE(std::find(got.begin(), got.end(), e) != got.end());
+    EXPECT_GT(got.size(), want.size());
+}
+
+TEST(ApSim, OutputBufferStallsUnderReportPressure)
+{
+    // An automaton that reports on every 'A' of an all-A genome floods
+    // the event buffer; the stall model must kick in.
+    automata::Nfa nfa;
+    auto s = nfa.addState(SymbolClass::match(genome::iupacMask('A')),
+                          StartKind::AllInput);
+    nfa.setReport(s, 0);
+    ApMachine m = fromNfa(nfa);
+
+    ApSimConfig cfg;
+    cfg.eventBufferDepth = 4;
+    cfg.drainCyclesPerVector = 8;
+    ApSimulator sim(m, cfg);
+    Sequence g = Sequence::fromString(std::string(1000, 'A'));
+    ApRunStats stats = sim.run(g.codes(), nullptr);
+    EXPECT_EQ(stats.reportingCycles, 1000u);
+    EXPECT_GT(stats.stallCycles, 0u);
+    EXPECT_GT(stats.totalCycles(), stats.symbolCycles);
+
+    // With the model disabled there are no stalls.
+    ApSimConfig off;
+    off.eventBufferDepth = 0;
+    ApSimulator sim2(m, off);
+    ApRunStats stats2 = sim2.run(g.codes(), nullptr);
+    EXPECT_EQ(stats2.stallCycles, 0u);
+}
+
+TEST(ApSim, CounterPulseVsLatchModes)
+{
+    // Count two 'A' pulses; Pulse mode fires only on the reaching
+    // cycle, Latch stays asserted.
+    for (CounterMode mode : {CounterMode::Pulse, CounterMode::Latch}) {
+        ApMachine m;
+        ElemId a = m.addSte(SymbolClass::match(genome::iupacMask('A')),
+                            StartKind::AllInput, "a");
+        ElemId ctr = m.addCounter(2, mode, "c");
+        m.connect(a, ctr, Port::CountUp);
+        m.setReport(ctr, 1);
+
+        ApSimulator sim(m);
+        std::vector<ReportEvent> events;
+        sim.run(Sequence::fromString("AAAA").codes(),
+                [&](uint32_t id, uint64_t end) {
+                    events.push_back(ReportEvent{id, end});
+                });
+        if (mode == CounterMode::Pulse) {
+            ASSERT_EQ(events.size(), 1u);
+            EXPECT_EQ(events[0].end, 1u); // second A reaches target
+        } else {
+            ASSERT_EQ(events.size(), 3u); // cycles 1, 2, 3
+            EXPECT_EQ(events[0].end, 1u);
+        }
+    }
+}
+
+TEST(ApSim, CounterResetDominates)
+{
+    // Reset and count on the same cycle: reset first, then count.
+    ApMachine m;
+    ElemId a = m.addSte(SymbolClass::match(genome::iupacMask('A')),
+                        StartKind::AllInput, "a");
+    ElemId any = m.addSte(SymbolClass::any(), StartKind::AllInput, "any");
+    ElemId ctr = m.addCounter(3, CounterMode::Latch, "c");
+    m.connect(any, ctr, Port::CountUp); // +1 every cycle
+    m.connect(a, ctr, Port::Reset);     // reset on every A
+    m.setReport(ctr, 2);
+
+    ApSimulator sim(m);
+    std::vector<ReportEvent> events;
+    // A appears every 2nd symbol: the counter never reaches 3.
+    sim.run(Sequence::fromString("ACACACACAC").codes(),
+            [&](uint32_t id, uint64_t end) {
+                events.push_back(ReportEvent{id, end});
+            });
+    EXPECT_TRUE(events.empty());
+
+    // Without resets it latches at cycle 2 and stays on.
+    ApMachine m2;
+    ElemId any2 =
+        m2.addSte(SymbolClass::any(), StartKind::AllInput, "any");
+    ElemId ctr2 = m2.addCounter(3, CounterMode::Latch, "c");
+    m2.connect(any2, ctr2, Port::CountUp);
+    m2.setReport(ctr2, 2);
+    ApSimulator sim2(m2);
+    std::vector<ReportEvent> events2;
+    sim2.run(Sequence::fromString("ACACA").codes(),
+             [&](uint32_t id, uint64_t end) {
+                 events2.push_back(ReportEvent{id, end});
+             });
+    EXPECT_EQ(events2.size(), 3u); // cycles 2, 3, 4
+}
+
+} // namespace
+} // namespace crispr::ap

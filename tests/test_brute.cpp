@@ -1,0 +1,124 @@
+/** @file Unit tests for the golden brute-force verifier. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute.hpp"
+#include "genome/generator.hpp"
+#include "test_util.hpp"
+
+namespace crispr::baselines {
+namespace {
+
+using automata::HammingSpec;
+using automata::ReportEvent;
+using genome::Sequence;
+
+HammingSpec
+specOf(const std::string &pattern, int d, size_t lo = 0,
+       size_t hi = SIZE_MAX, uint32_t id = 0)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac(pattern);
+    spec.maxMismatches = d;
+    spec.mismatchLo = lo;
+    spec.mismatchHi = hi;
+    spec.reportId = id;
+    return spec;
+}
+
+TEST(WindowMismatches, CountsAndRejects)
+{
+    Sequence g = Sequence::fromString("ACGTAC");
+    EXPECT_EQ(windowMismatches(g, 0, specOf("ACGT", 2)), 0);
+    EXPECT_EQ(windowMismatches(g, 1, specOf("CGTT", 2)), 1);
+    EXPECT_EQ(windowMismatches(g, 0, specOf("TTTT", 2)), -1);
+    // Exact-region violation rejects outright.
+    EXPECT_EQ(windowMismatches(g, 0, specOf("TCGT", 2, 1, 4)), -1);
+    // N in the exact region rejects; N in mismatch region counts.
+    Sequence gn = Sequence::fromString("ACNT");
+    EXPECT_EQ(windowMismatches(gn, 0, specOf("ACGT", 1)), 1);
+    EXPECT_EQ(windowMismatches(gn, 0, specOf("ACGT", 1, 0, 2)), -1);
+}
+
+TEST(BruteForce, FindsPlantedSites)
+{
+    genome::GenomeSpec gs;
+    gs.length = 5000;
+    gs.seed = 3;
+    Sequence g = genome::generateGenome(gs);
+    Rng rng(4);
+    Sequence site = Sequence::fromString("ACGTACGTACGTACGTACGTTGG");
+    auto offsets = genome::plantMutatedSites(g, site, 5, 2, 0, 20, rng);
+    ASSERT_EQ(offsets.size(), 5u);
+
+    auto spec = specOf(site.str(), 2, 0, 20, 9);
+    auto events = bruteForceScan(g, std::span(&spec, 1));
+    for (size_t at : offsets) {
+        const ReportEvent want{9, at + site.size() - 1};
+        EXPECT_TRUE(std::find(events.begin(), events.end(), want) !=
+                    events.end())
+            << "missing planted site at " << at;
+    }
+}
+
+TEST(BruteForce, BoundarySites)
+{
+    // Sites at offset 0 and at the very end must be found.
+    Sequence g = Sequence::fromString("ACGTTTTACGT");
+    auto spec = specOf("ACGT", 0);
+    auto events = bruteForceScan(g, std::span(&spec, 1));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].end, 3u);
+    EXPECT_EQ(events[1].end, 10u);
+}
+
+TEST(BruteForce, DBoundaryExactness)
+{
+    // A site at exactly d mismatches is in; d+1 is out.
+    Sequence g = Sequence::fromString("AAAA");
+    for (int d = 0; d <= 4; ++d) {
+        auto spec = specOf(std::string(4 - d, 'A') +
+                               std::string(d, 'C'),
+                           d);
+        EXPECT_EQ(
+            bruteForceScan(g, std::span(&spec, 1)).size(), 1u)
+            << "d=" << d;
+        if (d < 4) {
+            auto over = specOf(std::string(3 - d, 'A') +
+                                   std::string(d + 1, 'C'),
+                               d);
+            EXPECT_TRUE(
+                bruteForceScan(g, std::span(&over, 1)).empty());
+        }
+    }
+}
+
+TEST(BruteForce, PatternLongerThanGenome)
+{
+    Sequence g = Sequence::fromString("AC");
+    auto spec = specOf("ACGT", 1);
+    EXPECT_TRUE(bruteForceScan(g, std::span(&spec, 1)).empty());
+}
+
+TEST(BruteForce, OverlappingSitesAllReported)
+{
+    Sequence g = Sequence::fromString("AAAAA");
+    auto spec = specOf("AA", 0);
+    EXPECT_EQ(bruteForceScan(g, std::span(&spec, 1)).size(), 4u);
+}
+
+TEST(NormalizeEvents, SortsAndDedups)
+{
+    std::vector<ReportEvent> events = {
+        {2, 10}, {1, 10}, {2, 10}, {1, 3}};
+    normalizeEvents(events);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0], (ReportEvent{1, 3}));
+    EXPECT_EQ(events[1], (ReportEvent{1, 10}));
+    EXPECT_EQ(events[2], (ReportEvent{2, 10}));
+}
+
+} // namespace
+} // namespace crispr::baselines

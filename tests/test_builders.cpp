@@ -1,0 +1,164 @@
+/** @file Unit tests for the Hamming automaton builders. */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "automata/builders.hpp"
+#include "automata/interp.hpp"
+#include "baselines/brute.hpp"
+#include "common/logging.hpp"
+#include "test_util.hpp"
+
+namespace crispr::automata {
+namespace {
+
+using genome::Sequence;
+
+HammingSpec
+specOf(const std::string &pattern, int d, size_t lo = 0,
+       size_t hi = SIZE_MAX, uint32_t id = 0)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac(pattern);
+    spec.maxMismatches = d;
+    spec.mismatchLo = lo;
+    spec.mismatchHi = hi;
+    spec.reportId = id;
+    return spec;
+}
+
+std::vector<ReportEvent>
+interpEvents(const Nfa &nfa, const Sequence &seq)
+{
+    NfaInterpreter interp(nfa);
+    auto events = interp.scanAll(seq);
+    normalizeEvents(events);
+    return events;
+}
+
+TEST(Builders, ExactChainMatchesSubstring)
+{
+    Nfa nfa = buildExactNfa(genome::masksFromIupac("ACG"), 5);
+    EXPECT_EQ(nfa.size(), 3u);
+    auto events = interpEvents(nfa, Sequence::fromString("TTACGACGT"));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0], (ReportEvent{5, 4}));
+    EXPECT_EQ(events[1], (ReportEvent{5, 7}));
+}
+
+TEST(Builders, HammingD1FindsOneMismatch)
+{
+    Nfa nfa = buildHammingNfa(specOf("ACGT", 1));
+    // "ACTT" is within distance 1, "ACCC" is not.
+    auto hits = interpEvents(nfa, Sequence::fromString("ACTT"));
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].end, 3u);
+    EXPECT_TRUE(interpEvents(nfa, Sequence::fromString("ACCC")).empty());
+}
+
+TEST(Builders, ExactRegionPinsPam)
+{
+    // Guide AA with PAM GG pinned: mismatches allowed only at [0, 2).
+    Nfa nfa = buildHammingNfa(specOf("AAGG", 2, 0, 2));
+    EXPECT_FALSE(
+        interpEvents(nfa, Sequence::fromString("TTGG")).empty());
+    // PAM broken: no match even though budget would allow it.
+    EXPECT_TRUE(
+        interpEvents(nfa, Sequence::fromString("AAGC")).empty());
+}
+
+TEST(Builders, GenomeNCountsAsMismatch)
+{
+    Nfa nfa = buildHammingNfa(specOf("ACGT", 1));
+    EXPECT_FALSE(
+        interpEvents(nfa, Sequence::fromString("ACNT")).empty());
+    EXPECT_TRUE(
+        interpEvents(nfa, Sequence::fromString("ANNT")).empty());
+}
+
+TEST(Builders, RejectsBadSpecs)
+{
+    EXPECT_THROW(buildHammingNfa(specOf("", 1)), FatalError);
+    EXPECT_THROW(buildHammingNfa(specOf("ACG", -1)), FatalError);
+    HammingSpec empty_pos = specOf("ACG", 1);
+    empty_pos.masks[1] = 0;
+    EXPECT_THROW(buildHammingNfa(empty_pos), FatalError);
+}
+
+TEST(Builders, UnionKeepsReportIds)
+{
+    std::vector<Nfa> parts;
+    parts.push_back(buildExactNfa(genome::masksFromIupac("AC"), 1));
+    parts.push_back(buildExactNfa(genome::masksFromIupac("GT"), 2));
+    Nfa u = unionNfas(parts);
+    auto events = interpEvents(u, Sequence::fromString("ACGT"));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].reportId, 1u);
+    EXPECT_EQ(events[1].reportId, 2u);
+}
+
+using SizeParam = std::tuple<int, int>; // (length, d)
+
+class HammingSizeFormula : public ::testing::TestWithParam<SizeParam>
+{
+};
+
+TEST_P(HammingSizeFormula, ClosedFormMatchesBuilder)
+{
+    auto [len, d] = GetParam();
+    Rng rng(static_cast<uint64_t>(len * 31 + d));
+    for (int trial = 0; trial < 3; ++trial) {
+        auto spec = crispr::test::randomSpec(
+            rng, static_cast<size_t>(len), d, 0);
+        Nfa nfa = buildHammingNfa(spec);
+        EXPECT_EQ(nfa.size(),
+                  hammingNfaStates(spec.masks.size(), spec.maxMismatches,
+                                   spec.mismatchLo, spec.mismatchHi));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HammingSizeFormula,
+    ::testing::Combine(::testing::Values(1, 4, 8, 23),
+                       ::testing::Values(0, 1, 3, 6)));
+
+TEST(Builders, SizeGrowsLinearlyInD)
+{
+    // The matrix design is O(L * d): state count increments per d are
+    // bounded by 2L.
+    const size_t L = 23;
+    size_t prev = hammingNfaStates(L, 0, 0, 20);
+    for (int d = 1; d <= 6; ++d) {
+        size_t cur = hammingNfaStates(L, d, 0, 20);
+        EXPECT_GT(cur, prev);
+        EXPECT_LE(cur - prev, 2 * L);
+        prev = cur;
+    }
+}
+
+class HammingVsBrute
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(HammingVsBrute, InterpreterEqualsGoldenScan)
+{
+    auto [d, seed] = GetParam();
+    Rng rng(static_cast<uint64_t>(seed) * 977 + d);
+    auto spec = crispr::test::randomGuideSpec(rng, 8, 3, d, 42);
+    genome::Sequence g = crispr::test::randomGenome(rng, 3000, 0.02);
+    Nfa nfa = buildHammingNfa(spec);
+    auto got = interpEvents(nfa, g);
+    auto want = baselines::bruteForceScan(g, std::span(&spec, 1));
+    EXPECT_EQ(got, want) << crispr::test::eventsToString(got) << " vs "
+                         << crispr::test::eventsToString(want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HammingVsBrute,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace crispr::automata

@@ -1,0 +1,108 @@
+/** @file Unit tests for the Cas-OFFinder reimplementation. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute.hpp"
+#include "baselines/casoffinder.hpp"
+#include "test_util.hpp"
+
+namespace crispr::baselines {
+namespace {
+
+using automata::HammingSpec;
+
+std::vector<HammingSpec>
+guideSpecs(Rng &rng, int d, size_t count)
+{
+    std::vector<HammingSpec> specs;
+    for (uint32_t i = 0; i < count; ++i)
+        specs.push_back(crispr::test::randomGuideSpec(rng, 10, 3, d, i));
+    return specs;
+}
+
+TEST(CasOffinder, EqualsGoldenScan)
+{
+    Rng rng(41);
+    for (int d = 0; d <= 3; ++d) {
+        auto specs = guideSpecs(rng, d, 3);
+        genome::Sequence g = crispr::test::randomGenome(rng, 4000, 0.01);
+        auto result = casOffinderScan(g, specs);
+        auto want = bruteForceScan(g, specs);
+        EXPECT_EQ(result.events, want) << "d=" << d;
+    }
+}
+
+TEST(CasOffinder, SharedPamScanAcrossGuides)
+{
+    // Guides sharing the PAM layout share stage 1: positionsScanned is
+    // one genome pass per distinct shape, not per guide.
+    Rng rng(42);
+    genome::Sequence g = crispr::test::randomGenome(rng, 2000);
+
+    std::vector<HammingSpec> specs;
+    for (uint32_t i = 0; i < 5; ++i) {
+        auto s = crispr::test::randomGuideSpec(rng, 10, 3, 1, i);
+        // Force identical PAM masks across guides.
+        s.masks[10] = genome::iupacMask('N');
+        s.masks[11] = genome::iupacMask('G');
+        s.masks[12] = genome::iupacMask('G');
+        specs.push_back(s);
+    }
+    auto result = casOffinderScan(g, specs);
+    EXPECT_EQ(result.work.positionsScanned, g.size() - 13 + 1);
+}
+
+TEST(CasOffinder, WorkCountersAreConsistent)
+{
+    Rng rng(43);
+    auto specs = guideSpecs(rng, 2, 2);
+    genome::Sequence g = crispr::test::randomGenome(rng, 3000);
+    auto result = casOffinderScan(g, specs);
+    EXPECT_GT(result.work.positionsScanned, 0u);
+    EXPECT_GE(result.work.comparisons,
+              result.work.matches);
+    EXPECT_EQ(result.work.matches, result.events.size());
+    EXPECT_EQ(result.work.genomeBytes, g.size());
+    EXPECT_GE(result.hostSeconds, 0.0);
+}
+
+TEST(CasOffinderModel, KernelTimeMonotoneInWork)
+{
+    GpuDeviceModel model;
+    CasOffinderWork small{}, large{};
+    small.genomeBytes = 1 << 20;
+    small.basesCompared = 1 << 22;
+    large = small;
+    large.basesCompared = 1ull << 28;
+    EXPECT_LT(model.kernelSeconds(small), model.kernelSeconds(large));
+    large.genomeBytes = 1ull << 30;
+    EXPECT_LT(model.totalSeconds(small), model.totalSeconds(large));
+}
+
+TEST(CasOffinderModel, TotalIncludesTransfer)
+{
+    GpuDeviceModel model;
+    CasOffinderWork w{};
+    w.genomeBytes = 1ull << 30;
+    EXPECT_GT(model.totalSeconds(w),
+              model.kernelSeconds(w) +
+                  static_cast<double>(w.genomeBytes) /
+                      (model.pcieGBs * 1e9) * 0.99);
+}
+
+TEST(CasOffinder, DegeneratePamHandled)
+{
+    // NRG PAM (R = A|G): candidates must include both NAG and NGG sites.
+    genome::Sequence g =
+        genome::Sequence::fromString("AAAATAGAAAATGGAAA");
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac("AAAANRG");
+    spec.maxMismatches = 0;
+    spec.mismatchLo = 0;
+    spec.mismatchHi = 4;
+    auto result = casOffinderScan(g, std::span(&spec, 1));
+    EXPECT_EQ(result.events.size(), 2u);
+}
+
+} // namespace
+} // namespace crispr::baselines

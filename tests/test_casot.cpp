@@ -1,0 +1,180 @@
+/** @file Unit tests for the CasOT reimplementation. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute.hpp"
+#include "baselines/casot.hpp"
+#include "common/logging.hpp"
+#include "test_util.hpp"
+
+namespace crispr::baselines {
+namespace {
+
+using automata::HammingSpec;
+
+std::vector<HammingSpec>
+guideSpecs(Rng &rng, int d, size_t count, size_t guide_len = 10)
+{
+    std::vector<HammingSpec> specs;
+    for (uint32_t i = 0; i < count; ++i)
+        specs.push_back(
+            crispr::test::randomGuideSpec(rng, guide_len, 3, d, i));
+    return specs;
+}
+
+TEST(CasOtDirect, EqualsGoldenScan)
+{
+    Rng rng(51);
+    for (int d = 0; d <= 3; ++d) {
+        auto specs = guideSpecs(rng, d, 3);
+        genome::Sequence g = crispr::test::randomGenome(rng, 4000, 0.01);
+        CasOtConfig cfg;
+        cfg.mode = CasOtMode::Direct;
+        auto result = casOtScan(g, specs, cfg);
+        EXPECT_EQ(result.events, bruteForceScan(g, specs)) << "d=" << d;
+    }
+}
+
+TEST(CasOtIndexed, EqualsGoldenScanWithFullSeedBudget)
+{
+    Rng rng(52);
+    for (int d = 0; d <= 3; ++d) {
+        auto specs = guideSpecs(rng, d, 2, 12);
+        genome::Sequence g = crispr::test::randomGenome(rng, 4000, 0.01);
+        CasOtConfig cfg;
+        cfg.mode = CasOtMode::Indexed;
+        cfg.seedLength = 8;
+        auto result = casOtScan(g, specs, cfg);
+        EXPECT_EQ(result.events, bruteForceScan(g, specs)) << "d=" << d;
+    }
+}
+
+TEST(CasOtIndexed, NInSeedHandledByIrregularList)
+{
+    // Plant a site whose seed region contains an N: the seed index
+    // cannot represent it, so the irregular side list must find it.
+    Rng rng(53);
+    genome::Sequence g = crispr::test::randomGenome(rng, 2000, 0.0);
+    genome::Sequence site =
+        genome::Sequence::fromString("ACGTACGTACTGG"); // 10 + PAM TGG
+    genome::plantSite(g, 500, site);
+    g[505] = genome::kCodeN; // N inside the PAM-proximal seed
+
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac("ACGTACGTACNGG");
+    spec.maxMismatches = 2;
+    spec.mismatchLo = 0;
+    spec.mismatchHi = 10;
+    spec.reportId = 0;
+
+    CasOtConfig cfg;
+    cfg.mode = CasOtMode::Indexed;
+    cfg.seedLength = 8;
+    auto result = casOtScan(g, std::span(&spec, 1), cfg);
+    auto want = bruteForceScan(g, std::span(&spec, 1));
+    EXPECT_EQ(result.events, want);
+    const automata::ReportEvent planted{0, 512};
+    EXPECT_TRUE(std::find(want.begin(), want.end(), planted) !=
+                want.end());
+}
+
+TEST(CasOtIndexed, SeedCapLosesSensitivity)
+{
+    // With the seed budget capped below d, sites whose mismatches
+    // cluster in the seed are (correctly, per the real tool) missed.
+    Rng rng(54);
+    genome::Sequence g = crispr::test::randomGenome(rng, 3000);
+    genome::Sequence site =
+        genome::Sequence::fromString("ACGTACGTACGTACGTACGTTGG");
+    // Mutate 3 positions inside the last-12 seed region [8, 20).
+    genome::Sequence mut = genome::mutateSite(site, 3, 10, 20, rng);
+    genome::plantSite(g, 1000, mut);
+
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac(site.str());
+    spec.maxMismatches = 3;
+    spec.mismatchLo = 0;
+    spec.mismatchHi = 20;
+
+    CasOtConfig full;
+    full.mode = CasOtMode::Indexed;
+    auto full_result = casOtScan(g, std::span(&spec, 1), full);
+
+    CasOtConfig capped = full;
+    capped.maxSeedMismatches = 2;
+    auto capped_result = casOtScan(g, std::span(&spec, 1), capped);
+
+    // Capped results are a subset of the full results.
+    for (const auto &e : capped_result.events) {
+        EXPECT_TRUE(std::find(full_result.events.begin(),
+                              full_result.events.end(),
+                              e) != full_result.events.end());
+    }
+    const automata::ReportEvent planted{0, 1000 + 22};
+    EXPECT_TRUE(std::find(full_result.events.begin(),
+                          full_result.events.end(),
+                          planted) != full_result.events.end());
+    EXPECT_TRUE(std::find(capped_result.events.begin(),
+                          capped_result.events.end(),
+                          planted) == capped_result.events.end());
+}
+
+TEST(CasOtIndexed, SeedVariantCountMatchesFormula)
+{
+    Rng rng(55);
+    auto specs = guideSpecs(rng, 2, 1, 12);
+    genome::Sequence g = crispr::test::randomGenome(rng, 500);
+    CasOtConfig cfg;
+    cfg.mode = CasOtMode::Indexed;
+    cfg.seedLength = 6;
+    auto result = casOtScan(g, specs, cfg);
+    // sum_{i<=2} C(6,i) * 3^i = 1 + 18 + 135 = 154.
+    EXPECT_EQ(result.work.seedVariants, 154u);
+    EXPECT_EQ(result.work.indexLookups, 154u);
+}
+
+TEST(CasOt, WorkCountersPopulated)
+{
+    Rng rng(56);
+    auto specs = guideSpecs(rng, 1, 2);
+    genome::Sequence g = crispr::test::randomGenome(rng, 2000);
+    auto direct = casOtScan(g, specs, {});
+    EXPECT_GT(direct.work.pamSites, 0u);
+    EXPECT_GT(direct.work.basesCompared, 0u);
+    EXPECT_EQ(direct.work.matches, direct.events.size());
+    EXPECT_GE(direct.seconds, 0.0);
+    EXPECT_DOUBLE_EQ(direct.perlAdjustedSeconds({}),
+                     direct.seconds * 30.0);
+}
+
+TEST(CasOt, RejectsBadConfigs)
+{
+    Rng rng(57);
+    auto specs = guideSpecs(rng, 1, 1);
+    genome::Sequence g = crispr::test::randomGenome(rng, 100);
+    CasOtConfig cfg;
+    cfg.seedLength = 0;
+    EXPECT_THROW(casOtScan(g, specs, cfg), FatalError);
+    cfg.seedLength = 17;
+    EXPECT_THROW(casOtScan(g, specs, cfg), FatalError);
+}
+
+TEST(CasOtIndexed, DegenerateSeedBaseIsFatal)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac("ACGRACGTACGT" "TGG");
+    spec.maxMismatches = 1;
+    spec.mismatchLo = 0;
+    spec.mismatchHi = 12;
+    CasOtConfig cfg;
+    cfg.mode = CasOtMode::Indexed;
+    cfg.seedLength = 12; // seed covers the degenerate R at position 3
+    genome::Sequence g =
+        genome::Sequence::fromString("ACGTACGTACGTTGGACGT");
+    EXPECT_THROW(casOtScan(g, std::span(&spec, 1), cfg), FatalError);
+}
+
+} // namespace
+} // namespace crispr::baselines

@@ -1,0 +1,94 @@
+/** @file Unit tests for SymbolClass. */
+
+#include <gtest/gtest.h>
+
+#include "automata/charclass.hpp"
+#include "common/logging.hpp"
+
+namespace crispr::automata {
+namespace {
+
+using genome::baseCode;
+using genome::iupacMask;
+using genome::kCodeN;
+
+TEST(SymbolClass, MatchClassExcludesN)
+{
+    SymbolClass cls = SymbolClass::match(iupacMask('R'));
+    EXPECT_TRUE(cls.matches(baseCode('A')));
+    EXPECT_TRUE(cls.matches(baseCode('G')));
+    EXPECT_FALSE(cls.matches(baseCode('C')));
+    EXPECT_FALSE(cls.matches(kCodeN));
+}
+
+TEST(SymbolClass, MismatchClassIncludesN)
+{
+    SymbolClass cls = SymbolClass::mismatch(iupacMask('R'));
+    EXPECT_FALSE(cls.matches(baseCode('A')));
+    EXPECT_FALSE(cls.matches(baseCode('G')));
+    EXPECT_TRUE(cls.matches(baseCode('C')));
+    EXPECT_TRUE(cls.matches(baseCode('T')));
+    EXPECT_TRUE(cls.matches(kCodeN));
+}
+
+TEST(SymbolClass, MatchAndMismatchPartitionTheAlphabet)
+{
+    for (genome::BaseMask m = 1; m < 16; ++m) {
+        SymbolClass match = SymbolClass::match(m);
+        SymbolClass mismatch = SymbolClass::mismatch(m);
+        for (uint8_t c = 0; c < genome::kNumSymbols; ++c)
+            EXPECT_NE(match.matches(c), mismatch.matches(c));
+    }
+}
+
+TEST(SymbolClass, AnyAndNone)
+{
+    for (uint8_t c = 0; c < genome::kNumSymbols; ++c) {
+        EXPECT_TRUE(SymbolClass::any().matches(c));
+        EXPECT_FALSE(SymbolClass::none().matches(c));
+    }
+    EXPECT_TRUE(SymbolClass::none().empty());
+}
+
+TEST(SymbolClass, SetOperators)
+{
+    SymbolClass a = SymbolClass::match(iupacMask('A'));
+    SymbolClass g = SymbolClass::match(iupacMask('G'));
+    SymbolClass ag = a | g;
+    EXPECT_TRUE(ag.matches(baseCode('A')));
+    EXPECT_TRUE(ag.matches(baseCode('G')));
+    EXPECT_EQ((ag & a), a);
+    EXPECT_TRUE((a & g).empty());
+}
+
+TEST(SymbolClass, StrRendering)
+{
+    EXPECT_EQ(SymbolClass::match(iupacMask('A')).str(), "A");
+    EXPECT_EQ(SymbolClass::match(iupacMask('R')).str(), "[AG]");
+    EXPECT_EQ(SymbolClass::any().str(), "*");
+    EXPECT_EQ(SymbolClass::mismatch(iupacMask('A')).str(), "[CGTN]");
+}
+
+class SymbolClassRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SymbolClassRoundTrip, ParseInvertsStr)
+{
+    SymbolClass cls(static_cast<uint8_t>(GetParam()));
+    if (cls.empty())
+        return; // "[]" is not produced
+    EXPECT_EQ(SymbolClass::parse(cls.str()), cls);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, SymbolClassRoundTrip,
+                         ::testing::Range(1, 32));
+
+TEST(SymbolClass, ParseErrors)
+{
+    EXPECT_THROW(SymbolClass::parse("[AC"), FatalError);
+    EXPECT_THROW(SymbolClass::parse("[AX]"), FatalError);
+}
+
+} // namespace
+} // namespace crispr::automata

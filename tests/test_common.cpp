@@ -1,0 +1,180 @@
+/** @file Unit tests for the common substrate. */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+namespace crispr {
+namespace {
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+    EXPECT_EQ(strprintf("%.2f", 1.005), "1.00");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad input %d", 1), FatalError);
+    try {
+        fatal("code %d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "code 7");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, AssertMacroFiresOnFalse)
+{
+    EXPECT_THROW(CRISPR_ASSERT(1 == 2), PanicError);
+    EXPECT_NO_THROW(CRISPR_ASSERT(1 == 1));
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[rng.below(8)];
+    for (int c : seen)
+        EXPECT_GT(c, 300); // each bucket near 500
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stopwatch, MonotoneNonNegative)
+{
+    Stopwatch sw;
+    double a = sw.seconds();
+    double b = sw.seconds();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+    sw.reset();
+    EXPECT_GE(sw.seconds(), 0.0);
+}
+
+TEST(Table, AlignsColumnsAndRendersRows)
+{
+    Table t({"name", "value"});
+    t.row().add("alpha").add(uint64_t{10});
+    t.row().add("b").add(3.14159, 2);
+    std::string s = t.str();
+    EXPECT_NE(s.find("| alpha | 10    |"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.row().add(1).add(2);
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(16ull << 20), "16.0 MB");
+    EXPECT_EQ(formatBytes(3ull << 30), "3.0 GB");
+}
+
+TEST(Format, Seconds)
+{
+    EXPECT_EQ(formatSeconds(2.5), "2.500 s");
+    EXPECT_EQ(formatSeconds(0.0035), "3.50 ms");
+    EXPECT_EQ(formatSeconds(2.5e-7), "250.0 ns");
+    EXPECT_EQ(formatSeconds(5e-9), "5.0 ns");
+}
+
+TEST(Cli, ParsesFlagsAndPositionals)
+{
+    Cli cli("test");
+    cli.addString("name", "default", "a name");
+    cli.addInt("count", 3, "a count");
+    cli.addBool("verbose", "be chatty");
+    const char *argv[] = {"prog", "--name=foo", "--count", "9",
+                          "--verbose", "pos1"};
+    ASSERT_TRUE(cli.parse(6, argv));
+    EXPECT_EQ(cli.getString("name"), "foo");
+    EXPECT_EQ(cli.getInt("count"), 9);
+    EXPECT_TRUE(cli.getBool("verbose"));
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent)
+{
+    Cli cli("test");
+    cli.addString("name", "default", "a name");
+    cli.addInt("count", 3, "a count");
+    cli.addBool("verbose", "be chatty");
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.getString("name"), "default");
+    EXPECT_EQ(cli.getInt("count"), 3);
+    EXPECT_FALSE(cli.getBool("verbose"));
+}
+
+TEST(Cli, RejectsUnknownAndMalformedFlags)
+{
+    Cli cli("test");
+    cli.addInt("count", 3, "a count");
+    const char *unknown[] = {"prog", "--nope"};
+    EXPECT_THROW(cli.parse(2, unknown), FatalError);
+
+    Cli cli2("test");
+    cli2.addInt("count", 3, "a count");
+    const char *notint[] = {"prog", "--count", "abc"};
+    EXPECT_THROW(cli2.parse(3, notint), FatalError);
+
+    Cli cli3("test");
+    cli3.addInt("count", 3, "a count");
+    const char *missing[] = {"prog", "--count"};
+    EXPECT_THROW(cli3.parse(2, missing), FatalError);
+}
+
+} // namespace
+} // namespace crispr

@@ -1,0 +1,129 @@
+/** @file Unit tests for guide -> pattern compilation. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/compile.hpp"
+
+namespace crispr::core {
+namespace {
+
+std::vector<Guide>
+twoGuides()
+{
+    return {makeGuide("g0", "ACGTACGTACGTACGTACGT"),
+            makeGuide("g1", "TTTTCCCCGGGGAAAATTTT")};
+}
+
+TEST(Compile, SiteOrderShapes)
+{
+    PatternSet set =
+        buildPatternSet(twoGuides(), pamNGG(), 3, true);
+    EXPECT_EQ(set.guideLength, 20u);
+    EXPECT_EQ(set.pamLength, 3u);
+    EXPECT_EQ(set.siteLength(), 23u);
+    ASSERT_EQ(set.patterns.size(), 4u);
+    EXPECT_FALSE(set.needsReversedStream());
+
+    // Forward pattern: guide masks then PAM; mismatches in [0, 20).
+    const Pattern &fwd = set.patterns[0];
+    EXPECT_EQ(fwd.strand, Strand::Forward);
+    EXPECT_EQ(fwd.spec.mismatchLo, 0u);
+    EXPECT_EQ(fwd.spec.mismatchHi, 20u);
+    EXPECT_EQ(fwd.spec.masks[0], genome::iupacMask('A'));
+    EXPECT_EQ(fwd.spec.masks[20], genome::iupacMask('N'));
+    EXPECT_EQ(fwd.spec.masks[22], genome::iupacMask('G'));
+
+    // Reverse pattern: revcomp site, PAM leading, mismatches [3, 23).
+    const Pattern &rev = set.patterns[1];
+    EXPECT_EQ(rev.strand, Strand::Reverse);
+    EXPECT_EQ(rev.spec.mismatchLo, 3u);
+    EXPECT_EQ(rev.spec.mismatchHi, 23u);
+    EXPECT_EQ(rev.spec.masks[0], genome::iupacMask('C')); // comp of G
+    EXPECT_EQ(rev.spec.masks[2], genome::iupacMask('N'));
+    // Last base of revcomp pattern = complement of guide[0] = T.
+    EXPECT_EQ(rev.spec.masks[22], genome::iupacMask('T'));
+
+    // Report ids are the pattern indices.
+    for (uint32_t i = 0; i < set.patterns.size(); ++i)
+        EXPECT_EQ(set.patterns[i].spec.reportId, i);
+}
+
+TEST(Compile, PamFirstShapes)
+{
+    PatternSet set = buildPatternSet(twoGuides(), pamNGG(), 2, true,
+                                     Orientation::PamFirst);
+    ASSERT_EQ(set.patterns.size(), 4u);
+    EXPECT_TRUE(set.needsReversedStream());
+    // Every pattern leads with its exact region.
+    for (const Pattern &p : set.patterns) {
+        EXPECT_GT(p.spec.mismatchLo, 0u);
+        EXPECT_EQ(p.spec.mismatchHi, p.spec.masks.size());
+        if (p.strand == Strand::Forward)
+            EXPECT_TRUE(p.reversedStream);
+        else
+            EXPECT_FALSE(p.reversedStream);
+    }
+    // Forward PamFirst pattern = reversed site: leading mask is the
+    // last PAM base (G), trailing mask is guide[0].
+    const Pattern &fwd = set.patterns[0];
+    EXPECT_EQ(fwd.spec.masks[0], genome::iupacMask('G'));
+    EXPECT_EQ(fwd.spec.masks[2], genome::iupacMask('N'));
+    EXPECT_EQ(fwd.spec.masks[22], genome::iupacMask('A'));
+}
+
+TEST(Compile, ForwardSpecUndoesStreamReversal)
+{
+    PatternSet set = buildPatternSet(twoGuides(), pamNGG(), 2, true,
+                                     Orientation::PamFirst);
+    PatternSet site = buildPatternSet(twoGuides(), pamNGG(), 2, true,
+                                      Orientation::SiteOrder);
+    for (uint32_t i = 0; i < set.patterns.size(); ++i) {
+        automata::HammingSpec a = set.forwardSpec(i);
+        const automata::HammingSpec &b = site.patterns[i].spec;
+        EXPECT_EQ(a.masks, b.masks) << "pattern " << i;
+        EXPECT_EQ(a.mismatchLo, b.mismatchLo);
+        EXPECT_EQ(std::min(a.mismatchHi, a.masks.size()),
+                  std::min(b.mismatchHi, b.masks.size()));
+    }
+}
+
+TEST(Compile, ForwardOnlyHalvesPatterns)
+{
+    PatternSet set = buildPatternSet(twoGuides(), pamNGG(), 1, false);
+    EXPECT_EQ(set.patterns.size(), 2u);
+    for (const Pattern &p : set.patterns)
+        EXPECT_EQ(p.strand, Strand::Forward);
+}
+
+TEST(Compile, SpecsForStreamSplitsCorrectly)
+{
+    PatternSet set = buildPatternSet(twoGuides(), pamNGG(), 1, true,
+                                     Orientation::PamFirst);
+    EXPECT_EQ(set.specsForStream(false).size(), 2u); // reverse strand
+    EXPECT_EQ(set.specsForStream(true).size(), 2u);  // forward strand
+    PatternSet so = buildPatternSet(twoGuides(), pamNGG(), 1, true);
+    EXPECT_EQ(so.specsForStream(false).size(), 4u);
+    EXPECT_TRUE(so.specsForStream(true).empty());
+}
+
+TEST(Compile, Validation)
+{
+    EXPECT_THROW(buildPatternSet({}, pamNGG(), 1, true), FatalError);
+    auto mixed = twoGuides();
+    mixed.push_back(makeGuide("short", "ACGT"));
+    EXPECT_THROW(buildPatternSet(mixed, pamNGG(), 1, true), FatalError);
+    EXPECT_THROW(buildPatternSet(twoGuides(), pamNGG(), -1, true),
+                 FatalError);
+    EXPECT_THROW(buildPatternSet(twoGuides(), pamNGG(), 21, true),
+                 FatalError);
+}
+
+TEST(Compile, StrandStr)
+{
+    EXPECT_STREQ(strandStr(Strand::Forward), "+");
+    EXPECT_STREQ(strandStr(Strand::Reverse), "-");
+}
+
+} // namespace
+} // namespace crispr::core

@@ -1,0 +1,128 @@
+/** @file Unit tests for subset construction and DFA scanning. */
+
+#include <gtest/gtest.h>
+
+#include "automata/builders.hpp"
+#include "automata/dfa.hpp"
+#include "test_util.hpp"
+
+namespace crispr::automata {
+namespace {
+
+using genome::Sequence;
+
+Nfa
+hammingNfa(const std::string &pattern, int d, size_t lo = 0,
+           size_t hi = SIZE_MAX, uint32_t id = 0)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac(pattern);
+    spec.maxMismatches = d;
+    spec.mismatchLo = lo;
+    spec.mismatchHi = hi;
+    spec.reportId = id;
+    return buildHammingNfa(spec);
+}
+
+TEST(Dfa, ExactPatternScan)
+{
+    auto dfa = subsetConstruct(hammingNfa("ACG", 0), 1000);
+    ASSERT_TRUE(dfa.has_value());
+    auto events = dfa->scanAll(Sequence::fromString("ACGACG"));
+    normalizeEvents(events);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].end, 2u);
+    EXPECT_EQ(events[1].end, 5u);
+}
+
+TEST(Dfa, EquivalentToInterpreter)
+{
+    Rng rng(55);
+    for (int trial = 0; trial < 10; ++trial) {
+        auto spec = crispr::test::randomGuideSpec(rng, 6, 2, 2, trial);
+        Nfa nfa = buildHammingNfa(spec);
+        auto dfa = subsetConstruct(nfa, 1u << 18);
+        ASSERT_TRUE(dfa.has_value());
+        Sequence g = crispr::test::randomGenome(rng, 2000, 0.02);
+        auto got = dfa->scanAll(g);
+        NfaInterpreter interp(nfa);
+        auto want = interp.scanAll(g);
+        normalizeEvents(got);
+        normalizeEvents(want);
+        EXPECT_EQ(got, want);
+    }
+}
+
+TEST(Dfa, StateCapReturnsNullopt)
+{
+    auto dfa = subsetConstruct(
+        hammingNfa("ACGTACGTACGTACGTACGT", 4), 16);
+    EXPECT_FALSE(dfa.has_value());
+}
+
+TEST(Dfa, ChunkedScanEqualsWholeScan)
+{
+    auto dfa = subsetConstruct(hammingNfa("ACGT", 1), 100000);
+    ASSERT_TRUE(dfa.has_value());
+    Rng rng(9);
+    Sequence g = crispr::test::randomGenome(rng, 500);
+
+    auto whole = dfa->scanAll(g);
+
+    std::vector<ReportEvent> chunked;
+    uint32_t state = 0;
+    auto sink = [&](uint32_t id, uint64_t end) {
+        chunked.push_back(ReportEvent{id, end});
+    };
+    for (size_t at = 0; at < g.size(); at += 37) {
+        size_t n = std::min<size_t>(37, g.size() - at);
+        state = dfa->scan({g.data() + at, n}, sink, at, state);
+    }
+    EXPECT_EQ(chunked, whole);
+}
+
+TEST(Dfa, StartOfDataAnchoring)
+{
+    // A SOD-anchored exact pattern only matches at offset 0.
+    Nfa nfa;
+    StateId a = nfa.addState(
+        SymbolClass::match(genome::iupacMask('A')),
+        StartKind::StartOfData);
+    StateId b = nfa.addState(SymbolClass::match(genome::iupacMask('C')));
+    nfa.addEdge(a, b);
+    nfa.setReport(b, 0);
+
+    auto dfa = subsetConstruct(nfa, 100);
+    ASSERT_TRUE(dfa.has_value());
+    auto hit = dfa->scanAll(Sequence::fromString("ACAC"));
+    ASSERT_EQ(hit.size(), 1u);
+    EXPECT_EQ(hit[0].end, 1u);
+    EXPECT_TRUE(dfa->scanAll(Sequence::fromString("GACAC")).empty());
+}
+
+TEST(Dfa, MultiPatternReports)
+{
+    std::vector<Nfa> parts;
+    parts.push_back(hammingNfa("AC", 0, 0, SIZE_MAX, 10));
+    parts.push_back(hammingNfa("AC", 1, 0, SIZE_MAX, 20));
+    Nfa u = unionNfas(parts);
+    auto dfa = subsetConstruct(u, 10000);
+    ASSERT_TRUE(dfa.has_value());
+    auto events = dfa->scanAll(Sequence::fromString("AC"));
+    normalizeEvents(events);
+    // Exact site matches both patterns.
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].reportId, 10u);
+    EXPECT_EQ(events[1].reportId, 20u);
+}
+
+TEST(Dfa, TableBytesPositive)
+{
+    auto dfa = subsetConstruct(hammingNfa("ACGT", 1), 100000);
+    ASSERT_TRUE(dfa.has_value());
+    EXPECT_GT(dfa->tableBytes(),
+              static_cast<size_t>(dfa->size()) * Dfa::kAlphabet * 4 - 1);
+}
+
+} // namespace
+} // namespace crispr::automata

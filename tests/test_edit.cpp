@@ -1,0 +1,273 @@
+/** @file Unit + property tests for the edit-distance (bulge) automata
+ *  and the core bulge-search API. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "automata/builders.hpp"
+#include "automata/edit.hpp"
+#include "baselines/brute.hpp"
+#include "common/logging.hpp"
+#include "core/bulge.hpp"
+#include "core/search.hpp"
+#include "genome/generator.hpp"
+#include "test_util.hpp"
+
+namespace crispr::automata {
+namespace {
+
+using genome::Sequence;
+
+EditSpec
+editSpec(const std::string &pattern, int d, int b, size_t lo = 0,
+         size_t hi = SIZE_MAX, uint32_t id = 0)
+{
+    EditSpec spec;
+    spec.masks = genome::masksFromIupac(pattern);
+    spec.maxMismatches = d;
+    spec.maxBulges = b;
+    spec.editLo = lo;
+    spec.editHi = hi;
+    spec.reportId = id;
+    return spec;
+}
+
+std::vector<ReportEvent>
+nfaEvents(const EditSpec &spec, const Sequence &g)
+{
+    Nfa nfa = buildEditNfa(spec);
+    NfaInterpreter interp(nfa);
+    auto events = interp.scanAll(g);
+    normalizeEvents(events);
+    return events;
+}
+
+TEST(EditNfa, ZeroBulgesEqualsHammingAutomaton)
+{
+    Rng rng(91);
+    for (int trial = 0; trial < 6; ++trial) {
+        auto hspec = crispr::test::randomGuideSpec(rng, 8, 3, 2, 5);
+        EditSpec espec;
+        espec.masks = hspec.masks;
+        espec.maxMismatches = hspec.maxMismatches;
+        espec.maxBulges = 0;
+        espec.editLo = hspec.mismatchLo;
+        espec.editHi = hspec.mismatchHi;
+        espec.reportId = hspec.reportId;
+
+        Sequence g = crispr::test::randomGenome(rng, 2000, 0.02);
+        auto edit_events = nfaEvents(espec, g);
+        auto want = baselines::bruteForceScan(g, std::span(&hspec, 1));
+        EXPECT_EQ(edit_events, want) << "trial " << trial;
+    }
+}
+
+TEST(EditNfa, FindsDeletionBulge)
+{
+    // Pattern ACGTACGT; genome contains ACGACGT (position 3 deleted).
+    auto spec = editSpec("ACGTACGT", 0, 1);
+    Sequence g = Sequence::fromString("TTTACGACGTTTT");
+    auto events = nfaEvents(spec, g);
+    ASSERT_FALSE(events.empty());
+    // Window TTT[ACGACGT]TTT ends at index 9.
+    bool found = false;
+    for (auto &e : events)
+        found |= e.end == 9;
+    EXPECT_TRUE(found);
+    // Without a bulge budget it is not found.
+    auto strict = editSpec("ACGTACGT", 0, 0);
+    EXPECT_TRUE(nfaEvents(strict, g).empty());
+}
+
+TEST(EditNfa, FindsInsertionBulge)
+{
+    // Genome contains ACGTTACGT (extra T inserted mid-pattern).
+    auto spec = editSpec("ACGTACGT", 0, 1);
+    Sequence g = Sequence::fromString("GGACGTTACGTGG");
+    auto events = nfaEvents(spec, g);
+    bool found = false;
+    for (auto &e : events)
+        found |= e.end == 10;
+    EXPECT_TRUE(found);
+    auto strict = editSpec("ACGTACGT", 1, 0); // a mismatch can't fix it
+    auto strict_events = nfaEvents(strict, g);
+    for (auto &e : strict_events)
+        EXPECT_NE(e.end, 10u);
+}
+
+TEST(EditNfa, TypedBudgetsAreSeparate)
+{
+    // One substitution AND one deletion: needs (d=1, b=1); neither
+    // (2,0) nor (0,2) finds it.
+    auto both = editSpec("ACGTACGT", 1, 1);
+    //                       ACG ACGT with T->C sub at the end: ACGACGC
+    Sequence g = Sequence::fromString("TTACGACGCTT");
+    auto hits = nfaEvents(both, g);
+    bool found = false;
+    for (auto &e : hits)
+        found |= e.end == 8;
+    EXPECT_TRUE(found);
+
+    for (auto spec : {editSpec("ACGTACGT", 2, 0),
+                      editSpec("ACGTACGT", 0, 2)}) {
+        auto events = nfaEvents(spec, g);
+        for (auto &e : events)
+            EXPECT_NE(e.end, 8u) << "d=" << spec.maxMismatches;
+    }
+}
+
+TEST(EditNfa, PamStaysRigid)
+{
+    // Guide AAAA + PAM GG; edits allowed only in [0, 4).
+    auto spec = editSpec("AAAAGG", 1, 1, 0, 4);
+    // Deletion inside the PAM must not be tolerated: AAAAG.
+    Sequence g1 = Sequence::fromString("TTAAAAGTT");
+    for (auto &e : nfaEvents(spec, g1))
+        EXPECT_NE(e.end, 6u);
+    // Deletion inside the guide is fine: AAAGG.
+    Sequence g2 = Sequence::fromString("TTAAAGGTT");
+    bool found = false;
+    for (auto &e : nfaEvents(spec, g2))
+        found |= e.end == 6;
+    EXPECT_TRUE(found);
+}
+
+TEST(EditNfa, StateCountScalesWithBudgets)
+{
+    const std::string guide(20, 'A');
+    size_t prev = 0;
+    for (int b = 0; b <= 2; ++b) {
+        Nfa nfa = buildEditNfa(editSpec(guide + "CGG", 3, b, 0, 20));
+        EXPECT_GT(nfa.size(), prev);
+        prev = nfa.size();
+    }
+}
+
+TEST(EditNfa, RejectsBadSpecs)
+{
+    EXPECT_THROW(buildEditNfa(editSpec("", 1, 1)), FatalError);
+    EXPECT_THROW(buildEditNfa(editSpec("ACG", -1, 0)), FatalError);
+    EXPECT_THROW(buildEditNfa(editSpec("ACG", 0, -1)), FatalError);
+}
+
+class EditNfaVsDp
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(EditNfaVsDp, AgreeOnRandomInputs)
+{
+    auto [d, b, seed] = GetParam();
+    Rng rng(static_cast<uint64_t>(seed) * 6029 + d * 31 + b);
+    for (int trial = 0; trial < 3; ++trial) {
+        const size_t len = 4 + rng.below(8);
+        auto spec = crispr::test::randomSpec(rng, len, d, 7);
+        EditSpec espec;
+        espec.masks = spec.masks;
+        espec.maxMismatches = d;
+        espec.maxBulges = b;
+        espec.editLo = spec.mismatchLo;
+        espec.editHi = spec.mismatchHi;
+        espec.reportId = 7;
+
+        Sequence g = crispr::test::randomGenome(rng, 1200, 0.03);
+        auto nfa_events = nfaEvents(espec, g);
+        auto dp_events = editDistanceScan(g, espec);
+        normalizeEvents(dp_events);
+        EXPECT_EQ(nfa_events, dp_events)
+            << "len=" << len << " d=" << d << " b=" << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EditNfaVsDp,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace crispr::automata
+
+namespace crispr::core {
+namespace {
+
+TEST(BulgeSearch, EnginesMatchGoldenDp)
+{
+    genome::GenomeSpec gs;
+    gs.length = 30000;
+    gs.seed = 77;
+    genome::Sequence g = genome::generateGenome(gs);
+    auto guides = guidesFromGenome(g, 2, 20, 78);
+
+    // Plant a bulged site for guide 0: delete protospacer position 9,
+    // append a valid PAM.
+    genome::Sequence site = guides[0].protospacer;
+    genome::Sequence bulged;
+    for (size_t i = 0; i < site.size(); ++i)
+        if (i != 9)
+            bulged.push_back(site[i]);
+    bulged.append(genome::Sequence::fromString("AGG"));
+    genome::plantSite(g, 15000, bulged);
+
+    BulgeConfig cfg;
+    cfg.maxMismatches = 1;
+    cfg.maxBulges = 1;
+
+    auto golden = bulgeSearchGolden(g, guides, cfg);
+    const BulgeHit planted{0, Strand::Forward,
+                           15000 + bulged.size() - 1};
+    EXPECT_TRUE(std::find(golden.begin(), golden.end(), planted) !=
+                golden.end());
+
+    for (EngineKind kind :
+         {EngineKind::Reference, EngineKind::Fpga, EngineKind::Ap,
+          EngineKind::GpuInfant2, EngineKind::HscanDfa}) {
+        cfg.engine = kind;
+        BulgeResult res = bulgeSearch(g, guides, cfg);
+        EXPECT_EQ(res.hits, golden) << engineName(kind);
+        EXPECT_GT(res.nfaStates, 0u);
+    }
+}
+
+TEST(BulgeSearch, UnsupportedEngineIsFatal)
+{
+    genome::Sequence g =
+        genome::Sequence::fromString("ACGTACGTACGTACGTACGTACGTACGT");
+    auto guides = std::vector<Guide>{
+        makeGuide("g", "ACGTACGTACGTACGTACGT")};
+    BulgeConfig cfg;
+    cfg.engine = EngineKind::CasOt;
+    EXPECT_THROW(bulgeSearch(g, guides, cfg), FatalError);
+}
+
+TEST(BulgeSearch, ZeroBulgesMatchesHammingSearch)
+{
+    genome::GenomeSpec gs;
+    gs.length = 20000;
+    gs.seed = 79;
+    genome::Sequence g = genome::generateGenome(gs);
+    auto guides = guidesFromGenome(g, 2, 20, 80);
+
+    BulgeConfig bcfg;
+    bcfg.maxMismatches = 2;
+    bcfg.maxBulges = 0;
+    bcfg.engine = EngineKind::Reference;
+    BulgeResult bres = bulgeSearch(g, guides, bcfg);
+
+    SearchConfig scfg;
+    scfg.maxMismatches = 2;
+    SearchResult sres = search(g, guides, scfg);
+
+    // Hamming hits map to (end = start + 22) bulge hits.
+    std::vector<BulgeHit> expect;
+    for (const OffTargetHit &h : sres.hits)
+        expect.push_back(BulgeHit{h.guide, h.strand, h.start + 22});
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()),
+                 expect.end());
+    EXPECT_EQ(bres.hits, expect);
+}
+
+} // namespace
+} // namespace crispr::core

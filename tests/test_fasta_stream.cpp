@@ -1,0 +1,132 @@
+/** @file Unit tests for the streaming FASTA reader. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "genome/fasta.hpp"
+#include "genome/fasta_stream.hpp"
+#include "hscan/multipattern.hpp"
+#include "test_util.hpp"
+
+namespace crispr::genome {
+namespace {
+
+std::string
+sampleFasta()
+{
+    return ">chr1 first\nACGTACGT\nACGT\n"
+           ">chr2\nTT\r\nTT\n\n"
+           ">chr3\nGGGgggNRY\n";
+}
+
+Sequence
+streamAll(const std::string &text, size_t chunk)
+{
+    std::istringstream in(text);
+    FastaStreamReader reader(in);
+    Sequence all;
+    std::vector<uint8_t> buf;
+    while (reader.next(chunk, buf))
+        for (uint8_t c : buf)
+            all.push_back(c);
+    return all;
+}
+
+TEST(FastaStream, MatchesConcatenatedWholeFileRead)
+{
+    std::istringstream in(sampleFasta());
+    auto records = readFasta(in);
+    Sequence want = concatenateRecords(records);
+
+    for (size_t chunk : {1u, 3u, 7u, 100u, 10000u})
+        EXPECT_EQ(streamAll(sampleFasta(), chunk), want)
+            << "chunk " << chunk;
+}
+
+TEST(FastaStream, TracksRecordOffsets)
+{
+    std::istringstream in(sampleFasta());
+    FastaStreamReader reader(in);
+    std::vector<uint8_t> buf;
+    while (reader.next(5, buf)) {
+    }
+    ASSERT_EQ(reader.records().size(), 3u);
+    EXPECT_EQ(reader.records()[0].name, "chr1");
+    EXPECT_EQ(reader.records()[0].start, 0u);
+    EXPECT_EQ(reader.records()[1].name, "chr2");
+    EXPECT_EQ(reader.records()[1].start, 13u); // 12 bases + separator
+    EXPECT_EQ(reader.records()[2].name, "chr3");
+    EXPECT_EQ(reader.records()[2].start, 18u);
+    EXPECT_EQ(reader.offset(), 27u);
+}
+
+TEST(FastaStream, ErrorsMatchWholeFileReader)
+{
+    {
+        std::istringstream in("ACGT\n");
+        FastaStreamReader reader(in);
+        std::vector<uint8_t> buf;
+        EXPECT_THROW(reader.next(10, buf), FatalError);
+    }
+    {
+        std::istringstream in("");
+        FastaStreamReader reader(in);
+        std::vector<uint8_t> buf;
+        EXPECT_THROW(reader.next(10, buf), FatalError);
+    }
+    {
+        std::istringstream in(">r\nAC1T\n");
+        FastaStreamReader reader(in);
+        std::vector<uint8_t> buf;
+        EXPECT_THROW(reader.next(10, buf), FatalError);
+    }
+}
+
+TEST(FastaStream, DrivesStreamingScanIdentically)
+{
+    // Scanning the stream chunk-by-chunk through an HScan scanner must
+    // equal scanning the concatenated sequence in one go.
+    Rng rng(411);
+    std::vector<FastaRecord> records;
+    for (int r = 0; r < 3; ++r) {
+        records.push_back(
+            {"r" + std::to_string(r), "",
+             crispr::test::randomGenome(rng, 4000, 0.01)});
+    }
+    std::ostringstream fasta_text;
+    writeFasta(fasta_text, records);
+
+    std::vector<automata::HammingSpec> specs;
+    for (uint32_t i = 0; i < 3; ++i)
+        specs.push_back(crispr::test::randomGuideSpec(rng, 10, 3, 2, i));
+    hscan::Database db = hscan::Database::compile(specs);
+
+    hscan::Scanner whole(db);
+    Sequence all = concatenateRecords(records);
+    auto want = whole.scanAll(all);
+    automata::normalizeEvents(want);
+
+    std::istringstream in(fasta_text.str());
+    FastaStreamReader reader(in);
+    hscan::Scanner streaming(db);
+    streaming.reset();
+    std::vector<automata::ReportEvent> got;
+    std::vector<uint8_t> buf;
+    uint64_t at = 0;
+    while (reader.next(1777, buf)) {
+        streaming.scan(buf,
+                       [&](uint32_t id, uint64_t end) {
+                           got.push_back(
+                               automata::ReportEvent{id, end});
+                       },
+                       at);
+        at += buf.size();
+    }
+    automata::normalizeEvents(got);
+    EXPECT_EQ(got, want);
+}
+
+} // namespace
+} // namespace crispr::genome

@@ -1,0 +1,137 @@
+/** @file Unit tests for synthetic genome / workload generation. */
+
+#include <gtest/gtest.h>
+
+#include "genome/generator.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::genome {
+namespace {
+
+TEST(Generator, DeterministicInSeed)
+{
+    GenomeSpec spec;
+    spec.length = 10000;
+    spec.seed = 7;
+    EXPECT_EQ(generateGenome(spec), generateGenome(spec));
+    GenomeSpec other = spec;
+    other.seed = 8;
+    EXPECT_NE(generateGenome(spec), generateGenome(other));
+}
+
+TEST(Generator, UniformComposition)
+{
+    GenomeSpec spec;
+    spec.length = 200000;
+    spec.model = CompositionModel::Uniform;
+    Sequence g = generateGenome(spec);
+    size_t counts[5] = {};
+    for (size_t i = 0; i < g.size(); ++i)
+        ++counts[g[i]];
+    for (int b = 0; b < 4; ++b)
+        EXPECT_NEAR(static_cast<double>(counts[b]) / g.size(), 0.25, 0.01);
+    EXPECT_EQ(counts[kCodeN], 0u);
+}
+
+TEST(Generator, GcBiasedComposition)
+{
+    GenomeSpec spec;
+    spec.length = 200000;
+    spec.model = CompositionModel::GcBiased;
+    Sequence g = generateGenome(spec);
+    size_t gc = 0;
+    for (size_t i = 0; i < g.size(); ++i)
+        gc += g[i] == 1 || g[i] == 2;
+    EXPECT_NEAR(static_cast<double>(gc) / g.size(), 0.41, 0.01);
+}
+
+TEST(Generator, Markov1DepletesCpG)
+{
+    GenomeSpec spec;
+    spec.length = 400000;
+    spec.model = CompositionModel::Markov1;
+    Sequence g = generateGenome(spec);
+    size_t cg = 0, gc = 0;
+    for (size_t i = 0; i + 1 < g.size(); ++i) {
+        cg += g[i] == 1 && g[i + 1] == 2; // C then G
+        gc += g[i] == 2 && g[i + 1] == 1; // G then C
+    }
+    // CpG dinucleotides should be clearly rarer than GpC.
+    EXPECT_LT(cg, gc / 2);
+}
+
+TEST(Generator, NFractionInsertsRuns)
+{
+    GenomeSpec spec;
+    spec.length = 100000;
+    spec.n_fraction = 0.05;
+    Sequence g = generateGenome(spec);
+    double frac = static_cast<double>(g.countN()) / g.size();
+    EXPECT_GT(frac, 0.02);
+    EXPECT_LT(frac, 0.08);
+}
+
+TEST(Generator, RandomGuideIsConcrete)
+{
+    Rng rng(3);
+    Sequence g = randomGuide(rng, 20);
+    EXPECT_EQ(g.size(), 20u);
+    EXPECT_EQ(g.countN(), 0u);
+}
+
+TEST(Generator, SampleGuideAvoidsN)
+{
+    GenomeSpec spec;
+    spec.length = 5000;
+    spec.n_fraction = 0.2;
+    Sequence g = generateGenome(spec);
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        Sequence s = sampleGuideFromGenome(g, rng, 20);
+        ASSERT_FALSE(s.empty());
+        EXPECT_EQ(s.countN(), 0u);
+    }
+}
+
+TEST(Generator, MutateSiteExactDistanceInRange)
+{
+    Rng rng(11);
+    Sequence site = Sequence::fromString("ACGTACGTACGTACGTACGTTGG");
+    for (int d = 0; d <= 5; ++d) {
+        Sequence mut = mutateSite(site, d, 0, 20, rng);
+        int diff = 0;
+        for (size_t i = 0; i < site.size(); ++i)
+            diff += mut[i] != site[i];
+        EXPECT_EQ(diff, d);
+        // PAM region [20, 23) untouched.
+        for (size_t i = 20; i < 23; ++i)
+            EXPECT_EQ(mut[i], site[i]);
+    }
+}
+
+TEST(Generator, PlantSiteOverwrites)
+{
+    Sequence g = Sequence::fromString("AAAAAAAAAA");
+    plantSite(g, 3, Sequence::fromString("CGT"));
+    EXPECT_EQ(g.str(), "AAACGTAAAA");
+}
+
+TEST(Generator, PlantMutatedSitesNonOverlapping)
+{
+    GenomeSpec spec;
+    spec.length = 20000;
+    Sequence g = generateGenome(spec);
+    Rng rng(13);
+    Sequence site = Sequence::fromString("ACGTACGTACGTACGTACGTTGG");
+    auto offsets = plantMutatedSites(g, site, 10, 2, 0, 20, rng);
+    EXPECT_EQ(offsets.size(), 10u);
+    for (size_t i = 1; i < offsets.size(); ++i)
+        EXPECT_GE(offsets[i], offsets[i - 1] + site.size());
+    for (size_t at : offsets) {
+        auto masks = masksFromIupac(site.str());
+        EXPECT_EQ(maskHamming(masks, g, at, SIZE_MAX), 2u);
+    }
+}
+
+} // namespace
+} // namespace crispr::genome

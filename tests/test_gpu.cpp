@@ -1,0 +1,164 @@
+/** @file Unit tests for the iNFAnt2 GPU engine simulator. */
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "automata/builders.hpp"
+#include "baselines/brute.hpp"
+#include "common/logging.hpp"
+#include "gpu/infant2.hpp"
+#include "test_util.hpp"
+
+namespace crispr::gpu {
+namespace {
+
+using automata::HammingSpec;
+using automata::Nfa;
+
+Nfa
+unionOf(const std::vector<HammingSpec> &specs)
+{
+    std::vector<Nfa> nfas;
+    for (const auto &s : specs)
+        nfas.push_back(automata::buildHammingNfa(s));
+    return automata::unionNfas(nfas);
+}
+
+TEST(TransitionGraph, CountsAndLists)
+{
+    // Exact chain A->C: destination C matches symbol C only, so the C
+    // list holds the one edge; start state A is a persistent start on A.
+    Nfa nfa = automata::buildExactNfa(genome::masksFromIupac("AC"), 0);
+    TransitionGraph graph(nfa);
+    EXPECT_EQ(graph.numStates(), 2u);
+    EXPECT_EQ(graph.totalTransitions(), 1u);
+    EXPECT_EQ(graph.transitions(genome::baseCode('C')).size(), 1u);
+    EXPECT_TRUE(graph.transitions(genome::baseCode('A')).empty());
+    EXPECT_EQ(graph.persistentStarts(genome::baseCode('A')).size(), 1u);
+    EXPECT_TRUE(graph.persistentStarts(genome::baseCode('C')).empty());
+    EXPECT_EQ(graph.reportOf(1), 0);
+    EXPECT_EQ(graph.reportOf(0), -1);
+}
+
+TEST(TransitionGraph, ListsSortedByDestination)
+{
+    crispr::Rng rng(81);
+    auto spec = crispr::test::randomGuideSpec(rng, 10, 3, 2, 0);
+    TransitionGraph graph(automata::buildHammingNfa(spec));
+    for (uint8_t c = 0; c < genome::kNumSymbols; ++c) {
+        const auto &list = graph.transitions(c);
+        for (size_t i = 1; i < list.size(); ++i)
+            EXPECT_LE(list[i - 1].dst, list[i].dst);
+    }
+}
+
+TEST(Infant2, EqualsGoldenScan)
+{
+    crispr::Rng rng(82);
+    for (int d = 0; d <= 3; ++d) {
+        std::vector<HammingSpec> specs;
+        for (uint32_t i = 0; i < 3; ++i)
+            specs.push_back(
+                crispr::test::randomGuideSpec(rng, 10, 3, d, i));
+        Infant2Engine engine(unionOf(specs), SimtModel{}, 512, 32);
+        genome::Sequence g = crispr::test::randomGenome(rng, 3000, 0.01);
+        auto got = engine.scanAll(g);
+        auto want = baselines::bruteForceScan(g, specs);
+        EXPECT_EQ(got, want) << "d=" << d;
+    }
+}
+
+TEST(Infant2, ChunkSeamsProduceNoDuplicatesOrGaps)
+{
+    // Plant a site exactly straddling a chunk boundary.
+    crispr::Rng rng(83);
+    auto spec = crispr::test::randomGuideSpec(rng, 12, 3, 1, 0);
+    genome::Sequence g = crispr::test::randomGenome(rng, 2048);
+    genome::Sequence site;
+    for (size_t j = 0; j < 15; ++j) {
+        genome::BaseMask m = spec.masks[j];
+        site.push_back(static_cast<uint8_t>(
+            std::countr_zero(static_cast<unsigned>(m))));
+    }
+    genome::plantSite(g, 505, site); // straddles the 512 boundary
+
+    Infant2Engine engine(automata::buildHammingNfa(spec), SimtModel{},
+                         512, 32);
+    auto got = engine.scanAll(g);
+    auto want = baselines::bruteForceScan(g, std::span(&spec, 1));
+    EXPECT_EQ(got, want);
+}
+
+TEST(Infant2, WorkCountersMatchHistogramPrediction)
+{
+    crispr::Rng rng(84);
+    auto spec = crispr::test::randomGuideSpec(rng, 10, 3, 2, 0);
+    Nfa nfa = automata::buildHammingNfa(spec);
+    genome::Sequence g = crispr::test::randomGenome(rng, 4096, 0.01);
+
+    // Single chunk covering everything: the histogram prediction is
+    // exact (no overlap approximation).
+    Infant2Engine engine(nfa, SimtModel{}, 1 << 20, 32);
+    engine.scanAll(g);
+
+    uint64_t hist[genome::kNumSymbols] = {};
+    for (size_t i = 0; i < g.size(); ++i)
+        ++hist[g[i]];
+    Infant2Work predicted = workFromHistogram(
+        engine.graph(), hist, g.size(), 1 << 20, 32);
+    EXPECT_EQ(engine.work().transitionsFetched,
+              predicted.transitionsFetched);
+    EXPECT_EQ(engine.work().startInjections,
+              predicted.startInjections);
+    EXPECT_EQ(engine.work().symbols, predicted.symbols);
+    EXPECT_EQ(engine.work().chunks, predicted.chunks);
+}
+
+TEST(Infant2, TimeGrowsWithMismatchBudget)
+{
+    // The paper's GPU finding: the transition-list fetch cost grows
+    // with automaton size, i.e. with d.
+    crispr::Rng rng(85);
+    genome::Sequence g = crispr::test::randomGenome(rng, 20000);
+    double prev = 0.0;
+    for (int d = 0; d <= 3; ++d) {
+        std::vector<HammingSpec> specs;
+        Rng r2(4);
+        for (uint32_t i = 0; i < 4; ++i)
+            specs.push_back(
+                crispr::test::randomGuideSpec(r2, 20, 3, d, i));
+        Infant2Engine engine(unionOf(specs), SimtModel{}, 4096, 32);
+        engine.scanAll(g);
+        double t = engine.estimateTime().kernelSeconds;
+        EXPECT_GT(t, prev) << "d=" << d;
+        prev = t;
+    }
+}
+
+TEST(Infant2, RejectsBadChunking)
+{
+    crispr::Rng rng(86);
+    auto spec = crispr::test::randomGuideSpec(rng, 8, 3, 1, 0);
+    Nfa nfa = automata::buildHammingNfa(spec);
+    EXPECT_THROW(Infant2Engine(nfa, SimtModel{}, 0, 0), FatalError);
+    EXPECT_THROW(Infant2Engine(nfa, SimtModel{}, 64, 64), FatalError);
+}
+
+TEST(Infant2, TransferIncludesTablesAndGenome)
+{
+    crispr::Rng rng(87);
+    auto spec = crispr::test::randomGuideSpec(rng, 10, 3, 2, 0);
+    Infant2Engine engine(automata::buildHammingNfa(spec));
+    genome::Sequence g = crispr::test::randomGenome(rng, 10000);
+    engine.scanAll(g);
+    Infant2Time t = engine.estimateTime();
+    SimtModel model;
+    EXPECT_GT(t.transferSeconds,
+              static_cast<double>(g.size()) / (model.pcieGBs * 1e9) *
+                  0.999);
+    EXPECT_GT(t.totalSeconds(), t.kernelSeconds);
+}
+
+} // namespace
+} // namespace crispr::gpu

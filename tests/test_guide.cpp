@@ -1,0 +1,70 @@
+/** @file Unit tests for guide/PAM modelling. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/guide.hpp"
+#include "genome/generator.hpp"
+
+namespace crispr::core {
+namespace {
+
+TEST(Guide, MakeGuideValidates)
+{
+    Guide g = makeGuide("g1", "ACGTACGTACGTACGTACGT");
+    EXPECT_EQ(g.name, "g1");
+    EXPECT_EQ(g.protospacer.size(), 20u);
+    EXPECT_THROW(makeGuide("bad", "ACGTN"), FatalError);
+    EXPECT_THROW(makeGuide("bad", "ACGR"), FatalError);
+    EXPECT_THROW(makeGuide("bad", ""), FatalError);
+}
+
+TEST(Guide, RnaUracilTolerated)
+{
+    Guide g = makeGuide("rna", "ACGU");
+    EXPECT_EQ(g.protospacer.str(), "ACGT");
+}
+
+TEST(Pam, PresetsAndMasks)
+{
+    EXPECT_EQ(pamNGG().iupac, "NGG");
+    EXPECT_EQ(pamNAG().iupac, "NAG");
+    EXPECT_EQ(pamNRG().iupac, "NRG");
+    auto m = pamNRG().masks();
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_EQ(m[0], genome::iupacMask('N'));
+    EXPECT_EQ(m[1], genome::iupacMask('R'));
+    EXPECT_EQ(m[2], genome::iupacMask('G'));
+    EXPECT_THROW(PamSpec{""}.masks(), FatalError);
+}
+
+TEST(Guide, RandomGuidesDeterministic)
+{
+    auto a = randomGuides(5, 20, 42);
+    auto b = randomGuides(5, 20, 42);
+    ASSERT_EQ(a.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(a[i].protospacer, b[i].protospacer);
+        EXPECT_EQ(a[i].name, "g" + std::to_string(i));
+        EXPECT_EQ(a[i].protospacer.size(), 20u);
+    }
+}
+
+TEST(Guide, GuidesFromGenomeHaveOnTargetSites)
+{
+    genome::GenomeSpec spec;
+    spec.length = 10000;
+    genome::Sequence g = genome::generateGenome(spec);
+    auto guides = guidesFromGenome(g, 5, 20, 7);
+    for (const Guide &guide : guides) {
+        // The sampled window exists somewhere in the genome.
+        bool found = false;
+        for (size_t at = 0; at + 20 <= g.size() && !found; ++at) {
+            found = g.slice(at, 20) == guide.protospacer;
+        }
+        EXPECT_TRUE(found) << guide.name;
+    }
+}
+
+} // namespace
+} // namespace crispr::core

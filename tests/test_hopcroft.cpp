@@ -1,0 +1,97 @@
+/** @file Unit tests for Hopcroft minimisation. */
+
+#include <gtest/gtest.h>
+
+#include "automata/builders.hpp"
+#include "automata/dfa.hpp"
+#include "automata/hopcroft.hpp"
+#include "test_util.hpp"
+
+namespace crispr::automata {
+namespace {
+
+Dfa
+dfaOf(const std::string &pattern, int d, uint32_t id = 0)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac(pattern);
+    spec.maxMismatches = d;
+    spec.reportId = id;
+    auto dfa = subsetConstruct(buildHammingNfa(spec), 1u << 20);
+    EXPECT_TRUE(dfa.has_value());
+    return *dfa;
+}
+
+TEST(Hopcroft, NeverGrows)
+{
+    Dfa dfa = dfaOf("ACGTAC", 1);
+    Dfa min = hopcroftMinimize(dfa);
+    EXPECT_LE(min.size(), dfa.size());
+}
+
+TEST(Hopcroft, PreservesLanguage)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 8; ++trial) {
+        auto spec = crispr::test::randomGuideSpec(rng, 6, 2, 1, trial);
+        auto dfa = subsetConstruct(buildHammingNfa(spec), 1u << 20);
+        ASSERT_TRUE(dfa.has_value());
+        Dfa min = hopcroftMinimize(*dfa);
+        genome::Sequence g = crispr::test::randomGenome(rng, 1500, 0.02);
+        auto a = dfa->scanAll(g);
+        auto b = min.scanAll(g);
+        normalizeEvents(a);
+        normalizeEvents(b);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Hopcroft, Idempotent)
+{
+    Dfa min = hopcroftMinimize(dfaOf("ACGT", 1));
+    Dfa min2 = hopcroftMinimize(min);
+    EXPECT_EQ(min2.size(), min.size());
+}
+
+TEST(Hopcroft, DistinguishesReportIds)
+{
+    // Two exact patterns of the same shape but different ids must stay
+    // distinguishable after minimisation.
+    std::vector<Nfa> parts;
+    HammingSpec s1, s2;
+    s1.masks = genome::masksFromIupac("AC");
+    s1.reportId = 1;
+    s2.masks = genome::masksFromIupac("GT");
+    s2.reportId = 2;
+    parts.push_back(buildHammingNfa(s1));
+    parts.push_back(buildHammingNfa(s2));
+    auto dfa = subsetConstruct(unionNfas(parts), 10000);
+    ASSERT_TRUE(dfa.has_value());
+    Dfa min = hopcroftMinimize(*dfa);
+    auto events = min.scanAll(genome::Sequence::fromString("ACGT"));
+    normalizeEvents(events);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].reportId, 1u);
+    EXPECT_EQ(events[1].reportId, 2u);
+}
+
+TEST(Hopcroft, CollapsesRedundantStates)
+{
+    // Duplicate the same pattern twice under one report id: the merged
+    // DFA has redundant structure the minimiser must collapse to the
+    // single-pattern size.
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac("ACGT");
+    spec.reportId = 3;
+    std::vector<Nfa> twice;
+    twice.push_back(buildHammingNfa(spec));
+    twice.push_back(buildHammingNfa(spec));
+    auto dup = subsetConstruct(unionNfas(twice), 1u << 16);
+    auto single = subsetConstruct(buildHammingNfa(spec), 1u << 16);
+    ASSERT_TRUE(dup && single);
+    EXPECT_EQ(hopcroftMinimize(*dup).size(),
+              hopcroftMinimize(*single).size());
+}
+
+} // namespace
+} // namespace crispr::automata

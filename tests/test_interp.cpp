@@ -1,0 +1,107 @@
+/** @file Unit tests for the reference NFA interpreter. */
+
+#include <gtest/gtest.h>
+
+#include "automata/builders.hpp"
+#include "automata/interp.hpp"
+#include "test_util.hpp"
+
+namespace crispr::automata {
+namespace {
+
+using genome::Sequence;
+
+TEST(Interp, StartKindsBehave)
+{
+    // All-input start: matches anywhere. Start-of-data: offset 0 only.
+    Nfa anywhere;
+    StateId s1 = anywhere.addState(
+        SymbolClass::match(genome::iupacMask('A')), StartKind::AllInput);
+    anywhere.setReport(s1, 0);
+    NfaInterpreter ia(anywhere);
+    EXPECT_EQ(ia.scanAll(Sequence::fromString("CACA")).size(), 2u);
+
+    Nfa anchored;
+    StateId s2 = anchored.addState(
+        SymbolClass::match(genome::iupacMask('A')),
+        StartKind::StartOfData);
+    anchored.setReport(s2, 0);
+    NfaInterpreter ib(anchored);
+    EXPECT_EQ(ib.scanAll(Sequence::fromString("ACAA")).size(), 1u);
+    EXPECT_EQ(ib.scanAll(Sequence::fromString("CAAA")).size(), 0u);
+}
+
+TEST(Interp, ChunkedScanEqualsWholeScan)
+{
+    Rng rng(31);
+    auto spec = crispr::test::randomGuideSpec(rng, 8, 3, 2, 1);
+    Nfa nfa = buildHammingNfa(spec);
+    Sequence g = crispr::test::randomGenome(rng, 700);
+
+    NfaInterpreter whole(nfa);
+    auto expect = whole.scanAll(g);
+
+    NfaInterpreter chunked(nfa);
+    chunked.reset();
+    std::vector<ReportEvent> got;
+    auto sink = [&](uint32_t id, uint64_t end) {
+        got.push_back(ReportEvent{id, end});
+    };
+    for (size_t at = 0; at < g.size(); at += 23) {
+        size_t n = std::min<size_t>(23, g.size() - at);
+        chunked.scan({g.data() + at, n}, sink, at);
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST(Interp, ResetClearsState)
+{
+    Nfa nfa = buildExactNfa(genome::masksFromIupac("AC"), 0);
+    NfaInterpreter interp(nfa);
+    std::vector<ReportEvent> events;
+    auto sink = [&](uint32_t id, uint64_t end) {
+        events.push_back(ReportEvent{id, end});
+    };
+    Sequence a = Sequence::fromString("A");
+    Sequence c = Sequence::fromString("C");
+    interp.scan(a.codes(), sink, 0);
+    interp.reset();
+    interp.scan(c.codes(), sink, 1);
+    // Without reset the A->C continuation would have reported.
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(Interp, ActiveAndActivationCounts)
+{
+    Nfa nfa = buildExactNfa(genome::masksFromIupac("AA"), 0);
+    NfaInterpreter interp(nfa);
+    Sequence g = Sequence::fromString("AAA");
+    interp.reset();
+    interp.scan(g.codes(), nullptr, 0);
+    // After "AAA": state0 active (start-anywhere) and state1 active.
+    EXPECT_EQ(interp.activeCount(), 2u);
+    // Activations: t0: s0. t1: s0,s1. t2: s0,s1 -> 5 total.
+    EXPECT_EQ(interp.activationCount(), 5u);
+}
+
+TEST(Interp, DuplicateReportsPossibleBeforeNormalize)
+{
+    // Two accepting rows of one pattern can fire on the same symbol.
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac("AAA");
+    spec.maxMismatches = 2;
+    spec.reportId = 4;
+    Nfa nfa = buildHammingNfa(spec);
+    NfaInterpreter interp(nfa);
+    // "AGA" reaches distance 1; also paths with 2 mismatches may exist
+    // for other alignments. Normalisation collapses duplicates.
+    auto events = interp.scanAll(Sequence::fromString("AGAAGA"));
+    auto raw_size = events.size();
+    normalizeEvents(events);
+    EXPECT_LE(events.size(), raw_size);
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_TRUE(events[i - 1] < events[i]);
+}
+
+} // namespace
+} // namespace crispr::automata

@@ -1,0 +1,79 @@
+/** @file Unit tests for k-mer coding. */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "genome/kmer.hpp"
+
+namespace crispr::genome {
+namespace {
+
+TEST(Kmer, EncodeDecodeRoundTrip)
+{
+    Sequence s = Sequence::fromString("ACGTGCA");
+    uint64_t code = 0;
+    ASSERT_TRUE(encodeKmer(s, 0, 4, code));
+    EXPECT_EQ(decodeKmer(code, 4).str(), "ACGT");
+    ASSERT_TRUE(encodeKmer(s, 3, 4, code));
+    EXPECT_EQ(decodeKmer(code, 4).str(), "TGCA");
+}
+
+TEST(Kmer, EncodeFailsOnN)
+{
+    Sequence s = Sequence::fromString("ACNT");
+    uint64_t code = 0;
+    EXPECT_FALSE(encodeKmer(s, 0, 4, code));
+    EXPECT_TRUE(encodeKmer(s, 3, 1, code));
+}
+
+TEST(Kmer, CodesAreOrderedLexicographically)
+{
+    Sequence a = Sequence::fromString("AAAA");
+    Sequence b = Sequence::fromString("AAAC");
+    uint64_t ca = 0, cb = 0;
+    ASSERT_TRUE(encodeKmer(a, 0, 4, ca));
+    ASSERT_TRUE(encodeKmer(b, 0, 4, cb));
+    EXPECT_LT(ca, cb);
+}
+
+TEST(Kmer, RollingMatchesDirectEncoding)
+{
+    Rng rng(21);
+    std::vector<uint8_t> codes(3000);
+    for (auto &c : codes) {
+        c = rng.chance(0.03) ? kCodeN
+                             : static_cast<uint8_t>(rng.below(4));
+    }
+    Sequence s(std::move(codes));
+
+    for (size_t k : {1u, 5u, 12u, 31u}) {
+        std::map<size_t, uint64_t> rolling;
+        forEachKmer(s, k, [&](size_t pos, uint64_t code) {
+            rolling[pos] = code;
+        });
+        for (size_t pos = 0; pos + k <= s.size(); ++pos) {
+            uint64_t direct = 0;
+            const bool ok = encodeKmer(s, pos, k, direct);
+            auto it = rolling.find(pos);
+            if (ok) {
+                ASSERT_NE(it, rolling.end()) << "k=" << k << " pos=" << pos;
+                EXPECT_EQ(it->second, direct);
+            } else {
+                EXPECT_EQ(it, rolling.end());
+            }
+        }
+    }
+}
+
+TEST(Kmer, ShortSequenceYieldsNothing)
+{
+    Sequence s = Sequence::fromString("ACG");
+    size_t n = 0;
+    forEachKmer(s, 5, [&](size_t, uint64_t) { ++n; });
+    EXPECT_EQ(n, 0u);
+}
+
+} // namespace
+} // namespace crispr::genome

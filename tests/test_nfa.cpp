@@ -1,0 +1,126 @@
+/** @file Unit tests for the homogeneous NFA container. */
+
+#include <gtest/gtest.h>
+
+#include "automata/nfa.hpp"
+#include "common/logging.hpp"
+#include "genome/alphabet.hpp"
+
+namespace crispr::automata {
+namespace {
+
+SymbolClass
+cls(char c)
+{
+    return SymbolClass::match(genome::iupacMask(c));
+}
+
+TEST(Nfa, BuildsStatesAndEdges)
+{
+    Nfa nfa;
+    StateId a = nfa.addState(cls('A'), StartKind::AllInput);
+    StateId b = nfa.addState(cls('C'));
+    nfa.addEdge(a, b);
+    nfa.setReport(b, 7);
+    EXPECT_EQ(nfa.size(), 2u);
+    EXPECT_EQ(nfa.edgeCount(), 1u);
+    EXPECT_EQ(nfa.startStates(), std::vector<StateId>{a});
+    EXPECT_EQ(nfa.reportStates(), std::vector<StateId>{b});
+    EXPECT_EQ(nfa.maxReportId(), 7);
+    EXPECT_NO_THROW(nfa.validate());
+}
+
+TEST(Nfa, FanStatistics)
+{
+    Nfa nfa;
+    StateId a = nfa.addState(cls('A'), StartKind::AllInput);
+    StateId b = nfa.addState(cls('C'));
+    StateId c = nfa.addState(cls('G'));
+    nfa.addEdge(a, b);
+    nfa.addEdge(a, c);
+    nfa.addEdge(b, c);
+    nfa.setReport(c, 0);
+    EXPECT_EQ(nfa.maxFanOut(), 2u);
+    EXPECT_EQ(nfa.maxFanIn(), 2u);
+    NfaStats st = computeStats(nfa);
+    EXPECT_EQ(st.states, 3u);
+    EXPECT_EQ(st.edges, 3u);
+    EXPECT_EQ(st.startStates, 1u);
+    EXPECT_EQ(st.reportStates, 1u);
+}
+
+TEST(Nfa, MergeOffsetsStateIds)
+{
+    Nfa a;
+    StateId a0 = a.addState(cls('A'), StartKind::AllInput);
+    StateId a1 = a.addState(cls('C'));
+    a.addEdge(a0, a1);
+    a.setReport(a1, 1);
+
+    Nfa b;
+    StateId b0 = b.addState(cls('G'), StartKind::AllInput);
+    StateId b1 = b.addState(cls('T'));
+    b.addEdge(b0, b1);
+    b.setReport(b1, 2);
+
+    StateId off = a.merge(b);
+    EXPECT_EQ(off, 2u);
+    EXPECT_EQ(a.size(), 4u);
+    EXPECT_EQ(a.state(2).cls, cls('G'));
+    ASSERT_EQ(a.state(2).out.size(), 1u);
+    EXPECT_EQ(a.state(2).out[0], 3u);
+    EXPECT_EQ(a.state(3).reportId, 2u);
+}
+
+TEST(Nfa, TrimRemovesDeadStates)
+{
+    Nfa nfa;
+    StateId a = nfa.addState(cls('A'), StartKind::AllInput);
+    StateId b = nfa.addState(cls('C'));
+    StateId orphan = nfa.addState(cls('G')); // unreachable
+    StateId deadend = nfa.addState(cls('T')); // reaches no report
+    nfa.addEdge(a, b);
+    nfa.addEdge(a, deadend);
+    nfa.addEdge(orphan, b);
+    nfa.setReport(b, 0);
+
+    nfa.trim();
+    EXPECT_EQ(nfa.size(), 2u);
+    EXPECT_EQ(nfa.reportStates().size(), 1u);
+    EXPECT_EQ(nfa.startStates().size(), 1u);
+    EXPECT_EQ(nfa.edgeCount(), 1u);
+}
+
+TEST(Nfa, TrimKeepsEverythingWhenAllLive)
+{
+    Nfa nfa;
+    StateId a = nfa.addState(cls('A'), StartKind::AllInput);
+    StateId b = nfa.addState(cls('C'));
+    nfa.addEdge(a, b);
+    nfa.setReport(b, 3);
+    nfa.trim();
+    EXPECT_EQ(nfa.size(), 2u);
+    EXPECT_EQ(nfa.state(1).reportId, 3u);
+}
+
+TEST(Nfa, ValidateCatchesCorruption)
+{
+    Nfa nfa;
+    StateId a = nfa.addState(cls('A'), StartKind::AllInput);
+    nfa.setReport(a, 0);
+    // Report state with an empty class can never fire.
+    Nfa bad;
+    StateId s = bad.addState(SymbolClass::none(), StartKind::AllInput);
+    bad.setReport(s, 0);
+    EXPECT_THROW(bad.validate(), PanicError);
+}
+
+TEST(Nfa, AddEdgeBoundsChecked)
+{
+    Nfa nfa;
+    nfa.addState(cls('A'));
+    EXPECT_THROW(nfa.addEdge(0, 5), PanicError);
+}
+
+} // namespace
+} // namespace crispr::automata

@@ -1,0 +1,129 @@
+/** @file Unit tests for event -> hit conversion and annotations. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/offtarget.hpp"
+#include "genome/generator.hpp"
+
+namespace crispr::core {
+namespace {
+
+std::vector<Guide>
+oneGuide()
+{
+    return {makeGuide("g0", "ACGTACGTACGTACGTACGT")};
+}
+
+TEST(OffTarget, ForwardStreamCoordinates)
+{
+    // Genome with the exact site at offset 7.
+    genome::Sequence g =
+        genome::Sequence::fromString(std::string(7, 'T') +
+                                     "ACGTACGTACGTACGTACGT" "AGG" +
+                                     std::string(5, 'T'));
+    PatternSet set = buildPatternSet(oneGuide(), pamNGG(), 1, true);
+    // Event: pattern 0 (forward), end = 7 + 23 - 1.
+    std::vector<automata::ReportEvent> events = {{0, 29}};
+    auto hits = hitsFromEvents(g, set, events);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].guide, 0u);
+    EXPECT_EQ(hits[0].strand, Strand::Forward);
+    EXPECT_EQ(hits[0].start, 7u);
+    EXPECT_EQ(hits[0].mismatches, 0);
+}
+
+TEST(OffTarget, ReversedStreamCoordinates)
+{
+    genome::Sequence g =
+        genome::Sequence::fromString(std::string(7, 'T') +
+                                     "ACGTACGTACGTACGTACGT" "AGG" +
+                                     std::string(5, 'T'));
+    PatternSet set = buildPatternSet(oneGuide(), pamNGG(), 1, true,
+                                     Orientation::PamFirst);
+    // Forward-strand PamFirst pattern scans the reversed stream; the
+    // site [7, 30) maps to reversed end = N - 1 - 7.
+    std::vector<automata::ReportEvent> events = {
+        {0, g.size() - 1 - 7}};
+    auto hits = hitsFromEvents(g, set, events);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].strand, Strand::Forward);
+    EXPECT_EQ(hits[0].start, 7u);
+    EXPECT_EQ(hits[0].mismatches, 0);
+}
+
+TEST(OffTarget, MismatchCountRecomputed)
+{
+    // Site with 1 mismatch in the guide region.
+    genome::Sequence g =
+        genome::Sequence::fromString("CCGTACGTACGTACGTACGT" "AGG");
+    PatternSet set = buildPatternSet(oneGuide(), pamNGG(), 2, false);
+    std::vector<automata::ReportEvent> events = {{0, 22}};
+    auto hits = hitsFromEvents(g, set, events);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].mismatches, 1);
+}
+
+TEST(OffTarget, UnverifiableEventPanicsOrDrops)
+{
+    genome::Sequence g =
+        genome::Sequence::fromString(std::string(30, 'T'));
+    PatternSet set = buildPatternSet(oneGuide(), pamNGG(), 0, false);
+    std::vector<automata::ReportEvent> events = {{0, 25}};
+    EXPECT_THROW(hitsFromEvents(g, set, events), PanicError);
+    size_t dropped = 0;
+    auto hits = hitsFromEvents(g, set, events, true, &dropped);
+    EXPECT_TRUE(hits.empty());
+    EXPECT_EQ(dropped, 1u);
+}
+
+TEST(OffTarget, DedupAcrossDuplicateEvents)
+{
+    genome::Sequence g = genome::Sequence::fromString(
+        "ACGTACGTACGTACGTACGT" "AGG");
+    PatternSet set = buildPatternSet(oneGuide(), pamNGG(), 1, false);
+    std::vector<automata::ReportEvent> events = {{0, 22}, {0, 22}};
+    EXPECT_EQ(hitsFromEvents(g, set, events).size(), 1u);
+}
+
+TEST(OffTarget, SiteStringReadsOnStrand)
+{
+    // Reverse-strand site: genome holds revcomp(guide+PAM).
+    genome::Sequence site =
+        genome::Sequence::fromString("ACGTACGTACGTACGTACGT" "AGG");
+    genome::Sequence g = site.reverseComplement();
+    PatternSet set = buildPatternSet(oneGuide(), pamNGG(), 0, true);
+    // Reverse pattern (id 1) matches the forward stream at end 22.
+    std::vector<automata::ReportEvent> events = {{1, 22}};
+    auto hits = hitsFromEvents(g, set, events);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].strand, Strand::Reverse);
+    EXPECT_EQ(hitSiteString(g, set, hits[0]),
+              "ACGTACGTACGTACGTACGTAGG");
+}
+
+TEST(OffTarget, AlignmentLowercasesMismatches)
+{
+    genome::Sequence g = genome::Sequence::fromString(
+        "CCGTACGTACGTACGTACGT" "AGG");
+    PatternSet set = buildPatternSet(oneGuide(), pamNGG(), 2, false);
+    std::vector<automata::ReportEvent> events = {{0, 22}};
+    auto hits = hitsFromEvents(g, set, events);
+    ASSERT_EQ(hits.size(), 1u);
+    std::string aln = hitAlignmentString(g, set, hits[0]);
+    EXPECT_EQ(aln, "cCGTACGTACGTACGTACGTAGG");
+}
+
+TEST(OffTarget, HitsSortedByGuideThenPosition)
+{
+    genome::Sequence g = genome::Sequence::fromString(
+        "ACGTACGTACGTACGTACGT" "AGG" "TT" "ACGTACGTACGTACGTACGT" "TGG");
+    PatternSet set = buildPatternSet(oneGuide(), pamNGG(), 0, false);
+    std::vector<automata::ReportEvent> events = {{0, 47}, {0, 22}};
+    auto hits = hitsFromEvents(g, set, events);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_LT(hits[0].start, hits[1].start);
+}
+
+} // namespace
+} // namespace crispr::core

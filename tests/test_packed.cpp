@@ -1,0 +1,105 @@
+/** @file Unit tests for packed genome storage and DOT export. */
+
+#include <gtest/gtest.h>
+
+#include "automata/builders.hpp"
+#include "automata/dot.hpp"
+#include "genome/packed.hpp"
+#include "test_util.hpp"
+
+namespace crispr::genome {
+namespace {
+
+TEST(Packed, RoundTripsWithNs)
+{
+    Rng rng(301);
+    Sequence s = crispr::test::randomGenome(rng, 10007, 0.05);
+    PackedSequence p = PackedSequence::pack(s);
+    EXPECT_EQ(p.size(), s.size());
+    EXPECT_EQ(p.unpack(), s);
+}
+
+TEST(Packed, RandomAccessMatches)
+{
+    Rng rng(302);
+    Sequence s = crispr::test::randomGenome(rng, 2048, 0.1);
+    PackedSequence p = PackedSequence::pack(s);
+    for (size_t i = 0; i < s.size(); i += 7)
+        EXPECT_EQ(p.at(i), s[i]) << i;
+}
+
+TEST(Packed, DecodeWindowClampsAtEnd)
+{
+    Sequence s = Sequence::fromString("ACGTNACG");
+    PackedSequence p = PackedSequence::pack(s);
+    std::vector<uint8_t> out;
+    p.decode(2, 4, out);
+    EXPECT_EQ(Sequence(out).str(), "GTNA");
+    p.decode(6, 10, out);
+    EXPECT_EQ(Sequence(out).str(), "CG");
+    p.decode(100, 4, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Packed, MemoryIsRoughlyQuarter)
+{
+    Rng rng(303);
+    Sequence s = crispr::test::randomGenome(rng, 1 << 16, 0.001);
+    PackedSequence p = PackedSequence::pack(s);
+    EXPECT_LT(p.memoryBytes(), s.size() / 3);
+}
+
+TEST(Packed, ChunkIterationCoversEverythingWithOverlap)
+{
+    Rng rng(304);
+    Sequence s = crispr::test::randomGenome(rng, 5000, 0.02);
+    PackedSequence p = PackedSequence::pack(s);
+
+    std::vector<uint8_t> reconstructed;
+    size_t chunks = 0;
+    p.forEachChunk(700, 16, [&](size_t start,
+                                std::span<const uint8_t> codes) {
+        ++chunks;
+        const size_t lead = start >= 16 ? 16 : start;
+        // Overlap region must repeat the previous chunk's tail.
+        for (size_t i = 0; i < codes.size(); ++i) {
+            const size_t pos = start - lead + i;
+            EXPECT_EQ(codes[i], s[pos]);
+        }
+        // Collect the non-overlap part.
+        reconstructed.insert(reconstructed.end(),
+                             codes.begin() + lead, codes.end());
+    });
+    EXPECT_EQ(chunks, (s.size() + 699) / 700);
+    EXPECT_EQ(Sequence(std::move(reconstructed)), s);
+}
+
+} // namespace
+} // namespace crispr::genome
+
+namespace crispr::automata {
+namespace {
+
+TEST(Dot, ContainsStatesEdgesAndDecorations)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac("ACG");
+    spec.maxMismatches = 1;
+    Nfa nfa = buildHammingNfa(spec);
+    std::string dot = dotString(nfa, "demo");
+    EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+    EXPECT_NE(dot.find("doublecircle"), std::string::npos); // reports
+    EXPECT_NE(dot.find("lightblue"), std::string::npos);    // starts
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    // One node line per state.
+    size_t nodes = 0;
+    for (StateId s = 0; s < nfa.size(); ++s) {
+        if (dot.find("q" + std::to_string(s) + " [label=") !=
+            std::string::npos)
+            ++nodes;
+    }
+    EXPECT_EQ(nodes, nfa.size());
+}
+
+} // namespace
+} // namespace crispr::automata

@@ -1,0 +1,139 @@
+/** @file Unit tests for the parallel scanner and the prefilter engine. */
+
+#include <algorithm>
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute.hpp"
+#include "common/logging.hpp"
+#include "hscan/parallel.hpp"
+#include "hscan/prefilter.hpp"
+#include "test_util.hpp"
+
+namespace crispr::hscan {
+namespace {
+
+using automata::HammingSpec;
+
+std::vector<HammingSpec>
+guideSpecs(Rng &rng, int d, size_t count)
+{
+    std::vector<HammingSpec> specs;
+    for (uint32_t i = 0; i < count; ++i)
+        specs.push_back(crispr::test::randomGuideSpec(rng, 12, 3, d, i));
+    return specs;
+}
+
+TEST(ParallelScan, MatchesSerialScanAcrossThreadCounts)
+{
+    Rng rng(201);
+    auto specs = guideSpecs(rng, 2, 4);
+    genome::Sequence g = crispr::test::randomGenome(rng, 200000, 0.01);
+    Database db = Database::compile(specs);
+
+    Scanner serial(db);
+    auto want = serial.scanAll(g);
+    automata::normalizeEvents(want);
+
+    for (unsigned threads : {1u, 2u, 4u, 7u}) {
+        ParallelOptions opts;
+        opts.threads = threads;
+        opts.chunkSize = 13000; // force many chunks and odd seams
+        auto got = parallelScan(db, g, opts);
+        EXPECT_EQ(got, want) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelScan, SeamSitesNotDuplicatedOrLost)
+{
+    Rng rng(202);
+    auto spec = crispr::test::randomGuideSpec(rng, 12, 3, 1, 0);
+    genome::Sequence g = crispr::test::randomGenome(rng, 60000);
+    // Plant a site exactly straddling a chunk boundary.
+    genome::Sequence site;
+    for (auto m : spec.masks)
+        site.push_back(static_cast<uint8_t>(
+            std::countr_zero(static_cast<unsigned>(m & 0xf))));
+    genome::plantSite(g, 9995, site); // chunk size 10000 below
+
+    Database db = Database::compile(std::vector<HammingSpec>{spec});
+    ParallelOptions opts;
+    opts.threads = 3;
+    opts.chunkSize = 10000;
+    auto got = parallelScan(db, g, opts);
+    auto want = baselines::bruteForceScan(g, std::span(&spec, 1));
+    EXPECT_EQ(got, want);
+}
+
+TEST(ParallelScan, EmptyAndTinyInputs)
+{
+    Rng rng(203);
+    auto specs = guideSpecs(rng, 1, 2);
+    Database db = Database::compile(specs);
+    EXPECT_TRUE(parallelScan(db, genome::Sequence()).empty());
+    genome::Sequence tiny = crispr::test::randomGenome(rng, 5);
+    auto got = parallelScan(db, tiny);
+    auto want = baselines::bruteForceScan(tiny, specs);
+    EXPECT_EQ(got, want);
+}
+
+TEST(ParallelScan, RejectsChunkSmallerThanPattern)
+{
+    Rng rng(204);
+    auto specs = guideSpecs(rng, 1, 1);
+    Database db = Database::compile(specs);
+    genome::Sequence g = crispr::test::randomGenome(rng, 100);
+    ParallelOptions opts;
+    opts.chunkSize = 4;
+    EXPECT_THROW(parallelScan(db, g, opts), FatalError);
+}
+
+TEST(Prefilter, MatchesGoldenScan)
+{
+    Rng rng(205);
+    for (int d = 0; d <= 4; ++d) {
+        auto specs = guideSpecs(rng, d, 3);
+        genome::Sequence g =
+            crispr::test::randomGenome(rng, 20000, 0.01);
+        PrefilterMatcher matcher(specs);
+        auto got = matcher.scanAll(g);
+        auto want = baselines::bruteForceScan(g, specs);
+        EXPECT_EQ(got, want) << "d=" << d;
+        EXPECT_GT(matcher.stats().anchorsProbed, 0u);
+        EXPECT_GE(matcher.stats().anchorsHit,
+                  matcher.stats().events / specs.size());
+    }
+}
+
+TEST(Prefilter, SharesAnchorScansAcrossGuides)
+{
+    Rng rng(206);
+    std::vector<HammingSpec> specs;
+    for (uint32_t i = 0; i < 6; ++i) {
+        auto s = crispr::test::randomGuideSpec(rng, 10, 0, 1, i);
+        s.masks.push_back(genome::iupacMask('N'));
+        s.masks.push_back(genome::iupacMask('G'));
+        s.masks.push_back(genome::iupacMask('G'));
+        s.mismatchHi = 10;
+        specs.push_back(s);
+    }
+    PrefilterMatcher matcher(specs);
+    EXPECT_EQ(matcher.shapeCount(), 1u);
+    genome::Sequence g = crispr::test::randomGenome(rng, 5000);
+    matcher.scanAll(g);
+    // One anchor probe per position, not per (position, guide).
+    EXPECT_EQ(matcher.stats().anchorsProbed, g.size() - 13 + 1);
+}
+
+TEST(Prefilter, RequiresAnAnchor)
+{
+    HammingSpec anchorless;
+    anchorless.masks = genome::masksFromIupac("ACGT");
+    anchorless.maxMismatches = 1;
+    EXPECT_THROW(PrefilterMatcher(std::span(&anchorless, 1)),
+                 FatalError);
+}
+
+} // namespace
+} // namespace crispr::hscan

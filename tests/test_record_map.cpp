@@ -1,0 +1,110 @@
+/** @file Unit tests for multi-record coordinate mapping. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "genome/record_map.hpp"
+
+namespace crispr::genome {
+namespace {
+
+std::vector<FastaRecord>
+threeRecords()
+{
+    std::vector<FastaRecord> recs;
+    recs.push_back({"chr1", "", Sequence::fromString("ACGTACGTAC")});
+    recs.push_back({"chr2", "", Sequence::fromString("TTTT")});
+    recs.push_back({"chr3", "", Sequence::fromString("GGGGGG")});
+    return recs;
+}
+
+TEST(RecordMap, LocatesWithinRecords)
+{
+    auto recs = threeRecords();
+    RecordMap map = RecordMap::fromRecords(recs);
+    EXPECT_EQ(map.recordCount(), 3u);
+    // Stream: chr1[0..9] N chr2[11..14] N chr3[16..21].
+    EXPECT_EQ(map.streamLength(), 22u);
+
+    auto a = map.locate(0);
+    EXPECT_TRUE(a.withinRecord);
+    EXPECT_EQ(a.name, "chr1");
+    EXPECT_EQ(a.offset, 0u);
+
+    auto b = map.locate(9);
+    EXPECT_EQ(b.name, "chr1");
+    EXPECT_EQ(b.offset, 9u);
+
+    auto c = map.locate(11);
+    EXPECT_EQ(c.name, "chr2");
+    EXPECT_EQ(c.offset, 0u);
+
+    auto d = map.locate(21);
+    EXPECT_EQ(d.name, "chr3");
+    EXPECT_EQ(d.offset, 5u);
+}
+
+TEST(RecordMap, SeparatorAndOutOfRange)
+{
+    RecordMap map = RecordMap::fromRecords(threeRecords());
+    auto sep = map.locate(10); // the N between chr1 and chr2
+    EXPECT_FALSE(sep.withinRecord);
+    EXPECT_EQ(sep.name, "chr1");
+
+    auto past = map.locate(22);
+    EXPECT_FALSE(past.withinRecord);
+    EXPECT_TRUE(past.name.empty());
+}
+
+TEST(RecordMap, WindowRejectsSeparatorCrossing)
+{
+    RecordMap map = RecordMap::fromRecords(threeRecords());
+    auto ok = map.locateWindow(11, 4); // exactly chr2
+    EXPECT_TRUE(ok.withinRecord);
+    EXPECT_EQ(ok.name, "chr2");
+    auto crossing = map.locateWindow(8, 4); // chr1 tail + separator
+    EXPECT_FALSE(crossing.withinRecord);
+}
+
+TEST(RecordMap, MatchesConcatenateRecords)
+{
+    auto recs = threeRecords();
+    std::vector<size_t> bounds;
+    Sequence all = concatenateRecords(recs, &bounds);
+    RecordMap map = RecordMap::fromRecords(recs);
+    EXPECT_EQ(map.streamLength(), all.size());
+    for (size_t r = 0; r < recs.size(); ++r) {
+        auto loc = map.locate(bounds[r]);
+        EXPECT_EQ(loc.name, recs[r].name);
+        EXPECT_EQ(loc.offset, 0u);
+    }
+}
+
+TEST(RecordMap, PrintHitsUsesRecordCoordinates)
+{
+    // One record with a planted site; the report prints chrX:offset.
+    std::vector<FastaRecord> recs;
+    recs.push_back({"chrX", "",
+                    Sequence::fromString(
+                        std::string(5, 'T') +
+                        "ACGTACGTACGTACGTACGT" "AGG")});
+    Sequence all = concatenateRecords(recs);
+    RecordMap map = RecordMap::fromRecords(recs);
+
+    auto guides = std::vector<core::Guide>{
+        core::makeGuide("g", "ACGTACGTACGTACGTACGT")};
+    core::SearchConfig cfg;
+    cfg.maxMismatches = 0;
+    cfg.pam = core::pamNGG();
+    core::SearchResult res = core::search(all, guides, cfg);
+    ASSERT_EQ(res.hits.size(), 1u);
+
+    std::ostringstream out;
+    core::printHits(out, all, guides, res, SIZE_MAX, &map);
+    EXPECT_NE(out.str().find("chrX:5"), std::string::npos);
+}
+
+} // namespace
+} // namespace crispr::genome

@@ -1,0 +1,83 @@
+/** @file Unit tests for result presentation. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "genome/generator.hpp"
+
+namespace crispr::core {
+namespace {
+
+struct Fixture
+{
+    genome::Sequence genome;
+    std::vector<Guide> guides;
+    SearchResult result;
+
+    Fixture()
+    {
+        genome = genome::Sequence::fromString(
+            "CCGTACGTACGTACGTACGT" "AGG" // 1 mismatch site at 0
+            "TTTTT"
+            "ACGTACGTACGTACGTACGT" "TGG"); // exact site at 28
+        guides = {makeGuide("guideA", "ACGTACGTACGTACGTACGT")};
+        SearchConfig cfg;
+        cfg.maxMismatches = 2;
+        cfg.engine = EngineKind::HscanAuto;
+        cfg.pam = pamNGG();
+        result = search(genome, guides, cfg);
+    }
+};
+
+TEST(Report, PrintHitsListsEveryHit)
+{
+    Fixture f;
+    ASSERT_GE(f.result.hits.size(), 2u);
+    std::ostringstream out;
+    printHits(out, f.genome, f.guides, f.result);
+    std::string text = out.str();
+    EXPECT_NE(text.find("guideA\t0\t+\t1\t"), std::string::npos);
+    EXPECT_NE(text.find("guideA\t28\t+\t0\t"), std::string::npos);
+}
+
+TEST(Report, PrintHitsTruncates)
+{
+    Fixture f;
+    std::ostringstream out;
+    printHits(out, f.genome, f.guides, f.result, 1);
+    EXPECT_NE(out.str().find("more hits"), std::string::npos);
+}
+
+TEST(Report, SummaryBuckets)
+{
+    Fixture f;
+    std::ostringstream out;
+    printSummary(out, f.guides, f.result);
+    std::string text = out.str();
+    EXPECT_NE(text.find("guideA"), std::string::npos);
+    EXPECT_NE(text.find("mm=0"), std::string::npos);
+    EXPECT_NE(text.find("mm=2"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndRows)
+{
+    Fixture f;
+    std::ostringstream out;
+    writeHitsCsv(out, f.genome, f.guides, f.result);
+    std::string text = out.str();
+    EXPECT_EQ(text.find("guide,start,strand,mismatches,site"), 0u);
+    EXPECT_NE(text.find("guideA,28,+,0,"), std::string::npos);
+}
+
+TEST(Report, TimingLineMentionsEngine)
+{
+    Fixture f;
+    std::string line = timingLine(f.result.run);
+    EXPECT_NE(line.find("hscan"), std::string::npos);
+    EXPECT_NE(line.find("events="), std::string::npos);
+}
+
+} // namespace
+} // namespace crispr::core

@@ -1,0 +1,104 @@
+/** @file Unit tests for the report-stream encoding models. */
+
+#include <gtest/gtest.h>
+
+#include "fpga/report.hpp"
+
+namespace crispr::fpga {
+namespace {
+
+using automata::ReportEvent;
+
+std::vector<ReportEvent>
+sampleEvents()
+{
+    // Three reporting cycles: 10 (2 events), 11, 500.
+    return {{1, 10}, {2, 10}, {1, 11}, {3, 500}};
+}
+
+TEST(ReportTraffic, TrafficOfCountsCyclesAndEvents)
+{
+    ReportTraffic t = trafficOf(sampleEvents(), 64, 1000);
+    EXPECT_EQ(t.events, 4u);
+    EXPECT_EQ(t.reportingCycles, 3u);
+    EXPECT_EQ(t.reportStates, 64u);
+    EXPECT_EQ(t.totalCycles, 1000u);
+}
+
+TEST(ReportTraffic, RecordPerEventBytes)
+{
+    ReportTraffic t = trafficOf(sampleEvents(), 64, 1000);
+    EXPECT_EQ(encodedBytes(ReportFormat::RecordPerEvent, t,
+                           sampleEvents()),
+              4u * 8);
+}
+
+TEST(ReportTraffic, CycleBitmapDependsOnDesignWidth)
+{
+    auto events = sampleEvents();
+    ReportTraffic narrow = trafficOf(events, 8, 1000);
+    ReportTraffic wide = trafficOf(events, 4096, 1000);
+    EXPECT_EQ(encodedBytes(ReportFormat::CycleBitmap, narrow, events),
+              3u * (4 + 1));
+    EXPECT_EQ(encodedBytes(ReportFormat::CycleBitmap, wide, events),
+              3u * (4 + 512));
+}
+
+TEST(ReportTraffic, CompressedIdsBytes)
+{
+    auto events = sampleEvents();
+    ReportTraffic t = trafficOf(events, 64, 1000);
+    EXPECT_EQ(encodedBytes(ReportFormat::CompressedIds, t, events),
+              3u * 5 + 4u * 2);
+}
+
+TEST(ReportTraffic, OffsetDeltaExploitsClustering)
+{
+    // Dense clustered reports: deltas of 1 encode in one byte.
+    std::vector<ReportEvent> dense;
+    for (uint64_t t = 100; t < 200; ++t)
+        dense.push_back({0, t});
+    ReportTraffic traffic = trafficOf(dense, 64, 1000);
+    const uint64_t delta =
+        encodedBytes(ReportFormat::OffsetDelta, traffic, dense);
+    const uint64_t record =
+        encodedBytes(ReportFormat::RecordPerEvent, traffic, dense);
+    EXPECT_LE(delta, record / 2);
+}
+
+TEST(ReportTraffic, RecommendPicksTheCheapest)
+{
+    // Sparse single events: record-per-event or offset-delta wins over
+    // a wide bitmap.
+    std::vector<ReportEvent> sparse = {{0, 10}, {1, 100000}};
+    ReportTraffic t = trafficOf(sparse, 4096, 1u << 20);
+    ReportFormat best = recommendFormat(t, sparse);
+    EXPECT_NE(best, ReportFormat::CycleBitmap);
+    const uint64_t best_bytes = encodedBytes(best, t, sparse);
+    for (ReportFormat f :
+         {ReportFormat::RecordPerEvent, ReportFormat::CycleBitmap,
+          ReportFormat::CompressedIds, ReportFormat::OffsetDelta}) {
+        EXPECT_LE(best_bytes, encodedBytes(f, t, sparse));
+    }
+}
+
+TEST(ReportTraffic, DrainSeconds)
+{
+    EXPECT_DOUBLE_EQ(drainSeconds(1'500'000'000ull, 1.5), 1.0);
+}
+
+TEST(ReportTraffic, EmptyRun)
+{
+    std::vector<ReportEvent> none;
+    ReportTraffic t = trafficOf(none, 128, 500);
+    EXPECT_EQ(t.events, 0u);
+    EXPECT_EQ(t.reportingCycles, 0u);
+    for (ReportFormat f :
+         {ReportFormat::RecordPerEvent, ReportFormat::CycleBitmap,
+          ReportFormat::CompressedIds, ReportFormat::OffsetDelta}) {
+        EXPECT_EQ(encodedBytes(f, t, none), 0u);
+    }
+}
+
+} // namespace
+} // namespace crispr::fpga

@@ -1,0 +1,96 @@
+/** @file Unit tests for the spatial scaling models (E14). */
+
+#include <gtest/gtest.h>
+
+#include "ap/scaling.hpp"
+#include "common/logging.hpp"
+
+namespace crispr::ap {
+namespace {
+
+constexpr uint64_t kSymbols = 64ull << 20;
+constexpr uint64_t kPerMachine = 179; // 23-nt site, d=4
+constexpr uint64_t kTotal = kPerMachine * 16000;
+
+TEST(Scaling, BaselinePassesMatchCapacity)
+{
+    // 16000 one-block automata on 6144 blocks/board -> 3 passes.
+    ScalingEstimate e =
+        estimateBaseline(kSymbols, kTotal, kPerMachine);
+    EXPECT_EQ(e.devices, 1u);
+    EXPECT_EQ(e.passesPerDevice, 3u);
+    ApDeviceSpec spec;
+    EXPECT_NEAR(e.kernelSeconds,
+                static_cast<double>(kSymbols) / spec.clockHz * 3, 1e-6);
+}
+
+TEST(Scaling, StripingDividesStreamNotPasses)
+{
+    ScalingEstimate base =
+        estimateBaseline(kSymbols, kTotal, kPerMachine);
+    ScalingEstimate x2 =
+        estimateStriping(kSymbols, 22, 2, kTotal, kPerMachine);
+    EXPECT_EQ(x2.passesPerDevice, base.passesPerDevice);
+    EXPECT_NEAR(x2.kernelSeconds, base.kernelSeconds / 2, 1e-3);
+}
+
+TEST(Scaling, PartitionReducesPasses)
+{
+    ScalingEstimate x4 =
+        estimatePartition(kSymbols, 4, kTotal, kPerMachine);
+    EXPECT_EQ(x4.passesPerDevice, 1u);
+    ScalingEstimate base =
+        estimateBaseline(kSymbols, kTotal, kPerMachine);
+    EXPECT_LT(x4.kernelSeconds, base.kernelSeconds);
+}
+
+TEST(Scaling, StrideTradesCapacityForRate)
+{
+    // Small design (fits easily): stride-2 halves kernel time.
+    ScalingEstimate small =
+        estimateStride(kSymbols, 2, kPerMachine * 10, kPerMachine);
+    ScalingEstimate small_base =
+        estimateBaseline(kSymbols, kPerMachine * 10, kPerMachine);
+    EXPECT_EQ(small.passesPerDevice, 1u);
+    EXPECT_NEAR(small.kernelSeconds, small_base.kernelSeconds / 2,
+                1e-3);
+    EXPECT_GT(small.steInflation, 2.0);
+
+    // Capacity-bound design: the inflation eats the rate gain.
+    ScalingEstimate big = estimateStride(kSymbols, 2, kTotal,
+                                         kPerMachine);
+    ScalingEstimate big_base =
+        estimateBaseline(kSymbols, kTotal, kPerMachine);
+    EXPECT_GE(big.kernelSeconds, big_base.kernelSeconds * 0.9);
+}
+
+TEST(Scaling, StrideOneIsIdentity)
+{
+    ScalingEstimate s = estimateStride(kSymbols, 1, kTotal,
+                                       kPerMachine);
+    ScalingEstimate base =
+        estimateBaseline(kSymbols, kTotal, kPerMachine);
+    EXPECT_DOUBLE_EQ(s.kernelSeconds, base.kernelSeconds);
+    EXPECT_DOUBLE_EQ(s.steInflation, 1.0);
+}
+
+TEST(Scaling, InvalidArguments)
+{
+    EXPECT_THROW(estimateStriping(1, 0, 0, 1, 1), FatalError);
+    EXPECT_THROW(estimatePartition(1, 0, 1, 1), FatalError);
+    EXPECT_THROW(estimateStride(1, 0, 1, 1), FatalError);
+}
+
+TEST(Scaling, InflationMonotone)
+{
+    double prev = strideInflation(1);
+    EXPECT_DOUBLE_EQ(prev, 1.0);
+    for (uint32_t k = 2; k <= 8; ++k) {
+        double cur = strideInflation(k);
+        EXPECT_GT(cur, prev);
+        prev = cur;
+    }
+}
+
+} // namespace
+} // namespace crispr::ap

@@ -1,0 +1,141 @@
+/** @file Unit tests for guide specificity scoring. */
+
+#include <gtest/gtest.h>
+
+#include "core/score.hpp"
+#include "genome/generator.hpp"
+
+namespace crispr::core {
+namespace {
+
+TEST(SitePenalty, PerfectDuplicateIsFullStrength)
+{
+    EXPECT_DOUBLE_EQ(sitePenalty({}, 20), 1.0);
+}
+
+TEST(SitePenalty, PamProximalMismatchHurtsLess)
+{
+    // A PAM-proximal mismatch (high weight) reduces the penalty more
+    // than a PAM-distal one.
+    const double distal = sitePenalty({0}, 20);   // weight 0
+    const double proximal = sitePenalty({13}, 20); // weight 0.851
+    EXPECT_GT(distal, proximal);
+    EXPECT_NEAR(distal, 1.0, 1e-9);
+    EXPECT_NEAR(proximal, 1.0 - 0.851, 1e-9);
+}
+
+TEST(SitePenalty, MoreMismatchesLowerPenalty)
+{
+    const double one = sitePenalty({5}, 20);
+    const double two = sitePenalty({5, 10}, 20);
+    const double three = sitePenalty({5, 10, 15}, 20);
+    EXPECT_GT(one, two);
+    EXPECT_GT(two, three);
+    EXPECT_GT(three, 0.0);
+}
+
+TEST(SitePenalty, NonStandardLengthFallsBack)
+{
+    const double distal = sitePenalty({0}, 18);
+    const double proximal = sitePenalty({17}, 18);
+    EXPECT_GT(distal, proximal);
+}
+
+TEST(Score, MismatchPositionsMapBothStrands)
+{
+    // Guide with a known mismatch at protospacer position 2.
+    Guide guide = makeGuide("g", "ACGTACGTACGTACGTACGT");
+    genome::Sequence site = guide.protospacer;
+    site[2] = genome::complementCode(site[2]) == site[2]
+                  ? 0
+                  : static_cast<uint8_t>((site[2] + 1) & 3);
+    site.append(genome::Sequence::fromString("TGG"));
+
+    // Forward copy at 100; reverse-complement copy at 400.
+    genome::GenomeSpec gs;
+    gs.length = 1000;
+    gs.seed = 601;
+    genome::Sequence g = genome::generateGenome(gs);
+    genome::plantSite(g, 100, site);
+    genome::plantSite(g, 400, site.reverseComplement());
+
+    SearchConfig cfg;
+    cfg.maxMismatches = 1;
+    cfg.pam = pamNGG();
+    SearchResult res = search(g, {guide}, cfg);
+
+    size_t checked = 0;
+    for (const OffTargetHit &hit : res.hits) {
+        if (hit.mismatches != 1)
+            continue;
+        if (hit.start != 100 && hit.start != 400)
+            continue;
+        auto positions = hitMismatchPositions(g, res.patterns, hit);
+        ASSERT_EQ(positions.size(), 1u) << "start " << hit.start;
+        EXPECT_EQ(positions[0], 2u) << "start " << hit.start;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 2u);
+}
+
+TEST(Score, SpecificityAggregatesAndRanks)
+{
+    // Guide A: one clean on-target only. Guide B: on-target plus two
+    // close off-targets -> lower specificity.
+    auto ga = makeGuide("a", "GATTACAGATTACAGATTAC");
+    auto gb = makeGuide("b", "CCTTGGAACCTTGGAACCTT");
+
+    genome::GenomeSpec gs;
+    gs.length = 50000;
+    gs.seed = 602;
+    genome::Sequence g = genome::generateGenome(gs);
+
+    auto plant = [&](const Guide &guide, size_t at, int mm, Rng &rng) {
+        genome::Sequence site = guide.protospacer;
+        site.append(genome::Sequence::fromString("AGG"));
+        genome::plantSite(
+            g, at,
+            mm == 0 ? site : genome::mutateSite(site, mm, 10, 20, rng));
+    };
+    Rng rng(603);
+    plant(ga, 1000, 0, rng);
+    plant(gb, 5000, 0, rng);
+    plant(gb, 9000, 1, rng);
+    plant(gb, 13000, 1, rng);
+
+    SearchConfig cfg;
+    cfg.maxMismatches = 2;
+    cfg.pam = pamNGG();
+    SearchResult res = search(g, {ga, gb}, cfg);
+    auto scores = scoreGuides(g, {ga, gb}, res);
+    ASSERT_EQ(scores.size(), 2u);
+    EXPECT_GE(scores[0].onTargets, 1u);
+    EXPECT_GE(scores[1].offTargets, 2u);
+    EXPECT_GT(scores[0].specificity, scores[1].specificity);
+    EXPECT_LE(scores[1].specificity, 100.0);
+}
+
+TEST(Score, DuplicatePerfectSitesPenalised)
+{
+    auto guide = makeGuide("g", "GATTACAGATTACAGATTAC");
+    genome::Sequence site = guide.protospacer;
+    site.append(genome::Sequence::fromString("AGG"));
+    genome::GenomeSpec gs;
+    gs.length = 20000;
+    gs.seed = 604;
+    genome::Sequence g = genome::generateGenome(gs);
+    genome::plantSite(g, 1000, site);
+    genome::plantSite(g, 5000, site);
+
+    SearchConfig cfg;
+    cfg.maxMismatches = 0;
+    cfg.pam = pamNGG();
+    SearchResult res = search(g, {guide}, cfg);
+    auto scores = scoreGuides(g, {guide}, res);
+    ASSERT_EQ(scores.size(), 1u);
+    EXPECT_EQ(scores[0].onTargets, 2u);
+    EXPECT_NEAR(scores[0].specificity, 50.0, 1e-6);
+}
+
+} // namespace
+} // namespace crispr::core

@@ -1,0 +1,123 @@
+/** @file Unit tests for Sequence. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::genome {
+namespace {
+
+TEST(Sequence, FromStringAndBack)
+{
+    Sequence s = Sequence::fromString("ACGTN");
+    ASSERT_EQ(s.size(), 5u);
+    EXPECT_EQ(s.str(), "ACGTN");
+    EXPECT_EQ(s[0], 0);
+    EXPECT_EQ(s[4], kCodeN);
+}
+
+TEST(Sequence, LowerCaseAccepted)
+{
+    EXPECT_EQ(Sequence::fromString("acgt").str(), "ACGT");
+}
+
+TEST(Sequence, DegenerateLettersBecomeN)
+{
+    EXPECT_EQ(Sequence::fromString("ARYG").str(), "ANNG");
+}
+
+TEST(Sequence, RejectsInvalidCharacters)
+{
+    EXPECT_THROW(Sequence::fromString("AC GT"), FatalError);
+    EXPECT_THROW(Sequence::fromString("ACX1"), FatalError);
+}
+
+TEST(Sequence, ReverseComplement)
+{
+    Sequence s = Sequence::fromString("AACGTN");
+    EXPECT_EQ(s.reverseComplement().str(), "NACGTT");
+}
+
+TEST(Sequence, ReverseComplementInvolution)
+{
+    Sequence s = Sequence::fromString("GATTACANGGG");
+    EXPECT_EQ(s.reverseComplement().reverseComplement(), s);
+}
+
+TEST(Sequence, SliceClampsAtEnd)
+{
+    Sequence s = Sequence::fromString("ACGTACGT");
+    EXPECT_EQ(s.slice(2, 3).str(), "GTA");
+    EXPECT_EQ(s.slice(6, 10).str(), "GT");
+    EXPECT_TRUE(s.slice(8, 2).empty());
+    EXPECT_TRUE(s.slice(100, 2).empty());
+}
+
+TEST(Sequence, AppendAndPushBack)
+{
+    Sequence s = Sequence::fromString("AC");
+    s.push_back(baseCode('G'));
+    s.append(Sequence::fromString("TT"));
+    EXPECT_EQ(s.str(), "ACGTT");
+}
+
+TEST(Sequence, CountN)
+{
+    EXPECT_EQ(Sequence::fromString("ANNGTN").countN(), 3u);
+    EXPECT_EQ(Sequence::fromString("ACGT").countN(), 0u);
+}
+
+TEST(Sequence, ConstructorRejectsInvalidCodes)
+{
+    EXPECT_THROW(Sequence(std::vector<uint8_t>{0, 1, 9}), PanicError);
+}
+
+TEST(MaskHamming, CountsMismatchesExactly)
+{
+    Sequence text = Sequence::fromString("ACGTACGT");
+    auto pat = masksFromIupac("ACGA"); // last position differs at 0
+    EXPECT_EQ(maskHamming(pat, text, 0, SIZE_MAX), 1u);
+    auto pat2 = masksFromIupac("ACGT");
+    EXPECT_EQ(maskHamming(pat2, text, 0, SIZE_MAX), 0u);
+    EXPECT_EQ(maskHamming(pat2, text, 4, SIZE_MAX), 0u);
+}
+
+TEST(MaskHamming, EarlyExitAtLimit)
+{
+    Sequence text = Sequence::fromString("AAAAAAAA");
+    auto pat = masksFromIupac("CCCCCCCC");
+    EXPECT_EQ(maskHamming(pat, text, 0, 2), 3u); // limit+1 via early exit
+}
+
+TEST(MaskHamming, GenomeNIsAlwaysMismatch)
+{
+    Sequence text = Sequence::fromString("ANGT");
+    auto pat = masksFromIupac("ANGT"); // IUPAC N matches ACGT, not N
+    EXPECT_EQ(maskHamming(pat, text, 0, SIZE_MAX), 1u);
+}
+
+TEST(MaskHamming, DegenerateMasksMatchTheirSets)
+{
+    Sequence text = Sequence::fromString("AGGT");
+    auto pat = masksFromIupac("RGGT"); // R = A|G
+    EXPECT_EQ(maskHamming(pat, text, 0, SIZE_MAX), 0u);
+}
+
+TEST(Masks, ReverseComplementMasks)
+{
+    auto m = masksFromIupac("ANG");
+    auto rc = reverseComplementMasks(m);
+    // revcomp of A-N-G is C-N-T.
+    EXPECT_EQ(rc[0], iupacMask('C'));
+    EXPECT_EQ(rc[1], iupacMask('N'));
+    EXPECT_EQ(rc[2], iupacMask('T'));
+}
+
+TEST(Masks, FromIupacRejectsInvalid)
+{
+    EXPECT_THROW(masksFromIupac("ACZ"), FatalError);
+}
+
+} // namespace
+} // namespace crispr::genome

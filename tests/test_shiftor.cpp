@@ -1,0 +1,179 @@
+/** @file Unit tests for the bit-parallel Hamming matcher. */
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute.hpp"
+#include "common/logging.hpp"
+#include "hscan/shiftor.hpp"
+#include "test_util.hpp"
+
+namespace crispr::hscan {
+namespace {
+
+using automata::HammingSpec;
+using automata::ReportEvent;
+using genome::Sequence;
+
+HammingSpec
+specOf(const std::string &pattern, int d, size_t lo = 0,
+       size_t hi = SIZE_MAX, uint32_t id = 0)
+{
+    HammingSpec spec;
+    spec.masks = genome::masksFromIupac(pattern);
+    spec.maxMismatches = d;
+    spec.mismatchLo = lo;
+    spec.mismatchHi = hi;
+    spec.reportId = id;
+    return spec;
+}
+
+TEST(ShiftOr, ExactMatch)
+{
+    auto spec = specOf("ACG", 0);
+    ShiftOrMatcher m(std::span(&spec, 1));
+    auto events = m.scanAll(Sequence::fromString("TACGACG"));
+    automata::normalizeEvents(events);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].end, 3u);
+    EXPECT_EQ(events[1].end, 6u);
+}
+
+TEST(ShiftOr, OneMismatch)
+{
+    auto spec = specOf("ACGT", 1);
+    ShiftOrMatcher m(std::span(&spec, 1));
+    EXPECT_EQ(m.scanAll(Sequence::fromString("ACTT")).size(), 1u);
+    // AGTT is 2 mismatches from ACGT (pos 1 and 2): over budget.
+    EXPECT_TRUE(m.scanAll(Sequence::fromString("AGTT")).empty());
+    EXPECT_TRUE(m.scanAll(Sequence::fromString("AGTC")).empty());
+}
+
+TEST(ShiftOr, PamPinnedExactRegion)
+{
+    auto spec = specOf("AAGG", 2, 0, 2);
+    ShiftOrMatcher m(std::span(&spec, 1));
+    EXPECT_FALSE(m.scanAll(Sequence::fromString("TTGG")).empty());
+    EXPECT_TRUE(m.scanAll(Sequence::fromString("AAGC")).empty());
+}
+
+TEST(ShiftOr, GenomeNCountsAsMismatch)
+{
+    auto spec = specOf("ACGT", 1);
+    ShiftOrMatcher m(std::span(&spec, 1));
+    EXPECT_FALSE(m.scanAll(Sequence::fromString("ACNT")).empty());
+    EXPECT_TRUE(m.scanAll(Sequence::fromString("ANNT")).empty());
+}
+
+TEST(ShiftOr, RejectsOversizedPatterns)
+{
+    HammingSpec spec;
+    spec.masks.assign(65, genome::iupacMask('A'));
+    spec.maxMismatches = 0;
+    EXPECT_THROW(ShiftOrMatcher(std::span(&spec, 1)), FatalError);
+    HammingSpec empty;
+    EXPECT_THROW(ShiftOrMatcher(std::span(&empty, 1)), FatalError);
+}
+
+TEST(ShiftOr, SixtyFourPositionBoundary)
+{
+    Rng rng(17);
+    HammingSpec spec;
+    for (int i = 0; i < 64; ++i)
+        spec.masks.push_back(
+            static_cast<genome::BaseMask>(1u << rng.below(4)));
+    spec.maxMismatches = 2;
+    spec.mismatchLo = 0;
+    spec.mismatchHi = 64;
+
+    genome::Sequence g = crispr::test::randomGenome(rng, 4000);
+    // Plant one site with 2 mismatches.
+    Sequence site;
+    for (auto m : spec.masks)
+        site.push_back(static_cast<uint8_t>(
+            std::countr_zero(static_cast<unsigned>(m))));
+    Sequence mut = genome::mutateSite(site, 2, 0, 64, rng);
+    genome::plantSite(g, 100, mut);
+
+    ShiftOrMatcher m(std::span(&spec, 1));
+    auto got = m.scanAll(g);
+    automata::normalizeEvents(got);
+    auto want = baselines::bruteForceScan(g, std::span(&spec, 1));
+    EXPECT_EQ(got, want);
+    bool found_planted = false;
+    for (auto &e : got)
+        found_planted |= e.end == 163;
+    EXPECT_TRUE(found_planted);
+}
+
+TEST(ShiftOr, ChunkedStreamingEqualsWholeScan)
+{
+    Rng rng(23);
+    auto spec = crispr::test::randomGuideSpec(rng, 12, 3, 2, 5);
+    genome::Sequence g = crispr::test::randomGenome(rng, 1000);
+
+    ShiftOrMatcher whole(std::span(&spec, 1));
+    auto expect = whole.scanAll(g);
+
+    ShiftOrMatcher chunked(std::span(&spec, 1));
+    chunked.reset();
+    std::vector<ReportEvent> got;
+    auto sink = [&](uint32_t id, uint64_t end) {
+        got.push_back(ReportEvent{id, end});
+    };
+    for (size_t at = 0; at < g.size(); at += 41) {
+        size_t n = std::min<size_t>(41, g.size() - at);
+        chunked.scan({g.data() + at, n}, sink, at);
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST(ShiftOr, MultiplePatternsIndependentReports)
+{
+    std::vector<HammingSpec> specs = {specOf("AC", 0, 0, SIZE_MAX, 1),
+                                      specOf("GT", 0, 0, SIZE_MAX, 2)};
+    ShiftOrMatcher m(specs);
+    auto events = m.scanAll(Sequence::fromString("ACGT"));
+    automata::normalizeEvents(events);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].reportId, 1u);
+    EXPECT_EQ(events[1].reportId, 2u);
+}
+
+class ShiftOrVsBrute
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ShiftOrVsBrute, AgreesWithGoldenScan)
+{
+    auto [d, seed] = GetParam();
+    Rng rng(static_cast<uint64_t>(seed) * 1337 + d);
+    std::vector<HammingSpec> specs;
+    for (uint32_t i = 0; i < 4; ++i)
+        specs.push_back(crispr::test::randomGuideSpec(rng, 10, 3, d, i));
+    genome::Sequence g = crispr::test::randomGenome(rng, 5000, 0.01);
+
+    ShiftOrMatcher m(specs);
+    auto got = m.scanAll(g);
+    automata::normalizeEvents(got);
+    auto want = baselines::bruteForceScan(g, specs);
+    EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShiftOrVsBrute,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 5),
+                       ::testing::Values(1, 2)));
+
+TEST(ShiftOr, StateBytesReported)
+{
+    auto spec = specOf("ACGT", 3);
+    ShiftOrMatcher m(std::span(&spec, 1));
+    EXPECT_GT(m.stateBytes(), 4 * sizeof(uint64_t));
+    EXPECT_EQ(m.patternCount(), 1u);
+}
+
+} // namespace
+} // namespace crispr::hscan

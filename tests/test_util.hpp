@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the test suite: random pattern/genome generation
+ * and event-set comparison.
+ */
+
+#ifndef CRISPR_TESTS_TEST_UTIL_HPP_
+#define CRISPR_TESTS_TEST_UTIL_HPP_
+
+#include <string>
+#include <vector>
+
+#include "automata/builders.hpp"
+#include "automata/interp.hpp"
+#include "common/rng.hpp"
+#include "genome/generator.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::test {
+
+/** A random concrete-base Hamming spec with guide+PAM layout. */
+inline automata::HammingSpec
+randomGuideSpec(Rng &rng, size_t guide_len, size_t pam_len, int d,
+                uint32_t report_id)
+{
+    automata::HammingSpec spec;
+    for (size_t i = 0; i < guide_len; ++i)
+        spec.masks.push_back(
+            static_cast<genome::BaseMask>(1u << rng.below(4)));
+    for (size_t i = 0; i < pam_len; ++i) {
+        // PAM positions get random (possibly degenerate) IUPAC masks.
+        genome::BaseMask m =
+            static_cast<genome::BaseMask>(1 + rng.below(15));
+        spec.masks.push_back(m);
+    }
+    spec.maxMismatches = d;
+    spec.mismatchLo = 0;
+    spec.mismatchHi = guide_len;
+    spec.reportId = report_id;
+    return spec;
+}
+
+/** A fully random spec: degenerate masks anywhere, random mm window. */
+inline automata::HammingSpec
+randomSpec(Rng &rng, size_t len, int d, uint32_t report_id)
+{
+    automata::HammingSpec spec;
+    for (size_t i = 0; i < len; ++i)
+        spec.masks.push_back(
+            static_cast<genome::BaseMask>(1 + rng.below(15)));
+    spec.maxMismatches = d;
+    size_t a = rng.below(len + 1);
+    size_t b = rng.below(len + 1);
+    spec.mismatchLo = std::min(a, b);
+    spec.mismatchHi = std::max(a, b);
+    spec.reportId = report_id;
+    return spec;
+}
+
+/** Short uniform random genome, optionally salted with Ns. */
+inline genome::Sequence
+randomGenome(Rng &rng, size_t len, double n_fraction = 0.0)
+{
+    std::vector<uint8_t> codes(len);
+    for (auto &c : codes) {
+        c = n_fraction > 0.0 && rng.chance(n_fraction)
+                ? genome::kCodeN
+                : static_cast<uint8_t>(rng.below(4));
+    }
+    return genome::Sequence(std::move(codes));
+}
+
+/** Pretty-print an event list for failure messages. */
+inline std::string
+eventsToString(const std::vector<automata::ReportEvent> &events,
+               size_t limit = 10)
+{
+    std::string out;
+    for (size_t i = 0; i < events.size() && i < limit; ++i) {
+        out += "(" + std::to_string(events[i].reportId) + "," +
+               std::to_string(events[i].end) + ") ";
+    }
+    if (events.size() > limit)
+        out += "...";
+    return out;
+}
+
+} // namespace crispr::test
+
+#endif // CRISPR_TESTS_TEST_UTIL_HPP_
