@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_reports.dir/bench_e10_reports.cpp.o"
+  "CMakeFiles/bench_e10_reports.dir/bench_e10_reports.cpp.o.d"
+  "bench_e10_reports"
+  "bench_e10_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

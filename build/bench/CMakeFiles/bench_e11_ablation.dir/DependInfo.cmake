@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e11_ablation.cpp" "bench/CMakeFiles/bench_e11_ablation.dir/bench_e11_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_e11_ablation.dir/bench_e11_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_hscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

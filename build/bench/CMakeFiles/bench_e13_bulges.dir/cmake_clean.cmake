@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_bulges.dir/bench_e13_bulges.cpp.o"
+  "CMakeFiles/bench_e13_bulges.dir/bench_e13_bulges.cpp.o.d"
+  "bench_e13_bulges"
+  "bench_e13_bulges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_bulges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_improvements.dir/bench_e14_improvements.cpp.o"
+  "CMakeFiles/bench_e14_improvements.dir/bench_e14_improvements.cpp.o.d"
+  "bench_e14_improvements"
+  "bench_e14_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_spatial.dir/bench_e5_spatial.cpp.o"
+  "CMakeFiles/bench_e5_spatial.dir/bench_e5_spatial.cpp.o.d"
+  "bench_e5_spatial"
+  "bench_e5_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_summary.dir/bench_e6_summary.cpp.o"
+  "CMakeFiles/bench_e6_summary.dir/bench_e6_summary.cpp.o.d"
+  "bench_e6_summary"
+  "bench_e6_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_guides.dir/bench_e7_guides.cpp.o"
+  "CMakeFiles/bench_e7_guides.dir/bench_e7_guides.cpp.o.d"
+  "bench_e7_guides"
+  "bench_e7_guides.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_guides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

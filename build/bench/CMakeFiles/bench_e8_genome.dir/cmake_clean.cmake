@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_genome.dir/bench_e8_genome.cpp.o"
+  "CMakeFiles/bench_e8_genome.dir/bench_e8_genome.cpp.o.d"
+  "bench_e8_genome"
+  "bench_e8_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

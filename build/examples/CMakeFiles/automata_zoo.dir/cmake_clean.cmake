@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_zoo.dir/automata_zoo.cpp.o"
+  "CMakeFiles/automata_zoo.dir/automata_zoo.cpp.o.d"
+  "automata_zoo"
+  "automata_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

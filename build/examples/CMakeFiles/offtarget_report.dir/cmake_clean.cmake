@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offtarget_report.dir/offtarget_report.cpp.o"
+  "CMakeFiles/offtarget_report.dir/offtarget_report.cpp.o.d"
+  "offtarget_report"
+  "offtarget_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offtarget_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ap/anml.cpp" "src/CMakeFiles/crispr_ap.dir/ap/anml.cpp.o" "gcc" "src/CMakeFiles/crispr_ap.dir/ap/anml.cpp.o.d"
+  "/root/repo/src/ap/capacity.cpp" "src/CMakeFiles/crispr_ap.dir/ap/capacity.cpp.o" "gcc" "src/CMakeFiles/crispr_ap.dir/ap/capacity.cpp.o.d"
+  "/root/repo/src/ap/machine.cpp" "src/CMakeFiles/crispr_ap.dir/ap/machine.cpp.o" "gcc" "src/CMakeFiles/crispr_ap.dir/ap/machine.cpp.o.d"
+  "/root/repo/src/ap/scaling.cpp" "src/CMakeFiles/crispr_ap.dir/ap/scaling.cpp.o" "gcc" "src/CMakeFiles/crispr_ap.dir/ap/scaling.cpp.o.d"
+  "/root/repo/src/ap/simulator.cpp" "src/CMakeFiles/crispr_ap.dir/ap/simulator.cpp.o" "gcc" "src/CMakeFiles/crispr_ap.dir/ap/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_ap.dir/ap/anml.cpp.o"
+  "CMakeFiles/crispr_ap.dir/ap/anml.cpp.o.d"
+  "CMakeFiles/crispr_ap.dir/ap/capacity.cpp.o"
+  "CMakeFiles/crispr_ap.dir/ap/capacity.cpp.o.d"
+  "CMakeFiles/crispr_ap.dir/ap/machine.cpp.o"
+  "CMakeFiles/crispr_ap.dir/ap/machine.cpp.o.d"
+  "CMakeFiles/crispr_ap.dir/ap/scaling.cpp.o"
+  "CMakeFiles/crispr_ap.dir/ap/scaling.cpp.o.d"
+  "CMakeFiles/crispr_ap.dir/ap/simulator.cpp.o"
+  "CMakeFiles/crispr_ap.dir/ap/simulator.cpp.o.d"
+  "libcrispr_ap.a"
+  "libcrispr_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/anml.cpp" "src/CMakeFiles/crispr_automata.dir/automata/anml.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/anml.cpp.o.d"
+  "/root/repo/src/automata/builders.cpp" "src/CMakeFiles/crispr_automata.dir/automata/builders.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/builders.cpp.o.d"
+  "/root/repo/src/automata/charclass.cpp" "src/CMakeFiles/crispr_automata.dir/automata/charclass.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/charclass.cpp.o.d"
+  "/root/repo/src/automata/dfa.cpp" "src/CMakeFiles/crispr_automata.dir/automata/dfa.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/dfa.cpp.o.d"
+  "/root/repo/src/automata/dot.cpp" "src/CMakeFiles/crispr_automata.dir/automata/dot.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/dot.cpp.o.d"
+  "/root/repo/src/automata/edit.cpp" "src/CMakeFiles/crispr_automata.dir/automata/edit.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/edit.cpp.o.d"
+  "/root/repo/src/automata/hopcroft.cpp" "src/CMakeFiles/crispr_automata.dir/automata/hopcroft.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/hopcroft.cpp.o.d"
+  "/root/repo/src/automata/interp.cpp" "src/CMakeFiles/crispr_automata.dir/automata/interp.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/interp.cpp.o.d"
+  "/root/repo/src/automata/nfa.cpp" "src/CMakeFiles/crispr_automata.dir/automata/nfa.cpp.o" "gcc" "src/CMakeFiles/crispr_automata.dir/automata/nfa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_automata.dir/automata/anml.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/anml.cpp.o.d"
+  "CMakeFiles/crispr_automata.dir/automata/builders.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/builders.cpp.o.d"
+  "CMakeFiles/crispr_automata.dir/automata/charclass.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/charclass.cpp.o.d"
+  "CMakeFiles/crispr_automata.dir/automata/dfa.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/dfa.cpp.o.d"
+  "CMakeFiles/crispr_automata.dir/automata/dot.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/dot.cpp.o.d"
+  "CMakeFiles/crispr_automata.dir/automata/edit.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/edit.cpp.o.d"
+  "CMakeFiles/crispr_automata.dir/automata/hopcroft.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/hopcroft.cpp.o.d"
+  "CMakeFiles/crispr_automata.dir/automata/interp.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/interp.cpp.o.d"
+  "CMakeFiles/crispr_automata.dir/automata/nfa.cpp.o"
+  "CMakeFiles/crispr_automata.dir/automata/nfa.cpp.o.d"
+  "libcrispr_automata.a"
+  "libcrispr_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/brute.cpp" "src/CMakeFiles/crispr_baselines.dir/baselines/brute.cpp.o" "gcc" "src/CMakeFiles/crispr_baselines.dir/baselines/brute.cpp.o.d"
+  "/root/repo/src/baselines/casoffinder.cpp" "src/CMakeFiles/crispr_baselines.dir/baselines/casoffinder.cpp.o" "gcc" "src/CMakeFiles/crispr_baselines.dir/baselines/casoffinder.cpp.o.d"
+  "/root/repo/src/baselines/casot.cpp" "src/CMakeFiles/crispr_baselines.dir/baselines/casot.cpp.o" "gcc" "src/CMakeFiles/crispr_baselines.dir/baselines/casot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

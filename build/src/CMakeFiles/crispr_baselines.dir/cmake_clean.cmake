@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_baselines.dir/baselines/brute.cpp.o"
+  "CMakeFiles/crispr_baselines.dir/baselines/brute.cpp.o.d"
+  "CMakeFiles/crispr_baselines.dir/baselines/casoffinder.cpp.o"
+  "CMakeFiles/crispr_baselines.dir/baselines/casoffinder.cpp.o.d"
+  "CMakeFiles/crispr_baselines.dir/baselines/casot.cpp.o"
+  "CMakeFiles/crispr_baselines.dir/baselines/casot.cpp.o.d"
+  "libcrispr_baselines.a"
+  "libcrispr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

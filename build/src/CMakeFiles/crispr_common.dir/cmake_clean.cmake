@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_common.dir/common/cli.cpp.o"
+  "CMakeFiles/crispr_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/crispr_common.dir/common/logging.cpp.o"
+  "CMakeFiles/crispr_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/crispr_common.dir/common/table.cpp.o"
+  "CMakeFiles/crispr_common.dir/common/table.cpp.o.d"
+  "libcrispr_common.a"
+  "libcrispr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bulge.cpp" "src/CMakeFiles/crispr_core.dir/core/bulge.cpp.o" "gcc" "src/CMakeFiles/crispr_core.dir/core/bulge.cpp.o.d"
+  "/root/repo/src/core/compile.cpp" "src/CMakeFiles/crispr_core.dir/core/compile.cpp.o" "gcc" "src/CMakeFiles/crispr_core.dir/core/compile.cpp.o.d"
+  "/root/repo/src/core/engines.cpp" "src/CMakeFiles/crispr_core.dir/core/engines.cpp.o" "gcc" "src/CMakeFiles/crispr_core.dir/core/engines.cpp.o.d"
+  "/root/repo/src/core/guide.cpp" "src/CMakeFiles/crispr_core.dir/core/guide.cpp.o" "gcc" "src/CMakeFiles/crispr_core.dir/core/guide.cpp.o.d"
+  "/root/repo/src/core/offtarget.cpp" "src/CMakeFiles/crispr_core.dir/core/offtarget.cpp.o" "gcc" "src/CMakeFiles/crispr_core.dir/core/offtarget.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/crispr_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/crispr_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/score.cpp" "src/CMakeFiles/crispr_core.dir/core/score.cpp.o" "gcc" "src/CMakeFiles/crispr_core.dir/core/score.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/CMakeFiles/crispr_core.dir/core/search.cpp.o" "gcc" "src/CMakeFiles/crispr_core.dir/core/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_hscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

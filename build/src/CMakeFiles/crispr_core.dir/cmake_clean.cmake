@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_core.dir/core/bulge.cpp.o"
+  "CMakeFiles/crispr_core.dir/core/bulge.cpp.o.d"
+  "CMakeFiles/crispr_core.dir/core/compile.cpp.o"
+  "CMakeFiles/crispr_core.dir/core/compile.cpp.o.d"
+  "CMakeFiles/crispr_core.dir/core/engines.cpp.o"
+  "CMakeFiles/crispr_core.dir/core/engines.cpp.o.d"
+  "CMakeFiles/crispr_core.dir/core/guide.cpp.o"
+  "CMakeFiles/crispr_core.dir/core/guide.cpp.o.d"
+  "CMakeFiles/crispr_core.dir/core/offtarget.cpp.o"
+  "CMakeFiles/crispr_core.dir/core/offtarget.cpp.o.d"
+  "CMakeFiles/crispr_core.dir/core/report.cpp.o"
+  "CMakeFiles/crispr_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/crispr_core.dir/core/score.cpp.o"
+  "CMakeFiles/crispr_core.dir/core/score.cpp.o.d"
+  "CMakeFiles/crispr_core.dir/core/search.cpp.o"
+  "CMakeFiles/crispr_core.dir/core/search.cpp.o.d"
+  "libcrispr_core.a"
+  "libcrispr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/fabric.cpp" "src/CMakeFiles/crispr_fpga.dir/fpga/fabric.cpp.o" "gcc" "src/CMakeFiles/crispr_fpga.dir/fpga/fabric.cpp.o.d"
+  "/root/repo/src/fpga/report.cpp" "src/CMakeFiles/crispr_fpga.dir/fpga/report.cpp.o" "gcc" "src/CMakeFiles/crispr_fpga.dir/fpga/report.cpp.o.d"
+  "/root/repo/src/fpga/resource.cpp" "src/CMakeFiles/crispr_fpga.dir/fpga/resource.cpp.o" "gcc" "src/CMakeFiles/crispr_fpga.dir/fpga/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_fpga.dir/fpga/fabric.cpp.o"
+  "CMakeFiles/crispr_fpga.dir/fpga/fabric.cpp.o.d"
+  "CMakeFiles/crispr_fpga.dir/fpga/report.cpp.o"
+  "CMakeFiles/crispr_fpga.dir/fpga/report.cpp.o.d"
+  "CMakeFiles/crispr_fpga.dir/fpga/resource.cpp.o"
+  "CMakeFiles/crispr_fpga.dir/fpga/resource.cpp.o.d"
+  "libcrispr_fpga.a"
+  "libcrispr_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrispr_fpga.a"
+)

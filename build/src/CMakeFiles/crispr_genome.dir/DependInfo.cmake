@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genome/alphabet.cpp" "src/CMakeFiles/crispr_genome.dir/genome/alphabet.cpp.o" "gcc" "src/CMakeFiles/crispr_genome.dir/genome/alphabet.cpp.o.d"
+  "/root/repo/src/genome/fasta.cpp" "src/CMakeFiles/crispr_genome.dir/genome/fasta.cpp.o" "gcc" "src/CMakeFiles/crispr_genome.dir/genome/fasta.cpp.o.d"
+  "/root/repo/src/genome/fasta_stream.cpp" "src/CMakeFiles/crispr_genome.dir/genome/fasta_stream.cpp.o" "gcc" "src/CMakeFiles/crispr_genome.dir/genome/fasta_stream.cpp.o.d"
+  "/root/repo/src/genome/generator.cpp" "src/CMakeFiles/crispr_genome.dir/genome/generator.cpp.o" "gcc" "src/CMakeFiles/crispr_genome.dir/genome/generator.cpp.o.d"
+  "/root/repo/src/genome/kmer.cpp" "src/CMakeFiles/crispr_genome.dir/genome/kmer.cpp.o" "gcc" "src/CMakeFiles/crispr_genome.dir/genome/kmer.cpp.o.d"
+  "/root/repo/src/genome/packed.cpp" "src/CMakeFiles/crispr_genome.dir/genome/packed.cpp.o" "gcc" "src/CMakeFiles/crispr_genome.dir/genome/packed.cpp.o.d"
+  "/root/repo/src/genome/record_map.cpp" "src/CMakeFiles/crispr_genome.dir/genome/record_map.cpp.o" "gcc" "src/CMakeFiles/crispr_genome.dir/genome/record_map.cpp.o.d"
+  "/root/repo/src/genome/sequence.cpp" "src/CMakeFiles/crispr_genome.dir/genome/sequence.cpp.o" "gcc" "src/CMakeFiles/crispr_genome.dir/genome/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

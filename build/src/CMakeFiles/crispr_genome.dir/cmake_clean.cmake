@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_genome.dir/genome/alphabet.cpp.o"
+  "CMakeFiles/crispr_genome.dir/genome/alphabet.cpp.o.d"
+  "CMakeFiles/crispr_genome.dir/genome/fasta.cpp.o"
+  "CMakeFiles/crispr_genome.dir/genome/fasta.cpp.o.d"
+  "CMakeFiles/crispr_genome.dir/genome/fasta_stream.cpp.o"
+  "CMakeFiles/crispr_genome.dir/genome/fasta_stream.cpp.o.d"
+  "CMakeFiles/crispr_genome.dir/genome/generator.cpp.o"
+  "CMakeFiles/crispr_genome.dir/genome/generator.cpp.o.d"
+  "CMakeFiles/crispr_genome.dir/genome/kmer.cpp.o"
+  "CMakeFiles/crispr_genome.dir/genome/kmer.cpp.o.d"
+  "CMakeFiles/crispr_genome.dir/genome/packed.cpp.o"
+  "CMakeFiles/crispr_genome.dir/genome/packed.cpp.o.d"
+  "CMakeFiles/crispr_genome.dir/genome/record_map.cpp.o"
+  "CMakeFiles/crispr_genome.dir/genome/record_map.cpp.o.d"
+  "CMakeFiles/crispr_genome.dir/genome/sequence.cpp.o"
+  "CMakeFiles/crispr_genome.dir/genome/sequence.cpp.o.d"
+  "libcrispr_genome.a"
+  "libcrispr_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

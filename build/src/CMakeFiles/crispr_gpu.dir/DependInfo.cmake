@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/infant2.cpp" "src/CMakeFiles/crispr_gpu.dir/gpu/infant2.cpp.o" "gcc" "src/CMakeFiles/crispr_gpu.dir/gpu/infant2.cpp.o.d"
+  "/root/repo/src/gpu/transition_graph.cpp" "src/CMakeFiles/crispr_gpu.dir/gpu/transition_graph.cpp.o" "gcc" "src/CMakeFiles/crispr_gpu.dir/gpu/transition_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_gpu.dir/gpu/infant2.cpp.o"
+  "CMakeFiles/crispr_gpu.dir/gpu/infant2.cpp.o.d"
+  "CMakeFiles/crispr_gpu.dir/gpu/transition_graph.cpp.o"
+  "CMakeFiles/crispr_gpu.dir/gpu/transition_graph.cpp.o.d"
+  "libcrispr_gpu.a"
+  "libcrispr_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

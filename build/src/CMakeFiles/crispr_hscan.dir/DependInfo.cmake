@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hscan/database.cpp" "src/CMakeFiles/crispr_hscan.dir/hscan/database.cpp.o" "gcc" "src/CMakeFiles/crispr_hscan.dir/hscan/database.cpp.o.d"
+  "/root/repo/src/hscan/dfa_scanner.cpp" "src/CMakeFiles/crispr_hscan.dir/hscan/dfa_scanner.cpp.o" "gcc" "src/CMakeFiles/crispr_hscan.dir/hscan/dfa_scanner.cpp.o.d"
+  "/root/repo/src/hscan/multipattern.cpp" "src/CMakeFiles/crispr_hscan.dir/hscan/multipattern.cpp.o" "gcc" "src/CMakeFiles/crispr_hscan.dir/hscan/multipattern.cpp.o.d"
+  "/root/repo/src/hscan/parallel.cpp" "src/CMakeFiles/crispr_hscan.dir/hscan/parallel.cpp.o" "gcc" "src/CMakeFiles/crispr_hscan.dir/hscan/parallel.cpp.o.d"
+  "/root/repo/src/hscan/prefilter.cpp" "src/CMakeFiles/crispr_hscan.dir/hscan/prefilter.cpp.o" "gcc" "src/CMakeFiles/crispr_hscan.dir/hscan/prefilter.cpp.o.d"
+  "/root/repo/src/hscan/shiftor.cpp" "src/CMakeFiles/crispr_hscan.dir/hscan/shiftor.cpp.o" "gcc" "src/CMakeFiles/crispr_hscan.dir/hscan/shiftor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

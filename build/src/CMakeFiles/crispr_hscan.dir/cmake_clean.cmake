@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispr_hscan.dir/hscan/database.cpp.o"
+  "CMakeFiles/crispr_hscan.dir/hscan/database.cpp.o.d"
+  "CMakeFiles/crispr_hscan.dir/hscan/dfa_scanner.cpp.o"
+  "CMakeFiles/crispr_hscan.dir/hscan/dfa_scanner.cpp.o.d"
+  "CMakeFiles/crispr_hscan.dir/hscan/multipattern.cpp.o"
+  "CMakeFiles/crispr_hscan.dir/hscan/multipattern.cpp.o.d"
+  "CMakeFiles/crispr_hscan.dir/hscan/parallel.cpp.o"
+  "CMakeFiles/crispr_hscan.dir/hscan/parallel.cpp.o.d"
+  "CMakeFiles/crispr_hscan.dir/hscan/prefilter.cpp.o"
+  "CMakeFiles/crispr_hscan.dir/hscan/prefilter.cpp.o.d"
+  "CMakeFiles/crispr_hscan.dir/hscan/shiftor.cpp.o"
+  "CMakeFiles/crispr_hscan.dir/hscan/shiftor.cpp.o.d"
+  "libcrispr_hscan.a"
+  "libcrispr_hscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispr_hscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

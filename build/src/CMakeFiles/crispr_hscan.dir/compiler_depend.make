@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crispr_hscan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alphabet.cpp" "tests/CMakeFiles/crispr_tests.dir/test_alphabet.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_alphabet.cpp.o.d"
+  "/root/repo/tests/test_anml.cpp" "tests/CMakeFiles/crispr_tests.dir/test_anml.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_anml.cpp.o.d"
+  "/root/repo/tests/test_ap_anml.cpp" "tests/CMakeFiles/crispr_tests.dir/test_ap_anml.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_ap_anml.cpp.o.d"
+  "/root/repo/tests/test_ap_capacity.cpp" "tests/CMakeFiles/crispr_tests.dir/test_ap_capacity.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_ap_capacity.cpp.o.d"
+  "/root/repo/tests/test_ap_machine.cpp" "tests/CMakeFiles/crispr_tests.dir/test_ap_machine.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_ap_machine.cpp.o.d"
+  "/root/repo/tests/test_ap_sim.cpp" "tests/CMakeFiles/crispr_tests.dir/test_ap_sim.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_ap_sim.cpp.o.d"
+  "/root/repo/tests/test_brute.cpp" "tests/CMakeFiles/crispr_tests.dir/test_brute.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_brute.cpp.o.d"
+  "/root/repo/tests/test_builders.cpp" "tests/CMakeFiles/crispr_tests.dir/test_builders.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_builders.cpp.o.d"
+  "/root/repo/tests/test_casoffinder.cpp" "tests/CMakeFiles/crispr_tests.dir/test_casoffinder.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_casoffinder.cpp.o.d"
+  "/root/repo/tests/test_casot.cpp" "tests/CMakeFiles/crispr_tests.dir/test_casot.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_casot.cpp.o.d"
+  "/root/repo/tests/test_charclass.cpp" "tests/CMakeFiles/crispr_tests.dir/test_charclass.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_charclass.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/crispr_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compile.cpp" "tests/CMakeFiles/crispr_tests.dir/test_compile.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_compile.cpp.o.d"
+  "/root/repo/tests/test_dfa.cpp" "tests/CMakeFiles/crispr_tests.dir/test_dfa.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_dfa.cpp.o.d"
+  "/root/repo/tests/test_edit.cpp" "tests/CMakeFiles/crispr_tests.dir/test_edit.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_edit.cpp.o.d"
+  "/root/repo/tests/test_endtoend.cpp" "tests/CMakeFiles/crispr_tests.dir/test_endtoend.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_endtoend.cpp.o.d"
+  "/root/repo/tests/test_fasta.cpp" "tests/CMakeFiles/crispr_tests.dir/test_fasta.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_fasta.cpp.o.d"
+  "/root/repo/tests/test_fasta_stream.cpp" "tests/CMakeFiles/crispr_tests.dir/test_fasta_stream.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_fasta_stream.cpp.o.d"
+  "/root/repo/tests/test_fpga.cpp" "tests/CMakeFiles/crispr_tests.dir/test_fpga.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_fpga.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/crispr_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/crispr_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_gpu.cpp" "tests/CMakeFiles/crispr_tests.dir/test_gpu.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_gpu.cpp.o.d"
+  "/root/repo/tests/test_guide.cpp" "tests/CMakeFiles/crispr_tests.dir/test_guide.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_guide.cpp.o.d"
+  "/root/repo/tests/test_hopcroft.cpp" "tests/CMakeFiles/crispr_tests.dir/test_hopcroft.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_hopcroft.cpp.o.d"
+  "/root/repo/tests/test_hscan.cpp" "tests/CMakeFiles/crispr_tests.dir/test_hscan.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_hscan.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/crispr_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_kmer.cpp" "tests/CMakeFiles/crispr_tests.dir/test_kmer.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_kmer.cpp.o.d"
+  "/root/repo/tests/test_nfa.cpp" "tests/CMakeFiles/crispr_tests.dir/test_nfa.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_nfa.cpp.o.d"
+  "/root/repo/tests/test_offtarget.cpp" "tests/CMakeFiles/crispr_tests.dir/test_offtarget.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_offtarget.cpp.o.d"
+  "/root/repo/tests/test_packed.cpp" "tests/CMakeFiles/crispr_tests.dir/test_packed.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_packed.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/crispr_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/crispr_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_record_map.cpp" "tests/CMakeFiles/crispr_tests.dir/test_record_map.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_record_map.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/crispr_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_report_traffic.cpp" "tests/CMakeFiles/crispr_tests.dir/test_report_traffic.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_report_traffic.cpp.o.d"
+  "/root/repo/tests/test_scaling.cpp" "tests/CMakeFiles/crispr_tests.dir/test_scaling.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_scaling.cpp.o.d"
+  "/root/repo/tests/test_score.cpp" "tests/CMakeFiles/crispr_tests.dir/test_score.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_score.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/crispr_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_sequence.cpp" "tests/CMakeFiles/crispr_tests.dir/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_sequence.cpp.o.d"
+  "/root/repo/tests/test_shiftor.cpp" "tests/CMakeFiles/crispr_tests.dir/test_shiftor.cpp.o" "gcc" "tests/CMakeFiles/crispr_tests.dir/test_shiftor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crispr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_hscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crispr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
