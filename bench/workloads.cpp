@@ -46,7 +46,10 @@ runRow(EngineKind engine, const Workload &w, int d,
     cfg.maxMismatches = d;
     cfg.pam = pam;
     cfg.params = params;
-    core::SearchResult res = core::search(w.genome, w.guides, cfg);
+    if (!w.session)
+        w.session = std::make_shared<core::SearchSession>(
+            w.guides, core::SearchConfig{}, /*cache_capacity=*/16);
+    core::SearchResult res = w.session->search(w.genome, cfg);
 
     Row row;
     row.engine = core::engineName(engine);

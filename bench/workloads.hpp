@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/logging.hpp"
 #include "common/table.hpp"
-#include "core/search.hpp"
+#include "core/session.hpp"
 #include "genome/generator.hpp"
 
 namespace crispr::bench {
@@ -23,6 +25,8 @@ struct Workload
 {
     genome::Sequence genome;
     std::vector<core::Guide> guides;
+    /** Compile cache shared by every runRow on this workload. */
+    mutable std::shared_ptr<core::SearchSession> session;
 };
 
 /**
@@ -48,7 +52,9 @@ struct Row
     std::map<std::string, double> metrics;
 };
 
-/** Run one engine through core::search and collect a row. */
+/** Run one engine through the workload's SearchSession (created on
+ *  first use; repeated (engine, d) rows reuse compilations) and collect
+ *  a row. */
 Row runRow(core::EngineKind engine, const Workload &w, int d,
            const core::EngineParams &params = defaultParams(),
            const core::PamSpec &pam = core::pamNRG());

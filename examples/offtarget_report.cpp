@@ -20,9 +20,10 @@
 
 #include "common/cli.hpp"
 #include "common/logging.hpp"
+#include "core/engine_registry.hpp"
 #include "core/report.hpp"
 #include "core/score.hpp"
-#include "core/search.hpp"
+#include "core/session.hpp"
 #include "genome/fasta.hpp"
 #include "genome/generator.hpp"
 
@@ -33,11 +34,18 @@ namespace {
 core::EngineKind
 engineByName(const std::string &name)
 {
-    for (core::EngineKind kind : core::allEngines())
-        if (name == core::engineName(kind))
-            return kind;
-    fatal("unknown engine '%s' (try hscan, fpga, ap, infant2-gpu, "
-          "casoffinder, casot)", name.c_str());
+    const core::Engine *engine =
+        core::EngineRegistry::instance().findByName(name);
+    if (engine)
+        return engine->kind();
+    std::string known;
+    for (core::EngineKind kind : core::allEngines()) {
+        if (!known.empty())
+            known += ", ";
+        known += core::engineName(kind);
+    }
+    fatal("unknown engine '%s' (one of: %s)", name.c_str(),
+          known.c_str());
 }
 
 std::vector<core::Guide>
@@ -78,6 +86,8 @@ main(int argc, char **argv)
     cli.addInt("d", 3, "maximum mismatches in the protospacer");
     cli.addString("pam", "NRG", "PAM IUPAC pattern (3' of protospacer)");
     cli.addString("engine", "hscan", "search engine");
+    cli.addInt("threads", 1,
+               "worker threads for the CPU engines (0 = all cores)");
     cli.addBool("forward-only", "skip the reverse strand");
     cli.addString("csv", "", "also write hits as CSV to this file");
     cli.addInt("max-lines", 50, "max hit lines to print");
@@ -118,9 +128,11 @@ main(int argc, char **argv)
         config.pam = core::PamSpec{cli.getString("pam")};
         config.bothStrands = !cli.getBool("forward-only");
         config.engine = engineByName(cli.getString("engine"));
+        config.threads =
+            static_cast<unsigned>(cli.getInt("threads"));
 
-        core::SearchResult result =
-            core::search(genome_seq, guides, config);
+        core::SearchSession session(guides, config);
+        core::SearchResult result = session.search(genome_seq);
 
         std::cout << core::timingLine(result.run) << "\n\n";
         core::printHits(std::cout, genome_seq, guides, result,

@@ -6,6 +6,7 @@
  *
  * Usage:
  *   platform_explorer [--genome-mb 4] [--guides 10] [--d 3]
+ *       [--threads 1]
  */
 
 #include <iostream>
@@ -14,7 +15,7 @@
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "core/report.hpp"
-#include "core/search.hpp"
+#include "core/session.hpp"
 #include "genome/generator.hpp"
 
 using namespace crispr;
@@ -26,6 +27,8 @@ main(int argc, char **argv)
     cli.addInt("genome-mb", 4, "genome size in MB");
     cli.addInt("guides", 10, "number of guides");
     cli.addInt("d", 3, "maximum mismatches");
+    cli.addInt("threads", 1,
+               "worker threads for the CPU engines (0 = all cores)");
     cli.addBool("skip-slow", "skip the brute-force golden engine");
     if (!cli.parse(argc, argv))
         return 0;
@@ -50,6 +53,11 @@ main(int argc, char **argv)
     size_t golden_hits = 0;
     bool have_golden = false;
 
+    // One session serves every engine: the guide set is fixed, and the
+    // per-call config picks the engine (each compiled once, cached).
+    core::SearchSession session(guides, {},
+                                /*cache_capacity=*/16);
+
     for (core::EngineKind kind : core::allEngines()) {
         if (cli.getBool("skip-slow") &&
             kind == core::EngineKind::Brute)
@@ -57,10 +65,26 @@ main(int argc, char **argv)
         core::SearchConfig config;
         config.maxMismatches = static_cast<int>(cli.getInt("d"));
         config.engine = kind;
+        config.threads =
+            static_cast<unsigned>(cli.getInt("threads"));
         config.params.fullSimSymbolLimit = 2ull << 20;
 
-        core::SearchResult res =
-            core::search(genome_seq, guides, config);
+        core::SearchResult res;
+        try {
+            res = session.search(genome_seq, config);
+        } catch (const FatalError &e) {
+            // e.g. the forced-DFA engine exceeding its state budget:
+            // report the row and keep comparing the other platforms.
+            table.row()
+                .add(core::engineName(kind))
+                .add("-")
+                .add("-")
+                .add("-")
+                .add("-")
+                .add("-")
+                .add(std::string(e.what()).substr(0, 40));
+            continue;
+        }
         if (kind == core::EngineKind::Brute) {
             golden_hits = res.hits.size();
             have_golden = true;

@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "core/report.hpp"
-#include "core/search.hpp"
+#include "core/session.hpp"
 #include "genome/generator.hpp"
 
 int
@@ -43,14 +43,17 @@ main()
     genome::plantSite(genome_seq, 800000,
                       genome::mutateSite(site, 2, 0, 20, rng));
 
-    // 3. Search: up to 3 mismatches, NGG+NAG PAMs, both strands.
+    // 3. Search: up to 3 mismatches, NGG+NAG PAMs, both strands. A
+    //    SearchSession compiles the guide set once and reuses it for
+    //    every search() — hold one per guide set when scanning more
+    //    than one genome (one-shot code can call core::search instead).
     core::SearchConfig config;
     config.maxMismatches = 3;
     config.pam = core::pamNRG();
     config.engine = core::EngineKind::HscanAuto;
 
-    core::SearchResult result =
-        core::search(genome_seq, {guide}, config);
+    core::SearchSession session({guide}, config);
+    core::SearchResult result = session.search(genome_seq);
 
     // 4. Results.
     std::cout << "guide\tstart\tstrand\tmm\tsite (mismatches in "

@@ -1,0 +1,190 @@
+#include "core/chunked_scan.hpp"
+
+#include <atomic>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "genome/chunking.hpp"
+
+namespace crispr::core {
+
+using automata::ReportEvent;
+
+ChunkedScanner::ChunkedScanner(
+    const Engine &engine,
+    std::shared_ptr<const CompiledPattern> compiled,
+    const ChunkedScanOptions &options)
+    : engine_(engine), compiled_(std::move(compiled)), options_(options)
+{
+    if (!engine_.supportsChunkedScan())
+        fatal("engine %s does not support chunked scanning "
+              "(device-model engines need the whole stream)",
+              engine_.name());
+    if (!compiled_ || compiled_->kind != engine_.kind())
+        fatal("ChunkedScanner needs a pattern compiled for engine %s",
+              engine_.name());
+    size_t max_len = 0;
+    for (const Pattern &p : compiled_->set->patterns)
+        max_len = std::max(max_len, p.spec.masks.size());
+    overlap_ = max_len > 0 ? max_len - 1 : 0;
+    if (options_.chunkSize <= overlap_)
+        fatal("scan chunk size (%zu) must exceed the pattern length",
+              options_.chunkSize);
+}
+
+std::vector<ReportEvent>
+ChunkedScanner::scanChunkLocal(std::span<const uint8_t> window,
+                               size_t emit_offset) const
+{
+    EngineRun run = engine_.scan(*compiled_, SequenceView(window));
+    std::vector<ReportEvent> kept;
+    kept.reserve(run.events.size());
+    for (const ReportEvent &ev : run.events)
+        if (ev.end >= emit_offset)
+            kept.push_back(ev);
+    return kept;
+}
+
+EngineRun
+ChunkedScanner::makeRun(std::vector<ReportEvent> events, size_t chunks,
+                        unsigned threads, double wall_seconds) const
+{
+    EngineRun run;
+    run.kind = engine_.kind();
+    run.events = std::move(events);
+    automata::normalizeEvents(run.events);
+    run.timing.compileSeconds = compiled_->compileSeconds;
+    run.timing.hostSeconds = wall_seconds;
+    run.timing.kernelSeconds = wall_seconds;
+    run.timing.totalSeconds = wall_seconds;
+    run.metrics = compiled_->metrics;
+    run.metrics["scan.chunks"] = static_cast<double>(chunks);
+    run.metrics["scan.threads"] = static_cast<double>(threads);
+    run.metrics["events"] = static_cast<double>(run.events.size());
+    run.metrics.emplace("events.dropped", 0.0);
+    return run;
+}
+
+EngineRun
+ChunkedScanner::scan(const genome::Sequence &seq) const
+{
+    Stopwatch timer;
+    const auto plan = genome::planScanChunks(
+        seq.size(), options_.chunkSize, overlap_);
+    const unsigned threads = genome::resolveThreads(options_.threads);
+
+    std::vector<ReportEvent> events;
+    std::mutex events_mutex;
+    std::atomic<size_t> next{0};
+
+    auto worker = [&] {
+        std::vector<ReportEvent> local;
+        for (;;) {
+            const size_t w = next.fetch_add(1);
+            if (w >= plan.size())
+                break;
+            const genome::ScanChunk &c = plan[w];
+            auto kept = scanChunkLocal(
+                std::span<const uint8_t>(seq.data() + c.leadFrom,
+                                         c.end - c.leadFrom),
+                c.emitFrom - c.leadFrom);
+            for (const ReportEvent &ev : kept)
+                local.push_back(ReportEvent{ev.reportId,
+                                            ev.end + c.leadFrom});
+        }
+        std::lock_guard<std::mutex> lock(events_mutex);
+        events.insert(events.end(), local.begin(), local.end());
+    };
+
+    const unsigned spawn = static_cast<unsigned>(
+        std::min<size_t>(threads, plan.size()));
+    if (spawn <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(spawn);
+        for (unsigned t = 0; t < spawn; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    return makeRun(std::move(events), plan.size(), threads,
+                   timer.seconds());
+}
+
+EngineRun
+ChunkedScanner::scanStream(genome::FastaStreamReader &reader,
+                           const ChunkObserver &observer) const
+{
+    Stopwatch timer;
+    const unsigned threads = genome::resolveThreads(options_.threads);
+
+    struct Pending
+    {
+        std::shared_ptr<genome::Sequence> buffer;
+        uint64_t bufferStart;
+        std::future<std::vector<ReportEvent>> events;
+    };
+    std::deque<Pending> in_flight;
+    std::vector<ReportEvent> events;
+    size_t chunks = 0;
+
+    auto drain_one = [&] {
+        Pending p = std::move(in_flight.front());
+        in_flight.pop_front();
+        std::vector<ReportEvent> local = p.events.get();
+        if (observer)
+            observer(ChunkScanView{*p.buffer, p.bufferStart, local});
+        for (const ReportEvent &ev : local)
+            events.push_back(
+                ReportEvent{ev.reportId, ev.end + p.bufferStart});
+    };
+
+    std::vector<uint8_t> carry;
+    std::vector<uint8_t> incoming;
+    uint64_t offset = 0; // global offset of the next decoded code
+    while (reader.next(options_.chunkSize, incoming)) {
+        auto buffer = std::make_shared<genome::Sequence>();
+        {
+            std::vector<uint8_t> codes;
+            codes.reserve(carry.size() + incoming.size());
+            codes.insert(codes.end(), carry.begin(), carry.end());
+            codes.insert(codes.end(), incoming.begin(),
+                         incoming.end());
+            *buffer = genome::Sequence(std::move(codes));
+        }
+        const uint64_t buffer_start = offset - carry.size();
+        const size_t emit_offset = carry.size();
+        offset += incoming.size();
+
+        // Refresh the carry from the buffer's tail for the next chunk.
+        const size_t keep = std::min(overlap_, buffer->size());
+        carry.assign(buffer->data() + (buffer->size() - keep),
+                     buffer->data() + buffer->size());
+
+        auto task = [this, buffer, emit_offset] {
+            return scanChunkLocal(
+                std::span<const uint8_t>(buffer->data(),
+                                         buffer->size()),
+                emit_offset);
+        };
+        in_flight.push_back(Pending{
+            buffer, buffer_start,
+            threads <= 1
+                ? std::async(std::launch::deferred, task)
+                : std::async(std::launch::async, task)});
+        ++chunks;
+        while (in_flight.size() >= std::max(1u, threads))
+            drain_one();
+    }
+    while (!in_flight.empty())
+        drain_one();
+
+    return makeRun(std::move(events), chunks, threads, timer.seconds());
+}
+
+} // namespace crispr::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Engine-agnostic chunked scanning: drives any chunk-capable (CPU)
+ * engine adapter over a genome in fixed-size chunks — in memory across
+ * a thread pool, or streamed from a FASTA reader so multi-gigabyte
+ * references never need full residency. Each chunk re-scans enough
+ * leading overlap that no seam-straddling window is lost; an event is
+ * emitted by exactly the chunk whose emit zone contains its end index,
+ * so results are bit-identical to a single whole-genome scan (tested
+ * for every CPU engine). This generalises the former HScan-only
+ * hscan::parallelScan to the whole registry.
+ */
+
+#ifndef CRISPR_CORE_CHUNKED_SCAN_HPP_
+#define CRISPR_CORE_CHUNKED_SCAN_HPP_
+
+#include <functional>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "genome/fasta_stream.hpp"
+
+namespace crispr::core {
+
+/** Chunked-scan options. */
+struct ChunkedScanOptions
+{
+    /** Emit-zone size per chunk (must exceed the site length). */
+    size_t chunkSize = 4 << 20;
+    /** Worker threads; 1 = serial, 0 = hardware_concurrency. */
+    unsigned threads = 1;
+};
+
+/**
+ * Per-chunk observation, delivered in stream order. `buffer` holds the
+ * chunk including its leading overlap, so every emitted event's full
+ * match window is resident — the hook streaming consumers use to
+ * verify hits without the whole genome in memory.
+ */
+struct ChunkScanView
+{
+    const genome::Sequence &buffer; //!< overlap + emit zone
+    uint64_t bufferStart;           //!< global offset of buffer[0]
+    /** Buffer-local events of this chunk's emit zone only. */
+    const std::vector<automata::ReportEvent> &events;
+};
+
+using ChunkObserver = std::function<void(const ChunkScanView &)>;
+
+/** The chunked scan pipeline over one compiled pattern. */
+class ChunkedScanner
+{
+  public:
+    /**
+     * @param engine a chunk-capable adapter (fatal otherwise);
+     * @param compiled its compiled pattern, shared across chunks.
+     */
+    ChunkedScanner(const Engine &engine,
+                   std::shared_ptr<const CompiledPattern> compiled,
+                   const ChunkedScanOptions &options = {});
+
+    /**
+     * Scan an in-memory genome chunk-by-chunk across the thread pool.
+     * Events are global-coordinate, normalised, and bit-identical to
+     * engine.scan() over the whole sequence.
+     */
+    EngineRun scan(const genome::Sequence &seq) const;
+
+    /**
+     * Scan a FASTA stream without materialising the reference: chunks
+     * are decoded, scanned (overlapping scans run on the thread pool),
+     * and discarded. `observer`, when set, sees every chunk with its
+     * events in stream order while the chunk is still resident.
+     */
+    EngineRun scanStream(genome::FastaStreamReader &reader,
+                         const ChunkObserver &observer = {}) const;
+
+    /** Leading re-scan length (longest pattern - 1). */
+    size_t overlap() const { return overlap_; }
+
+  private:
+    std::vector<automata::ReportEvent>
+    scanChunkLocal(std::span<const uint8_t> window,
+                   size_t emit_offset) const;
+    EngineRun makeRun(std::vector<automata::ReportEvent> events,
+                      size_t chunks, unsigned threads,
+                      double wall_seconds) const;
+
+    const Engine &engine_;
+    std::shared_ptr<const CompiledPattern> compiled_;
+    ChunkedScanOptions options_;
+    size_t overlap_ = 0;
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_CHUNKED_SCAN_HPP_

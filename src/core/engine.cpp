@@ -1,0 +1,53 @@
+#include "core/engine.hpp"
+
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+
+namespace crispr::core {
+
+const genome::Sequence &
+SequenceView::sequence(genome::Sequence &storage) const
+{
+    if (seq_)
+        return *seq_;
+    storage = genome::Sequence(
+        std::vector<uint8_t>(codes_.begin(), codes_.end()));
+    return storage;
+}
+
+CompiledPattern
+Engine::compile(const PatternSet &set, const EngineParams &params) const
+{
+    if (set.orientation != requiredOrientation())
+        fatal("engine %s requires a %s pattern set", name(),
+              requiredOrientation() == Orientation::PamFirst
+                  ? "PamFirst"
+                  : "SiteOrder");
+    CompiledPattern compiled;
+    compiled.kind = kind();
+    compiled.set = std::make_shared<const PatternSet>(set);
+    compiled.params = params;
+    Stopwatch timer;
+    compiled.state = compileState(set, params, compiled.metrics);
+    compiled.compileSeconds = timer.seconds();
+    return compiled;
+}
+
+EngineRun
+Engine::scan(const CompiledPattern &compiled, const SequenceView &view) const
+{
+    if (compiled.kind != kind())
+        panic("compiled pattern for engine %d handed to engine %s",
+              static_cast<int>(compiled.kind), name());
+    EngineRun run;
+    scanImpl(compiled, view, run);
+    run.kind = kind();
+    run.timing.compileSeconds = compiled.compileSeconds;
+    for (const auto &[key, value] : compiled.metrics)
+        run.metrics.emplace(key, value);
+    run.metrics["events"] = static_cast<double>(run.events.size());
+    run.metrics.emplace("events.dropped", 0.0);
+    return run;
+}
+
+} // namespace crispr::core

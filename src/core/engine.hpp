@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The pluggable engine interface. An Engine adapter turns one
+ * platform/tool into two pure phases:
+ *
+ *   compile(PatternSet, EngineParams) -> CompiledPattern   (once)
+ *   scan(CompiledPattern, SequenceView) -> EngineRun       (many times)
+ *
+ * CompiledPattern is an immutable, shareable artifact (pattern
+ * database, union NFA, placement, ...) so one compilation can serve
+ * concurrent scans against different genomes or chunks — the seam that
+ * SearchSession's compile-once cache and the ChunkedScanner streaming
+ * pipeline are built on. Adapters register themselves with
+ * EngineRegistry (see engine_registry.hpp); core/ contains no
+ * per-engine dispatch.
+ */
+
+#ifndef CRISPR_CORE_ENGINE_HPP_
+#define CRISPR_CORE_ENGINE_HPP_
+
+#include <memory>
+
+#include "core/engines.hpp"
+
+namespace crispr::core {
+
+/**
+ * A non-owning view of genome codes handed to Engine::scan: either a
+ * whole in-memory Sequence or a raw window of one (a streamed chunk).
+ * Adapters that stream symbols use codes() directly; adapters built on
+ * whole-Sequence interfaces call sequence(), which is zero-copy for a
+ * Sequence-backed view and copies only the viewed window otherwise.
+ */
+class SequenceView
+{
+  public:
+    SequenceView(const genome::Sequence &seq)
+        : seq_(&seq), codes_(seq.codes())
+    {
+    }
+
+    explicit SequenceView(std::span<const uint8_t> codes) : codes_(codes)
+    {
+    }
+
+    std::span<const uint8_t> codes() const { return codes_; }
+    size_t size() const { return codes_.size(); }
+    bool empty() const { return codes_.empty(); }
+
+    /**
+     * The view as a Sequence; `storage` receives a copy of the window
+     * when the view is not backed by a whole Sequence.
+     */
+    const genome::Sequence &sequence(genome::Sequence &storage) const;
+
+  private:
+    const genome::Sequence *seq_ = nullptr;
+    std::span<const uint8_t> codes_;
+};
+
+/**
+ * The immutable result of compiling a pattern set for one engine.
+ * Shareable across threads; every field is fixed after compile().
+ */
+struct CompiledPattern
+{
+    EngineKind kind;
+    std::shared_ptr<const PatternSet> set;
+    EngineParams params;
+    double compileSeconds = 0.0;
+    std::map<std::string, double> metrics; //!< compile-time metrics
+    std::shared_ptr<const void> state;     //!< engine-specific artifact
+
+    /** The engine-specific compiled state (adapter-internal type). */
+    template <typename T>
+    const T &
+    stateAs() const
+    {
+        return *static_cast<const T *>(state.get());
+    }
+};
+
+/**
+ * One engine adapter. Stateless: all per-search state lives in the
+ * CompiledPattern and the EngineRun, so a single registered instance
+ * serves every session concurrently.
+ *
+ * compile() and scan() are non-virtual wrappers that handle the
+ * engine-independent bookkeeping (orientation check, compile timing,
+ * metric merging); adapters implement compileState() and scanImpl().
+ */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    virtual EngineKind kind() const = 0;
+    virtual const char *name() const = 0;
+
+    /** The pattern-set orientation this engine requires. */
+    virtual Orientation
+    requiredOrientation() const
+    {
+        return Orientation::SiteOrder;
+    }
+
+    /**
+     * True when scan() is position-local (an event depends only on the
+     * window it ends in), so the ChunkedScanner may drive this engine
+     * over overlapping chunks with bit-identical results. True for the
+     * CPU engines; false for the device-model engines, whose timing
+     * models need the whole stream.
+     */
+    virtual bool supportsChunkedScan() const { return false; }
+
+    /**
+     * Compile a pattern set once for many scans. Checks the set's
+     * orientation (FatalError on mismatch), times the adapter's
+     * compileState(), and records compile-time metrics.
+     */
+    CompiledPattern compile(const PatternSet &set,
+                            const EngineParams &params = {}) const;
+
+    /**
+     * Scan a genome (or chunk) view with a compiled pattern. Events are
+     * normalised and local to the view (end indices relative to the
+     * view's first code). Thread-safe for concurrent calls sharing one
+     * CompiledPattern.
+     */
+    EngineRun scan(const CompiledPattern &compiled,
+                   const SequenceView &view) const;
+
+  protected:
+    /** Build the engine-specific compiled artifact. */
+    virtual std::shared_ptr<const void>
+    compileState(const PatternSet &set, const EngineParams &params,
+                 std::map<std::string, double> &metrics) const = 0;
+
+    /**
+     * Fill `run` from a scan of `view`: events (normalised, view-local)
+     * plus host/kernel/total timing. `run.kind`, compile timing and
+     * metric merging are handled by the caller.
+     */
+    virtual void scanImpl(const CompiledPattern &compiled,
+                          const SequenceView &view,
+                          EngineRun &run) const = 0;
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_ENGINE_HPP_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Engine registry: the single name -> adapter table the rest of the
+ * library dispatches through. Each built-in adapter lives in its own
+ * translation unit under core/engines/ and registers itself via a
+ * registration hook the registry invokes once, lazily (function-based
+ * rather than static-initialiser-based so adapters are never silently
+ * dropped from static-library links). External backends register the
+ * same way at startup:
+ *
+ *   core::EngineRegistry::instance().add(
+ *       std::make_unique<MyEngine>());
+ *
+ * after which sessions, `core::search`, and the examples reach the new
+ * engine with no change to core/.
+ */
+
+#ifndef CRISPR_CORE_ENGINE_REGISTRY_HPP_
+#define CRISPR_CORE_ENGINE_REGISTRY_HPP_
+
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace crispr::core {
+
+/** The process-wide engine table. Thread-safe. */
+class EngineRegistry
+{
+  public:
+    /** The singleton, with the built-in adapters registered. */
+    static EngineRegistry &instance();
+
+    /**
+     * Register an adapter. Fatal if its kind or name collides with an
+     * already-registered engine.
+     */
+    void add(std::unique_ptr<Engine> engine);
+
+    /** The adapter for a kind; fatal when unregistered. */
+    const Engine &engine(EngineKind kind) const;
+
+    /** The adapter for a kind, or nullptr. */
+    const Engine *find(EngineKind kind) const;
+
+    /** The adapter with the given printable name, or nullptr. */
+    const Engine *findByName(std::string_view name) const;
+
+    /** Every registered kind, in registration (presentation) order. */
+    std::vector<EngineKind> kinds() const;
+
+  private:
+    EngineRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_ENGINE_REGISTRY_HPP_

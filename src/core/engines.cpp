@@ -1,546 +1,65 @@
+/**
+ * @file
+ * Legacy free-function surface over the engine registry. No dispatch
+ * lives here any more: engineName / allEngines / requiredOrientation /
+ * runEngine all delegate to EngineRegistry, and the per-platform
+ * adapters live in src/core/engines/.
+ */
+
 #include "core/engines.hpp"
 
-#include <algorithm>
+#include <memory>
+#include <utility>
 
-#include "common/logging.hpp"
-#include "common/stopwatch.hpp"
-#include "automata/builders.hpp"
-#include "baselines/brute.hpp"
-#include "fpga/fabric.hpp"
-#include "hscan/multipattern.hpp"
-#include "hscan/parallel.hpp"
-#include "hscan/prefilter.hpp"
+#include "core/chunked_scan.hpp"
+#include "core/engine_registry.hpp"
 
 namespace crispr::core {
-
-using automata::HammingSpec;
-using automata::Nfa;
-using automata::ReportEvent;
 
 const char *
 engineName(EngineKind kind)
 {
-    switch (kind) {
-      case EngineKind::Brute:            return "brute-force";
-      case EngineKind::Reference:        return "nfa-reference";
-      case EngineKind::HscanAuto:        return "hscan";
-      case EngineKind::HscanDfa:         return "hscan-dfa";
-      case EngineKind::HscanBitParallel: return "hscan-bitparallel";
-      case EngineKind::HscanPrefilter:   return "hscan-prefilter";
-      case EngineKind::GpuInfant2:       return "infant2-gpu";
-      case EngineKind::Fpga:             return "fpga";
-      case EngineKind::Ap:               return "ap";
-      case EngineKind::ApCounter:        return "ap-counter";
-      case EngineKind::CasOffinder:      return "casoffinder";
-      case EngineKind::CasOt:            return "casot";
-      case EngineKind::CasOtIndexed:     return "casot-indexed";
-    }
-    return "unknown";
+    return EngineRegistry::instance().engine(kind).name();
 }
 
 std::vector<EngineKind>
 allEngines()
 {
-    return {EngineKind::Brute,        EngineKind::Reference,
-            EngineKind::HscanAuto,    EngineKind::HscanDfa,
-            EngineKind::HscanBitParallel, EngineKind::HscanPrefilter,
-            EngineKind::GpuInfant2,   EngineKind::Fpga,
-            EngineKind::Ap,           EngineKind::ApCounter,
-            EngineKind::CasOffinder,  EngineKind::CasOt,
-            EngineKind::CasOtIndexed};
+    return EngineRegistry::instance().kinds();
 }
 
 Orientation
 requiredOrientation(EngineKind kind)
 {
-    return kind == EngineKind::ApCounter ? Orientation::PamFirst
-                                         : Orientation::SiteOrder;
-}
-
-namespace {
-
-/** Reverse (not complement) of a genome, for PamFirst second passes. */
-genome::Sequence
-reversedStream(const genome::Sequence &g)
-{
-    std::vector<uint8_t> codes(g.size());
-    for (size_t i = 0; i < g.size(); ++i)
-        codes[g.size() - 1 - i] = g[i];
-    return genome::Sequence(std::move(codes));
-}
-
-/** Union mismatch-matrix NFA over a spec list. */
-Nfa
-unionNfaOf(const std::vector<HammingSpec> &specs)
-{
-    std::vector<Nfa> nfas;
-    nfas.reserve(specs.size());
-    for (const HammingSpec &s : specs)
-        nfas.push_back(automata::buildHammingNfa(s));
-    return automata::unionNfas(nfas);
-}
-
-/**
- * Functionally-equivalent fast event source (HScan auto path), used by
- * the device engines when the input exceeds the full-simulation limit.
- */
-std::vector<ReportEvent>
-fastEvents(const genome::Sequence &stream,
-           const std::vector<HammingSpec> &specs)
-{
-    if (specs.empty())
-        return {};
-    hscan::Database db = hscan::Database::compile(specs);
-    hscan::Scanner scanner(db);
-    auto events = scanner.scanAll(stream);
-    automata::normalizeEvents(events);
-    return events;
-}
-
-/** Symbol histogram of a stream. */
-void
-histogramOf(const genome::Sequence &g, uint64_t *hist)
-{
-    std::fill(hist, hist + genome::kNumSymbols, 0);
-    for (size_t i = 0; i < g.size(); ++i)
-        ++hist[g[i]];
-}
-
-void
-requireOrientation(EngineKind kind, const PatternSet &set)
-{
-    if (set.orientation != requiredOrientation(kind))
-        fatal("engine %s requires a %s pattern set", engineName(kind),
-              requiredOrientation(kind) == Orientation::PamFirst
-                  ? "PamFirst"
-                  : "SiteOrder");
+    return EngineRegistry::instance().engine(kind).requiredOrientation();
 }
 
 EngineRun
-runBrute(const genome::Sequence &g, const PatternSet &set)
-{
-    EngineRun run;
-    Stopwatch timer;
-    run.events = baselines::bruteForceScan(g, set.specsForStream(false));
-    run.timing.hostSeconds = timer.seconds();
-    run.timing.kernelSeconds = run.timing.hostSeconds;
-    run.timing.totalSeconds = run.timing.hostSeconds;
-    return run;
-}
-
-EngineRun
-runReference(const genome::Sequence &g, const PatternSet &set)
-{
-    EngineRun run;
-    Stopwatch compile_timer;
-    Nfa nfa = unionNfaOf(set.specsForStream(false));
-    run.timing.compileSeconds = compile_timer.seconds();
-    run.metrics["nfa.states"] = static_cast<double>(nfa.size());
-    run.metrics["nfa.edges"] = static_cast<double>(nfa.edgeCount());
-
-    Stopwatch timer;
-    automata::NfaInterpreter interp(nfa);
-    run.events = interp.scanAll(g);
-    automata::normalizeEvents(run.events);
-    run.timing.hostSeconds = timer.seconds();
-    run.timing.kernelSeconds = run.timing.hostSeconds;
-    run.timing.totalSeconds = run.timing.hostSeconds;
-    run.metrics["nfa.activations"] =
-        static_cast<double>(interp.activationCount());
-    return run;
-}
-
-EngineRun
-runHscan(EngineKind kind, const genome::Sequence &g, const PatternSet &set,
-         const EngineParams &params)
-{
-    hscan::DatabaseOptions opts = params.hscanOpts;
-    if (kind == EngineKind::HscanDfa)
-        opts.mode = hscan::ScanMode::Dfa;
-    else if (kind == EngineKind::HscanBitParallel)
-        opts.mode = hscan::ScanMode::BitParallel;
-
-    EngineRun run;
-    Stopwatch compile_timer;
-    hscan::Database db =
-        hscan::Database::compile(set.specsForStream(false), opts);
-    run.timing.compileSeconds = compile_timer.seconds();
-    run.notes = db.info();
-
-    Stopwatch timer;
-    if (params.hscanThreads == 1) {
-        hscan::Scanner scanner(db);
-        run.events = scanner.scanAll(g);
-    } else {
-        hscan::ParallelOptions popts;
-        popts.threads = params.hscanThreads;
-        run.events = hscan::parallelScan(db, g, popts);
-        run.metrics["hscan.threads"] =
-            static_cast<double>(params.hscanThreads);
-    }
-    run.timing.hostSeconds = timer.seconds();
-    automata::normalizeEvents(run.events);
-    run.timing.kernelSeconds = run.timing.hostSeconds;
-    run.timing.totalSeconds = run.timing.hostSeconds;
-    run.metrics["hscan.dfa_path"] =
-        db.effectiveMode() == hscan::ScanMode::Dfa ? 1.0 : 0.0;
-    if (db.dfaPrototype()) {
-        run.metrics["hscan.dfa_states"] =
-            static_cast<double>(db.dfaPrototype()->dfa().size());
-        run.metrics["hscan.dfa_bytes"] =
-            static_cast<double>(db.dfaPrototype()->dfa().tableBytes());
-    }
-    return run;
-}
-
-EngineRun
-runHscanPrefilter(const genome::Sequence &g, const PatternSet &set)
-{
-    EngineRun run;
-    Stopwatch compile_timer;
-    hscan::PrefilterMatcher matcher(set.specsForStream(false));
-    run.timing.compileSeconds = compile_timer.seconds();
-
-    Stopwatch timer;
-    run.events = matcher.scanAll(g);
-    run.timing.hostSeconds = timer.seconds();
-    run.timing.kernelSeconds = run.timing.hostSeconds;
-    run.timing.totalSeconds = run.timing.hostSeconds;
-    run.metrics["prefilter.anchors_hit"] =
-        static_cast<double>(matcher.stats().anchorsHit);
-    run.metrics["prefilter.verifications"] =
-        static_cast<double>(matcher.stats().verifications);
-    run.metrics["prefilter.shapes"] =
-        static_cast<double>(matcher.shapeCount());
-    return run;
-}
-
-EngineRun
-runInfant2(const genome::Sequence &g, const PatternSet &set,
-           const EngineParams &params)
-{
-    EngineRun run;
-    Stopwatch compile_timer;
-    Nfa nfa = unionNfaOf(set.specsForStream(false));
-    const size_t overlap = set.siteLength() + 2;
-    gpu::Infant2Engine engine(nfa, params.gpuModel, params.gpuChunk,
-                              overlap);
-    run.timing.compileSeconds = compile_timer.seconds();
-    run.metrics["gpu.transitions"] =
-        static_cast<double>(engine.graph().totalTransitions());
-    run.metrics["gpu.max_list"] =
-        static_cast<double>(engine.graph().maxListLength());
-
-    gpu::Infant2Time time;
-    if (g.size() <= params.fullSimSymbolLimit) {
-        Stopwatch timer;
-        run.events = engine.scanAll(g);
-        run.timing.hostSeconds = timer.seconds();
-        time = engine.estimateTime();
-        run.metrics["gpu.transitions_fetched"] =
-            static_cast<double>(engine.work().transitionsFetched);
-        run.metrics["gpu.transitions_taken"] =
-            static_cast<double>(engine.work().transitionsTaken);
-    } else {
-        Stopwatch timer;
-        run.events = fastEvents(g, set.specsForStream(false));
-        run.timing.hostSeconds = timer.seconds();
-        uint64_t hist[genome::kNumSymbols];
-        histogramOf(g, hist);
-        gpu::Infant2Work work = gpu::workFromHistogram(
-            engine.graph(), hist, g.size(), params.gpuChunk, overlap);
-        work.reportEvents = run.events.size();
-        time = gpu::estimateInfant2Time(work, engine.graph(), g.size(),
-                                        params.gpuModel);
-        run.metrics["gpu.transitions_fetched"] =
-            static_cast<double>(work.transitionsFetched);
-        run.notes = "analytic timing (genome over full-sim limit)";
-    }
-    run.timing.modelKernelSeconds = time.kernelSeconds;
-    run.timing.modelTotalSeconds = time.totalSeconds();
-    run.timing.kernelSeconds = time.kernelSeconds;
-    run.timing.totalSeconds = time.totalSeconds();
-    return run;
-}
-
-EngineRun
-runFpga(const genome::Sequence &g, const PatternSet &set,
-        const EngineParams &params)
-{
-    EngineRun run;
-    Stopwatch compile_timer;
-    Nfa nfa = unionNfaOf(set.specsForStream(false));
-    fpga::FpgaFabric fabric(std::move(nfa), params.fpgaSpec);
-    run.timing.compileSeconds = compile_timer.seconds();
-
-    const auto &res = fabric.resources();
-    run.metrics["fpga.luts"] = static_cast<double>(res.luts);
-    run.metrics["fpga.ffs"] = static_cast<double>(res.flipflops);
-    run.metrics["fpga.clock_mhz"] = res.clockHz / 1e6;
-    run.metrics["fpga.passes"] = res.passes;
-    run.metrics["fpga.lut_util"] = res.lutUtilization;
-
-    Stopwatch timer;
-    if (g.size() <= params.fullSimSymbolLimit) {
-        run.events = fabric.scanAll(g);
-    } else {
-        run.events = fastEvents(g, set.specsForStream(false));
-        run.notes = "analytic timing (genome over full-sim limit)";
-    }
-    run.timing.hostSeconds = timer.seconds();
-
-    fpga::FpgaTimeBreakdown t = fabric.timeBreakdown(g.size());
-    run.timing.modelKernelSeconds = t.kernelSeconds;
-    run.timing.modelTotalSeconds = t.totalSeconds();
-    run.timing.kernelSeconds = t.kernelSeconds;
-    run.timing.totalSeconds = t.totalSeconds();
-    return run;
-}
-
-EngineRun
-runAp(const genome::Sequence &g, const PatternSet &set,
-      const EngineParams &params)
-{
-    EngineRun run;
-    Stopwatch compile_timer;
-    const auto specs = set.specsForStream(false);
-
-    // Placement of per-pattern automata (capacity model granularity).
-    std::vector<ap::MachineStats> machine_stats;
-    machine_stats.reserve(specs.size());
-    for (const HammingSpec &s : specs) {
-        ap::MachineStats ms;
-        ms.stes = automata::hammingNfaStates(
-            s.masks.size(), s.maxMismatches, s.mismatchLo, s.mismatchHi);
-        machine_stats.push_back(ms);
-    }
-    ap::Placement placement =
-        ap::placeMachines(machine_stats, params.apSpec);
-    run.metrics["ap.stes"] = static_cast<double>(placement.stes);
-    run.metrics["ap.blocks"] = static_cast<double>(placement.blocksUsed);
-    run.metrics["ap.chips"] = placement.chipsUsed;
-    run.metrics["ap.passes"] = placement.passes;
-    run.metrics["ap.utilization"] = placement.utilization;
-
-    Nfa nfa = unionNfaOf(specs);
-    ap::ApMachine machine = ap::fromNfa(nfa);
-    ap::ApSimulator sim(machine, params.apSimConfig);
-    run.timing.compileSeconds = compile_timer.seconds();
-
-    double kernel = 0.0;
-    uint64_t events_count = 0;
-    Stopwatch timer;
-    if (g.size() <= params.fullSimSymbolLimit) {
-        ap::ApRunStats stats{};
-        run.events.clear();
-        stats = sim.run(g.codes(), [&](uint32_t id, uint64_t end) {
-            run.events.push_back(ReportEvent{id, end});
-        });
-        automata::normalizeEvents(run.events);
-        events_count = stats.reportEvents;
-        kernel = sim.kernelSeconds(stats) * placement.passes;
-        run.metrics["ap.stall_cycles"] =
-            static_cast<double>(stats.stallCycles);
-        run.metrics["ap.reporting_cycles"] =
-            static_cast<double>(stats.reportingCycles);
-    } else {
-        run.events = fastEvents(g, specs);
-        events_count = run.events.size();
-        kernel = static_cast<double>(g.size()) / params.apSpec.clockHz *
-                 placement.passes;
-        run.notes = "analytic timing (genome over full-sim limit)";
-    }
-    run.timing.hostSeconds = timer.seconds();
-
-    ap::ApTimeBreakdown t = ap::estimateRun(
-        g.size(), events_count, placement.passes, params.apSpec);
-    run.timing.modelKernelSeconds = kernel;
-    run.timing.modelTotalSeconds =
-        t.configureSeconds + kernel + t.outputSeconds;
-    run.timing.kernelSeconds = run.timing.modelKernelSeconds;
-    run.timing.totalSeconds = run.timing.modelTotalSeconds;
-    return run;
-}
-
-EngineRun
-runApCounter(const genome::Sequence &g, const PatternSet &set,
-             const EngineParams &params)
-{
-    EngineRun run;
-    Stopwatch compile_timer;
-
-    // Build one counter machine per pattern, merged per stream.
-    ap::ApMachine forward_machine, reversed_machine;
-    std::vector<ap::MachineStats> machine_stats;
-    bool any_reversed = false;
-    for (const Pattern &p : set.patterns) {
-        ap::ApMachine m = ap::buildCounterMachine(p.spec);
-        machine_stats.push_back(m.stats());
-        if (p.reversedStream) {
-            any_reversed = true;
-            ap::mergeMachines(reversed_machine, m);
-        } else {
-            ap::mergeMachines(forward_machine, m);
-        }
-    }
-    ap::Placement placement =
-        ap::placeMachines(machine_stats, params.apSpec);
-    run.metrics["ap.stes"] = static_cast<double>(placement.stes);
-    run.metrics["ap.counters"] = static_cast<double>(placement.counters);
-    run.metrics["ap.gates"] = static_cast<double>(placement.gates);
-    run.metrics["ap.passes"] = placement.passes;
-    run.timing.compileSeconds = compile_timer.seconds();
-
-    const genome::Sequence reversed =
-        any_reversed ? reversedStream(g) : genome::Sequence();
-    const uint64_t total_symbols =
-        g.size() + (any_reversed ? reversed.size() : 0);
-
-    Stopwatch timer;
-    uint64_t total_cycles = 0;
-    uint64_t events_count = 0;
-    if (total_symbols <= params.fullSimSymbolLimit) {
-        auto run_stream = [&](const ap::ApMachine &m,
-                              const genome::Sequence &stream) {
-            if (m.size() == 0 || stream.empty())
-                return;
-            ap::ApSimulator sim(m, params.apSimConfig);
-            ap::ApRunStats stats =
-                sim.run(stream.codes(), [&](uint32_t id, uint64_t end) {
-                    run.events.push_back(ReportEvent{id, end});
-                });
-            total_cycles += stats.totalCycles();
-            events_count += stats.reportEvents;
-        };
-        run_stream(forward_machine, g);
-        run_stream(reversed_machine, reversed);
-        automata::normalizeEvents(run.events);
-    } else {
-        // Events via the verified fast path; note the counter design's
-        // own overlap artefacts are then not represented.
-        auto fwd = fastEvents(g, set.specsForStream(false));
-        auto rev = fastEvents(reversed, set.specsForStream(true));
-        run.events = std::move(fwd);
-        run.events.insert(run.events.end(), rev.begin(), rev.end());
-        automata::normalizeEvents(run.events);
-        events_count = run.events.size();
-        total_cycles = total_symbols;
-        run.notes = "analytic timing (genome over full-sim limit)";
-    }
-    run.timing.hostSeconds = timer.seconds();
-
-    const double kernel =
-        static_cast<double>(total_cycles) / params.apSpec.clockHz *
-        placement.passes;
-    ap::ApTimeBreakdown t = ap::estimateRun(
-        total_symbols, events_count, placement.passes, params.apSpec);
-    run.timing.modelKernelSeconds = kernel;
-    run.timing.modelTotalSeconds =
-        t.configureSeconds + kernel + t.outputSeconds;
-    run.timing.kernelSeconds = kernel;
-    run.timing.totalSeconds = run.timing.modelTotalSeconds;
-    return run;
-}
-
-EngineRun
-runCasOffinder(const genome::Sequence &g, const PatternSet &set,
-               const EngineParams &params)
-{
-    EngineRun run;
-    Stopwatch timer;
-    baselines::CasOffinderResult r =
-        baselines::casOffinderScan(g, set.specsForStream(false));
-    run.events = std::move(r.events);
-    run.timing.hostSeconds = timer.seconds();
-    run.timing.modelKernelSeconds =
-        params.casoffinderModel.kernelSeconds(r.work);
-    run.timing.modelTotalSeconds =
-        params.casoffinderModel.totalSeconds(r.work);
-    run.timing.kernelSeconds = run.timing.modelKernelSeconds;
-    run.timing.totalSeconds = run.timing.modelTotalSeconds;
-    run.metrics["casoffinder.pam_hits"] =
-        static_cast<double>(r.work.pamHits);
-    run.metrics["casoffinder.comparisons"] =
-        static_cast<double>(r.work.comparisons);
-    run.metrics["casoffinder.bases"] =
-        static_cast<double>(r.work.basesCompared);
-    return run;
-}
-
-EngineRun
-runCasOt(EngineKind kind, const genome::Sequence &g, const PatternSet &set,
-         const EngineParams &params)
-{
-    baselines::CasOtConfig cfg = params.casotConfig;
-    cfg.mode = kind == EngineKind::CasOtIndexed
-                   ? baselines::CasOtMode::Indexed
-                   : baselines::CasOtMode::Direct;
-    EngineRun run;
-    baselines::CasOtResult r =
-        baselines::casOtScan(g, set.specsForStream(false), cfg);
-    run.events = std::move(r.events);
-    run.timing.hostSeconds = r.seconds;
-    run.timing.kernelSeconds = r.seconds;
-    run.timing.totalSeconds = r.seconds;
-    run.metrics["casot.pam_sites"] = static_cast<double>(r.work.pamSites);
-    run.metrics["casot.bases"] =
-        static_cast<double>(r.work.basesCompared);
-    run.metrics["casot.seed_variants"] =
-        static_cast<double>(r.work.seedVariants);
-    run.metrics["casot.lookups"] =
-        static_cast<double>(r.work.indexLookups);
-    run.metrics["casot.verifications"] =
-        static_cast<double>(r.work.verifications);
-    run.metrics["casot.perl_adjusted_s"] = r.perlAdjustedSeconds(cfg);
-    return run;
-}
-
-} // namespace
-
-EngineRun
-runEngine(EngineKind kind, const genome::Sequence &genome_seq,
+runEngine(EngineKind kind, const genome::Sequence &genome,
           const PatternSet &set, const EngineParams &params)
 {
-    requireOrientation(kind, set);
-    EngineRun run;
-    switch (kind) {
-      case EngineKind::Brute:
-        run = runBrute(genome_seq, set);
-        break;
-      case EngineKind::Reference:
-        run = runReference(genome_seq, set);
-        break;
-      case EngineKind::HscanAuto:
-      case EngineKind::HscanDfa:
-      case EngineKind::HscanBitParallel:
-        run = runHscan(kind, genome_seq, set, params);
-        break;
-      case EngineKind::HscanPrefilter:
-        run = runHscanPrefilter(genome_seq, set);
-        break;
-      case EngineKind::GpuInfant2:
-        run = runInfant2(genome_seq, set, params);
-        break;
-      case EngineKind::Fpga:
-        run = runFpga(genome_seq, set, params);
-        break;
-      case EngineKind::Ap:
-        run = runAp(genome_seq, set, params);
-        break;
-      case EngineKind::ApCounter:
-        run = runApCounter(genome_seq, set, params);
-        break;
-      case EngineKind::CasOffinder:
-        run = runCasOffinder(genome_seq, set, params);
-        break;
-      case EngineKind::CasOt:
-      case EngineKind::CasOtIndexed:
-        run = runCasOt(kind, genome_seq, set, params);
-        break;
+    const Engine &engine = EngineRegistry::instance().engine(kind);
+
+    // Back-compat: hscanThreads != 1 used to route the HScan kinds
+    // through hscan::parallelScan; the chunked pipeline is its
+    // registry-wide replacement.
+    const bool hscan_kind = kind == EngineKind::HscanAuto ||
+                            kind == EngineKind::HscanDfa ||
+                            kind == EngineKind::HscanBitParallel;
+    if (hscan_kind && params.hscanThreads != 1) {
+        auto compiled = std::make_shared<const CompiledPattern>(
+            engine.compile(set, params));
+        ChunkedScanOptions opts;
+        opts.threads = params.hscanThreads;
+        EngineRun run =
+            ChunkedScanner(engine, compiled, opts).scan(genome);
+        run.metrics["hscan.threads"] =
+            static_cast<double>(params.hscanThreads);
+        return run;
     }
-    run.kind = kind;
-    run.metrics["events"] = static_cast<double>(run.events.size());
-    return run;
+
+    CompiledPattern compiled = engine.compile(set, params);
+    return engine.scan(compiled, SequenceView(genome));
 }
 
 } // namespace crispr::core

@@ -1,9 +1,12 @@
 /**
  * @file
- * Engine registry: one adapter per platform/tool evaluated in the
- * paper. Every adapter consumes (genome, PatternSet) and produces the
- * same normalised event set plus a timing record that separates
- * measured host time from modelled device time.
+ * Engine kinds, tunables and run records, plus the legacy free-function
+ * surface (engineName / allEngines / requiredOrientation / runEngine).
+ * The adapters themselves live in src/core/engines/ — one translation
+ * unit per platform, each registering with core::EngineRegistry — and
+ * the free functions here are thin wrappers over that registry. New
+ * code should prefer core::Engine / core::SearchSession (engine.hpp,
+ * session.hpp), which compile a pattern set once and reuse it.
  */
 
 #ifndef CRISPR_CORE_ENGINES_HPP_
@@ -73,8 +76,11 @@ struct EngineParams
     uint64_t fullSimSymbolLimit = 8ull << 20;
 
     /**
-     * Worker threads for the HScan engines (1 = serial, matching the
-     * paper's single-thread Hyperscan setup; 0 = all hardware threads).
+     * @deprecated Worker threads for the HScan engines (1 = serial,
+     * matching the paper's single-thread Hyperscan setup; 0 = all
+     * hardware threads). Superseded by SearchConfig::threads, which
+     * covers every chunk-capable engine; still honoured for the HScan
+     * kinds when SearchConfig::threads keeps its default of 1.
      */
     unsigned hscanThreads = 1;
 };
@@ -106,8 +112,11 @@ struct EngineRun
 };
 
 /**
- * Run one engine over a genome. The pattern set's orientation must be
- * requiredOrientation(kind) (FatalError otherwise).
+ * Run one engine over a genome: compile-and-scan in one shot via the
+ * engine registry. The pattern set's orientation must be
+ * requiredOrientation(kind) (FatalError otherwise). Prefer
+ * SearchSession when scanning more than once — this recompiles the
+ * pattern set on every call.
  */
 EngineRun runEngine(EngineKind kind, const genome::Sequence &genome,
                     const PatternSet &set, const EngineParams &params = {});

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Registration hooks of the built-in engine adapters. Each is defined
+ * in its own translation unit under core/engines/ and registers the
+ * adapter(s) for its platform; EngineRegistry::instance() invokes the
+ * list below exactly once. Adding a built-in engine means adding one
+ * translation unit and one line here — no dispatch code changes.
+ */
+
+#ifndef CRISPR_CORE_ENGINES_ADAPTERS_HPP_
+#define CRISPR_CORE_ENGINES_ADAPTERS_HPP_
+
+namespace crispr::core {
+
+class EngineRegistry;
+
+void registerBruteEngine(EngineRegistry &registry);
+void registerReferenceEngine(EngineRegistry &registry);
+void registerHscanEngines(EngineRegistry &registry);
+void registerHscanPrefilterEngine(EngineRegistry &registry);
+void registerGpuInfant2Engine(EngineRegistry &registry);
+void registerFpgaEngine(EngineRegistry &registry);
+void registerApEngine(EngineRegistry &registry);
+void registerApCounterEngine(EngineRegistry &registry);
+void registerCasOffinderEngine(EngineRegistry &registry);
+void registerCasOtEngines(EngineRegistry &registry);
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_ENGINES_ADAPTERS_HPP_

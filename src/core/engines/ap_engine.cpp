@@ -1,0 +1,118 @@
+/** @file Engine adapter: AP mismatch-matrix design (STEs only). */
+
+#include <memory>
+
+#include "ap/capacity.hpp"
+#include "ap/simulator.hpp"
+#include "automata/builders.hpp"
+#include "common/stopwatch.hpp"
+#include "core/engine_registry.hpp"
+#include "core/engines/adapters.hpp"
+#include "core/engines/detail.hpp"
+
+namespace crispr::core {
+namespace {
+
+class ApEngine final : public Engine
+{
+  public:
+    EngineKind kind() const override { return EngineKind::Ap; }
+    const char *name() const override { return "ap"; }
+
+  protected:
+    struct State
+    {
+        ap::Placement placement;
+        ap::ApMachine machine;
+        std::vector<automata::HammingSpec> specs;
+    };
+
+    std::shared_ptr<const void>
+    compileState(const PatternSet &set, const EngineParams &params,
+                 std::map<std::string, double> &metrics) const override
+    {
+        auto state = std::make_shared<State>();
+        state->specs = set.specsForStream(false);
+
+        // Placement of per-pattern automata (capacity model
+        // granularity).
+        std::vector<ap::MachineStats> machine_stats;
+        machine_stats.reserve(state->specs.size());
+        for (const automata::HammingSpec &s : state->specs) {
+            ap::MachineStats ms;
+            ms.stes = automata::hammingNfaStates(
+                s.masks.size(), s.maxMismatches, s.mismatchLo,
+                s.mismatchHi);
+            machine_stats.push_back(ms);
+        }
+        state->placement =
+            ap::placeMachines(machine_stats, params.apSpec);
+        metrics["ap.stes"] =
+            static_cast<double>(state->placement.stes);
+        metrics["ap.blocks"] =
+            static_cast<double>(state->placement.blocksUsed);
+        metrics["ap.chips"] = state->placement.chipsUsed;
+        metrics["ap.passes"] = state->placement.passes;
+        metrics["ap.utilization"] = state->placement.utilization;
+
+        state->machine =
+            ap::fromNfa(detail::unionNfaOf(state->specs));
+        return state;
+    }
+
+    void
+    scanImpl(const CompiledPattern &compiled, const SequenceView &view,
+             EngineRun &run) const override
+    {
+        const State &state = compiled.stateAs<State>();
+        const EngineParams &params = compiled.params;
+        genome::Sequence storage;
+        const genome::Sequence &g = view.sequence(storage);
+
+        double kernel = 0.0;
+        uint64_t events_count = 0;
+        Stopwatch timer;
+        if (g.size() <= params.fullSimSymbolLimit) {
+            ap::ApSimulator sim(state.machine, params.apSimConfig);
+            ap::ApRunStats stats =
+                sim.run(g.codes(), [&](uint32_t id, uint64_t end) {
+                    run.events.push_back(
+                        automata::ReportEvent{id, end});
+                });
+            automata::normalizeEvents(run.events);
+            events_count = stats.reportEvents;
+            kernel =
+                sim.kernelSeconds(stats) * state.placement.passes;
+            run.metrics["ap.stall_cycles"] =
+                static_cast<double>(stats.stallCycles);
+            run.metrics["ap.reporting_cycles"] =
+                static_cast<double>(stats.reportingCycles);
+        } else {
+            run.events = detail::fastEvents(g, state.specs);
+            events_count = run.events.size();
+            kernel = static_cast<double>(g.size()) /
+                     params.apSpec.clockHz * state.placement.passes;
+            run.notes = "analytic timing (genome over full-sim limit)";
+        }
+        run.timing.hostSeconds = timer.seconds();
+
+        ap::ApTimeBreakdown t =
+            ap::estimateRun(g.size(), events_count,
+                            state.placement.passes, params.apSpec);
+        run.timing.modelKernelSeconds = kernel;
+        run.timing.modelTotalSeconds =
+            t.configureSeconds + kernel + t.outputSeconds;
+        run.timing.kernelSeconds = run.timing.modelKernelSeconds;
+        run.timing.totalSeconds = run.timing.modelTotalSeconds;
+    }
+};
+
+} // namespace
+
+void
+registerApEngine(EngineRegistry &registry)
+{
+    registry.add(std::make_unique<ApEngine>());
+}
+
+} // namespace crispr::core

@@ -1,0 +1,58 @@
+/** @file Engine adapter: the golden O(n*L) brute-force verifier. */
+
+#include <memory>
+
+#include "baselines/brute.hpp"
+#include "common/stopwatch.hpp"
+#include "core/engine_registry.hpp"
+#include "core/engines/adapters.hpp"
+
+namespace crispr::core {
+namespace {
+
+class BruteEngine final : public Engine
+{
+  public:
+    EngineKind kind() const override { return EngineKind::Brute; }
+    const char *name() const override { return "brute-force"; }
+    bool supportsChunkedScan() const override { return true; }
+
+  protected:
+    struct State
+    {
+        std::vector<automata::HammingSpec> specs;
+    };
+
+    std::shared_ptr<const void>
+    compileState(const PatternSet &set, const EngineParams &,
+                 std::map<std::string, double> &) const override
+    {
+        auto state = std::make_shared<State>();
+        state->specs = set.specsForStream(false);
+        return state;
+    }
+
+    void
+    scanImpl(const CompiledPattern &compiled, const SequenceView &view,
+             EngineRun &run) const override
+    {
+        const State &state = compiled.stateAs<State>();
+        genome::Sequence storage;
+        const genome::Sequence &g = view.sequence(storage);
+        Stopwatch timer;
+        run.events = baselines::bruteForceScan(g, state.specs);
+        run.timing.hostSeconds = timer.seconds();
+        run.timing.kernelSeconds = run.timing.hostSeconds;
+        run.timing.totalSeconds = run.timing.hostSeconds;
+    }
+};
+
+} // namespace
+
+void
+registerBruteEngine(EngineRegistry &registry)
+{
+    registry.add(std::make_unique<BruteEngine>());
+}
+
+} // namespace crispr::core

@@ -1,0 +1,70 @@
+/** @file Engine adapter: Cas-OFFinder baseline (GPU device model). */
+
+#include <memory>
+
+#include "baselines/casoffinder.hpp"
+#include "common/stopwatch.hpp"
+#include "core/engine_registry.hpp"
+#include "core/engines/adapters.hpp"
+
+namespace crispr::core {
+namespace {
+
+class CasOffinderEngine final : public Engine
+{
+  public:
+    EngineKind kind() const override { return EngineKind::CasOffinder; }
+    const char *name() const override { return "casoffinder"; }
+    bool supportsChunkedScan() const override { return true; }
+
+  protected:
+    struct State
+    {
+        std::vector<automata::HammingSpec> specs;
+    };
+
+    std::shared_ptr<const void>
+    compileState(const PatternSet &set, const EngineParams &,
+                 std::map<std::string, double> &) const override
+    {
+        auto state = std::make_shared<State>();
+        state->specs = set.specsForStream(false);
+        return state;
+    }
+
+    void
+    scanImpl(const CompiledPattern &compiled, const SequenceView &view,
+             EngineRun &run) const override
+    {
+        const State &state = compiled.stateAs<State>();
+        genome::Sequence storage;
+        const genome::Sequence &g = view.sequence(storage);
+        Stopwatch timer;
+        baselines::CasOffinderResult r =
+            baselines::casOffinderScan(g, state.specs);
+        run.events = std::move(r.events);
+        run.timing.hostSeconds = timer.seconds();
+        run.timing.modelKernelSeconds =
+            compiled.params.casoffinderModel.kernelSeconds(r.work);
+        run.timing.modelTotalSeconds =
+            compiled.params.casoffinderModel.totalSeconds(r.work);
+        run.timing.kernelSeconds = run.timing.modelKernelSeconds;
+        run.timing.totalSeconds = run.timing.modelTotalSeconds;
+        run.metrics["casoffinder.pam_hits"] =
+            static_cast<double>(r.work.pamHits);
+        run.metrics["casoffinder.comparisons"] =
+            static_cast<double>(r.work.comparisons);
+        run.metrics["casoffinder.bases"] =
+            static_cast<double>(r.work.basesCompared);
+    }
+};
+
+} // namespace
+
+void
+registerCasOffinderEngine(EngineRegistry &registry)
+{
+    registry.add(std::make_unique<CasOffinderEngine>());
+}
+
+} // namespace crispr::core

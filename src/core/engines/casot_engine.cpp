@@ -1,0 +1,89 @@
+/** @file Engine adapters: CasOT baseline (direct and seed-indexed
+ *  modes — two registered kinds, one adapter class). */
+
+#include <memory>
+
+#include "baselines/casot.hpp"
+#include "core/engine_registry.hpp"
+#include "core/engines/adapters.hpp"
+
+namespace crispr::core {
+namespace {
+
+class CasOtEngine final : public Engine
+{
+  public:
+    CasOtEngine(EngineKind kind, const char *name,
+                baselines::CasOtMode mode)
+        : kind_(kind), name_(name), mode_(mode)
+    {
+    }
+
+    EngineKind kind() const override { return kind_; }
+    const char *name() const override { return name_; }
+    bool supportsChunkedScan() const override { return true; }
+
+  protected:
+    struct State
+    {
+        std::vector<automata::HammingSpec> specs;
+        baselines::CasOtConfig config;
+    };
+
+    std::shared_ptr<const void>
+    compileState(const PatternSet &set, const EngineParams &params,
+                 std::map<std::string, double> &) const override
+    {
+        auto state = std::make_shared<State>();
+        state->specs = set.specsForStream(false);
+        state->config = params.casotConfig;
+        state->config.mode = mode_;
+        return state;
+    }
+
+    void
+    scanImpl(const CompiledPattern &compiled, const SequenceView &view,
+             EngineRun &run) const override
+    {
+        const State &state = compiled.stateAs<State>();
+        genome::Sequence storage;
+        const genome::Sequence &g = view.sequence(storage);
+        baselines::CasOtResult r =
+            baselines::casOtScan(g, state.specs, state.config);
+        run.events = std::move(r.events);
+        run.timing.hostSeconds = r.seconds;
+        run.timing.kernelSeconds = r.seconds;
+        run.timing.totalSeconds = r.seconds;
+        run.metrics["casot.pam_sites"] =
+            static_cast<double>(r.work.pamSites);
+        run.metrics["casot.bases"] =
+            static_cast<double>(r.work.basesCompared);
+        run.metrics["casot.seed_variants"] =
+            static_cast<double>(r.work.seedVariants);
+        run.metrics["casot.lookups"] =
+            static_cast<double>(r.work.indexLookups);
+        run.metrics["casot.verifications"] =
+            static_cast<double>(r.work.verifications);
+        run.metrics["casot.perl_adjusted_s"] =
+            r.perlAdjustedSeconds(state.config);
+    }
+
+  private:
+    EngineKind kind_;
+    const char *name_;
+    baselines::CasOtMode mode_;
+};
+
+} // namespace
+
+void
+registerCasOtEngines(EngineRegistry &registry)
+{
+    registry.add(std::make_unique<CasOtEngine>(
+        EngineKind::CasOt, "casot", baselines::CasOtMode::Direct));
+    registry.add(std::make_unique<CasOtEngine>(
+        EngineKind::CasOtIndexed, "casot-indexed",
+        baselines::CasOtMode::Indexed));
+}
+
+} // namespace crispr::core

@@ -1,0 +1,50 @@
+#include "core/engines/detail.hpp"
+
+#include <algorithm>
+
+#include "genome/alphabet.hpp"
+#include "hscan/multipattern.hpp"
+
+namespace crispr::core::detail {
+
+genome::Sequence
+reversedStream(const genome::Sequence &g)
+{
+    std::vector<uint8_t> codes(g.size());
+    for (size_t i = 0; i < g.size(); ++i)
+        codes[g.size() - 1 - i] = g[i];
+    return genome::Sequence(std::move(codes));
+}
+
+automata::Nfa
+unionNfaOf(const std::vector<automata::HammingSpec> &specs)
+{
+    std::vector<automata::Nfa> nfas;
+    nfas.reserve(specs.size());
+    for (const automata::HammingSpec &s : specs)
+        nfas.push_back(automata::buildHammingNfa(s));
+    return automata::unionNfas(nfas);
+}
+
+std::vector<automata::ReportEvent>
+fastEvents(const genome::Sequence &stream,
+           const std::vector<automata::HammingSpec> &specs)
+{
+    if (specs.empty())
+        return {};
+    hscan::Database db = hscan::Database::compile(specs);
+    hscan::Scanner scanner(db);
+    auto events = scanner.scanAll(stream);
+    automata::normalizeEvents(events);
+    return events;
+}
+
+void
+histogramOf(const genome::Sequence &g, uint64_t *hist)
+{
+    std::fill(hist, hist + genome::kNumSymbols, 0);
+    for (size_t i = 0; i < g.size(); ++i)
+        ++hist[g[i]];
+}
+
+} // namespace crispr::core::detail

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Helpers shared by the built-in engine adapters (internal header).
+ */
+
+#ifndef CRISPR_CORE_ENGINES_DETAIL_HPP_
+#define CRISPR_CORE_ENGINES_DETAIL_HPP_
+
+#include <vector>
+
+#include "automata/builders.hpp"
+#include "automata/interp.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::core::detail {
+
+/** Reverse (not complement) of a genome, for PamFirst second passes. */
+genome::Sequence reversedStream(const genome::Sequence &g);
+
+/** Union mismatch-matrix NFA over a spec list. */
+automata::Nfa
+unionNfaOf(const std::vector<automata::HammingSpec> &specs);
+
+/**
+ * Functionally-equivalent fast event source (HScan auto path), used by
+ * the device engines when the input exceeds the full-simulation limit.
+ */
+std::vector<automata::ReportEvent>
+fastEvents(const genome::Sequence &stream,
+           const std::vector<automata::HammingSpec> &specs);
+
+/** Symbol histogram of a stream. */
+void histogramOf(const genome::Sequence &g, uint64_t *hist);
+
+} // namespace crispr::core::detail
+
+#endif // CRISPR_CORE_ENGINES_DETAIL_HPP_

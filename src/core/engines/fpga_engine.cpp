@@ -1,0 +1,81 @@
+/** @file Engine adapter: FPGA spatial fabric sim + resource model. */
+
+#include <memory>
+
+#include "common/stopwatch.hpp"
+#include "core/engine_registry.hpp"
+#include "core/engines/adapters.hpp"
+#include "core/engines/detail.hpp"
+#include "fpga/fabric.hpp"
+
+namespace crispr::core {
+namespace {
+
+class FpgaEngine final : public Engine
+{
+  public:
+    EngineKind kind() const override { return EngineKind::Fpga; }
+    const char *name() const override { return "fpga"; }
+
+  protected:
+    struct State
+    {
+        fpga::FpgaFabric fabric; //!< synthesised design; copied per scan
+        std::vector<automata::HammingSpec> specs;
+    };
+
+    std::shared_ptr<const void>
+    compileState(const PatternSet &set, const EngineParams &params,
+                 std::map<std::string, double> &metrics) const override
+    {
+        auto specs = set.specsForStream(false);
+        auto state = std::make_shared<State>(State{
+            fpga::FpgaFabric(detail::unionNfaOf(specs),
+                             params.fpgaSpec),
+            std::move(specs)});
+        const auto &res = state->fabric.resources();
+        metrics["fpga.luts"] = static_cast<double>(res.luts);
+        metrics["fpga.ffs"] = static_cast<double>(res.flipflops);
+        metrics["fpga.clock_mhz"] = res.clockHz / 1e6;
+        metrics["fpga.passes"] = res.passes;
+        metrics["fpga.lut_util"] = res.lutUtilization;
+        return state;
+    }
+
+    void
+    scanImpl(const CompiledPattern &compiled, const SequenceView &view,
+             EngineRun &run) const override
+    {
+        const State &state = compiled.stateAs<State>();
+        const EngineParams &params = compiled.params;
+        genome::Sequence storage;
+        const genome::Sequence &g = view.sequence(storage);
+
+        Stopwatch timer;
+        if (g.size() <= params.fullSimSymbolLimit) {
+            fpga::FpgaFabric fabric = state.fabric;
+            run.events = fabric.scanAll(g);
+        } else {
+            run.events = detail::fastEvents(g, state.specs);
+            run.notes = "analytic timing (genome over full-sim limit)";
+        }
+        run.timing.hostSeconds = timer.seconds();
+
+        fpga::FpgaTimeBreakdown t =
+            state.fabric.timeBreakdown(g.size());
+        run.timing.modelKernelSeconds = t.kernelSeconds;
+        run.timing.modelTotalSeconds = t.totalSeconds();
+        run.timing.kernelSeconds = t.kernelSeconds;
+        run.timing.totalSeconds = t.totalSeconds();
+    }
+};
+
+} // namespace
+
+void
+registerFpgaEngine(EngineRegistry &registry)
+{
+    registry.add(std::make_unique<FpgaEngine>());
+}
+
+} // namespace crispr::core

@@ -1,0 +1,94 @@
+/** @file Engine adapters: the HScan CPU engine (auto / forced-DFA /
+ *  forced-bit-parallel scan paths — three registered kinds, one
+ *  adapter class). */
+
+#include <memory>
+
+#include "common/stopwatch.hpp"
+#include "core/engine_registry.hpp"
+#include "core/engines/adapters.hpp"
+#include "hscan/multipattern.hpp"
+
+namespace crispr::core {
+namespace {
+
+class HscanEngine final : public Engine
+{
+  public:
+    HscanEngine(EngineKind kind, const char *name, hscan::ScanMode mode)
+        : kind_(kind), name_(name), mode_(mode)
+    {
+    }
+
+    EngineKind kind() const override { return kind_; }
+    const char *name() const override { return name_; }
+    bool supportsChunkedScan() const override { return true; }
+
+  protected:
+    struct State
+    {
+        hscan::Database db;
+        std::string info;
+    };
+
+    std::shared_ptr<const void>
+    compileState(const PatternSet &set, const EngineParams &params,
+                 std::map<std::string, double> &metrics) const override
+    {
+        hscan::DatabaseOptions opts = params.hscanOpts;
+        if (mode_ != hscan::ScanMode::Auto)
+            opts.mode = mode_;
+        auto state = std::make_shared<State>(State{
+            hscan::Database::compile(set.specsForStream(false), opts),
+            ""});
+        state->info = state->db.info();
+        metrics["hscan.dfa_path"] =
+            state->db.effectiveMode() == hscan::ScanMode::Dfa ? 1.0
+                                                              : 0.0;
+        if (state->db.dfaPrototype()) {
+            metrics["hscan.dfa_states"] = static_cast<double>(
+                state->db.dfaPrototype()->dfa().size());
+            metrics["hscan.dfa_bytes"] = static_cast<double>(
+                state->db.dfaPrototype()->dfa().tableBytes());
+        }
+        return state;
+    }
+
+    void
+    scanImpl(const CompiledPattern &compiled, const SequenceView &view,
+             EngineRun &run) const override
+    {
+        const State &state = compiled.stateAs<State>();
+        run.notes = state.info;
+        Stopwatch timer;
+        hscan::Scanner scanner(state.db);
+        scanner.scan(view.codes(), [&](uint32_t id, uint64_t end) {
+            run.events.push_back(automata::ReportEvent{id, end});
+        });
+        automata::normalizeEvents(run.events);
+        run.timing.hostSeconds = timer.seconds();
+        run.timing.kernelSeconds = run.timing.hostSeconds;
+        run.timing.totalSeconds = run.timing.hostSeconds;
+    }
+
+  private:
+    EngineKind kind_;
+    const char *name_;
+    hscan::ScanMode mode_;
+};
+
+} // namespace
+
+void
+registerHscanEngines(EngineRegistry &registry)
+{
+    registry.add(std::make_unique<HscanEngine>(
+        EngineKind::HscanAuto, "hscan", hscan::ScanMode::Auto));
+    registry.add(std::make_unique<HscanEngine>(
+        EngineKind::HscanDfa, "hscan-dfa", hscan::ScanMode::Dfa));
+    registry.add(std::make_unique<HscanEngine>(
+        EngineKind::HscanBitParallel, "hscan-bitparallel",
+        hscan::ScanMode::BitParallel));
+}
+
+} // namespace crispr::core

@@ -1,0 +1,65 @@
+/** @file Engine adapter: the homogeneous-NFA reference interpreter. */
+
+#include <memory>
+
+#include "common/stopwatch.hpp"
+#include "core/engine_registry.hpp"
+#include "core/engines/adapters.hpp"
+#include "core/engines/detail.hpp"
+
+namespace crispr::core {
+namespace {
+
+class ReferenceEngine final : public Engine
+{
+  public:
+    EngineKind kind() const override { return EngineKind::Reference; }
+    const char *name() const override { return "nfa-reference"; }
+    bool supportsChunkedScan() const override { return true; }
+
+  protected:
+    struct State
+    {
+        automata::Nfa nfa;
+    };
+
+    std::shared_ptr<const void>
+    compileState(const PatternSet &set, const EngineParams &,
+                 std::map<std::string, double> &metrics) const override
+    {
+        auto state = std::make_shared<State>();
+        state->nfa = detail::unionNfaOf(set.specsForStream(false));
+        metrics["nfa.states"] = static_cast<double>(state->nfa.size());
+        metrics["nfa.edges"] =
+            static_cast<double>(state->nfa.edgeCount());
+        return state;
+    }
+
+    void
+    scanImpl(const CompiledPattern &compiled, const SequenceView &view,
+             EngineRun &run) const override
+    {
+        const State &state = compiled.stateAs<State>();
+        Stopwatch timer;
+        automata::NfaInterpreter interp(state.nfa);
+        interp.scan(view.codes(), [&](uint32_t id, uint64_t end) {
+            run.events.push_back(automata::ReportEvent{id, end});
+        });
+        automata::normalizeEvents(run.events);
+        run.timing.hostSeconds = timer.seconds();
+        run.timing.kernelSeconds = run.timing.hostSeconds;
+        run.timing.totalSeconds = run.timing.hostSeconds;
+        run.metrics["nfa.activations"] =
+            static_cast<double>(interp.activationCount());
+    }
+};
+
+} // namespace
+
+void
+registerReferenceEngine(EngineRegistry &registry)
+{
+    registry.add(std::make_unique<ReferenceEngine>());
+}
+
+} // namespace crispr::core

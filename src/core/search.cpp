@@ -1,26 +1,15 @@
 #include "core/search.hpp"
 
-#include "common/logging.hpp"
+#include "core/session.hpp"
 
 namespace crispr::core {
 
 SearchResult
-search(const genome::Sequence &genome_seq, const std::vector<Guide> &guides,
-       const SearchConfig &config)
+search(const genome::Sequence &genome_seq,
+       const std::vector<Guide> &guides, const SearchConfig &config)
 {
-    SearchResult result;
-    result.patterns =
-        buildPatternSet(guides, config.pam, config.maxMismatches,
-                        config.bothStrands,
-                        requiredOrientation(config.engine));
-    result.run =
-        runEngine(config.engine, genome_seq, result.patterns,
-                  config.params);
-    const bool tolerant = config.engine == EngineKind::ApCounter;
-    result.hits = hitsFromEvents(genome_seq, result.patterns,
-                                 result.run.events, tolerant,
-                                 &result.droppedEvents);
-    return result;
+    SearchSession session(guides, config);
+    return session.search(genome_seq);
 }
 
 } // namespace crispr::core

@@ -34,6 +34,19 @@ struct SearchConfig
     bool bothStrands = true;
     EngineKind engine = EngineKind::HscanAuto;
     EngineParams params;
+
+    /**
+     * Worker threads for chunk-capable (CPU) engines: 1 = serial (the
+     * paper's single-core setups), 0 = all hardware threads, n = n.
+     * Device-model engines (GPU/FPGA/AP) always consume the whole
+     * stream and ignore this. Supersedes the deprecated
+     * EngineParams::hscanThreads, which is still honoured for the
+     * HScan kinds while threads keeps its default.
+     */
+    unsigned threads = 1;
+
+    /** Emit-zone size per chunk when scanning chunked or streamed. */
+    size_t chunkSize = 4 << 20;
 };
 
 /** Search result: verified hits plus the raw engine run. */
@@ -45,7 +58,12 @@ struct SearchResult
     size_t droppedEvents = 0; //!< unverifiable events (AP counter design)
 };
 
-/** Run an off-target search. */
+/**
+ * Run a one-shot off-target search. Compiles the guide set, scans, and
+ * verifies in one call; repeated searches over one guide set should
+ * hold a SearchSession (session.hpp) instead, which caches the
+ * compilation.
+ */
 SearchResult search(const genome::Sequence &genome,
                     const std::vector<Guide> &guides,
                     const SearchConfig &config = {});

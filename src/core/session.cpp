@@ -1,0 +1,211 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "core/engine_registry.hpp"
+#include "genome/fasta_stream.hpp"
+
+namespace crispr::core {
+
+namespace {
+
+/**
+ * Effective worker-thread count for a config. SearchConfig::threads is
+ * authoritative; the deprecated EngineParams::hscanThreads still steers
+ * the HScan kinds when threads keeps its default, so pre-session
+ * callers see identical behaviour.
+ */
+unsigned
+effectiveThreads(const SearchConfig &config)
+{
+    if (config.threads != 1)
+        return config.threads;
+    switch (config.engine) {
+    case EngineKind::HscanAuto:
+    case EngineKind::HscanDfa:
+    case EngineKind::HscanBitParallel:
+        return config.params.hscanThreads;
+    default:
+        return 1;
+    }
+}
+
+} // namespace
+
+SearchSession::SearchSession(std::vector<Guide> guides,
+                             SearchConfig config, size_t cache_capacity)
+    : guides_(std::move(guides)), config_(std::move(config)),
+      capacity_(std::max<size_t>(1, cache_capacity))
+{
+}
+
+std::string
+SearchSession::cacheKey(const SearchConfig &config,
+                        const Engine &engine) const
+{
+    const EngineParams &p = config.params;
+    std::ostringstream key;
+    key << engine.name() << '|' << config.maxMismatches << '|'
+        << config.bothStrands << '|' << config.pam.iupac << '|'
+        << static_cast<int>(p.hscanOpts.mode) << ':'
+        << p.hscanOpts.maxDfaStates << ':' << p.hscanOpts.minimizeDfa
+        << '|' << p.gpuChunk << '|' << p.fullSimSymbolLimit << '|'
+        << p.casotConfig.seedLength << ':'
+        << p.casotConfig.maxSeedMismatches;
+    return key.str();
+}
+
+std::shared_ptr<const CompiledPattern>
+SearchSession::compiledFor(const SearchConfig &config,
+                           const Engine &engine)
+{
+    const std::string key = cacheKey(config, engine);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+        if (it->first == key) {
+            cache_.splice(cache_.begin(), cache_, it);
+            ++cacheHits_;
+            return cache_.front().second;
+        }
+    }
+    PatternSet set =
+        buildPatternSet(guides_, config.pam, config.maxMismatches,
+                        config.bothStrands,
+                        engine.requiredOrientation());
+    auto compiled = std::make_shared<const CompiledPattern>(
+        engine.compile(set, config.params));
+    ++compiles_;
+    cache_.emplace_front(key, compiled);
+    while (cache_.size() > capacity_)
+        cache_.pop_back();
+    return compiled;
+}
+
+void
+SearchSession::annotate(EngineRun &run) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    run.metrics["session.compiles"] = static_cast<double>(compiles_);
+    run.metrics["session.cache_hits"] =
+        static_cast<double>(cacheHits_);
+}
+
+SearchResult
+SearchSession::search(const genome::Sequence &genome)
+{
+    return search(genome, config_);
+}
+
+SearchResult
+SearchSession::search(const genome::Sequence &genome,
+                      const SearchConfig &config)
+{
+    const Engine &engine =
+        EngineRegistry::instance().engine(config.engine);
+    std::shared_ptr<const CompiledPattern> compiled =
+        compiledFor(config, engine);
+
+    SearchResult result;
+    result.patterns = *compiled->set;
+
+    const unsigned threads = effectiveThreads(config);
+    if (threads != 1 && engine.supportsChunkedScan()) {
+        ChunkedScanOptions opts;
+        opts.chunkSize = config.chunkSize;
+        opts.threads = threads;
+        result.run = ChunkedScanner(engine, compiled, opts).scan(genome);
+    } else {
+        result.run = engine.scan(*compiled, SequenceView(genome));
+    }
+
+    const bool tolerant = config.engine == EngineKind::ApCounter;
+    result.hits = hitsFromEvents(genome, result.patterns,
+                                 result.run.events, tolerant,
+                                 &result.droppedEvents);
+    result.run.metrics["events.dropped"] =
+        static_cast<double>(result.droppedEvents);
+    annotate(result.run);
+    return result;
+}
+
+SearchResult
+SearchSession::searchStream(std::istream &fasta)
+{
+    return searchStream(fasta, config_);
+}
+
+SearchResult
+SearchSession::searchStream(std::istream &fasta,
+                            const SearchConfig &config)
+{
+    const Engine &engine =
+        EngineRegistry::instance().engine(config.engine);
+    std::shared_ptr<const CompiledPattern> compiled =
+        compiledFor(config, engine);
+
+    SearchResult result;
+    result.patterns = *compiled->set;
+
+    ChunkedScanOptions opts;
+    opts.chunkSize = config.chunkSize;
+    opts.threads = effectiveThreads(config);
+    ChunkedScanner scanner(engine, compiled, opts);
+
+    // Chunk-capable engines compile SiteOrder sets (no reversed-stream
+    // patterns), so a hit's window is local to the chunk buffer that
+    // reported it: verify per chunk, then lift start to global.
+    ChunkObserver verify = [&](const ChunkScanView &chunk) {
+        size_t dropped = 0;
+        std::vector<OffTargetHit> hits =
+            hitsFromEvents(chunk.buffer, result.patterns, chunk.events,
+                           /*drop_unverified=*/false, &dropped);
+        result.droppedEvents += dropped;
+        for (OffTargetHit hit : hits) {
+            hit.start += chunk.bufferStart;
+            result.hits.push_back(hit);
+        }
+    };
+
+    genome::FastaStreamReader reader(fasta);
+    result.run = scanner.scanStream(reader, verify);
+
+    // Chunks arrive in stream order; restore the (guide, start,
+    // strand) order hitsFromEvents gives a whole-genome verify.
+    std::sort(result.hits.begin(), result.hits.end(),
+              [](const OffTargetHit &a, const OffTargetHit &b) {
+                  if (a.guide != b.guide)
+                      return a.guide < b.guide;
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  return a.strand < b.strand;
+              });
+    result.run.metrics["events.dropped"] =
+        static_cast<double>(result.droppedEvents);
+    annotate(result.run);
+    return result;
+}
+
+size_t
+SearchSession::compileCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compiles_;
+}
+
+size_t
+SearchSession::cacheHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cacheHits_;
+}
+
+void
+SearchSession::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace crispr::core

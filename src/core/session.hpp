@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SearchSession: the compile-once unit of the search API. A session
+ * owns a guide set and an LRU cache of compiled patterns keyed by
+ * (engine, mismatch budget, PAM, strands, orientation), so repeated
+ * search() calls against different genomes — or streamed chunks of one
+ * huge genome — never recompile. This is the object a server loop
+ * holds per client.
+ *
+ * @code
+ *   core::SearchSession session(guides, config);
+ *   auto chr1 = session.search(chr1_seq);   // compiles once
+ *   auto chr2 = session.search(chr2_seq);   // cache hit
+ *   std::ifstream fa("hg38.fa");
+ *   auto all = session.searchStream(fa);    // chunked, O(chunk) memory
+ * @endcode
+ *
+ * Thread-safety: the compile cache is internally locked; concurrent
+ * search() calls on one session are safe and share compilations.
+ *
+ * Caching caveat: a CompiledPattern captures the EngineParams it was
+ * compiled with. The cache key covers the compile-relevant fields
+ * (hscan options, GPU chunk, CasOT indexing, full-sim limit); the
+ * device-model specs (fpgaSpec, apSpec, gpuModel, apSimConfig,
+ * casoffinderModel) are treated as deployment constants — call
+ * clearCache() after changing them mid-session.
+ */
+
+#ifndef CRISPR_CORE_SESSION_HPP_
+#define CRISPR_CORE_SESSION_HPP_
+
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/chunked_scan.hpp"
+#include "core/search.hpp"
+
+namespace crispr::core {
+
+/** A compile-once search session over a fixed guide set. */
+class SearchSession
+{
+  public:
+    /** @param cacheCapacity compiled patterns kept (LRU evicted). */
+    explicit SearchSession(std::vector<Guide> guides,
+                           SearchConfig config = {},
+                           size_t cache_capacity = 4);
+
+    /** Search an in-memory genome with the session's config. */
+    SearchResult search(const genome::Sequence &genome);
+
+    /**
+     * Search with a per-call config (same guide set). Recompiles only
+     * when the config's cache key differs from every cached entry.
+     */
+    SearchResult search(const genome::Sequence &genome,
+                        const SearchConfig &config);
+
+    /**
+     * Search a FASTA text stream chunk-by-chunk without materialising
+     * the reference; hits are verified per chunk while its window is
+     * resident. Chunk-capable (CPU) engines only (fatal otherwise).
+     * Hit coordinates are concatenated-stream offsets, as produced by
+     * genome::concatenateRecords (single-N record separators).
+     */
+    SearchResult searchStream(std::istream &fasta);
+    SearchResult searchStream(std::istream &fasta,
+                              const SearchConfig &config);
+
+    const std::vector<Guide> &guides() const { return guides_; }
+    const SearchConfig &config() const { return config_; }
+
+    /** Pattern compilations performed (cache misses) so far. */
+    size_t compileCount() const;
+    /** search() calls served from the compile cache so far. */
+    size_t cacheHits() const;
+
+    /** Drop every cached compilation. */
+    void clearCache();
+
+  private:
+    std::shared_ptr<const CompiledPattern>
+    compiledFor(const SearchConfig &config, const Engine &engine);
+    std::string cacheKey(const SearchConfig &config,
+                         const Engine &engine) const;
+    void annotate(EngineRun &run) const;
+
+    std::vector<Guide> guides_;
+    SearchConfig config_;
+    size_t capacity_;
+
+    mutable std::mutex mutex_;
+    std::list<std::pair<std::string,
+                        std::shared_ptr<const CompiledPattern>>>
+        cache_; //!< front = most recently used
+    size_t compiles_ = 0;
+    size_t cacheHits_ = 0;
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_SESSION_HPP_

@@ -4,7 +4,9 @@
  *
  * @code
  *   #include "crispr.hpp"
- *   auto res = crispr::core::search(genome, guides, config);
+ *   crispr::core::SearchSession session(guides, config);
+ *   auto res = session.search(genome);       // compiled once, reusable
+ *   auto one = crispr::core::search(genome, guides, config); // one-shot
  * @endcode
  */
 
@@ -53,9 +55,13 @@
 
 // Public search API.
 #include "core/bulge.hpp"
+#include "core/chunked_scan.hpp"
+#include "core/engine.hpp"
+#include "core/engine_registry.hpp"
 #include "core/guide.hpp"
 #include "core/report.hpp"
 #include "core/score.hpp"
 #include "core/search.hpp"
+#include "core/session.hpp"
 
 #endif // CRISPR_CRISPR_HPP_

@@ -1,0 +1,35 @@
+#include "genome/chunking.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace crispr::genome {
+
+std::vector<ScanChunk>
+planScanChunks(size_t n, size_t chunk_size, size_t overlap)
+{
+    if (chunk_size <= overlap)
+        fatal("scan chunk size (%zu) must exceed the pattern overlap "
+              "(%zu)", chunk_size, overlap);
+    std::vector<ScanChunk> chunks;
+    for (size_t at = 0; at < n; at += chunk_size) {
+        ScanChunk c;
+        c.emitFrom = at;
+        c.leadFrom = at >= overlap ? at - overlap : 0;
+        c.end = std::min(n, at + chunk_size);
+        chunks.push_back(c);
+    }
+    return chunks;
+}
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace crispr::genome

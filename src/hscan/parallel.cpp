@@ -1,12 +1,11 @@
 #include "hscan/parallel.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <thread>
 #include <vector>
 
-#include "common/logging.hpp"
+#include "genome/chunking.hpp"
 
 namespace crispr::hscan {
 
@@ -21,20 +20,11 @@ parallelScan(const Database &db, const genome::Sequence &seq,
         max_len = std::max(max_len, spec.masks.size());
     const size_t overlap = max_len > 0 ? max_len - 1 : 0;
 
-    size_t chunk = options.chunkSize;
-    if (chunk <= overlap)
-        fatal("parallel chunk size must exceed the pattern length");
-
-    unsigned threads = options.threads;
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-
-    const size_t n = seq.size();
-    std::vector<std::pair<size_t, size_t>> work; // (emit_from, end)
-    for (size_t at = 0; at < n; at += chunk)
-        work.emplace_back(at, std::min(n, at + chunk));
-    if (work.empty())
+    const auto plan =
+        genome::planScanChunks(seq.size(), options.chunkSize, overlap);
+    if (plan.empty())
         return {};
+    const unsigned threads = genome::resolveThreads(options.threads);
 
     std::vector<ReportEvent> events;
     std::mutex events_mutex;
@@ -45,19 +35,17 @@ parallelScan(const Database &db, const genome::Sequence &seq,
         std::vector<ReportEvent> local;
         for (;;) {
             const size_t w = next.fetch_add(1);
-            if (w >= work.size())
+            if (w >= plan.size())
                 break;
-            auto [emit_from, end] = work[w];
-            const size_t lead =
-                emit_from >= overlap ? emit_from - overlap : 0;
+            const genome::ScanChunk &c = plan[w];
             scanner.reset();
             scanner.scan(
-                {seq.data() + lead, end - lead},
+                {seq.data() + c.leadFrom, c.end - c.leadFrom},
                 [&](uint32_t id, uint64_t at) {
-                    if (at >= emit_from)
+                    if (at >= c.emitFrom)
                         local.push_back(ReportEvent{id, at});
                 },
-                lead);
+                c.leadFrom);
         }
         std::lock_guard<std::mutex> lock(events_mutex);
         events.insert(events.end(), local.begin(), local.end());
@@ -65,7 +53,7 @@ parallelScan(const Database &db, const genome::Sequence &seq,
 
     std::vector<std::thread> pool;
     const unsigned spawn =
-        static_cast<unsigned>(std::min<size_t>(threads, work.size()));
+        static_cast<unsigned>(std::min<size_t>(threads, plan.size()));
     pool.reserve(spawn);
     for (unsigned t = 0; t < spawn; ++t)
         pool.emplace_back(worker);

@@ -116,6 +116,33 @@ TEST(EndToEnd, EveryEngineFindsThePlantedSites)
     }
 }
 
+TEST(EndToEnd, EveryEngineReportsDroppedEvents)
+{
+    // Every adapter publishes an events.dropped metric agreeing with
+    // the verifier; only the AP counter design (the documented tolerant
+    // exception) may drop anything.
+    core::Guide guide =
+        core::makeGuide("g0", "CTTGCAAGTACCTTGCAAGT");
+    genome::GenomeSpec gs;
+    gs.length = 20000;
+    gs.seed = 505;
+    genome::Sequence ref = genome::generateGenome(gs);
+
+    for (core::EngineKind kind : core::allEngines()) {
+        core::SearchConfig cfg;
+        cfg.maxMismatches = 2;
+        cfg.engine = kind;
+        core::SearchResult res = core::search(ref, {guide}, cfg);
+        ASSERT_EQ(res.run.metrics.count("events.dropped"), 1u)
+            << core::engineName(kind);
+        EXPECT_EQ(res.run.metrics.at("events.dropped"),
+                  static_cast<double>(res.droppedEvents))
+            << core::engineName(kind);
+        if (kind != core::EngineKind::ApCounter)
+            EXPECT_EQ(res.droppedEvents, 0u) << core::engineName(kind);
+    }
+}
+
 TEST(EndToEnd, ApEstimateInputBandwidthBound)
 {
     // With a slow host link the AP kernel is paced by input delivery,
