@@ -14,6 +14,7 @@
 #include "common/cli.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
+#include "core/engine_registry.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
 #include "genome/generator.hpp"
@@ -62,6 +63,19 @@ main(int argc, char **argv)
         if (cli.getBool("skip-slow") &&
             kind == core::EngineKind::Brute)
             continue;
+        // Probe the registry first: a platform missing from this build
+        // degrades to a "skipped" row instead of dying.
+        if (!core::EngineRegistry::instance().tryFind(kind)) {
+            table.row()
+                .add(core::engineName(kind))
+                .add("-")
+                .add("-")
+                .add("-")
+                .add("-")
+                .add("-")
+                .add("skipped: engine not registered");
+            continue;
+        }
         core::SearchConfig config;
         config.maxMismatches = static_cast<int>(cli.getInt("d"));
         config.engine = kind;
@@ -69,10 +83,8 @@ main(int argc, char **argv)
             static_cast<unsigned>(cli.getInt("threads"));
         config.params.fullSimSymbolLimit = 2ull << 20;
 
-        core::SearchResult res;
-        try {
-            res = session.search(genome_seq, config);
-        } catch (const FatalError &e) {
+        auto attempt = session.trySearch(genome_seq, config);
+        if (!attempt.ok()) {
             // e.g. the forced-DFA engine exceeding its state budget:
             // report the row and keep comparing the other platforms.
             table.row()
@@ -82,9 +94,10 @@ main(int argc, char **argv)
                 .add("-")
                 .add("-")
                 .add("-")
-                .add(std::string(e.what()).substr(0, 40));
+                .add(attempt.error().str().substr(0, 40));
             continue;
         }
+        core::SearchResult res = std::move(attempt).value();
         if (kind == core::EngineKind::Brute) {
             golden_hits = res.hits.size();
             have_golden = true;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the default preset, re-run everything
+# under ASan/UBSan, then run the fault-injection suite on its own so
+# recovery-path regressions are visible as a separate line item.
+#
+# Usage: scripts/ci.sh [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+    case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+for preset in default sanitize; do
+    run cmake --preset "$preset"
+    run cmake --build --preset "$preset" -j "$jobs"
+    run ctest --preset "$preset" -j "$jobs"
+done
+
+# The fault-injection label, by itself: `ctest -L fault` is the suite
+# that proves the process survives injected compile/scan/parse faults.
+run ctest --test-dir build -L fault --output-on-failure -j "$jobs"
+
+echo "==> ci: all green"

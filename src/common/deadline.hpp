@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cooperative deadline / cancellation token for the search pipeline. A
+ * Deadline is a cheap copyable handle over shared state: every copy
+ * observes the same time budget and the same cancel() call, so a server
+ * can hand one to SearchSession::trySearch and cancel it from another
+ * thread. Checks are cooperative — ChunkedScanner polls expired()
+ * between chunks and stops dispatching, reporting partial results with
+ * a `search.timed_out` metric (see DESIGN.md "Failure model").
+ *
+ * A default-constructed Deadline is unlimited and not cancellable
+ * (cancel() is a no-op): passing it costs nothing on the hot path.
+ */
+
+#ifndef CRISPR_COMMON_DEADLINE_HPP_
+#define CRISPR_COMMON_DEADLINE_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace crispr::common {
+
+/** Shared time-budget + cancellation handle. */
+class Deadline
+{
+  public:
+    /** Unlimited, not cancellable. */
+    Deadline() = default;
+
+    /** A deadline `seconds` from now (also cancellable). */
+    static Deadline
+    after(double seconds)
+    {
+        Deadline d;
+        d.state_ = std::make_shared<State>();
+        d.state_->hasDue = true;
+        d.state_->due =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds));
+        return d;
+    }
+
+    /** A cancellable token with no time budget. */
+    static Deadline
+    manual()
+    {
+        Deadline d;
+        d.state_ = std::make_shared<State>();
+        return d;
+    }
+
+    /** True when this handle carries a budget or a cancel token. */
+    bool limited() const { return state_ != nullptr; }
+
+    bool
+    cancelled() const
+    {
+        return state_ &&
+               state_->cancelled.load(std::memory_order_relaxed);
+    }
+
+    /** True when the time budget has passed (never for manual()). */
+    bool
+    timedOut() const
+    {
+        return state_ && state_->hasDue && Clock::now() >= state_->due;
+    }
+
+    /** Cancelled or past due: stop starting new work. */
+    bool expired() const { return cancelled() || timedOut(); }
+
+    /** Cancel every copy of this handle; no-op when not limited(). */
+    void
+    cancel() const
+    {
+        if (state_)
+            state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+
+    /** Seconds left (+inf when unlimited, 0 when expired). */
+    double
+    remainingSeconds() const
+    {
+        if (cancelled())
+            return 0.0;
+        if (!state_ || !state_->hasDue)
+            return std::numeric_limits<double>::infinity();
+        const double left =
+            std::chrono::duration<double>(state_->due - Clock::now())
+                .count();
+        return left > 0.0 ? left : 0.0;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct State
+    {
+        bool hasDue = false;
+        Clock::time_point due{};
+        std::atomic<bool> cancelled{false};
+    };
+
+    std::shared_ptr<State> state_;
+};
+
+} // namespace crispr::common
+
+#endif // CRISPR_COMMON_DEADLINE_HPP_

@@ -1,0 +1,56 @@
+#include "common/error.hpp"
+
+namespace crispr::common {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Ok:
+        return "ok";
+    case ErrorCode::InvalidArgument:
+        return "invalid_argument";
+    case ErrorCode::ParseError:
+        return "parse_error";
+    case ErrorCode::UnsupportedEngine:
+        return "unsupported_engine";
+    case ErrorCode::CompileFailed:
+        return "compile_failed";
+    case ErrorCode::ScanFailed:
+        return "scan_failed";
+    case ErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
+    case ErrorCode::Cancelled:
+        return "cancelled";
+    case ErrorCode::ResourceExhausted:
+        return "resource_exhausted";
+    case ErrorCode::FaultInjected:
+        return "fault_injected";
+    case ErrorCode::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Error::str() const
+{
+    std::string out = "[";
+    out += errorCodeName(code_);
+    out += "] ";
+    out += message_;
+    if (!context_.empty()) {
+        out += " (";
+        for (size_t i = 0; i < context_.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += context_[i].first;
+            out += '=';
+            out += context_[i].second;
+        }
+        out += ')';
+    }
+    return out;
+}
+
+} // namespace crispr::common

@@ -1,0 +1,238 @@
+#include "common/faultpoints.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+
+namespace crispr::common::faultpoints {
+
+namespace {
+
+struct Point
+{
+    Spec spec;
+    bool armed = false;
+    uint64_t visits = 0;
+    uint64_t failures = 0;
+    uint64_t rngState = 1;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, Point> points;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** >0 when any point is (or ever was) armed: the shouldFail fast path. */
+std::atomic<int> everArmed{0};
+
+/** xorshift64: deterministic per-point probability stream. */
+double
+nextUnit(uint64_t &state)
+{
+    uint64_t x = state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state = x;
+    return static_cast<double>(x >> 11) /
+           static_cast<double>(1ull << 53);
+}
+
+void
+armLocked(Registry &r, const std::string &name, const Spec &spec)
+{
+    Point &p = r.points[name];
+    p.spec = spec;
+    p.armed = true;
+    p.visits = 0;
+    p.failures = 0;
+    p.rngState = spec.seed ? spec.seed : 1;
+    everArmed.store(1, std::memory_order_relaxed);
+}
+
+/** Parse one "name=mode[:arg[:arg]]" entry; false when malformed. */
+bool
+parseEntry(const std::string &entry, std::string &name, Spec &spec)
+{
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    name = entry.substr(0, eq);
+    std::string mode = entry.substr(eq + 1);
+    std::string arg1, arg2;
+    if (auto c1 = mode.find(':'); c1 != std::string::npos) {
+        arg1 = mode.substr(c1 + 1);
+        mode.resize(c1);
+        if (auto c2 = arg1.find(':'); c2 != std::string::npos) {
+            arg2 = arg1.substr(c2 + 1);
+            arg1.resize(c2);
+        }
+    }
+    try {
+        if (mode == "once") {
+            spec = Spec{Mode::FailOnce, 1, 0.0, 1};
+        } else if (mode == "nth") {
+            spec = Spec{Mode::FailNth, std::stoull(arg1), 0.0, 1};
+        } else if (mode == "prob") {
+            spec = Spec{Mode::FailProb, 1, std::stod(arg1),
+                        arg2.empty() ? 1 : std::stoull(arg2)};
+        } else {
+            return false;
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+void
+armFromEnvOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char *env = std::getenv("CRISPR_FAULTPOINTS"))
+            armFromSpec(env);
+    });
+}
+
+} // namespace
+
+void
+arm(const std::string &name, const Spec &spec)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    armLocked(r, name, spec);
+}
+
+void
+armFailOnce(const std::string &name)
+{
+    arm(name, Spec{Mode::FailOnce, 1, 0.0, 1});
+}
+
+void
+armFailNth(const std::string &name, uint64_t nth)
+{
+    arm(name, Spec{Mode::FailNth, nth, 0.0, 1});
+}
+
+void
+armProbability(const std::string &name, double probability,
+               uint64_t seed)
+{
+    arm(name, Spec{Mode::FailProb, 1, probability, seed});
+}
+
+void
+disarm(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.points.find(name);
+    if (it != r.points.end())
+        it->second.armed = false;
+}
+
+void
+resetAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.points.clear();
+}
+
+bool
+shouldFail(const char *name)
+{
+    armFromEnvOnce();
+    if (everArmed.load(std::memory_order_relaxed) == 0)
+        return false;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.points.find(name);
+    if (it == r.points.end() || !it->second.armed)
+        return false;
+    Point &p = it->second;
+    ++p.visits;
+    bool fail = false;
+    switch (p.spec.mode) {
+    case Mode::FailOnce:
+        fail = true;
+        p.armed = false;
+        break;
+    case Mode::FailNth:
+        fail = p.visits == p.spec.nth;
+        break;
+    case Mode::FailProb:
+        fail = nextUnit(p.rngState) < p.spec.probability;
+        break;
+    }
+    if (fail)
+        ++p.failures;
+    return fail;
+}
+
+uint64_t
+visits(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.points.find(name);
+    return it == r.points.end() ? 0 : it->second.visits;
+}
+
+uint64_t
+failures(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.points.find(name);
+    return it == r.points.end() ? 0 : it->second.failures;
+}
+
+size_t
+armFromSpec(const std::string &spec)
+{
+    size_t armed = 0;
+    size_t from = 0;
+    while (from <= spec.size()) {
+        size_t to = spec.find_first_of(";,", from);
+        if (to == std::string::npos)
+            to = spec.size();
+        const std::string entry = spec.substr(from, to - from);
+        from = to + 1;
+        if (entry.empty())
+            continue;
+        std::string name;
+        Spec parsed;
+        if (!parseEntry(entry, name, parsed)) {
+            warn("faultpoints: ignoring malformed entry '%s'",
+                 entry.c_str());
+            continue;
+        }
+        arm(name, parsed);
+        ++armed;
+    }
+    return armed;
+}
+
+size_t
+armFromEnv()
+{
+    const char *env = std::getenv("CRISPR_FAULTPOINTS");
+    return env ? armFromSpec(env) : 0;
+}
+
+} // namespace crispr::common::faultpoints

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Named fault points: deterministic fault injection for the recovery
+ * paths. The scan/compile/parse pipeline calls shouldFail("name") at
+ * its failure seams; tests (or an operator, via the environment) arm a
+ * point to fire once, on the nth visit, or probabilistically, and the
+ * pipeline's typed-error / fallback / retry machinery is driven for
+ * real instead of being mocked.
+ *
+ * Compiled-in fault points (see DESIGN.md "Failure model"):
+ *   session.compile  pattern compilation inside SearchSession
+ *   engine.scan      a whole-genome engine scan inside SearchSession
+ *   chunk.scan       one chunk scan inside ChunkedScanner (retryable)
+ *   fasta.record     a FASTA record header in FastaStreamReader
+ *
+ * Environment arming (read once, lazily):
+ *   CRISPR_FAULTPOINTS="chunk.scan=nth:3;fasta.record=prob:0.01:42"
+ * with modes `once`, `nth:<n>` (1-based, fires on that visit only) and
+ * `prob:<p>[:<seed>]` (deterministic xorshift stream per point).
+ *
+ * When nothing is armed, shouldFail() is one relaxed atomic load.
+ */
+
+#ifndef CRISPR_COMMON_FAULTPOINTS_HPP_
+#define CRISPR_COMMON_FAULTPOINTS_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace crispr::common::faultpoints {
+
+/** When an armed point fires. */
+enum class Mode : uint8_t
+{
+    FailOnce, //!< first visit after arming, then auto-disarm
+    FailNth,  //!< the nth visit (1-based) only
+    FailProb, //!< each visit independently with probability p
+};
+
+/** Arming spec for one fault point. */
+struct Spec
+{
+    Mode mode = Mode::FailOnce;
+    uint64_t nth = 1;         //!< FailNth: visit that fails
+    double probability = 0.0; //!< FailProb: per-visit failure chance
+    uint64_t seed = 1;        //!< FailProb: rng seed (deterministic)
+};
+
+/** Arm (or re-arm) a fault point; resets its counters. */
+void arm(const std::string &name, const Spec &spec);
+
+/** Convenience arming helpers. */
+void armFailOnce(const std::string &name);
+void armFailNth(const std::string &name, uint64_t nth);
+void armProbability(const std::string &name, double probability,
+                    uint64_t seed = 1);
+
+/** Disarm one point (its counters remain readable). */
+void disarm(const std::string &name);
+
+/** Disarm everything and drop all counters (test teardown). */
+void resetAll();
+
+/**
+ * The pipeline-side check: true when the armed spec says this visit
+ * fails. Counts visits/failures; a no-op returning false (one relaxed
+ * atomic load) when nothing was ever armed.
+ */
+bool shouldFail(const char *name);
+
+/** Visits of a point since it was (re-)armed. */
+uint64_t visits(const std::string &name);
+
+/** Failures a point has injected since it was (re-)armed. */
+uint64_t failures(const std::string &name);
+
+/**
+ * Arm points from a spec string ("a=once;b=nth:3;c=prob:0.5:7");
+ * malformed entries are warn()ed and skipped. @return points armed.
+ */
+size_t armFromSpec(const std::string &spec);
+
+/** Arm from $CRISPR_FAULTPOINTS (also done lazily by shouldFail). */
+size_t armFromEnv();
+
+} // namespace crispr::common::faultpoints
+
+#endif // CRISPR_COMMON_FAULTPOINTS_HPP_

@@ -1,11 +1,12 @@
 #include "core/chunked_scan.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <thread>
 
+#include "common/faultpoints.hpp"
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
 #include "genome/chunking.hpp"
@@ -13,6 +14,70 @@
 namespace crispr::core {
 
 using automata::ReportEvent;
+using common::Error;
+using common::ErrorCode;
+
+namespace {
+
+/** Translate an in-flight exception into a typed scan error. */
+Error
+scanError(std::exception_ptr ep, const char *engine_name)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const common::ErrorException &e) {
+        return e.error();
+    } catch (const FatalError &e) {
+        return Error(ErrorCode::ScanFailed, e.what())
+            .withContext("engine", engine_name);
+    }
+    // PanicError and friends are library bugs: let them propagate.
+}
+
+void
+backoffSleep(unsigned attempt, const ChunkedScanOptions &options)
+{
+    double seconds = options.retryBackoffSeconds;
+    for (unsigned i = 0; i < attempt; ++i)
+        seconds *= 2.0;
+    seconds = std::min(seconds, options.retryBackoffCapSeconds);
+    if (seconds > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+}
+
+} // namespace
+
+common::Status
+ChunkedScanner::validate(
+    const Engine &engine,
+    const std::shared_ptr<const CompiledPattern> &compiled,
+    const ChunkedScanOptions &options)
+{
+    if (!engine.supportsChunkedScan())
+        return Error(ErrorCode::UnsupportedEngine,
+                     strprintf("engine %s does not support chunked "
+                               "scanning (device-model engines need "
+                               "the whole stream)",
+                               engine.name()))
+            .withContext("engine", engine.name());
+    if (!compiled || compiled->kind != engine.kind())
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("ChunkedScanner needs a pattern "
+                               "compiled for engine %s",
+                               engine.name()))
+            .withContext("engine", engine.name());
+    size_t max_len = 0;
+    for (const Pattern &p : compiled->set->patterns)
+        max_len = std::max(max_len, p.spec.masks.size());
+    const size_t overlap = max_len > 0 ? max_len - 1 : 0;
+    if (options.chunkSize <= overlap)
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("scan chunk size (%zu) must exceed the "
+                               "pattern length",
+                               options.chunkSize));
+    return {};
+}
 
 ChunkedScanner::ChunkedScanner(
     const Engine &engine,
@@ -20,33 +85,41 @@ ChunkedScanner::ChunkedScanner(
     const ChunkedScanOptions &options)
     : engine_(engine), compiled_(std::move(compiled)), options_(options)
 {
-    if (!engine_.supportsChunkedScan())
-        fatal("engine %s does not support chunked scanning "
-              "(device-model engines need the whole stream)",
-              engine_.name());
-    if (!compiled_ || compiled_->kind != engine_.kind())
-        fatal("ChunkedScanner needs a pattern compiled for engine %s",
-              engine_.name());
+    validate(engine_, compiled_, options_).throwIfError();
     size_t max_len = 0;
     for (const Pattern &p : compiled_->set->patterns)
         max_len = std::max(max_len, p.spec.masks.size());
     overlap_ = max_len > 0 ? max_len - 1 : 0;
-    if (options_.chunkSize <= overlap_)
-        fatal("scan chunk size (%zu) must exceed the pattern length",
-              options_.chunkSize);
 }
 
 std::vector<ReportEvent>
 ChunkedScanner::scanChunkLocal(std::span<const uint8_t> window,
-                               size_t emit_offset) const
+                               size_t emit_offset,
+                               std::atomic<uint64_t> &retries) const
 {
-    EngineRun run = engine_.scan(*compiled_, SequenceView(window));
-    std::vector<ReportEvent> kept;
-    kept.reserve(run.events.size());
-    for (const ReportEvent &ev : run.events)
-        if (ev.end >= emit_offset)
-            kept.push_back(ev);
-    return kept;
+    for (unsigned attempt = 0;; ++attempt) {
+        try {
+            if (common::faultpoints::shouldFail("chunk.scan"))
+                throw common::ErrorException(
+                    Error(ErrorCode::FaultInjected,
+                          "injected chunk.scan fault")
+                        .withContext("engine", engine_.name()));
+            EngineRun run =
+                engine_.scan(*compiled_, SequenceView(window));
+            std::vector<ReportEvent> kept;
+            kept.reserve(run.events.size());
+            for (const ReportEvent &ev : run.events)
+                if (ev.end >= emit_offset)
+                    kept.push_back(ev);
+            return kept;
+        } catch (const FatalError &) {
+            // Transient per-chunk failure: retry within the budget.
+            if (attempt >= options_.scanRetries)
+                throw;
+            retries.fetch_add(1, std::memory_order_relaxed);
+            backoffSleep(attempt, options_);
+        }
+    }
 }
 
 EngineRun
@@ -69,8 +142,8 @@ ChunkedScanner::makeRun(std::vector<ReportEvent> events, size_t chunks,
     return run;
 }
 
-EngineRun
-ChunkedScanner::scan(const genome::Sequence &seq) const
+common::Expected<EngineRun>
+ChunkedScanner::tryScan(const genome::Sequence &seq) const
 {
     Stopwatch timer;
     const auto plan = genome::planScanChunks(
@@ -80,21 +153,42 @@ ChunkedScanner::scan(const genome::Sequence &seq) const
     std::vector<ReportEvent> events;
     std::mutex events_mutex;
     std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<bool> expired{false};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
 
     auto worker = [&] {
         std::vector<ReportEvent> local;
         for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                break;
+            if (options_.deadline.expired()) {
+                expired.store(true, std::memory_order_relaxed);
+                break;
+            }
             const size_t w = next.fetch_add(1);
             if (w >= plan.size())
                 break;
             const genome::ScanChunk &c = plan[w];
-            auto kept = scanChunkLocal(
-                std::span<const uint8_t>(seq.data() + c.leadFrom,
-                                         c.end - c.leadFrom),
-                c.emitFrom - c.leadFrom);
-            for (const ReportEvent &ev : kept)
-                local.push_back(ReportEvent{ev.reportId,
-                                            ev.end + c.leadFrom});
+            try {
+                auto kept = scanChunkLocal(
+                    std::span<const uint8_t>(seq.data() + c.leadFrom,
+                                             c.end - c.leadFrom),
+                    c.emitFrom - c.leadFrom, retries);
+                for (const ReportEvent &ev : kept)
+                    local.push_back(ReportEvent{ev.reportId,
+                                                ev.end + c.leadFrom});
+                done.fetch_add(1, std::memory_order_relaxed);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                break;
+            }
         }
         std::lock_guard<std::mutex> lock(events_mutex);
         events.insert(events.end(), local.begin(), local.end());
@@ -112,13 +206,27 @@ ChunkedScanner::scan(const genome::Sequence &seq) const
         for (auto &t : pool)
             t.join();
     }
-    return makeRun(std::move(events), plan.size(), threads,
-                   timer.seconds());
+    if (first_error)
+        return scanError(first_error, engine_.name());
+
+    EngineRun run = makeRun(std::move(events), plan.size(), threads,
+                            timer.seconds());
+    const size_t scanned = done.load();
+    run.metrics["scan.chunks_skipped"] =
+        static_cast<double>(plan.size() - scanned);
+    run.metrics["scan.retries"] = static_cast<double>(retries.load());
+    // A scan that stopped early distinguishes why: cancellation is not
+    // a timeout (a Deadline can be both manual and timed).
+    run.metrics["search.timed_out"] =
+        expired.load() && options_.deadline.timedOut() ? 1.0 : 0.0;
+    run.metrics["search.cancelled"] =
+        expired.load() && options_.deadline.cancelled() ? 1.0 : 0.0;
+    return run;
 }
 
-EngineRun
-ChunkedScanner::scanStream(genome::FastaStreamReader &reader,
-                           const ChunkObserver &observer) const
+common::Expected<EngineRun>
+ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
+                              const ChunkObserver &observer) const
 {
     Stopwatch timer;
     const unsigned threads = genome::resolveThreads(options_.threads);
@@ -131,12 +239,24 @@ ChunkedScanner::scanStream(genome::FastaStreamReader &reader,
     };
     std::deque<Pending> in_flight;
     std::vector<ReportEvent> events;
+    std::atomic<uint64_t> retries{0};
     size_t chunks = 0;
+    bool expired = false;
+    bool failed = false;
+    Error error;
 
     auto drain_one = [&] {
         Pending p = std::move(in_flight.front());
         in_flight.pop_front();
-        std::vector<ReportEvent> local = p.events.get();
+        std::vector<ReportEvent> local;
+        try {
+            local = p.events.get();
+        } catch (...) {
+            error = scanError(std::current_exception(),
+                              engine_.name());
+            failed = true;
+            return;
+        }
         if (observer)
             observer(ChunkScanView{*p.buffer, p.bufferStart, local});
         for (const ReportEvent &ev : local)
@@ -147,7 +267,19 @@ ChunkedScanner::scanStream(genome::FastaStreamReader &reader,
     std::vector<uint8_t> carry;
     std::vector<uint8_t> incoming;
     uint64_t offset = 0; // global offset of the next decoded code
-    while (reader.next(options_.chunkSize, incoming)) {
+    while (!failed) {
+        if (options_.deadline.expired()) {
+            expired = true;
+            break;
+        }
+        auto more = reader.tryNext(options_.chunkSize, incoming);
+        if (!more.ok()) {
+            error = more.error();
+            failed = true;
+            break;
+        }
+        if (!more.value())
+            break;
         auto buffer = std::make_shared<genome::Sequence>();
         {
             std::vector<uint8_t> codes;
@@ -166,11 +298,11 @@ ChunkedScanner::scanStream(genome::FastaStreamReader &reader,
         carry.assign(buffer->data() + (buffer->size() - keep),
                      buffer->data() + buffer->size());
 
-        auto task = [this, buffer, emit_offset] {
+        auto task = [this, buffer, emit_offset, &retries] {
             return scanChunkLocal(
                 std::span<const uint8_t>(buffer->data(),
                                          buffer->size()),
-                emit_offset);
+                emit_offset, retries);
         };
         in_flight.push_back(Pending{
             buffer, buffer_start,
@@ -178,13 +310,38 @@ ChunkedScanner::scanStream(genome::FastaStreamReader &reader,
                 ? std::async(std::launch::deferred, task)
                 : std::async(std::launch::async, task)});
         ++chunks;
-        while (in_flight.size() >= std::max(1u, threads))
+        while (!failed && in_flight.size() >= std::max(1u, threads))
             drain_one();
     }
-    while (!in_flight.empty())
+    while (!failed && !in_flight.empty())
         drain_one();
+    // Join any scans still in flight after a failure before the
+    // capturing lambdas go out of scope (future dtors block).
+    in_flight.clear();
+    if (failed)
+        return error;
 
-    return makeRun(std::move(events), chunks, threads, timer.seconds());
+    EngineRun run =
+        makeRun(std::move(events), chunks, threads, timer.seconds());
+    run.metrics["scan.retries"] = static_cast<double>(retries.load());
+    run.metrics["search.timed_out"] =
+        expired && options_.deadline.timedOut() ? 1.0 : 0.0;
+    run.metrics["search.cancelled"] =
+        expired && options_.deadline.cancelled() ? 1.0 : 0.0;
+    return run;
+}
+
+EngineRun
+ChunkedScanner::scan(const genome::Sequence &seq) const
+{
+    return tryScan(seq).valueOrThrow();
+}
+
+EngineRun
+ChunkedScanner::scanStream(genome::FastaStreamReader &reader,
+                           const ChunkObserver &observer) const
+{
+    return tryScanStream(reader, observer).valueOrThrow();
 }
 
 } // namespace crispr::core

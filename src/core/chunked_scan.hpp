@@ -9,14 +9,25 @@
  * so results are bit-identical to a single whole-genome scan (tested
  * for every CPU engine). This generalises the former HScan-only
  * hscan::parallelScan to the whole registry.
+ *
+ * Fault tolerance (see DESIGN.md "Failure model"): the per-chunk
+ * granularity is also the recovery granularity. A Deadline in the
+ * options is polled before each chunk is dispatched, so an expired or
+ * cancelled scan stops early and returns the partial events with
+ * `search.timed_out` = 1; transient chunk failures are retried with
+ * capped exponential backoff (`scan.retries` metric); and the `try*`
+ * entry points return typed errors instead of throwing.
  */
 
 #ifndef CRISPR_CORE_CHUNKED_SCAN_HPP_
 #define CRISPR_CORE_CHUNKED_SCAN_HPP_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
+#include "common/deadline.hpp"
+#include "common/error.hpp"
 #include "core/engine.hpp"
 #include "genome/fasta_stream.hpp"
 
@@ -29,6 +40,13 @@ struct ChunkedScanOptions
     size_t chunkSize = 4 << 20;
     /** Worker threads; 1 = serial, 0 = hardware_concurrency. */
     unsigned threads = 1;
+    /** Cooperative deadline, polled before each chunk dispatch. */
+    common::Deadline deadline;
+    /** Per-chunk retries for transient scan failures; 0 = fail fast. */
+    unsigned scanRetries = 0;
+    /** First retry backoff; doubled per attempt up to the cap. */
+    double retryBackoffSeconds = 0.001;
+    double retryBackoffCapSeconds = 0.050;
 };
 
 /**
@@ -52,7 +70,19 @@ class ChunkedScanner
 {
   public:
     /**
-     * @param engine a chunk-capable adapter (fatal otherwise);
+     * Whether the (engine, compiled, options) triple can be chunk
+     * scanned: the engine must be chunk-capable, the pattern compiled
+     * for it, and the chunk size larger than the pattern length.
+     * Callers on the request path check this before constructing.
+     */
+    static common::Status
+    validate(const Engine &engine,
+             const std::shared_ptr<const CompiledPattern> &compiled,
+             const ChunkedScanOptions &options);
+
+    /**
+     * @param engine a chunk-capable adapter (ErrorException — a
+     * FatalError — when validate() would fail);
      * @param compiled its compiled pattern, shared across chunks.
      */
     ChunkedScanner(const Engine &engine,
@@ -62,16 +92,28 @@ class ChunkedScanner
     /**
      * Scan an in-memory genome chunk-by-chunk across the thread pool.
      * Events are global-coordinate, normalised, and bit-identical to
-     * engine.scan() over the whole sequence.
+     * engine.scan() over the whole sequence — unless the deadline
+     * expires, in which case the run carries the partial events with
+     * `search.timed_out` = 1 and `scan.chunks_skipped` > 0. A chunk
+     * that still fails after the retry budget returns ScanFailed.
      */
-    EngineRun scan(const genome::Sequence &seq) const;
+    common::Expected<EngineRun>
+    tryScan(const genome::Sequence &seq) const;
 
     /**
      * Scan a FASTA stream without materialising the reference: chunks
      * are decoded, scanned (overlapping scans run on the thread pool),
      * and discarded. `observer`, when set, sees every chunk with its
      * events in stream order while the chunk is still resident.
+     * Parse failures surface as ParseError; a scan that fails after
+     * retries as ScanFailed (the stream is part-consumed either way).
      */
+    common::Expected<EngineRun>
+    tryScanStream(genome::FastaStreamReader &reader,
+                  const ChunkObserver &observer = {}) const;
+
+    /** Throwing wrappers over tryScan / tryScanStream. */
+    EngineRun scan(const genome::Sequence &seq) const;
     EngineRun scanStream(genome::FastaStreamReader &reader,
                          const ChunkObserver &observer = {}) const;
 
@@ -80,8 +122,8 @@ class ChunkedScanner
 
   private:
     std::vector<automata::ReportEvent>
-    scanChunkLocal(std::span<const uint8_t> window,
-                   size_t emit_offset) const;
+    scanChunkLocal(std::span<const uint8_t> window, size_t emit_offset,
+                   std::atomic<uint64_t> &retries) const;
     EngineRun makeRun(std::vector<automata::ReportEvent> events,
                       size_t chunks, unsigned threads,
                       double wall_seconds) const;

@@ -77,23 +77,30 @@ PatternSet::forwardSpec(uint32_t pattern_id) const
     return spec;
 }
 
-PatternSet
-buildPatternSet(const std::vector<Guide> &guides, const PamSpec &pam,
-                int max_mismatches, bool both_strands,
-                Orientation orientation)
+common::Expected<PatternSet>
+tryBuildPatternSet(const std::vector<Guide> &guides, const PamSpec &pam,
+                   int max_mismatches, bool both_strands,
+                   Orientation orientation)
 {
+    using common::Error;
+    using common::ErrorCode;
     if (guides.empty())
-        fatal("no guides given");
+        return Error(ErrorCode::InvalidArgument, "no guides given");
     if (max_mismatches < 0)
-        fatal("negative mismatch budget");
+        return Error(ErrorCode::InvalidArgument,
+                     "negative mismatch budget");
     const size_t glen = guides.front().protospacer.size();
     for (const Guide &g : guides) {
         if (g.protospacer.size() != glen)
-            fatal("all guides must share one length (got %zu and %zu)",
-                  glen, g.protospacer.size());
+            return Error(ErrorCode::InvalidArgument,
+                         strprintf("all guides must share one length "
+                                   "(got %zu and %zu)",
+                                   glen, g.protospacer.size()))
+                .withContext("guide", g.name);
     }
     if (static_cast<size_t>(max_mismatches) > glen)
-        fatal("mismatch budget exceeds the guide length");
+        return Error(ErrorCode::InvalidArgument,
+                     "mismatch budget exceeds the guide length");
 
     PatternSet set;
     set.guideLength = glen;
@@ -143,6 +150,16 @@ buildPatternSet(const std::vector<Guide> &guides, const PamSpec &pam,
         }
     }
     return set;
+}
+
+PatternSet
+buildPatternSet(const std::vector<Guide> &guides, const PamSpec &pam,
+                int max_mismatches, bool both_strands,
+                Orientation orientation)
+{
+    return tryBuildPatternSet(guides, pam, max_mismatches, both_strands,
+                              orientation)
+        .valueOrThrow();
 }
 
 } // namespace crispr::core

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "automata/builders.hpp"
+#include "common/error.hpp"
 #include "core/guide.hpp"
 
 namespace crispr::core {
@@ -84,7 +85,15 @@ struct PatternSet
 /**
  * Compile guides x strands into a pattern set. All guides must share
  * one length. @param both_strands include reverse-strand patterns.
+ * @return InvalidArgument for an empty guide set, mixed guide lengths,
+ * or a mismatch budget outside [0, guide length].
  */
+common::Expected<PatternSet>
+tryBuildPatternSet(const std::vector<Guide> &guides, const PamSpec &pam,
+                   int max_mismatches, bool both_strands,
+                   Orientation orientation = Orientation::SiteOrder);
+
+/** Throwing wrapper over tryBuildPatternSet (ErrorException). */
 PatternSet buildPatternSet(const std::vector<Guide> &guides,
                            const PamSpec &pam, int max_mismatches,
                            bool both_strands,

@@ -50,4 +50,44 @@ Engine::scan(const CompiledPattern &compiled, const SequenceView &view) const
     return run;
 }
 
+common::Expected<CompiledPattern>
+Engine::tryCompile(const PatternSet &set,
+                   const EngineParams &params) const
+{
+    using common::Error;
+    using common::ErrorCode;
+    if (set.orientation != requiredOrientation()) {
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("engine %s requires a %s pattern set",
+                               name(),
+                               requiredOrientation() ==
+                                       Orientation::PamFirst
+                                   ? "PamFirst"
+                                   : "SiteOrder"))
+            .withContext("engine", name());
+    }
+    try {
+        return compile(set, params);
+    } catch (const common::ErrorException &e) {
+        return e.error();
+    } catch (const FatalError &e) {
+        return Error(ErrorCode::CompileFailed, e.what())
+            .withContext("engine", name());
+    }
+}
+
+common::Expected<EngineRun>
+Engine::tryScan(const CompiledPattern &compiled,
+                const SequenceView &view) const
+{
+    try {
+        return scan(compiled, view);
+    } catch (const common::ErrorException &e) {
+        return e.error();
+    } catch (const FatalError &e) {
+        return common::Error(common::ErrorCode::ScanFailed, e.what())
+            .withContext("engine", name());
+    }
+}
+
 } // namespace crispr::core

@@ -20,6 +20,7 @@
 
 #include <memory>
 
+#include "common/error.hpp"
 #include "core/engines.hpp"
 
 namespace crispr::core {
@@ -129,6 +130,21 @@ class Engine
      */
     EngineRun scan(const CompiledPattern &compiled,
                    const SequenceView &view) const;
+
+    /**
+     * Non-throwing compile: an orientation mismatch returns
+     * InvalidArgument and an adapter failure (DFA state budget, device
+     * capacity, ...) returns CompileFailed, both tagged with the
+     * engine name. The seam SearchSession's fallback chain pivots on.
+     */
+    common::Expected<CompiledPattern>
+    tryCompile(const PatternSet &set,
+               const EngineParams &params = {}) const;
+
+    /** Non-throwing scan: adapter failures return ScanFailed. */
+    common::Expected<EngineRun>
+    tryScan(const CompiledPattern &compiled,
+            const SequenceView &view) const;
 
   protected:
     /** Build the engine-specific compiled artifact. */

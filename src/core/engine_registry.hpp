@@ -46,6 +46,14 @@ class EngineRegistry
     /** The adapter for a kind, or nullptr. */
     const Engine *find(EngineKind kind) const;
 
+    /**
+     * Probing alias of find(): the name callers should use when an
+     * unregistered engine is an expected, recoverable condition (a
+     * platform sweep, a fallback chain) rather than a config error —
+     * degrade to a skipped row / the next engine instead of dying.
+     */
+    const Engine *tryFind(EngineKind kind) const { return find(kind); }
+
     /** The adapter with the given printable name, or nullptr. */
     const Engine *findByName(std::string_view name) const;
 

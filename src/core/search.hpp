@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "core/engines.hpp"
 #include "core/offtarget.hpp"
 
@@ -47,6 +48,36 @@ struct SearchConfig
 
     /** Emit-zone size per chunk when scanning chunked or streamed. */
     size_t chunkSize = 4 << 20;
+
+    /**
+     * Engines tried in order when `engine` fails to compile or scan
+     * (the paper's cross-platform degradation: AP down -> same workload
+     * on FPGA/GPU/CPU). Failures are counted per engine and the run's
+     * `session.fallbacks` metric records how many engines failed before
+     * the one that served. Duplicates of `engine` are ignored.
+     */
+    std::vector<EngineKind> fallbacks;
+
+    /**
+     * Cooperative deadline / cancel token: checked between chunks (and
+     * before an unchunkable whole-genome scan starts), so an expired or
+     * cancelled search stops early and reports the partial results with
+     * `search.timed_out` = 1. Default: unlimited.
+     */
+    common::Deadline deadline;
+
+    /**
+     * Per-chunk retries for transient scan failures (exponential
+     * backoff from retryBackoffSeconds, capped). 0 = fail fast.
+     */
+    unsigned scanRetries = 0;
+    double retryBackoffSeconds = 0.001;
+
+    /**
+     * Streamed-FASTA leniency: skip malformed records (counted in the
+     * `parse.records_dropped` metric) instead of failing the search.
+     */
+    bool lenientFasta = false;
 };
 
 /** Search result: verified hits plus the raw engine run. */
@@ -56,6 +87,8 @@ struct SearchResult
     PatternSet patterns;
     EngineRun run;
     size_t droppedEvents = 0; //!< unverifiable events (AP counter design)
+    /** Deadline expired mid-scan: `hits` is a partial prefix. */
+    bool timedOut = false;
 };
 
 /**

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/faultpoints.hpp"
 #include "common/logging.hpp"
 #include "core/engine_registry.hpp"
 #include "genome/fasta_stream.hpp"
 
 namespace crispr::core {
+
+using common::Error;
+using common::ErrorCode;
 
 namespace {
 
@@ -30,6 +34,18 @@ effectiveThreads(const SearchConfig &config)
     default:
         return 1;
     }
+}
+
+std::string
+joinEngineNames(const std::vector<EngineKind> &kinds)
+{
+    std::string out;
+    for (EngineKind kind : kinds) {
+        if (!out.empty())
+            out += ',';
+        out += engineName(kind);
+    }
+    return out;
 }
 
 } // namespace
@@ -57,7 +73,29 @@ SearchSession::cacheKey(const SearchConfig &config,
     return key.str();
 }
 
-std::shared_ptr<const CompiledPattern>
+std::vector<EngineKind>
+SearchSession::engineChain(const SearchConfig &config) const
+{
+    std::vector<EngineKind> chain{config.engine};
+    for (EngineKind kind : config.fallbacks)
+        if (std::find(chain.begin(), chain.end(), kind) == chain.end())
+            chain.push_back(kind);
+    return chain;
+}
+
+ChunkedScanOptions
+SearchSession::chunkOptions(const SearchConfig &config) const
+{
+    ChunkedScanOptions opts;
+    opts.chunkSize = config.chunkSize;
+    opts.threads = effectiveThreads(config);
+    opts.deadline = config.deadline;
+    opts.scanRetries = config.scanRetries;
+    opts.retryBackoffSeconds = config.retryBackoffSeconds;
+    return opts;
+}
+
+common::Expected<std::shared_ptr<const CompiledPattern>>
 SearchSession::compiledFor(const SearchConfig &config,
                            const Engine &engine)
 {
@@ -70,17 +108,34 @@ SearchSession::compiledFor(const SearchConfig &config,
             return cache_.front().second;
         }
     }
-    PatternSet set =
-        buildPatternSet(guides_, config.pam, config.maxMismatches,
-                        config.bothStrands,
-                        engine.requiredOrientation());
+    if (common::faultpoints::shouldFail("session.compile"))
+        return Error(ErrorCode::FaultInjected,
+                     "injected session.compile fault")
+            .withContext("engine", engine.name());
+    auto set =
+        tryBuildPatternSet(guides_, config.pam, config.maxMismatches,
+                           config.bothStrands,
+                           engine.requiredOrientation());
+    if (!set.ok())
+        return set.error();
+    auto built = engine.tryCompile(std::move(set).value(),
+                                   config.params);
+    if (!built.ok())
+        return built.error();
     auto compiled = std::make_shared<const CompiledPattern>(
-        engine.compile(set, config.params));
+        std::move(built).value());
     ++compiles_;
     cache_.emplace_front(key, compiled);
     while (cache_.size() > capacity_)
         cache_.pop_back();
     return compiled;
+}
+
+void
+SearchSession::recordEngineFailure(const char *name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failures_[name];
 }
 
 void
@@ -90,44 +145,231 @@ SearchSession::annotate(EngineRun &run) const
     run.metrics["session.compiles"] = static_cast<double>(compiles_);
     run.metrics["session.cache_hits"] =
         static_cast<double>(cacheHits_);
+    for (const auto &[name, count] : failures_)
+        run.metrics["session.failures." + name] =
+            static_cast<double>(count);
 }
 
-SearchResult
-SearchSession::search(const genome::Sequence &genome)
+common::Expected<EngineRun>
+SearchSession::scanWith(
+    const Engine &engine,
+    const std::shared_ptr<const CompiledPattern> &compiled,
+    const genome::Sequence &genome_seq,
+    const SearchConfig &config) const
 {
-    return search(genome, config_);
-}
-
-SearchResult
-SearchSession::search(const genome::Sequence &genome,
-                      const SearchConfig &config)
-{
-    const Engine &engine =
-        EngineRegistry::instance().engine(config.engine);
-    std::shared_ptr<const CompiledPattern> compiled =
-        compiledFor(config, engine);
-
-    SearchResult result;
-    result.patterns = *compiled->set;
+    if (common::faultpoints::shouldFail("engine.scan"))
+        return Error(ErrorCode::FaultInjected,
+                     "injected engine.scan fault")
+            .withContext("engine", engine.name());
 
     const unsigned threads = effectiveThreads(config);
-    if (threads != 1 && engine.supportsChunkedScan()) {
-        ChunkedScanOptions opts;
-        opts.chunkSize = config.chunkSize;
-        opts.threads = threads;
-        result.run = ChunkedScanner(engine, compiled, opts).scan(genome);
-    } else {
-        result.run = engine.scan(*compiled, SequenceView(genome));
+    // A deadline or retry budget routes chunk-capable engines through
+    // the chunked pipeline even when serial, for per-chunk checks.
+    const bool chunked =
+        engine.supportsChunkedScan() &&
+        (threads != 1 || config.deadline.limited() ||
+         config.scanRetries > 0);
+    if (chunked) {
+        const ChunkedScanOptions opts = chunkOptions(config);
+        if (auto st = ChunkedScanner::validate(engine, compiled, opts);
+            !st.ok())
+            return st.error();
+        return ChunkedScanner(engine, compiled, opts)
+            .tryScan(genome_seq);
     }
+    if (config.deadline.expired()) {
+        // Unchunkable engines cannot stop mid-scan; the cooperative
+        // check degrades to never starting an already-expired scan.
+        EngineRun run;
+        run.kind = engine.kind();
+        run.timing.compileSeconds = compiled->compileSeconds;
+        run.metrics = compiled->metrics;
+        run.metrics["events"] = 0.0;
+        run.metrics.emplace("events.dropped", 0.0);
+        run.metrics["search.timed_out"] =
+            config.deadline.timedOut() ? 1.0 : 0.0;
+        run.metrics["search.cancelled"] =
+            config.deadline.cancelled() ? 1.0 : 0.0;
+        run.notes = "deadline expired before scan";
+        return run;
+    }
+    return engine.tryScan(*compiled, SequenceView(genome_seq));
+}
 
-    const bool tolerant = config.engine == EngineKind::ApCounter;
-    result.hits = hitsFromEvents(genome, result.patterns,
-                                 result.run.events, tolerant,
-                                 &result.droppedEvents);
-    result.run.metrics["events.dropped"] =
-        static_cast<double>(result.droppedEvents);
-    annotate(result.run);
-    return result;
+common::Expected<SearchResult>
+SearchSession::trySearch(const genome::Sequence &genome_seq)
+{
+    return trySearch(genome_seq, config_);
+}
+
+common::Expected<SearchResult>
+SearchSession::trySearch(const genome::Sequence &genome_seq,
+                         const SearchConfig &config)
+{
+    const std::vector<EngineKind> chain = engineChain(config);
+    Error last(ErrorCode::Internal, "no engine attempted");
+    size_t failed_engines = 0;
+
+    for (EngineKind kind : chain) {
+        const Engine *engine =
+            EngineRegistry::instance().tryFind(kind);
+        if (!engine) {
+            last = Error(ErrorCode::UnsupportedEngine,
+                         strprintf("no engine registered for %s",
+                                   engineName(kind)));
+            recordEngineFailure(engineName(kind));
+            ++failed_engines;
+            continue;
+        }
+        auto compiled = compiledFor(config, *engine);
+        if (!compiled.ok()) {
+            last = compiled.error();
+            recordEngineFailure(engine->name());
+            ++failed_engines;
+            continue;
+        }
+        auto run = scanWith(*engine, compiled.value(), genome_seq,
+                            config);
+        if (!run.ok()) {
+            last = run.error();
+            recordEngineFailure(engine->name());
+            ++failed_engines;
+            continue;
+        }
+
+        SearchResult result;
+        result.patterns = *compiled.value()->set;
+        result.run = std::move(run).value();
+        const bool tolerant = engine->kind() == EngineKind::ApCounter;
+        result.hits = hitsFromEvents(genome_seq, result.patterns,
+                                     result.run.events, tolerant,
+                                     &result.droppedEvents);
+        result.run.metrics["events.dropped"] =
+            static_cast<double>(result.droppedEvents);
+        result.run.metrics["session.fallbacks"] =
+            static_cast<double>(failed_engines);
+        result.run.metrics.emplace("search.timed_out", 0.0);
+        result.run.metrics.emplace("search.cancelled", 0.0);
+        result.timedOut =
+            result.run.metrics.at("search.timed_out") > 0.0;
+        annotate(result.run);
+        return result;
+    }
+    return std::move(last).withContext("engines_tried",
+                                       joinEngineNames(chain));
+}
+
+common::Expected<SearchResult>
+SearchSession::trySearchStream(std::istream &fasta)
+{
+    return trySearchStream(fasta, config_);
+}
+
+common::Expected<SearchResult>
+SearchSession::trySearchStream(std::istream &fasta,
+                               const SearchConfig &config)
+{
+    const std::vector<EngineKind> chain = engineChain(config);
+    Error last(ErrorCode::Internal, "no engine attempted");
+    size_t failed_engines = 0;
+
+    for (EngineKind kind : chain) {
+        const Engine *engine =
+            EngineRegistry::instance().tryFind(kind);
+        if (!engine) {
+            last = Error(ErrorCode::UnsupportedEngine,
+                         strprintf("no engine registered for %s",
+                                   engineName(kind)));
+            recordEngineFailure(engineName(kind));
+            ++failed_engines;
+            continue;
+        }
+        auto compiled = compiledFor(config, *engine);
+        if (!compiled.ok()) {
+            last = compiled.error();
+            recordEngineFailure(engine->name());
+            ++failed_engines;
+            continue;
+        }
+        const ChunkedScanOptions opts = chunkOptions(config);
+        if (auto st =
+                ChunkedScanner::validate(*engine, compiled.value(),
+                                         opts);
+            !st.ok()) {
+            last = st.error();
+            recordEngineFailure(engine->name());
+            ++failed_engines;
+            continue;
+        }
+        ChunkedScanner scanner(*engine, compiled.value(), opts);
+
+        SearchResult result;
+        result.patterns = *compiled.value()->set;
+
+        // Chunk-capable engines compile SiteOrder sets (no
+        // reversed-stream patterns), so a hit's window is local to the
+        // chunk buffer that reported it: verify per chunk, then lift
+        // start to global.
+        ChunkObserver verify = [&](const ChunkScanView &chunk) {
+            size_t dropped = 0;
+            std::vector<OffTargetHit> hits = hitsFromEvents(
+                chunk.buffer, result.patterns, chunk.events,
+                /*drop_unverified=*/false, &dropped);
+            result.droppedEvents += dropped;
+            for (OffTargetHit hit : hits) {
+                hit.start += chunk.bufferStart;
+                result.hits.push_back(hit);
+            }
+        };
+
+        genome::FastaStreamReader reader(
+            fasta, genome::FastaStreamOptions{config.lenientFasta});
+        auto run = scanner.tryScanStream(reader, verify);
+        if (!run.ok()) {
+            // The stream is part-consumed: falling back to another
+            // engine would rescan a truncated genome, so surface the
+            // error instead.
+            recordEngineFailure(engine->name());
+            return run.error();
+        }
+        result.run = std::move(run).value();
+
+        // Chunks arrive in stream order; restore the (guide, start,
+        // strand) order hitsFromEvents gives a whole-genome verify.
+        std::sort(result.hits.begin(), result.hits.end(),
+                  [](const OffTargetHit &a, const OffTargetHit &b) {
+                      if (a.guide != b.guide)
+                          return a.guide < b.guide;
+                      if (a.start != b.start)
+                          return a.start < b.start;
+                      return a.strand < b.strand;
+                  });
+        result.run.metrics["events.dropped"] =
+            static_cast<double>(result.droppedEvents);
+        result.run.metrics["parse.records_dropped"] =
+            static_cast<double>(reader.recordsDropped());
+        result.run.metrics["session.fallbacks"] =
+            static_cast<double>(failed_engines);
+        result.timedOut =
+            result.run.metrics.at("search.timed_out") > 0.0;
+        annotate(result.run);
+        return result;
+    }
+    return std::move(last).withContext("engines_tried",
+                                       joinEngineNames(chain));
+}
+
+SearchResult
+SearchSession::search(const genome::Sequence &genome_seq)
+{
+    return search(genome_seq, config_);
+}
+
+SearchResult
+SearchSession::search(const genome::Sequence &genome_seq,
+                      const SearchConfig &config)
+{
+    return trySearch(genome_seq, config).valueOrThrow();
 }
 
 SearchResult
@@ -140,51 +382,7 @@ SearchResult
 SearchSession::searchStream(std::istream &fasta,
                             const SearchConfig &config)
 {
-    const Engine &engine =
-        EngineRegistry::instance().engine(config.engine);
-    std::shared_ptr<const CompiledPattern> compiled =
-        compiledFor(config, engine);
-
-    SearchResult result;
-    result.patterns = *compiled->set;
-
-    ChunkedScanOptions opts;
-    opts.chunkSize = config.chunkSize;
-    opts.threads = effectiveThreads(config);
-    ChunkedScanner scanner(engine, compiled, opts);
-
-    // Chunk-capable engines compile SiteOrder sets (no reversed-stream
-    // patterns), so a hit's window is local to the chunk buffer that
-    // reported it: verify per chunk, then lift start to global.
-    ChunkObserver verify = [&](const ChunkScanView &chunk) {
-        size_t dropped = 0;
-        std::vector<OffTargetHit> hits =
-            hitsFromEvents(chunk.buffer, result.patterns, chunk.events,
-                           /*drop_unverified=*/false, &dropped);
-        result.droppedEvents += dropped;
-        for (OffTargetHit hit : hits) {
-            hit.start += chunk.bufferStart;
-            result.hits.push_back(hit);
-        }
-    };
-
-    genome::FastaStreamReader reader(fasta);
-    result.run = scanner.scanStream(reader, verify);
-
-    // Chunks arrive in stream order; restore the (guide, start,
-    // strand) order hitsFromEvents gives a whole-genome verify.
-    std::sort(result.hits.begin(), result.hits.end(),
-              [](const OffTargetHit &a, const OffTargetHit &b) {
-                  if (a.guide != b.guide)
-                      return a.guide < b.guide;
-                  if (a.start != b.start)
-                      return a.start < b.start;
-                  return a.strand < b.strand;
-              });
-    result.run.metrics["events.dropped"] =
-        static_cast<double>(result.droppedEvents);
-    annotate(result.run);
-    return result;
+    return trySearchStream(fasta, config).valueOrThrow();
 }
 
 size_t
@@ -199,6 +397,14 @@ SearchSession::cacheHits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return cacheHits_;
+}
+
+size_t
+SearchSession::engineFailures(EngineKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = failures_.find(engineName(kind));
+    return it == failures_.end() ? 0 : it->second;
 }
 
 void

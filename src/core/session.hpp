@@ -15,6 +15,16 @@
  *   auto all = session.searchStream(fa);    // chunked, O(chunk) memory
  * @endcode
  *
+ * Fault tolerance (DESIGN.md "Failure model"): the trySearch /
+ * trySearchStream entry points never call fatal() for malformed input,
+ * engine failure, or config errors — they return a typed
+ * common::Error. A config's `fallbacks` list is tried in order when an
+ * engine fails to compile or scan (the paper's cross-platform
+ * degradation), the `deadline` bounds the scan cooperatively per
+ * chunk, and `scanRetries` retries transient chunk failures. The
+ * legacy search()/searchStream() wrappers throw the same errors as
+ * ErrorException (a FatalError).
+ *
  * Thread-safety: the compile cache is internally locked; concurrent
  * search() calls on one session are safe and share compilations.
  *
@@ -31,10 +41,12 @@
 
 #include <iosfwd>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "common/error.hpp"
 #include "core/chunked_scan.hpp"
 #include "core/search.hpp"
 
@@ -49,23 +61,40 @@ class SearchSession
                            SearchConfig config = {},
                            size_t cache_capacity = 4);
 
-    /** Search an in-memory genome with the session's config. */
-    SearchResult search(const genome::Sequence &genome);
-
     /**
-     * Search with a per-call config (same guide set). Recompiles only
-     * when the config's cache key differs from every cached entry.
+     * Search an in-memory genome with the session's config (or a
+     * per-call one; recompiles only when the config's cache key
+     * differs from every cached entry). The config's engine is tried
+     * first, then each of config.fallbacks in order; the error of the
+     * last engine is returned when every one fails. A timed-out search
+     * succeeds with partial hits and result.timedOut set.
      */
-    SearchResult search(const genome::Sequence &genome,
-                        const SearchConfig &config);
+    common::Expected<SearchResult>
+    trySearch(const genome::Sequence &genome);
+    common::Expected<SearchResult>
+    trySearch(const genome::Sequence &genome,
+              const SearchConfig &config);
 
     /**
      * Search a FASTA text stream chunk-by-chunk without materialising
      * the reference; hits are verified per chunk while its window is
-     * resident. Chunk-capable (CPU) engines only (fatal otherwise).
-     * Hit coordinates are concatenated-stream offsets, as produced by
+     * resident. Chunk-capable (CPU) engines only — a device-model
+     * engine falls through to the next chunk-capable fallback, or
+     * returns UnsupportedEngine. Engine fallback applies only to
+     * failures before the stream is consumed (lookup, capability,
+     * compile); a mid-stream scan or parse failure is returned as-is
+     * since the stream cannot be rewound. Hit coordinates are
+     * concatenated-stream offsets, as produced by
      * genome::concatenateRecords (single-N record separators).
      */
+    common::Expected<SearchResult> trySearchStream(std::istream &fasta);
+    common::Expected<SearchResult>
+    trySearchStream(std::istream &fasta, const SearchConfig &config);
+
+    /** Throwing wrappers over the try* APIs (ErrorException). */
+    SearchResult search(const genome::Sequence &genome);
+    SearchResult search(const genome::Sequence &genome,
+                        const SearchConfig &config);
     SearchResult searchStream(std::istream &fasta);
     SearchResult searchStream(std::istream &fasta,
                               const SearchConfig &config);
@@ -77,16 +106,28 @@ class SearchSession
     size_t compileCount() const;
     /** search() calls served from the compile cache so far. */
     size_t cacheHits() const;
+    /** Compile/scan failures recorded against one engine so far. */
+    size_t engineFailures(EngineKind kind) const;
 
     /** Drop every cached compilation. */
     void clearCache();
 
   private:
-    std::shared_ptr<const CompiledPattern>
+    common::Expected<std::shared_ptr<const CompiledPattern>>
     compiledFor(const SearchConfig &config, const Engine &engine);
+    common::Expected<EngineRun>
+    scanWith(const Engine &engine,
+             const std::shared_ptr<const CompiledPattern> &compiled,
+             const genome::Sequence &genome,
+             const SearchConfig &config) const;
     std::string cacheKey(const SearchConfig &config,
                          const Engine &engine) const;
+    /** config.engine then config.fallbacks, deduplicated in order. */
+    std::vector<EngineKind>
+    engineChain(const SearchConfig &config) const;
+    void recordEngineFailure(const char *name);
     void annotate(EngineRun &run) const;
+    ChunkedScanOptions chunkOptions(const SearchConfig &config) const;
 
     std::vector<Guide> guides_;
     SearchConfig config_;
@@ -98,6 +139,7 @@ class SearchSession
         cache_; //!< front = most recently used
     size_t compiles_ = 0;
     size_t cacheHits_ = 0;
+    std::map<std::string, size_t> failures_; //!< by engine name
 };
 
 } // namespace crispr::core

@@ -15,6 +15,9 @@
 
 // Common substrate.
 #include "common/cli.hpp"
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+#include "common/faultpoints.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
@@ -23,6 +26,7 @@
 // Genome substrate.
 #include "genome/alphabet.hpp"
 #include "genome/fasta.hpp"
+#include "genome/fasta_stream.hpp"
 #include "genome/generator.hpp"
 #include "genome/packed.hpp"
 #include "genome/record_map.hpp"

@@ -10,18 +10,33 @@
 namespace crispr::genome {
 
 std::vector<FastaRecord>
-readFasta(std::istream &in)
+readFasta(std::istream &in, const FastaParseOptions &options,
+          size_t *records_dropped)
 {
     std::vector<FastaRecord> records;
     std::string line;
     std::string pending; // accumulated sequence text of the open record
     bool have_record = false;
+    bool record_bad = false; // lenient: drop the open record at flush
+    size_t dropped = 0;
+    bool dropped_headerless = false;
 
     auto flush = [&] {
         if (!have_record)
             return;
-        records.back().seq = Sequence::fromString(pending);
+        if (record_bad) {
+            records.pop_back();
+            ++dropped;
+            record_bad = false;
+        } else {
+            records.back().seq = Sequence::fromString(pending);
+        }
         pending.clear();
+    };
+
+    // A character the decoder accepts (base, soft-mask, IUPAC).
+    auto valid_base = [](char c) {
+        return baseCode(c) != kCodeInvalid || iupacMask(c) != 0;
     };
 
     size_t line_no = 0;
@@ -44,21 +59,58 @@ readFasta(std::istream &in)
                 if (rest != std::string::npos)
                     rec.comment = header.substr(rest);
             }
-            if (rec.name.empty())
-                fatal("FASTA line %zu: empty record name", line_no);
+            if (rec.name.empty()) {
+                if (!options.lenient)
+                    fatal("FASTA line %zu: empty record name", line_no);
+                // Open a placeholder so the record's lines are
+                // attributed to it, then drop it whole at flush.
+                rec.name = "?";
+                record_bad = true;
+            }
             records.push_back(std::move(rec));
             have_record = true;
             continue;
         }
-        if (!have_record)
-            fatal("FASTA line %zu: sequence data before any '>' header",
-                  line_no);
-        pending += line;
+        if (!have_record) {
+            if (!options.lenient)
+                fatal("FASTA line %zu: sequence data before any '>' "
+                      "header",
+                      line_no);
+            if (!dropped_headerless) {
+                ++dropped; // the headerless prefix, counted once
+                dropped_headerless = true;
+            }
+            continue;
+        }
+        std::string kept;
+        kept.reserve(line.size());
+        for (char c : line) {
+            if (c == ' ' || c == '\t')
+                continue;
+            if (!valid_base(c)) {
+                if (!options.lenient)
+                    fatal("FASTA line %zu: invalid character '%c'",
+                          line_no, c);
+                record_bad = true;
+                break;
+            }
+            kept += c;
+        }
+        if (!record_bad)
+            pending += kept;
     }
     flush();
+    if (records_dropped)
+        *records_dropped = dropped;
     if (records.empty())
         fatal("FASTA input contains no records");
     return records;
+}
+
+std::vector<FastaRecord>
+readFasta(std::istream &in)
+{
+    return readFasta(in, FastaParseOptions{});
 }
 
 std::vector<FastaRecord>

@@ -1,0 +1,205 @@
+/** @file Unit tests for the typed error taxonomy (common::Error /
+ *  Expected / Status), the Deadline token, and the fault-point
+ *  framework. */
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+#include "common/faultpoints.hpp"
+#include "common/logging.hpp"
+
+namespace crispr::common {
+namespace {
+
+TEST(Error, CarriesCodeMessageAndContext)
+{
+    Error e = Error(ErrorCode::ScanFailed, "chunk 3 failed")
+                  .withContext("engine", "hs-auto")
+                  .withContext("chunk", "3");
+    EXPECT_EQ(e.code(), ErrorCode::ScanFailed);
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.message(), "chunk 3 failed");
+    ASSERT_EQ(e.context().size(), 2u);
+    EXPECT_EQ(e.str(),
+              "[scan_failed] chunk 3 failed (engine=hs-auto, chunk=3)");
+
+    EXPECT_TRUE(Error().ok());
+    EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+                 "deadline_exceeded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::FaultInjected),
+                 "fault_injected");
+}
+
+TEST(Expected, HoldsValueOrError)
+{
+    Expected<int> ok(42);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 42);
+
+    Expected<int> bad(Error(ErrorCode::ParseError, "nope"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code(), ErrorCode::ParseError);
+}
+
+TEST(Expected, ValueOrThrowRaisesErrorException)
+{
+    EXPECT_EQ(Expected<int>(7).valueOrThrow(), 7);
+    try {
+        Expected<int>(Error(ErrorCode::CompileFailed, "boom"))
+            .valueOrThrow();
+        FAIL() << "expected ErrorException";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.error().code(), ErrorCode::CompileFailed);
+        EXPECT_NE(std::string(e.what()).find("boom"),
+                  std::string::npos);
+    }
+    // The bridge derives from FatalError: legacy catch sites work.
+    EXPECT_THROW(Expected<int>(Error(ErrorCode::Internal, "x"))
+                     .valueOrThrow(),
+                 FatalError);
+}
+
+TEST(Status, OkAndError)
+{
+    Status ok;
+    EXPECT_TRUE(ok.ok());
+    ok.throwIfError(); // no-op
+
+    Status bad(Error(ErrorCode::InvalidArgument, "bad chunk size"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_THROW(bad.throwIfError(), ErrorException);
+}
+
+TEST(Deadline, DefaultIsUnlimited)
+{
+    Deadline d;
+    EXPECT_FALSE(d.limited());
+    EXPECT_FALSE(d.expired());
+    EXPECT_FALSE(d.cancelled());
+    EXPECT_FALSE(d.timedOut());
+    d.cancel(); // no-op
+    EXPECT_FALSE(d.expired());
+    EXPECT_TRUE(std::isinf(d.remainingSeconds()));
+}
+
+TEST(Deadline, TimesOut)
+{
+    Deadline far = Deadline::after(3600.0);
+    EXPECT_TRUE(far.limited());
+    EXPECT_FALSE(far.expired());
+    EXPECT_GT(far.remainingSeconds(), 3000.0);
+
+    Deadline past = Deadline::after(0.0);
+    EXPECT_TRUE(past.timedOut());
+    EXPECT_TRUE(past.expired());
+    EXPECT_FALSE(past.cancelled());
+    EXPECT_EQ(past.remainingSeconds(), 0.0);
+}
+
+TEST(Deadline, CancellationIsSharedAcrossCopies)
+{
+    Deadline token = Deadline::manual();
+    Deadline copy = token;
+    EXPECT_FALSE(copy.expired());
+    EXPECT_FALSE(copy.timedOut());
+    token.cancel();
+    EXPECT_TRUE(copy.cancelled());
+    EXPECT_TRUE(copy.expired());
+    EXPECT_FALSE(copy.timedOut());
+    EXPECT_EQ(copy.remainingSeconds(), 0.0);
+}
+
+class FaultPoints : public ::testing::Test
+{
+  protected:
+    void SetUp() override { faultpoints::resetAll(); }
+    void TearDown() override { faultpoints::resetAll(); }
+};
+
+TEST_F(FaultPoints, UnarmedNeverFails)
+{
+    EXPECT_FALSE(faultpoints::shouldFail("t.unarmed"));
+    EXPECT_EQ(faultpoints::visits("t.unarmed"), 0u);
+}
+
+TEST_F(FaultPoints, FailOnceFiresExactlyOnce)
+{
+    faultpoints::armFailOnce("t.once");
+    EXPECT_TRUE(faultpoints::shouldFail("t.once"));
+    EXPECT_FALSE(faultpoints::shouldFail("t.once"));
+    EXPECT_FALSE(faultpoints::shouldFail("t.once"));
+    EXPECT_EQ(faultpoints::failures("t.once"), 1u);
+}
+
+TEST_F(FaultPoints, FailNthFiresOnThatVisitOnly)
+{
+    faultpoints::armFailNth("t.nth", 3);
+    EXPECT_FALSE(faultpoints::shouldFail("t.nth"));
+    EXPECT_FALSE(faultpoints::shouldFail("t.nth"));
+    EXPECT_TRUE(faultpoints::shouldFail("t.nth"));
+    EXPECT_FALSE(faultpoints::shouldFail("t.nth"));
+    EXPECT_EQ(faultpoints::visits("t.nth"), 4u);
+    EXPECT_EQ(faultpoints::failures("t.nth"), 1u);
+}
+
+TEST_F(FaultPoints, ProbabilityExtremesAreDeterministic)
+{
+    faultpoints::armProbability("t.never", 0.0, 7);
+    faultpoints::armProbability("t.always", 1.0, 7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(faultpoints::shouldFail("t.never"));
+        EXPECT_TRUE(faultpoints::shouldFail("t.always"));
+    }
+    EXPECT_EQ(faultpoints::failures("t.always"), 50u);
+}
+
+TEST_F(FaultPoints, ProbabilityStreamIsSeedDeterministic)
+{
+    auto draw = [](uint64_t seed) {
+        faultpoints::armProbability("t.prob", 0.5, seed);
+        std::string pattern;
+        for (int i = 0; i < 32; ++i)
+            pattern += faultpoints::shouldFail("t.prob") ? '1' : '0';
+        return pattern;
+    };
+    const std::string a = draw(42);
+    const std::string b = draw(42);
+    EXPECT_EQ(a, b);
+    // Roughly half fire (sanity, not a distribution test).
+    EXPECT_NE(a.find('1'), std::string::npos);
+    EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST_F(FaultPoints, DisarmAndRearmResetCounters)
+{
+    faultpoints::armFailNth("t.re", 1);
+    EXPECT_TRUE(faultpoints::shouldFail("t.re"));
+    faultpoints::disarm("t.re");
+    EXPECT_FALSE(faultpoints::shouldFail("t.re"));
+    EXPECT_EQ(faultpoints::failures("t.re"), 1u); // readable after disarm
+    faultpoints::armFailNth("t.re", 1);
+    EXPECT_EQ(faultpoints::visits("t.re"), 0u);
+    EXPECT_TRUE(faultpoints::shouldFail("t.re"));
+}
+
+TEST_F(FaultPoints, ArmsFromSpecString)
+{
+    setQuiet(true);
+    EXPECT_EQ(faultpoints::armFromSpec(
+                  "a=once;b=nth:2,c=prob:1.0:9;junk;d=wat:1"),
+              3u);
+    setQuiet(false);
+    EXPECT_TRUE(faultpoints::shouldFail("a"));
+    EXPECT_FALSE(faultpoints::shouldFail("b"));
+    EXPECT_TRUE(faultpoints::shouldFail("b"));
+    EXPECT_TRUE(faultpoints::shouldFail("c"));
+    EXPECT_FALSE(faultpoints::shouldFail("junk"));
+    EXPECT_FALSE(faultpoints::shouldFail("d"));
+}
+
+} // namespace
+} // namespace crispr::common

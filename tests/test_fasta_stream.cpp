@@ -84,6 +84,73 @@ TEST(FastaStream, ErrorsMatchWholeFileReader)
     }
 }
 
+TEST(FastaStream, TryNextReturnsTypedParseErrors)
+{
+    struct Case
+    {
+        const char *text;
+        const char *what;
+    };
+    for (const Case &c :
+         {Case{"ACGT\n", "before any"}, Case{"", "no records"},
+          Case{">r\nAC1T\n", "invalid character"},
+          Case{">\nACGT\n", "empty record name"}}) {
+        std::istringstream in(c.text);
+        FastaStreamReader reader(in);
+        std::vector<uint8_t> buf;
+        auto got = reader.tryNext(10, buf);
+        ASSERT_FALSE(got.ok()) << c.text;
+        EXPECT_EQ(got.error().code(), common::ErrorCode::ParseError)
+            << c.text;
+        EXPECT_NE(got.error().message().find(c.what),
+                  std::string::npos)
+            << got.error().str();
+    }
+}
+
+TEST(FastaStream, LenientModeSkipsMalformedRecords)
+{
+    // A headerless prefix, a nameless record, and a record with an
+    // invalid character (truncated at the bad byte, remainder
+    // skipped) are each dropped; the good records still stream.
+    const std::string text = "ACGT\n"
+                             ">\nTTTT\n"
+                             ">good1\nACGT\n"
+                             ">bad\nGG1GG\nCCCC\n"
+                             ">good2\nTTTT\n";
+    std::istringstream in(text);
+    FastaStreamReader reader(in, FastaStreamOptions{/*lenient=*/true});
+    Sequence all;
+    std::vector<uint8_t> buf;
+    while (reader.next(5, buf))
+        for (uint8_t c : buf)
+            all.push_back(c);
+    EXPECT_EQ(reader.recordsDropped(), 3u);
+    // good1, then bad's emitted prefix "GG", then good2 — each record
+    // separated by a single N.
+    EXPECT_EQ(all, Sequence::fromString("ACGTNGGNTTTT"));
+    ASSERT_EQ(reader.records().size(), 3u);
+    EXPECT_EQ(reader.records()[0].name, "good1");
+    EXPECT_EQ(reader.records()[1].name, "bad");
+    EXPECT_EQ(reader.records()[2].name, "good2");
+}
+
+TEST(FastaStream, LenientModeStillAcceptsCleanInput)
+{
+    std::istringstream strict_in(sampleFasta());
+    Sequence want = concatenateRecords(readFasta(strict_in));
+
+    std::istringstream in(sampleFasta());
+    FastaStreamReader reader(in, FastaStreamOptions{/*lenient=*/true});
+    Sequence all;
+    std::vector<uint8_t> buf;
+    while (reader.next(7, buf))
+        for (uint8_t c : buf)
+            all.push_back(c);
+    EXPECT_EQ(all, want);
+    EXPECT_EQ(reader.recordsDropped(), 0u);
+}
+
 TEST(FastaStream, DrivesStreamingScanIdentically)
 {
     // Scanning the stream chunk-by-chunk through an HScan scanner must

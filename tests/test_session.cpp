@@ -1,9 +1,11 @@
 /** @file Tests for the engine registry, compile-once SearchSession,
  *  and the engine-agnostic chunked scan pipeline. */
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -284,6 +286,115 @@ TEST(SearchSession, StreamingRejectsDeviceModelEngines)
     core::SearchSession session(randomGuides(rng, 1), cfg);
     std::istringstream in(">chr\nACGTACGT\n");
     EXPECT_THROW(session.searchStream(in), FatalError);
+}
+
+TEST(SearchSession, LruEvictsLeastRecentlyUsedCompilation)
+{
+    Rng rng(818);
+    std::vector<core::Guide> guides = randomGuides(rng, 3);
+    genome::GenomeSpec gs;
+    gs.length = 4000;
+    gs.seed = 8180;
+    genome::Sequence g = genome::generateGenome(gs);
+
+    core::SearchConfig base;
+    base.engine = core::EngineKind::HscanAuto;
+    core::SearchConfig d0 = base, d1 = base, d2 = base;
+    d0.maxMismatches = 0;
+    d1.maxMismatches = 1;
+    d2.maxMismatches = 2;
+
+    core::SearchSession session(guides, base, /*cache_capacity=*/2);
+    session.search(g, d0);
+    session.search(g, d1);
+    EXPECT_EQ(session.compileCount(), 2u);
+
+    // Touch d0 so d1 is the LRU entry, then overflow the capacity.
+    session.search(g, d0);
+    EXPECT_EQ(session.cacheHits(), 1u);
+    session.search(g, d2); // evicts d1
+    EXPECT_EQ(session.compileCount(), 3u);
+
+    session.search(g, d0); // still cached
+    session.search(g, d2); // still cached
+    EXPECT_EQ(session.compileCount(), 3u);
+    session.search(g, d1); // evicted: recompiles
+    EXPECT_EQ(session.compileCount(), 4u);
+}
+
+TEST(SearchSession, ConcurrentSearchesShareOneCompilation)
+{
+    Rng rng(819);
+    std::vector<core::Guide> guides = randomGuides(rng, 20);
+    genome::GenomeSpec gs;
+    gs.length = 6000;
+    gs.seed = 8190;
+    genome::Sequence g = genome::generateGenome(gs);
+
+    core::SearchConfig cfg;
+    cfg.maxMismatches = 2;
+    cfg.engine = core::EngineKind::HscanAuto;
+    core::SearchSession session(guides, cfg);
+    core::SearchResult want = session.search(g);
+    session.clearCache();
+
+    // A fresh cache hammered by many threads with one config: the
+    // compile lock must serialise them onto a single compilation.
+    core::SearchSession fresh(guides, cfg);
+    constexpr int kThreads = 8;
+    std::vector<core::SearchResult> results(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back(
+            [&, t] { results[t] = fresh.search(g); });
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(fresh.compileCount(), 1u);
+    EXPECT_EQ(fresh.cacheHits(), kThreads - 1u);
+    for (const core::SearchResult &r : results)
+        EXPECT_EQ(r.hits, want.hits);
+}
+
+TEST(SearchSession, ClearCacheRacingSearchesIsSafe)
+{
+    Rng rng(820);
+    std::vector<core::Guide> guides = randomGuides(rng, 10);
+    genome::GenomeSpec gs;
+    gs.length = 5000;
+    gs.seed = 8200;
+    genome::Sequence g = genome::generateGenome(gs);
+
+    core::SearchConfig cfg;
+    cfg.maxMismatches = 1;
+    cfg.engine = core::EngineKind::HscanAuto;
+    core::SearchSession session(guides, cfg);
+    core::SearchResult want = session.search(g);
+
+    // Searches hold shared_ptrs to compiled patterns, so evicting the
+    // cache mid-search must neither crash nor corrupt results.
+    std::atomic<bool> stop{false};
+    std::thread clearer([&] {
+        while (!stop.load())
+            session.clearCache();
+    });
+    constexpr int kThreads = 4;
+    std::vector<std::thread> pool;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&] {
+            for (int i = 0; i < 8; ++i) {
+                core::SearchResult r = session.search(g);
+                if (r.hits != want.hits)
+                    mismatches.fetch_add(1);
+            }
+        });
+    for (auto &t : pool)
+        t.join();
+    stop.store(true);
+    clearer.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    // Every search still succeeded; compiles just stopped being shared.
+    EXPECT_GE(session.compileCount(), 1u);
 }
 
 TEST(Engines, LegacyHscanThreadsStillDrivesParallelScan)
