@@ -1,7 +1,11 @@
 #include "workloads.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
 
 #include "automata/builders.hpp"
 #include "common/logging.hpp"
@@ -37,6 +41,42 @@ defaultParams()
     return params;
 }
 
+/**
+ * When CRISPR_BENCH_METRICS_JSON names a file, every bench row appends
+ * one compact JSON line there (engine, workload shape, full metric
+ * map), so a sweep leaves a machine-readable artifact next to the
+ * stdout tables. Append-only: multiple binaries in one CI run share
+ * the file.
+ */
+void
+exportRowMetrics(const Row &row, const Workload &w, int d)
+{
+    static const char *path = std::getenv("CRISPR_BENCH_METRICS_JSON");
+    if (!path)
+        return;
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return;
+    out << "{\"engine\": \"" << row.engine
+        << "\", \"genome_bytes\": " << w.genome.size()
+        << ", \"guides\": " << w.guides.size() << ", \"d\": " << d
+        << ", \"hits\": " << row.hits
+        << ", \"kernel_seconds\": " << row.kernelSeconds
+        << ", \"metrics\": {";
+    bool first = true;
+    for (const auto &[key, value] : row.metrics) {
+        out << (first ? "" : ", ") << "\"" << key << "\": ";
+        if (std::isfinite(value))
+            out << value;
+        else
+            out << "null";
+        first = false;
+    }
+    out << "}}\n";
+}
+
 Row
 runRow(EngineKind engine, const Workload &w, int d,
        const core::EngineParams &params, const core::PamSpec &pam)
@@ -60,6 +100,7 @@ runRow(EngineKind engine, const Workload &w, int d,
     row.hits = res.hits.size();
     row.events = res.run.events.size();
     row.metrics = res.run.metrics;
+    exportRowMetrics(row, w, d);
     return row;
 }
 

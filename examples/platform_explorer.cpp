@@ -6,14 +6,23 @@
  *
  * Usage:
  *   platform_explorer [--genome-mb 4] [--guides 10] [--d 3]
- *       [--threads 1]
+ *       [--threads 1] [--metrics-json out.json] [--trace-json out.json]
+ *
+ * --metrics-json dumps every engine's full metric map as one JSON
+ * object keyed by engine name; --trace-json writes a chrome://tracing
+ * file of the whole sweep (load it at chrome://tracing or
+ * https://ui.perfetto.dev).
  */
 
+#include <fstream>
 #include <iostream>
+#include <map>
 
 #include "common/cli.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "core/engine_registry.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
@@ -31,6 +40,10 @@ main(int argc, char **argv)
     cli.addInt("threads", 1,
                "worker threads for the CPU engines (0 = all cores)");
     cli.addBool("skip-slow", "skip the brute-force golden engine");
+    cli.addString("metrics-json", "",
+                  "write per-engine metric maps to this JSON file");
+    cli.addString("trace-json", "",
+                  "write a chrome://tracing span file of the sweep");
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -53,6 +66,9 @@ main(int argc, char **argv)
                  "total*", "notes"});
     size_t golden_hits = 0;
     bool have_golden = false;
+    common::TraceSink trace;
+    const bool want_trace = !cli.getString("trace-json").empty();
+    std::map<std::string, std::map<std::string, double>> all_metrics;
 
     // One session serves every engine: the guide set is fixed, and the
     // per-call config picks the engine (each compiled once, cached).
@@ -82,6 +98,8 @@ main(int argc, char **argv)
         config.threads =
             static_cast<unsigned>(cli.getInt("threads"));
         config.params.fullSimSymbolLimit = 2ull << 20;
+        if (want_trace)
+            config.trace = &trace;
 
         auto attempt = session.trySearch(genome_seq, config);
         if (!attempt.ok()) {
@@ -102,6 +120,7 @@ main(int argc, char **argv)
             golden_hits = res.hits.size();
             have_golden = true;
         }
+        all_metrics[core::engineName(kind)] = res.run.metrics;
         std::string note = res.run.notes;
         if (have_golden && res.hits.size() != golden_hits)
             note = strprintf("%zu/%zu golden hits! ", res.hits.size(),
@@ -119,5 +138,27 @@ main(int argc, char **argv)
     std::cout << "* kernel/total are modelled device times for the "
                  "GPU/FPGA/AP engines and measured wall-clock for the "
                  "CPU engines (see DESIGN.md).\n";
+
+    if (const std::string &path = cli.getString("metrics-json");
+        !path.empty()) {
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open --metrics-json file %s", path.c_str());
+        out << "{";
+        bool first = true;
+        for (const auto &[engine, metrics] : all_metrics) {
+            out << (first ? "\n" : ",\n") << "  \"" << engine
+                << "\": ";
+            common::writeMetricsJson(metrics, out, 2);
+            first = false;
+        }
+        out << "\n}\n";
+        std::cout << "metrics written to " << path << "\n";
+    }
+    if (want_trace) {
+        trace.writeJsonFile(cli.getString("trace-json"));
+        std::cout << "trace (" << trace.size() << " spans) written to "
+                  << cli.getString("trace-json") << "\n";
+    }
     return 0;
 }

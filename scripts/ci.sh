@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: build + test the default preset, re-run everything
-# under ASan/UBSan, then run the fault-injection suite on its own so
-# recovery-path regressions are visible as a separate line item.
+# under ASan/UBSan, run the fault-injection and cross-engine
+# conformance suites as their own line items, prove the
+# -DCRISPR_METRICS=OFF configuration still builds and passes, and
+# archive a metrics + trace artifact from the platform explorer.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -29,5 +31,27 @@ done
 # The fault-injection label, by itself: `ctest -L fault` is the suite
 # that proves the process survives injected compile/scan/parse faults.
 run ctest --test-dir build -L fault --output-on-failure -j "$jobs"
+
+# The conformance label: randomized workloads through every registry
+# engine, bit-identical against the reference interpreter.
+run ctest --test-dir build -L conformance --output-on-failure -j "$jobs"
+
+# The observability layer is compile-time optional; an OFF build must
+# still compile and pass the whole tier-1 suite (histogram/trace tests
+# skip themselves).
+run cmake -B build-nometrics -S . -DCMAKE_BUILD_TYPE=Release \
+    -DCRISPR_METRICS=OFF
+run cmake --build build-nometrics -j "$jobs"
+run ctest --test-dir build-nometrics --output-on-failure -j "$jobs"
+
+# Archive a small observability artifact: per-engine metric maps and a
+# chrome://tracing span file from one explorer sweep.
+mkdir -p build/artifacts
+run ./build/examples/platform_explorer --genome-mb 1 --guides 4 \
+    --threads 2 --skip-slow \
+    --metrics-json build/artifacts/engine_metrics.json \
+    --trace-json build/artifacts/search_trace.json
+test -s build/artifacts/engine_metrics.json
+test -s build/artifacts/search_trace.json
 
 echo "==> ci: all green"

@@ -1,0 +1,198 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+namespace crispr::common {
+
+using metrics_detail::CounterCell;
+using metrics_detail::GaugeCell;
+using metrics_detail::HistogramCell;
+using metrics_detail::kHistogramScale;
+
+uint64_t
+Histogram::scale(double v)
+{
+    // Saturate instead of overflowing: 2^63 ns is ~292 years.
+    const double scaled = v * kHistogramScale;
+    if (scaled >= 9.2e18)
+        return UINT64_MAX;
+    return static_cast<uint64_t>(scaled);
+}
+
+void
+Histogram::observeScaled(uint64_t scaled)
+{
+    const auto b = std::min<size_t>(std::bit_width(scaled),
+                                    HistogramCell::kBuckets - 1);
+    cell_->buckets[b].fetch_add(1, std::memory_order_relaxed);
+    cell_->count.fetch_add(1, std::memory_order_relaxed);
+    cell_->sumScaled.fetch_add(scaled, std::memory_order_relaxed);
+    uint64_t seen = cell_->maxScaled.load(std::memory_order_relaxed);
+    while (scaled > seen &&
+           !cell_->maxScaled.compare_exchange_weak(
+               seen, scaled, std::memory_order_relaxed))
+        ;
+}
+
+uint64_t
+Histogram::count() const
+{
+    return cell_ ? cell_->count.load(std::memory_order_relaxed) : 0;
+}
+
+double
+Histogram::sum() const
+{
+    return cell_ ? static_cast<double>(cell_->sumScaled.load(
+                       std::memory_order_relaxed)) /
+                       kHistogramScale
+                 : 0.0;
+}
+
+double
+Histogram::max() const
+{
+    return cell_ ? static_cast<double>(cell_->maxScaled.load(
+                       std::memory_order_relaxed)) /
+                       kHistogramScale
+                 : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (!cell_)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t counts[HistogramCell::kBuckets];
+    uint64_t total = 0;
+    for (size_t b = 0; b < HistogramCell::kBuckets; ++b) {
+        counts[b] = cell_->buckets[b].load(std::memory_order_relaxed);
+        total += counts[b];
+    }
+    if (total == 0)
+        return 0.0;
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(q * total)));
+    uint64_t cum = 0;
+    for (size_t b = 0; b < HistogramCell::kBuckets; ++b) {
+        cum += counts[b];
+        if (cum < target)
+            continue;
+        // Interpolate inside bucket b: [2^(b-1), 2^b - 1] scaled.
+        const double lo =
+            b == 0 ? 0.0
+                   : static_cast<double>(uint64_t{1} << (b - 1));
+        const double hi =
+            b == 0 ? 0.0
+                   : (b >= 63 ? 9.2e18
+                              : static_cast<double>(
+                                    (uint64_t{1} << b) - 1));
+        const uint64_t into = target - (cum - counts[b]);
+        const double frac =
+            counts[b] > 1
+                ? static_cast<double>(into - 1) /
+                      static_cast<double>(counts[b] - 1)
+                : 1.0;
+        // The bucket's upper bound can overshoot the largest value
+        // actually observed; the exact max is a better bound.
+        return std::min((lo + frac * (hi - lo)) / kHistogramScale,
+                        max());
+    }
+    return max();
+}
+
+Counter
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(std::string(name),
+                          std::make_unique<CounterCell>())
+                 .first;
+    return Counter(it->second.get());
+}
+
+Gauge
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_
+                 .emplace(std::string(name),
+                          std::make_unique<GaugeCell>())
+                 .first;
+    return Gauge(it->second.get());
+}
+
+Histogram
+MetricsRegistry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<HistogramCell>())
+                 .first;
+    return Histogram(it->second.get());
+}
+
+void
+MetricsRegistry::mergeInto(std::map<std::string, double> &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, cell] : counters_)
+        out[name] = static_cast<double>(
+            cell->value.load(std::memory_order_relaxed));
+    for (const auto &[name, cell] : gauges_)
+        out[name] = cell->value.load(std::memory_order_relaxed);
+    for (const auto &[name, cell] : histograms_) {
+        Histogram h(cell.get());
+        if (h.count() == 0)
+            continue;
+        out[name + ".count"] = static_cast<double>(h.count());
+        out[name + ".sum"] = h.sum();
+        out[name + ".max"] = h.max();
+        out[name + ".p50"] = h.quantile(0.50);
+        out[name + ".p90"] = h.quantile(0.90);
+        out[name + ".p99"] = h.quantile(0.99);
+    }
+}
+
+std::map<std::string, double>
+MetricsRegistry::toMap() const
+{
+    std::map<std::string, double> out;
+    mergeInto(out);
+    return out;
+}
+
+void
+writeMetricsJson(const std::map<std::string, double> &metrics,
+                 std::ostream &out, int indent)
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    out << "{";
+    bool first = true;
+    for (const auto &[key, value] : metrics) {
+        out << (first ? "\n" : ",\n") << pad << "  \"" << key
+            << "\": ";
+        if (std::isfinite(value))
+            out << value;
+        else
+            out << "null";
+        first = false;
+    }
+    if (!first)
+        out << "\n" << pad;
+    out << "}";
+}
+
+} // namespace crispr::common

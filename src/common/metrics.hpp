@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Typed, thread-safe metrics: a MetricsRegistry hands out Counter,
+ * Gauge, and Histogram handles that are plain relaxed-atomic writes on
+ * the hot path (registration takes a lock once; increments never do).
+ * A registry snapshot bridges to the legacy `std::map<std::string,
+ * double>` surface via toMap()/mergeInto(), so EngineRun.metrics and
+ * every existing consumer keep working unchanged.
+ *
+ * Naming convention: dotted lower-case, `<stage>.<what>` —
+ * `compile.states`, `scan.bytes`, `session.cache_hits`; see DESIGN.md
+ * "Observability" for the catalog.
+ *
+ * Histograms are log-bucketed (power-of-two nanosecond-scale buckets,
+ * so ~2x worst-case resolution over 12 decades) with interpolated
+ * p50/p90/p99 extraction; a histogram named `x` exports `x.count`,
+ * `x.sum`, `x.max`, `x.p50`, `x.p90`, `x.p99`.
+ *
+ * Compile-time gating: building with -DCRISPR_METRICS=OFF (the
+ * `CRISPR_METRICS` CMake option) turns Histogram::observe() and the
+ * trace layer (trace.hpp) into no-ops. Counters and gauges stay live
+ * in every build: they carry result-bearing keys the API contract
+ * depends on (session.compiles, events.dropped, ...), and a relaxed
+ * add is already as cheap as the no-op call boundary.
+ */
+
+#ifndef CRISPR_COMMON_METRICS_HPP_
+#define CRISPR_COMMON_METRICS_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#ifndef CRISPR_METRICS_ENABLED
+#define CRISPR_METRICS_ENABLED 1
+#endif
+
+namespace crispr::common {
+
+/** True when the build carries histogram/trace instrumentation. */
+inline constexpr bool kMetricsEnabled = CRISPR_METRICS_ENABLED != 0;
+
+namespace metrics_detail {
+
+struct CounterCell
+{
+    std::atomic<uint64_t> value{0};
+};
+
+struct GaugeCell
+{
+    std::atomic<double> value{0.0};
+};
+
+struct HistogramCell
+{
+    /** Bucket b holds scaled values whose bit width is b (~2x wide). */
+    static constexpr size_t kBuckets = 64;
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sumScaled{0};
+    std::atomic<uint64_t> maxScaled{0};
+    std::atomic<uint64_t> buckets[kBuckets];
+};
+
+/** Fixed-point scale: seconds -> integer nanoseconds. */
+inline constexpr double kHistogramScale = 1e9;
+
+} // namespace metrics_detail
+
+/**
+ * A monotonically-increasing count. Handles are trivially copyable
+ * value types pointing at a cell owned by the registry; the registry
+ * must outlive every handle. A default-constructed handle is inert.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void
+    inc(uint64_t n = 1)
+    {
+        if (cell_)
+            cell_->value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return cell_ ? cell_->value.load(std::memory_order_relaxed)
+                     : 0;
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(metrics_detail::CounterCell *cell) : cell_(cell) {}
+    metrics_detail::CounterCell *cell_ = nullptr;
+};
+
+/** A point-in-time value (throughput, utilisation, config echo). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void
+    set(double v)
+    {
+        if (cell_)
+            cell_->value.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return cell_ ? cell_->value.load(std::memory_order_relaxed)
+                     : 0.0;
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(metrics_detail::GaugeCell *cell) : cell_(cell) {}
+    metrics_detail::GaugeCell *cell_ = nullptr;
+};
+
+/**
+ * A log-bucketed distribution of non-negative values (typically
+ * seconds). observe() is three relaxed atomic adds plus a CAS for the
+ * max — safe from any thread — and compiles out entirely under
+ * -DCRISPR_METRICS=OFF.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    void
+    observe(double v)
+    {
+        if constexpr (!kMetricsEnabled)
+            return;
+        if (cell_ && v >= 0.0)
+            observeScaled(scale(v));
+    }
+
+    uint64_t count() const;
+    double sum() const;
+    double max() const;
+
+    /**
+     * The q-quantile (q in [0,1]) with linear interpolation inside the
+     * landing bucket: exact to within one bucket (a factor of two).
+     * 0 when the histogram is empty.
+     */
+    double quantile(double q) const;
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(metrics_detail::HistogramCell *cell)
+        : cell_(cell)
+    {
+    }
+
+    static uint64_t scale(double v);
+    void observeScaled(uint64_t scaled);
+
+    metrics_detail::HistogramCell *cell_ = nullptr;
+};
+
+/**
+ * The registry: owns every cell, hands out handles by dotted name.
+ * Handle creation locks; handle use never does. One registry per
+ * scope-of-aggregation — Engine::scan makes a per-run registry that
+ * bridges into EngineRun.metrics, SearchSession holds a long-lived one
+ * for its cross-search counters.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The handle for `name`, creating the cell on first use. */
+    Counter counter(std::string_view name);
+    Gauge gauge(std::string_view name);
+    Histogram histogram(std::string_view name);
+
+    /**
+     * Snapshot every metric into `out` (assigning over existing keys).
+     * Histograms expand to `<name>.{count,sum,max,p50,p90,p99}` and
+     * are omitted while empty, so OFF builds emit no histogram keys.
+     */
+    void mergeInto(std::map<std::string, double> &out) const;
+
+    /** mergeInto() starting from an empty map. */
+    std::map<std::string, double> toMap() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string,
+             std::unique_ptr<metrics_detail::CounterCell>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<metrics_detail::GaugeCell>,
+             std::less<>>
+        gauges_;
+    std::map<std::string,
+             std::unique_ptr<metrics_detail::HistogramCell>,
+             std::less<>>
+        histograms_;
+};
+
+/** Write a metrics map as one pretty-printed JSON object. */
+void writeMetricsJson(const std::map<std::string, double> &metrics,
+                      std::ostream &out, int indent = 0);
+
+} // namespace crispr::common
+
+#endif // CRISPR_COMMON_METRICS_HPP_

@@ -1,0 +1,99 @@
+#include "common/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hpp"
+
+namespace crispr::common {
+
+namespace {
+
+/** Small, stable per-thread id (nicer trace rows than hashed ids). */
+uint64_t
+currentTid()
+{
+    static std::atomic<uint64_t> next{1};
+    thread_local const uint64_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+} // namespace
+
+uint64_t
+TraceSink::nowMicros()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+void
+TraceSink::record(std::string_view name, uint64_t start_micros,
+                  uint64_t dur_micros)
+{
+    if constexpr (!kMetricsEnabled)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(TraceEvent{std::string(name), start_micros,
+                                 dur_micros, currentTid()});
+}
+
+size_t
+TraceSink::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+size_t
+TraceSink::count(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const TraceEvent &ev : events_)
+        if (ev.name == name)
+            ++n;
+    return n;
+}
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+TraceSink::writeJson(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent &ev : events_) {
+        out << (first ? "\n" : ",\n");
+        // Span names are fixed identifiers; no escaping needed.
+        out << "  {\"name\": \"" << ev.name
+            << "\", \"cat\": \"crispr\", \"ph\": \"X\", \"ts\": "
+            << ev.startMicros << ", \"dur\": " << ev.durMicros
+            << ", \"pid\": 1, \"tid\": " << ev.tid << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n") << "]}\n";
+}
+
+void
+TraceSink::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace output file %s", path.c_str());
+    writeJson(out);
+}
+
+} // namespace crispr::common

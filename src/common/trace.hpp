@@ -1,0 +1,119 @@
+/**
+ * @file
+ * RAII wall-time tracing: a TraceSpan measures one pipeline stage
+ * (parse -> pattern.compile -> engine.compile -> chunk.scan ->
+ * report) from construction to destruction and records it into a
+ * TraceSink, which serializes to the chrome://tracing JSON event
+ * format — open chrome://tracing (or https://ui.perfetto.dev) and
+ * load the file to see the search timeline per thread.
+ *
+ * A null sink makes every span inert, so callers thread an optional
+ * `TraceSink *` through the config (SearchConfig::trace) and pay
+ * nothing when tracing is off. Building with -DCRISPR_METRICS=OFF
+ * compiles recording out entirely (see metrics.hpp).
+ *
+ * Thread-safety: record() locks the sink; spans themselves are
+ * stack-local. Per-chunk spans from scanner worker threads land on
+ * their own tid rows in the trace viewer.
+ */
+
+#ifndef CRISPR_COMMON_TRACE_HPP_
+#define CRISPR_COMMON_TRACE_HPP_
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.hpp" // kMetricsEnabled
+
+namespace crispr::common {
+
+/** One completed span ("X" event in the trace JSON). */
+struct TraceEvent
+{
+    std::string name;
+    uint64_t startMicros; //!< since process trace epoch
+    uint64_t durMicros;
+    uint64_t tid; //!< stable id of the recording thread
+};
+
+/** Collects spans; serializes chrome://tracing JSON. */
+class TraceSink
+{
+  public:
+    TraceSink() = default;
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** Append a completed span (no-op under -DCRISPR_METRICS=OFF). */
+    void record(std::string_view name, uint64_t start_micros,
+                uint64_t dur_micros);
+
+    size_t size() const;
+    /** Spans recorded under `name` so far. */
+    size_t count(std::string_view name) const;
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Write the chrome://tracing JSON object ({"traceEvents": [...]})
+     * — complete "X" (duration) events, timestamps in microseconds.
+     */
+    void writeJson(std::ostream &out) const;
+    /** writeJson to a file; FatalError when the file cannot open. */
+    void writeJsonFile(const std::string &path) const;
+
+    /** Microseconds since the process trace epoch (first call). */
+    static uint64_t nowMicros();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * RAII scope timer: records `name` into `sink` over the constructor-
+ * to-destructor window. A null sink (tracing off) is free. finish()
+ * ends the span early; the destructor is then a no-op.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan() = default;
+
+    TraceSpan(TraceSink *sink, std::string_view name)
+    {
+        if constexpr (kMetricsEnabled) {
+            if (sink) {
+                sink_ = sink;
+                name_ = name;
+                start_ = TraceSink::nowMicros();
+            }
+        }
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    ~TraceSpan() { finish(); }
+
+    void
+    finish()
+    {
+        if (!sink_)
+            return;
+        sink_->record(name_, start_, TraceSink::nowMicros() - start_);
+        sink_ = nullptr;
+    }
+
+  private:
+    TraceSink *sink_ = nullptr;
+    std::string_view name_;
+    uint64_t start_ = 0;
+};
+
+} // namespace crispr::common
+
+#endif // CRISPR_COMMON_TRACE_HPP_

@@ -95,17 +95,21 @@ ChunkedScanner::ChunkedScanner(
 std::vector<ReportEvent>
 ChunkedScanner::scanChunkLocal(std::span<const uint8_t> window,
                                size_t emit_offset,
-                               std::atomic<uint64_t> &retries) const
+                               std::atomic<uint64_t> &retries,
+                               common::Histogram chunk_latency) const
 {
     for (unsigned attempt = 0;; ++attempt) {
         try {
+            common::TraceSpan span(options_.trace, "chunk.scan");
             if (common::faultpoints::shouldFail("chunk.scan"))
                 throw common::ErrorException(
                     Error(ErrorCode::FaultInjected,
                           "injected chunk.scan fault")
                         .withContext("engine", engine_.name()));
+            Stopwatch chunk_timer;
             EngineRun run =
                 engine_.scan(*compiled_, SequenceView(window));
+            chunk_latency.observe(chunk_timer.seconds());
             std::vector<ReportEvent> kept;
             kept.reserve(run.events.size());
             for (const ReportEvent &ev : run.events)
@@ -123,8 +127,10 @@ ChunkedScanner::scanChunkLocal(std::span<const uint8_t> window,
 }
 
 EngineRun
-ChunkedScanner::makeRun(std::vector<ReportEvent> events, size_t chunks,
-                        unsigned threads, double wall_seconds) const
+ChunkedScanner::makeRun(
+    std::vector<ReportEvent> events, size_t chunks, unsigned threads,
+    double wall_seconds, uint64_t bytes,
+    const common::MetricsRegistry &scan_metrics) const
 {
     EngineRun run;
     run.kind = engine_.kind();
@@ -135,9 +141,15 @@ ChunkedScanner::makeRun(std::vector<ReportEvent> events, size_t chunks,
     run.timing.kernelSeconds = wall_seconds;
     run.timing.totalSeconds = wall_seconds;
     run.metrics = compiled_->metrics;
+    scan_metrics.mergeInto(run.metrics);
     run.metrics["scan.chunks"] = static_cast<double>(chunks);
     run.metrics["scan.threads"] = static_cast<double>(threads);
-    run.metrics["events"] = static_cast<double>(run.events.size());
+    run.metrics["scan.bytes"] = static_cast<double>(bytes);
+    run.metrics["scan.events"] =
+        static_cast<double>(run.events.size());
+    if (wall_seconds > 0.0)
+        run.metrics["scan.bytes_per_sec"] =
+            static_cast<double>(bytes) / wall_seconds;
     run.metrics.emplace("events.dropped", 0.0);
     return run;
 }
@@ -150,6 +162,9 @@ ChunkedScanner::tryScan(const genome::Sequence &seq) const
         seq.size(), options_.chunkSize, overlap_);
     const unsigned threads = genome::resolveThreads(options_.threads);
 
+    common::MetricsRegistry scan_metrics;
+    common::Histogram chunk_latency =
+        scan_metrics.histogram("scan.chunk_seconds");
     std::vector<ReportEvent> events;
     std::mutex events_mutex;
     std::atomic<size_t> next{0};
@@ -177,7 +192,7 @@ ChunkedScanner::tryScan(const genome::Sequence &seq) const
                 auto kept = scanChunkLocal(
                     std::span<const uint8_t>(seq.data() + c.leadFrom,
                                              c.end - c.leadFrom),
-                    c.emitFrom - c.leadFrom, retries);
+                    c.emitFrom - c.leadFrom, retries, chunk_latency);
                 for (const ReportEvent &ev : kept)
                     local.push_back(ReportEvent{ev.reportId,
                                                 ev.end + c.leadFrom});
@@ -210,7 +225,8 @@ ChunkedScanner::tryScan(const genome::Sequence &seq) const
         return scanError(first_error, engine_.name());
 
     EngineRun run = makeRun(std::move(events), plan.size(), threads,
-                            timer.seconds());
+                            timer.seconds(), seq.size(),
+                            scan_metrics);
     const size_t scanned = done.load();
     run.metrics["scan.chunks_skipped"] =
         static_cast<double>(plan.size() - scanned);
@@ -230,6 +246,10 @@ ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
 {
     Stopwatch timer;
     const unsigned threads = genome::resolveThreads(options_.threads);
+
+    common::MetricsRegistry scan_metrics;
+    common::Histogram chunk_latency =
+        scan_metrics.histogram("scan.chunk_seconds");
 
     struct Pending
     {
@@ -272,7 +292,9 @@ ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
             expired = true;
             break;
         }
+        common::TraceSpan parse_span(options_.trace, "parse");
         auto more = reader.tryNext(options_.chunkSize, incoming);
+        parse_span.finish();
         if (!more.ok()) {
             error = more.error();
             failed = true;
@@ -298,11 +320,12 @@ ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
         carry.assign(buffer->data() + (buffer->size() - keep),
                      buffer->data() + buffer->size());
 
-        auto task = [this, buffer, emit_offset, &retries] {
+        auto task = [this, buffer, emit_offset, &retries,
+                     chunk_latency] {
             return scanChunkLocal(
                 std::span<const uint8_t>(buffer->data(),
                                          buffer->size()),
-                emit_offset, retries);
+                emit_offset, retries, chunk_latency);
         };
         in_flight.push_back(Pending{
             buffer, buffer_start,
@@ -321,8 +344,8 @@ ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
     if (failed)
         return error;
 
-    EngineRun run =
-        makeRun(std::move(events), chunks, threads, timer.seconds());
+    EngineRun run = makeRun(std::move(events), chunks, threads,
+                            timer.seconds(), offset, scan_metrics);
     run.metrics["scan.retries"] = static_cast<double>(retries.load());
     run.metrics["search.timed_out"] =
         expired && options_.deadline.timedOut() ? 1.0 : 0.0;

@@ -28,6 +28,7 @@
 
 #include "common/deadline.hpp"
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "core/engine.hpp"
 #include "genome/fasta_stream.hpp"
 
@@ -47,6 +48,8 @@ struct ChunkedScanOptions
     /** First retry backoff; doubled per attempt up to the cap. */
     double retryBackoffSeconds = 0.001;
     double retryBackoffCapSeconds = 0.050;
+    /** Optional span sink (parse / chunk.scan); nullptr = no tracing. */
+    common::TraceSink *trace = nullptr;
 };
 
 /**
@@ -123,10 +126,13 @@ class ChunkedScanner
   private:
     std::vector<automata::ReportEvent>
     scanChunkLocal(std::span<const uint8_t> window, size_t emit_offset,
-                   std::atomic<uint64_t> &retries) const;
+                   std::atomic<uint64_t> &retries,
+                   common::Histogram chunk_latency) const;
     EngineRun makeRun(std::vector<automata::ReportEvent> events,
                       size_t chunks, unsigned threads,
-                      double wall_seconds) const;
+                      double wall_seconds, uint64_t bytes,
+                      const common::MetricsRegistry &scan_metrics)
+        const;
 
     const Engine &engine_;
     std::shared_ptr<const CompiledPattern> compiled_;

@@ -27,9 +27,14 @@ Engine::compile(const PatternSet &set, const EngineParams &params) const
     compiled.kind = kind();
     compiled.set = std::make_shared<const PatternSet>(set);
     compiled.params = params;
+    common::MetricsRegistry metrics;
     Stopwatch timer;
-    compiled.state = compileState(set, params, compiled.metrics);
+    compiled.state = compileState(set, params, metrics);
     compiled.compileSeconds = timer.seconds();
+    metrics.gauge("compile.patterns")
+        .set(static_cast<double>(set.patterns.size()));
+    metrics.gauge("compile.seconds").set(compiled.compileSeconds);
+    metrics.mergeInto(compiled.metrics);
     return compiled;
 }
 
@@ -40,12 +45,20 @@ Engine::scan(const CompiledPattern &compiled, const SequenceView &view) const
         panic("compiled pattern for engine %d handed to engine %s",
               static_cast<int>(compiled.kind), name());
     EngineRun run;
-    scanImpl(compiled, view, run);
+    common::MetricsRegistry metrics;
+    scanImpl(compiled, view, run, metrics);
     run.kind = kind();
     run.timing.compileSeconds = compiled.compileSeconds;
     for (const auto &[key, value] : compiled.metrics)
         run.metrics.emplace(key, value);
-    run.metrics["events"] = static_cast<double>(run.events.size());
+    metrics.mergeInto(run.metrics);
+    run.metrics["scan.bytes"] = static_cast<double>(view.size());
+    run.metrics["scan.events"] =
+        static_cast<double>(run.events.size());
+    if (run.timing.hostSeconds > 0.0)
+        run.metrics["scan.bytes_per_sec"] =
+            static_cast<double>(view.size()) /
+            run.timing.hostSeconds;
     run.metrics.emplace("events.dropped", 0.0);
     return run;
 }

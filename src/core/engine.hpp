@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "core/engines.hpp"
 
 namespace crispr::core {
@@ -147,19 +148,26 @@ class Engine
             const SequenceView &view) const;
 
   protected:
-    /** Build the engine-specific compiled artifact. */
+    /**
+     * Build the engine-specific compiled artifact. Compile-time
+     * metrics (artifact sizes, placements, ...) are published as
+     * registry handles — dotted lower-case names, with `compile.states`
+     * for the engine's natural automaton-size figure — and bridged into
+     * CompiledPattern::metrics by the caller.
+     */
     virtual std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &params,
-                 std::map<std::string, double> &metrics) const = 0;
+                 common::MetricsRegistry &metrics) const = 0;
 
     /**
      * Fill `run` from a scan of `view`: events (normalised, view-local)
-     * plus host/kernel/total timing. `run.kind`, compile timing and
-     * metric merging are handled by the caller.
+     * plus host/kernel/total timing; per-scan metrics go through the
+     * registry. `run.kind`, compile timing and metric merging are
+     * handled by the caller.
      */
     virtual void scanImpl(const CompiledPattern &compiled,
-                          const SequenceView &view,
-                          EngineRun &run) const = 0;
+                          const SequenceView &view, EngineRun &run,
+                          common::MetricsRegistry &metrics) const = 0;
 };
 
 } // namespace crispr::core

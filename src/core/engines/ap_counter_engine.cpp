@@ -36,7 +36,7 @@ class ApCounterEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &params,
-                 std::map<std::string, double> &metrics) const override
+                 common::MetricsRegistry &metrics) const override
     {
         auto state = std::make_shared<State>();
 
@@ -54,19 +54,21 @@ class ApCounterEngine final : public Engine
         }
         state->placement =
             ap::placeMachines(machine_stats, params.apSpec);
-        metrics["ap.stes"] =
-            static_cast<double>(state->placement.stes);
-        metrics["ap.counters"] =
-            static_cast<double>(state->placement.counters);
-        metrics["ap.gates"] =
-            static_cast<double>(state->placement.gates);
-        metrics["ap.passes"] = state->placement.passes;
+        metrics.gauge("compile.states")
+            .set(static_cast<double>(state->placement.stes));
+        metrics.gauge("ap.stes")
+            .set(static_cast<double>(state->placement.stes));
+        metrics.gauge("ap.counters")
+            .set(static_cast<double>(state->placement.counters));
+        metrics.gauge("ap.gates")
+            .set(static_cast<double>(state->placement.gates));
+        metrics.gauge("ap.passes").set(state->placement.passes);
         return state;
     }
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run, common::MetricsRegistry &) const override
     {
         const State &state = compiled.stateAs<State>();
         const EngineParams &params = compiled.params;

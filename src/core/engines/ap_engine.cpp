@@ -29,7 +29,7 @@ class ApEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &params,
-                 std::map<std::string, double> &metrics) const override
+                 common::MetricsRegistry &metrics) const override
     {
         auto state = std::make_shared<State>();
         state->specs = set.specsForStream(false);
@@ -47,13 +47,16 @@ class ApEngine final : public Engine
         }
         state->placement =
             ap::placeMachines(machine_stats, params.apSpec);
-        metrics["ap.stes"] =
-            static_cast<double>(state->placement.stes);
-        metrics["ap.blocks"] =
-            static_cast<double>(state->placement.blocksUsed);
-        metrics["ap.chips"] = state->placement.chipsUsed;
-        metrics["ap.passes"] = state->placement.passes;
-        metrics["ap.utilization"] = state->placement.utilization;
+        metrics.gauge("compile.states")
+            .set(static_cast<double>(state->placement.stes));
+        metrics.gauge("ap.stes")
+            .set(static_cast<double>(state->placement.stes));
+        metrics.gauge("ap.blocks")
+            .set(static_cast<double>(state->placement.blocksUsed));
+        metrics.gauge("ap.chips").set(state->placement.chipsUsed);
+        metrics.gauge("ap.passes").set(state->placement.passes);
+        metrics.gauge("ap.utilization")
+            .set(state->placement.utilization);
 
         state->machine =
             ap::fromNfa(detail::unionNfaOf(state->specs));
@@ -62,7 +65,8 @@ class ApEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run,
+             common::MetricsRegistry &metrics) const override
     {
         const State &state = compiled.stateAs<State>();
         const EngineParams &params = compiled.params;
@@ -83,10 +87,10 @@ class ApEngine final : public Engine
             events_count = stats.reportEvents;
             kernel =
                 sim.kernelSeconds(stats) * state.placement.passes;
-            run.metrics["ap.stall_cycles"] =
-                static_cast<double>(stats.stallCycles);
-            run.metrics["ap.reporting_cycles"] =
-                static_cast<double>(stats.reportingCycles);
+            metrics.counter("ap.stall_cycles")
+                .inc(stats.stallCycles);
+            metrics.counter("ap.reporting_cycles")
+                .inc(stats.reportingCycles);
         } else {
             run.events = detail::fastEvents(g, state.specs);
             events_count = run.events.size();

@@ -25,7 +25,7 @@ class BruteEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &,
-                 std::map<std::string, double> &) const override
+                 common::MetricsRegistry &) const override
     {
         auto state = std::make_shared<State>();
         state->specs = set.specsForStream(false);
@@ -34,7 +34,7 @@ class BruteEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run, common::MetricsRegistry &) const override
     {
         const State &state = compiled.stateAs<State>();
         genome::Sequence storage;

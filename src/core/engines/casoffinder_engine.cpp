@@ -25,7 +25,7 @@ class CasOffinderEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &,
-                 std::map<std::string, double> &) const override
+                 common::MetricsRegistry &) const override
     {
         auto state = std::make_shared<State>();
         state->specs = set.specsForStream(false);
@@ -34,7 +34,8 @@ class CasOffinderEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run,
+             common::MetricsRegistry &metrics) const override
     {
         const State &state = compiled.stateAs<State>();
         genome::Sequence storage;
@@ -50,12 +51,11 @@ class CasOffinderEngine final : public Engine
             compiled.params.casoffinderModel.totalSeconds(r.work);
         run.timing.kernelSeconds = run.timing.modelKernelSeconds;
         run.timing.totalSeconds = run.timing.modelTotalSeconds;
-        run.metrics["casoffinder.pam_hits"] =
-            static_cast<double>(r.work.pamHits);
-        run.metrics["casoffinder.comparisons"] =
-            static_cast<double>(r.work.comparisons);
-        run.metrics["casoffinder.bases"] =
-            static_cast<double>(r.work.basesCompared);
+        metrics.counter("casoffinder.pam_hits").inc(r.work.pamHits);
+        metrics.counter("casoffinder.comparisons")
+            .inc(r.work.comparisons);
+        metrics.counter("casoffinder.bases")
+            .inc(r.work.basesCompared);
     }
 };
 

@@ -32,7 +32,7 @@ class CasOtEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &params,
-                 std::map<std::string, double> &) const override
+                 common::MetricsRegistry &) const override
     {
         auto state = std::make_shared<State>();
         state->specs = set.specsForStream(false);
@@ -43,7 +43,8 @@ class CasOtEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run,
+             common::MetricsRegistry &metrics) const override
     {
         const State &state = compiled.stateAs<State>();
         genome::Sequence storage;
@@ -54,18 +55,15 @@ class CasOtEngine final : public Engine
         run.timing.hostSeconds = r.seconds;
         run.timing.kernelSeconds = r.seconds;
         run.timing.totalSeconds = r.seconds;
-        run.metrics["casot.pam_sites"] =
-            static_cast<double>(r.work.pamSites);
-        run.metrics["casot.bases"] =
-            static_cast<double>(r.work.basesCompared);
-        run.metrics["casot.seed_variants"] =
-            static_cast<double>(r.work.seedVariants);
-        run.metrics["casot.lookups"] =
-            static_cast<double>(r.work.indexLookups);
-        run.metrics["casot.verifications"] =
-            static_cast<double>(r.work.verifications);
-        run.metrics["casot.perl_adjusted_s"] =
-            r.perlAdjustedSeconds(state.config);
+        metrics.counter("casot.pam_sites").inc(r.work.pamSites);
+        metrics.counter("casot.bases").inc(r.work.basesCompared);
+        metrics.counter("casot.seed_variants")
+            .inc(r.work.seedVariants);
+        metrics.counter("casot.lookups").inc(r.work.indexLookups);
+        metrics.counter("casot.verifications")
+            .inc(r.work.verifications);
+        metrics.gauge("casot.perl_adjusted_s")
+            .set(r.perlAdjustedSeconds(state.config));
     }
 
   private:

@@ -26,7 +26,7 @@ class FpgaEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &params,
-                 std::map<std::string, double> &metrics) const override
+                 common::MetricsRegistry &metrics) const override
     {
         auto specs = set.specsForStream(false);
         auto state = std::make_shared<State>(State{
@@ -34,17 +34,22 @@ class FpgaEngine final : public Engine
                              params.fpgaSpec),
             std::move(specs)});
         const auto &res = state->fabric.resources();
-        metrics["fpga.luts"] = static_cast<double>(res.luts);
-        metrics["fpga.ffs"] = static_cast<double>(res.flipflops);
-        metrics["fpga.clock_mhz"] = res.clockHz / 1e6;
-        metrics["fpga.passes"] = res.passes;
-        metrics["fpga.lut_util"] = res.lutUtilization;
+        // One flip-flop per mapped STE: the natural state count.
+        metrics.gauge("compile.states")
+            .set(static_cast<double>(res.flipflops));
+        metrics.gauge("fpga.luts")
+            .set(static_cast<double>(res.luts));
+        metrics.gauge("fpga.ffs")
+            .set(static_cast<double>(res.flipflops));
+        metrics.gauge("fpga.clock_mhz").set(res.clockHz / 1e6);
+        metrics.gauge("fpga.passes").set(res.passes);
+        metrics.gauge("fpga.lut_util").set(res.lutUtilization);
         return state;
     }
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run, common::MetricsRegistry &) const override
     {
         const State &state = compiled.stateAs<State>();
         const EngineParams &params = compiled.params;

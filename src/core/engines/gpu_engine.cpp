@@ -26,7 +26,7 @@ class GpuInfant2Engine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &params,
-                 std::map<std::string, double> &metrics) const override
+                 common::MetricsRegistry &metrics) const override
     {
         auto specs = set.specsForStream(false);
         automata::Nfa nfa = detail::unionNfaOf(specs);
@@ -35,16 +35,21 @@ class GpuInfant2Engine final : public Engine
             gpu::Infant2Engine(nfa, params.gpuModel, params.gpuChunk,
                                overlap),
             std::move(specs)});
-        metrics["gpu.transitions"] = static_cast<double>(
-            state->engine.graph().totalTransitions());
-        metrics["gpu.max_list"] = static_cast<double>(
-            state->engine.graph().maxListLength());
+        metrics.gauge("compile.states")
+            .set(static_cast<double>(nfa.size()));
+        metrics.gauge("gpu.transitions")
+            .set(static_cast<double>(
+                state->engine.graph().totalTransitions()));
+        metrics.gauge("gpu.max_list")
+            .set(static_cast<double>(
+                state->engine.graph().maxListLength()));
         return state;
     }
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run,
+             common::MetricsRegistry &metrics) const override
     {
         const State &state = compiled.stateAs<State>();
         const EngineParams &params = compiled.params;
@@ -59,10 +64,10 @@ class GpuInfant2Engine final : public Engine
             run.events = engine.scanAll(g);
             run.timing.hostSeconds = timer.seconds();
             time = engine.estimateTime();
-            run.metrics["gpu.transitions_fetched"] =
-                static_cast<double>(engine.work().transitionsFetched);
-            run.metrics["gpu.transitions_taken"] =
-                static_cast<double>(engine.work().transitionsTaken);
+            metrics.counter("gpu.transitions_fetched")
+                .inc(engine.work().transitionsFetched);
+            metrics.counter("gpu.transitions_taken")
+                .inc(engine.work().transitionsTaken);
         } else {
             Stopwatch timer;
             run.events = detail::fastEvents(g, state.specs);
@@ -76,8 +81,8 @@ class GpuInfant2Engine final : public Engine
             work.reportEvents = run.events.size();
             time = gpu::estimateInfant2Time(work, state.engine.graph(),
                                             g.size(), params.gpuModel);
-            run.metrics["gpu.transitions_fetched"] =
-                static_cast<double>(work.transitionsFetched);
+            metrics.counter("gpu.transitions_fetched")
+                .inc(work.transitionsFetched);
             run.notes = "analytic timing (genome over full-sim limit)";
         }
         run.timing.modelKernelSeconds = time.kernelSeconds;

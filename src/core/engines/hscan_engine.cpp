@@ -33,7 +33,7 @@ class HscanEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &params,
-                 std::map<std::string, double> &metrics) const override
+                 common::MetricsRegistry &metrics) const override
     {
         hscan::DatabaseOptions opts = params.hscanOpts;
         if (mode_ != hscan::ScanMode::Auto)
@@ -42,21 +42,25 @@ class HscanEngine final : public Engine
             hscan::Database::compile(set.specsForStream(false), opts),
             ""});
         state->info = state->db.info();
-        metrics["hscan.dfa_path"] =
-            state->db.effectiveMode() == hscan::ScanMode::Dfa ? 1.0
-                                                              : 0.0;
+        metrics.gauge("hscan.dfa_path")
+            .set(state->db.effectiveMode() == hscan::ScanMode::Dfa
+                     ? 1.0
+                     : 0.0);
         if (state->db.dfaPrototype()) {
-            metrics["hscan.dfa_states"] = static_cast<double>(
-                state->db.dfaPrototype()->dfa().size());
-            metrics["hscan.dfa_bytes"] = static_cast<double>(
-                state->db.dfaPrototype()->dfa().tableBytes());
+            const auto &dfa = state->db.dfaPrototype()->dfa();
+            metrics.gauge("compile.states")
+                .set(static_cast<double>(dfa.size()));
+            metrics.gauge("hscan.dfa_states")
+                .set(static_cast<double>(dfa.size()));
+            metrics.gauge("hscan.dfa_bytes")
+                .set(static_cast<double>(dfa.tableBytes()));
         }
         return state;
     }
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run, common::MetricsRegistry &) const override
     {
         const State &state = compiled.stateAs<State>();
         run.notes = state.info;

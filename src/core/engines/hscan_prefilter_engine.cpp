@@ -28,18 +28,19 @@ class HscanPrefilterEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &,
-                 std::map<std::string, double> &metrics) const override
+                 common::MetricsRegistry &metrics) const override
     {
         auto state = std::make_shared<State>(
             State{hscan::PrefilterMatcher(set.specsForStream(false))});
-        metrics["prefilter.shapes"] =
-            static_cast<double>(state->matcher.shapeCount());
+        metrics.gauge("prefilter.shapes")
+            .set(static_cast<double>(state->matcher.shapeCount()));
         return state;
     }
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run,
+             common::MetricsRegistry &metrics) const override
     {
         // The matcher accumulates per-run stats; scan a copy so one
         // compilation serves concurrent scans.
@@ -52,10 +53,10 @@ class HscanPrefilterEngine final : public Engine
         run.timing.hostSeconds = timer.seconds();
         run.timing.kernelSeconds = run.timing.hostSeconds;
         run.timing.totalSeconds = run.timing.hostSeconds;
-        run.metrics["prefilter.anchors_hit"] =
-            static_cast<double>(matcher.stats().anchorsHit);
-        run.metrics["prefilter.verifications"] =
-            static_cast<double>(matcher.stats().verifications);
+        metrics.counter("prefilter.anchors_hit")
+            .inc(matcher.stats().anchorsHit);
+        metrics.counter("prefilter.verifications")
+            .inc(matcher.stats().verifications);
     }
 };
 

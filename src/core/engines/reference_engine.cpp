@@ -25,19 +25,23 @@ class ReferenceEngine final : public Engine
 
     std::shared_ptr<const void>
     compileState(const PatternSet &set, const EngineParams &,
-                 std::map<std::string, double> &metrics) const override
+                 common::MetricsRegistry &metrics) const override
     {
         auto state = std::make_shared<State>();
         state->nfa = detail::unionNfaOf(set.specsForStream(false));
-        metrics["nfa.states"] = static_cast<double>(state->nfa.size());
-        metrics["nfa.edges"] =
-            static_cast<double>(state->nfa.edgeCount());
+        metrics.gauge("compile.states")
+            .set(static_cast<double>(state->nfa.size()));
+        metrics.gauge("nfa.states")
+            .set(static_cast<double>(state->nfa.size()));
+        metrics.gauge("nfa.edges")
+            .set(static_cast<double>(state->nfa.edgeCount()));
         return state;
     }
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run) const override
+             EngineRun &run,
+             common::MetricsRegistry &metrics) const override
     {
         const State &state = compiled.stateAs<State>();
         Stopwatch timer;
@@ -49,8 +53,8 @@ class ReferenceEngine final : public Engine
         run.timing.hostSeconds = timer.seconds();
         run.timing.kernelSeconds = run.timing.hostSeconds;
         run.timing.totalSeconds = run.timing.hostSeconds;
-        run.metrics["nfa.activations"] =
-            static_cast<double>(interp.activationCount());
+        metrics.counter("nfa.activations")
+            .inc(interp.activationCount());
     }
 };
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/deadline.hpp"
+#include "common/trace.hpp"
 #include "core/engines.hpp"
 #include "core/offtarget.hpp"
 
@@ -78,6 +79,14 @@ struct SearchConfig
      * `parse.records_dropped` metric) instead of failing the search.
      */
     bool lenientFasta = false;
+
+    /**
+     * Optional trace sink: when set, the search records RAII spans
+     * (search, parse, pattern.compile, engine.compile, scan,
+     * chunk.scan, report) into it, serializable to chrome://tracing
+     * JSON via TraceSink::writeJson. The sink must outlive the search.
+     */
+    common::TraceSink *trace = nullptr;
 };
 
 /** Search result: verified hits plus the raw engine run. */

@@ -53,7 +53,9 @@ joinEngineNames(const std::vector<EngineKind> &kinds)
 SearchSession::SearchSession(std::vector<Guide> guides,
                              SearchConfig config, size_t cache_capacity)
     : guides_(std::move(guides)), config_(std::move(config)),
-      capacity_(std::max<size_t>(1, cache_capacity))
+      capacity_(std::max<size_t>(1, cache_capacity)),
+      compiles_(metrics_.counter("session.compiles")),
+      cacheHits_(metrics_.counter("session.cache_hits"))
 {
 }
 
@@ -92,6 +94,7 @@ SearchSession::chunkOptions(const SearchConfig &config) const
     opts.deadline = config.deadline;
     opts.scanRetries = config.scanRetries;
     opts.retryBackoffSeconds = config.retryBackoffSeconds;
+    opts.trace = config.trace;
     return opts;
 }
 
@@ -104,7 +107,7 @@ SearchSession::compiledFor(const SearchConfig &config,
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {
         if (it->first == key) {
             cache_.splice(cache_.begin(), cache_, it);
-            ++cacheHits_;
+            cacheHits_.inc();
             return cache_.front().second;
         }
     }
@@ -112,19 +115,23 @@ SearchSession::compiledFor(const SearchConfig &config,
         return Error(ErrorCode::FaultInjected,
                      "injected session.compile fault")
             .withContext("engine", engine.name());
+    common::TraceSpan pattern_span(config.trace, "pattern.compile");
     auto set =
         tryBuildPatternSet(guides_, config.pam, config.maxMismatches,
                            config.bothStrands,
                            engine.requiredOrientation());
+    pattern_span.finish();
     if (!set.ok())
         return set.error();
+    common::TraceSpan compile_span(config.trace, "engine.compile");
     auto built = engine.tryCompile(std::move(set).value(),
                                    config.params);
+    compile_span.finish();
     if (!built.ok())
         return built.error();
     auto compiled = std::make_shared<const CompiledPattern>(
         std::move(built).value());
-    ++compiles_;
+    compiles_.inc();
     cache_.emplace_front(key, compiled);
     while (cache_.size() > capacity_)
         cache_.pop_back();
@@ -134,20 +141,13 @@ SearchSession::compiledFor(const SearchConfig &config,
 void
 SearchSession::recordEngineFailure(const char *name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++failures_[name];
+    metrics_.counter(std::string("session.failures.") + name).inc();
 }
 
 void
 SearchSession::annotate(EngineRun &run) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    run.metrics["session.compiles"] = static_cast<double>(compiles_);
-    run.metrics["session.cache_hits"] =
-        static_cast<double>(cacheHits_);
-    for (const auto &[name, count] : failures_)
-        run.metrics["session.failures." + name] =
-            static_cast<double>(count);
+    metrics_.mergeInto(run.metrics);
 }
 
 common::Expected<EngineRun>
@@ -184,7 +184,8 @@ SearchSession::scanWith(
         run.kind = engine.kind();
         run.timing.compileSeconds = compiled->compileSeconds;
         run.metrics = compiled->metrics;
-        run.metrics["events"] = 0.0;
+        run.metrics["scan.bytes"] = 0.0;
+        run.metrics["scan.events"] = 0.0;
         run.metrics.emplace("events.dropped", 0.0);
         run.metrics["search.timed_out"] =
             config.deadline.timedOut() ? 1.0 : 0.0;
@@ -206,6 +207,7 @@ common::Expected<SearchResult>
 SearchSession::trySearch(const genome::Sequence &genome_seq,
                          const SearchConfig &config)
 {
+    common::TraceSpan search_span(config.trace, "search");
     const std::vector<EngineKind> chain = engineChain(config);
     Error last(ErrorCode::Internal, "no engine attempted");
     size_t failed_engines = 0;
@@ -228,8 +230,10 @@ SearchSession::trySearch(const genome::Sequence &genome_seq,
             ++failed_engines;
             continue;
         }
+        common::TraceSpan scan_span(config.trace, "scan");
         auto run = scanWith(*engine, compiled.value(), genome_seq,
                             config);
+        scan_span.finish();
         if (!run.ok()) {
             last = run.error();
             recordEngineFailure(engine->name());
@@ -240,12 +244,20 @@ SearchSession::trySearch(const genome::Sequence &genome_seq,
         SearchResult result;
         result.patterns = *compiled.value()->set;
         result.run = std::move(run).value();
+        common::TraceSpan report_span(config.trace, "report");
         const bool tolerant = engine->kind() == EngineKind::ApCounter;
         result.hits = hitsFromEvents(genome_seq, result.patterns,
                                      result.run.events, tolerant,
                                      &result.droppedEvents);
+        report_span.finish();
         result.run.metrics["events.dropped"] =
             static_cast<double>(result.droppedEvents);
+        result.run.metrics["search.hits"] =
+            static_cast<double>(result.hits.size());
+        if (result.run.timing.hostSeconds > 0.0)
+            result.run.metrics["search.hits_per_sec"] =
+                static_cast<double>(result.hits.size()) /
+                result.run.timing.hostSeconds;
         result.run.metrics["session.fallbacks"] =
             static_cast<double>(failed_engines);
         result.run.metrics.emplace("search.timed_out", 0.0);
@@ -269,6 +281,7 @@ common::Expected<SearchResult>
 SearchSession::trySearchStream(std::istream &fasta,
                                const SearchConfig &config)
 {
+    common::TraceSpan search_span(config.trace, "search");
     const std::vector<EngineKind> chain = engineChain(config);
     Error last(ErrorCode::Internal, "no engine attempted");
     size_t failed_engines = 0;
@@ -311,6 +324,7 @@ SearchSession::trySearchStream(std::istream &fasta,
         // chunk buffer that reported it: verify per chunk, then lift
         // start to global.
         ChunkObserver verify = [&](const ChunkScanView &chunk) {
+            common::TraceSpan report_span(config.trace, "report");
             size_t dropped = 0;
             std::vector<OffTargetHit> hits = hitsFromEvents(
                 chunk.buffer, result.patterns, chunk.events,
@@ -348,6 +362,12 @@ SearchSession::trySearchStream(std::istream &fasta,
             static_cast<double>(result.droppedEvents);
         result.run.metrics["parse.records_dropped"] =
             static_cast<double>(reader.recordsDropped());
+        result.run.metrics["search.hits"] =
+            static_cast<double>(result.hits.size());
+        if (result.run.timing.hostSeconds > 0.0)
+            result.run.metrics["search.hits_per_sec"] =
+                static_cast<double>(result.hits.size()) /
+                result.run.timing.hostSeconds;
         result.run.metrics["session.fallbacks"] =
             static_cast<double>(failed_engines);
         result.timedOut =
@@ -388,23 +408,28 @@ SearchSession::searchStream(std::istream &fasta,
 size_t
 SearchSession::compileCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return compiles_;
+    return compiles_.value();
 }
 
 size_t
 SearchSession::cacheHits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cacheHits_;
+    return cacheHits_.value();
 }
 
 size_t
 SearchSession::engineFailures(EngineKind kind) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = failures_.find(engineName(kind));
-    return it == failures_.end() ? 0 : it->second;
+    return metrics_
+        .counter(std::string("session.failures.") +
+                 engineName(kind))
+        .value();
+}
+
+std::map<std::string, double>
+SearchSession::metricsSnapshot() const
+{
+    return metrics_.toMap();
 }
 
 void

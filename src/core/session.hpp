@@ -47,6 +47,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "core/chunked_scan.hpp"
 #include "core/search.hpp"
 
@@ -109,6 +110,13 @@ class SearchSession
     /** Compile/scan failures recorded against one engine so far. */
     size_t engineFailures(EngineKind kind) const;
 
+    /**
+     * Snapshot of the session's cumulative metrics (session.compiles,
+     * session.cache_hits, session.failures.<name>), as merged into
+     * every run's metric map.
+     */
+    std::map<std::string, double> metricsSnapshot() const;
+
     /** Drop every cached compilation. */
     void clearCache();
 
@@ -133,13 +141,19 @@ class SearchSession
     SearchConfig config_;
     size_t capacity_;
 
-    mutable std::mutex mutex_;
+    mutable std::mutex mutex_; //!< guards cache_ only
     std::list<std::pair<std::string,
                         std::shared_ptr<const CompiledPattern>>>
         cache_; //!< front = most recently used
-    size_t compiles_ = 0;
-    size_t cacheHits_ = 0;
-    std::map<std::string, size_t> failures_; //!< by engine name
+
+    /**
+     * Session-lifetime observability: the registry is internally
+     * synchronized, so counters are bumped without mutex_ and
+     * annotate() merges a snapshot into every run's metric map.
+     */
+    mutable common::MetricsRegistry metrics_;
+    common::Counter compiles_;
+    common::Counter cacheHits_;
 };
 
 } // namespace crispr::core

@@ -142,7 +142,10 @@ TEST_F(FaultRecovery, RetriesTransientChunkFault)
     auto got = session.trySearch(w.genome, retrying);
     ASSERT_TRUE(got.ok()) << got.error().str();
     EXPECT_EQ(got.value().hits, want.hits);
-    EXPECT_GE(got.value().run.metrics.at("scan.retries"), 1.0);
+    // Every injected chunk failure becomes exactly one retry.
+    EXPECT_EQ(got.value().run.metrics.at("scan.retries"),
+              static_cast<double>(fp::failures("chunk.scan")));
+    EXPECT_GE(fp::failures("chunk.scan"), 1u);
     EXPECT_EQ(got.value().run.metrics.at("scan.chunks_skipped"), 0.0);
     EXPECT_EQ(got.value().run.metrics.at("session.fallbacks"), 0.0);
 }

@@ -39,7 +39,7 @@ randomText(Rng &rng, size_t len)
 
 template <typename Fn>
 void
-expectGraceful(Fn &&fn, const char *what)
+expectGraceful(Fn &&fn, const std::string &what)
 {
     try {
         fn();
@@ -55,13 +55,23 @@ expectGraceful(Fn &&fn, const char *what)
     }
 }
 
+/** "name seed=S trial=T" — everything needed to replay one case. */
+std::string
+fuzzCase(const char *what, uint64_t seed, int trial)
+{
+    return std::string(what) + " seed=" + std::to_string(seed) +
+           " trial=" + std::to_string(trial);
+}
+
 class ParserFuzz : public ::testing::TestWithParam<int>
 {
 };
 
 TEST_P(ParserFuzz, FastaReaderNeverCrashes)
 {
-    Rng rng(static_cast<uint64_t>(GetParam()) * 131);
+    const uint64_t seed =
+        test::testSeed(static_cast<uint64_t>(GetParam()) * 131);
+    Rng rng(seed);
     for (int trial = 0; trial < 40; ++trial) {
         std::string text = randomText(rng, 200);
         expectGraceful(
@@ -69,13 +79,15 @@ TEST_P(ParserFuzz, FastaReaderNeverCrashes)
                 std::istringstream in(text);
                 genome::readFasta(in);
             },
-            "readFasta");
+            fuzzCase("readFasta", seed, trial));
     }
 }
 
 TEST_P(ParserFuzz, FastaStreamNeverCrashes)
 {
-    Rng rng(static_cast<uint64_t>(GetParam()) * 137);
+    const uint64_t seed =
+        test::testSeed(static_cast<uint64_t>(GetParam()) * 137);
+    Rng rng(seed);
     for (int trial = 0; trial < 40; ++trial) {
         std::string text = randomText(rng, 200);
         expectGraceful(
@@ -86,25 +98,29 @@ TEST_P(ParserFuzz, FastaStreamNeverCrashes)
                 while (reader.next(64, buf)) {
                 }
             },
-            "FastaStreamReader");
+            fuzzCase("FastaStreamReader", seed, trial));
     }
 }
 
 TEST_P(ParserFuzz, AnmlParsersNeverCrash)
 {
-    Rng rng(static_cast<uint64_t>(GetParam()) * 139);
+    const uint64_t seed =
+        test::testSeed(static_cast<uint64_t>(GetParam()) * 139);
+    Rng rng(seed);
     for (int trial = 0; trial < 40; ++trial) {
         std::string text = randomText(rng, 300);
         expectGraceful([&] { automata::anmlFromString(text); },
-                       "anmlFromString");
+                       fuzzCase("anmlFromString", seed, trial));
         expectGraceful([&] { ap::machineAnmlFromString(text); },
-                       "machineAnmlFromString");
+                       fuzzCase("machineAnmlFromString", seed, trial));
     }
 }
 
 TEST_P(ParserFuzz, DatabaseDeserializeNeverCrashes)
 {
-    Rng rng(static_cast<uint64_t>(GetParam()) * 149);
+    const uint64_t seed =
+        test::testSeed(static_cast<uint64_t>(GetParam()) * 149);
+    Rng rng(seed);
     // Mutated valid blobs plus pure garbage.
     auto spec = crispr::test::randomGuideSpec(rng, 8, 3, 1, 0);
     auto blob =
@@ -117,14 +133,14 @@ TEST_P(ParserFuzz, DatabaseDeserializeNeverCrashes)
                 static_cast<uint8_t>(rng.below(256));
         expectGraceful(
             [&] { hscan::Database::deserialize(mutated); },
-            "Database::deserialize");
+            fuzzCase("Database::deserialize", seed, trial));
 
         std::vector<uint8_t> garbage(rng.below(64));
         for (auto &b : garbage)
             b = static_cast<uint8_t>(rng.below(256));
         expectGraceful(
             [&] { hscan::Database::deserialize(garbage); },
-            "Database::deserialize(garbage)");
+            fuzzCase("Database::deserialize(garbage)", seed, trial));
     }
 }
 

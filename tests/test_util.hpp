@@ -7,6 +7,7 @@
 #ifndef CRISPR_TESTS_TEST_UTIL_HPP_
 #define CRISPR_TESTS_TEST_UTIL_HPP_
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,20 @@
 #include "genome/sequence.hpp"
 
 namespace crispr::test {
+
+/**
+ * Deterministic seed for randomized suites: the CRISPR_TEST_SEED
+ * environment variable overrides `fallback` when set. Failure
+ * messages print the seed actually used, so a red run reproduces
+ * with `CRISPR_TEST_SEED=<printed seed> ctest -R <test>`.
+ */
+inline uint64_t
+testSeed(uint64_t fallback)
+{
+    if (const char *env = std::getenv("CRISPR_TEST_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
 
 /** A random concrete-base Hamming spec with guide+PAM layout. */
 inline automata::HammingSpec
