@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Serving-layer throughput: requests/sec for coalesced single-guide
+ * requests through SearchService vs the serial per-request baseline (a
+ * fresh compile + genome pass per request, which is what a
+ * session-per-client server costs). The paper's central throughput
+ * lever — one automaton pass serves many gRNAs — shows up here as the
+ * batching win.
+ *
+ * Emits a BENCH_service.json row (see --json) for CI trend tracking.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/engine_registry.hpp"
+#include "core/service.hpp"
+#include "workloads.hpp"
+
+using namespace crispr;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One coalescing measurement: serve every request in slices of
+ *  `batch` through a manual-mode service. @return requests/sec. */
+double
+runCoalesced(const core::SharedSequence &genome,
+             const std::vector<std::vector<core::Guide>> &requests,
+             const core::SearchConfig &config, size_t batch,
+             size_t *hits)
+{
+    core::ServiceOptions options;
+    options.batchWindowSeconds = -1.0; // manual: drain() per slice
+    options.maxBatchRequests = batch;
+    core::SearchService service(options);
+
+    core::RequestOptions request;
+    request.genome = genome;
+    request.config = config;
+
+    std::vector<std::future<core::SearchResult>> futures;
+    futures.reserve(requests.size());
+    const double start = now();
+    for (size_t i = 0; i < requests.size();) {
+        const size_t end = std::min(i + batch, requests.size());
+        for (; i < end; ++i)
+            futures.push_back(service.submit(requests[i], request));
+        service.drain();
+    }
+    size_t total_hits = 0;
+    for (auto &f : futures)
+        total_hits += f.get().hits.size();
+    const double seconds = now() - start;
+    if (hits)
+        *hits = total_hits;
+    return static_cast<double>(requests.size()) / seconds;
+}
+
+/** The non-batching baseline: one session (compile + pass) each. */
+double
+runSerial(const genome::Sequence &genome,
+          const std::vector<std::vector<core::Guide>> &requests,
+          const core::SearchConfig &config, size_t *hits)
+{
+    size_t total_hits = 0;
+    const double start = now();
+    for (const auto &guides : requests) {
+        core::SearchSession session(guides, config);
+        total_hits += session.search(genome).hits.size();
+    }
+    const double seconds = now() - start;
+    if (hits)
+        *hits = total_hits;
+    return static_cast<double>(requests.size()) / seconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("SERVICE: coalesced vs serial request throughput");
+    cli.addInt("genome-mb", 16, "genome size in MB");
+    cli.addInt("requests", 64, "number of single-guide requests");
+    cli.addInt("d", 1, "mismatch budget");
+    cli.addString("engine", "hscan", "engine name (see registry)");
+    cli.addInt("max-dfa-states", 1 << 20,
+               "hscan DFA state budget for the merged database");
+    cli.addBool("minimize-dfa",
+                "Hopcroft-minimize the hscan DFA (off by default: a "
+                "serving workload pays compile latency per batch, and "
+                "minimization costs seconds to save microseconds of "
+                "scan here; applied to serial and coalesced alike)");
+    cli.addString("json", "BENCH_service.json",
+                  "output path of the JSON result row");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const size_t genome_mb =
+        static_cast<size_t>(cli.getInt("genome-mb"));
+    const size_t num_requests =
+        static_cast<size_t>(cli.getInt("requests"));
+    const int d = static_cast<int>(cli.getInt("d"));
+    const std::string engine_name = cli.getString("engine");
+    const std::string json_path = cli.getString("json");
+
+    const core::Engine *engine =
+        core::EngineRegistry::instance().findByName(engine_name);
+    if (!engine)
+        fatal("unknown engine: %s", engine_name.c_str());
+
+    bench::printBanner(
+        "SERVICE",
+        strprintf("cross-request batching — %zu MB genome, %zu "
+                  "single-guide requests, d=%d, engine=%s",
+                  genome_mb, num_requests, d, engine->name()),
+        "one automaton pass serves many gRNAs at once");
+
+    bench::Workload w =
+        bench::makeWorkload(genome_mb << 20, num_requests);
+    auto genome = std::make_shared<const genome::Sequence>(w.genome);
+
+    // One single-guide request per sampled guide: the paper's serving
+    // scenario (many clients, one shared reference).
+    std::vector<std::vector<core::Guide>> requests;
+    requests.reserve(num_requests);
+    for (const core::Guide &guide : w.guides)
+        requests.push_back({guide});
+
+    core::SearchConfig config;
+    // The compile half keys the coalescing; the runtime half is the
+    // serving shape (serial single-chunk scans, default deadline).
+    config.compile().engine = engine->kind();
+    config.compile().maxMismatches = d;
+    config.compile().params = bench::defaultParams();
+    config.compile().params.hscanOpts.maxDfaStates =
+        static_cast<uint32_t>(cli.getInt("max-dfa-states"));
+    config.compile().params.hscanOpts.minimizeDfa =
+        cli.getBool("minimize-dfa");
+    config.runtime().threads = 1;
+
+    size_t serial_hits = 0;
+    const double serial_rps =
+        runSerial(w.genome, requests, config, &serial_hits);
+
+    Table table({"batch", "req/s", "vs serial", "hits"});
+    table.row()
+        .add("serial")
+        .add(serial_rps, 2)
+        .add("1.0x")
+        .add(static_cast<uint64_t>(serial_hits));
+
+    std::vector<std::pair<size_t, double>> coalesced;
+    for (size_t batch : {size_t(1), size_t(8), size_t(64)}) {
+        if (batch > num_requests)
+            continue;
+        size_t hits = 0;
+        const double rps =
+            runCoalesced(genome, requests, config, batch, &hits);
+        coalesced.emplace_back(batch, rps);
+        table.row()
+            .add(strprintf("%zu", batch))
+            .add(rps, 2)
+            .add(bench::speedupCell(rps, serial_rps))
+            .add(static_cast<uint64_t>(hits));
+        if (hits != serial_hits)
+            fatal("batched hit count diverged from serial "
+                  "(batch=%zu: %zu vs %zu)",
+                  batch, hits, serial_hits);
+    }
+    std::printf("%s", table.str().c_str());
+
+    std::ofstream json(json_path);
+    if (json) {
+        json << "{\"bench\": \"service\", \"engine\": \""
+             << engine->name() << "\", \"genome_bytes\": "
+             << w.genome.size() << ", \"requests\": " << num_requests
+             << ", \"d\": " << d
+             << ", \"serial_rps\": " << serial_rps;
+        for (const auto &[batch, rps] : coalesced)
+            json << ", \"coalesced_" << batch << "_rps\": " << rps;
+        if (!coalesced.empty())
+            json << ", \"speedup_max_batch\": "
+                 << coalesced.back().second / serial_rps;
+        json << "}\n";
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

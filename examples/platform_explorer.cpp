@@ -6,17 +6,22 @@
  *
  * Usage:
  *   platform_explorer [--genome-mb 4] [--guides 10] [--d 3]
- *       [--threads 1] [--metrics-json out.json] [--trace-json out.json]
+ *       [--threads 1] [--requests 0] [--metrics-json out.json]
+ *       [--trace-json out.json]
  *
  * --metrics-json dumps every engine's full metric map as one JSON
  * object keyed by engine name; --trace-json writes a chrome://tracing
  * file of the whole sweep (load it at chrome://tracing or
- * https://ui.perfetto.dev).
+ * https://ui.perfetto.dev). --requests N additionally pushes N
+ * single-guide requests through a SearchService and prints the
+ * service.* / store.* serving metrics.
  */
 
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/logging.hpp"
@@ -25,6 +30,7 @@
 #include "common/trace.hpp"
 #include "core/engine_registry.hpp"
 #include "core/report.hpp"
+#include "core/service.hpp"
 #include "core/session.hpp"
 #include "genome/generator.hpp"
 
@@ -40,6 +46,10 @@ main(int argc, char **argv)
     cli.addInt("threads", 1,
                "worker threads for the CPU engines (0 = all cores)");
     cli.addBool("skip-slow", "skip the brute-force golden engine");
+    cli.addInt("requests", 0,
+               "also serve N single-guide requests through a "
+               "SearchService and print the service.* metrics "
+               "(0 = skip)");
     cli.addString("metrics-json", "",
                   "write per-engine metric maps to this JSON file");
     cli.addString("trace-json", "",
@@ -159,6 +169,37 @@ main(int argc, char **argv)
         trace.writeJsonFile(cli.getString("trace-json"));
         std::cout << "trace (" << trace.size() << " spans) written to "
                   << cli.getString("trace-json") << "\n";
+    }
+
+    // The serving view of the same workload: N single-guide requests
+    // coalesced by a SearchService over the store-cached genome.
+    if (const auto num_requests =
+            static_cast<size_t>(cli.getInt("requests"));
+        num_requests > 0) {
+        core::SearchService service{core::ServiceOptions{}};
+        core::RequestOptions request;
+        request.genome =
+            service.store().put("explorer", std::move(genome_seq));
+        request.config.compile().maxMismatches =
+            static_cast<int>(cli.getInt("d"));
+
+        std::vector<std::future<core::SearchResult>> futures;
+        futures.reserve(num_requests);
+        for (size_t i = 0; i < num_requests; ++i)
+            futures.push_back(service.submit(
+                {guides[i % guides.size()]}, request));
+        service.flush();
+        size_t served_hits = 0;
+        for (auto &f : futures)
+            served_hits += f.get().hits.size();
+
+        std::cout << "\nserving view: " << num_requests
+                  << " single-guide requests, " << served_hits
+                  << " hits total\n";
+        Table service_table({"metric", "value"});
+        for (const auto &[key, value] : service.metricsSnapshot())
+            service_table.row().add(key).add(value, 2);
+        std::cout << service_table.str();
     }
     return 0;
 }

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Minimal serving loop over core::SearchService: reads a request file
+ * (one request per line, each line a whitespace-separated list of
+ * protospacer sequences), replays the requests from `--concurrency`
+ * client threads against one shared reference, and prints the
+ * per-request hit counts plus the service.* / store.* metrics.
+ *
+ * This is the server shape the serving layer is built for: every
+ * client submits independently, the service coalesces whatever arrives
+ * inside a batch window into one compiled pass over the cached genome,
+ * and each client still gets exactly its own hits.
+ *
+ * Usage:
+ *   search_server --requests reqs.txt [--fasta hg.fa] [--d 3]
+ *       [--engine hscan] [--concurrency 4] [--window-ms 2]
+ */
+
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "crispr.hpp"
+#include "genome/generator.hpp"
+
+using namespace crispr;
+
+namespace {
+
+std::vector<std::vector<core::Guide>>
+loadRequests(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open request file '%s'", path.c_str());
+    std::vector<std::vector<core::Guide>> requests;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::vector<core::Guide> guides;
+        std::istringstream ls(line);
+        std::string seq;
+        while (ls >> seq)
+            guides.push_back(core::makeGuide(
+                strprintf("r%zu.g%zu", requests.size(),
+                          guides.size()),
+                seq));
+        if (!guides.empty())
+            requests.push_back(std::move(guides));
+    }
+    if (requests.empty())
+        fatal("request file '%s' contains no requests", path.c_str());
+    return requests;
+}
+
+/**
+ * Demo requests: single-guide requests sampled from the reference,
+ * each planted back into it a few times (guide + AGG PAM, 0-2
+ * mismatches) so the served hit counts are non-trivial.
+ */
+std::vector<std::vector<core::Guide>>
+demoRequests(genome::Sequence &ref, size_t count)
+{
+    Rng rng(7);
+    std::vector<std::vector<core::Guide>> requests;
+    for (core::Guide &g : core::guidesFromGenome(ref, count, 20, 7)) {
+        genome::Sequence site = g.protospacer;
+        site.append(genome::Sequence::fromString("AGG"));
+        for (int mismatches = 0; mismatches < 3; ++mismatches)
+            genome::plantMutatedSites(ref, site, 2, mismatches, 0,
+                                      g.protospacer.size(), rng);
+        requests.push_back({std::move(g)});
+    }
+    return requests;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("Serve off-target search requests through SearchService");
+    cli.addString("requests", "",
+                  "request file: one request per line, each line one "
+                  "or more protospacer sequences (empty: 16 demo "
+                  "requests sampled from the reference)");
+    cli.addString("fasta", "",
+                  "reference FASTA, loaded through the GenomeStore "
+                  "(empty: 4 MB demo genome)");
+    cli.addInt("d", 3, "maximum mismatches in the protospacer");
+    cli.addString("engine", "hscan", "search engine");
+    cli.addInt("concurrency", 4, "client threads submitting requests");
+    cli.addInt("window-ms", 2, "batch window in milliseconds");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    core::ServiceOptions options;
+    options.batchWindowSeconds =
+        static_cast<double>(cli.getInt("window-ms")) / 1000.0;
+    core::SearchService service(options);
+
+    // Resolve the reference once, through the store: every request
+    // then scans the same shared, immutable decoded sequence.
+    core::SharedSequence reference;
+    std::vector<std::vector<core::Guide>> requests;
+    if (const std::string &path = cli.getString("fasta");
+        !path.empty()) {
+        reference = service.store().loadFile(path);
+    } else {
+        genome::GenomeSpec spec;
+        spec.length = 4 << 20;
+        spec.model = genome::CompositionModel::GcBiased;
+        spec.seed = 6;
+        genome::Sequence demo = genome::generateGenome(spec);
+        if (cli.getString("requests").empty())
+            requests = demoRequests(demo, 16);
+        reference = service.store().put("demo", std::move(demo));
+    }
+
+    if (const std::string &path = cli.getString("requests");
+        !path.empty()) {
+        requests = loadRequests(path);
+    } else if (requests.empty()) {
+        // FASTA given but no request file: sample guides from it
+        // (each has at least one perfect protospacer match).
+        for (core::Guide &g :
+             core::guidesFromGenome(*reference, 16, 20, 7))
+            requests.push_back({std::move(g)});
+    }
+
+    const core::Engine *engine = core::EngineRegistry::instance()
+                                     .findByName(cli.getString("engine"));
+    if (!engine)
+        fatal("unknown engine: %s", cli.getString("engine").c_str());
+
+    core::RequestOptions request;
+    request.genome = reference;
+    request.config.compile().engine = engine->kind();
+    request.config.compile().maxMismatches =
+        static_cast<int>(cli.getInt("d"));
+
+    std::cout << "serving " << requests.size() << " requests from "
+              << cli.getInt("concurrency") << " client threads ("
+              << formatBytes(reference->size()) << " reference, d="
+              << cli.getInt("d") << ", engine=" << engine->name()
+              << ")\n";
+
+    // Each client thread owns a slice of the request list; all submit
+    // concurrently, so the window coalesces across clients.
+    const size_t clients = std::max<size_t>(
+        1, static_cast<size_t>(cli.getInt("concurrency")));
+    std::vector<std::future<core::SearchResult>> futures(
+        requests.size());
+    std::vector<std::thread> pool;
+    for (size_t c = 0; c < clients; ++c)
+        pool.emplace_back([&, c] {
+            for (size_t i = c; i < requests.size(); i += clients)
+                futures[i] = service.submit(requests[i], request);
+        });
+    for (auto &t : pool)
+        t.join();
+    service.flush();
+
+    Table table({"request", "guides", "hits", "batchmates", "timed out"});
+    for (size_t i = 0; i < requests.size(); ++i) {
+        core::SearchResult result = futures[i].get();
+        table.row()
+            .add(strprintf("r%zu", i))
+            .add(static_cast<uint64_t>(requests[i].size()))
+            .add(static_cast<uint64_t>(result.hits.size()))
+            .add(static_cast<uint64_t>(static_cast<size_t>(
+                result.run.metrics.at("service.batch_requests"))))
+            .add(result.timedOut ? "yes" : "no");
+    }
+    std::cout << table.str();
+
+    Table metrics_table({"metric", "value"});
+    for (const auto &[key, value] : service.metricsSnapshot())
+        metrics_table.row().add(key).add(value, 2);
+    std::cout << metrics_table.str();
+    return 0;
+}

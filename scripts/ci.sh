@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: build + test the default preset, re-run everything
-# under ASan/UBSan, run the fault-injection and cross-engine
-# conformance suites as their own line items, prove the
-# -DCRISPR_METRICS=OFF configuration still builds and passes, and
-# archive a metrics + trace artifact from the platform explorer.
+# under ASan/UBSan, run the fault-injection, cross-engine conformance,
+# and serving-layer suites as their own line items (service also under
+# the sanitizers), prove the -DCRISPR_METRICS=OFF configuration still
+# builds and passes, and archive a metrics + trace artifact from the
+# platform explorer plus a serving-throughput row from bench_service.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -36,6 +37,13 @@ run ctest --test-dir build -L fault --output-on-failure -j "$jobs"
 # engine, bit-identical against the reference interpreter.
 run ctest --test-dir build -L conformance --output-on-failure -j "$jobs"
 
+# The serving layer, as its own line item on both presets: request
+# coalescing is the most concurrency-heavy code in the library, so the
+# service label runs under the sanitizers too.
+run ctest --test-dir build -L service --output-on-failure -j "$jobs"
+run ctest --test-dir build-sanitize -L service --output-on-failure \
+    -j "$jobs"
+
 # The observability layer is compile-time optional; an OFF build must
 # still compile and pass the whole tier-1 suite (histogram/trace tests
 # skip themselves).
@@ -53,5 +61,11 @@ run ./build/examples/platform_explorer --genome-mb 1 --guides 4 \
     --trace-json build/artifacts/search_trace.json
 test -s build/artifacts/engine_metrics.json
 test -s build/artifacts/search_trace.json
+
+# Serving-layer throughput row (small shape for CI speed): coalesced
+# vs serial requests/sec, archived for trend tracking.
+run ./build/bench/bench_service --genome-mb 4 --requests 16 \
+    --json build/artifacts/BENCH_service.json
+test -s build/artifacts/BENCH_service.json
 
 echo "==> ci: all green"

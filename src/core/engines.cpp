@@ -8,10 +8,7 @@
 
 #include "core/engines.hpp"
 
-#include <memory>
-#include <utility>
-
-#include "core/chunked_scan.hpp"
+#include "core/engine.hpp"
 #include "core/engine_registry.hpp"
 
 namespace crispr::core {
@@ -38,26 +35,10 @@ EngineRun
 runEngine(EngineKind kind, const genome::Sequence &genome,
           const PatternSet &set, const EngineParams &params)
 {
+    // Always a single serial pass: callers that want a threaded scan
+    // set RuntimeOptions::threads and go through SearchSession, which
+    // routes every chunk-capable engine over the chunked pipeline.
     const Engine &engine = EngineRegistry::instance().engine(kind);
-
-    // Back-compat: hscanThreads != 1 used to route the HScan kinds
-    // through hscan::parallelScan; the chunked pipeline is its
-    // registry-wide replacement.
-    const bool hscan_kind = kind == EngineKind::HscanAuto ||
-                            kind == EngineKind::HscanDfa ||
-                            kind == EngineKind::HscanBitParallel;
-    if (hscan_kind && params.hscanThreads != 1) {
-        auto compiled = std::make_shared<const CompiledPattern>(
-            engine.compile(set, params));
-        ChunkedScanOptions opts;
-        opts.threads = params.hscanThreads;
-        EngineRun run =
-            ChunkedScanner(engine, compiled, opts).scan(genome);
-        run.metrics["hscan.threads"] =
-            static_cast<double>(params.hscanThreads);
-        return run;
-    }
-
     CompiledPattern compiled = engine.compile(set, params);
     return engine.scan(compiled, SequenceView(genome));
 }

@@ -74,15 +74,6 @@ struct EngineParams
      * the (functionally equivalent, verified) fast CPU path.
      */
     uint64_t fullSimSymbolLimit = 8ull << 20;
-
-    /**
-     * @deprecated Worker threads for the HScan engines (1 = serial,
-     * matching the paper's single-thread Hyperscan setup; 0 = all
-     * hardware threads). Superseded by SearchConfig::threads, which
-     * covers every chunk-capable engine; still honoured for the HScan
-     * kinds when SearchConfig::threads keeps its default of 1.
-     */
-    unsigned hscanThreads = 1;
 };
 
 /** Timing record of one engine run. */

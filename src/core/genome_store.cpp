@@ -1,0 +1,257 @@
+#include "core/genome_store.hpp"
+
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "genome/fasta.hpp"
+
+namespace crispr::core {
+
+using common::Error;
+using common::ErrorCode;
+
+GenomeStore::GenomeStore(size_t max_bytes)
+    : maxBytes_(max_bytes), hits_(metrics_.counter("store.hits")),
+      misses_(metrics_.counter("store.misses")),
+      loads_(metrics_.counter("store.loads")),
+      evictions_(metrics_.counter("store.evictions")),
+      bytesGauge_(metrics_.gauge("store.bytes")),
+      entriesGauge_(metrics_.gauge("store.entries"))
+{
+}
+
+GenomeStore::~GenomeStore() = default;
+
+std::list<GenomeStore::Entry>::iterator
+GenomeStore::findLocked(const std::string &key)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+        if (it->key == key)
+            return it;
+    return entries_.end();
+}
+
+void
+GenomeStore::evictOverBudgetLocked()
+{
+    // Walk from the LRU end, skipping in-flight loads (their size is
+    // unknown and a waiter owns their future). An evicted sequence
+    // stays alive for whoever still holds its shared_ptr.
+    auto it = entries_.end();
+    while (bytes_ > maxBytes_ && it != entries_.begin()) {
+        --it;
+        if (!it->ready)
+            continue;
+        bytes_ -= it->bytes;
+        it = entries_.erase(it);
+        evictions_.inc();
+    }
+    bytesGauge_.set(static_cast<double>(bytes_));
+    entriesGauge_.set(static_cast<double>(entries_.size()));
+}
+
+common::Expected<SharedSequence>
+GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader)
+{
+    std::promise<LoadResult> promise;
+    std::shared_future<LoadResult> fut;
+    uint64_t my_id = 0;
+    bool load_here = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = findLocked(key);
+        if (it != entries_.end()) {
+            hits_.inc();
+            entries_.splice(entries_.begin(), entries_, it);
+            fut = it->future;
+        } else {
+            misses_.inc();
+            loads_.inc();
+            fut = promise.get_future().share();
+            my_id = nextId_++;
+            entries_.push_front(Entry{key, fut, my_id, 0, false});
+            entriesGauge_.set(static_cast<double>(entries_.size()));
+            load_here = true;
+        }
+    }
+    if (!load_here)
+        return fut.get();
+
+    // Cache miss: this caller decodes while every racer on the same
+    // key waits on the shared future — one parse, many readers.
+    LoadResult result = [&]() -> LoadResult {
+        auto loaded = loader();
+        if (!loaded.ok())
+            return Error(loaded.error());
+        return SharedSequence(std::make_shared<const genome::Sequence>(
+            std::move(loaded).value()));
+    }();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = findLocked(key);
+        // The entry may be gone (erase()/clear() raced the load) or
+        // re-created by a later load; only finish our own slot.
+        if (it != entries_.end() && it->id == my_id) {
+            if (result.ok()) {
+                it->bytes = result.value()->size();
+                it->ready = true;
+                bytes_ += it->bytes;
+                evictOverBudgetLocked();
+            } else {
+                // Errors are not cached: drop the slot so the next
+                // get retries the load.
+                entries_.erase(it);
+                entriesGauge_.set(
+                    static_cast<double>(entries_.size()));
+            }
+        }
+    }
+    promise.set_value(result);
+    return result;
+}
+
+common::Expected<SharedSequence>
+GenomeStore::tryLoadFile(const std::string &path, bool lenient)
+{
+    return tryGetOrLoad(path, [&]() -> common::Expected<genome::Sequence> {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return Error(ErrorCode::InvalidArgument,
+                         "cannot open FASTA file")
+                .withContext("path", path);
+        try {
+            genome::FastaParseOptions options;
+            options.lenient = lenient;
+            size_t dropped = 0;
+            auto records = genome::readFasta(in, options, &dropped);
+            return genome::concatenateRecords(records);
+        } catch (const FatalError &e) {
+            return Error(ErrorCode::ParseError, e.what())
+                .withContext("path", path);
+        }
+    });
+}
+
+SharedSequence
+GenomeStore::getOrLoad(const std::string &key, const Loader &loader)
+{
+    return tryGetOrLoad(key, loader).valueOrThrow();
+}
+
+SharedSequence
+GenomeStore::loadFile(const std::string &path, bool lenient)
+{
+    return tryLoadFile(path, lenient).valueOrThrow();
+}
+
+SharedSequence
+GenomeStore::put(const std::string &key, genome::Sequence seq)
+{
+    auto ptr = std::make_shared<const genome::Sequence>(std::move(seq));
+    std::promise<LoadResult> promise;
+    std::shared_future<LoadResult> fut = promise.get_future().share();
+    promise.set_value(LoadResult(SharedSequence(ptr)));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = findLocked(key); it != entries_.end()) {
+        if (it->ready)
+            bytes_ -= it->bytes;
+        entries_.erase(it);
+    }
+    entries_.push_front(Entry{key, fut, nextId_++, ptr->size(), true});
+    bytes_ += ptr->size();
+    evictOverBudgetLocked();
+    return ptr;
+}
+
+SharedSequence
+GenomeStore::get(const std::string &key)
+{
+    std::shared_future<LoadResult> fut;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = findLocked(key);
+        if (it == entries_.end()) {
+            misses_.inc();
+            return nullptr;
+        }
+        hits_.inc();
+        entries_.splice(entries_.begin(), entries_, it);
+        fut = it->future;
+    }
+    // An in-flight load resolves here; a failed one reads as absent.
+    const LoadResult &result = fut.get();
+    return result.ok() ? result.value() : nullptr;
+}
+
+bool
+GenomeStore::erase(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = findLocked(key);
+    if (it == entries_.end())
+        return false;
+    if (it->ready)
+        bytes_ -= it->bytes;
+    entries_.erase(it);
+    bytesGauge_.set(static_cast<double>(bytes_));
+    entriesGauge_.set(static_cast<double>(entries_.size()));
+    return true;
+}
+
+void
+GenomeStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    bytes_ = 0;
+    bytesGauge_.set(0.0);
+    entriesGauge_.set(0.0);
+}
+
+size_t
+GenomeStore::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+size_t
+GenomeStore::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+size_t
+GenomeStore::hits() const
+{
+    return hits_.value();
+}
+
+size_t
+GenomeStore::misses() const
+{
+    return misses_.value();
+}
+
+size_t
+GenomeStore::evictions() const
+{
+    return evictions_.value();
+}
+
+std::map<std::string, double>
+GenomeStore::metricsSnapshot() const
+{
+    return metrics_.toMap();
+}
+
+void
+GenomeStore::mergeMetricsInto(std::map<std::string, double> &out) const
+{
+    metrics_.mergeInto(out);
+}
+
+} // namespace crispr::core

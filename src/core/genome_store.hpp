@@ -1,0 +1,141 @@
+/**
+ * @file
+ * GenomeStore: a keyed, ref-counted cache of decoded genome::Sequence
+ * objects, so every batch and every request that names the same
+ * reference scans shared immutable memory instead of re-parsing FASTA.
+ *
+ * Load-once semantics: concurrent getOrLoad() calls for one key share
+ * a single parse — the first caller runs the loader while the racers
+ * block on the same future, so a reference is never decoded twice no
+ * matter how many requests land at once. Failed loads are not cached
+ * (the next get retries).
+ *
+ * The cache is LRU-bounded by total decoded bytes (`store.bytes`).
+ * Eviction drops the store's reference only: callers hold plain
+ * shared_ptrs, so a sequence still in use by an in-flight scan stays
+ * alive until the last scan releases it — eviction can never pull a
+ * genome out from under a batch.
+ *
+ * Metrics (metricsSnapshot()): `store.hits`, `store.misses`,
+ * `store.loads`, `store.evictions`, `store.bytes`, `store.entries`.
+ */
+
+#ifndef CRISPR_CORE_GENOME_STORE_HPP_
+#define CRISPR_CORE_GENOME_STORE_HPP_
+
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "genome/sequence.hpp"
+
+namespace crispr::core {
+
+/** Shared, immutable handle to a cached genome. */
+using SharedSequence = std::shared_ptr<const genome::Sequence>;
+
+/** A keyed, LRU-byte-bounded cache of decoded genomes. */
+class GenomeStore
+{
+  public:
+    /** Decodes one genome on a cache miss (run without the lock). */
+    using Loader = std::function<common::Expected<genome::Sequence>()>;
+
+    /** @param max_bytes total decoded bytes kept (LRU evicted). */
+    explicit GenomeStore(size_t max_bytes = kDefaultMaxBytes);
+    ~GenomeStore();
+
+    GenomeStore(const GenomeStore &) = delete;
+    GenomeStore &operator=(const GenomeStore &) = delete;
+
+    /**
+     * The sequence cached under `key`, or the result of running
+     * `loader` to fill it. Exactly one racer runs the loader; the rest
+     * wait for its result. A loader error is returned to every waiter
+     * and evicted immediately, so a later call retries the load.
+     */
+    common::Expected<SharedSequence>
+    tryGetOrLoad(const std::string &key, const Loader &loader);
+
+    /**
+     * Load a FASTA file (key = path), concatenating its records into
+     * one scan stream exactly as genome::concatenateRecords does.
+     * @param lenient skip malformed records instead of failing.
+     */
+    common::Expected<SharedSequence>
+    tryLoadFile(const std::string &path, bool lenient = false);
+
+    /** Throwing wrappers (ErrorException). */
+    SharedSequence getOrLoad(const std::string &key,
+                             const Loader &loader);
+    SharedSequence loadFile(const std::string &path,
+                            bool lenient = false);
+
+    /** Insert an already-decoded sequence (replacing `key` if held). */
+    SharedSequence put(const std::string &key, genome::Sequence seq);
+
+    /** The cached sequence, or nullptr; counts a store hit or miss. */
+    SharedSequence get(const std::string &key);
+
+    /** Drop one key / every key (callers' shared_ptrs stay valid). */
+    bool erase(const std::string &key);
+    void clear();
+
+    size_t bytes() const;     //!< decoded bytes currently cached
+    size_t entryCount() const;
+    size_t hits() const;
+    size_t misses() const;
+    size_t evictions() const;
+
+    /** Snapshot of the store.* metrics. */
+    std::map<std::string, double> metricsSnapshot() const;
+
+    /** Merge the store.* metrics into an existing map. */
+    void mergeMetricsInto(std::map<std::string, double> &out) const;
+
+    static constexpr size_t kDefaultMaxBytes = size_t(8) << 30;
+
+  private:
+    using LoadResult = common::Expected<SharedSequence>;
+
+    struct Entry
+    {
+        std::string key;
+        /** Ready (or in-flight) load result shared by every waiter. */
+        std::shared_future<LoadResult> future;
+        /** Distinguishes this slot from a re-created one (erase race). */
+        uint64_t id = 0;
+        /** Decoded size once ready; 0 while the load is in flight. */
+        size_t bytes = 0;
+        bool ready = false;
+    };
+
+    /** Drop ready LRU entries until the byte budget holds. */
+    void evictOverBudgetLocked();
+    std::list<Entry>::iterator findLocked(const std::string &key);
+
+    const size_t maxBytes_;
+
+    mutable std::mutex mutex_;
+    std::list<Entry> entries_; //!< front = most recently used
+    size_t bytes_ = 0;         //!< sum of ready entries' bytes
+    uint64_t nextId_ = 1;
+
+    mutable common::MetricsRegistry metrics_;
+    common::Counter hits_;
+    common::Counter misses_;
+    common::Counter loads_;
+    common::Counter evictions_;
+    common::Gauge bytesGauge_;
+    common::Gauge entriesGauge_;
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_GENOME_STORE_HPP_

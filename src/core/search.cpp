@@ -1,8 +1,25 @@
 #include "core/search.hpp"
 
+#include <sstream>
+
 #include "core/session.hpp"
 
 namespace crispr::core {
+
+std::string
+compileOptionsKey(const CompileOptions &options)
+{
+    const EngineParams &p = options.params;
+    std::ostringstream key;
+    key << options.maxMismatches << '|' << options.bothStrands << '|'
+        << options.pam.iupac << '|'
+        << static_cast<int>(p.hscanOpts.mode) << ':'
+        << p.hscanOpts.maxDfaStates << ':' << p.hscanOpts.minimizeDfa
+        << '|' << p.gpuChunk << '|' << p.fullSimSymbolLimit << '|'
+        << p.casotConfig.seedLength << ':'
+        << p.casotConfig.maxSeedMismatches;
+    return key.str();
+}
 
 SearchResult
 search(const genome::Sequence &genome_seq,

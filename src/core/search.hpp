@@ -19,6 +19,7 @@
 #ifndef CRISPR_CORE_SEARCH_HPP_
 #define CRISPR_CORE_SEARCH_HPP_
 
+#include <string>
 #include <vector>
 
 #include "common/deadline.hpp"
@@ -28,22 +29,35 @@
 
 namespace crispr::core {
 
-/** Search configuration. */
-struct SearchConfig
+/**
+ * The compile-relevant half of a search configuration: everything a
+ * compiled pattern depends on. Two searches whose CompileOptions agree
+ * can share one compilation (SearchSession's cache key is derived from
+ * this struct alone) and — when their guide sets are compatible — one
+ * genome pass (SearchService's coalescing key is derived from it plus
+ * the engine chain).
+ */
+struct CompileOptions
 {
     PamSpec pam = pamNRG();    //!< NGG + NAG in one class, per the paper
     int maxMismatches = 3;
     bool bothStrands = true;
     EngineKind engine = EngineKind::HscanAuto;
     EngineParams params;
+};
 
+/**
+ * The runtime half of a search configuration: how a scan executes —
+ * none of it affects which compilation serves the request or what hits
+ * come back (geometry-independence is tested), only how the pass runs.
+ */
+struct RuntimeOptions
+{
     /**
      * Worker threads for chunk-capable (CPU) engines: 1 = serial (the
      * paper's single-core setups), 0 = all hardware threads, n = n.
      * Device-model engines (GPU/FPGA/AP) always consume the whole
-     * stream and ignore this. Supersedes the deprecated
-     * EngineParams::hscanThreads, which is still honoured for the
-     * HScan kinds while threads keeps its default.
+     * stream and ignore this.
      */
     unsigned threads = 1;
 
@@ -89,6 +103,32 @@ struct SearchConfig
     common::TraceSink *trace = nullptr;
 };
 
+/**
+ * Search configuration: CompileOptions + RuntimeOptions in one value.
+ * The flat field names (`cfg.maxMismatches`, `cfg.threads`, ...) keep
+ * working through the base classes, so existing call sites compile
+ * unchanged; new code that cares about the compile/runtime split uses
+ * the `compile()` / `runtime()` views.
+ */
+struct SearchConfig : CompileOptions, RuntimeOptions
+{
+    CompileOptions &compile() { return *this; }
+    const CompileOptions &compile() const { return *this; }
+    RuntimeOptions &runtime() { return *this; }
+    const RuntimeOptions &runtime() const { return *this; }
+};
+
+/**
+ * Canonical serialization of the compile-relevant options (pam,
+ * mismatch budget, strands, and the cache-key-relevant engine params).
+ * SearchSession's compile cache key is `engine name + '|' + this`;
+ * SearchService's coalescing key builds on it too. The device-model
+ * specs (fpgaSpec, apSpec, gpuModel, apSimConfig, casoffinderModel)
+ * are deployment constants and deliberately excluded — see the caching
+ * caveat in session.hpp.
+ */
+std::string compileOptionsKey(const CompileOptions &options);
+
 /** Search result: verified hits plus the raw engine run. */
 struct SearchResult
 {
@@ -104,7 +144,9 @@ struct SearchResult
  * Run a one-shot off-target search. Compiles the guide set, scans, and
  * verifies in one call; repeated searches over one guide set should
  * hold a SearchSession (session.hpp) instead, which caches the
- * compilation.
+ * compilation — and concurrent requests should go through a
+ * SearchService (service.hpp), which coalesces them into shared genome
+ * passes.
  */
 SearchResult search(const genome::Sequence &genome,
                     const std::vector<Guide> &guides,

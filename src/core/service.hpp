@@ -1,0 +1,207 @@
+/**
+ * @file
+ * SearchService: the serving front end of the library. Callers submit
+ * asynchronous search requests; the service coalesces requests that
+ * share a compatible configuration (PAM, mismatch budget, strands,
+ * engine chain, engine params) and the same resident genome into one
+ * merged PatternSet, runs a single compile + chunked scan per batch
+ * window, and demultiplexes the hits back to each requester by guide
+ * ownership — so N concurrent single-guide requests cost one genome
+ * pass instead of N. This is the paper's central throughput lever (one
+ * automaton pass serves many gRNAs at once) turned into an API.
+ *
+ * @code
+ *   core::SearchService service;           // windowed batching
+ *   auto ref = service.store().loadFile("hg38.fa");
+ *   core::RequestOptions req;
+ *   req.genome = ref;
+ *   req.config.maxMismatches = 3;
+ *   auto f1 = service.submit({guideA}, req);   // these coalesce into
+ *   auto f2 = service.submit({guideB}, req);   // one genome pass
+ *   core::SearchResult r1 = f1.get(), r2 = f2.get();
+ * @endcode
+ *
+ * Batching semantics (DESIGN.md "Serving layer"):
+ *  - The coalescing key is (genome identity, guide length,
+ *    engine + fallback chain, compileOptionsKey). Runtime options do
+ *    not split batches; the batch runs with the runtime options of its
+ *    earliest request.
+ *  - Deadlines stay per-request: the batch scan runs under the most
+ *    permissive member deadline (checked per chunk by the existing
+ *    ChunkedScanner machinery), a request whose own deadline expires
+ *    is completed with `timedOut` set, and a request already expired
+ *    at dispatch completes immediately without costing a scan.
+ *  - A batch whose merged compile or scan fails degrades to
+ *    per-request serial execution (`service.batch_splits`), so one
+ *    request's guides can never poison its batchmates.
+ *  - Results are bit-identical to per-request search() calls: the
+ *    merged pattern set is the concatenation of the members' sets, and
+ *    hits/events/patterns are filtered and re-indexed per requester.
+ *
+ * Thread-safety: every public method may be called from any thread.
+ */
+
+#ifndef CRISPR_CORE_SERVICE_HPP_
+#define CRISPR_CORE_SERVICE_HPP_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/genome_store.hpp"
+#include "core/search.hpp"
+
+namespace crispr::core {
+
+/** Service-wide batching options. */
+struct ServiceOptions
+{
+    /**
+     * Seconds a batch window stays open after the first pending
+     * request arrives (more arrivals ride along). Negative = manual
+     * mode: no dispatcher thread runs and requests accumulate until
+     * drain() — the deterministic mode tests and benches use.
+     */
+    double batchWindowSeconds = 0.002;
+
+    /** Dispatch early once this many requests are pending. */
+    size_t maxBatchRequests = 64;
+
+    /** Merged guides per scan; an oversized group splits into runs. */
+    size_t maxBatchGuides = 4096;
+};
+
+/** Per-request options: which genome to scan, and how. */
+struct RequestOptions
+{
+    /** Decoded reference to scan (shared, immutable). */
+    SharedSequence genome;
+
+    /**
+     * Alternative to `genome`: a FASTA path resolved through the
+     * service's GenomeStore at submit time (load-once, LRU-cached).
+     */
+    std::string genomePath;
+
+    /**
+     * Compile options form the coalescing key; runtime options ride
+     * along (the batch adopts its earliest request's runtime options,
+     * except the deadline, which stays per-request).
+     */
+    SearchConfig config;
+};
+
+/** The batching search front end. */
+class SearchService
+{
+  public:
+    explicit SearchService(ServiceOptions options = {},
+                           std::shared_ptr<GenomeStore> store = nullptr);
+
+    /** Serves every still-pending request before returning. */
+    ~SearchService();
+
+    SearchService(const SearchService &) = delete;
+    SearchService &operator=(const SearchService &) = delete;
+
+    /**
+     * Submit a search request. The future resolves when the request's
+     * batch completes; get() throws ErrorException on failure, mirrors
+     * SearchSession::search otherwise.
+     */
+    std::future<SearchResult> submit(std::vector<Guide> guides,
+                                     RequestOptions options);
+
+    /** Typed-error variant: the future carries Expected instead. */
+    std::future<common::Expected<SearchResult>>
+    trySubmit(std::vector<Guide> guides, RequestOptions options);
+
+    /**
+     * Dispatch every pending request on the caller's thread (the only
+     * dispatch path in manual mode; also usable to cut a window
+     * short). @return requests served.
+     */
+    size_t drain();
+
+    /** Block until no request is pending or executing. */
+    void flush();
+
+    /** The genome cache requests resolve `genomePath` against. */
+    GenomeStore &store() { return *store_; }
+    std::shared_ptr<GenomeStore> sharedStore() { return store_; }
+
+    /** Cumulative service.* (+ store.*) metrics. */
+    std::map<std::string, double> metricsSnapshot() const;
+
+    size_t requestCount() const { return requests_.value(); }
+    /** Merged passes executed (a solo request still counts one). */
+    size_t batchCount() const { return batches_.value(); }
+    /** Requests that shared a genome pass with at least one other. */
+    size_t coalescedCount() const { return coalesced_.value(); }
+    /** Merged runs degraded to per-request serial execution. */
+    size_t batchSplitCount() const { return batchSplits_.value(); }
+
+  private:
+    using Completion =
+        std::function<void(common::Expected<SearchResult>)>;
+
+    struct Pending
+    {
+        std::vector<Guide> guides;
+        SharedSequence genome;
+        SearchConfig config;
+        Completion complete;
+        std::chrono::steady_clock::time_point arrival;
+    };
+
+    void enqueue(std::vector<Guide> guides, RequestOptions options,
+                 Completion complete);
+    void loop();
+    /** Group by coalescing key and execute each group. */
+    void dispatch(std::vector<Pending> pending);
+    /** Run one compatible group as one or more merged passes. */
+    void executeGroup(std::vector<Pending> group);
+    /** One merged compile+scan serving `members`, demuxed per member. */
+    void executeMerged(std::vector<Pending> members);
+    /** Per-request serial fallback after a failed merged run. */
+    void executeSingle(Pending member);
+
+    static std::string coalescingKey(const Pending &request);
+    static common::Deadline
+    combinedDeadline(const std::vector<Pending> &members);
+    /** Empty timed-out result for a request expired before dispatch. */
+    static SearchResult expiredResult(const Pending &member);
+    /** Slice `batch` down to one member's guides, re-indexed. */
+    static SearchResult demux(const SearchResult &batch, size_t offset,
+                              size_t count, size_t batch_requests,
+                              size_t batch_guides);
+
+    const ServiceOptions options_;
+    std::shared_ptr<GenomeStore> store_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;     //!< wakes the dispatcher
+    std::condition_variable idleCv_; //!< wakes flush()
+    std::vector<Pending> queue_;
+    size_t executing_ = 0;
+    bool stop_ = false;
+    bool flushRequested_ = false;
+    std::thread worker_;
+
+    mutable common::MetricsRegistry metrics_;
+    common::Counter requests_;
+    common::Counter batches_;
+    common::Counter coalesced_;
+    common::Counter batchSplits_;
+    common::Counter expired_;
+    common::Histogram batchSize_;
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_SERVICE_HPP_

@@ -15,27 +15,6 @@ using common::ErrorCode;
 
 namespace {
 
-/**
- * Effective worker-thread count for a config. SearchConfig::threads is
- * authoritative; the deprecated EngineParams::hscanThreads still steers
- * the HScan kinds when threads keeps its default, so pre-session
- * callers see identical behaviour.
- */
-unsigned
-effectiveThreads(const SearchConfig &config)
-{
-    if (config.threads != 1)
-        return config.threads;
-    switch (config.engine) {
-    case EngineKind::HscanAuto:
-    case EngineKind::HscanDfa:
-    case EngineKind::HscanBitParallel:
-        return config.params.hscanThreads;
-    default:
-        return 1;
-    }
-}
-
 std::string
 joinEngineNames(const std::vector<EngineKind> &kinds)
 {
@@ -60,19 +39,11 @@ SearchSession::SearchSession(std::vector<Guide> guides,
 }
 
 std::string
-SearchSession::cacheKey(const SearchConfig &config,
+SearchSession::cacheKey(const CompileOptions &options,
                         const Engine &engine) const
 {
-    const EngineParams &p = config.params;
-    std::ostringstream key;
-    key << engine.name() << '|' << config.maxMismatches << '|'
-        << config.bothStrands << '|' << config.pam.iupac << '|'
-        << static_cast<int>(p.hscanOpts.mode) << ':'
-        << p.hscanOpts.maxDfaStates << ':' << p.hscanOpts.minimizeDfa
-        << '|' << p.gpuChunk << '|' << p.fullSimSymbolLimit << '|'
-        << p.casotConfig.seedLength << ':'
-        << p.casotConfig.maxSeedMismatches;
-    return key.str();
+    return std::string(engine.name()) + '|' +
+           compileOptionsKey(options);
 }
 
 std::vector<EngineKind>
@@ -90,7 +61,7 @@ SearchSession::chunkOptions(const SearchConfig &config) const
 {
     ChunkedScanOptions opts;
     opts.chunkSize = config.chunkSize;
-    opts.threads = effectiveThreads(config);
+    opts.threads = config.threads;
     opts.deadline = config.deadline;
     opts.scanRetries = config.scanRetries;
     opts.retryBackoffSeconds = config.retryBackoffSeconds;
@@ -102,7 +73,7 @@ common::Expected<std::shared_ptr<const CompiledPattern>>
 SearchSession::compiledFor(const SearchConfig &config,
                            const Engine &engine)
 {
-    const std::string key = cacheKey(config, engine);
+    const std::string key = cacheKey(config.compile(), engine);
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {
         if (it->first == key) {
@@ -162,12 +133,11 @@ SearchSession::scanWith(
                      "injected engine.scan fault")
             .withContext("engine", engine.name());
 
-    const unsigned threads = effectiveThreads(config);
     // A deadline or retry budget routes chunk-capable engines through
     // the chunked pipeline even when serial, for per-chunk checks.
     const bool chunked =
         engine.supportsChunkedScan() &&
-        (threads != 1 || config.deadline.limited() ||
+        (config.threads != 1 || config.deadline.limited() ||
          config.scanRetries > 0);
     if (chunked) {
         const ChunkedScanOptions opts = chunkOptions(config);

@@ -57,7 +57,7 @@ namespace crispr::core {
 class SearchSession
 {
   public:
-    /** @param cacheCapacity compiled patterns kept (LRU evicted). */
+    /** @param cache_capacity compiled patterns kept (LRU evicted). */
     explicit SearchSession(std::vector<Guide> guides,
                            SearchConfig config = {},
                            size_t cache_capacity = 4);
@@ -128,7 +128,8 @@ class SearchSession
              const std::shared_ptr<const CompiledPattern> &compiled,
              const genome::Sequence &genome,
              const SearchConfig &config) const;
-    std::string cacheKey(const SearchConfig &config,
+    /** Compile cache key: engine name + compileOptionsKey(options). */
+    std::string cacheKey(const CompileOptions &options,
                          const Engine &engine) const;
     /** config.engine then config.fallbacks, deduplicated in order. */
     std::vector<EngineKind>

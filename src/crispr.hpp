@@ -2,11 +2,17 @@
  * @file
  * Umbrella header: the library's public API surface in one include.
  *
+ * Including "crispr.hpp" (instead of individual subsystem headers) is
+ * the supported way to consume the library; subsystem headers may move
+ * between releases, this umbrella does not.
+ *
  * @code
  *   #include "crispr.hpp"
  *   crispr::core::SearchSession session(guides, config);
  *   auto res = session.search(genome);       // compiled once, reusable
  *   auto one = crispr::core::search(genome, guides, config); // one-shot
+ *   crispr::core::SearchService service;     // batching server front end
+ *   auto fut = service.submit(guides, request);
  * @endcode
  */
 
@@ -62,10 +68,12 @@
 #include "core/chunked_scan.hpp"
 #include "core/engine.hpp"
 #include "core/engine_registry.hpp"
+#include "core/genome_store.hpp"
 #include "core/guide.hpp"
 #include "core/report.hpp"
 #include "core/score.hpp"
 #include "core/search.hpp"
+#include "core/service.hpp"
 #include "core/session.hpp"
 
 #endif // CRISPR_CRISPR_HPP_

@@ -1,0 +1,448 @@
+/** @file Tests for the serving layer: SearchService request batching
+ *  (coalescing, demux, deadlines, batch-split fallback) and the
+ *  GenomeStore load-once LRU cache behind it. */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/faultpoints.hpp"
+#include "core/engine_registry.hpp"
+#include "core/service.hpp"
+#include "core/session.hpp"
+#include "test_util.hpp"
+
+namespace crispr {
+namespace {
+
+core::Guide
+randomGuide(Rng &rng, const std::string &name)
+{
+    static const char bases[] = "ACGT";
+    std::string seq;
+    for (int i = 0; i < 20; ++i)
+        seq += bases[rng.below(4)];
+    return core::makeGuide(name, seq);
+}
+
+std::vector<core::Guide>
+randomGuides(Rng &rng, size_t count)
+{
+    std::vector<core::Guide> guides;
+    for (size_t i = 0; i < count; ++i)
+        guides.push_back(randomGuide(rng, "g" + std::to_string(i)));
+    return guides;
+}
+
+/** A manual-mode service: requests queue until drain(). */
+core::ServiceOptions
+manualMode()
+{
+    core::ServiceOptions options;
+    options.batchWindowSeconds = -1.0;
+    return options;
+}
+
+std::vector<core::EngineKind>
+chunkCapableEngines()
+{
+    std::vector<core::EngineKind> kinds;
+    for (core::EngineKind kind : core::allEngines())
+        if (core::EngineRegistry::instance()
+                .engine(kind)
+                .supportsChunkedScan())
+            kinds.push_back(kind);
+    return kinds;
+}
+
+// The batching contract: N coalesced requests return bit-identical
+// hits to N independent search() calls, on every chunk-capable engine
+// and every mismatch budget the paper's workloads use.
+TEST(SearchService, BatchedEqualsSerialOnEveryChunkCapableEngine)
+{
+    const uint64_t seed = test::testSeed(9001);
+    Rng rng(seed);
+    auto genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 20000));
+
+    constexpr size_t kRequests = 3;
+    std::vector<std::vector<core::Guide>> guide_sets;
+    for (size_t r = 0; r < kRequests; ++r)
+        guide_sets.push_back(randomGuides(rng, 2));
+
+    size_t coalesced_runs = 0;
+    for (core::EngineKind kind : chunkCapableEngines()) {
+        for (int d = 0; d <= 4; ++d) {
+            core::RequestOptions request;
+            request.genome = genome;
+            request.config.engine = kind;
+            request.config.maxMismatches = d;
+
+            // The workload must be servable per-request to begin with
+            // (hscan-dfa rejects high budgets when the DFA exceeds its
+            // state budget); those combinations are no conformance
+            // statement and are skipped.
+            std::vector<core::SearchResult> serial;
+            bool engine_serves = true;
+            for (size_t r = 0; r < kRequests && engine_serves; ++r) {
+                core::SearchSession session(guide_sets[r],
+                                            request.config);
+                auto result = session.trySearch(*genome);
+                if (!result.ok())
+                    engine_serves = false;
+                else
+                    serial.push_back(std::move(result).value());
+            }
+            if (!engine_serves)
+                continue;
+
+            core::SearchService service(manualMode());
+            std::vector<std::future<core::SearchResult>> futures;
+            for (size_t r = 0; r < kRequests; ++r)
+                futures.push_back(
+                    service.submit(guide_sets[r], request));
+            EXPECT_EQ(service.drain(), kRequests);
+            ASSERT_EQ(service.batchCount(), 1u)
+                << core::engineName(kind) << " d=" << d
+                << " seed=" << seed;
+
+            // A merged compile may legitimately exceed a budget the
+            // per-request compiles fit in (again hscan-dfa); the
+            // service then splits — results must still be identical.
+            const bool split = service.batchSplitCount() > 0;
+            if (!split) {
+                EXPECT_EQ(service.coalescedCount(), kRequests);
+                ++coalesced_runs;
+            }
+
+            for (size_t r = 0; r < kRequests; ++r) {
+                core::SearchResult batched = futures[r].get();
+                EXPECT_EQ(batched.hits, serial[r].hits)
+                    << core::engineName(kind) << " d=" << d
+                    << " request=" << r << " seed=" << seed;
+                EXPECT_FALSE(batched.timedOut);
+                EXPECT_EQ(batched.run.metrics.at(
+                              "service.batch_requests"),
+                          split ? 1.0
+                                : static_cast<double>(kRequests));
+                EXPECT_EQ(
+                    batched.run.metrics.at("service.coalesced"),
+                    split ? 0.0 : 1.0);
+                // The demuxed pattern slice matches a solo compile.
+                EXPECT_EQ(batched.patterns.patterns.size(),
+                          serial[r].patterns.patterns.size());
+            }
+        }
+    }
+    // Coalescing must be the norm, not the exception.
+    EXPECT_GE(coalesced_runs, 30u);
+}
+
+TEST(SearchService, IncompatibleConfigsDoNotCoalesce)
+{
+    Rng rng(9002);
+    auto genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 6000));
+    core::SearchService service(manualMode());
+
+    core::RequestOptions d2;
+    d2.genome = genome;
+    d2.config.maxMismatches = 2;
+    core::RequestOptions d3 = d2;
+    d3.config.maxMismatches = 3;
+
+    auto f1 = service.submit(randomGuides(rng, 1), d2);
+    auto f2 = service.submit(randomGuides(rng, 1), d3);
+    EXPECT_EQ(service.drain(), 2u);
+    EXPECT_EQ(service.batchCount(), 2u);
+    EXPECT_EQ(service.coalescedCount(), 0u);
+    EXPECT_EQ(
+        f1.get().run.metrics.at("service.batch_requests"), 1.0);
+    EXPECT_EQ(
+        f2.get().run.metrics.at("service.batch_requests"), 1.0);
+}
+
+// A batch member whose deadline is already gone completes empty and
+// timed out without delaying or corrupting its batchmates.
+TEST(SearchService, DeadlinesStayPerRequestInsideABatch)
+{
+    Rng rng(9003);
+    auto genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 12000));
+    std::vector<core::Guide> guides_ok = randomGuides(rng, 2);
+    std::vector<core::Guide> guides_late = randomGuides(rng, 2);
+    std::vector<core::Guide> guides_cancelled = randomGuides(rng, 2);
+
+    core::SearchService service(manualMode());
+    core::RequestOptions request;
+    request.genome = genome;
+    request.config.maxMismatches = 3;
+
+    core::RequestOptions late = request;
+    late.config.deadline = common::Deadline::after(0.0);
+    core::RequestOptions cancelled = request;
+    cancelled.config.deadline = common::Deadline::manual();
+    cancelled.config.deadline.cancel();
+
+    auto f_ok = service.submit(guides_ok, request);
+    auto f_late = service.submit(guides_late, late);
+    auto f_cancelled = service.submit(guides_cancelled, cancelled);
+    service.drain();
+
+    core::SearchResult ok = f_ok.get();
+    core::SearchResult late_result = f_late.get();
+    core::SearchResult cancelled_result = f_cancelled.get();
+
+    EXPECT_EQ(ok.hits,
+              core::search(*genome, guides_ok, request.config).hits);
+    EXPECT_FALSE(ok.timedOut);
+
+    EXPECT_TRUE(late_result.timedOut);
+    EXPECT_TRUE(late_result.hits.empty());
+    EXPECT_EQ(late_result.run.metrics.at("search.timed_out"), 1.0);
+
+    EXPECT_TRUE(cancelled_result.timedOut);
+    EXPECT_TRUE(cancelled_result.hits.empty());
+    EXPECT_EQ(cancelled_result.run.metrics.at("search.cancelled"),
+              1.0);
+
+    auto metrics = service.metricsSnapshot();
+    EXPECT_EQ(metrics.at("service.expired"), 2.0);
+}
+
+// A failing merged compile degrades to per-request serial execution:
+// every member still gets correct results, and the split is counted.
+TEST(SearchService, MergedFailureSplitsBatchIntoSerialRequests)
+{
+    Rng rng(9004);
+    auto genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 8000));
+    std::vector<std::vector<core::Guide>> guide_sets;
+    for (size_t r = 0; r < 3; ++r)
+        guide_sets.push_back(randomGuides(rng, 2));
+
+    core::SearchService service(manualMode());
+    core::RequestOptions request;
+    request.genome = genome;
+    request.config.maxMismatches = 2;
+
+    std::vector<std::future<core::SearchResult>> futures;
+    for (const auto &guides : guide_sets)
+        futures.push_back(service.submit(guides, request));
+
+    // Fires on the merged compile and auto-disarms, so the
+    // per-request serial retries succeed.
+    common::faultpoints::armFailOnce("session.compile");
+    service.drain();
+    common::faultpoints::resetAll();
+
+    EXPECT_EQ(service.batchSplitCount(), 1u);
+    for (size_t r = 0; r < guide_sets.size(); ++r) {
+        core::SearchResult got = futures[r].get();
+        core::SearchResult want =
+            core::search(*genome, guide_sets[r], request.config);
+        EXPECT_EQ(got.hits, want.hits) << "request " << r;
+        EXPECT_EQ(got.run.metrics.at("service.batch_requests"),
+                  1.0);
+    }
+}
+
+TEST(SearchService, WindowedModeServesConcurrentSubmitters)
+{
+    Rng rng(9005);
+    auto genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 8000));
+
+    core::ServiceOptions options;
+    options.batchWindowSeconds = 0.01;
+    core::SearchService service(options);
+
+    core::RequestOptions request;
+    request.genome = genome;
+    request.config.maxMismatches = 2;
+
+    constexpr size_t kThreads = 4;
+    std::vector<std::vector<core::Guide>> guide_sets;
+    for (size_t t = 0; t < kThreads; ++t)
+        guide_sets.push_back(randomGuides(rng, 1));
+
+    std::vector<std::future<core::SearchResult>> futures(kThreads);
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < kThreads; ++t)
+        pool.emplace_back([&, t] {
+            futures[t] = service.submit(guide_sets[t], request);
+        });
+    for (auto &t : pool)
+        t.join();
+    service.flush();
+
+    for (size_t t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(futures[t].wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_EQ(
+            futures[t].get().hits,
+            core::search(*genome, guide_sets[t], request.config)
+                .hits);
+    }
+    EXPECT_EQ(service.requestCount(), kThreads);
+}
+
+TEST(SearchService, DestructorServesPendingRequests)
+{
+    Rng rng(9006);
+    auto genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 4000));
+    std::vector<core::Guide> guides = randomGuides(rng, 1);
+
+    std::future<core::SearchResult> fut;
+    core::RequestOptions request;
+    request.genome = genome;
+    {
+        core::SearchService service(manualMode());
+        fut = service.submit(guides, request);
+        // No drain(): the destructor must serve it.
+    }
+    EXPECT_EQ(fut.get().hits,
+              core::search(*genome, guides, request.config).hits);
+}
+
+TEST(SearchService, RejectsRequestsWithoutGuidesOrGenome)
+{
+    core::SearchService service(manualMode());
+
+    core::RequestOptions no_genome;
+    auto f1 = service.trySubmit({core::makeGuide("g", "ACGTACGTACGT"
+                                                      "ACGTACGT")},
+                                no_genome);
+    auto r1 = f1.get();
+    ASSERT_FALSE(r1.ok());
+    EXPECT_EQ(r1.error().code(),
+              common::ErrorCode::InvalidArgument);
+
+    Rng rng(9007);
+    core::RequestOptions request;
+    request.genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 100));
+    auto f2 = service.submit({}, request);
+    EXPECT_THROW(f2.get(), common::ErrorException);
+}
+
+TEST(SearchService, GenomePathResolvesThroughTheStore)
+{
+    Rng rng(9008);
+    genome::Sequence ref = test::randomGenome(rng, 3000);
+    std::string path = ::testing::TempDir() + "service_ref.fa";
+    {
+        std::ofstream out(path);
+        out << ">ref\n";
+        for (size_t i = 0; i < ref.size(); ++i)
+            out << genome::baseChar(ref[i]);
+        out << "\n";
+    }
+
+    core::SearchService service(manualMode());
+    std::vector<core::Guide> guides = randomGuides(rng, 1);
+    core::RequestOptions request;
+    request.genomePath = path;
+    auto f1 = service.submit(guides, request);
+    auto f2 = service.submit(guides, request);
+    service.drain();
+
+    EXPECT_EQ(f1.get().hits, f2.get().hits);
+    EXPECT_EQ(service.store().hits(), 1u);   // second submit
+    EXPECT_EQ(service.store().misses(), 1u); // first submit loads
+    EXPECT_EQ(service.store().entryCount(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(GenomeStore, EvictsLeastRecentlyUsedByBytes)
+{
+    Rng rng(9009);
+    core::GenomeStore store(/*max_bytes=*/2500);
+    store.put("a", test::randomGenome(rng, 1000));
+    store.put("b", test::randomGenome(rng, 1000));
+    EXPECT_EQ(store.entryCount(), 2u);
+    EXPECT_EQ(store.bytes(), 2000u);
+
+    // Touch "a" so "b" is the LRU victim when "c" arrives.
+    core::SharedSequence a = store.get("a");
+    ASSERT_NE(a, nullptr);
+    store.put("c", test::randomGenome(rng, 1000));
+
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_EQ(store.entryCount(), 2u);
+    EXPECT_LE(store.bytes(), 2500u);
+    EXPECT_EQ(store.get("b"), nullptr);
+    EXPECT_NE(store.get("a"), nullptr);
+    EXPECT_NE(store.get("c"), nullptr);
+    // The evicted shared_ptr held by a caller stays valid (the store
+    // drops its reference only).
+    EXPECT_EQ(a->size(), 1000u);
+
+    auto metrics = store.metricsSnapshot();
+    EXPECT_EQ(metrics.at("store.evictions"), 1.0);
+    EXPECT_EQ(metrics.at("store.entries"), 2.0);
+}
+
+TEST(GenomeStore, ConcurrentGetOrLoadParsesOnce)
+{
+    Rng rng(9010);
+    genome::Sequence ref = test::randomGenome(rng, 2000);
+    core::GenomeStore store;
+    std::atomic<int> loads{0};
+
+    constexpr size_t kThreads = 8;
+    std::vector<core::SharedSequence> seen(kThreads);
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < kThreads; ++t)
+        pool.emplace_back([&, t] {
+            seen[t] = store.getOrLoad("ref", [&] {
+                loads.fetch_add(1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                return common::Expected<genome::Sequence>(
+                    genome::Sequence(ref));
+            });
+        });
+    for (auto &t : pool)
+        t.join();
+
+    EXPECT_EQ(loads.load(), 1);
+    for (size_t t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[t].get(), seen[0].get());
+    EXPECT_EQ(store.misses() + store.hits(), kThreads);
+    EXPECT_EQ(store.metricsSnapshot().at("store.loads"), 1.0);
+}
+
+TEST(GenomeStore, LoadErrorsAreNotCached)
+{
+    core::GenomeStore store;
+    std::atomic<int> attempts{0};
+    auto failing = [&]() -> common::Expected<genome::Sequence> {
+        attempts.fetch_add(1);
+        return common::Error(common::ErrorCode::ParseError,
+                             "synthetic");
+    };
+    EXPECT_FALSE(store.tryGetOrLoad("bad", failing).ok());
+    EXPECT_FALSE(store.tryGetOrLoad("bad", failing).ok());
+    EXPECT_EQ(attempts.load(), 2); // the failure was retried
+    EXPECT_EQ(store.entryCount(), 0u);
+
+    Rng rng(9011);
+    genome::Sequence ref = test::randomGenome(rng, 500);
+    auto recovered =
+        store.tryGetOrLoad("bad", [&] {
+            attempts.fetch_add(1);
+            return common::Expected<genome::Sequence>(
+                genome::Sequence(ref));
+        });
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(recovered.value()->size(), 500u);
+}
+
+} // namespace
+} // namespace crispr

@@ -397,23 +397,25 @@ TEST(SearchSession, ClearCacheRacingSearchesIsSafe)
     EXPECT_GE(session.compileCount(), 1u);
 }
 
-TEST(Engines, LegacyHscanThreadsStillDrivesParallelScan)
+TEST(Engines, RuntimeThreadsDriveParallelScan)
 {
     Rng rng(817);
     std::vector<core::Guide> guides = randomGuides(rng, 2);
     genome::Sequence g = test::randomGenome(rng, 8000);
-    core::PatternSet set =
-        core::buildPatternSet(guides, core::pamNRG(), 2, true);
 
-    core::EngineParams serial;
-    core::EngineParams threaded;
-    threaded.hscanThreads = 3;
-    core::EngineRun want =
-        core::runEngine(core::EngineKind::HscanAuto, g, set, serial);
-    core::EngineRun got =
-        core::runEngine(core::EngineKind::HscanAuto, g, set, threaded);
-    EXPECT_EQ(got.events, want.events);
-    EXPECT_EQ(got.metrics.at("hscan.threads"), 3.0);
+    core::SearchConfig serial;
+    serial.maxMismatches = 2;
+    serial.engine = core::EngineKind::HscanAuto;
+
+    core::SearchConfig threaded = serial;
+    threaded.runtime().threads = 3;
+    threaded.runtime().chunkSize = 1 << 10;
+
+    core::SearchSession session(guides, serial);
+    core::SearchResult want = session.search(g);
+    core::SearchResult got = session.search(g, threaded);
+    EXPECT_EQ(got.hits, want.hits);
+    EXPECT_EQ(got.run.metrics.at("scan.threads"), 3.0);
 }
 
 } // namespace
