@@ -14,12 +14,17 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <memory>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "core/engine_registry.hpp"
 #include "core/service.hpp"
+#include "core/session.hpp"
 #include "workloads.hpp"
 
 using namespace crispr;
@@ -87,6 +92,57 @@ runSerial(const genome::Sequence &genome,
     return static_cast<double>(requests.size()) / seconds;
 }
 
+/**
+ * One --pool-compare measurement: `concurrent` client threads, each
+ * serving one pre-compiled multi-chunk request (threads=2 per scan).
+ * `spawn` selects the pre-executor baseline (fresh std::threads per
+ * scan) vs the shared work-stealing pool. @return requests/sec.
+ */
+double
+runConcurrent(const genome::Sequence &genome,
+              const std::vector<std::vector<core::Guide>> &requests,
+              const core::SearchConfig &config, size_t concurrent,
+              bool spawn, size_t *hits)
+{
+    // The serving shape where per-scan thread spawning hurts: many
+    // concurrent *small* requests, each scanned in 4 lanes over
+    // fine-grained chunks. The spawn baseline pays 3 fresh OS threads
+    // per request served; the pool schedules the same lanes as tasks
+    // on one bounded worker set.
+    constexpr size_t kRoundsPerClient = 4;
+    const genome::Sequence target = genome.slice(0, 256 << 10);
+    core::SearchConfig cfg = config;
+    cfg.runtime().threads = 4;
+    cfg.runtime().chunkSize = 32 << 10;
+    cfg.runtime().spawnThreads = spawn;
+
+    // Compile outside the timer: the row measures scan execution, and
+    // compilation cost is identical in both modes.
+    std::vector<std::unique_ptr<core::SearchSession>> sessions;
+    for (size_t i = 0; i < concurrent; ++i)
+        sessions.push_back(std::make_unique<core::SearchSession>(
+            requests[i % requests.size()], cfg));
+
+    std::vector<size_t> hit_counts(concurrent, 0);
+    const double start = now();
+    std::vector<std::thread> clients;
+    clients.reserve(concurrent);
+    for (size_t i = 0; i < concurrent; ++i)
+        clients.emplace_back([&, i] {
+            for (size_t round = 0; round < kRoundsPerClient; ++round)
+                hit_counts[i] +=
+                    sessions[i]->search(target).hits.size();
+        });
+    for (auto &client : clients)
+        client.join();
+    const double seconds = now() - start;
+    if (hits)
+        *hits = std::accumulate(hit_counts.begin(), hit_counts.end(),
+                                size_t{0});
+    return static_cast<double>(concurrent * kRoundsPerClient) /
+           seconds;
+}
+
 } // namespace
 
 int
@@ -104,6 +160,10 @@ main(int argc, char **argv)
                 "serving workload pays compile latency per batch, and "
                 "minimization costs seconds to save microseconds of "
                 "scan here; applied to serial and coalesced alike)");
+    cli.addBool("pool-compare",
+                "also measure concurrent multi-chunk requests with "
+                "spawn-per-scan threads vs the shared work-stealing "
+                "Executor, at 16 and 64 concurrent clients");
     cli.addString("json", "BENCH_service.json",
                   "output path of the JSON result row");
     if (!cli.parse(argc, argv))
@@ -183,6 +243,58 @@ main(int argc, char **argv)
     }
     std::printf("%s", table.str().c_str());
 
+    // Spawn-per-scan vs shared-pool under concurrency: every client
+    // scans chunked at threads=2, so the spawn baseline creates
+    // 2 * clients OS threads while the pool keeps one bounded worker
+    // set and lets the clients help. The acceptance bar is pool >=
+    // spawn at 64 clients.
+    std::vector<std::pair<std::string, double>> pool_rows;
+    if (cli.getBool("pool-compare")) {
+        Table pool_table(
+            {"clients", "mode", "req/s", "vs spawn", "hits"});
+        for (size_t concurrent : {size_t(16), size_t(64)}) {
+            size_t spawn_hits = 0, pool_hits = 0;
+            const double spawn_rps =
+                runConcurrent(w.genome, requests, config, concurrent,
+                              /*spawn=*/true, &spawn_hits);
+            const double pool_rps =
+                runConcurrent(w.genome, requests, config, concurrent,
+                              /*spawn=*/false, &pool_hits);
+            if (spawn_hits != pool_hits)
+                fatal("pooled hit count diverged from spawned "
+                      "(%zu clients: %zu vs %zu)",
+                      concurrent, pool_hits, spawn_hits);
+            pool_rows.emplace_back(
+                strprintf("spawn_%zu_rps", concurrent), spawn_rps);
+            pool_rows.emplace_back(
+                strprintf("pool_%zu_rps", concurrent), pool_rps);
+            pool_table.row()
+                .add(strprintf("%zu", concurrent))
+                .add("spawn")
+                .add(spawn_rps, 2)
+                .add("1.0x")
+                .add(static_cast<uint64_t>(spawn_hits));
+            pool_table.row()
+                .add(strprintf("%zu", concurrent))
+                .add("pool")
+                .add(pool_rps, 2)
+                .add(bench::speedupCell(pool_rps, spawn_rps))
+                .add(static_cast<uint64_t>(pool_hits));
+        }
+        std::printf("%s", pool_table.str().c_str());
+
+        const auto pool_metrics =
+            common::Executor::shared().metricsSnapshot();
+        std::printf("executor: tasks=%.0f steals=%.0f dropped=%.0f\n",
+                    pool_metrics.at("executor.tasks"),
+                    pool_metrics.at("executor.steals"),
+                    pool_metrics.at("executor.dropped"));
+        pool_rows.emplace_back("executor_tasks",
+                               pool_metrics.at("executor.tasks"));
+        pool_rows.emplace_back("executor_steals",
+                               pool_metrics.at("executor.steals"));
+    }
+
     std::ofstream json(json_path);
     if (json) {
         json << "{\"bench\": \"service\", \"engine\": \""
@@ -195,6 +307,8 @@ main(int argc, char **argv)
         if (!coalesced.empty())
             json << ", \"speedup_max_batch\": "
                  << coalesced.back().second / serial_rps;
+        for (const auto &[key, value] : pool_rows)
+            json << ", \"" << key << "\": " << value;
         json << "}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/table.hpp"
@@ -44,7 +45,10 @@ main(int argc, char **argv)
     cli.addInt("guides", 10, "number of guides");
     cli.addInt("d", 3, "maximum mismatches");
     cli.addInt("threads", 1,
-               "worker threads for the CPU engines (0 = all cores)");
+               "worker threads for the CPU engines (0 = all cores); "
+               ">1 runs chunk lanes on the shared executor pool");
+    cli.addInt("chunk-kb", 4096,
+               "chunk size in KB for the CPU engines' chunked scans");
     cli.addBool("skip-slow", "skip the brute-force golden engine");
     cli.addInt("requests", 0,
                "also serve N single-guide requests through a "
@@ -107,6 +111,8 @@ main(int argc, char **argv)
         config.engine = kind;
         config.threads =
             static_cast<unsigned>(cli.getInt("threads"));
+        config.chunkSize =
+            static_cast<size_t>(cli.getInt("chunk-kb")) << 10;
         config.params.fullSimSymbolLimit = 2ull << 20;
         if (want_trace)
             config.trace = &trace;
@@ -148,6 +154,20 @@ main(int argc, char **argv)
     std::cout << "* kernel/total are modelled device times for the "
                  "GPU/FPGA/AP engines and measured wall-clock for the "
                  "CPU engines (see DESIGN.md).\n";
+
+    // The execution layer under the sweep: every multi-threaded CPU
+    // scan above ran its chunk lanes as tasks on the process-wide
+    // work-stealing pool (threads=1 bypasses it, so these stay 0 on
+    // single-threaded sweeps).
+    const common::Executor &pool = common::Executor::shared();
+    std::cout << strprintf(
+        "executor pool: %u workers, tasks=%llu steals=%llu "
+        "dropped=%llu pending=%zu\n",
+        pool.workerCount(),
+        static_cast<unsigned long long>(pool.tasksExecuted()),
+        static_cast<unsigned long long>(pool.steals()),
+        static_cast<unsigned long long>(pool.dropped()),
+        pool.pendingCount());
 
     if (const std::string &path = cli.getString("metrics-json");
         !path.empty()) {

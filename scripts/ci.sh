@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: build + test the default preset, re-run everything
 # under ASan/UBSan, run the fault-injection, cross-engine conformance,
-# and serving-layer suites as their own line items (service also under
-# the sanitizers), prove the -DCRISPR_METRICS=OFF configuration still
-# builds and passes, and archive a metrics + trace artifact from the
-# platform explorer plus a serving-throughput row from bench_service.
+# serving-layer, and executor-concurrency suites as their own line
+# items (service also under ASan; concurrency/service/fault under
+# ThreadSanitizer via the tsan preset, since those are the suites that
+# exercise the shared work-stealing pool), prove the
+# -DCRISPR_METRICS=OFF configuration still builds and passes, and
+# archive a metrics + trace artifact from the platform explorer plus a
+# serving-throughput row (including the spawn-per-scan vs shared-pool
+# comparison) from bench_service.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -44,6 +48,20 @@ run ctest --test-dir build -L service --output-on-failure -j "$jobs"
 run ctest --test-dir build-sanitize -L service --output-on-failure \
     -j "$jobs"
 
+# The concurrency label: the shared work-stealing Executor under
+# skewed loads, backpressure, cancellation, and shutdown.
+run ctest --test-dir build -L concurrency --output-on-failure \
+    -j "$jobs"
+
+# ThreadSanitizer over every suite that touches the pool: the
+# concurrency tier plus the service (coalescing + soak) and fault
+# (retry/fallback under injected failures) tiers. TSan cannot combine
+# with ASan, so this is its own preset and build tree.
+run cmake --preset tsan
+run cmake --build --preset tsan -j "$jobs"
+run ctest --test-dir build-tsan -L "concurrency|service|fault" \
+    --output-on-failure -j "$jobs"
+
 # The observability layer is compile-time optional; an OFF build must
 # still compile and pass the whole tier-1 suite (histogram/trace tests
 # skip themselves).
@@ -56,16 +74,18 @@ run ctest --test-dir build-nometrics --output-on-failure -j "$jobs"
 # chrome://tracing span file from one explorer sweep.
 mkdir -p build/artifacts
 run ./build/examples/platform_explorer --genome-mb 1 --guides 4 \
-    --threads 2 --skip-slow \
+    --threads 2 --chunk-kb 128 --skip-slow \
     --metrics-json build/artifacts/engine_metrics.json \
     --trace-json build/artifacts/search_trace.json
 test -s build/artifacts/engine_metrics.json
 test -s build/artifacts/search_trace.json
 
 # Serving-layer throughput row (small shape for CI speed): coalesced
-# vs serial requests/sec, archived for trend tracking.
-run ./build/bench/bench_service --genome-mb 4 --requests 16 \
-    --json build/artifacts/BENCH_service.json
+# vs serial requests/sec plus the spawn-per-scan vs shared-pool
+# comparison at 16/64 concurrent clients, archived for trend tracking.
+run ./build/bench/bench_service --genome-mb 2 --requests 64 \
+    --pool-compare --json build/artifacts/BENCH_service.json
 test -s build/artifacts/BENCH_service.json
+grep -q '"pool_64_rps"' build/artifacts/BENCH_service.json
 
 echo "==> ci: all green"

@@ -165,9 +165,11 @@ ChunkedScanner::tryScan(const genome::Sequence &seq) const
     common::MetricsRegistry scan_metrics;
     common::Histogram chunk_latency =
         scan_metrics.histogram("scan.chunk_seconds");
-    std::vector<ReportEvent> events;
-    std::mutex events_mutex;
-    std::atomic<size_t> next{0};
+    const unsigned lanes =
+        plan.empty() ? 1
+                     : static_cast<unsigned>(
+                           std::min<size_t>(threads, plan.size()));
+    std::vector<std::vector<ReportEvent>> lane_events(lanes);
     std::atomic<size_t> done{0};
     std::atomic<uint64_t> retries{0};
     std::atomic<bool> expired{false};
@@ -175,54 +177,70 @@ ChunkedScanner::tryScan(const genome::Sequence &seq) const
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
-    auto worker = [&] {
-        std::vector<ReportEvent> local;
-        for (;;) {
-            if (failed.load(std::memory_order_relaxed))
-                break;
-            if (options_.deadline.expired()) {
-                expired.store(true, std::memory_order_relaxed);
-                break;
-            }
-            const size_t w = next.fetch_add(1);
-            if (w >= plan.size())
-                break;
-            const genome::ScanChunk &c = plan[w];
-            try {
-                auto kept = scanChunkLocal(
-                    std::span<const uint8_t>(seq.data() + c.leadFrom,
-                                             c.end - c.leadFrom),
-                    c.emitFrom - c.leadFrom, retries, chunk_latency);
-                for (const ReportEvent &ev : kept)
-                    local.push_back(ReportEvent{ev.reportId,
-                                                ev.end + c.leadFrom});
-                done.fetch_add(1, std::memory_order_relaxed);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-                break;
-            }
+    auto body = [&](size_t w, unsigned lane) {
+        if (failed.load(std::memory_order_relaxed))
+            return false;
+        if (options_.deadline.expired()) {
+            expired.store(true, std::memory_order_relaxed);
+            return false;
         }
-        std::lock_guard<std::mutex> lock(events_mutex);
-        events.insert(events.end(), local.begin(), local.end());
+        const genome::ScanChunk &c = plan[w];
+        try {
+            auto kept = scanChunkLocal(
+                std::span<const uint8_t>(seq.data() + c.leadFrom,
+                                         c.end - c.leadFrom),
+                c.emitFrom - c.leadFrom, retries, chunk_latency);
+            std::vector<ReportEvent> &local = lane_events[lane];
+            for (const ReportEvent &ev : kept)
+                local.push_back(
+                    ReportEvent{ev.reportId, ev.end + c.leadFrom});
+            done.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
     };
 
-    const unsigned spawn = static_cast<unsigned>(
-        std::min<size_t>(threads, plan.size()));
-    if (spawn <= 1) {
-        worker();
-    } else {
+    if (lanes <= 1) {
+        // Serial bypass: threads == 1 never touches the pool, so the
+        // paper's single-core measurements stay executor-free.
+        for (size_t w = 0; w < plan.size(); ++w)
+            if (!body(w, 0))
+                break;
+    } else if (options_.spawnThreads) {
+        // Legacy spawn-per-scan path: the bench baseline only.
+        std::atomic<size_t> next{0};
         std::vector<std::thread> pool;
-        pool.reserve(spawn);
-        for (unsigned t = 0; t < spawn; ++t)
-            pool.emplace_back(worker);
+        pool.reserve(lanes);
+        for (unsigned t = 0; t < lanes; ++t)
+            pool.emplace_back([&, t] {
+                for (;;) {
+                    const size_t w = next.fetch_add(1);
+                    if (w >= plan.size() || !body(w, t))
+                        break;
+                }
+            });
         for (auto &t : pool)
             t.join();
+    } else {
+        common::Executor &exec = options_.executor
+                                     ? *options_.executor
+                                     : common::Executor::shared();
+        exec.forIndices(
+            plan.size(), lanes,
+            common::TaskOptions{options_.deadline, options_.trace},
+            body);
     }
     if (first_error)
         return scanError(first_error, engine_.name());
+
+    std::vector<ReportEvent> events;
+    for (std::vector<ReportEvent> &local : lane_events)
+        events.insert(events.end(), local.begin(), local.end());
 
     EngineRun run = makeRun(std::move(events), plan.size(), threads,
                             timer.seconds(), seq.size(),
@@ -246,6 +264,12 @@ ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
 {
     Stopwatch timer;
     const unsigned threads = genome::resolveThreads(options_.threads);
+    common::Executor &exec = options_.executor
+                                 ? *options_.executor
+                                 : common::Executor::shared();
+    // threads == 1 defers every chunk inline; the legacy async path
+    // stays only as the bench_service spawn-per-scan baseline.
+    const bool pooled = threads > 1 && !options_.spawnThreads;
 
     common::MetricsRegistry scan_metrics;
     common::Histogram chunk_latency =
@@ -270,6 +294,8 @@ ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
         in_flight.pop_front();
         std::vector<ReportEvent> local;
         try {
+            if (pooled)
+                exec.wait(p.events); // help: no parked pool worker
             local = p.events.get();
         } catch (...) {
             error = scanError(std::current_exception(),
@@ -329,7 +355,10 @@ ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
         };
         in_flight.push_back(Pending{
             buffer, buffer_start,
-            threads <= 1
+            pooled ? exec.submit(task,
+                                 common::TaskOptions{
+                                     {}, options_.trace})
+            : threads <= 1
                 ? std::async(std::launch::deferred, task)
                 : std::async(std::launch::async, task)});
         ++chunks;
@@ -339,8 +368,19 @@ ChunkedScanner::tryScanStream(genome::FastaStreamReader &reader,
     while (!failed && !in_flight.empty())
         drain_one();
     // Join any scans still in flight after a failure before the
-    // capturing lambdas go out of scope (future dtors block).
-    in_flight.clear();
+    // capturing lambdas go out of scope (async future dtors block,
+    // but pool futures do not — wait for them explicitly).
+    while (!in_flight.empty()) {
+        Pending p = std::move(in_flight.front());
+        in_flight.pop_front();
+        try {
+            if (pooled)
+                exec.wait(p.events);
+            p.events.get();
+        } catch (...) {
+            // Already failed; the first error wins.
+        }
+    }
     if (failed)
         return error;
 

@@ -28,6 +28,7 @@
 
 #include "common/deadline.hpp"
 #include "common/error.hpp"
+#include "common/executor.hpp"
 #include "common/trace.hpp"
 #include "core/engine.hpp"
 #include "genome/fasta_stream.hpp"
@@ -50,6 +51,19 @@ struct ChunkedScanOptions
     double retryBackoffCapSeconds = 0.050;
     /** Optional span sink (parse / chunk.scan); nullptr = no tracing. */
     common::TraceSink *trace = nullptr;
+    /**
+     * Pool the chunk fan-out runs on when threads != 1; nullptr = the
+     * process-wide Executor::shared(). Instanced pools are for tests
+     * and benchmarks. `threads == 1` bypasses the pool entirely (the
+     * paper's single-core measurements stay pool-free).
+     */
+    common::Executor *executor = nullptr;
+    /**
+     * Benchmark baseline only: spawn fresh std::threads per scan (the
+     * pre-executor behaviour) instead of scheduling on the pool. Lets
+     * bench_service measure spawn-per-scan vs shared-pool honestly.
+     */
+    bool spawnThreads = false;
 };
 
 /**

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/deadline.hpp"
+#include "common/executor.hpp"
 #include "common/trace.hpp"
 #include "core/engines.hpp"
 #include "core/offtarget.hpp"
@@ -55,11 +56,27 @@ struct RuntimeOptions
 {
     /**
      * Worker threads for chunk-capable (CPU) engines: 1 = serial (the
-     * paper's single-core setups), 0 = all hardware threads, n = n.
+     * paper's single-core setups — never touches the shared pool),
+     * 0 = all hardware threads, n = n. Multi-threaded scans run as
+     * tasks on the process-wide work-stealing Executor (shared by
+     * every concurrent request), not on freshly spawned threads.
      * Device-model engines (GPU/FPGA/AP) always consume the whole
      * stream and ignore this.
      */
     unsigned threads = 1;
+
+    /**
+     * Pool multi-threaded scans schedule onto; nullptr = the
+     * process-wide Executor::shared(). Instanced pools are for tests
+     * and benchmarks.
+     */
+    common::Executor *executor = nullptr;
+
+    /**
+     * Benchmark baseline only: spawn fresh threads per scan (the
+     * pre-executor behaviour) instead of using the shared pool.
+     */
+    bool spawnThreads = false;
 
     /** Emit-zone size per chunk when scanning chunked or streamed. */
     size_t chunkSize = 4 << 20;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/executor.hpp"
 #include "core/session.hpp"
 
 namespace crispr::core {
@@ -216,8 +217,28 @@ SearchService::dispatch(std::vector<Pending> pending)
                                 std::vector<Pending>{});
         it->second.push_back(std::move(request));
     }
-    for (auto &group : groups)
-        executeGroup(std::move(group.second));
+    if (groups.size() == 1) {
+        executeGroup(std::move(groups.front().second));
+        return;
+    }
+    // Incompatible groups are independent merged passes: run them as
+    // tasks on the process-wide pool (sharing workers with the chunk
+    // fan-out inside each scan) instead of serially on the
+    // dispatcher. The dispatcher helps execute pool tasks while it
+    // waits, so a saturated pool still makes progress.
+    common::Executor &exec = common::Executor::shared();
+    std::vector<std::future<void>> futures;
+    futures.reserve(groups.size());
+    for (auto &group : groups) {
+        auto members = std::make_shared<std::vector<Pending>>(
+            std::move(group.second));
+        futures.push_back(exec.submit(
+            [this, members] { executeGroup(std::move(*members)); }));
+    }
+    for (auto &fut : futures) {
+        exec.wait(fut);
+        fut.get();
+    }
 }
 
 void
@@ -447,6 +468,9 @@ SearchService::metricsSnapshot() const
 {
     std::map<std::string, double> out = metrics_.toMap();
     store_->mergeMetricsInto(out);
+    // The serving view includes the execution layer it schedules on:
+    // executor.tasks/steals/queue_depth/wait_seconds are process-wide.
+    common::Executor::shared().mergeMetricsInto(out);
     return out;
 }
 

@@ -66,6 +66,8 @@ SearchSession::chunkOptions(const SearchConfig &config) const
     opts.scanRetries = config.scanRetries;
     opts.retryBackoffSeconds = config.retryBackoffSeconds;
     opts.trace = config.trace;
+    opts.executor = config.executor;
+    opts.spawnThreads = config.spawnThreads;
     return opts;
 }
 

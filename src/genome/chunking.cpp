@@ -1,8 +1,6 @@
 #include "genome/chunking.hpp"
 
-#include <algorithm>
-#include <thread>
-
+#include "common/executor.hpp"
 #include "common/logging.hpp"
 
 namespace crispr::genome {
@@ -27,9 +25,7 @@ planScanChunks(size_t n, size_t chunk_size, size_t overlap)
 unsigned
 resolveThreads(unsigned requested)
 {
-    if (requested != 0)
-        return requested;
-    return std::max(1u, std::thread::hardware_concurrency());
+    return common::Executor::resolveThreads(requested);
 }
 
 } // namespace crispr::genome

@@ -34,10 +34,12 @@ std::vector<ScanChunk> planScanChunks(size_t n, size_t chunk_size,
                                       size_t overlap);
 
 /**
- * Resolve a worker-thread request: 0 means
- * std::thread::hardware_concurrency() (at least 1), anything else is
- * returned unchanged. This is the one place the 0-means-all-cores
- * convention is implemented.
+ * Resolve a worker-thread request: 0 means all hardware threads (at
+ * least 1), anything else is returned unchanged. Thin wrapper over
+ * common::Executor::resolveThreads — the executor owns the
+ * 0-means-all-cores convention, so every scan path resolves the same
+ * way and nested parallel scans (a service batch over a chunked
+ * engine) cannot multiply worker counts.
  */
 unsigned resolveThreads(unsigned requested);
 

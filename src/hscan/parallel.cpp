@@ -1,10 +1,10 @@
 #include "hscan/parallel.hpp"
 
-#include <atomic>
+#include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "genome/chunking.hpp"
 
 namespace crispr::hscan {
@@ -24,42 +24,45 @@ parallelScan(const Database &db, const genome::Sequence &seq,
         genome::planScanChunks(seq.size(), options.chunkSize, overlap);
     if (plan.empty())
         return {};
-    const unsigned threads = genome::resolveThreads(options.threads);
+    const unsigned threads =
+        common::Executor::resolveThreads(options.threads);
+    const unsigned lanes =
+        static_cast<unsigned>(std::min<size_t>(threads, plan.size()));
 
-    std::vector<ReportEvent> events;
-    std::mutex events_mutex;
-    std::atomic<size_t> next{0};
-
-    auto worker = [&] {
-        Scanner scanner(db);
-        std::vector<ReportEvent> local;
-        for (;;) {
-            const size_t w = next.fetch_add(1);
-            if (w >= plan.size())
-                break;
-            const genome::ScanChunk &c = plan[w];
-            scanner.reset();
-            scanner.scan(
-                {seq.data() + c.leadFrom, c.end - c.leadFrom},
-                [&](uint32_t id, uint64_t at) {
-                    if (at >= c.emitFrom)
-                        local.push_back(ReportEvent{id, at});
-                },
-                c.leadFrom);
-        }
-        std::lock_guard<std::mutex> lock(events_mutex);
-        events.insert(events.end(), local.begin(), local.end());
+    // One Scanner clone and event buffer per lane; lanes are created
+    // lazily so a mostly-idle pool doesn't pay Scanner construction.
+    std::vector<std::unique_ptr<Scanner>> scanners(lanes);
+    std::vector<std::vector<ReportEvent>> lane_events(lanes);
+    auto body = [&](size_t w, unsigned lane) {
+        if (!scanners[lane])
+            scanners[lane] = std::make_unique<Scanner>(db);
+        Scanner &scanner = *scanners[lane];
+        std::vector<ReportEvent> &local = lane_events[lane];
+        const genome::ScanChunk &c = plan[w];
+        scanner.reset();
+        scanner.scan(
+            {seq.data() + c.leadFrom, c.end - c.leadFrom},
+            [&](uint32_t id, uint64_t at) {
+                if (at >= c.emitFrom)
+                    local.push_back(ReportEvent{id, at});
+            },
+            c.leadFrom);
+        return true;
     };
 
-    std::vector<std::thread> pool;
-    const unsigned spawn =
-        static_cast<unsigned>(std::min<size_t>(threads, plan.size()));
-    pool.reserve(spawn);
-    for (unsigned t = 0; t < spawn; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    if (lanes <= 1) {
+        // Serial bypass: the paper's single-core path never touches
+        // the pool.
+        for (size_t w = 0; w < plan.size(); ++w)
+            body(w, 0);
+    } else {
+        common::Executor::shared().forIndices(plan.size(), lanes, {},
+                                              body);
+    }
 
+    std::vector<ReportEvent> events;
+    for (std::vector<ReportEvent> &local : lane_events)
+        events.insert(events.end(), local.begin(), local.end());
     automata::normalizeEvents(events);
     return events;
 }

@@ -227,11 +227,21 @@ TEST_P(Conformance, EveryEngineMatchesReference)
             << w.str() << " reference failed: "
             << want.error().str();
 
+        // Scan geometry is randomized per engine: threads 1..8 run as
+        // lanes on the shared Executor (1 = the pool-free serial
+        // path), with a chunk size small enough that multi-chunk
+        // fan-out actually happens. Bit-identity must hold across all
+        // of it; the failure label carries the geometry.
+        Rng trng(w.seed ^ 0x7EAD5EEDull);
         for (EngineKind kind : core::allEngines()) {
-            const std::string label = w.str() + " engine=" +
-                                      core::engineName(kind);
-            auto got =
-                session.trySearch(w.genome, configFor(w, kind));
+            core::SearchConfig cfg = configFor(w, kind);
+            cfg.threads = 1 + trng.below(8);
+            cfg.chunkSize = size_t{2048} << trng.below(4);
+            const std::string label =
+                w.str() + " engine=" + core::engineName(kind) +
+                " threads=" + std::to_string(cfg.threads) +
+                " chunk=" + std::to_string(cfg.chunkSize);
+            auto got = session.trySearch(w.genome, cfg);
             if (!got.ok()) {
                 // The forced-DFA kind may legitimately blow its state
                 // budget at high d / long guides; everything else
@@ -289,7 +299,10 @@ TEST_P(Conformance, StreamedScanMatchesInMemory)
             << label << " in-memory failed: " << want.error().str();
 
         cfg.chunkSize = size_t{512} << rng.below(5); // 512..8192
-        cfg.threads = 1 + rng.below(3);
+        // 1 = the serial bypass; 2..8 fan chunk scans out as lanes on
+        // the shared work-stealing pool (possibly more lanes than the
+        // pool has workers — the submitting thread helps).
+        cfg.threads = 1 + rng.below(8);
         std::istringstream in(w.fastaText);
         auto streamed = session.trySearchStream(in, cfg);
         ASSERT_TRUE(streamed.ok())

@@ -1,0 +1,323 @@
+/** @file Concurrency tests for the shared work-stealing Executor:
+ *  stealing under skewed task costs, bounded-queue backpressure,
+ *  exception capture, deadline/cancellation drops, shutdown with a
+ *  backlog, and bit-identical pool-vs-serial scan results. This tier
+ *  (label `concurrency`) is the suite CI runs under ThreadSanitizer —
+ *  see scripts/ci.sh and the `tsan` CMake preset.
+ *
+ *  The tests never rely on hardware_concurrency (CI machines may have
+ *  a single core): every pool is instanced with an explicit thread
+ *  count, and blocking is arranged with gates, not timing.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/executor.hpp"
+#include "core/guide.hpp"
+#include "core/search.hpp"
+#include "genome/chunking.hpp"
+#include "test_util.hpp"
+
+namespace crispr {
+namespace {
+
+using common::Deadline;
+using common::ErrorCode;
+using common::ErrorException;
+using common::Executor;
+using common::ExecutorOptions;
+
+ExecutorOptions
+poolOf(unsigned threads, size_t queue_bound = 4096)
+{
+    ExecutorOptions options;
+    options.threads = threads;
+    options.queueBound = queue_bound;
+    return options;
+}
+
+/** A reusable gate: tasks block in wait() until open() is called. */
+class Gate
+{
+  public:
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return open_; });
+    }
+    void
+    open()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            open_ = true;
+        }
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool open_ = false;
+};
+
+// A producer worker fills its own deque with skew-cost subtasks and
+// then parks, so every subtask MUST be stolen by the other workers —
+// stealing is asserted deterministically, not probabilistically.
+TEST(Executor, StealsSkewedTasksFromABusyWorkersDeque)
+{
+    Executor pool(poolOf(4));
+    constexpr size_t kSubtasks = 64;
+
+    std::atomic<size_t> completed{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    auto producer = pool.submit([&] {
+        // Runs on a worker thread: nested submissions land in this
+        // worker's own deque, bypassing the bounded injection queue.
+        for (size_t i = 0; i < kSubtasks; ++i) {
+            pool.submit([&, i] {
+                // Skewed costs: every 8th subtask is ~20x the rest.
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    i % 8 == 0 ? 2000 : 100));
+                if (completed.fetch_add(1) + 1 == kSubtasks) {
+                    std::lock_guard<std::mutex> lock(done_mutex);
+                    done_cv.notify_all();
+                }
+            });
+        }
+        // Park this worker until the others have stolen and finished
+        // everything; its deque is untouched by its owner meanwhile.
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait(lock, [&] { return completed == kSubtasks; });
+    });
+    producer.get();
+
+    EXPECT_EQ(completed, kSubtasks);
+    // The producer never popped its own deque, so all 64 subtasks
+    // crossed worker boundaries.
+    EXPECT_GE(pool.steals(), kSubtasks);
+    EXPECT_GE(pool.tasksExecuted(), kSubtasks + 1);
+}
+
+TEST(Executor, BoundedQueueBlocksExternalSubmittersUntilDrained)
+{
+    Executor pool(poolOf(1, /*queue_bound=*/2));
+
+    Gate gate;
+    std::atomic<bool> blocker_running{false};
+    auto blocker = pool.submit([&] {
+        blocker_running = true;
+        gate.wait();
+    });
+    while (!blocker_running)
+        std::this_thread::yield();
+
+    // The lone worker is parked in the blocker, so these two sit in
+    // the global queue and exactly fill the bound.
+    auto f1 = pool.submit([] {});
+    auto f2 = pool.submit([] {});
+
+    std::atomic<bool> third_submitted{false};
+    std::thread submitter([&] {
+        auto f3 = pool.submit([] {});
+        third_submitted = true;
+        f3.get();
+    });
+
+    // Backpressure: the third submit must still be blocked well after
+    // the queue filled. (A broken implementation returns quickly and
+    // fails the expectation; a correct one can never set the flag
+    // before the gate opens, so the sleep cannot make this flaky.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(third_submitted);
+
+    gate.open();
+    submitter.join();
+    EXPECT_TRUE(third_submitted);
+    blocker.get();
+    f1.get();
+    f2.get();
+    EXPECT_EQ(pool.tasksExecuted(), 4u);
+}
+
+TEST(Executor, ExceptionsPropagateThroughFuturesAndPoolSurvives)
+{
+    Executor pool(poolOf(2));
+
+    auto failing =
+        pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    try {
+        failing.get();
+        FAIL() << "expected the task's exception to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+
+    // The worker that ran the throwing task is still serving.
+    auto ok = pool.submit([] { return 42; });
+    EXPECT_EQ(ok.get(), 42);
+}
+
+TEST(Executor, ExpiredDeadlineDropsTheTaskWithoutRunningIt)
+{
+    Executor pool(poolOf(1));
+
+    std::atomic<bool> ran{false};
+    common::TaskOptions timed;
+    timed.deadline = Deadline::after(0.0);
+    auto expired = pool.submit([&] { ran = true; }, timed);
+    try {
+        expired.get();
+        FAIL() << "expected DeadlineExceeded";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.error().code(), ErrorCode::DeadlineExceeded);
+    }
+    EXPECT_FALSE(ran);
+
+    common::TaskOptions cancelled;
+    cancelled.deadline = Deadline::manual();
+    cancelled.deadline.cancel();
+    auto dropped = pool.submit([&] { ran = true; }, cancelled);
+    try {
+        dropped.get();
+        FAIL() << "expected Cancelled";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.error().code(), ErrorCode::Cancelled);
+    }
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(pool.dropped(), 2u);
+    EXPECT_EQ(pool.tasksExecuted(), 0u);
+}
+
+TEST(Executor, ShutdownFinishesInflightAndCancelsTheBacklog)
+{
+    auto pool = std::make_unique<Executor>(poolOf(1));
+
+    Gate gate;
+    std::atomic<bool> inflight_running{false};
+    std::atomic<int> backlog_ran{0};
+    auto inflight = pool->submit([&] {
+        inflight_running = true;
+        gate.wait();
+    });
+    while (!inflight_running)
+        std::this_thread::yield();
+
+    std::vector<std::future<void>> backlog;
+    for (int i = 0; i < 4; ++i)
+        backlog.push_back(pool->submit([&] { ++backlog_ran; }));
+
+    // Destroy the pool while the worker is mid-task with a backlog
+    // queued behind it. The destructor blocks joining the worker, so
+    // it runs on its own thread and the gate opens afterwards.
+    std::thread destroyer([&] { pool.reset(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate.open();
+    destroyer.join();
+
+    // The in-flight task finished; every queued task was failed, not
+    // run and not abandoned.
+    inflight.get();
+    EXPECT_EQ(backlog_ran, 0);
+    for (auto &fut : backlog) {
+        try {
+            fut.get();
+            FAIL() << "expected Cancelled for a queued task";
+        } catch (const ErrorException &e) {
+            EXPECT_EQ(e.error().code(), ErrorCode::Cancelled);
+        }
+    }
+}
+
+TEST(Executor, ForIndicesRunsEveryIndexOnceAndStopsOnFalse)
+{
+    Executor pool(poolOf(3));
+
+    constexpr size_t kIndices = 200;
+    std::vector<std::atomic<int>> visits(kIndices);
+    const size_t ran = pool.forIndices(
+        kIndices, 4, {}, [&](size_t index, unsigned lane) {
+            EXPECT_LT(lane, 4u);
+            ++visits[index];
+            return true;
+        });
+    EXPECT_EQ(ran, kIndices);
+    for (size_t i = 0; i < kIndices; ++i)
+        EXPECT_EQ(visits[i], 1) << "index " << i;
+
+    // `body` returning false stops further grabs: not every index
+    // runs, and the count reported matches the visits made.
+    std::atomic<size_t> made{0};
+    const size_t partial = pool.forIndices(
+        kIndices, 4, {}, [&](size_t, unsigned) {
+            return ++made < 5;
+        });
+    EXPECT_EQ(partial, made);
+    EXPECT_LT(partial, kIndices);
+    EXPECT_GE(partial, 5u);
+}
+
+// The determinism contract behind the whole replumb: a pool-fanned
+// chunked scan is bit-identical to the serial path for a fixed seed,
+// whatever the lane interleaving was.
+TEST(Executor, PoolScanIsBitIdenticalToSerialScan)
+{
+    const uint64_t seed = test::testSeed(70101);
+    Rng rng(seed);
+    const genome::Sequence seq = test::randomGenome(rng, 60000);
+
+    std::vector<core::Guide> guides;
+    static const char bases[] = "ACGT";
+    for (int g = 0; g < 4; ++g) {
+        std::string s;
+        for (int i = 0; i < 20; ++i)
+            s += bases[rng.below(4)];
+        guides.push_back(
+            core::makeGuide("g" + std::to_string(g), s));
+    }
+
+    core::SearchConfig serial;
+    serial.maxMismatches = 4;
+    serial.threads = 1;
+    serial.chunkSize = 4096;
+    const core::SearchResult expected =
+        core::search(seq, guides, serial);
+
+    Executor pool(poolOf(6));
+    for (unsigned threads : {2u, 3u, 6u, 8u}) {
+        core::SearchConfig pooled = serial;
+        pooled.threads = threads;
+        pooled.executor = &pool;
+        const core::SearchResult got =
+            core::search(seq, guides, pooled);
+        EXPECT_EQ(got.hits, expected.hits)
+            << "threads=" << threads << " seed=" << seed
+            << " (rerun with CRISPR_TEST_SEED=" << seed << ")";
+    }
+}
+
+// One resolver for the 0-means-all-cores convention: the genome layer
+// delegates to the executor, so nested scan paths can't each invent
+// their own hardware-concurrency answer and multiply worker counts.
+TEST(Executor, ResolveThreadsIsTheSingleImplementation)
+{
+    EXPECT_EQ(genome::resolveThreads(0), Executor::resolveThreads(0));
+    EXPECT_EQ(genome::resolveThreads(5), 5u);
+    EXPECT_EQ(Executor::resolveThreads(5), 5u);
+    EXPECT_GE(Executor::resolveThreads(0), 1u);
+}
+
+} // namespace
+} // namespace crispr

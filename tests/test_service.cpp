@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/executor.hpp"
 #include "common/faultpoints.hpp"
 #include "core/engine_registry.hpp"
 #include "core/service.hpp"
@@ -442,6 +443,133 @@ TEST(GenomeStore, LoadErrorsAreNotCached)
         });
     ASSERT_TRUE(recovered.ok());
     EXPECT_EQ(recovered.value()->size(), 500u);
+}
+
+// Soak: 200 requests from 8 client threads across 4 genomes, every
+// scan fanned out on the shared Executor, with probabilistic
+// chunk-scan faults injected underneath the retry budget. Every
+// request must come back bit-identical to its serial reference — no
+// hit lost to a faulted-and-retried chunk, none duplicated by the
+// pool fan-out — and the shared pool must actually have been used.
+TEST(SearchService, SoakPooledRequestsSurviveInjectedChunkFaults)
+{
+    const uint64_t seed = test::testSeed(9100);
+    Rng rng(seed);
+
+    constexpr size_t kGenomes = 4;
+    constexpr size_t kGuideSets = 8;
+    constexpr size_t kRequests = 200;
+    constexpr size_t kClients = 8;
+
+    std::vector<std::shared_ptr<const genome::Sequence>> genomes;
+    for (size_t g = 0; g < kGenomes; ++g)
+        genomes.push_back(std::make_shared<const genome::Sequence>(
+            test::randomGenome(rng, 20000)));
+    std::vector<std::vector<core::Guide>> guide_sets;
+    for (size_t s = 0; s < kGuideSets; ++s)
+        guide_sets.push_back(randomGuides(rng, 2));
+
+    core::RequestOptions base;
+    base.config.maxMismatches = 2;
+    base.config.threads = 2;
+    base.config.chunkSize = 4096;
+    base.config.scanRetries = 3;
+
+    // Serial, fault-free references for every (genome, guide set)
+    // combination a request can draw.
+    core::SearchConfig serial = base.config;
+    serial.threads = 1;
+    std::vector<std::vector<core::OffTargetHit>> expected(
+        kGenomes * kGuideSets);
+    for (size_t g = 0; g < kGenomes; ++g)
+        for (size_t s = 0; s < kGuideSets; ++s)
+            expected[g * kGuideSets + s] =
+                core::search(*genomes[g], guide_sets[s], serial)
+                    .hits;
+
+    const uint64_t pool_tasks_before =
+        common::Executor::shared().tasksExecuted();
+
+    common::faultpoints::armProbability("chunk.scan", 0.02, seed);
+    {
+        core::ServiceOptions options;
+        options.batchWindowSeconds = 0.002;
+        core::SearchService service(options);
+
+        std::vector<std::future<core::SearchResult>> futures(
+            kRequests);
+        std::atomic<size_t> next_request{0};
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < kClients; ++c)
+            clients.emplace_back([&] {
+                for (;;) {
+                    const size_t r = next_request.fetch_add(1);
+                    if (r >= kRequests)
+                        break;
+                    core::RequestOptions request = base;
+                    request.genome = genomes[r % kGenomes];
+                    futures[r] = service.submit(
+                        guide_sets[(r / kGenomes) % kGuideSets],
+                        request);
+                }
+            });
+        for (auto &client : clients)
+            client.join();
+        service.flush();
+
+        for (size_t r = 0; r < kRequests; ++r) {
+            core::SearchResult got = futures[r].get();
+            const size_t want = (r % kGenomes) * kGuideSets +
+                                (r / kGenomes) % kGuideSets;
+            ASSERT_EQ(got.hits, expected[want])
+                << "request " << r << " seed=" << seed
+                << " (rerun with CRISPR_TEST_SEED=" << seed << ")";
+            EXPECT_FALSE(got.timedOut) << "request " << r;
+        }
+        EXPECT_EQ(service.requestCount(), kRequests);
+    }
+    EXPECT_GE(common::faultpoints::failures("chunk.scan"), 1u)
+        << "the soak never actually injected a fault";
+    common::faultpoints::resetAll();
+
+    // executor.tasks is monotone and the soak scheduled on the pool.
+    EXPECT_GT(common::Executor::shared().tasksExecuted(),
+              pool_tasks_before);
+}
+
+// A pool task failing hard (no retry budget) must still trigger the
+// session's engine fallback chain, exactly as the pre-pool threaded
+// scan did.
+TEST(SearchService, FallbackChainFiresWhenAPoolTaskFails)
+{
+    Rng rng(9101);
+    auto genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 16000));
+    std::vector<core::Guide> guides = randomGuides(rng, 2);
+
+    core::RequestOptions request;
+    request.genome = genome;
+    request.config.maxMismatches = 2;
+    request.config.threads = 2;
+    request.config.chunkSize = 4096;
+    request.config.scanRetries = 0;
+    request.config.fallbacks = {core::EngineKind::Reference};
+
+    core::SearchConfig serial = request.config;
+    serial.threads = 1;
+    serial.fallbacks.clear();
+    const std::vector<core::OffTargetHit> want =
+        core::search(*genome, guides, serial).hits;
+
+    core::SearchService service(manualMode());
+    auto fut = service.submit(guides, request);
+    common::faultpoints::armFailNth("chunk.scan", 1);
+    service.drain();
+    common::faultpoints::resetAll();
+
+    core::SearchResult got = fut.get();
+    EXPECT_EQ(got.hits, want);
+    EXPECT_EQ(got.run.metrics.at("session.fallbacks"), 1.0);
 }
 
 } // namespace
