@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -19,6 +20,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/cli.hpp"
 #include "common/executor.hpp"
@@ -143,6 +146,57 @@ runConcurrent(const genome::Sequence &genome,
            seconds;
 }
 
+/** One --db-compare row: time-to-first-result for a fresh session on
+ *  a small target, cold (compile + persist) vs warm (database load).
+ *  Uses engine=auto + databaseDir — the recommended production config.
+ *  The warm load is served from the database's shared byte tier, so
+ *  the measured cost is deserialization, which is what a restarted
+ *  process pays once the blob is in the page cache. */
+struct DbCompareRow
+{
+    size_t guides = 0;
+    double coldSeconds = 0.0;
+    double loadSeconds = 0.0;
+    bool warmFromDb = false;
+    size_t hits = 0;
+};
+
+DbCompareRow
+runDbCompare(const genome::Sequence &target,
+             const std::vector<core::Guide> &all_guides, size_t count,
+             int d, const std::string &db_dir)
+{
+    DbCompareRow row;
+    row.guides = count;
+    const std::vector<core::Guide> guides(all_guides.begin(),
+                                          all_guides.begin() + count);
+
+    core::SearchConfig cfg;
+    cfg.engine = core::EngineKind::Auto;
+    cfg.maxMismatches = d;
+    cfg.databaseDir = db_dir;
+    cfg.params = bench::defaultParams();
+
+    {
+        core::SearchSession cold(guides, cfg);
+        const double start = now();
+        row.hits = cold.search(target).hits.size();
+        row.coldSeconds = now() - start;
+    }
+    {
+        core::SearchSession warm(guides, cfg);
+        const double start = now();
+        const size_t warm_hits = warm.search(target).hits.size();
+        row.loadSeconds = now() - start;
+        row.warmFromDb = warm.databaseHits() > 0;
+        if (warm_hits != row.hits)
+            fatal("database-loaded hit count diverged from cold "
+                  "(%zu guides: %zu vs %zu)",
+                  count, warm_hits, row.hits);
+    }
+    return row;
+}
+
 } // namespace
 
 int
@@ -164,6 +218,10 @@ main(int argc, char **argv)
                 "also measure concurrent multi-chunk requests with "
                 "spawn-per-scan threads vs the shared work-stealing "
                 "Executor, at 16 and 64 concurrent clients");
+    cli.addBool("db-compare",
+                "also measure cold-compile vs pattern-database "
+                "startup latency (engine=auto + databaseDir) for "
+                "guide sets of 10/100/1000");
     cli.addString("json", "BENCH_service.json",
                   "output path of the JSON result row");
     if (!cli.parse(argc, argv))
@@ -295,6 +353,39 @@ main(int argc, char **argv)
                                pool_metrics.at("executor.steals"));
     }
 
+    // Cold compile vs database load: the Hyperscan serialized-database
+    // idiom. Guides come from a dedicated small workload so the row
+    // measures startup latency, not genome scanning; the target slice
+    // keeps the scan itself negligible.
+    std::vector<DbCompareRow> db_rows;
+    if (cli.getBool("db-compare")) {
+        const size_t kMaxDbGuides = 1000;
+        bench::Workload dbw =
+            bench::makeWorkload(4 << 20, kMaxDbGuides, /*seed=*/43);
+        const genome::Sequence target = dbw.genome.slice(0, 64 << 10);
+        const std::filesystem::path db_dir =
+            std::filesystem::temp_directory_path() /
+            strprintf("bench_service_db_%d", getpid());
+        std::filesystem::remove_all(db_dir);
+
+        Table db_table({"guides", "cold compile", "db load",
+                        "speedup", "source"});
+        for (size_t count : {size_t(10), size_t(100), size_t(1000)}) {
+            DbCompareRow row = runDbCompare(target, dbw.guides, count,
+                                            d, db_dir.string());
+            db_rows.push_back(row);
+            db_table.row()
+                .add(strprintf("%zu", count))
+                .add(strprintf("%.1f ms", row.coldSeconds * 1e3))
+                .add(strprintf("%.1f ms", row.loadSeconds * 1e3))
+                .add(bench::speedupCell(1.0 / row.loadSeconds,
+                                        1.0 / row.coldSeconds))
+                .add(row.warmFromDb ? "database" : "recompiled");
+        }
+        std::printf("%s", db_table.str().c_str());
+        std::filesystem::remove_all(db_dir);
+    }
+
     std::ofstream json(json_path);
     if (json) {
         json << "{\"bench\": \"service\", \"engine\": \""
@@ -309,6 +400,12 @@ main(int argc, char **argv)
                  << coalesced.back().second / serial_rps;
         for (const auto &[key, value] : pool_rows)
             json << ", \"" << key << "\": " << value;
+        for (const DbCompareRow &row : db_rows)
+            json << ", \"db_cold_" << row.guides
+                 << "_s\": " << row.coldSeconds << ", \"db_load_"
+                 << row.guides << "_s\": " << row.loadSeconds
+                 << ", \"db_speedup_" << row.guides
+                 << "\": " << row.coldSeconds / row.loadSeconds;
         json << "}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }

@@ -34,11 +34,15 @@ namespace {
 core::EngineKind
 engineByName(const std::string &name)
 {
+    // "auto" is a selector with no registry entry (the session expands
+    // it through the cost model), so it resolves before findByName.
+    if (name == "auto")
+        return core::EngineKind::Auto;
     const core::Engine *engine =
         core::EngineRegistry::instance().findByName(name);
     if (engine)
         return engine->kind();
-    std::string known;
+    std::string known = "auto";
     for (core::EngineKind kind : core::allEngines()) {
         if (!known.empty())
             known += ", ";
@@ -85,7 +89,8 @@ main(int argc, char **argv)
     cli.addString("guides", "", "guide list file (empty: demo guides)");
     cli.addInt("d", 3, "maximum mismatches in the protospacer");
     cli.addString("pam", "NRG", "PAM IUPAC pattern (3' of protospacer)");
-    cli.addString("engine", "hscan", "search engine");
+    cli.addString("engine", "hscan",
+                  "search engine (\"auto\" = cost-model selection)");
     cli.addInt("threads", 1,
                "worker threads for the CPU engines (0 = all cores)");
     cli.addBool("forward-only", "skip the reverse strand");

@@ -21,6 +21,7 @@
 #include <future>
 #include <iostream>
 #include <map>
+#include <string_view>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -54,6 +55,10 @@ main(int argc, char **argv)
                "also serve N single-guide requests through a "
                "SearchService and print the service.* metrics "
                "(0 = skip)");
+    cli.addString("db-dir", "",
+                  "pattern database directory: compiled engine state "
+                  "is persisted there and warm-starts later sweeps "
+                  "(see the session tier line)");
     cli.addString("metrics-json", "",
                   "write per-engine metric maps to this JSON file");
     cli.addString("trace-json", "",
@@ -109,6 +114,7 @@ main(int argc, char **argv)
         core::SearchConfig config;
         config.maxMismatches = static_cast<int>(cli.getInt("d"));
         config.engine = kind;
+        config.databaseDir = cli.getString("db-dir");
         config.threads =
             static_cast<unsigned>(cli.getInt("threads"));
         config.chunkSize =
@@ -150,10 +156,64 @@ main(int argc, char **argv)
             .add(formatSeconds(res.run.timing.totalSeconds))
             .add(note.substr(0, 40));
     }
+    // The cost-model selector as its own row: engine=auto expands to
+    // a ranked CPU-engine chain (DESIGN.md §11); which engine it
+    // picked shows up in the session tier line below.
+    {
+        core::SearchConfig config;
+        config.maxMismatches = static_cast<int>(cli.getInt("d"));
+        config.engine = core::EngineKind::Auto;
+        config.databaseDir = cli.getString("db-dir");
+        config.threads =
+            static_cast<unsigned>(cli.getInt("threads"));
+        config.chunkSize =
+            static_cast<size_t>(cli.getInt("chunk-kb")) << 10;
+        config.params.fullSimSymbolLimit = 2ull << 20;
+        if (want_trace)
+            config.trace = &trace;
+        auto attempt = session.trySearch(genome_seq, config);
+        if (attempt.ok()) {
+            const core::SearchResult &res = attempt.value();
+            all_metrics["auto"] = res.run.metrics;
+            table.row()
+                .add("auto")
+                .add(static_cast<uint64_t>(res.hits.size()))
+                .add(formatSeconds(res.run.timing.compileSeconds))
+                .add(formatSeconds(res.run.timing.hostSeconds))
+                .add(formatSeconds(res.run.timing.kernelSeconds))
+                .add(formatSeconds(res.run.timing.totalSeconds))
+                .add(res.run.notes.substr(0, 40));
+        }
+    }
+
     std::cout << table.str();
     std::cout << "* kernel/total are modelled device times for the "
                  "GPU/FPGA/AP engines and measured wall-clock for the "
                  "CPU engines (see DESIGN.md).\n";
+
+    // The compile tiers under the sweep: LRU hits, pattern-database
+    // hits/misses (all zero without --db-dir), and what the engine
+    // auto-selection cost model chose for this workload shape.
+    const auto session_metrics = session.metricsSnapshot();
+    const auto metric = [&](const char *key) {
+        const auto it = session_metrics.find(key);
+        return it == session_metrics.end() ? 0.0 : it->second;
+    };
+    std::cout << strprintf(
+        "session tier: compiles=%.0f cache_hits=%.0f db_hits=%.0f "
+        "db_misses=%.0f\n",
+        metric("session.compiles"), metric("session.cache_hits"),
+        metric("session.db_hits"), metric("session.db_misses"));
+    std::string choices;
+    constexpr std::string_view kAutoPrefix = "session.engine_auto.";
+    for (const auto &[key, value] : session_metrics)
+        if (key.starts_with(kAutoPrefix))
+            choices += strprintf(" %s=%.0f",
+                                 key.substr(kAutoPrefix.size()).c_str(),
+                                 value);
+    std::cout << "engine=auto choices:"
+              << (choices.empty() ? " (none)" : choices.c_str())
+              << "\n";
 
     // The execution layer under the sweep: every multi-threaded CPU
     // scan above ran its chunk lanes as tasks on the process-wide

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # CI entry point: build + test the default preset, re-run everything
 # under ASan/UBSan, run the fault-injection, cross-engine conformance,
-# serving-layer, and executor-concurrency suites as their own line
-# items (service also under ASan; concurrency/service/fault under
-# ThreadSanitizer via the tsan preset, since those are the suites that
-# exercise the shared work-stealing pool), prove the
-# -DCRISPR_METRICS=OFF configuration still builds and passes, and
+# serving-layer, executor-concurrency, and pattern-database suites as
+# their own line items (service and database also under ASan;
+# concurrency/service/fault under ThreadSanitizer via the tsan preset,
+# since those are the suites that exercise the shared work-stealing
+# pool), prove the -DCRISPR_METRICS=OFF configuration still builds and
+# passes, smoke-test a cold-start-from-database server restart, and
 # archive a metrics + trace artifact from the platform explorer plus a
 # serving-throughput row (including the spawn-per-scan vs shared-pool
-# comparison) from bench_service.
+# and cold-compile vs database-load comparisons) from bench_service.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -53,6 +54,14 @@ run ctest --test-dir build-sanitize -L service --output-on-failure \
 run ctest --test-dir build -L concurrency --output-on-failure \
     -j "$jobs"
 
+# The pattern-database label on both presets: serialization round
+# trips, corrupt-blob rejection, warm starts, and engine=auto
+# conformance all touch the filesystem and deserialize attacker-shaped
+# bytes, so it runs under ASan/UBSan as well.
+run ctest --test-dir build -L database --output-on-failure -j "$jobs"
+run ctest --test-dir build-sanitize -L database --output-on-failure \
+    -j "$jobs"
+
 # ThreadSanitizer over every suite that touches the pool: the
 # concurrency tier plus the service (coalescing + soak) and fault
 # (retry/fallback under injected failures) tiers. TSan cannot combine
@@ -80,12 +89,33 @@ run ./build/examples/platform_explorer --genome-mb 1 --guides 4 \
 test -s build/artifacts/engine_metrics.json
 test -s build/artifacts/search_trace.json
 
+# Cold-start-from-database smoke test: run the demo server twice
+# against the same database directory. The first run compiles and
+# persists; the second must pre-warm from the directory (a non-zero
+# service.db_preloaded proves the service found the blobs) and serve
+# the same requests.
+db_smoke_dir=$(mktemp -d)
+trap 'rm -rf "$db_smoke_dir"' EXIT
+run ./build/examples/search_server --engine auto \
+    --db-dir "$db_smoke_dir" > build/artifacts/db_smoke_cold.txt
+run ./build/examples/search_server --engine auto \
+    --db-dir "$db_smoke_dir" > build/artifacts/db_smoke_warm.txt
+grep -q 'service.db_preloaded' build/artifacts/db_smoke_warm.txt
+! grep -q 'service.db_preloaded *| *0\.00' \
+    build/artifacts/db_smoke_warm.txt
+
 # Serving-layer throughput row (small shape for CI speed): coalesced
 # vs serial requests/sec plus the spawn-per-scan vs shared-pool
-# comparison at 16/64 concurrent clients, archived for trend tracking.
+# comparison at 16/64 concurrent clients and the cold-compile vs
+# pattern-database startup rows, archived for trend tracking. The
+# fresh row is also copied next to the committed BENCH_service.json
+# snapshot at the repo root so a reviewer can diff the trajectory.
 run ./build/bench/bench_service --genome-mb 2 --requests 64 \
-    --pool-compare --json build/artifacts/BENCH_service.json
+    --pool-compare --db-compare \
+    --json build/artifacts/BENCH_service.json
 test -s build/artifacts/BENCH_service.json
 grep -q '"pool_64_rps"' build/artifacts/BENCH_service.json
+grep -q '"db_speedup_100"' build/artifacts/BENCH_service.json
+run cp build/artifacts/BENCH_service.json BENCH_service.latest.json
 
 echo "==> ci: all green"

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.hpp"
+#include "common/serial.hpp"
 
 namespace crispr::automata {
 
@@ -76,6 +77,82 @@ Dfa::fromTables(uint32_t num_states, std::vector<uint32_t> trans,
         d.reportBegin_[s + 1] =
             static_cast<uint32_t>(d.reportIds_.size());
     }
+    return d;
+}
+
+namespace {
+
+constexpr uint32_t kDfaFormatVersion = 1;
+
+} // namespace
+
+std::vector<uint8_t>
+Dfa::encode() const
+{
+    common::BlobWriter w;
+    w.u32(numStates_);
+    for (uint32_t t : trans_)
+        w.u32(t);
+    for (uint32_t b : reportBegin_)
+        w.u32(b);
+    w.u32(static_cast<uint32_t>(reportIds_.size()));
+    for (uint32_t id : reportIds_)
+        w.u32(id);
+    return common::sealBlob("dfa", kDfaFormatVersion, w.buffer());
+}
+
+common::Expected<Dfa>
+Dfa::decode(std::span<const uint8_t> blob)
+{
+    auto payload = common::openBlob("dfa", kDfaFormatVersion, blob);
+    if (!payload.ok())
+        return payload.error();
+    common::BlobReader r(payload.value());
+
+    Dfa d;
+    d.numStates_ = r.u32();
+    // Table sizes are implied by the state count; bound it before the
+    // allocations it sizes (the envelope hash already screens random
+    // corruption, this screens a hostile or foreign payload).
+    if (r.ok() &&
+        (d.numStates_ == 0 ||
+         static_cast<uint64_t>(d.numStates_) * kAlphabet * 4 >
+             r.remaining()))
+        r.fail(strprintf("dfa blob state count %u is implausible",
+                         d.numStates_));
+    if (auto st = r.status(); !st.ok())
+        return st.error();
+
+    d.trans_.resize(static_cast<size_t>(d.numStates_) * kAlphabet);
+    for (uint32_t &t : d.trans_) {
+        t = r.u32();
+        if (r.ok() && t >= d.numStates_) {
+            r.fail(strprintf("dfa blob transition to state %u out of "
+                             "%u states",
+                             t, d.numStates_));
+            break;
+        }
+    }
+    d.reportBegin_.resize(static_cast<size_t>(d.numStates_) + 1);
+    for (size_t i = 0; i < d.reportBegin_.size(); ++i) {
+        d.reportBegin_[i] = r.u32();
+        if (r.ok() && i > 0 && d.reportBegin_[i] < d.reportBegin_[i - 1]) {
+            r.fail("dfa blob report offsets are not monotonic");
+            break;
+        }
+    }
+    const uint32_t id_count = r.u32();
+    if (r.ok() && (id_count != d.reportBegin_.back() ||
+                   static_cast<uint64_t>(id_count) * 4 > r.remaining()))
+        r.fail(strprintf("dfa blob report id count %u is inconsistent",
+                         id_count));
+    if (auto st = r.status(); !st.ok())
+        return st.error();
+    d.reportIds_.resize(id_count);
+    for (uint32_t &id : d.reportIds_)
+        id = r.u32();
+    if (auto st = r.finish(); !st.ok())
+        return st.error();
     return d;
 }
 

@@ -15,6 +15,7 @@
 
 #include "automata/interp.hpp"
 #include "automata/nfa.hpp"
+#include "common/error.hpp"
 #include "genome/sequence.hpp"
 
 namespace crispr::automata {
@@ -66,6 +67,21 @@ class Dfa
     /** Construct directly from tables (used by the builders below). */
     static Dfa fromTables(uint32_t num_states, std::vector<uint32_t> trans,
                           const std::vector<std::vector<uint32_t>> &reports);
+
+    /**
+     * Serialize the dense tables to a stable binary blob (versioned
+     * envelope + content hash; see common/serial.hpp). decode() of the
+     * blob reproduces a bit-identical automaton without re-running
+     * subset construction — the ahead-of-time database fast path.
+     */
+    std::vector<uint8_t> encode() const;
+
+    /**
+     * Reconstruct from an encode() blob. @return InvalidArgument for a
+     * foreign/version-skewed blob, ParseError for truncation, hash
+     * mismatch, or internally inconsistent tables.
+     */
+    static common::Expected<Dfa> decode(std::span<const uint8_t> blob);
 
   private:
     uint32_t numStates_ = 0;

@@ -4,8 +4,88 @@
 #include <deque>
 
 #include "common/logging.hpp"
+#include "common/serial.hpp"
 
 namespace crispr::automata {
+
+namespace {
+
+constexpr uint32_t kNfaFormatVersion = 1;
+
+} // namespace
+
+std::vector<uint8_t>
+Nfa::encode() const
+{
+    common::BlobWriter w;
+    w.u32(static_cast<uint32_t>(states_.size()));
+    for (const State &s : states_) {
+        w.u8(s.cls.bits());
+        w.u8(static_cast<uint8_t>(s.start));
+        w.u8(s.report ? 1 : 0);
+        w.u32(s.reportId);
+        w.u32(static_cast<uint32_t>(s.out.size()));
+        for (StateId t : s.out)
+            w.u32(t);
+    }
+    return common::sealBlob("nfa", kNfaFormatVersion, w.buffer());
+}
+
+common::Expected<Nfa>
+Nfa::decode(std::span<const uint8_t> blob)
+{
+    auto payload = common::openBlob("nfa", kNfaFormatVersion, blob);
+    if (!payload.ok())
+        return payload.error();
+    common::BlobReader r(payload.value());
+
+    const uint32_t count = r.u32();
+    // Each state needs at least its 11-byte fixed record.
+    if (r.ok() && static_cast<uint64_t>(count) * 11 > r.remaining())
+        r.fail(strprintf("nfa blob state count %u is implausible",
+                         count));
+    if (auto st = r.status(); !st.ok())
+        return st.error();
+
+    Nfa nfa;
+    nfa.states_.reserve(count);
+    for (uint32_t i = 0; r.ok() && i < count; ++i) {
+        State s;
+        s.cls = SymbolClass(r.u8());
+        const uint8_t start = r.u8();
+        if (start > static_cast<uint8_t>(StartKind::AllInput)) {
+            r.fail(strprintf("nfa blob state %u has invalid start "
+                             "kind %u",
+                             i, start));
+            break;
+        }
+        s.start = static_cast<StartKind>(start);
+        s.report = r.u8() != 0;
+        s.reportId = r.u32();
+        const uint32_t degree = r.u32();
+        if (r.ok() && static_cast<uint64_t>(degree) * 4 > r.remaining()) {
+            r.fail(strprintf("nfa blob state %u out-degree %u is "
+                             "implausible",
+                             i, degree));
+            break;
+        }
+        s.out.reserve(degree);
+        for (uint32_t e = 0; r.ok() && e < degree; ++e) {
+            const StateId t = r.u32();
+            if (t >= count) {
+                r.fail(strprintf("nfa blob edge %u->%u out of %u "
+                                 "states",
+                                 i, t, count));
+                break;
+            }
+            s.out.push_back(t);
+        }
+        nfa.states_.push_back(std::move(s));
+    }
+    if (auto st = r.finish(); !st.ok())
+        return st.error();
+    return nfa;
+}
 
 StateId
 Nfa::addState(SymbolClass cls, StartKind start)

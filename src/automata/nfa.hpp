@@ -15,10 +15,12 @@
 #define CRISPR_AUTOMATA_NFA_HPP_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "automata/charclass.hpp"
+#include "common/error.hpp"
 
 namespace crispr::automata {
 
@@ -101,6 +103,20 @@ class Nfa
 
     /** Validate internal consistency; raises PanicError on corruption. */
     void validate() const;
+
+    /**
+     * Serialize to a stable binary blob (versioned envelope + content
+     * hash; see common/serial.hpp). States, edges, start kinds, and
+     * report ids round-trip bit-identically through decode().
+     */
+    std::vector<uint8_t> encode() const;
+
+    /**
+     * Reconstruct from an encode() blob. @return InvalidArgument for a
+     * foreign/version-skewed blob, ParseError for truncation, hash
+     * mismatch, or inconsistent state/edge data.
+     */
+    static common::Expected<Nfa> decode(std::span<const uint8_t> blob);
 
   private:
     std::vector<State> states_;

@@ -1,0 +1,210 @@
+#include "common/serial.hpp"
+
+#include "common/logging.hpp"
+
+namespace crispr::common {
+
+uint64_t
+fnv1a64(std::span<const uint8_t> data)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint8_t b : data) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint32_t
+fnv1a32(std::string_view text)
+{
+    uint32_t h = 0x811c9dc5u;
+    for (char c : text) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x01000193u;
+    }
+    return h;
+}
+
+void
+BlobWriter::u32(uint32_t v)
+{
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+    buf_.push_back(static_cast<uint8_t>(v >> 16));
+    buf_.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void
+BlobWriter::u64(uint64_t v)
+{
+    u32(static_cast<uint32_t>(v));
+    u32(static_cast<uint32_t>(v >> 32));
+}
+
+void
+BlobWriter::bytes(std::span<const uint8_t> data)
+{
+    buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void
+BlobWriter::str(std::string_view text)
+{
+    u32(static_cast<uint32_t>(text.size()));
+    buf_.insert(buf_.end(), text.begin(), text.end());
+}
+
+bool
+BlobReader::need(size_t n)
+{
+    if (!error_.ok())
+        return false;
+    if (n > data_.size() - pos_) {
+        error_ = Error(ErrorCode::ParseError,
+                       strprintf("blob truncated: need %zu bytes at "
+                                 "offset %zu of %zu",
+                                 n, pos_, data_.size()));
+        return false;
+    }
+    return true;
+}
+
+uint8_t
+BlobReader::u8()
+{
+    if (!need(1))
+        return 0;
+    return data_[pos_++];
+}
+
+uint32_t
+BlobReader::u32()
+{
+    if (!need(4))
+        return 0;
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) |
+                 static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+                 static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+                 static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+}
+
+uint64_t
+BlobReader::u64()
+{
+    const uint64_t lo = u32();
+    const uint64_t hi = u32();
+    return lo | (hi << 32);
+}
+
+std::string
+BlobReader::str()
+{
+    const uint32_t len = u32();
+    if (!need(len))
+        return {};
+    std::string out(reinterpret_cast<const char *>(data_.data()) + pos_,
+                    len);
+    pos_ += len;
+    return out;
+}
+
+std::span<const uint8_t>
+BlobReader::raw(size_t n)
+{
+    if (!need(n))
+        return {};
+    std::span<const uint8_t> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+}
+
+void
+BlobReader::fail(std::string message)
+{
+    if (error_.ok())
+        error_ = Error(ErrorCode::ParseError, std::move(message));
+}
+
+Status
+BlobReader::status() const
+{
+    if (error_.ok())
+        return {};
+    return error_;
+}
+
+Status
+BlobReader::finish() const
+{
+    if (!error_.ok())
+        return error_;
+    if (!atEnd())
+        return Error(ErrorCode::ParseError,
+                     strprintf("blob has %zu trailing bytes",
+                               remaining()));
+    return {};
+}
+
+std::vector<uint8_t>
+sealBlob(std::string_view kind, uint32_t version,
+         std::span<const uint8_t> payload)
+{
+    BlobWriter header;
+    header.u32(kSerialMagic);
+    header.u32(version);
+    header.u32(fnv1a32(kind));
+    header.u64(payload.size());
+    header.u64(fnv1a64(payload));
+    std::vector<uint8_t> out = header.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+Expected<std::span<const uint8_t>>
+openBlob(std::string_view kind, uint32_t version,
+         std::span<const uint8_t> blob)
+{
+    BlobReader reader(blob);
+    const uint32_t magic = reader.u32();
+    const uint32_t found_version = reader.u32();
+    const uint32_t found_kind = reader.u32();
+    const uint64_t payload_size = reader.u64();
+    const uint64_t content_hash = reader.u64();
+    if (auto st = reader.status(); !st.ok())
+        return st.error();
+    if (magic != kSerialMagic)
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("blob has wrong magic 0x%08x", magic))
+            .withContext("kind", std::string(kind));
+    if (found_kind != fnv1a32(kind))
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("blob is not a '%.*s' artifact",
+                               static_cast<int>(kind.size()),
+                               kind.data()));
+    if (found_version != version)
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("unsupported '%.*s' format version",
+                               static_cast<int>(kind.size()),
+                               kind.data()))
+            .withContext("found", std::to_string(found_version))
+            .withContext("expected", std::to_string(version));
+    if (payload_size != reader.remaining())
+        return Error(ErrorCode::ParseError,
+                     strprintf("blob payload size mismatch: header "
+                               "says %llu, %zu bytes present",
+                               static_cast<unsigned long long>(
+                                   payload_size),
+                               reader.remaining()));
+    std::span<const uint8_t> payload =
+        reader.raw(static_cast<size_t>(payload_size));
+    if (fnv1a64(payload) != content_hash)
+        return Error(ErrorCode::ParseError,
+                     "blob content hash mismatch (corrupt payload)")
+            .withContext("kind", std::string(kind));
+    return payload;
+}
+
+} // namespace crispr::common

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Binary serialization substrate for the ahead-of-time pattern
+ * databases (DESIGN.md "Pattern databases & engine auto-selection").
+ * Two layers:
+ *
+ *  - BlobWriter / BlobReader: little-endian primitive encode/decode.
+ *    The reader is sticky-error: a truncated or malformed read records
+ *    the first failure, subsequent reads return zeros, and status()
+ *    reports the typed Error — so decode routines read the whole
+ *    layout linearly and check once.
+ *
+ *  - sealBlob / openBlob: the versioned envelope every persisted
+ *    artifact wears. Layout (all little-endian):
+ *
+ *        u32 magic "CPDB"      (0x42445043)
+ *        u32 format version    (kind-specific; bumped on layout change)
+ *        u32 kind tag          (fnv1a32 of the kind string, "dfa", ...)
+ *        u64 payload size
+ *        u64 content hash      (fnv1a64 of the payload bytes)
+ *        payload...
+ *
+ *    openBlob rejects wrong magic/kind (InvalidArgument), version skew
+ *    (InvalidArgument, with found/expected context), truncation and
+ *    content-hash mismatch (ParseError) — so a bit-flipped or
+ *    half-written database file fails loudly and the caller falls back
+ *    to a cold compile.
+ */
+
+#ifndef CRISPR_COMMON_SERIAL_HPP_
+#define CRISPR_COMMON_SERIAL_HPP_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace crispr::common {
+
+/** FNV-1a 64-bit hash of a byte range. */
+uint64_t fnv1a64(std::span<const uint8_t> data);
+
+/** FNV-1a 32-bit hash of a string (kind tags, short keys). */
+uint32_t fnv1a32(std::string_view text);
+
+/** Little-endian primitive encoder appending to an internal buffer. */
+class BlobWriter
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(v); }
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void bytes(std::span<const uint8_t> data);
+    /** u32 length prefix + raw bytes. */
+    void str(std::string_view text);
+
+    size_t size() const { return buf_.size(); }
+    const std::vector<uint8_t> &buffer() const { return buf_; }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/**
+ * Little-endian primitive decoder over a borrowed byte range.
+ * Sticky-error: the first out-of-bounds or invalid read records an
+ * Error; later reads return zero values. Callers decode the full
+ * layout, then check status() once.
+ */
+class BlobReader
+{
+  public:
+    explicit BlobReader(std::span<const uint8_t> data) : data_(data) {}
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    /** Counterpart of BlobWriter::str; empty on failure. */
+    std::string str();
+    /** Borrow the next n bytes; empty span on failure. */
+    std::span<const uint8_t> raw(size_t n);
+
+    size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+    /** Record a caller-detected decode failure (bad enum value, ...). */
+    void fail(std::string message);
+
+    bool ok() const { return error_.ok(); }
+    /** Ok, or the first recorded failure (ParseError). */
+    Status status() const;
+
+    /**
+     * status(), plus a ParseError when decoding stopped short of the
+     * end — a well-formed blob is consumed exactly.
+     */
+    Status finish() const;
+
+  private:
+    bool need(size_t n);
+
+    std::span<const uint8_t> data_;
+    size_t pos_ = 0;
+    Error error_;
+};
+
+/** Envelope format version of a serialized artifact kind. */
+inline constexpr uint32_t kSerialMagic = 0x42445043u; // "CPDB"
+
+/** Wrap a payload in the versioned, content-hashed envelope. */
+std::vector<uint8_t> sealBlob(std::string_view kind, uint32_t version,
+                              std::span<const uint8_t> payload);
+
+/**
+ * Validate an envelope and return a view of its payload. The blob must
+ * outlive the returned span. @return InvalidArgument on magic/kind/
+ * version mismatch, ParseError on truncation or content-hash mismatch.
+ */
+Expected<std::span<const uint8_t>>
+openBlob(std::string_view kind, uint32_t version,
+         std::span<const uint8_t> blob);
+
+} // namespace crispr::common
+
+#endif // CRISPR_COMMON_SERIAL_HPP_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/serial.hpp"
 
 namespace crispr::core {
 
@@ -150,6 +151,31 @@ tryBuildPatternSet(const std::vector<Guide> &guides, const PamSpec &pam,
         }
     }
     return set;
+}
+
+uint64_t
+patternSetDigest(const PatternSet &set)
+{
+    common::BlobWriter w;
+    w.u64(set.guideLength);
+    w.u64(set.pamLength);
+    w.u8(static_cast<uint8_t>(set.orientation));
+    w.u32(static_cast<uint32_t>(set.maxMismatches));
+    w.u32(static_cast<uint32_t>(set.patterns.size()));
+    for (const Pattern &p : set.patterns) {
+        w.u32(p.guideIndex);
+        w.u8(static_cast<uint8_t>(p.strand));
+        w.u8(p.reversedStream ? 1 : 0);
+        w.u32(static_cast<uint32_t>(p.spec.maxMismatches));
+        w.u64(p.spec.mismatchLo);
+        w.u64(p.spec.mismatchHi == SIZE_MAX ? UINT64_MAX
+                                            : p.spec.mismatchHi);
+        w.u32(p.spec.reportId);
+        w.str(std::string_view(
+            reinterpret_cast<const char *>(p.spec.masks.data()),
+            p.spec.masks.size()));
+    }
+    return common::fnv1a64(w.buffer());
 }
 
 PatternSet

@@ -83,6 +83,14 @@ struct PatternSet
 };
 
 /**
+ * Order-sensitive content digest of a pattern set (FNV-1a over a
+ * canonical serialization). Engine::serializeState embeds it so a
+ * persisted compiled state can never be paired with a different guide
+ * set or compile configuration at load time.
+ */
+uint64_t patternSetDigest(const PatternSet &set);
+
+/**
  * Compile guides x strands into a pattern set. All guides must share
  * one length. @param both_strands include reverse-strand patterns.
  * @return InvalidArgument for an empty guide set, mixed guide lengths,

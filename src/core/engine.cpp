@@ -1,9 +1,18 @@
 #include "core/engine.hpp"
 
 #include "common/logging.hpp"
+#include "common/serial.hpp"
 #include "common/stopwatch.hpp"
 
 namespace crispr::core {
+
+namespace {
+
+/** Envelope version of the engine-state wrapper (not the inner
+ *  artifact, which carries its own kind + version). */
+constexpr uint32_t kEngineStateVersion = 1;
+
+} // namespace
 
 const genome::Sequence &
 SequenceView::sequence(genome::Sequence &storage) const
@@ -101,6 +110,121 @@ Engine::tryScan(const CompiledPattern &compiled,
         return common::Error(common::ErrorCode::ScanFailed, e.what())
             .withContext("engine", name());
     }
+}
+
+common::Expected<std::vector<uint8_t>>
+Engine::serializeStateImpl(const CompiledPattern &) const
+{
+    return common::Error(common::ErrorCode::UnsupportedEngine,
+                         strprintf("engine %s does not support "
+                                   "compiled-state serialization",
+                                   name()))
+        .withContext("engine", name());
+}
+
+common::Expected<std::shared_ptr<const void>>
+Engine::deserializeStateImpl(const PatternSet &, const EngineParams &,
+                             std::span<const uint8_t>,
+                             common::MetricsRegistry &) const
+{
+    return common::Error(common::ErrorCode::UnsupportedEngine,
+                         strprintf("engine %s does not support "
+                                   "compiled-state serialization",
+                                   name()))
+        .withContext("engine", name());
+}
+
+common::Expected<std::vector<uint8_t>>
+Engine::serializeState(const CompiledPattern &compiled) const
+{
+    using common::Error;
+    using common::ErrorCode;
+    if (!supportsSerialization())
+        return Error(ErrorCode::UnsupportedEngine,
+                     strprintf("engine %s does not support "
+                               "compiled-state serialization",
+                               name()))
+            .withContext("engine", name());
+    if (compiled.kind != kind())
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("compiled pattern for engine %d handed "
+                               "to engine %s",
+                               static_cast<int>(compiled.kind), name()))
+            .withContext("engine", name());
+    auto inner = serializeStateImpl(compiled);
+    if (!inner.ok())
+        return inner.error();
+    common::BlobWriter w;
+    w.str(name());
+    w.u64(patternSetDigest(*compiled.set));
+    w.u32(static_cast<uint32_t>(inner.value().size()));
+    w.bytes(inner.value());
+    return common::sealBlob("engine-state", kEngineStateVersion,
+                            w.buffer());
+}
+
+common::Expected<CompiledPattern>
+Engine::deserializeState(const PatternSet &set,
+                         const EngineParams &params,
+                         std::span<const uint8_t> blob) const
+{
+    using common::Error;
+    using common::ErrorCode;
+    if (!supportsSerialization())
+        return Error(ErrorCode::UnsupportedEngine,
+                     strprintf("engine %s does not support "
+                               "compiled-state serialization",
+                               name()))
+            .withContext("engine", name());
+    if (set.orientation != requiredOrientation())
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("engine %s requires a %s pattern set",
+                               name(),
+                               requiredOrientation() ==
+                                       Orientation::PamFirst
+                                   ? "PamFirst"
+                                   : "SiteOrder"))
+            .withContext("engine", name());
+
+    auto payload =
+        common::openBlob("engine-state", kEngineStateVersion, blob);
+    if (!payload.ok())
+        return payload.error();
+    common::BlobReader r(payload.value());
+    const std::string blob_engine = r.str();
+    const uint64_t digest = r.u64();
+    const uint32_t inner_size = r.u32();
+    std::span<const uint8_t> inner = r.raw(inner_size);
+    if (auto st = r.finish(); !st.ok())
+        return st.error();
+    if (blob_engine != name())
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("blob was serialized by engine %s",
+                               blob_engine.c_str()))
+            .withContext("engine", name());
+    if (digest != patternSetDigest(set))
+        return Error(ErrorCode::InvalidArgument,
+                     "blob does not match the pattern set (guide set "
+                     "or compile options changed)")
+            .withContext("engine", name());
+
+    CompiledPattern compiled;
+    compiled.kind = kind();
+    compiled.set = std::make_shared<const PatternSet>(set);
+    compiled.params = params;
+    common::MetricsRegistry metrics;
+    Stopwatch timer;
+    auto state = deserializeStateImpl(set, params, inner, metrics);
+    if (!state.ok())
+        return state.error();
+    compiled.state = std::move(state).value();
+    compiled.compileSeconds = timer.seconds();
+    metrics.gauge("compile.patterns")
+        .set(static_cast<double>(set.patterns.size()));
+    metrics.gauge("compile.seconds").set(compiled.compileSeconds);
+    metrics.gauge("compile.from_database").set(1.0);
+    metrics.mergeInto(compiled.metrics);
+    return compiled;
 }
 
 } // namespace crispr::core

@@ -19,6 +19,8 @@
 #define CRISPR_CORE_ENGINE_HPP_
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
@@ -147,6 +149,37 @@ class Engine
     tryScan(const CompiledPattern &compiled,
             const SequenceView &view) const;
 
+    /**
+     * Capability flag: true when this adapter implements compiled-state
+     * serialization (the ahead-of-time pattern database path). The
+     * CPU automata engines (DFA, NFA, Shift-Or, hscan dense-table)
+     * support it; the device-model engines do not.
+     */
+    virtual bool supportsSerialization() const { return false; }
+
+    /**
+     * Serialize a compiled pattern's engine state into a versioned,
+     * content-hashed blob (see common/serial.hpp). The blob embeds the
+     * engine name and a digest of the pattern set, so deserializeState
+     * can reject a blob handed to the wrong engine or guide set.
+     * @return UnsupportedEngine when the adapter has no serialization.
+     */
+    common::Expected<std::vector<uint8_t>>
+    serializeState(const CompiledPattern &compiled) const;
+
+    /**
+     * Rebuild a scan-ready CompiledPattern from a serializeState()
+     * blob plus the pattern set and params it was compiled from —
+     * without re-running compilation (the warm-restart fast path).
+     * Scans of the result are bit-identical to scans of a fresh
+     * compile (tested per engine). @return UnsupportedEngine without
+     * adapter support; InvalidArgument for an engine/pattern-set/
+     * version mismatch; ParseError for a truncated or corrupt blob.
+     */
+    common::Expected<CompiledPattern>
+    deserializeState(const PatternSet &set, const EngineParams &params,
+                     std::span<const uint8_t> blob) const;
+
   protected:
     /**
      * Build the engine-specific compiled artifact. Compile-time
@@ -168,6 +201,26 @@ class Engine
     virtual void scanImpl(const CompiledPattern &compiled,
                           const SequenceView &view, EngineRun &run,
                           common::MetricsRegistry &metrics) const = 0;
+
+    /**
+     * Serialize the engine-specific compiled artifact (the inner
+     * payload of serializeState's envelope). Only called when
+     * supportsSerialization() is true.
+     */
+    virtual common::Expected<std::vector<uint8_t>>
+    serializeStateImpl(const CompiledPattern &compiled) const;
+
+    /**
+     * Rebuild the engine-specific artifact from serializeStateImpl's
+     * bytes. Load-time metrics mirror compileState's (compile.states,
+     * ...). Only called when supportsSerialization() is true, after
+     * the envelope, engine name, and pattern-set digest checks passed.
+     */
+    virtual common::Expected<std::shared_ptr<const void>>
+    deserializeStateImpl(const PatternSet &set,
+                         const EngineParams &params,
+                         std::span<const uint8_t> payload,
+                         common::MetricsRegistry &metrics) const;
 };
 
 } // namespace crispr::core

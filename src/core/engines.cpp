@@ -16,6 +16,10 @@ namespace crispr::core {
 const char *
 engineName(EngineKind kind)
 {
+    // Auto is a selector, not an adapter: it has no registry entry
+    // (SearchSession expands it before any registry lookup).
+    if (kind == EngineKind::Auto)
+        return "auto";
     return EngineRegistry::instance().engine(kind).name();
 }
 

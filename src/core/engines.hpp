@@ -32,6 +32,13 @@ namespace crispr::core {
 /** Every engine/tool the library can run a search on. */
 enum class EngineKind
 {
+    /**
+     * Not an adapter: a cost-model selector that SearchSession expands
+     * into a ranked chain of CPU engines (hscan-dfa / hscan-bitparallel
+     * / nfa-reference) per workload — see core/engine_auto.hpp. The
+     * recommended production engine.
+     */
+    Auto,
     Brute,            //!< golden O(n*L) verifier
     Reference,        //!< homogeneous-NFA interpreter
     HscanAuto,        //!< HScan, DFA if it fits, else bit-parallel

@@ -23,6 +23,7 @@ class HscanEngine final : public Engine
     EngineKind kind() const override { return kind_; }
     const char *name() const override { return name_; }
     bool supportsChunkedScan() const override { return true; }
+    bool supportsSerialization() const override { return true; }
 
   protected:
     struct State
@@ -56,6 +57,51 @@ class HscanEngine final : public Engine
                 .set(static_cast<double>(dfa.tableBytes()));
         }
         return state;
+    }
+
+    common::Expected<std::vector<uint8_t>>
+    serializeStateImpl(const CompiledPattern &compiled) const override
+    {
+        return compiled.stateAs<State>().db.serializeCompiled();
+    }
+
+    common::Expected<std::shared_ptr<const void>>
+    deserializeStateImpl(const PatternSet &, const EngineParams &,
+                         std::span<const uint8_t> payload,
+                         common::MetricsRegistry &metrics) const override
+    {
+        auto db = hscan::Database::deserializeCompiled(payload);
+        if (!db.ok()) {
+            common::Error err = db.error();
+            return std::move(err).withContext("engine", name());
+        }
+        // A forced-mode engine must never scan through the other path,
+        // even if a blob compiled by a sibling kind is handed to it.
+        if (mode_ != hscan::ScanMode::Auto &&
+            db.value().effectiveMode() != mode_)
+            return common::Error(
+                       common::ErrorCode::InvalidArgument,
+                       strprintf("blob scan path does not match "
+                                 "engine %s",
+                                 name()))
+                .withContext("engine", name());
+        auto state =
+            std::make_shared<State>(State{std::move(db).value(), ""});
+        state->info = state->db.info();
+        metrics.gauge("hscan.dfa_path")
+            .set(state->db.effectiveMode() == hscan::ScanMode::Dfa
+                     ? 1.0
+                     : 0.0);
+        if (state->db.dfaPrototype()) {
+            const auto &dfa = state->db.dfaPrototype()->dfa();
+            metrics.gauge("compile.states")
+                .set(static_cast<double>(dfa.size()));
+            metrics.gauge("hscan.dfa_states")
+                .set(static_cast<double>(dfa.size()));
+            metrics.gauge("hscan.dfa_bytes")
+                .set(static_cast<double>(dfa.tableBytes()));
+        }
+        return std::shared_ptr<const void>(std::move(state));
     }
 
     void

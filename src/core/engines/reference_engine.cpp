@@ -16,6 +16,7 @@ class ReferenceEngine final : public Engine
     EngineKind kind() const override { return EngineKind::Reference; }
     const char *name() const override { return "nfa-reference"; }
     bool supportsChunkedScan() const override { return true; }
+    bool supportsSerialization() const override { return true; }
 
   protected:
     struct State
@@ -36,6 +37,33 @@ class ReferenceEngine final : public Engine
         metrics.gauge("nfa.edges")
             .set(static_cast<double>(state->nfa.edgeCount()));
         return state;
+    }
+
+    common::Expected<std::vector<uint8_t>>
+    serializeStateImpl(const CompiledPattern &compiled) const override
+    {
+        return compiled.stateAs<State>().nfa.encode();
+    }
+
+    common::Expected<std::shared_ptr<const void>>
+    deserializeStateImpl(const PatternSet &, const EngineParams &,
+                         std::span<const uint8_t> payload,
+                         common::MetricsRegistry &metrics) const override
+    {
+        auto nfa = automata::Nfa::decode(payload);
+        if (!nfa.ok()) {
+            common::Error err = nfa.error();
+            return std::move(err).withContext("engine", name());
+        }
+        auto state = std::make_shared<State>();
+        state->nfa = std::move(nfa).value();
+        metrics.gauge("compile.states")
+            .set(static_cast<double>(state->nfa.size()));
+        metrics.gauge("nfa.states")
+            .set(static_cast<double>(state->nfa.size()));
+        metrics.gauge("nfa.edges")
+            .set(static_cast<double>(state->nfa.edgeCount()));
+        return std::shared_ptr<const void>(std::move(state));
     }
 
     void

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 #include "genome/generator.hpp"
 
 namespace crispr::core {
@@ -74,6 +75,20 @@ guidesFromGenome(const genome::Sequence &ref, size_t count,
         guides.push_back(Guide{strprintf("g%zu", i), std::move(s)});
     }
     return guides;
+}
+
+uint64_t
+guideSetDigest(const std::vector<Guide> &guides)
+{
+    common::BlobWriter w;
+    w.u32(static_cast<uint32_t>(guides.size()));
+    for (const Guide &g : guides) {
+        w.str(g.name);
+        w.str(std::string_view(
+            reinterpret_cast<const char *>(g.protospacer.codes().data()),
+            g.protospacer.size()));
+    }
+    return common::fnv1a64(w.buffer());
 }
 
 } // namespace crispr::core

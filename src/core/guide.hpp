@@ -57,6 +57,14 @@ std::vector<Guide> guidesFromGenome(const genome::Sequence &ref,
                                     size_t count, size_t length,
                                     uint64_t seed);
 
+/**
+ * Order-sensitive FNV-1a digest of a guide set (names + protospacer
+ * codes). Together with compileOptionsKey it keys the on-disk pattern
+ * database: any change to the guide set changes the key, so a stale
+ * compiled blob is never loaded for the wrong guides.
+ */
+uint64_t guideSetDigest(const std::vector<Guide> &guides);
+
 } // namespace crispr::core
 
 #endif // CRISPR_CORE_GUIDE_HPP_

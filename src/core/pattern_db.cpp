@@ -1,0 +1,169 @@
+#include "core/pattern_db.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/serial.hpp"
+
+namespace crispr::core {
+
+namespace fs = std::filesystem;
+using common::Error;
+using common::ErrorCode;
+
+namespace {
+
+/** open() registry: one shared database per canonical directory. */
+std::mutex g_registry_mutex;
+std::map<std::string, std::shared_ptr<PatternDatabase>> &
+registry()
+{
+    static std::map<std::string, std::shared_ptr<PatternDatabase>> map;
+    return map;
+}
+
+std::optional<std::vector<uint8_t>>
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    return bytes;
+}
+
+} // namespace
+
+common::Expected<std::shared_ptr<PatternDatabase>>
+PatternDatabase::open(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return Error(ErrorCode::InvalidArgument,
+                     strprintf("cannot create database directory: %s",
+                               ec.message().c_str()))
+            .withContext("dir", dir);
+    if (!fs::is_directory(dir, ec))
+        return Error(ErrorCode::InvalidArgument,
+                     "database path is not a directory")
+            .withContext("dir", dir);
+    fs::path canonical = fs::canonical(dir, ec);
+    const std::string key = ec ? dir : canonical.string();
+
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    auto &slot = registry()[key];
+    if (!slot)
+        slot = std::shared_ptr<PatternDatabase>(
+            new PatternDatabase(key));
+    return slot;
+}
+
+std::string
+PatternDatabase::fileNameFor(const std::string &key)
+{
+    return strprintf("%016llx.cpdb",
+                     static_cast<unsigned long long>(common::fnv1a64(
+                         {reinterpret_cast<const uint8_t *>(key.data()),
+                          key.size()})));
+}
+
+std::string
+PatternDatabase::pathFor(const std::string &key) const
+{
+    return (fs::path(dir_) / fileNameFor(key)).string();
+}
+
+std::optional<std::vector<uint8_t>>
+PatternDatabase::load(const std::string &key)
+{
+    const std::string name = fileNameFor(key);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = mem_.find(name);
+        if (it != mem_.end())
+            return it->second;
+    }
+    auto bytes = readFile(fs::path(dir_) / name);
+    if (!bytes)
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mem_.emplace(name, std::move(*bytes)).first->second;
+}
+
+common::Status
+PatternDatabase::store(const std::string &key,
+                       std::span<const uint8_t> blob)
+{
+    const std::string path = pathFor(key);
+    // Unique temp per writer thread so concurrent stores never
+    // interleave; rename() is atomic within the directory.
+    const std::string tmp =
+        path + strprintf(".tmp.%llu",
+                         static_cast<unsigned long long>(
+                             std::hash<std::thread::id>{}(
+                                 std::this_thread::get_id())));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return Error(ErrorCode::Internal,
+                         "cannot open database temp file for writing")
+                .withContext("path", tmp);
+        out.write(reinterpret_cast<const char *>(blob.data()),
+                  static_cast<std::streamsize>(blob.size()));
+        if (!out.good())
+            return Error(ErrorCode::Internal,
+                         "short write to database temp file")
+                .withContext("path", tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return Error(ErrorCode::Internal,
+                     "cannot publish database file")
+            .withContext("path", path);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    mem_[fileNameFor(key)].assign(blob.begin(), blob.end());
+    return common::Status();
+}
+
+size_t
+PatternDatabase::preload()
+{
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".cpdb")
+            continue;
+        const std::string name = entry.path().filename().string();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (mem_.count(name))
+                continue;
+        }
+        auto bytes = readFile(entry.path());
+        if (!bytes)
+            continue;
+        std::lock_guard<std::mutex> lock(mutex_);
+        mem_.emplace(name, std::move(*bytes));
+    }
+    return residentCount();
+}
+
+size_t
+PatternDatabase::residentCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mem_.size();
+}
+
+} // namespace crispr::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * On-disk tier of the compile cache: a directory of ahead-of-time
+ * compiled pattern blobs (`<fnv1a64-hex>.cpdb`), each produced by
+ * Engine::serializeState. The hyperscan deployment idiom: compile once
+ * (anywhere), persist, and restart services in milliseconds by loading
+ * the compiled artifact instead of re-running subset construction.
+ *
+ * A PatternDatabase is shared process-wide per directory (open()
+ * returns the same instance for the same path), so SearchService's
+ * construction-time preload warms the in-memory tier that every
+ * per-batch SearchSession then hits. Writes go through a temp file +
+ * atomic rename, so a crashed writer never leaves a torn blob and
+ * concurrent writers of one key settle on one complete file.
+ *
+ * Integrity is layered: this class only moves bytes; the envelope
+ * checks (magic, format version, content hash, engine name, pattern-set
+ * digest) happen in Engine::deserializeState, and a blob that fails
+ * them is treated as a miss and recompiled, never trusted.
+ */
+
+#ifndef CRISPR_CORE_PATTERN_DB_HPP_
+#define CRISPR_CORE_PATTERN_DB_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace crispr::core {
+
+/** A directory of serialized compiled-pattern blobs. Thread-safe. */
+class PatternDatabase
+{
+  public:
+    /**
+     * The shared database for a directory, creating the directory on
+     * first open. One instance per canonical path per process.
+     * @return InvalidArgument when the path exists and is not a
+     * directory, or cannot be created.
+     */
+    static common::Expected<std::shared_ptr<PatternDatabase>>
+    open(const std::string &dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * The blob stored under `key`, from the in-memory tier when
+     * preloaded (or previously loaded/stored), else from disk.
+     * std::nullopt when absent or unreadable — a database miss is
+     * never an error, just a compile.
+     */
+    std::optional<std::vector<uint8_t>> load(const std::string &key);
+
+    /**
+     * Persist a blob under `key` (temp file + rename) and remember it
+     * in the in-memory tier. Best-effort: an I/O failure returns a
+     * Status but must not fail the search that compiled the blob.
+     */
+    common::Status store(const std::string &key,
+                         std::span<const uint8_t> blob);
+
+    /**
+     * Read every *.cpdb in the directory into the in-memory tier (the
+     * service pre-warm). @return blobs resident after the sweep.
+     */
+    size_t preload();
+
+    /** Blobs resident in the in-memory tier. */
+    size_t residentCount() const;
+
+    /** The file name a key maps to: fnv1a64(key) as hex + ".cpdb". */
+    static std::string fileNameFor(const std::string &key);
+
+  private:
+    explicit PatternDatabase(std::string dir) : dir_(std::move(dir)) {}
+
+    std::string pathFor(const std::string &key) const;
+
+    std::string dir_;
+    mutable std::mutex mutex_; //!< guards mem_
+    std::map<std::string, std::vector<uint8_t>> mem_; //!< file name -> blob
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_PATTERN_DB_HPP_

@@ -45,6 +45,18 @@ struct CompileOptions
     bool bothStrands = true;
     EngineKind engine = EngineKind::HscanAuto;
     EngineParams params;
+
+    /**
+     * Directory of ahead-of-time compiled pattern blobs (the disk tier
+     * under SearchSession's in-memory compile cache; see
+     * core/pattern_db.hpp). Empty = no disk tier. When set, a compile
+     * cache miss first tries to load the engine's serialized state
+     * (keyed by engine + these options + the guide-set digest) and a
+     * fresh compilation is persisted back for the next process. The
+     * recommended production config pairs this with
+     * `engine = EngineKind::Auto`.
+     */
+    std::string databaseDir;
 };
 
 /**

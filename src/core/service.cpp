@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/executor.hpp"
+#include "common/logging.hpp"
+#include "core/pattern_db.hpp"
 #include "core/session.hpp"
 
 namespace crispr::core {
@@ -27,6 +29,18 @@ SearchService::SearchService(ServiceOptions options,
       expired_(metrics_.counter("service.expired")),
       batchSize_(metrics_.histogram("service.batch_size"))
 {
+    if (!options_.databaseDir.empty()) {
+        // Pre-warm: pull every persisted compiled state into the
+        // shared in-memory tier before the first request, so a
+        // restarted service resumes serving without recompiling.
+        auto db = PatternDatabase::open(options_.databaseDir);
+        if (db.ok())
+            metrics_.gauge("service.db_preloaded")
+                .set(static_cast<double>(db.value()->preload()));
+        else
+            warn("service pattern database disabled: %s",
+                 db.error().message().c_str());
+    }
     if (options_.batchWindowSeconds >= 0.0)
         worker_ = std::thread([this] { loop(); });
 }
@@ -106,6 +120,8 @@ SearchService::enqueue(std::vector<Guide> guides,
     pending.guides = std::move(guides);
     pending.genome = std::move(genome);
     pending.config = options.config;
+    if (pending.config.databaseDir.empty())
+        pending.config.databaseDir = options_.databaseDir;
     pending.complete = std::move(complete);
     pending.arrival = std::chrono::steady_clock::now();
 

@@ -74,6 +74,16 @@ struct ServiceOptions
 
     /** Merged guides per scan; an oversized group splits into runs. */
     size_t maxBatchGuides = 4096;
+
+    /**
+     * Ahead-of-time pattern database directory (core/pattern_db.hpp).
+     * When set, the service preloads every blob in it at construction
+     * (`service.db_preloaded`) — the millisecond-restart path — and
+     * every request whose own config names no databaseDir inherits
+     * this one, so the per-batch sessions hit the warmed disk tier
+     * instead of recompiling.
+     */
+    std::string databaseDir;
 };
 
 /** Per-request options: which genome to scan, and how. */

@@ -5,7 +5,10 @@
 
 #include "common/faultpoints.hpp"
 #include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "core/engine_auto.hpp"
 #include "core/engine_registry.hpp"
+#include "core/pattern_db.hpp"
 #include "genome/fasta_stream.hpp"
 
 namespace crispr::core {
@@ -34,7 +37,9 @@ SearchSession::SearchSession(std::vector<Guide> guides,
     : guides_(std::move(guides)), config_(std::move(config)),
       capacity_(std::max<size_t>(1, cache_capacity)),
       compiles_(metrics_.counter("session.compiles")),
-      cacheHits_(metrics_.counter("session.cache_hits"))
+      cacheHits_(metrics_.counter("session.cache_hits")),
+      dbHits_(metrics_.counter("session.db_hits")),
+      dbMisses_(metrics_.counter("session.db_misses"))
 {
 }
 
@@ -46,13 +51,48 @@ SearchSession::cacheKey(const CompileOptions &options,
            compileOptionsKey(options);
 }
 
+std::string
+SearchSession::databaseKey(const CompileOptions &options,
+                           const Engine &engine) const
+{
+    return cacheKey(options, engine) + '|' +
+           strprintf("%016llx", static_cast<unsigned long long>(
+                                    guideSetDigest(guides_)));
+}
+
 std::vector<EngineKind>
 SearchSession::engineChain(const SearchConfig &config) const
 {
-    std::vector<EngineKind> chain{config.engine};
-    for (EngineKind kind : config.fallbacks)
+    std::vector<EngineKind> chain;
+    auto push = [&chain](EngineKind kind) {
         if (std::find(chain.begin(), chain.end(), kind) == chain.end())
             chain.push_back(kind);
+    };
+    auto expand = [&](EngineKind kind, bool count_choice) {
+        if (kind != EngineKind::Auto) {
+            push(kind);
+            return;
+        }
+        WorkloadShape shape;
+        shape.guideCount = guides_.size();
+        shape.guideLength =
+            guides_.empty() ? 0 : guides_.front().protospacer.size();
+        shape.pamLength = config.pam.size();
+        shape.maxMismatches = config.maxMismatches;
+        shape.bothStrands = config.bothStrands;
+        const std::vector<EngineKind> ranked = autoEngineRanking(
+            shape, config.params.hscanOpts.maxDfaStates);
+        if (count_choice)
+            metrics_
+                .counter(std::string("session.engine_auto.") +
+                         engineName(ranked.front()))
+                .inc();
+        for (EngineKind r : ranked)
+            push(r);
+    };
+    expand(config.engine, /*count_choice=*/true);
+    for (EngineKind kind : config.fallbacks)
+        expand(kind, /*count_choice=*/false);
     return chain;
 }
 
@@ -96,6 +136,45 @@ SearchSession::compiledFor(const SearchConfig &config,
     pattern_span.finish();
     if (!set.ok())
         return set.error();
+
+    // Disk tier: a serialized compiled state loads in milliseconds
+    // where subset construction takes seconds. A blob that fails any
+    // integrity check is a miss, never an error — the compile below
+    // overwrites it.
+    std::shared_ptr<PatternDatabase> db;
+    std::string db_key;
+    if (!config.compile().databaseDir.empty() &&
+        engine.supportsSerialization()) {
+        auto opened = PatternDatabase::open(config.compile().databaseDir);
+        if (!opened.ok()) {
+            warn("pattern database disabled: %s",
+                 opened.error().message().c_str());
+        } else {
+            db = std::move(opened).value();
+            db_key = databaseKey(config.compile(), engine);
+            if (auto blob = db->load(db_key)) {
+                Stopwatch load_timer;
+                auto loaded = engine.deserializeState(
+                    set.value(), config.params, *blob);
+                if (loaded.ok()) {
+                    dbHits_.inc();
+                    metrics_.histogram("session.db_load_seconds")
+                        .observe(load_timer.seconds());
+                    auto compiled =
+                        std::make_shared<const CompiledPattern>(
+                            std::move(loaded).value());
+                    cache_.emplace_front(key, compiled);
+                    while (cache_.size() > capacity_)
+                        cache_.pop_back();
+                    return compiled;
+                }
+                warn("stale pattern database entry recompiled: %s",
+                     loaded.error().message().c_str());
+            }
+            dbMisses_.inc();
+        }
+    }
+
     common::TraceSpan compile_span(config.trace, "engine.compile");
     auto built = engine.tryCompile(std::move(set).value(),
                                    config.params);
@@ -105,6 +184,14 @@ SearchSession::compiledFor(const SearchConfig &config,
     auto compiled = std::make_shared<const CompiledPattern>(
         std::move(built).value());
     compiles_.inc();
+    if (db) {
+        auto blob = engine.serializeState(*compiled);
+        if (blob.ok()) {
+            if (auto st = db->store(db_key, blob.value()); !st.ok())
+                warn("pattern database store failed: %s",
+                     st.error().message().c_str());
+        }
+    }
     cache_.emplace_front(key, compiled);
     while (cache_.size() > capacity_)
         cache_.pop_back();
@@ -387,6 +474,18 @@ size_t
 SearchSession::cacheHits() const
 {
     return cacheHits_.value();
+}
+
+size_t
+SearchSession::databaseHits() const
+{
+    return dbHits_.value();
+}
+
+size_t
+SearchSession::databaseMisses() const
+{
+    return dbMisses_.value();
 }
 
 size_t

@@ -53,6 +53,8 @@
 
 namespace crispr::core {
 
+class PatternDatabase;
+
 /** A compile-once search session over a fixed guide set. */
 class SearchSession
 {
@@ -107,13 +109,18 @@ class SearchSession
     size_t compileCount() const;
     /** search() calls served from the compile cache so far. */
     size_t cacheHits() const;
+    /** Compilations loaded from the on-disk pattern database so far. */
+    size_t databaseHits() const;
+    /** Disk-tier lookups that fell through to a fresh compile. */
+    size_t databaseMisses() const;
     /** Compile/scan failures recorded against one engine so far. */
     size_t engineFailures(EngineKind kind) const;
 
     /**
      * Snapshot of the session's cumulative metrics (session.compiles,
-     * session.cache_hits, session.failures.<name>), as merged into
-     * every run's metric map.
+     * session.cache_hits, session.db_hits, session.db_misses,
+     * session.db_load_seconds.*, session.engine_auto.<choice>,
+     * session.failures.<name>), as merged into every run's metric map.
      */
     std::map<std::string, double> metricsSnapshot() const;
 
@@ -131,7 +138,18 @@ class SearchSession
     /** Compile cache key: engine name + compileOptionsKey(options). */
     std::string cacheKey(const CompileOptions &options,
                          const Engine &engine) const;
-    /** config.engine then config.fallbacks, deduplicated in order. */
+    /**
+     * Disk-tier key: the cache key plus the guide-set digest, so one
+     * database directory can serve many sessions and guide sets.
+     */
+    std::string databaseKey(const CompileOptions &options,
+                            const Engine &engine) const;
+    /**
+     * config.engine then config.fallbacks, deduplicated in order.
+     * EngineKind::Auto is expanded in place into the cost model's
+     * ranked CPU chain (engine_auto.hpp), counting the first choice in
+     * `session.engine_auto.<name>`.
+     */
     std::vector<EngineKind>
     engineChain(const SearchConfig &config) const;
     void recordEngineFailure(const char *name);
@@ -155,6 +173,8 @@ class SearchSession
     mutable common::MetricsRegistry metrics_;
     common::Counter compiles_;
     common::Counter cacheHits_;
+    common::Counter dbHits_;
+    common::Counter dbMisses_;
 };
 
 } // namespace crispr::core

@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "automata/builders.hpp"
+#include "common/error.hpp"
 #include "hscan/dfa_scanner.hpp"
 
 namespace crispr::hscan {
@@ -70,6 +72,24 @@ class Database
      * scan path (blobs are portable; compiled tables are not).
      */
     static Database deserialize(const std::vector<uint8_t> &blob);
+
+    /**
+     * Serialise the *compiled* form: specs + options + the chosen
+     * path's artifact — on the DFA path, the dense transition tables
+     * themselves. deserializeCompiled() of the blob restores a
+     * scan-ready database without re-running subset construction or
+     * minimization, which is what makes warm fleet restart a load
+     * instead of a compile (the Hyperscan serialized-database idiom).
+     */
+    std::vector<uint8_t> serializeCompiled() const;
+
+    /**
+     * Reconstruct a scan-ready database from a serializeCompiled()
+     * blob. @return a typed Error for truncated/corrupt/version-skewed
+     * blobs (content-hash envelope; see common/serial.hpp).
+     */
+    static common::Expected<Database>
+    deserializeCompiled(std::span<const uint8_t> blob);
 
     /** Human-readable one-line summary. */
     std::string info() const;

@@ -37,6 +37,16 @@ class DfaScanner
     compile(std::span<const automata::HammingSpec> specs,
             const DfaOptions &opts = {});
 
+    /**
+     * Wrap an already-built DFA (a Dfa::decode of a serialized
+     * database) without re-running subset construction.
+     */
+    static DfaScanner
+    fromDfa(automata::Dfa dfa)
+    {
+        return DfaScanner(std::move(dfa));
+    }
+
     /** Reset streaming state to the initial DFA state. */
     void reset() { state_ = 0; }
 
