@@ -10,6 +10,8 @@
  * Emits a BENCH_service.json row (see --json) for CI trend tracking.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -197,6 +199,116 @@ runDbCompare(const genome::Sequence &target,
     return row;
 }
 
+/**
+ * One --overload row: open-loop offered load at a multiple of the
+ * measured capacity, against a bounded-queue service. Goodput counts
+ * admitted requests that completed inside their deadline; the excess
+ * must be shed promptly as Error::overloaded rather than queued into
+ * collapse — the acceptance bar is 4x-offered goodput >= 90% of the
+ * 1x throughput.
+ */
+struct OverloadRow
+{
+    double multiplier = 1.0;
+    double offeredRps = 0.0;
+    size_t submitted = 0;
+    size_t good = 0;   //!< admitted and completed inside deadline
+    size_t shed = 0;   //!< Error::overloaded (admission / breaker)
+    size_t failed = 0; //!< anything else (late, other errors)
+    double goodputRps = 0.0;
+    double p99Ms = 0.0;
+};
+
+OverloadRow
+runOverload(const core::SharedSequence &genome,
+            const std::vector<std::vector<core::Guide>> &requests,
+            const core::SearchConfig &config, double capacity_rps,
+            double multiplier, double deadline_seconds)
+{
+    OverloadRow row;
+    row.multiplier = multiplier;
+    row.offeredRps = capacity_rps * multiplier;
+
+    core::ServiceOptions options;
+    options.batchWindowSeconds = 0.001;
+    options.maxBatchRequests = 64;
+    options.maxQueueRequests = 128;
+    options.admissionPolicy = core::AdmissionPolicy::RejectNew;
+    options.pressureHighWatermark = 96;
+    options.pressureLowWatermark = 32;
+    core::SearchService service(options);
+
+    // ~2 seconds of offered traffic per point, bounded for CI.
+    const size_t total = std::clamp<size_t>(
+        static_cast<size_t>(row.offeredRps * 2.0), size_t(64),
+        size_t(2048));
+    row.submitted = total;
+
+    std::vector<std::future<common::Expected<core::SearchResult>>>
+        futures(total);
+    std::vector<double> sent_at(total, 0.0);
+    std::atomic<size_t> submitted{0};
+
+    const double start = now();
+    // The collector waits for completions in submission order while
+    // the submitter keeps the offered rate; FIFO dispatch makes the
+    // sequential wait a faithful (slightly conservative) latency read.
+    std::vector<double> latencies;
+    latencies.reserve(total);
+    std::thread collector([&] {
+        for (size_t i = 0; i < total; ++i) {
+            while (submitted.load(std::memory_order_acquire) <= i)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+            auto result = futures[i].get();
+            const double done = now();
+            if (result.ok()) {
+                latencies.push_back(done - sent_at[i]);
+                if (!result.value().timedOut)
+                    ++row.good;
+                else
+                    ++row.failed;
+            } else if (result.error().code() ==
+                       common::ErrorCode::Overloaded) {
+                ++row.shed;
+            } else {
+                ++row.failed;
+            }
+        }
+    });
+
+    core::RequestOptions request;
+    request.genome = genome;
+    request.config = config;
+    for (size_t i = 0; i < total; ++i) {
+        const double due = start + static_cast<double>(i) /
+                                       row.offeredRps;
+        while (now() < due)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        request.config.deadline =
+            common::Deadline::after(deadline_seconds);
+        sent_at[i] = now();
+        futures[i] =
+            service.trySubmit(requests[i % requests.size()], request);
+        submitted.store(i + 1, std::memory_order_release);
+    }
+    collector.join();
+    const double elapsed = now() - start;
+
+    row.goodputRps = static_cast<double>(row.good) / elapsed;
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        row.p99Ms =
+            latencies[std::min(latencies.size() - 1,
+                               static_cast<size_t>(
+                                   0.99 * static_cast<double>(
+                                              latencies.size())))] *
+            1e3;
+    }
+    return row;
+}
+
 } // namespace
 
 int
@@ -222,6 +334,10 @@ main(int argc, char **argv)
                 "also measure cold-compile vs pattern-database "
                 "startup latency (engine=auto + databaseDir) for "
                 "guide sets of 10/100/1000");
+    cli.addBool("overload",
+                "also measure goodput and p99 admitted-latency at "
+                "1x/2x/4x offered load against a bounded-queue "
+                "service (excess shed as Error::overloaded)");
     cli.addString("json", "BENCH_service.json",
                   "output path of the JSON result row");
     if (!cli.parse(argc, argv))
@@ -386,6 +502,50 @@ main(int argc, char **argv)
         std::filesystem::remove_all(db_dir);
     }
 
+    // Overload: goodput must hold (>= 90% of 1x) while the offered
+    // rate quadruples; the excess is shed at admission, not queued.
+    double overload_capacity = 0.0;
+    std::vector<OverloadRow> overload_rows;
+    if (cli.getBool("overload")) {
+        size_t cap_hits = 0;
+        overload_capacity = runCoalesced(
+            genome, requests, config,
+            std::min<size_t>(64, num_requests), &cap_hits);
+        // Generous per-request deadline: time to drain twice the
+        // queue bound, so admitted requests comfortably finish and
+        // misses indicate real overload, not a tight budget.
+        const double deadline_seconds =
+            std::max(0.5, 256.0 / overload_capacity);
+
+        Table overload_table({"offered", "req/s offered", "goodput",
+                              "vs 1x", "p99 ms", "shed", "failed"});
+        double goodput_1x = 0.0;
+        for (double multiplier : {1.0, 2.0, 4.0}) {
+            OverloadRow row =
+                runOverload(genome, requests, config,
+                            overload_capacity, multiplier,
+                            deadline_seconds);
+            if (multiplier == 1.0)
+                goodput_1x = row.goodputRps;
+            overload_rows.push_back(row);
+            overload_table.row()
+                .add(strprintf("%.0fx", multiplier))
+                .add(row.offeredRps, 2)
+                .add(row.goodputRps, 2)
+                .add(bench::speedupCell(row.goodputRps, goodput_1x))
+                .add(row.p99Ms, 2)
+                .add(static_cast<uint64_t>(row.shed))
+                .add(static_cast<uint64_t>(row.failed));
+        }
+        std::printf("%s", overload_table.str().c_str());
+        const OverloadRow &worst = overload_rows.back();
+        std::printf("overload: 4x goodput %.2f req/s = %.0f%% of 1x "
+                    "(bar: >= 90%%), %zu shed\n",
+                    worst.goodputRps,
+                    100.0 * worst.goodputRps / goodput_1x,
+                    worst.shed);
+    }
+
     std::ofstream json(json_path);
     if (json) {
         json << "{\"bench\": \"service\", \"engine\": \""
@@ -406,6 +566,19 @@ main(int argc, char **argv)
                  << row.guides << "_s\": " << row.loadSeconds
                  << ", \"db_speedup_" << row.guides
                  << "\": " << row.coldSeconds / row.loadSeconds;
+        if (!overload_rows.empty()) {
+            json << ", \"overload_capacity_rps\": "
+                 << overload_capacity;
+            for (const OverloadRow &row : overload_rows)
+                json << ", \"overload_" << row.multiplier
+                     << "x_goodput_rps\": " << row.goodputRps
+                     << ", \"overload_" << row.multiplier
+                     << "x_p99_ms\": " << row.p99Ms << ", \"overload_"
+                     << row.multiplier << "x_shed\": " << row.shed;
+            json << ", \"overload_4x_vs_1x\": "
+                 << overload_rows.back().goodputRps /
+                        overload_rows.front().goodputRps;
+        }
         json << "}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }

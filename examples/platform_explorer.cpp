@@ -280,6 +280,21 @@ main(int argc, char **argv)
         for (const auto &[key, value] : service.metricsSnapshot())
             service_table.row().add(key).add(value, 2);
         std::cout << service_table.str();
+
+        const core::ServiceHealth health = service.health();
+        std::cout << "health: "
+                  << (health.ready() ? "ready" : "not ready")
+                  << " (queue " << health.queueDepth << " req / "
+                  << formatBytes(health.queuedBytes) << ", est wait "
+                  << strprintf("%.3fs", health.estWaitSeconds)
+                  << ", executor backlog "
+                  << health.executorQueueDepth << ", store "
+                  << formatBytes(health.storeBytes) << " in "
+                  << health.storeEntries << " entries"
+                  << (health.pressured ? ", PRESSURED" : "");
+        for (const auto &[engine, state] : health.breakers)
+            std::cout << ", breaker " << engine << "=" << state;
+        std::cout << ")\n";
     }
     return 0;
 }

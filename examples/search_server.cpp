@@ -107,6 +107,10 @@ main(int argc, char **argv)
                   "persisted there and pre-warmed at startup, so a "
                   "restarted server answers its first request in "
                   "milliseconds instead of recompiling");
+    cli.addBool("health",
+                "print the ServiceHealth snapshot after serving and "
+                "exit nonzero when the service is not ready "
+                "(readiness-probe mode)");
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -204,5 +208,40 @@ main(int argc, char **argv)
     for (const auto &[key, value] : service.metricsSnapshot())
         metrics_table.row().add(key).add(value, 2);
     std::cout << metrics_table.str();
+
+    if (cli.getBool("health")) {
+        // Readiness-probe mode: report the health snapshot and exit
+        // nonzero when the instance should not take traffic, so a
+        // supervisor can gate it on this binary's exit code.
+        const core::ServiceHealth health = service.health();
+        Table health_table({"health", "value"});
+        health_table.row().add("ready").add(health.ready() ? "yes"
+                                                           : "no");
+        health_table.row().add("accepting").add(
+            health.accepting ? "yes" : "no");
+        health_table.row().add("pressured").add(
+            health.pressured ? "yes" : "no");
+        health_table.row()
+            .add("queue depth")
+            .add(static_cast<uint64_t>(health.queueDepth));
+        health_table.row()
+            .add("queued bytes")
+            .add(static_cast<uint64_t>(health.queuedBytes));
+        health_table.row().add("est wait").add(
+            strprintf("%.3fs", health.estWaitSeconds));
+        health_table.row()
+            .add("executor backlog")
+            .add(static_cast<uint64_t>(health.executorQueueDepth));
+        health_table.row().add("store").add(
+            strprintf("%s in %zu entries",
+                      formatBytes(health.storeBytes).c_str(),
+                      health.storeEntries));
+        for (const auto &[engine, state] : health.breakers)
+            health_table.row()
+                .add(strprintf("breaker %s", engine.c_str()))
+                .add(state);
+        std::cout << health_table.str();
+        return health.ready() ? 0 : 1;
+    }
     return 0;
 }

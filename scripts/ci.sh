@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # CI entry point: build + test the default preset, re-run everything
 # under ASan/UBSan, run the fault-injection, cross-engine conformance,
-# serving-layer, executor-concurrency, and pattern-database suites as
-# their own line items (service and database also under ASan;
-# concurrency/service/fault under ThreadSanitizer via the tsan preset,
-# since those are the suites that exercise the shared work-stealing
-# pool), prove the -DCRISPR_METRICS=OFF configuration still builds and
-# passes, smoke-test a cold-start-from-database server restart, and
-# archive a metrics + trace artifact from the platform explorer plus a
-# serving-throughput row (including the spawn-per-scan vs shared-pool
-# and cold-compile vs database-load comparisons) from bench_service.
+# serving-layer, executor-concurrency, pattern-database, and
+# overload-protection suites as their own line items (service,
+# database, and overload also under ASan;
+# concurrency/service/fault/overload under ThreadSanitizer via the
+# tsan preset, since those are the suites that exercise the shared
+# work-stealing pool), prove the -DCRISPR_METRICS=OFF configuration
+# still builds and passes, smoke-test a cold-start-from-database
+# server restart plus the --health readiness probe, and archive a
+# metrics + trace artifact from the platform explorer plus a
+# serving-throughput row (spawn-per-scan vs shared-pool, cold-compile
+# vs database-load, and 1x/2x/4x overload goodput) from bench_service.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -31,45 +33,54 @@ run() {
 for preset in default sanitize; do
     run cmake --preset "$preset"
     run cmake --build --preset "$preset" -j "$jobs"
-    run ctest --preset "$preset" -j "$jobs"
+    run ctest --preset "$preset" -j "$jobs" --timeout 600
 done
 
 # The fault-injection label, by itself: `ctest -L fault` is the suite
 # that proves the process survives injected compile/scan/parse faults.
-run ctest --test-dir build -L fault --output-on-failure -j "$jobs"
+run ctest --test-dir build -L fault --output-on-failure -j "$jobs" --timeout 600
 
 # The conformance label: randomized workloads through every registry
 # engine, bit-identical against the reference interpreter.
-run ctest --test-dir build -L conformance --output-on-failure -j "$jobs"
+run ctest --test-dir build -L conformance --output-on-failure -j "$jobs" --timeout 600
 
 # The serving layer, as its own line item on both presets: request
 # coalescing is the most concurrency-heavy code in the library, so the
 # service label runs under the sanitizers too.
-run ctest --test-dir build -L service --output-on-failure -j "$jobs"
+run ctest --test-dir build -L service --output-on-failure -j "$jobs" --timeout 600
 run ctest --test-dir build-sanitize -L service --output-on-failure \
-    -j "$jobs"
+    -j "$jobs" --timeout 600
 
 # The concurrency label: the shared work-stealing Executor under
 # skewed loads, backpressure, cancellation, and shutdown.
 run ctest --test-dir build -L concurrency --output-on-failure \
-    -j "$jobs"
+    -j "$jobs" --timeout 600
 
 # The pattern-database label on both presets: serialization round
 # trips, corrupt-blob rejection, warm starts, and engine=auto
 # conformance all touch the filesystem and deserialize attacker-shaped
 # bytes, so it runs under ASan/UBSan as well.
-run ctest --test-dir build -L database --output-on-failure -j "$jobs"
+run ctest --test-dir build -L database --output-on-failure -j "$jobs" --timeout 600
 run ctest --test-dir build-sanitize -L database --output-on-failure \
-    -j "$jobs"
+    -j "$jobs" --timeout 600
+
+# The overload label on both presets: admission control, load
+# shedding, circuit breakers, pressure degradation, and the
+# bounded-queue chaos soak — the suite that proves the serving layer
+# degrades instead of collapsing.
+run ctest --test-dir build -L overload --output-on-failure -j "$jobs" --timeout 600
+run ctest --test-dir build-sanitize -L overload --output-on-failure \
+    -j "$jobs" --timeout 600
 
 # ThreadSanitizer over every suite that touches the pool: the
-# concurrency tier plus the service (coalescing + soak) and fault
-# (retry/fallback under injected failures) tiers. TSan cannot combine
-# with ASan, so this is its own preset and build tree.
+# concurrency tier plus the service (coalescing + soak), fault
+# (retry/fallback under injected failures), and overload (admission +
+# breakers under 8-client saturation) tiers. TSan cannot combine with
+# ASan, so this is its own preset and build tree.
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$jobs"
-run ctest --test-dir build-tsan -L "concurrency|service|fault" \
-    --output-on-failure -j "$jobs"
+run ctest --test-dir build-tsan -L "concurrency|service|fault|overload" \
+    --output-on-failure -j "$jobs" --timeout 600
 
 # The observability layer is compile-time optional; an OFF build must
 # still compile and pass the whole tier-1 suite (histogram/trace tests
@@ -77,7 +88,7 @@ run ctest --test-dir build-tsan -L "concurrency|service|fault" \
 run cmake -B build-nometrics -S . -DCMAKE_BUILD_TYPE=Release \
     -DCRISPR_METRICS=OFF
 run cmake --build build-nometrics -j "$jobs"
-run ctest --test-dir build-nometrics --output-on-failure -j "$jobs"
+run ctest --test-dir build-nometrics --output-on-failure -j "$jobs" --timeout 600
 
 # Archive a small observability artifact: per-engine metric maps and a
 # chrome://tracing span file from one explorer sweep.
@@ -98,9 +109,12 @@ db_smoke_dir=$(mktemp -d)
 trap 'rm -rf "$db_smoke_dir"' EXIT
 run ./build/examples/search_server --engine auto \
     --db-dir "$db_smoke_dir" > build/artifacts/db_smoke_cold.txt
-run ./build/examples/search_server --engine auto \
+run ./build/examples/search_server --engine auto --health \
     --db-dir "$db_smoke_dir" > build/artifacts/db_smoke_warm.txt
 grep -q 'service.db_preloaded' build/artifacts/db_smoke_warm.txt
+# --health doubles as the readiness probe: an idle post-serve service
+# must report ready (exit 0, checked by `run` via set -e) and say so.
+grep -q 'ready *| *yes' build/artifacts/db_smoke_warm.txt
 ! grep -q 'service.db_preloaded *| *0\.00' \
     build/artifacts/db_smoke_warm.txt
 
@@ -111,11 +125,12 @@ grep -q 'service.db_preloaded' build/artifacts/db_smoke_warm.txt
 # fresh row is also copied next to the committed BENCH_service.json
 # snapshot at the repo root so a reviewer can diff the trajectory.
 run ./build/bench/bench_service --genome-mb 2 --requests 64 \
-    --pool-compare --db-compare \
+    --pool-compare --db-compare --overload \
     --json build/artifacts/BENCH_service.json
 test -s build/artifacts/BENCH_service.json
 grep -q '"pool_64_rps"' build/artifacts/BENCH_service.json
 grep -q '"db_speedup_100"' build/artifacts/BENCH_service.json
+grep -q '"overload_4x_goodput_rps"' build/artifacts/BENCH_service.json
 run cp build/artifacts/BENCH_service.json BENCH_service.latest.json
 
 echo "==> ci: all green"

@@ -24,6 +24,8 @@ errorCodeName(ErrorCode code)
         return "cancelled";
     case ErrorCode::ResourceExhausted:
         return "resource_exhausted";
+    case ErrorCode::Overloaded:
+        return "overloaded";
     case ErrorCode::FaultInjected:
         return "fault_injected";
     case ErrorCode::Internal:

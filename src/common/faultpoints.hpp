@@ -12,6 +12,7 @@
  *   engine.scan      a whole-genome engine scan inside SearchSession
  *   chunk.scan       one chunk scan inside ChunkedScanner (retryable)
  *   fasta.record     a FASTA record header in FastaStreamReader
+ *   db.store         persisting a blob in PatternDatabase::store
  *
  * Environment arming (read once, lazily):
  *   CRISPR_FAULTPOINTS="chunk.scan=nth:3;fasta.record=prob:0.01:42"

@@ -1,0 +1,161 @@
+#include "core/breaker.hpp"
+
+#include "common/logging.hpp"
+
+namespace crispr::core {
+
+CircuitBreakerBoard::CircuitBreakerBoard(BreakerOptions options)
+    : options_(options)
+{
+}
+
+CircuitBreakerBoard::Cell &
+CircuitBreakerBoard::cellLocked(const std::string &engine)
+{
+    auto it = cells_.find(engine);
+    if (it == cells_.end()) {
+        Cell cell;
+        const std::string prefix = "session.breaker." + engine + ".";
+        cell.opens = metrics_.counter(prefix + "open");
+        cell.halfOpens = metrics_.counter(prefix + "half_open");
+        cell.closes = metrics_.counter(prefix + "closed");
+        cell.stateGauge = metrics_.gauge(prefix + "state");
+        it = cells_.emplace(engine, std::move(cell)).first;
+    }
+    return it->second;
+}
+
+void
+CircuitBreakerBoard::setStateLocked(Cell &cell, State next)
+{
+    if (cell.state == next)
+        return;
+    cell.state = next;
+    cell.stateGauge.set(static_cast<double>(next));
+    switch (next) {
+      case State::Open:
+        cell.opens.inc();
+        break;
+      case State::HalfOpen:
+        cell.halfOpens.inc();
+        break;
+      case State::Closed:
+        cell.closes.inc();
+        break;
+    }
+}
+
+bool
+CircuitBreakerBoard::admit(const std::string &engine)
+{
+    if (options_.failureThreshold == 0)
+        return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Cell &cell = cellLocked(engine);
+    switch (cell.state) {
+      case State::Closed:
+        return true;
+      case State::HalfOpen:
+        // One probe at a time; everyone else keeps skipping.
+        if (cell.probeInFlight)
+            return false;
+        cell.probeInFlight = true;
+        return true;
+      case State::Open: {
+        const double waited =
+            std::chrono::duration<double>(Clock::now() - cell.openedAt)
+                .count();
+        if (waited < options_.openSeconds)
+            return false;
+        setStateLocked(cell, State::HalfOpen);
+        cell.probeInFlight = true;
+        return true;
+      }
+    }
+    return true;
+}
+
+void
+CircuitBreakerBoard::recordSuccess(const std::string &engine)
+{
+    if (options_.failureThreshold == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Cell &cell = cellLocked(engine);
+    cell.consecutiveFailures = 0;
+    cell.probeInFlight = false;
+    setStateLocked(cell, State::Closed);
+}
+
+void
+CircuitBreakerBoard::recordFailure(const std::string &engine)
+{
+    if (options_.failureThreshold == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Cell &cell = cellLocked(engine);
+    ++cell.consecutiveFailures;
+    if (cell.state == State::HalfOpen ||
+        cell.consecutiveFailures >= options_.failureThreshold) {
+        cell.probeInFlight = false;
+        cell.openedAt = Clock::now();
+        if (cell.state == State::Open) {
+            // Already open (e.g. races between recorded failures):
+            // just refresh the cool-down clock.
+            return;
+        }
+        warn("circuit breaker open for engine %s after %u consecutive "
+             "failures",
+             engine.c_str(), cell.consecutiveFailures);
+        setStateLocked(cell, State::Open);
+    }
+}
+
+CircuitBreakerBoard::State
+CircuitBreakerBoard::state(const std::string &engine) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cells_.find(engine);
+    return it == cells_.end() ? State::Closed : it->second.state;
+}
+
+const char *
+CircuitBreakerBoard::stateName(State state)
+{
+    switch (state) {
+      case State::Closed:
+        return "closed";
+      case State::HalfOpen:
+        return "half_open";
+      case State::Open:
+        return "open";
+    }
+    return "unknown";
+}
+
+std::map<std::string, std::string>
+CircuitBreakerBoard::stateNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, std::string> out;
+    for (const auto &[engine, cell] : cells_)
+        out.emplace(engine, stateName(cell.state));
+    return out;
+}
+
+std::map<std::string, double>
+CircuitBreakerBoard::metricsSnapshot() const
+{
+    std::map<std::string, double> out;
+    mergeMetricsInto(out);
+    return out;
+}
+
+void
+CircuitBreakerBoard::mergeMetricsInto(
+    std::map<std::string, double> &out) const
+{
+    metrics_.mergeInto(out);
+}
+
+} // namespace crispr::core

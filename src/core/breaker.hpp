@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-engine circuit breakers for the fallback chain. The existing
+ * fallback machinery retries a broken engine on *every* request — N
+ * concurrent requests each burn a compile attempt (or a wedged scan)
+ * against an engine that has been failing for minutes. A breaker
+ * remembers: after `failureThreshold` consecutive failures the engine's
+ * breaker opens and the chain skips straight to the next engine; after
+ * `openSeconds` of cool-down the breaker half-opens and admits exactly
+ * one probe request — success closes it, failure re-opens it.
+ *
+ * The board is the unit of sharing: `SearchService` owns one and hands
+ * it to every per-batch `SearchSession` through
+ * `RuntimeOptions::breakers`, so breaker state survives the sessions it
+ * protects (a fresh session per batch would otherwise forget every
+ * failure). A standalone session makes its own board.
+ *
+ * State transitions are counted per engine
+ * (`session.breaker.<engine>.open/half_open/closed`) and the current
+ * state is exported as a gauge (`session.breaker.<engine>.state`,
+ * 0 = closed, 1 = half-open, 2 = open) — both merged into
+ * SearchSession::metricsSnapshot and SearchService::metricsSnapshot,
+ * and surfaced in ServiceHealth. Thread-safe; every method may be
+ * called from any thread.
+ */
+
+#ifndef CRISPR_CORE_BREAKER_HPP_
+#define CRISPR_CORE_BREAKER_HPP_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.hpp"
+
+namespace crispr::core {
+
+/** Breaker tuning; fixed for the board's lifetime. */
+struct BreakerOptions
+{
+    /**
+     * Consecutive failures that open an engine's breaker. 0 disables
+     * the board entirely (every engine is always admitted).
+     */
+    unsigned failureThreshold = 5;
+
+    /**
+     * Cool-down before an open breaker half-opens and admits one probe
+     * request. 0 = the very next request probes (deterministic tests).
+     */
+    double openSeconds = 5.0;
+};
+
+/** Shared per-engine breaker state. */
+class CircuitBreakerBoard
+{
+  public:
+    enum class State : uint8_t
+    {
+        Closed = 0,   //!< healthy: every request admitted
+        HalfOpen = 1, //!< probing: exactly one request admitted
+        Open = 2,     //!< failing: requests skip this engine
+    };
+
+    explicit CircuitBreakerBoard(BreakerOptions options = {});
+
+    /**
+     * May `engine` be attempted now? Closed admits; Open admits
+     * nothing until the cool-down elapses, then transitions to
+     * HalfOpen and admits exactly one probe (concurrent callers are
+     * refused until the probe reports back).
+     */
+    bool admit(const std::string &engine);
+
+    /** The probe (or any admitted request) served: close the breaker
+     *  and reset the consecutive-failure count. */
+    void recordSuccess(const std::string &engine);
+
+    /** An admitted request failed on `engine`: count it, opening the
+     *  breaker at the threshold (a failed half-open probe re-opens). */
+    void recordFailure(const std::string &engine);
+
+    State state(const std::string &engine) const;
+    static const char *stateName(State state);
+
+    /** Engine -> state name, for ServiceHealth / operator views. */
+    std::map<std::string, std::string> stateNames() const;
+
+    const BreakerOptions &options() const { return options_; }
+
+    /** session.breaker.<engine>.{open,half_open,closed,state}. */
+    std::map<std::string, double> metricsSnapshot() const;
+    void mergeMetricsInto(std::map<std::string, double> &out) const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Cell
+    {
+        State state = State::Closed;
+        unsigned consecutiveFailures = 0;
+        Clock::time_point openedAt{};
+        bool probeInFlight = false;
+        common::Counter opens;     //!< closed/half-open -> open
+        common::Counter halfOpens; //!< open -> half-open
+        common::Counter closes;    //!< half-open -> closed
+        common::Gauge stateGauge;
+    };
+
+    Cell &cellLocked(const std::string &engine);
+    void setStateLocked(Cell &cell, State next);
+
+    const BreakerOptions options_;
+    mutable std::mutex mutex_;
+    std::map<std::string, Cell> cells_;
+    mutable common::MetricsRegistry metrics_;
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_BREAKER_HPP_

@@ -81,6 +81,13 @@ struct AutoCalibration
     double dfaStatesPerPatternRow = 30.0;
     double dfaGrowthPerMismatch = 5.55;
     double dfaSharingExponent = 0.25;
+    /**
+     * Subset construction + dense-table fill, per produced DFA state.
+     * Only consulted by cheapestViableEngine(): under overload the
+     * compile cost matters because it is paid before the first byte is
+     * scanned, so a small genome should not wait on a big DFA build.
+     */
+    double dfaCompileNsPerState = 2500.0;
 };
 
 /** The measured defaults above. */
@@ -108,6 +115,18 @@ autoEngineRanking(const WorkloadShape &shape, uint32_t max_dfa_states,
 EngineKind
 chooseAutoEngine(const WorkloadShape &shape, uint32_t max_dfa_states,
                  const AutoCalibration &cal = defaultAutoCalibration());
+
+/**
+ * The cheapest *viable* engine for a one-shot scan of `genomeBytes`,
+ * minimising predicted compile + scan cost instead of steady-state
+ * ns/symbol. This is the degraded choice SearchService pins
+ * engine=auto to under queue pressure: amortising a DFA build over a
+ * deep queue is exactly what an overloaded server cannot afford.
+ */
+EngineKind
+cheapestViableEngine(const WorkloadShape &shape, uint32_t max_dfa_states,
+                     size_t genomeBytes,
+                     const AutoCalibration &cal = defaultAutoCalibration());
 
 } // namespace crispr::core
 

@@ -1,5 +1,7 @@
 #include "core/genome_store.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 
 #include "common/logging.hpp"
@@ -15,6 +17,7 @@ GenomeStore::GenomeStore(size_t max_bytes)
       misses_(metrics_.counter("store.misses")),
       loads_(metrics_.counter("store.loads")),
       evictions_(metrics_.counter("store.evictions")),
+      deadlineExceeded_(metrics_.counter("store.deadline_exceeded")),
       bytesGauge_(metrics_.gauge("store.bytes")),
       entriesGauge_(metrics_.gauge("store.entries"))
 {
@@ -51,8 +54,19 @@ GenomeStore::evictOverBudgetLocked()
 }
 
 common::Expected<SharedSequence>
-GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader)
+GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader,
+                          const common::Deadline &deadline)
 {
+    // A request that is already dead must not queue behind (or start) a
+    // multi-second decode it can never use.
+    if (deadline.expired()) {
+        deadlineExceeded_.inc();
+        return Error(deadline.cancelled() ? ErrorCode::Cancelled
+                                          : ErrorCode::DeadlineExceeded,
+                     "deadline expired before genome load")
+            .withContext("key", key);
+    }
+
     std::promise<LoadResult> promise;
     std::shared_future<LoadResult> fut;
     uint64_t my_id = 0;
@@ -74,8 +88,29 @@ GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader)
             load_here = true;
         }
     }
-    if (!load_here)
+    if (!load_here) {
+        // Wait in bounded slices so a deadline that expires (or a
+        // token cancelled) while another caller decodes returns
+        // promptly; the decode itself continues and fills the cache
+        // for everyone else. A ready future exits on the first probe.
+        for (;;) {
+            const double slice =
+                std::clamp(deadline.remainingSeconds(), 0.0, 0.01);
+            if (fut.wait_for(std::chrono::duration<double>(slice)) ==
+                std::future_status::ready)
+                break;
+            if (deadline.expired()) {
+                deadlineExceeded_.inc();
+                return Error(deadline.cancelled()
+                                 ? ErrorCode::Cancelled
+                                 : ErrorCode::DeadlineExceeded,
+                             "deadline expired waiting for genome "
+                             "load")
+                    .withContext("key", key);
+            }
+        }
         return fut.get();
+    }
 
     // Cache miss: this caller decodes while every racer on the same
     // key waits on the shared future — one parse, many readers.
@@ -112,25 +147,29 @@ GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader)
 }
 
 common::Expected<SharedSequence>
-GenomeStore::tryLoadFile(const std::string &path, bool lenient)
+GenomeStore::tryLoadFile(const std::string &path, bool lenient,
+                         const common::Deadline &deadline)
 {
-    return tryGetOrLoad(path, [&]() -> common::Expected<genome::Sequence> {
-        std::ifstream in(path, std::ios::binary);
-        if (!in)
-            return Error(ErrorCode::InvalidArgument,
-                         "cannot open FASTA file")
-                .withContext("path", path);
-        try {
-            genome::FastaParseOptions options;
-            options.lenient = lenient;
-            size_t dropped = 0;
-            auto records = genome::readFasta(in, options, &dropped);
-            return genome::concatenateRecords(records);
-        } catch (const FatalError &e) {
-            return Error(ErrorCode::ParseError, e.what())
-                .withContext("path", path);
-        }
-    });
+    return tryGetOrLoad(
+        path,
+        [&]() -> common::Expected<genome::Sequence> {
+            std::ifstream in(path, std::ios::binary);
+            if (!in)
+                return Error(ErrorCode::InvalidArgument,
+                             "cannot open FASTA file")
+                    .withContext("path", path);
+            try {
+                genome::FastaParseOptions options;
+                options.lenient = lenient;
+                size_t dropped = 0;
+                auto records = genome::readFasta(in, options, &dropped);
+                return genome::concatenateRecords(records);
+            } catch (const FatalError &e) {
+                return Error(ErrorCode::ParseError, e.what())
+                    .withContext("path", path);
+            }
+        },
+        deadline);
 }
 
 SharedSequence
@@ -240,6 +279,12 @@ size_t
 GenomeStore::evictions() const
 {
     return evictions_.value();
+}
+
+size_t
+GenomeStore::deadlineExceededCount() const
+{
+    return deadlineExceeded_.value();
 }
 
 std::map<std::string, double>

@@ -17,7 +17,8 @@
  * genome out from under a batch.
  *
  * Metrics (metricsSnapshot()): `store.hits`, `store.misses`,
- * `store.loads`, `store.evictions`, `store.bytes`, `store.entries`.
+ * `store.loads`, `store.evictions`, `store.bytes`, `store.entries`,
+ * `store.deadline_exceeded`.
  */
 
 #ifndef CRISPR_CORE_GENOME_STORE_HPP_
@@ -31,6 +32,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/deadline.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "genome/sequence.hpp"
@@ -59,17 +61,28 @@ class GenomeStore
      * `loader` to fill it. Exactly one racer runs the loader; the rest
      * wait for its result. A loader error is returned to every waiter
      * and evicted immediately, so a later call retries the load.
+     *
+     * Deadline-awareness: a caller whose `deadline` has already
+     * expired — or expires while waiting on another caller's in-flight
+     * load — returns `deadline_exceeded` promptly (counted as
+     * `store.deadline_exceeded`) instead of blocking for the full
+     * decode. The load itself is never abandoned: the loader-running
+     * caller ignores its own deadline so racers and later requests
+     * still get the cached sequence.
      */
     common::Expected<SharedSequence>
-    tryGetOrLoad(const std::string &key, const Loader &loader);
+    tryGetOrLoad(const std::string &key, const Loader &loader,
+                 const common::Deadline &deadline = {});
 
     /**
      * Load a FASTA file (key = path), concatenating its records into
      * one scan stream exactly as genome::concatenateRecords does.
      * @param lenient skip malformed records instead of failing.
+     * @param deadline bounds the wait as in tryGetOrLoad().
      */
     common::Expected<SharedSequence>
-    tryLoadFile(const std::string &path, bool lenient = false);
+    tryLoadFile(const std::string &path, bool lenient = false,
+                const common::Deadline &deadline = {});
 
     /** Throwing wrappers (ErrorException). */
     SharedSequence getOrLoad(const std::string &key,
@@ -92,6 +105,8 @@ class GenomeStore
     size_t hits() const;
     size_t misses() const;
     size_t evictions() const;
+    /** Loads/waits abandoned because the caller's deadline expired. */
+    size_t deadlineExceededCount() const;
 
     /** Snapshot of the store.* metrics. */
     std::map<std::string, double> metricsSnapshot() const;
@@ -132,6 +147,7 @@ class GenomeStore
     common::Counter misses_;
     common::Counter loads_;
     common::Counter evictions_;
+    common::Counter deadlineExceeded_;
     common::Gauge bytesGauge_;
     common::Gauge entriesGauge_;
 };

@@ -5,6 +5,7 @@
 #include <system_error>
 #include <thread>
 
+#include "common/faultpoints.hpp"
 #include "common/logging.hpp"
 #include "common/serial.hpp"
 
@@ -102,6 +103,18 @@ common::Status
 PatternDatabase::store(const std::string &key,
                        std::span<const uint8_t> blob)
 {
+    // The in-memory tier is filled first: even when the directory is
+    // unwritable (read-only volume, disk full) this process still
+    // serves the blob from memory — a disk failure degrades
+    // persistence, never availability.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        mem_[fileNameFor(key)].assign(blob.begin(), blob.end());
+    }
+    if (common::faultpoints::shouldFail("db.store"))
+        return Error(ErrorCode::FaultInjected,
+                     "injected db.store fault")
+            .withContext("key", key);
     const std::string path = pathFor(key);
     // Unique temp per writer thread so concurrent stores never
     // interleave; rename() is atomic within the directory.
@@ -131,8 +144,6 @@ PatternDatabase::store(const std::string &key,
                      "cannot publish database file")
             .withContext("path", path);
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    mem_[fileNameFor(key)].assign(blob.begin(), blob.end());
     return common::Status();
 }
 

@@ -59,9 +59,12 @@ class PatternDatabase
     std::optional<std::vector<uint8_t>> load(const std::string &key);
 
     /**
-     * Persist a blob under `key` (temp file + rename) and remember it
-     * in the in-memory tier. Best-effort: an I/O failure returns a
-     * Status but must not fail the search that compiled the blob.
+     * Remember a blob under `key` in the in-memory tier, then persist
+     * it (temp file + rename). Best-effort: an I/O failure (read-only
+     * or full directory) returns a Status but must not fail the
+     * search that compiled the blob — the memory tier is filled
+     * before the disk attempt, so this process keeps serving the blob
+     * either way. Faultpoint `db.store` injects the disk failure.
      */
     common::Status store(const std::string &key,
                          std::span<const uint8_t> blob);

@@ -19,12 +19,14 @@
 #ifndef CRISPR_CORE_SEARCH_HPP_
 #define CRISPR_CORE_SEARCH_HPP_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/deadline.hpp"
 #include "common/executor.hpp"
 #include "common/trace.hpp"
+#include "core/breaker.hpp"
 #include "core/engines.hpp"
 #include "core/offtarget.hpp"
 
@@ -122,6 +124,17 @@ struct RuntimeOptions
      * `parse.records_dropped` metric) instead of failing the search.
      */
     bool lenientFasta = false;
+
+    /**
+     * Shared per-engine circuit breakers wrapped around the fallback
+     * chain (core/breaker.hpp): an engine whose breaker is open is
+     * skipped without burning a compile/scan attempt. nullptr = the
+     * session makes a private board (breakers still protect repeated
+     * searches on one session, but state dies with it). SearchService
+     * injects its long-lived board here so breaker state survives
+     * across batches.
+     */
+    std::shared_ptr<CircuitBreakerBoard> breakers;
 
     /**
      * Optional trace sink: when set, the search records RAII spans

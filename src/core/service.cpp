@@ -7,6 +7,8 @@
 
 #include "common/executor.hpp"
 #include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "core/engine_auto.hpp"
 #include "core/pattern_db.hpp"
 #include "core/session.hpp"
 
@@ -22,12 +24,22 @@ SearchService::SearchService(ServiceOptions options,
     : options_(options),
       store_(store ? std::move(store)
                    : std::make_shared<GenomeStore>()),
+      breakers_(std::make_shared<CircuitBreakerBoard>(options.breaker)),
       requests_(metrics_.counter("service.requests")),
       batches_(metrics_.counter("service.batches")),
       coalesced_(metrics_.counter("service.coalesced")),
       batchSplits_(metrics_.counter("service.batch_splits")),
       expired_(metrics_.counter("service.expired")),
-      batchSize_(metrics_.histogram("service.batch_size"))
+      rejected_(metrics_.counter("service.rejected")),
+      shed_(metrics_.counter("service.shed")),
+      degraded_(metrics_.counter("service.degraded")),
+      pressureEnters_(metrics_.counter("service.pressure_enters")),
+      pressureExits_(metrics_.counter("service.pressure_exits")),
+      batchSize_(metrics_.histogram("service.batch_size")),
+      estWait_(metrics_.histogram("service.est_wait_seconds")),
+      queueDepthGauge_(metrics_.gauge("service.queue_depth")),
+      queuedBytesGauge_(metrics_.gauge("service.queued_bytes")),
+      pressureGauge_(metrics_.gauge("service.pressure"))
 {
     if (!options_.databaseDir.empty()) {
         // Pre-warm: pull every persisted compiled state into the
@@ -88,6 +100,86 @@ SearchService::trySubmit(std::vector<Guide> guides,
     return fut;
 }
 
+double
+SearchService::estimateSeconds(const Pending &request) const
+{
+    // Predicted one-pass scan cost from the engine_auto cost model,
+    // scaled by the EWMA of measured-vs-predicted batch times
+    // (observeMeasuredCost). Engines outside the CPU cost model fall
+    // back to the auto ranking's first choice as a proxy — the
+    // estimate only has to be right in magnitude, not exactly.
+    WorkloadShape shape;
+    shape.guideCount = request.guides.size();
+    shape.guideLength = request.guides.front().protospacer.size();
+    shape.pamLength = request.config.pam.size();
+    shape.maxMismatches = request.config.maxMismatches;
+    shape.bothStrands = request.config.bothStrands;
+    const uint32_t max_states =
+        request.config.params.hscanOpts.maxDfaStates;
+
+    EngineKind kind = request.config.engine;
+    if (kind != EngineKind::HscanDfa &&
+        kind != EngineKind::HscanBitParallel &&
+        kind != EngineKind::Reference)
+        kind = chooseAutoEngine(shape, max_states);
+
+    const AutoCalibration cal = defaultAutoCalibration();
+    double seconds = predictedNsPerSymbol(kind, shape, cal) * 1e-9 *
+                     static_cast<double>(request.bytes);
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned threads =
+        request.config.threads == 0
+            ? hw
+            : std::min<unsigned>(request.config.threads, hw);
+    seconds /= static_cast<double>(threads);
+
+    double scale;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        scale = costScale_;
+    }
+    return seconds * scale;
+}
+
+void
+SearchService::observeMeasuredCost(double predicted, double measured)
+{
+    if (predicted <= 0.0 || measured <= 0.0)
+        return;
+    const double ratio =
+        std::clamp(measured / predicted, 0.05, 20.0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    costScale_ = std::clamp(0.7 * costScale_ + 0.3 * ratio * costScale_,
+                            0.05, 20.0);
+}
+
+std::vector<SearchService::Pending>
+SearchService::takeQueueLocked()
+{
+    std::vector<Pending> pending;
+    pending.swap(queue_);
+    queuedSeconds_ = 0.0;
+    queuedBytes_ = 0;
+    queueDepthGauge_.set(0.0);
+    queuedBytesGauge_.set(0.0);
+    return pending;
+}
+
+void
+SearchService::updatePressureLocked()
+{
+    if (pressured_.load(std::memory_order_relaxed) &&
+        queue_.size() <= options_.pressureLowWatermark) {
+        pressured_.store(false, std::memory_order_relaxed);
+        pressureGauge_.set(0.0);
+        pressureExits_.inc();
+        inform("service pressure cleared (queue depth %zu <= low "
+               "watermark %zu)",
+               queue_.size(), options_.pressureLowWatermark);
+    }
+}
+
 void
 SearchService::enqueue(std::vector<Guide> guides,
                        RequestOptions options, Completion complete)
@@ -108,7 +200,8 @@ SearchService::enqueue(std::vector<Guide> guides,
             return;
         }
         auto loaded = store_->tryLoadFile(options.genomePath,
-                                          options.config.lenientFasta);
+                                          options.config.lenientFasta,
+                                          options.config.deadline);
         if (!loaded.ok()) {
             complete(loaded.error());
             return;
@@ -122,12 +215,114 @@ SearchService::enqueue(std::vector<Guide> guides,
     pending.config = options.config;
     if (pending.config.databaseDir.empty())
         pending.config.databaseDir = options_.databaseDir;
+    if (!pending.config.breakers)
+        pending.config.breakers = breakers_;
     pending.complete = std::move(complete);
     pending.arrival = std::chrono::steady_clock::now();
+    pending.bytes = pending.genome->size();
+    pending.estSeconds = estimateSeconds(pending);
 
+    // Decide admission under the lock; run completions (shed victims
+    // or the rejected arrival) after releasing it, so a completion
+    // callback can never deadlock back into the service.
+    std::vector<Pending> evicted;
+    bool reject = false;
+    const char *reject_reason = "";
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(pending));
+
+        const double est_wait = queuedSeconds_;
+        estWait_.observe(est_wait);
+
+        // Cost-aware early rejection: a request with a real, not yet
+        // expired deadline that predictably cannot finish behind the
+        // current queue is refused now, before it costs anything.
+        // Already-expired requests are still admitted — they complete
+        // instantly as timed-out at dispatch (deadline semantics stay
+        // per-request and exact).
+        const double remaining =
+            pending.config.deadline.remainingSeconds();
+        if (options_.costAwareAdmission && std::isfinite(remaining) &&
+            !pending.config.deadline.expired() &&
+            est_wait + pending.estSeconds > remaining) {
+            reject = true;
+            reject_reason = "deadline unmeetable at current queue "
+                            "depth";
+        }
+
+        const bool over_requests =
+            options_.maxQueueRequests > 0 &&
+            queue_.size() >= options_.maxQueueRequests;
+        const bool over_bytes =
+            options_.maxQueueBytes > 0 && !queue_.empty() &&
+            queuedBytes_ + pending.bytes > options_.maxQueueBytes;
+        if (!reject && (over_requests || over_bytes)) {
+            if (options_.admissionPolicy ==
+                AdmissionPolicy::RejectNew) {
+                reject = true;
+                reject_reason = "admission queue full";
+            } else {
+                // DropOldest: shed from the front until the arrival
+                // fits (an arrival bigger than the whole byte budget
+                // sheds everything, then queues alone).
+                while (!queue_.empty() &&
+                       ((options_.maxQueueRequests > 0 &&
+                         queue_.size() >=
+                             options_.maxQueueRequests) ||
+                        (options_.maxQueueBytes > 0 &&
+                         queuedBytes_ + pending.bytes >
+                             options_.maxQueueBytes))) {
+                    Pending victim = std::move(queue_.front());
+                    queue_.erase(queue_.begin());
+                    queuedSeconds_ =
+                        std::max(0.0, queuedSeconds_ -
+                                          victim.estSeconds);
+                    queuedBytes_ -= victim.bytes;
+                    shed_.inc();
+                    evicted.push_back(std::move(victim));
+                }
+            }
+        }
+
+        if (!reject) {
+            queuedSeconds_ += pending.estSeconds;
+            queuedBytes_ += pending.bytes;
+            queue_.push_back(std::move(pending));
+            queueDepthGauge_.set(
+                static_cast<double>(queue_.size()));
+            queuedBytesGauge_.set(
+                static_cast<double>(queuedBytes_));
+            if (options_.pressureHighWatermark > 0 &&
+                !pressured_.load(std::memory_order_relaxed) &&
+                queue_.size() >= options_.pressureHighWatermark) {
+                pressured_.store(true, std::memory_order_relaxed);
+                pressureGauge_.set(1.0);
+                pressureEnters_.inc();
+                inform("service under pressure (queue depth %zu >= "
+                       "high watermark %zu): batch window -> 0, "
+                       "engine=auto pinned cheap",
+                       queue_.size(),
+                       options_.pressureHighWatermark);
+            }
+        } else {
+            rejected_.inc();
+        }
+    }
+
+    for (Pending &victim : evicted)
+        victim.complete(
+            Error(ErrorCode::Overloaded,
+                  "request shed by admission control (drop-oldest)")
+                .withContext("policy", "drop-oldest"));
+    if (reject) {
+        pending.complete(
+            Error(ErrorCode::Overloaded, reject_reason)
+                .withContext("policy",
+                             options_.admissionPolicy ==
+                                     AdmissionPolicy::RejectNew
+                                 ? "reject-new"
+                                 : "drop-oldest"));
+        return;
     }
     cv_.notify_all();
 }
@@ -138,7 +333,7 @@ SearchService::drain()
     std::vector<Pending> pending;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        pending.swap(queue_);
+        pending = takeQueueLocked();
         ++executing_;
     }
     const size_t count = pending.size();
@@ -146,6 +341,7 @@ SearchService::drain()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         --executing_;
+        updatePressureLocked();
     }
     idleCv_.notify_all();
     return count;
@@ -175,8 +371,10 @@ SearchService::loop()
         cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
         if (stop_)
             return; // the destructor drains the remainder
-        // Hold the window open for ride-alongs, unless the batch fills
-        // or a flush cuts it short.
+        // Hold the window open for ride-alongs, unless the batch
+        // fills, a flush cuts it short, or the service is under
+        // pressure (degraded mode: drain immediately, adding zero
+        // batching latency to an already-backed-up queue).
         const auto due =
             queue_.front().arrival +
             std::chrono::duration_cast<
@@ -184,18 +382,19 @@ SearchService::loop()
                 std::chrono::duration<double>(
                     options_.batchWindowSeconds));
         while (!stop_ && !flushRequested_ &&
+               !pressured_.load(std::memory_order_relaxed) &&
                queue_.size() < options_.maxBatchRequests &&
                std::chrono::steady_clock::now() < due)
             cv_.wait_until(lock, due);
         if (stop_)
             return;
-        std::vector<Pending> pending;
-        pending.swap(queue_);
+        std::vector<Pending> pending = takeQueueLocked();
         ++executing_;
         lock.unlock();
         dispatch(std::move(pending));
         lock.lock();
         --executing_;
+        updatePressureLocked();
         idleCv_.notify_all();
     }
 }
@@ -424,9 +623,29 @@ SearchService::executeMerged(std::vector<Pending> members)
                           ? combinedDeadline(members)
                           : members.front().config.deadline;
 
+    // Degraded mode: under pressure an engine=auto batch is pinned to
+    // the cost model's cheapest compile+scan choice for this genome
+    // size — a queue this deep cannot afford to amortise a DFA build.
+    if (config.engine == EngineKind::Auto &&
+        pressured_.load(std::memory_order_relaxed)) {
+        WorkloadShape shape;
+        shape.guideCount = merged.size();
+        shape.guideLength = merged.front().protospacer.size();
+        shape.pamLength = config.pam.size();
+        shape.maxMismatches = config.maxMismatches;
+        shape.bothStrands = config.bothStrands;
+        config.engine = cheapestViableEngine(
+            shape, config.params.hscanOpts.maxDfaStates,
+            members.front().genome->size());
+        degraded_.inc();
+    }
+
+    const Stopwatch batch_timer;
     SearchSession session(merged, config);
     Expected<SearchResult> result =
         session.trySearch(*members.front().genome);
+    observeMeasuredCost(members.front().estSeconds,
+                        batch_timer.seconds());
 
     if (!result.ok()) {
         // The merged run failed (compile or scan, all fallbacks
@@ -479,11 +698,37 @@ SearchService::executeSingle(Pending member)
     member.complete(std::move(single));
 }
 
+ServiceHealth
+SearchService::health() const
+{
+    ServiceHealth out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.queueDepth = queue_.size();
+        out.queuedBytes = queuedBytes_;
+        out.executingBatches = executing_;
+        out.estWaitSeconds = queuedSeconds_;
+        out.accepting =
+            (options_.maxQueueRequests == 0 ||
+             queue_.size() < options_.maxQueueRequests) &&
+            (options_.maxQueueBytes == 0 ||
+             queuedBytes_ < options_.maxQueueBytes);
+    }
+    out.pressured = pressured_.load(std::memory_order_relaxed);
+    out.executorQueueDepth =
+        common::Executor::shared().pendingCount();
+    out.storeBytes = store_->bytes();
+    out.storeEntries = store_->entryCount();
+    out.breakers = breakers_->stateNames();
+    return out;
+}
+
 std::map<std::string, double>
 SearchService::metricsSnapshot() const
 {
     std::map<std::string, double> out = metrics_.toMap();
     store_->mergeMetricsInto(out);
+    breakers_->mergeMetricsInto(out);
     // The serving view includes the execution layer it schedules on:
     // executor.tasks/steals/queue_depth/wait_seconds are process-wide.
     common::Executor::shared().mergeMetricsInto(out);

@@ -38,12 +38,22 @@
  *    merged pattern set is the concatenation of the members' sets, and
  *    hits/events/patterns are filtered and re-indexed per requester.
  *
+ * Overload protection (DESIGN.md §12): the admission queue is bounded
+ * in requests and bytes with a reject-new / drop-oldest policy, a
+ * cost-model estimate rejects deadline-bearing requests that cannot
+ * finish in time, sustained backlog flips the service into a
+ * hysteresis-gated pressure state (zero batch window, engine=auto
+ * pinned to its cheapest viable choice), per-engine circuit breakers
+ * guard the fallback chain across batches, and health() exposes the
+ * whole picture for readiness probes.
+ *
  * Thread-safety: every public method may be called from any thread.
  */
 
 #ifndef CRISPR_CORE_SERVICE_HPP_
 #define CRISPR_CORE_SERVICE_HPP_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -58,14 +68,31 @@
 
 namespace crispr::core {
 
-/** Service-wide batching options. */
+/**
+ * What happens when a request arrives and the admission queue is at
+ * its request or byte bound (DESIGN.md §12).
+ */
+enum class AdmissionPolicy : uint8_t
+{
+    /** Refuse the new arrival with Error::overloaded (the default:
+     *  callers with retry logic back off; queued work is preserved). */
+    RejectNew,
+    /** Admit the arrival and shed the oldest queued request(s) with
+     *  Error::overloaded — freshest-work-wins, for callers whose old
+     *  requests have stale deadlines anyway. */
+    DropOldest,
+};
+
+/** Service-wide batching + admission options. */
 struct ServiceOptions
 {
     /**
      * Seconds a batch window stays open after the first pending
      * request arrives (more arrivals ride along). Negative = manual
      * mode: no dispatcher thread runs and requests accumulate until
-     * drain() — the deterministic mode tests and benches use.
+     * drain() — the deterministic mode tests and benches use. Under
+     * queue pressure (see pressureHighWatermark) the dispatcher
+     * shrinks the window to zero until the backlog recedes.
      */
     double batchWindowSeconds = 0.002;
 
@@ -76,6 +103,51 @@ struct ServiceOptions
     size_t maxBatchGuides = 4096;
 
     /**
+     * Admission queue bound in requests (0 = unbounded). An arrival
+     * past the bound is resolved per `admissionPolicy`; shed/rejected
+     * requests complete promptly with Error::overloaded and never
+     * cost a scan.
+     */
+    size_t maxQueueRequests = 4096;
+
+    /**
+     * Admission queue bound in queued work bytes — the sum of the
+     * pending requests' genome sizes (0 = unbounded). Bounds memory
+     * and scan backlog together for mixed genome sizes.
+     */
+    size_t maxQueueBytes = 0;
+
+    /** Policy at either queue bound. */
+    AdmissionPolicy admissionPolicy = AdmissionPolicy::RejectNew;
+
+    /**
+     * Cost-aware early rejection: estimate each arrival's scan cost
+     * (engine_auto cost model x an EWMA of measured-vs-predicted scan
+     * time) plus the estimated wait behind the current queue, and
+     * reject a deadline-bearing request that cannot finish in time
+     * (`service.rejected`) instead of burning a scan that will be
+     * thrown away. Requests that are *already* expired at submit are
+     * still admitted — they complete instantly as timed-out, which is
+     * cheaper than an error path and keeps deadline semantics exact.
+     */
+    bool costAwareAdmission = true;
+
+    /**
+     * Queue depth at which the service enters the degraded "pressure"
+     * state: the batch window collapses to zero and engine=auto
+     * requests are pinned to the cost model's cheapest viable engine
+     * (compile + scan) instead of its steady-state-fastest. 0 = never.
+     * Hysteresis: pressure exits only when the queue drains to
+     * pressureLowWatermark.
+     */
+    size_t pressureHighWatermark = 256;
+    size_t pressureLowWatermark = 64;
+
+    /** Circuit breakers for the per-batch sessions' fallback chains
+     *  (one shared board per service; see core/breaker.hpp). */
+    BreakerOptions breaker;
+
+    /**
      * Ahead-of-time pattern database directory (core/pattern_db.hpp).
      * When set, the service preloads every blob in it at construction
      * (`service.db_preloaded`) — the millisecond-restart path — and
@@ -84,6 +156,29 @@ struct ServiceOptions
      * instead of recompiling.
      */
     std::string databaseDir;
+};
+
+/**
+ * A point-in-time health snapshot (health()): what a readiness probe
+ * or operator dashboard needs to decide "is this instance taking
+ * traffic, and should it be".
+ */
+struct ServiceHealth
+{
+    size_t queueDepth = 0;       //!< admitted requests waiting
+    size_t queuedBytes = 0;      //!< their summed genome bytes
+    size_t executingBatches = 0; //!< dispatch cycles in flight
+    double estWaitSeconds = 0.0; //!< predicted wait behind the queue
+    bool pressured = false;      //!< degraded mode active
+    bool accepting = true;       //!< queue bounds not currently hit
+    size_t executorQueueDepth = 0; //!< process-wide pool backlog
+    size_t storeBytes = 0;         //!< decoded genomes resident
+    size_t storeEntries = 0;
+    /** Engine -> breaker state name ("closed"/"half_open"/"open"). */
+    std::map<std::string, std::string> breakers;
+
+    /** The readiness-probe verdict: accepting and not degraded. */
+    bool ready() const { return accepting && !pressured; }
 };
 
 /** Per-request options: which genome to scan, and how. */
@@ -145,7 +240,17 @@ class SearchService
     GenomeStore &store() { return *store_; }
     std::shared_ptr<GenomeStore> sharedStore() { return store_; }
 
-    /** Cumulative service.* (+ store.*) metrics. */
+    /** The shared per-engine circuit breaker board (never null). */
+    const std::shared_ptr<CircuitBreakerBoard> &
+    breakers() const
+    {
+        return breakers_;
+    }
+
+    /** Point-in-time health snapshot (queue, pressure, breakers). */
+    ServiceHealth health() const;
+
+    /** Cumulative service.* (+ store.*, breaker, executor) metrics. */
     std::map<std::string, double> metricsSnapshot() const;
 
     size_t requestCount() const { return requests_.value(); }
@@ -155,6 +260,12 @@ class SearchService
     size_t coalescedCount() const { return coalesced_.value(); }
     /** Merged runs degraded to per-request serial execution. */
     size_t batchSplitCount() const { return batchSplits_.value(); }
+    /** Arrivals refused at admission (bounds or cost model). */
+    size_t rejectedCount() const { return rejected_.value(); }
+    /** Queued requests shed to make room (DropOldest). */
+    size_t shedCount() const { return shed_.value(); }
+    /** Batches whose engine=auto was pinned cheap under pressure. */
+    size_t degradedCount() const { return degraded_.value(); }
 
   private:
     using Completion =
@@ -167,11 +278,21 @@ class SearchService
         SearchConfig config;
         Completion complete;
         std::chrono::steady_clock::time_point arrival;
+        double estSeconds = 0.0; //!< admission-time cost estimate
+        size_t bytes = 0;        //!< genome bytes (queue byte bound)
     };
 
     void enqueue(std::vector<Guide> guides, RequestOptions options,
                  Completion complete);
     void loop();
+    /** Predicted scan seconds for one request (cost model x EWMA). */
+    double estimateSeconds(const Pending &request) const;
+    /** Fold a measured batch into the cost-model EWMA scale. */
+    void observeMeasuredCost(double predicted, double measured);
+    /** Swap out the whole queue (resets queued-work accounting). */
+    std::vector<Pending> takeQueueLocked();
+    /** Re-evaluate the pressure exit watermark after a dispatch. */
+    void updatePressureLocked();
     /** Group by coalescing key and execute each group. */
     void dispatch(std::vector<Pending> pending);
     /** Run one compatible group as one or more merged passes. */
@@ -193,14 +314,20 @@ class SearchService
 
     const ServiceOptions options_;
     std::shared_ptr<GenomeStore> store_;
+    std::shared_ptr<CircuitBreakerBoard> breakers_;
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;     //!< wakes the dispatcher
     std::condition_variable idleCv_; //!< wakes flush()
     std::vector<Pending> queue_;
+    double queuedSeconds_ = 0.0; //!< sum of queued estSeconds
+    size_t queuedBytes_ = 0;     //!< sum of queued genome bytes
+    double costScale_ = 1.0;     //!< EWMA measured / predicted cost
     size_t executing_ = 0;
     bool stop_ = false;
     bool flushRequested_ = false;
+    /** Degraded mode; atomic so executeMerged reads it lock-free. */
+    std::atomic<bool> pressured_{false};
     std::thread worker_;
 
     mutable common::MetricsRegistry metrics_;
@@ -209,7 +336,16 @@ class SearchService
     common::Counter coalesced_;
     common::Counter batchSplits_;
     common::Counter expired_;
+    common::Counter rejected_;
+    common::Counter shed_;
+    common::Counter degraded_;
+    common::Counter pressureEnters_;
+    common::Counter pressureExits_;
     common::Histogram batchSize_;
+    common::Histogram estWait_;
+    common::Gauge queueDepthGauge_;
+    common::Gauge queuedBytesGauge_;
+    common::Gauge pressureGauge_;
 };
 
 } // namespace crispr::core

@@ -39,8 +39,18 @@ SearchSession::SearchSession(std::vector<Guide> guides,
       compiles_(metrics_.counter("session.compiles")),
       cacheHits_(metrics_.counter("session.cache_hits")),
       dbHits_(metrics_.counter("session.db_hits")),
-      dbMisses_(metrics_.counter("session.db_misses"))
+      dbMisses_(metrics_.counter("session.db_misses")),
+      dbStoreFailures_(metrics_.counter("session.db_store_failures")),
+      breakers_(config_.breakers
+                    ? config_.breakers
+                    : std::make_shared<CircuitBreakerBoard>())
 {
+}
+
+CircuitBreakerBoard &
+SearchSession::boardFor(const SearchConfig &config) const
+{
+    return config.breakers ? *config.breakers : *breakers_;
 }
 
 std::string
@@ -187,9 +197,14 @@ SearchSession::compiledFor(const SearchConfig &config,
     if (db) {
         auto blob = engine.serializeState(*compiled);
         if (blob.ok()) {
-            if (auto st = db->store(db_key, blob.value()); !st.ok())
-                warn("pattern database store failed: %s",
+            if (auto st = db->store(db_key, blob.value()); !st.ok()) {
+                // Unwritable/full databaseDir degrades to in-memory
+                // operation; the search itself must never fail here.
+                dbStoreFailures_.inc();
+                warn("pattern database store failed (continuing "
+                     "in-memory): %s",
                      st.error().message().c_str());
+            }
         }
     }
     cache_.emplace_front(key, compiled);
@@ -208,6 +223,7 @@ void
 SearchSession::annotate(EngineRun &run) const
 {
     metrics_.mergeInto(run.metrics);
+    breakers_->mergeMetricsInto(run.metrics);
 }
 
 common::Expected<EngineRun>
@@ -268,17 +284,31 @@ SearchSession::trySearch(const genome::Sequence &genome_seq,
 {
     common::TraceSpan search_span(config.trace, "search");
     const std::vector<EngineKind> chain = engineChain(config);
+    CircuitBreakerBoard &board = boardFor(config);
     Error last(ErrorCode::Internal, "no engine attempted");
     size_t failed_engines = 0;
 
     for (EngineKind kind : chain) {
+        const char *name = engineName(kind);
+        if (!board.admit(name)) {
+            // Breaker open: skip to the next engine without burning a
+            // compile/scan attempt (and without counting a failure —
+            // the engine was never tried).
+            last = Error(ErrorCode::Overloaded,
+                         strprintf("circuit breaker open for %s",
+                                   name))
+                       .withContext("engine", name);
+            ++failed_engines;
+            continue;
+        }
         const Engine *engine =
             EngineRegistry::instance().tryFind(kind);
         if (!engine) {
             last = Error(ErrorCode::UnsupportedEngine,
                          strprintf("no engine registered for %s",
-                                   engineName(kind)));
-            recordEngineFailure(engineName(kind));
+                                   name));
+            recordEngineFailure(name);
+            board.recordFailure(name);
             ++failed_engines;
             continue;
         }
@@ -286,6 +316,7 @@ SearchSession::trySearch(const genome::Sequence &genome_seq,
         if (!compiled.ok()) {
             last = compiled.error();
             recordEngineFailure(engine->name());
+            board.recordFailure(name);
             ++failed_engines;
             continue;
         }
@@ -296,9 +327,11 @@ SearchSession::trySearch(const genome::Sequence &genome_seq,
         if (!run.ok()) {
             last = run.error();
             recordEngineFailure(engine->name());
+            board.recordFailure(name);
             ++failed_engines;
             continue;
         }
+        board.recordSuccess(name);
 
         SearchResult result;
         result.patterns = *compiled.value()->set;
@@ -342,17 +375,28 @@ SearchSession::trySearchStream(std::istream &fasta,
 {
     common::TraceSpan search_span(config.trace, "search");
     const std::vector<EngineKind> chain = engineChain(config);
+    CircuitBreakerBoard &board = boardFor(config);
     Error last(ErrorCode::Internal, "no engine attempted");
     size_t failed_engines = 0;
 
     for (EngineKind kind : chain) {
+        const char *name = engineName(kind);
+        if (!board.admit(name)) {
+            last = Error(ErrorCode::Overloaded,
+                         strprintf("circuit breaker open for %s",
+                                   name))
+                       .withContext("engine", name);
+            ++failed_engines;
+            continue;
+        }
         const Engine *engine =
             EngineRegistry::instance().tryFind(kind);
         if (!engine) {
             last = Error(ErrorCode::UnsupportedEngine,
                          strprintf("no engine registered for %s",
-                                   engineName(kind)));
-            recordEngineFailure(engineName(kind));
+                                   name));
+            recordEngineFailure(name);
+            board.recordFailure(name);
             ++failed_engines;
             continue;
         }
@@ -360,6 +404,7 @@ SearchSession::trySearchStream(std::istream &fasta,
         if (!compiled.ok()) {
             last = compiled.error();
             recordEngineFailure(engine->name());
+            board.recordFailure(name);
             ++failed_engines;
             continue;
         }
@@ -370,6 +415,7 @@ SearchSession::trySearchStream(std::istream &fasta,
             !st.ok()) {
             last = st.error();
             recordEngineFailure(engine->name());
+            board.recordFailure(name);
             ++failed_engines;
             continue;
         }
@@ -403,8 +449,10 @@ SearchSession::trySearchStream(std::istream &fasta,
             // engine would rescan a truncated genome, so surface the
             // error instead.
             recordEngineFailure(engine->name());
+            board.recordFailure(name);
             return run.error();
         }
+        board.recordSuccess(name);
         result.run = std::move(run).value();
 
         // Chunks arrive in stream order; restore the (guide, start,
@@ -500,7 +548,9 @@ SearchSession::engineFailures(EngineKind kind) const
 std::map<std::string, double>
 SearchSession::metricsSnapshot() const
 {
-    return metrics_.toMap();
+    std::map<std::string, double> out = metrics_.toMap();
+    breakers_->mergeMetricsInto(out);
+    return out;
 }
 
 void

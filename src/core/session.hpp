@@ -119,10 +119,24 @@ class SearchSession
     /**
      * Snapshot of the session's cumulative metrics (session.compiles,
      * session.cache_hits, session.db_hits, session.db_misses,
-     * session.db_load_seconds.*, session.engine_auto.<choice>,
-     * session.failures.<name>), as merged into every run's metric map.
+     * session.db_store_failures, session.db_load_seconds.*,
+     * session.engine_auto.<choice>, session.failures.<name>, and the
+     * breaker board's session.breaker.<engine>.*), as merged into
+     * every run's metric map.
      */
     std::map<std::string, double> metricsSnapshot() const;
+
+    /**
+     * The per-engine circuit breaker board guarding this session's
+     * fallback chain: config.breakers when the constructor config
+     * carried one (SearchService's shared board), else a private board
+     * created by the constructor. Never null.
+     */
+    const std::shared_ptr<CircuitBreakerBoard> &
+    breakers() const
+    {
+        return breakers_;
+    }
 
     /** Drop every cached compilation. */
     void clearCache();
@@ -152,6 +166,8 @@ class SearchSession
      */
     std::vector<EngineKind>
     engineChain(const SearchConfig &config) const;
+    /** The board serving `config`: its own, else the session's. */
+    CircuitBreakerBoard &boardFor(const SearchConfig &config) const;
     void recordEngineFailure(const char *name);
     void annotate(EngineRun &run) const;
     ChunkedScanOptions chunkOptions(const SearchConfig &config) const;
@@ -175,6 +191,9 @@ class SearchSession
     common::Counter cacheHits_;
     common::Counter dbHits_;
     common::Counter dbMisses_;
+    common::Counter dbStoreFailures_;
+
+    std::shared_ptr<CircuitBreakerBoard> breakers_;
 };
 
 } // namespace crispr::core

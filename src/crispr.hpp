@@ -64,6 +64,7 @@
 #include "hscan/prefilter.hpp"
 
 // Public search API.
+#include "core/breaker.hpp"
 #include "core/bulge.hpp"
 #include "core/chunked_scan.hpp"
 #include "core/engine.hpp"
