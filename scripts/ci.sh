@@ -3,15 +3,17 @@
 # under ASan/UBSan, run the fault-injection, cross-engine conformance,
 # serving-layer, executor-concurrency, pattern-database, and
 # overload-protection suites as their own line items (service,
-# database, and overload also under ASan;
-# concurrency/service/fault/overload under ThreadSanitizer via the
-# tsan preset, since those are the suites that exercise the shared
+# database, and overload also under ASan; the simd+conformance
+# labels twice per preset — CRISPR_SIMD=scalar and native tier;
+# concurrency/service/fault/overload/simd under ThreadSanitizer via
+# the tsan preset, since those are the suites that exercise the shared
 # work-stealing pool), prove the -DCRISPR_METRICS=OFF configuration
 # still builds and passes, smoke-test a cold-start-from-database
 # server restart plus the --health readiness probe, and archive a
 # metrics + trace artifact from the platform explorer plus a
 # serving-throughput row (spawn-per-scan vs shared-pool, cold-compile
-# vs database-load, and 1x/2x/4x overload goodput) from bench_service.
+# vs database-load, and 1x/2x/4x overload goodput) from bench_service
+# plus a per-tier SIMD kernel-throughput row from bench_hscan.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -43,6 +45,19 @@ run ctest --test-dir build -L fault --output-on-failure -j "$jobs" --timeout 600
 # The conformance label: randomized workloads through every registry
 # engine, bit-identical against the reference interpreter.
 run ctest --test-dir build -L conformance --output-on-failure -j "$jobs" --timeout 600
+
+# The SIMD matrix, twice per preset: once pinned to the scalar
+# reference kernel via the CRISPR_SIMD override and once at the
+# host's native tier, so a vector-kernel bug can never hide behind
+# dispatch (and the conformance sweep re-rolls its random tier draws
+# under both). Sanitizers see the vector kernels too: masked loads
+# and lane tails are exactly where they earn their keep.
+for tree in build build-sanitize; do
+    run env CRISPR_SIMD=scalar ctest --test-dir "$tree" \
+        -L "simd|conformance" --output-on-failure -j "$jobs" --timeout 600
+    run ctest --test-dir "$tree" -L "simd|conformance" \
+        --output-on-failure -j "$jobs" --timeout 600
+done
 
 # The serving layer, as its own line item on both presets: request
 # coalescing is the most concurrency-heavy code in the library, so the
@@ -79,7 +94,7 @@ run ctest --test-dir build-sanitize -L overload --output-on-failure \
 # ASan, so this is its own preset and build tree.
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$jobs"
-run ctest --test-dir build-tsan -L "concurrency|service|fault|overload" \
+run ctest --test-dir build-tsan -L "concurrency|service|fault|overload|simd" \
     --output-on-failure -j "$jobs" --timeout 600
 
 # The observability layer is compile-time optional; an OFF build must
@@ -132,5 +147,17 @@ grep -q '"pool_64_rps"' build/artifacts/BENCH_service.json
 grep -q '"db_speedup_100"' build/artifacts/BENCH_service.json
 grep -q '"overload_4x_goodput_rps"' build/artifacts/BENCH_service.json
 run cp build/artifacts/BENCH_service.json BENCH_service.latest.json
+
+# Kernel-level SIMD throughput row: scalar/avx2/avx512 bytes/sec on
+# the Shift-Or scan across d=1/3/5 x 10/100/1000 guides (unusable
+# tiers are skipped with a note). The binary itself asserts every
+# tier reports identical event counts, so this doubles as one more
+# cross-tier identity check on a bench-sized workload.
+run ./build/bench/bench_hscan --simd-compare \
+    --json build/artifacts/BENCH_hscan.json
+test -s build/artifacts/BENCH_hscan.json
+grep -q '"shiftor_scalar_d3_g100_bps"' build/artifacts/BENCH_hscan.json
+grep -q '"best_tier"' build/artifacts/BENCH_hscan.json
+run cp build/artifacts/BENCH_hscan.json BENCH_hscan.latest.json
 
 echo "==> ci: all green"

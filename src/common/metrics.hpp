@@ -9,7 +9,11 @@
  *
  * Naming convention: dotted lower-case, `<stage>.<what>` —
  * `compile.states`, `scan.bytes`, `session.cache_hits`; see DESIGN.md
- * "Observability" for the catalog.
+ * "Observability" for the catalog. Scan-path keys with a contract
+ * test (tests/test_metrics.cpp): `scan.simd_tier` (resolved kernel
+ * tier: 0 scalar, 1 avx2, 2 avx512) and the filter-cascade counters
+ * `scan.prefilter.anchors_probed` / `.anchors_hit` /
+ * `.verifications`.
  *
  * Histograms are log-bucketed (power-of-two nanosecond-scale buckets,
  * so ~2x worst-case resolution over 12 decades) with interpolated

@@ -107,8 +107,10 @@ ChunkedScanner::scanChunkLocal(std::span<const uint8_t> window,
                           "injected chunk.scan fault")
                         .withContext("engine", engine_.name()));
             Stopwatch chunk_timer;
-            EngineRun run =
-                engine_.scan(*compiled_, SequenceView(window));
+            ScanOptions scan_options;
+            scan_options.simdTier = options_.simdTier;
+            EngineRun run = engine_.scan(*compiled_, SequenceView(window),
+                                         scan_options);
             chunk_latency.observe(chunk_timer.seconds());
             std::vector<ReportEvent> kept;
             kept.reserve(run.events.size());

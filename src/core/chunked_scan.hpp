@@ -42,6 +42,8 @@ struct ChunkedScanOptions
     size_t chunkSize = 4 << 20;
     /** Worker threads; 1 = serial, 0 = hardware_concurrency. */
     unsigned threads = 1;
+    /** Requested SIMD tier, forwarded to every per-chunk scan. */
+    hscan::SimdTier simdTier = hscan::SimdTier::Auto;
     /** Cooperative deadline, polled before each chunk dispatch. */
     common::Deadline deadline;
     /** Per-chunk retries for transient scan failures; 0 = fail fast. */

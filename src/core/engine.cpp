@@ -48,14 +48,15 @@ Engine::compile(const PatternSet &set, const EngineParams &params) const
 }
 
 EngineRun
-Engine::scan(const CompiledPattern &compiled, const SequenceView &view) const
+Engine::scan(const CompiledPattern &compiled, const SequenceView &view,
+             const ScanOptions &options) const
 {
     if (compiled.kind != kind())
         panic("compiled pattern for engine %d handed to engine %s",
               static_cast<int>(compiled.kind), name());
     EngineRun run;
     common::MetricsRegistry metrics;
-    scanImpl(compiled, view, run, metrics);
+    scanImpl(compiled, view, options, run, metrics);
     run.kind = kind();
     run.timing.compileSeconds = compiled.compileSeconds;
     for (const auto &[key, value] : compiled.metrics)
@@ -100,10 +101,11 @@ Engine::tryCompile(const PatternSet &set,
 
 common::Expected<EngineRun>
 Engine::tryScan(const CompiledPattern &compiled,
-                const SequenceView &view) const
+                const SequenceView &view,
+                const ScanOptions &options) const
 {
     try {
-        return scan(compiled, view);
+        return scan(compiled, view, options);
     } catch (const common::ErrorException &e) {
         return e.error();
     } catch (const FatalError &e) {

@@ -25,8 +25,27 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "core/engines.hpp"
+#include "hscan/simd.hpp"
 
 namespace crispr::core {
+
+/**
+ * Per-scan runtime tuning handed from RuntimeOptions down to the
+ * adapter. Nothing in here may change which events a scan reports —
+ * only how the pass executes (the ScanOptions/EngineParams split
+ * mirrors the RuntimeOptions/CompileOptions one, so compiled patterns
+ * stay shareable across scans that tune differently).
+ */
+struct ScanOptions
+{
+    /**
+     * Requested SIMD tier for the vector-capable CPU kernels
+     * (Shift-Or, prefilter anchor probe). Resolved per scan against
+     * the CRISPR_SIMD env override and host CPUID; every tier is
+     * bit-identical. Ignored by engines without vector kernels.
+     */
+    hscan::SimdTier simdTier = hscan::SimdTier::Auto;
+};
 
 /**
  * A non-owning view of genome codes handed to Engine::scan: either a
@@ -129,10 +148,12 @@ class Engine
      * Scan a genome (or chunk) view with a compiled pattern. Events are
      * normalised and local to the view (end indices relative to the
      * view's first code). Thread-safe for concurrent calls sharing one
-     * CompiledPattern.
+     * CompiledPattern. `options` carries per-scan runtime tuning (SIMD
+     * tier); results are options-independent.
      */
     EngineRun scan(const CompiledPattern &compiled,
-                   const SequenceView &view) const;
+                   const SequenceView &view,
+                   const ScanOptions &options = {}) const;
 
     /**
      * Non-throwing compile: an orientation mismatch returns
@@ -146,8 +167,8 @@ class Engine
 
     /** Non-throwing scan: adapter failures return ScanFailed. */
     common::Expected<EngineRun>
-    tryScan(const CompiledPattern &compiled,
-            const SequenceView &view) const;
+    tryScan(const CompiledPattern &compiled, const SequenceView &view,
+            const ScanOptions &options = {}) const;
 
     /**
      * Capability flag: true when this adapter implements compiled-state
@@ -196,10 +217,12 @@ class Engine
      * Fill `run` from a scan of `view`: events (normalised, view-local)
      * plus host/kernel/total timing; per-scan metrics go through the
      * registry. `run.kind`, compile timing and metric merging are
-     * handled by the caller.
+     * handled by the caller. `options` is runtime tuning only — two
+     * scans differing solely in options report identical events.
      */
     virtual void scanImpl(const CompiledPattern &compiled,
-                          const SequenceView &view, EngineRun &run,
+                          const SequenceView &view,
+                          const ScanOptions &options, EngineRun &run,
                           common::MetricsRegistry &metrics) const = 0;
 
     /**

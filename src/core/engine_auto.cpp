@@ -10,8 +10,28 @@ namespace crispr::core {
 AutoCalibration
 defaultAutoCalibration()
 {
-    return AutoCalibration{};
+    AutoCalibration cal;
+    cal.shiftOrTier = hscan::resolveSimdTier();
+    return cal;
 }
+
+namespace {
+
+/** Shift-Or throughput multiplier for the calibration's tier. */
+double
+shiftOrTierSpeedup(const AutoCalibration &cal)
+{
+    switch (cal.shiftOrTier) {
+      case hscan::SimdTier::Avx2:
+        return cal.shiftOrAvx2Speedup;
+      case hscan::SimdTier::Avx512:
+        return cal.shiftOrAvx512Speedup;
+      default:
+        return 1.0;
+    }
+}
+
+} // namespace
 
 double
 predictedDfaStates(const WorkloadShape &shape,
@@ -43,7 +63,8 @@ predictedNsPerSymbol(EngineKind kind, const WorkloadShape &shape,
       case EngineKind::HscanDfa:
         return cal.dfaNsPerSymbol;
       case EngineKind::HscanBitParallel:
-        return cal.shiftOrNsPerPatternRow * patterns * rows * words;
+        return cal.shiftOrNsPerPatternRow * patterns * rows * words /
+               shiftOrTierSpeedup(cal);
       case EngineKind::Reference:
         // Active-set interpretation: cost tracks the union automaton
         // size (patterns x rows x site positions).

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/engines.hpp"
+#include "hscan/simd.hpp"
 
 namespace crispr::core {
 
@@ -66,8 +67,26 @@ struct AutoCalibration
 {
     /** Dense-table DFA: one indexed load + store per symbol. */
     double dfaNsPerSymbol = 4.0;
-    /** Shift-Or: per pattern, per mismatch row, per 64-symbol word. */
+    /**
+     * Shift-Or: per pattern, per mismatch row, per 64-symbol word, at
+     * the scalar kernel tier (one word op per pattern row).
+     */
     double shiftOrNsPerPatternRow = 0.55;
+    /**
+     * Measured Shift-Or throughput multipliers for the vector kernels
+     * (bench_hscan --simd-compare at d=3, 100 guides): AVX2 advances 4
+     * pattern lanes per op, AVX-512 eight. Sub-linear in the lane
+     * count because the row recurrence stays load/shift bound.
+     */
+    double shiftOrAvx2Speedup = 3.0;
+    double shiftOrAvx512Speedup = 5.0;
+    /**
+     * The kernel tier the Shift-Or prediction assumes.
+     * defaultAutoCalibration() resolves the process tier (CRISPR_SIMD
+     * override, then CPUID), so engine=auto ranks with the throughput
+     * the host will actually see; tests pin it for determinism.
+     */
+    hscan::SimdTier shiftOrTier = hscan::SimdTier::Scalar;
     /** NFA interpreter: per automaton state touched per symbol. */
     double nfaNsPerState = 1.6;
     /**

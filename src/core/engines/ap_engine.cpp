@@ -65,7 +65,7 @@ class ApEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run,
+             const ScanOptions &, EngineRun &run,
              common::MetricsRegistry &metrics) const override
     {
         const State &state = compiled.stateAs<State>();

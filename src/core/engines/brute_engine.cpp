@@ -34,7 +34,8 @@ class BruteEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run, common::MetricsRegistry &) const override
+             const ScanOptions &, EngineRun &run,
+             common::MetricsRegistry &) const override
     {
         const State &state = compiled.stateAs<State>();
         genome::Sequence storage;

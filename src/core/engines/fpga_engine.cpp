@@ -49,7 +49,8 @@ class FpgaEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run, common::MetricsRegistry &) const override
+             const ScanOptions &, EngineRun &run,
+             common::MetricsRegistry &) const override
     {
         const State &state = compiled.stateAs<State>();
         const EngineParams &params = compiled.params;

@@ -106,12 +106,13 @@ class HscanEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run, common::MetricsRegistry &) const override
+             const ScanOptions &options, EngineRun &run,
+             common::MetricsRegistry &metrics) const override
     {
         const State &state = compiled.stateAs<State>();
         run.notes = state.info;
         Stopwatch timer;
-        hscan::Scanner scanner(state.db);
+        hscan::Scanner scanner(state.db, options.simdTier);
         scanner.scan(view.codes(), [&](uint32_t id, uint64_t end) {
             run.events.push_back(automata::ReportEvent{id, end});
         });
@@ -119,6 +120,8 @@ class HscanEngine final : public Engine
         run.timing.hostSeconds = timer.seconds();
         run.timing.kernelSeconds = run.timing.hostSeconds;
         run.timing.totalSeconds = run.timing.hostSeconds;
+        metrics.gauge("scan.simd_tier")
+            .set(hscan::simdTierGaugeValue(scanner.simdTier()));
     }
 
   private:

@@ -39,13 +39,14 @@ class HscanPrefilterEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run,
+             const ScanOptions &options, EngineRun &run,
              common::MetricsRegistry &metrics) const override
     {
         // The matcher accumulates per-run stats; scan a copy so one
         // compilation serves concurrent scans.
         hscan::PrefilterMatcher matcher =
             compiled.stateAs<State>().matcher;
+        matcher.setSimdTier(hscan::resolveSimdTier(options.simdTier));
         genome::Sequence storage;
         const genome::Sequence &g = view.sequence(storage);
         Stopwatch timer;
@@ -53,9 +54,13 @@ class HscanPrefilterEngine final : public Engine
         run.timing.hostSeconds = timer.seconds();
         run.timing.kernelSeconds = run.timing.hostSeconds;
         run.timing.totalSeconds = run.timing.hostSeconds;
-        metrics.counter("prefilter.anchors_hit")
+        metrics.gauge("scan.simd_tier")
+            .set(hscan::simdTierGaugeValue(matcher.simdTier()));
+        metrics.counter("scan.prefilter.anchors_probed")
+            .inc(matcher.stats().anchorsProbed);
+        metrics.counter("scan.prefilter.anchors_hit")
             .inc(matcher.stats().anchorsHit);
-        metrics.counter("prefilter.verifications")
+        metrics.counter("scan.prefilter.verifications")
             .inc(matcher.stats().verifications);
     }
 };

@@ -68,7 +68,7 @@ class ReferenceEngine final : public Engine
 
     void
     scanImpl(const CompiledPattern &compiled, const SequenceView &view,
-             EngineRun &run,
+             const ScanOptions &, EngineRun &run,
              common::MetricsRegistry &metrics) const override
     {
         const State &state = compiled.stateAs<State>();

@@ -29,6 +29,7 @@
 #include "core/breaker.hpp"
 #include "core/engines.hpp"
 #include "core/offtarget.hpp"
+#include "hscan/simd.hpp"
 
 namespace crispr::core {
 
@@ -78,6 +79,16 @@ struct RuntimeOptions
      * stream and ignore this.
      */
     unsigned threads = 1;
+
+    /**
+     * Requested SIMD tier for the vector-capable CPU scan kernels
+     * (hscan Shift-Or, prefilter anchor probe). Resolved per scan
+     * against the CRISPR_SIMD env override (which wins) and host
+     * CPUID; an unsupported request degrades to the widest usable
+     * tier. Every tier reports bit-identical hits (tested), so this
+     * is runtime tuning like `threads`, not a result knob.
+     */
+    hscan::SimdTier simdTier = hscan::SimdTier::Auto;
 
     /**
      * Pool multi-threaded scans schedule onto; nullptr = the

@@ -112,6 +112,7 @@ SearchSession::chunkOptions(const SearchConfig &config) const
     ChunkedScanOptions opts;
     opts.chunkSize = config.chunkSize;
     opts.threads = config.threads;
+    opts.simdTier = config.simdTier;
     opts.deadline = config.deadline;
     opts.scanRetries = config.scanRetries;
     opts.retryBackoffSeconds = config.retryBackoffSeconds;
@@ -269,7 +270,10 @@ SearchSession::scanWith(
         run.notes = "deadline expired before scan";
         return run;
     }
-    return engine.tryScan(*compiled, SequenceView(genome_seq));
+    ScanOptions scan_options;
+    scan_options.simdTier = config.simdTier;
+    return engine.tryScan(*compiled, SequenceView(genome_seq),
+                          scan_options);
 }
 
 common::Expected<SearchResult>

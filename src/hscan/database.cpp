@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "common/serial.hpp"
 #include "hscan/dfa_scanner.hpp"
+#include "hscan/simd_shiftor.hpp"
 
 namespace crispr::hscan {
 
@@ -68,6 +69,8 @@ Database::compile(std::vector<automata::HammingSpec> specs,
         break;
       }
     }
+    if (db.effective_ == ScanMode::BitParallel)
+        db.simdLayout_ = buildShiftOrSoA(db.specs_);
     return db;
 }
 
@@ -271,6 +274,8 @@ Database::deserializeCompiled(std::span<const uint8_t> blob)
     }
     if (auto st = r.finish(); !st.ok())
         return st.error();
+    if (db.effective_ == ScanMode::BitParallel)
+        db.simdLayout_ = buildShiftOrSoA(db.specs_);
     return db;
 }
 

@@ -9,6 +9,7 @@
 #define CRISPR_HSCAN_DATABASE_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -19,6 +20,8 @@
 #include "hscan/dfa_scanner.hpp"
 
 namespace crispr::hscan {
+
+struct ShiftOrSoA;
 
 /** Scan-path selection. */
 enum class ScanMode : uint8_t
@@ -64,6 +67,17 @@ class Database
         return dfaProto_;
     }
 
+    /**
+     * Shared Shift-Or structure-of-arrays layout for the vectorized
+     * kernels (simd_shiftor.hpp); engaged iff effectiveMode() ==
+     * BitParallel. Built once at compile/deserialize and shared by
+     * every Scanner spawned from this database, at any SIMD tier.
+     */
+    const std::shared_ptr<const ShiftOrSoA> &simdLayout() const
+    {
+        return simdLayout_;
+    }
+
     /** Serialise to a versioned binary blob (specs + options). */
     std::vector<uint8_t> serialize() const;
 
@@ -101,6 +115,7 @@ class Database
     DatabaseOptions opts_;
     ScanMode effective_ = ScanMode::BitParallel;
     std::optional<DfaScanner> dfaProto_;
+    std::shared_ptr<const ShiftOrSoA> simdLayout_;
 };
 
 } // namespace crispr::hscan

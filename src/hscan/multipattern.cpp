@@ -6,19 +6,39 @@ namespace crispr::hscan {
 
 namespace {
 
-std::variant<DfaScanner, ShiftOrMatcher>
-makeImpl(const Database &db)
+using ScannerImpl =
+    std::variant<DfaScanner, ShiftOrMatcher, SimdShiftOrMatcher>;
+
+ScannerImpl
+makeImpl(const Database &db, SimdTier resolved)
 {
     if (db.effectiveMode() == ScanMode::Dfa) {
         CRISPR_ASSERT(db.dfaPrototype().has_value());
         return *db.dfaPrototype();
+    }
+    if (resolved != SimdTier::Scalar) {
+        // The SoA layout is built at database compile time; a
+        // database restored through a layout-less path still serves
+        // vector scans by compiling the layout here.
+        auto layout = db.simdLayout();
+        if (!layout)
+            layout = buildShiftOrSoA(db.specs());
+        return SimdShiftOrMatcher(std::move(layout), resolved);
     }
     return ShiftOrMatcher(db.specs());
 }
 
 } // namespace
 
-Scanner::Scanner(const Database &db) : impl_(makeImpl(db)) {}
+Scanner::Scanner(const Database &db, SimdTier tier)
+    : impl_(makeImpl(db, db.effectiveMode() == ScanMode::Dfa
+                             ? SimdTier::Scalar
+                             : resolveSimdTier(tier))),
+      tier_(std::holds_alternative<SimdShiftOrMatcher>(impl_)
+                ? std::get<SimdShiftOrMatcher>(impl_).tier()
+                : SimdTier::Scalar)
+{
+}
 
 void
 Scanner::reset()
@@ -55,8 +75,9 @@ Scanner::scanAll(const genome::Sequence &seq)
 ScanMode
 Scanner::mode() const
 {
-    return std::holds_alternative<DfaScanner>(impl_) ? ScanMode::Dfa
-                                                     : ScanMode::BitParallel;
+    return std::holds_alternative<DfaScanner>(impl_)
+               ? ScanMode::Dfa
+               : ScanMode::BitParallel;
 }
 
 } // namespace crispr::hscan

@@ -3,6 +3,11 @@
  * The HScan public scanning facade: spawn a Scanner from a compiled
  * Database and stream genome chunks through it. Mirrors the
  * hs_scan_stream usage pattern of the library the paper benchmarks.
+ *
+ * On the bit-parallel path the Scanner also picks the Shift-Or kernel
+ * tier (hscan/simd.hpp): the requested tier is resolved against the
+ * CRISPR_SIMD override and host CPUID at construction, so callers pass
+ * SimdTier::Auto and inherit the fastest bit-identical kernel.
  */
 
 #ifndef CRISPR_HSCAN_MULTIPATTERN_HPP_
@@ -13,6 +18,7 @@
 
 #include "hscan/database.hpp"
 #include "hscan/shiftor.hpp"
+#include "hscan/simd_shiftor.hpp"
 
 namespace crispr::hscan {
 
@@ -30,7 +36,13 @@ struct ScanStats
 class Scanner
 {
   public:
-    explicit Scanner(const Database &db);
+    /**
+     * @param tier requested SIMD tier for the bit-parallel path,
+     * resolved at construction (env override, then CPUID). The DFA
+     * path is unaffected and reports SimdTier::Scalar.
+     */
+    explicit Scanner(const Database &db,
+                     SimdTier tier = SimdTier::Auto);
 
     /** Reset stream state (and statistics). */
     void reset();
@@ -46,10 +58,14 @@ class Scanner
     /** Which path this scanner runs. */
     ScanMode mode() const;
 
+    /** The resolved SIMD tier this scanner's kernel runs at. */
+    SimdTier simdTier() const { return tier_; }
+
     const ScanStats &stats() const { return stats_; }
 
   private:
-    std::variant<DfaScanner, ShiftOrMatcher> impl_;
+    std::variant<DfaScanner, ShiftOrMatcher, SimdShiftOrMatcher> impl_;
+    SimdTier tier_ = SimdTier::Scalar;
     ScanStats stats_;
 };
 

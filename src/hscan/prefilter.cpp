@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "hscan/simd_kernels.hpp"
 
 namespace crispr::hscan {
 
@@ -47,51 +48,89 @@ PrefilterMatcher::PrefilterMatcher(std::span<const HammingSpec> specs)
     }
 }
 
+void
+PrefilterMatcher::setSimdTier(SimdTier tier)
+{
+    if (!simdTierUsable(tier))
+        fatal("SIMD tier %s is not usable on this host/build",
+              simdTierName(tier));
+    tier_ = tier;
+}
+
 std::vector<ReportEvent>
 PrefilterMatcher::scanAll(const genome::Sequence &seq)
 {
+    // Survivor batches are probed in position blocks so the candidate
+    // buffer stays cache-sized on whole-chromosome scans.
+    constexpr size_t kBlockPositions = 1u << 16;
+
     stats_ = PrefilterStats{};
     std::vector<ReportEvent> events;
+    std::vector<detail::AnchorProbe> probes;
+    std::vector<uint32_t> survivors;
     for (const Shape &shape : shapes_) {
         if (seq.size() < shape.len)
             continue;
         const size_t positions = seq.size() - shape.len + 1;
-        const size_t *anchor = shape.anchorPos.data();
-        const genome::BaseMask *amask = shape.anchorMask.data();
-        const size_t acount = shape.anchorPos.size();
+        stats_.anchorsProbed += positions;
 
-        for (size_t s = 0; s < positions; ++s) {
-            ++stats_.anchorsProbed;
-            bool anchored = true;
-            for (size_t a = 0; a < acount; ++a) {
-                if (!genome::maskMatches(amask[a], seq[s + anchor[a]])) {
-                    anchored = false;
-                    break;
-                }
+        probes.clear();
+        for (size_t a = 0; a < shape.anchorPos.size(); ++a) {
+            detail::AnchorProbe probe;
+            probe.offset = shape.anchorPos[a];
+            for (uint8_t code = 0; code < genome::kNumSymbols; ++code)
+                probe.match[code] =
+                    genome::maskMatches(shape.anchorMask[a], code)
+                        ? 0xff
+                        : 0x00;
+            probes.push_back(probe);
+        }
+
+        for (size_t block = 0; block < positions;
+             block += kBlockPositions) {
+            const size_t count =
+                std::min(kBlockPositions, positions - block);
+            survivors.clear();
+            switch (tier_) {
+            case SimdTier::Avx2:
+                detail::anchorScanAvx2(seq.data() + block, count,
+                                       probes, survivors);
+                break;
+            case SimdTier::Avx512:
+                detail::anchorScanAvx512(seq.data() + block, count,
+                                         probes, survivors);
+                break;
+            default:
+                detail::anchorScanScalar(seq.data() + block, count,
+                                         probes, survivors);
+                break;
             }
-            if (!anchored)
-                continue;
-            ++stats_.anchorsHit;
-            for (const HammingSpec &spec : shape.specs) {
-                ++stats_.verifications;
-                const size_t lo = spec.mismatchLo;
-                const size_t hi = std::min(spec.mismatchHi, shape.len);
-                int mismatches = 0;
-                bool ok = true;
-                for (size_t j = lo; j < hi; ++j) {
-                    if (!genome::maskMatches(spec.masks[j],
-                                             seq[s + j])) {
-                        if (++mismatches > spec.maxMismatches) {
-                            ok = false;
-                            break;
+            stats_.anchorsHit += survivors.size();
+            for (uint32_t rel : survivors) {
+                const size_t s = block + rel;
+                for (const HammingSpec &spec : shape.specs) {
+                    ++stats_.verifications;
+                    const size_t lo = spec.mismatchLo;
+                    const size_t hi =
+                        std::min(spec.mismatchHi, shape.len);
+                    int mismatches = 0;
+                    bool ok = true;
+                    for (size_t j = lo; j < hi; ++j) {
+                        if (!genome::maskMatches(spec.masks[j],
+                                                 seq[s + j])) {
+                            if (++mismatches > spec.maxMismatches) {
+                                ok = false;
+                                break;
+                            }
                         }
                     }
-                }
-                if (ok) {
-                    ++stats_.events;
-                    events.push_back(ReportEvent{
-                        spec.reportId,
-                        static_cast<uint64_t>(s + shape.len - 1)});
+                    if (ok) {
+                        ++stats_.events;
+                        events.push_back(ReportEvent{
+                            spec.reportId,
+                            static_cast<uint64_t>(s + shape.len -
+                                                  1)});
+                    }
                 }
             }
         }

@@ -8,6 +8,13 @@
  * budget this beats the bit-parallel path whenever the guide count is
  * moderate, because verification touches ~(d+1)/0.75 bases per
  * (candidate, guide) instead of (d+1) word ops per *every* symbol.
+ *
+ * The anchor probe is the vectorizable stage of the cascade: every
+ * genome position is tested independently, so the AVX2/AVX-512 tiers
+ * (hscan/simd.hpp) probe 32/64 positions per iteration with byte-LUT
+ * shuffles and hand only surviving positions to the scalar verifier.
+ * All tiers run the identical anchor predicate — survivors, stats,
+ * and events are bit-identical across tiers (tests/test_simd.cpp).
  */
 
 #ifndef CRISPR_HSCAN_PREFILTER_HPP_
@@ -20,10 +27,13 @@
 #include "automata/builders.hpp"
 #include "automata/interp.hpp"
 #include "genome/sequence.hpp"
+#include "hscan/simd.hpp"
 
 namespace crispr::hscan {
 
-/** Work counters of a prefilter scan. */
+/** Work counters of a prefilter scan. Invariants (tested):
+ *  anchorsHit <= anchorsProbed, verifications == anchorsHit x specs
+ *  of the hit shape, events <= verifications. */
 struct PrefilterStats
 {
     uint64_t anchorsProbed = 0; //!< genome positions x shapes
@@ -43,6 +53,14 @@ class PrefilterMatcher
      */
     explicit PrefilterMatcher(
         std::span<const automata::HammingSpec> specs);
+
+    /**
+     * Select the anchor-probe kernel tier for subsequent scanAll()
+     * calls. `tier` must already be resolved (resolveSimdTier);
+     * Auto or an unusable tier is a fatal error.
+     */
+    void setSimdTier(SimdTier tier);
+    SimdTier simdTier() const { return tier_; }
 
     /** Scan a whole sequence; returns normalised events. */
     std::vector<automata::ReportEvent>
@@ -64,6 +82,7 @@ class PrefilterMatcher
 
     std::vector<Shape> shapes_;
     PrefilterStats stats_;
+    SimdTier tier_ = SimdTier::Scalar;
 };
 
 } // namespace crispr::hscan

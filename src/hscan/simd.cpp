@@ -1,0 +1,178 @@
+#include "hscan/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+
+#ifndef CRISPR_SIMD_ENABLED
+#define CRISPR_SIMD_ENABLED 1
+#endif
+
+namespace crispr::hscan {
+
+namespace {
+
+bool
+cpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+bool
+cpuHasAvx512()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // The kernels use 512-bit byte shuffles and 64-bit lane ops:
+    // foundation + byte/word + vector-length extensions.
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vl");
+#else
+    return false;
+#endif
+}
+
+/** CRISPR_SIMD env override; nullopt when unset or unparseable. */
+std::optional<SimdTier>
+envTier()
+{
+    const char *env = std::getenv("CRISPR_SIMD");
+    if (!env || !*env)
+        return std::nullopt;
+    auto tier = parseSimdTier(env);
+    if (!tier) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("CRISPR_SIMD=%s is not a tier "
+                 "(scalar|avx2|avx512|auto); ignoring",
+                 env);
+        return std::nullopt;
+    }
+    return tier;
+}
+
+} // namespace
+
+const char *
+simdTierName(SimdTier tier)
+{
+    switch (tier) {
+    case SimdTier::Auto:
+        return "auto";
+    case SimdTier::Scalar:
+        return "scalar";
+    case SimdTier::Avx2:
+        return "avx2";
+    case SimdTier::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+std::optional<SimdTier>
+parseSimdTier(std::string_view name)
+{
+    if (name == "auto")
+        return SimdTier::Auto;
+    if (name == "scalar")
+        return SimdTier::Scalar;
+    if (name == "avx2")
+        return SimdTier::Avx2;
+    if (name == "avx512")
+        return SimdTier::Avx512;
+    return std::nullopt;
+}
+
+bool
+simdTierCompiled(SimdTier tier)
+{
+    switch (tier) {
+    case SimdTier::Scalar:
+        return true;
+    case SimdTier::Avx2:
+    case SimdTier::Avx512:
+#if CRISPR_SIMD_ENABLED && (defined(__x86_64__) || defined(__i386__))
+        return true;
+#else
+        return false;
+#endif
+    default:
+        return false;
+    }
+}
+
+bool
+simdTierSupported(SimdTier tier)
+{
+    switch (tier) {
+    case SimdTier::Scalar:
+        return true;
+    case SimdTier::Avx2:
+        return cpuHasAvx2();
+    case SimdTier::Avx512:
+        return cpuHasAvx512();
+    default:
+        return false;
+    }
+}
+
+bool
+simdTierUsable(SimdTier tier)
+{
+    return tier != SimdTier::Auto && simdTierCompiled(tier) &&
+           simdTierSupported(tier);
+}
+
+SimdTier
+bestSimdTier()
+{
+    if (simdTierUsable(SimdTier::Avx512))
+        return SimdTier::Avx512;
+    if (simdTierUsable(SimdTier::Avx2))
+        return SimdTier::Avx2;
+    return SimdTier::Scalar;
+}
+
+SimdTier
+resolveSimdTier(SimdTier requested)
+{
+    if (auto env = envTier())
+        requested = *env;
+    if (requested == SimdTier::Auto)
+        return bestSimdTier();
+    if (simdTierUsable(requested))
+        return requested;
+    // Degrade to the widest usable tier *below* the request, so a
+    // fleet-wide CRISPR_SIMD=avx512 runs avx2 on older hosts and a
+    // CRISPR_SIMD=avx2 on a non-AVX box runs scalar.
+    SimdTier usable = SimdTier::Scalar;
+    if (requested == SimdTier::Avx512 && simdTierUsable(SimdTier::Avx2))
+        usable = SimdTier::Avx2;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+        warn("SIMD tier %s is unavailable on this host/build; "
+             "degrading to %s",
+             simdTierName(requested), simdTierName(usable));
+    return usable;
+}
+
+double
+simdTierGaugeValue(SimdTier tier)
+{
+    switch (tier) {
+    case SimdTier::Avx2:
+        return 1.0;
+    case SimdTier::Avx512:
+        return 2.0;
+    default:
+        return 0.0;
+    }
+}
+
+} // namespace crispr::hscan

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SIMD tier selection for the HScan CPU kernels (Shift-Or and the
+ * PAM-anchor prefilter). A tier names an ISA level the vectorized
+ * kernels were compiled for; the tier actually used by a scan is
+ * resolved at runtime from, in precedence order:
+ *
+ *   1. the CRISPR_SIMD environment variable (scalar|avx2|avx512) —
+ *      the operational kill switch, it overrides everything;
+ *   2. the per-request tier (RuntimeOptions::simdTier, plumbed through
+ *      ScanOptions to the engine adapters);
+ *   3. CPUID: the best tier both compiled in (CRISPR_SIMD CMake
+ *      option) and supported by the host.
+ *
+ * A requested tier the host or build cannot run degrades to the best
+ * usable tier below it (logged once), never to an illegal-instruction
+ * fault — so CRISPR_SIMD=avx512 is safe to export fleet-wide. Every
+ * tier is bit-identical by construction and proven so by the SIMD
+ * conformance matrix (tests/test_simd.cpp, tests/test_conformance.cpp).
+ */
+
+#ifndef CRISPR_HSCAN_SIMD_HPP_
+#define CRISPR_HSCAN_SIMD_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace crispr::hscan {
+
+/** ISA level of a vectorized scan kernel, in increasing width. */
+enum class SimdTier : uint8_t
+{
+    Auto = 0,   //!< resolve to the best usable tier at scan time
+    Scalar = 1, //!< portable scalar kernels (always usable)
+    Avx2 = 2,   //!< 4 x 64-bit pattern lanes / 32 genome positions
+    Avx512 = 3, //!< 8 x 64-bit pattern lanes / 64 genome positions
+};
+
+/** Printable tier name ("auto", "scalar", "avx2", "avx512"). */
+const char *simdTierName(SimdTier tier);
+
+/** Parse a tier name (the CRISPR_SIMD syntax); nullopt if unknown. */
+std::optional<SimdTier> parseSimdTier(std::string_view name);
+
+/** True when the build compiled this tier's kernels in. */
+bool simdTierCompiled(SimdTier tier);
+
+/** True when the host CPU can execute this tier (CPUID). */
+bool simdTierSupported(SimdTier tier);
+
+/** True when a scan may use the tier: compiled in and CPU-supported.
+ *  Scalar is always usable; Auto is not a concrete tier. */
+bool simdTierUsable(SimdTier tier);
+
+/** The widest usable tier on this host/build. */
+SimdTier bestSimdTier();
+
+/**
+ * Resolve the tier a scan will run: CRISPR_SIMD env override first,
+ * then `requested`, then CPUID. Never returns Auto; an unusable
+ * request degrades to the widest usable tier below it.
+ */
+SimdTier resolveSimdTier(SimdTier requested = SimdTier::Auto);
+
+/** Gauge value of a resolved tier (scalar=0, avx2=1, avx512=2). */
+double simdTierGaugeValue(SimdTier tier);
+
+} // namespace crispr::hscan
+
+#endif // CRISPR_HSCAN_SIMD_HPP_

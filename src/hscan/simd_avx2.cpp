@@ -1,0 +1,135 @@
+/**
+ * @file
+ * AVX2 kernels (this TU alone is built with -mavx2; callers reach it
+ * only through resolveSimdTier-gated dispatch):
+ *
+ *  - shiftOrScanAvx2: 4 pattern lanes of 64 bits per vector; the
+ *    identical shift-or recurrence as the scalar kernel, all rows
+ *    advanced from the previous symbol's state.
+ *  - anchorScanAvx2: 32 genome positions per iteration; each anchor's
+ *    5-code match set is a 16-byte LUT probed with a byte shuffle,
+ *    ANDed across anchors, movemask -> surviving positions.
+ */
+
+#if CRISPR_SIMD_ENABLED && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include "hscan/simd_kernels.hpp"
+
+namespace crispr::hscan::detail {
+
+void
+shiftOrScanAvx2(const ShiftOrSoA &l, uint64_t *rows,
+                std::span<const uint8_t> input, ShiftOrHitFn onHit,
+                void *ctx)
+{
+    const size_t width = l.width;
+    const size_t row_count = l.rowCount;
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i zero = _mm256_setzero_si256();
+    for (size_t t = 0; t < input.size(); ++t) {
+        const uint64_t *sym = l.symbol[input[t]].data();
+        for (size_t p = 0; p < width; p += 4) {
+            const __m256i match = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(sym + p));
+            __m256i prev = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(rows + p));
+            const __m256i r0 = _mm256_and_si256(
+                _mm256_or_si256(_mm256_slli_epi64(prev, 1), one),
+                match);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(rows + p),
+                                r0);
+            __m256i hit = _mm256_and_si256(
+                r0, _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                        l.accept.data() + p)));
+            const __m256i mm = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(l.mismatch.data() +
+                                                  p));
+            for (size_t k = 1; k < row_count; ++k) {
+                uint64_t *rk = rows + k * width + p;
+                const __m256i cur = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(rk));
+                const __m256i extended = _mm256_and_si256(
+                    _mm256_or_si256(_mm256_slli_epi64(cur, 1), one),
+                    match);
+                const __m256i substituted = _mm256_and_si256(
+                    _mm256_or_si256(_mm256_slli_epi64(prev, 1), one),
+                    mm);
+                prev = cur;
+                const __m256i next =
+                    _mm256_or_si256(extended, substituted);
+                _mm256_storeu_si256(reinterpret_cast<__m256i *>(rk),
+                                    next);
+                hit = _mm256_or_si256(
+                    hit,
+                    _mm256_and_si256(
+                        next,
+                        _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(
+                                l.accept.data() + k * width + p))));
+            }
+            if (!_mm256_testz_si256(hit, hit)) {
+                // Lanes whose 64-bit hit word is non-zero, ascending,
+                // to preserve the scalar kernel's emission order.
+                const int dead = _mm256_movemask_pd(_mm256_castsi256_pd(
+                    _mm256_cmpeq_epi64(hit, zero)));
+                for (uint32_t lane = 0; lane < 4; ++lane)
+                    if (!(dead & (1 << lane)))
+                        onHit(ctx, static_cast<uint32_t>(p) + lane, t);
+            }
+        }
+    }
+}
+
+void
+anchorScanAvx2(const uint8_t *text, size_t count,
+               std::span<const AnchorProbe> anchors,
+               std::vector<uint32_t> &out)
+{
+    const size_t blocks = count / 32;
+    for (size_t b = 0; b < blocks; ++b) {
+        const size_t s0 = b * 32;
+        __m256i alive = _mm256_set1_epi8(static_cast<char>(0xff));
+        for (const AnchorProbe &a : anchors) {
+            const __m256i lut = _mm256_broadcastsi128_si256(
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    a.match.data())));
+            const __m256i codes = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(text + s0 +
+                                                  a.offset));
+            // Genome codes are 0..4 < 16, so the high shuffle bit is
+            // never set and the LUT probe is exact.
+            alive = _mm256_and_si256(alive,
+                                     _mm256_shuffle_epi8(lut, codes));
+            if (_mm256_testz_si256(alive, alive))
+                break;
+        }
+        uint32_t survivors = ~static_cast<uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(
+                alive, _mm256_setzero_si256())));
+        while (survivors) {
+            const uint32_t lane =
+                static_cast<uint32_t>(__builtin_ctz(survivors));
+            out.push_back(static_cast<uint32_t>(s0) + lane);
+            survivors &= survivors - 1;
+        }
+    }
+    // Scalar tail: positions that do not fill a 32-wide block.
+    const size_t tail0 = blocks * 32;
+    for (size_t s = tail0; s < count; ++s) {
+        bool alive = true;
+        for (const AnchorProbe &a : anchors) {
+            if (!a.match[text[s + a.offset]]) {
+                alive = false;
+                break;
+            }
+        }
+        if (alive)
+            out.push_back(static_cast<uint32_t>(s));
+    }
+}
+
+} // namespace crispr::hscan::detail
+
+#endif // CRISPR_SIMD_ENABLED && x86

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * AVX-512 kernels (this TU alone is built with -mavx512f -mavx512bw
+ * -mavx512vl; callers reach it only through resolveSimdTier-gated
+ * dispatch):
+ *
+ *  - shiftOrScanAvx512: 8 pattern lanes of 64 bits per vector, hit
+ *    detection folded into mask registers.
+ *  - anchorScanAvx512: 64 genome positions per iteration via 512-bit
+ *    byte shuffles (avx512bw).
+ */
+
+#if CRISPR_SIMD_ENABLED && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include "hscan/simd_kernels.hpp"
+
+namespace crispr::hscan::detail {
+
+void
+shiftOrScanAvx512(const ShiftOrSoA &l, uint64_t *rows,
+                  std::span<const uint8_t> input, ShiftOrHitFn onHit,
+                  void *ctx)
+{
+    const size_t width = l.width;
+    const size_t row_count = l.rowCount;
+    const __m512i one = _mm512_set1_epi64(1);
+    for (size_t t = 0; t < input.size(); ++t) {
+        const uint64_t *sym = l.symbol[input[t]].data();
+        for (size_t p = 0; p < width; p += 8) {
+            const __m512i match = _mm512_loadu_si512(sym + p);
+            __m512i prev = _mm512_loadu_si512(rows + p);
+            const __m512i r0 = _mm512_and_si512(
+                _mm512_or_si512(_mm512_slli_epi64(prev, 1), one),
+                match);
+            _mm512_storeu_si512(rows + p, r0);
+            __mmask8 hit = _mm512_test_epi64_mask(
+                r0, _mm512_loadu_si512(l.accept.data() + p));
+            const __m512i mm =
+                _mm512_loadu_si512(l.mismatch.data() + p);
+            for (size_t k = 1; k < row_count; ++k) {
+                uint64_t *rk = rows + k * width + p;
+                const __m512i cur = _mm512_loadu_si512(rk);
+                const __m512i extended = _mm512_and_si512(
+                    _mm512_or_si512(_mm512_slli_epi64(cur, 1), one),
+                    match);
+                const __m512i substituted = _mm512_and_si512(
+                    _mm512_or_si512(_mm512_slli_epi64(prev, 1), one),
+                    mm);
+                prev = cur;
+                const __m512i next =
+                    _mm512_or_si512(extended, substituted);
+                _mm512_storeu_si512(rk, next);
+                hit = static_cast<__mmask8>(
+                    hit | _mm512_test_epi64_mask(
+                              next, _mm512_loadu_si512(
+                                        l.accept.data() + k * width +
+                                        p)));
+            }
+            while (hit) {
+                const uint32_t lane = static_cast<uint32_t>(
+                    __builtin_ctz(static_cast<unsigned>(hit)));
+                onHit(ctx, static_cast<uint32_t>(p) + lane, t);
+                hit = static_cast<__mmask8>(hit & (hit - 1));
+            }
+        }
+    }
+}
+
+void
+anchorScanAvx512(const uint8_t *text, size_t count,
+                 std::span<const AnchorProbe> anchors,
+                 std::vector<uint32_t> &out)
+{
+    const size_t blocks = count / 64;
+    for (size_t b = 0; b < blocks; ++b) {
+        const size_t s0 = b * 64;
+        __m512i alive = _mm512_set1_epi8(static_cast<char>(0xff));
+        for (const AnchorProbe &a : anchors) {
+            const __m512i lut = _mm512_broadcast_i32x4(
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    a.match.data())));
+            const __m512i codes =
+                _mm512_loadu_si512(text + s0 + a.offset);
+            // Genome codes are 0..4 < 16: the LUT probe is exact.
+            alive = _mm512_and_si512(alive,
+                                     _mm512_shuffle_epi8(lut, codes));
+        }
+        uint64_t survivors =
+            ~_mm512_cmpeq_epi8_mask(alive, _mm512_setzero_si512());
+        while (survivors) {
+            const uint32_t lane =
+                static_cast<uint32_t>(__builtin_ctzll(survivors));
+            out.push_back(static_cast<uint32_t>(s0) + lane);
+            survivors &= survivors - 1;
+        }
+    }
+    // Scalar tail: positions that do not fill a 64-wide block.
+    const size_t tail0 = blocks * 64;
+    for (size_t s = tail0; s < count; ++s) {
+        bool alive = true;
+        for (const AnchorProbe &a : anchors) {
+            if (!a.match[text[s + a.offset]]) {
+                alive = false;
+                break;
+            }
+        }
+        if (alive)
+            out.push_back(static_cast<uint32_t>(s));
+    }
+}
+
+} // namespace crispr::hscan::detail
+
+#endif // CRISPR_SIMD_ENABLED && x86

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Internal kernel entry points shared between the baseline translation
+ * unit and the per-ISA ones (simd_avx2.cpp built with -mavx2,
+ * simd_avx512.cpp with -mavx512f/bw/vl). Only resolveSimdTier-gated
+ * call sites may invoke the AVX entry points — the per-ISA TUs contain
+ * instructions the baseline build flags do not guarantee.
+ *
+ * Every kernel family implements the exact same observable semantics;
+ * the scalar member is the executable specification.
+ */
+
+#ifndef CRISPR_HSCAN_SIMD_KERNELS_HPP_
+#define CRISPR_HSCAN_SIMD_KERNELS_HPP_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hscan/simd_shiftor.hpp"
+
+namespace crispr::hscan::detail {
+
+/** Hit callback: lane index into the SoA layout + chunk-local end. */
+using ShiftOrHitFn = void (*)(void *ctx, uint32_t lane, size_t t);
+
+/**
+ * Advance `rows` (layout.rowCount x layout.width, row-major) over
+ * `input`, invoking `onHit` at most once per (lane, position), lanes
+ * ascending within a position. Padded lanes never hit.
+ */
+void shiftOrScanScalar(const ShiftOrSoA &layout, uint64_t *rows,
+                       std::span<const uint8_t> input,
+                       ShiftOrHitFn onHit, void *ctx);
+void shiftOrScanAvx2(const ShiftOrSoA &layout, uint64_t *rows,
+                     std::span<const uint8_t> input,
+                     ShiftOrHitFn onHit, void *ctx);
+void shiftOrScanAvx512(const ShiftOrSoA &layout, uint64_t *rows,
+                       std::span<const uint8_t> input,
+                       ShiftOrHitFn onHit, void *ctx);
+
+/**
+ * One anchor position of a prefilter shape, as the probe kernels see
+ * it: the genome-code byte at text[s + offset] must satisfy
+ * match[code] != 0 for position s to survive. match is a 16-entry
+ * byte LUT over genome codes (indices 0..4 used; N maps to 0) so the
+ * vector kernels can probe it with a byte shuffle.
+ */
+struct AnchorProbe
+{
+    size_t offset = 0;
+    std::array<uint8_t, 16> match{};
+};
+
+/**
+ * Probe positions [0, count) of `text` against all anchors; append
+ * surviving (block-relative) positions to `out`, ascending. The
+ * caller guarantees text[count - 1 + max offset] is readable; the
+ * vector kernels additionally read up to their lane width beyond a
+ * surviving probe only within that bound (full blocks only — the tail
+ * is probed scalar).
+ */
+void anchorScanScalar(const uint8_t *text, size_t count,
+                      std::span<const AnchorProbe> anchors,
+                      std::vector<uint32_t> &out);
+void anchorScanAvx2(const uint8_t *text, size_t count,
+                    std::span<const AnchorProbe> anchors,
+                    std::vector<uint32_t> &out);
+void anchorScanAvx512(const uint8_t *text, size_t count,
+                      std::span<const AnchorProbe> anchors,
+                      std::vector<uint32_t> &out);
+
+} // namespace crispr::hscan::detail
+
+#endif // CRISPR_HSCAN_SIMD_KERNELS_HPP_

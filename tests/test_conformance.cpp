@@ -15,6 +15,7 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 
 #include "core/session.hpp"
 #include "genome/fasta.hpp"
+#include "hscan/simd.hpp"
 #include "test_util.hpp"
 
 namespace crispr {
@@ -208,6 +210,33 @@ expectSubset(const std::vector<core::OffTargetHit> &got,
             << " start=" << h.start << ") not in the reference set";
 }
 
+/**
+ * Draw a forced SIMD tier as part of the scan geometry. A drawn tier
+ * this host/build cannot run is noted once and degraded to scalar, so
+ * the workload is still covered (the vector-capable engines must be
+ * bit-identical at whatever tier actually runs).
+ */
+hscan::SimdTier
+drawSimdTier(Rng &rng)
+{
+    static const hscan::SimdTier tiers[] = {hscan::SimdTier::Scalar,
+                                            hscan::SimdTier::Avx2,
+                                            hscan::SimdTier::Avx512};
+    hscan::SimdTier tier = tiers[rng.below(std::size(tiers))];
+    if (!hscan::simdTierUsable(tier)) {
+        static bool noted[4] = {};
+        if (!noted[static_cast<int>(tier)]) {
+            noted[static_cast<int>(tier)] = true;
+            std::printf("[  NOTE    ] forced SIMD tier %s is not "
+                        "usable on this host/build; degrading those "
+                        "draws to scalar\n",
+                        hscan::simdTierName(tier));
+        }
+        tier = hscan::SimdTier::Scalar;
+    }
+    return tier;
+}
+
 class Conformance : public ::testing::TestWithParam<int>
 {
 };
@@ -237,10 +266,12 @@ TEST_P(Conformance, EveryEngineMatchesReference)
             core::SearchConfig cfg = configFor(w, kind);
             cfg.threads = 1 + trng.below(8);
             cfg.chunkSize = size_t{2048} << trng.below(4);
+            cfg.simdTier = drawSimdTier(trng);
             const std::string label =
                 w.str() + " engine=" + core::engineName(kind) +
                 " threads=" + std::to_string(cfg.threads) +
-                " chunk=" + std::to_string(cfg.chunkSize);
+                " chunk=" + std::to_string(cfg.chunkSize) +
+                " simd=" + hscan::simdTierName(cfg.simdTier);
             auto got = session.trySearch(w.genome, cfg);
             if (!got.ok()) {
                 // The forced-DFA kind may legitimately blow its state
@@ -303,15 +334,18 @@ TEST_P(Conformance, StreamedScanMatchesInMemory)
         // the shared work-stealing pool (possibly more lanes than the
         // pool has workers — the submitting thread helps).
         cfg.threads = 1 + rng.below(8);
+        cfg.simdTier = drawSimdTier(rng);
         std::istringstream in(w.fastaText);
         auto streamed = session.trySearchStream(in, cfg);
         ASSERT_TRUE(streamed.ok())
             << label << " (chunk=" << cfg.chunkSize
             << " threads=" << cfg.threads
+            << " simd=" << hscan::simdTierName(cfg.simdTier)
             << ") streamed failed: " << streamed.error().str();
         EXPECT_EQ(streamed.value().hits, want.value().hits)
             << label << " chunk=" << cfg.chunkSize
-            << " threads=" << cfg.threads;
+            << " threads=" << cfg.threads
+            << " simd=" << hscan::simdTierName(cfg.simdTier);
     }
 }
 

@@ -410,18 +410,41 @@ TEST(SearchService, PrewarmsFromTheDatabaseDirectory)
 
 TEST(EngineAuto, CostModelRanksAndCountsItsChoice)
 {
-    // Small workload, tiny d: the dense-table DFA is predicted to fit
-    // and wins on per-symbol cost.
+    // Small workload, tiny d, scalar Shift-Or: the dense-table DFA is
+    // predicted to fit and wins on per-symbol cost. The tier is pinned
+    // so the expectation is deterministic across hosts.
+    core::AutoCalibration scalar_cal;
+    scalar_cal.shiftOrTier = hscan::SimdTier::Scalar;
     core::WorkloadShape small;
     small.guideCount = 4;
     small.maxMismatches = 1;
-    EXPECT_EQ(core::chooseAutoEngine(small, 1u << 22),
+    EXPECT_EQ(core::chooseAutoEngine(small, 1u << 22, scalar_cal),
               core::EngineKind::HscanDfa);
 
     // Same workload with a starved state budget: DFA is demoted below
     // Shift-Or instead of burning a doomed compile attempt.
-    EXPECT_EQ(core::chooseAutoEngine(small, 8),
+    EXPECT_EQ(core::chooseAutoEngine(small, 8, scalar_cal),
               core::EngineKind::HscanBitParallel);
+
+    // A vector Shift-Or tier only ever lowers the bit-parallel
+    // prediction, so the crossover where Shift-Or overtakes the DFA
+    // moves toward smaller workloads — never the other way.
+    core::AutoCalibration avx512_cal = scalar_cal;
+    avx512_cal.shiftOrTier = hscan::SimdTier::Avx512;
+    for (size_t guides : {1u, 4u, 16u, 64u}) {
+        core::WorkloadShape shape;
+        shape.guideCount = guides;
+        shape.maxMismatches = 2;
+        const double scalar_ns = core::predictedNsPerSymbol(
+            core::EngineKind::HscanBitParallel, shape, scalar_cal);
+        const double avx512_ns = core::predictedNsPerSymbol(
+            core::EngineKind::HscanBitParallel, shape, avx512_cal);
+        EXPECT_LT(avx512_ns, scalar_ns) << "guides=" << guides;
+        EXPECT_EQ(core::predictedNsPerSymbol(core::EngineKind::HscanDfa,
+                                             shape, avx512_cal),
+                  core::predictedNsPerSymbol(core::EngineKind::HscanDfa,
+                                             shape, scalar_cal));
+    }
 
     // Every ranking is a permutation of the full CPU chain, so the
     // fallback machinery always has somewhere to go.

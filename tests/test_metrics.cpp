@@ -17,6 +17,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "core/session.hpp"
+#include "hscan/simd.hpp"
 #include "test_util.hpp"
 
 namespace crispr {
@@ -237,6 +238,42 @@ TEST(MetricsContract, ChunkedScanExportsLatencyHistogram)
               m.at("scan.chunk_seconds.p99"));
     EXPECT_LE(m.at("scan.chunk_seconds.p99"),
               m.at("scan.chunk_seconds.max") * 2.0);
+}
+
+TEST(MetricsContract, PrefilterCascadeExportsItsCounters)
+{
+    // The filter-cascade work counters are part of the metric
+    // contract: every prefilter scan exports how many anchors it
+    // probed, how many survived, and how many verifications ran —
+    // and the resolved kernel tier rides along as a gauge.
+    SearchFixture fx(20000);
+    fx.config.engine = core::EngineKind::HscanPrefilter;
+    core::SearchSession session(fx.guides, fx.config);
+    auto res = session.trySearch(fx.genome);
+    ASSERT_TRUE(res.ok()) << res.error().str();
+    const auto &m = res.value().run.metrics;
+
+    ASSERT_EQ(m.count("scan.prefilter.anchors_probed"), 1u);
+    ASSERT_EQ(m.count("scan.prefilter.anchors_hit"), 1u);
+    ASSERT_EQ(m.count("scan.prefilter.verifications"), 1u);
+    EXPECT_GT(m.at("scan.prefilter.anchors_probed"), 0.0);
+    EXPECT_LE(m.at("scan.prefilter.anchors_hit"),
+              m.at("scan.prefilter.anchors_probed"));
+    EXPECT_GE(m.at("scan.prefilter.verifications"),
+              m.at("scan.prefilter.anchors_hit"));
+
+    ASSERT_EQ(m.count("scan.simd_tier"), 1u);
+    EXPECT_EQ(m.at("scan.simd_tier"),
+              hscan::simdTierGaugeValue(hscan::resolveSimdTier()));
+
+    // The vector-capable Shift-Or engine exports the tier gauge too.
+    core::SearchConfig bp = fx.config;
+    bp.engine = core::EngineKind::HscanBitParallel;
+    auto bp_res =
+        core::SearchSession(fx.guides, bp).trySearch(fx.genome);
+    ASSERT_TRUE(bp_res.ok()) << bp_res.error().str();
+    EXPECT_EQ(bp_res.value().run.metrics.at("scan.simd_tier"),
+              hscan::simdTierGaugeValue(hscan::resolveSimdTier()));
 }
 
 TEST(MetricsContract, SearchRecordsTraceSpans)
