@@ -30,6 +30,7 @@
 #include "core/engine_registry.hpp"
 #include "core/service.hpp"
 #include "core/session.hpp"
+#include "core/shard.hpp"
 #include "workloads.hpp"
 
 using namespace crispr;
@@ -309,6 +310,50 @@ runOverload(const core::SharedSequence &genome,
     return row;
 }
 
+/** A --shard-compare request: one guide set against one genome. */
+struct ShardRequest
+{
+    size_t genome = 0; //!< index into the workload's genome list
+    std::vector<core::Guide> guides;
+};
+
+/**
+ * One --shard-compare measurement: every request scattered across
+ * `shards` workers (windowed workers with a zero batch window, so
+ * each shard's dispatcher scans its slice concurrently), gathered,
+ * and verified per request. @return requests/sec.
+ */
+double
+runSharded(const std::vector<core::SharedSequence> &genomes,
+           const std::vector<ShardRequest> &requests,
+           const core::SearchConfig &config, size_t shards,
+           std::vector<std::vector<core::OffTargetHit>> *hits_out)
+{
+    core::ShardOptions options;
+    options.shards = shards;
+    options.service.batchWindowSeconds = 0.0;
+    core::ShardedSearchService service(options);
+
+    std::vector<std::future<core::SearchResult>> futures;
+    futures.reserve(requests.size());
+    const double start = now();
+    for (const ShardRequest &r : requests) {
+        core::RequestOptions request;
+        request.genome = genomes[r.genome];
+        request.config = config;
+        futures.push_back(service.submit(r.guides, request));
+    }
+    if (hits_out)
+        hits_out->clear();
+    for (auto &f : futures) {
+        core::SearchResult result = f.get();
+        if (hits_out)
+            hits_out->push_back(std::move(result.hits));
+    }
+    const double seconds = now() - start;
+    return static_cast<double>(requests.size()) / seconds;
+}
+
 } // namespace
 
 int
@@ -338,6 +383,11 @@ main(int argc, char **argv)
                 "also measure goodput and p99 admitted-latency at "
                 "1x/2x/4x offered load against a bounded-queue "
                 "service (excess shed as Error::overloaded)");
+    cli.addBool("shard-compare",
+                "also measure scatter-gather serving at 1/2/4/8 "
+                "shards over a multi-genome workload (req/s + gather "
+                "efficiency; merged hits verified bit-identical to "
+                "serial at every shard count)");
     cli.addString("json", "BENCH_service.json",
                   "output path of the JSON result row");
     if (!cli.parse(argc, argv))
@@ -502,6 +552,84 @@ main(int argc, char **argv)
         std::filesystem::remove_all(db_dir);
     }
 
+    // Scatter-gather serving: the same requests over N shard workers,
+    // each scanning 1/N of its genome. Correctness is absolute (hits
+    // verified per request against the serial sessions at every shard
+    // count); the speedup bar is meaningful only when the host has
+    // cores for the shards to run on, so it is gated on core count —
+    // the same convention bench_hscan uses for unusable SIMD tiers.
+    std::vector<std::pair<size_t, double>> shard_rows;
+    double shard_efficiency_4 = 0.0;
+    if (cli.getBool("shard-compare")) {
+        constexpr size_t kShardGenomes = 4;
+        const size_t per_genome_mb =
+            std::max<size_t>(1, genome_mb / kShardGenomes);
+        std::vector<core::SharedSequence> shard_genomes;
+        std::vector<ShardRequest> shard_requests;
+        for (size_t g = 0; g < kShardGenomes; ++g) {
+            bench::Workload gw = bench::makeWorkload(
+                per_genome_mb << 20,
+                std::max<size_t>(1, num_requests / kShardGenomes),
+                /*seed=*/100 + g);
+            shard_genomes.push_back(
+                std::make_shared<const genome::Sequence>(
+                    std::move(gw.genome)));
+            for (const core::Guide &guide : gw.guides)
+                shard_requests.push_back(ShardRequest{g, {guide}});
+        }
+
+        // The serial reference every shard count must reproduce.
+        std::vector<std::vector<core::OffTargetHit>> serial_shard_hits;
+        for (const ShardRequest &r : shard_requests) {
+            core::SearchSession session(r.guides, config);
+            serial_shard_hits.push_back(
+                session.search(*shard_genomes[r.genome]).hits);
+        }
+
+        Table shard_table({"shards", "req/s", "vs 1 shard",
+                           "gather efficiency"});
+        double shard_1_rps = 0.0;
+        for (size_t shards : {size_t(1), size_t(2), size_t(4),
+                              size_t(8)}) {
+            std::vector<std::vector<core::OffTargetHit>> hits;
+            const double rps = runSharded(shard_genomes,
+                                          shard_requests, config,
+                                          shards, &hits);
+            for (size_t i = 0; i < shard_requests.size(); ++i)
+                if (hits[i] != serial_shard_hits[i])
+                    fatal("sharded hits diverged from serial "
+                          "(%zu shards, request %zu)",
+                          shards, i);
+            if (shards == 1)
+                shard_1_rps = rps;
+            const double efficiency =
+                rps / (static_cast<double>(shards) * shard_1_rps);
+            if (shards == 4)
+                shard_efficiency_4 = efficiency;
+            shard_rows.emplace_back(shards, rps);
+            shard_table.row()
+                .add(strprintf("%zu", shards))
+                .add(rps, 2)
+                .add(bench::speedupCell(rps, shard_1_rps))
+                .add(strprintf("%.0f%%", 100.0 * efficiency));
+        }
+        std::printf("%s", shard_table.str().c_str());
+
+        const double speedup_4 = shard_rows[2].second / shard_1_rps;
+        const unsigned cores = std::thread::hardware_concurrency();
+        if (cores >= 4)
+            std::printf("shard: 4-shard speedup %.2fx (bar: >= 2x) "
+                        "%s, hits bit-identical at every count\n",
+                        speedup_4,
+                        speedup_4 >= 2.0 ? "PASS" : "MISS");
+        else
+            std::printf("shard: 4-shard speedup %.2fx — bar (>= 2x) "
+                        "skipped: host has %u core(s), the shards "
+                        "have nothing to run on in parallel; hits "
+                        "bit-identical at every count\n",
+                        speedup_4, cores);
+    }
+
     // Overload: goodput must hold (>= 90% of 1x) while the offered
     // rate quadruples; the excess is shed at admission, not queued.
     double overload_capacity = 0.0;
@@ -566,6 +694,15 @@ main(int argc, char **argv)
                  << row.guides << "_s\": " << row.loadSeconds
                  << ", \"db_speedup_" << row.guides
                  << "\": " << row.coldSeconds / row.loadSeconds;
+        if (!shard_rows.empty()) {
+            for (const auto &[shards, rps] : shard_rows)
+                json << ", \"shard_" << shards << "_rps\": " << rps;
+            json << ", \"shard_4x_vs_1x\": "
+                 << shard_rows[2].second / shard_rows[0].second
+                 << ", \"shard_4_efficiency\": " << shard_efficiency_4
+                 << ", \"shard_cores\": "
+                 << std::thread::hardware_concurrency();
+        }
         if (!overload_rows.empty()) {
             json << ", \"overload_capacity_rps\": "
                  << overload_capacity;

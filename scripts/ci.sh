@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
 # CI entry point: build + test the default preset, re-run everything
 # under ASan/UBSan, run the fault-injection, cross-engine conformance,
-# serving-layer, executor-concurrency, pattern-database, and
-# overload-protection suites as their own line items (service,
-# database, and overload also under ASan; the simd+conformance
-# labels twice per preset — CRISPR_SIMD=scalar and native tier;
-# concurrency/service/fault/overload/simd under ThreadSanitizer via
-# the tsan preset, since those are the suites that exercise the shared
-# work-stealing pool), prove the -DCRISPR_METRICS=OFF configuration
+# serving-layer, executor-concurrency, pattern-database,
+# overload-protection, and sharded-serving suites as their own line
+# items (service, database, overload, and shard also under ASan; the
+# simd+conformance labels twice per preset — CRISPR_SIMD=scalar and
+# native tier; concurrency/service/fault/overload/simd/shard under
+# ThreadSanitizer via the tsan preset, since those are the suites that
+# exercise the shared work-stealing pool), prove the
+# -DCRISPR_METRICS=OFF configuration
 # still builds and passes, smoke-test a cold-start-from-database
 # server restart plus the --health readiness probe, and archive a
 # metrics + trace artifact from the platform explorer plus a
 # serving-throughput row (spawn-per-scan vs shared-pool, cold-compile
-# vs database-load, and 1x/2x/4x overload goodput) from bench_service
-# plus a per-tier SIMD kernel-throughput row from bench_hscan.
+# vs database-load, 1x/2x/4x overload goodput, and 1/2/4/8-shard
+# scatter-gather req/s) from bench_service plus a per-tier SIMD
+# kernel-throughput row from bench_hscan.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -87,14 +89,24 @@ run ctest --test-dir build -L overload --output-on-failure -j "$jobs" --timeout 
 run ctest --test-dir build-sanitize -L overload --output-on-failure \
     -j "$jobs" --timeout 600
 
+# The sharded-serving label on both presets: scatter-gather
+# bit-identity across shard counts, shard-seam correctness, the packed
+# ".2bit" reader (attacker-shaped file bytes, so ASan/UBSan matter),
+# and mmap load-once sharing under concurrent requests.
+run ctest --test-dir build -L shard --output-on-failure -j "$jobs" --timeout 600
+run ctest --test-dir build-sanitize -L shard --output-on-failure \
+    -j "$jobs" --timeout 600
+
 # ThreadSanitizer over every suite that touches the pool: the
 # concurrency tier plus the service (coalescing + soak), fault
-# (retry/fallback under injected failures), and overload (admission +
-# breakers under 8-client saturation) tiers. TSan cannot combine with
+# (retry/fallback under injected failures), overload (admission +
+# breakers under 8-client saturation), and shard (scatter-gather
+# helping joins + shared-mmap loads) tiers. TSan cannot combine with
 # ASan, so this is its own preset and build tree.
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$jobs"
-run ctest --test-dir build-tsan -L "concurrency|service|fault|overload|simd" \
+run ctest --test-dir build-tsan \
+    -L "concurrency|service|fault|overload|simd|shard" \
     --output-on-failure -j "$jobs" --timeout 600
 
 # The observability layer is compile-time optional; an OFF build must
@@ -140,12 +152,13 @@ grep -q 'ready *| *yes' build/artifacts/db_smoke_warm.txt
 # fresh row is also copied next to the committed BENCH_service.json
 # snapshot at the repo root so a reviewer can diff the trajectory.
 run ./build/bench/bench_service --genome-mb 2 --requests 64 \
-    --pool-compare --db-compare --overload \
+    --pool-compare --db-compare --overload --shard-compare \
     --json build/artifacts/BENCH_service.json
 test -s build/artifacts/BENCH_service.json
 grep -q '"pool_64_rps"' build/artifacts/BENCH_service.json
 grep -q '"db_speedup_100"' build/artifacts/BENCH_service.json
 grep -q '"overload_4x_goodput_rps"' build/artifacts/BENCH_service.json
+grep -q '"shard_4_rps"' build/artifacts/BENCH_service.json
 run cp build/artifacts/BENCH_service.json BENCH_service.latest.json
 
 # Kernel-level SIMD throughput row: scalar/avx2/avx512 bytes/sec on

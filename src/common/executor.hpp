@@ -20,7 +20,11 @@
  *    Cancelled and `executor.dropped` counts it;
  *  - joins help: forIndices() and wait() execute pending pool tasks
  *    while they wait, so a worker blocked on nested work contributes
- *    instead of deadlocking the pool;
+ *    instead of deadlocking the pool. Helping loops skip tasks
+ *    submitted with TaskOptions::mayBlock (e.g. shard gather joins):
+ *    a helper inside a scan must only pick up work guaranteed to
+ *    finish on its own, never a task that may transitively wait on
+ *    the helper's own thread;
  *  - the destructor stops the workers (the in-flight task of each
  *    finishes), then fails every still-queued task with Cancelled —
  *    no future is ever abandoned, even at static teardown.
@@ -82,6 +86,18 @@ struct TaskOptions
     Deadline deadline;
     /** When set, execution records a `pool` span into this sink. */
     TraceSink *trace = nullptr;
+    /**
+     * The task may block waiting on other serving-side progress (a
+     * scatter-gather join waiting on shard futures, say). Blocking
+     * tasks are executed only by dedicated workers and by waits that
+     * opt in (`wait(fut, true)`) — never by the helping loops inside
+     * scans and joins. A scan's helper that picked up a task which
+     * transitively waits on that very scan's thread (a shard gather
+     * waiting on a sub-request queued behind the dispatcher doing the
+     * helping) would deadlock; the flag keeps dependency-bearing work
+     * off threads whose own progress the work might wait for.
+     */
+    bool mayBlock = false;
 };
 
 /** The work-stealing pool. */
@@ -131,6 +147,7 @@ class Executor
         Task task;
         task.deadline = opts.deadline;
         task.trace = opts.trace;
+        task.mayBlock = opts.mayBlock;
         task.run = [promise, fn = std::forward<F>(fn)]() mutable {
             try {
                 if constexpr (std::is_void_v<R>) {
@@ -169,16 +186,25 @@ class Executor
         size_t n, unsigned lanes, TaskOptions opts,
         const std::function<bool(size_t index, unsigned lane)> &body);
 
-    /** Help execute pool tasks until `fut` is ready (deadlock-free
-     *  join usable from inside a pool worker). */
+    /**
+     * Help execute pool tasks until `fut` is ready (deadlock-free
+     * join usable from inside a pool worker). By default the helping
+     * loop skips tasks submitted with TaskOptions::mayBlock — a scan
+     * helping-executes only work guaranteed to finish on its own.
+     * Pass `include_blocking = true` only from contexts that no
+     * blocking task can transitively wait on (a coordinator draining
+     * its own gathers, not a thread inside a scan or dispatch loop).
+     */
     template <typename T>
     void
-    wait(std::future<T> &fut)
+    wait(std::future<T> &fut, bool include_blocking = false)
     {
-        helpWhile([&fut] {
-            return fut.wait_for(std::chrono::seconds(0)) ==
-                   std::future_status::ready;
-        });
+        helpWhile(
+            [&fut] {
+                return fut.wait_for(std::chrono::seconds(0)) ==
+                       std::future_status::ready;
+            },
+            include_blocking);
     }
 
     unsigned workerCount() const
@@ -206,6 +232,7 @@ class Executor
         std::function<void(Error)> drop; //!< fail the future instead
         Deadline deadline;
         TraceSink *trace = nullptr;
+        bool mayBlock = false; //!< skipped by helping loops
         std::chrono::steady_clock::time_point enqueued;
     };
 
@@ -218,14 +245,16 @@ class Executor
 
     void workerLoop(size_t index);
     void enqueue(Task task, bool block_on_full);
-    /** Pop/steal one task and execute (or drop) it. */
-    bool tryExecuteOne();
-    bool popOwn(Task &out);
-    bool popGlobal(Task &out);
-    bool steal(Task &out);
+    /** Pop/steal one task and execute (or drop) it. Helping loops
+     *  pass include_blocking = false to skip mayBlock tasks. */
+    bool tryExecuteOne(bool include_blocking);
+    bool popOwn(Task &out, bool include_blocking);
+    bool popGlobal(Task &out, bool include_blocking);
+    bool steal(Task &out, bool include_blocking);
     void execute(Task task);
     /** Execute pending tasks until done() holds; naps when idle. */
-    void helpWhile(const std::function<bool()> &done);
+    void helpWhile(const std::function<bool()> &done,
+                   bool include_blocking);
     void noteDequeued(const Task &task);
 
     const ExecutorOptions options_;

@@ -160,8 +160,22 @@ common::Expected<EngineRun>
 ChunkedScanner::tryScan(const genome::Sequence &seq) const
 {
     Stopwatch timer;
+    // Resolve the emit range: {0, 0} means the whole sequence, any
+    // other interval is clamped to it. The plan is laid out over the
+    // range only; each chunk's lead extends below range_begin by up to
+    // overlap_ so a site straddling the lower boundary is still seen,
+    // while its emit zone starts at the boundary — the per-chunk seam
+    // rule applied to the shard seam.
+    const uint64_t n = seq.size();
+    uint64_t range_begin = 0;
+    uint64_t range_end = n;
+    if (!options_.scanRange.whole()) {
+        range_begin = std::min<uint64_t>(options_.scanRange.begin, n);
+        range_end = std::min<uint64_t>(
+            std::max(options_.scanRange.end, range_begin), n);
+    }
     const auto plan = genome::planScanChunks(
-        seq.size(), options_.chunkSize, overlap_);
+        range_end - range_begin, options_.chunkSize, overlap_);
     const unsigned threads = genome::resolveThreads(options_.threads);
 
     common::MetricsRegistry scan_metrics;
@@ -187,15 +201,21 @@ ChunkedScanner::tryScan(const genome::Sequence &seq) const
             return false;
         }
         const genome::ScanChunk &c = plan[w];
+        // Globalize the range-local plan; the first chunk's lead is
+        // re-derived from the global emit position so it can reach
+        // below range_begin (the seam overlap).
+        const uint64_t emit = range_begin + c.emitFrom;
+        const uint64_t lead = emit >= overlap_ ? emit - overlap_ : 0;
+        const uint64_t chunk_end = range_begin + c.end;
         try {
             auto kept = scanChunkLocal(
-                std::span<const uint8_t>(seq.data() + c.leadFrom,
-                                         c.end - c.leadFrom),
-                c.emitFrom - c.leadFrom, retries, chunk_latency);
+                std::span<const uint8_t>(seq.data() + lead,
+                                         chunk_end - lead),
+                emit - lead, retries, chunk_latency);
             std::vector<ReportEvent> &local = lane_events[lane];
             for (const ReportEvent &ev : kept)
                 local.push_back(
-                    ReportEvent{ev.reportId, ev.end + c.leadFrom});
+                    ReportEvent{ev.reportId, ev.end + lead});
             done.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
@@ -245,7 +265,7 @@ ChunkedScanner::tryScan(const genome::Sequence &seq) const
         events.insert(events.end(), local.begin(), local.end());
 
     EngineRun run = makeRun(std::move(events), plan.size(), threads,
-                            timer.seconds(), seq.size(),
+                            timer.seconds(), range_end - range_begin,
                             scan_metrics);
     const size_t scanned = done.load();
     run.metrics["scan.chunks_skipped"] =

@@ -31,41 +31,20 @@
 #include "common/executor.hpp"
 #include "common/trace.hpp"
 #include "core/engine.hpp"
+#include "core/options.hpp"
 #include "genome/fasta_stream.hpp"
 
 namespace crispr::core {
 
-/** Chunked-scan options. */
-struct ChunkedScanOptions
+/**
+ * Chunked-scan options: exactly the shared execution-tuning layer
+ * (core/options.hpp) — chunk geometry, threads, SIMD tier, deadline,
+ * retry budget, executor, trace, and the optional emit ScanRange. The
+ * fields used to be re-declared here; SearchSession now hands its
+ * RuntimeOptions straight through via the common base.
+ */
+struct ChunkedScanOptions : ExecutionOptions
 {
-    /** Emit-zone size per chunk (must exceed the site length). */
-    size_t chunkSize = 4 << 20;
-    /** Worker threads; 1 = serial, 0 = hardware_concurrency. */
-    unsigned threads = 1;
-    /** Requested SIMD tier, forwarded to every per-chunk scan. */
-    hscan::SimdTier simdTier = hscan::SimdTier::Auto;
-    /** Cooperative deadline, polled before each chunk dispatch. */
-    common::Deadline deadline;
-    /** Per-chunk retries for transient scan failures; 0 = fail fast. */
-    unsigned scanRetries = 0;
-    /** First retry backoff; doubled per attempt up to the cap. */
-    double retryBackoffSeconds = 0.001;
-    double retryBackoffCapSeconds = 0.050;
-    /** Optional span sink (parse / chunk.scan); nullptr = no tracing. */
-    common::TraceSink *trace = nullptr;
-    /**
-     * Pool the chunk fan-out runs on when threads != 1; nullptr = the
-     * process-wide Executor::shared(). Instanced pools are for tests
-     * and benchmarks. `threads == 1` bypasses the pool entirely (the
-     * paper's single-core measurements stay pool-free).
-     */
-    common::Executor *executor = nullptr;
-    /**
-     * Benchmark baseline only: spawn fresh std::threads per scan (the
-     * pre-executor behaviour) instead of scheduling on the pool. Lets
-     * bench_service measure spawn-per-scan vs shared-pool honestly.
-     */
-    bool spawnThreads = false;
 };
 
 /**
@@ -115,6 +94,13 @@ class ChunkedScanner
      * expires, in which case the run carries the partial events with
      * `search.timed_out` = 1 and `scan.chunks_skipped` > 0. A chunk
      * that still fails after the retry budget returns ScanFailed.
+     *
+     * When `options.scanRange` is a non-whole interval, only events
+     * ending inside [begin, end) (clamped to the sequence) are
+     * emitted; the scan re-reads up to overlap() codes before `begin`
+     * so boundary-straddling sites are still matched. The union of
+     * disjoint ranges covering the sequence is bit-identical to one
+     * whole-sequence scan — the shard coordinator's merge contract.
      */
     common::Expected<EngineRun>
     tryScan(const genome::Sequence &seq) const;

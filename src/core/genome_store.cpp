@@ -19,7 +19,8 @@ GenomeStore::GenomeStore(size_t max_bytes)
       evictions_(metrics_.counter("store.evictions")),
       deadlineExceeded_(metrics_.counter("store.deadline_exceeded")),
       bytesGauge_(metrics_.gauge("store.bytes")),
-      entriesGauge_(metrics_.gauge("store.entries"))
+      entriesGauge_(metrics_.gauge("store.entries")),
+      mmapBytesGauge_(metrics_.gauge("store.mmap_bytes"))
 {
 }
 
@@ -35,6 +36,15 @@ GenomeStore::findLocked(const std::string &key)
 }
 
 void
+GenomeStore::dropEntryBytesLocked(const Entry &entry)
+{
+    if (!entry.ready)
+        return;
+    bytes_ -= entry.bytes;
+    mmapBytes_ -= entry.mmapBytes;
+}
+
+void
 GenomeStore::evictOverBudgetLocked()
 {
     // Walk from the LRU end, skipping in-flight loads (their size is
@@ -45,17 +55,19 @@ GenomeStore::evictOverBudgetLocked()
         --it;
         if (!it->ready)
             continue;
-        bytes_ -= it->bytes;
+        dropEntryBytesLocked(*it);
         it = entries_.erase(it);
         evictions_.inc();
     }
     bytesGauge_.set(static_cast<double>(bytes_));
+    mmapBytesGauge_.set(static_cast<double>(mmapBytes_));
     entriesGauge_.set(static_cast<double>(entries_.size()));
 }
 
 common::Expected<SharedSequence>
-GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader,
-                          const common::Deadline &deadline)
+GenomeStore::tryGetOrLoadImpl(const std::string &key,
+                              const RichLoader &loader,
+                              const common::Deadline &deadline)
 {
     // A request that is already dead must not queue behind (or start) a
     // multi-second decode it can never use.
@@ -83,7 +95,8 @@ GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader,
             loads_.inc();
             fut = promise.get_future().share();
             my_id = nextId_++;
-            entries_.push_front(Entry{key, fut, my_id, 0, false});
+            entries_.push_front(Entry{key, fut, my_id, 0, false,
+                                      nullptr, 0});
             entriesGauge_.set(static_cast<double>(entries_.size()));
             load_here = true;
         }
@@ -114,12 +127,14 @@ GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader,
 
     // Cache miss: this caller decodes while every racer on the same
     // key waits on the shared future — one parse, many readers.
+    std::shared_ptr<const genome::PackedFile> mapped;
     LoadResult result = [&]() -> LoadResult {
         auto loaded = loader();
         if (!loaded.ok())
             return Error(loaded.error());
+        mapped = std::move(loaded.value().mapped);
         return SharedSequence(std::make_shared<const genome::Sequence>(
-            std::move(loaded).value()));
+            std::move(loaded.value().seq)));
     }();
 
     {
@@ -131,7 +146,14 @@ GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader,
             if (result.ok()) {
                 it->bytes = result.value()->size();
                 it->ready = true;
+                it->mapped = mapped;
+                it->mmapBytes =
+                    mapped && mapped->memoryMapped()
+                        ? mapped->fileBytes()
+                        : 0;
                 bytes_ += it->bytes;
+                mmapBytes_ += it->mmapBytes;
+                mmapBytesGauge_.set(static_cast<double>(mmapBytes_));
                 evictOverBudgetLocked();
             } else {
                 // Errors are not cached: drop the slot so the next
@@ -147,29 +169,92 @@ GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader,
 }
 
 common::Expected<SharedSequence>
+GenomeStore::tryGetOrLoad(const std::string &key, const Loader &loader,
+                          const common::Deadline &deadline)
+{
+    return tryGetOrLoadImpl(
+        key,
+        [&]() -> common::Expected<Loaded> {
+            auto loaded = loader();
+            if (!loaded.ok())
+                return Error(loaded.error());
+            return Loaded{std::move(loaded).value(), nullptr};
+        },
+        deadline);
+}
+
+common::Expected<SharedSequence>
+GenomeStore::tryLoad(const GenomeRef &ref, bool lenient,
+                     const common::Deadline &deadline)
+{
+    if (ref.empty())
+        return Error(ErrorCode::InvalidArgument,
+                     "empty genome reference");
+    switch (ref.source) {
+    case GenomeSource::Memory: {
+        // Memory refs never load from anywhere: they must have been
+        // put() first. get() under the legacy key keeps hit/miss
+        // accounting identical to the string API.
+        if (SharedSequence seq = get(ref.key()))
+            return seq;
+        return Error(ErrorCode::InvalidArgument,
+                     "in-memory genome ref is not in the store "
+                     "(put() it first)")
+            .withContext("key", ref.key());
+    }
+    case GenomeSource::FastaFile:
+        return tryGetOrLoadImpl(
+            ref.key(),
+            [&]() -> common::Expected<Loaded> {
+                std::ifstream in(ref.id, std::ios::binary);
+                if (!in)
+                    return Error(ErrorCode::InvalidArgument,
+                                 "cannot open FASTA file")
+                        .withContext("path", ref.id);
+                try {
+                    genome::FastaParseOptions options;
+                    options.lenient = lenient;
+                    size_t dropped = 0;
+                    auto records =
+                        genome::readFasta(in, options, &dropped);
+                    return Loaded{
+                        genome::concatenateRecords(records), nullptr};
+                } catch (const FatalError &e) {
+                    return Error(ErrorCode::ParseError, e.what())
+                        .withContext("path", ref.id);
+                }
+            },
+            deadline);
+    case GenomeSource::PackedFile:
+        return tryGetOrLoadImpl(
+            ref.key(),
+            [&]() -> common::Expected<Loaded> {
+                auto mapped = genome::PackedFile::map(ref.id);
+                if (!mapped.ok())
+                    return Error(mapped.error());
+                // One decoded heap copy per store (shared by every
+                // worker); the mapping handle rides along so the
+                // packed pages stay shared for the entry's lifetime.
+                return Loaded{mapped.value()->unpack(),
+                              std::move(mapped).value()};
+            },
+            deadline);
+    }
+    return Error(ErrorCode::InvalidArgument,
+                 "unknown genome ref source");
+}
+
+SharedSequence
+GenomeStore::load(const GenomeRef &ref, bool lenient)
+{
+    return tryLoad(ref, lenient).valueOrThrow();
+}
+
+common::Expected<SharedSequence>
 GenomeStore::tryLoadFile(const std::string &path, bool lenient,
                          const common::Deadline &deadline)
 {
-    return tryGetOrLoad(
-        path,
-        [&]() -> common::Expected<genome::Sequence> {
-            std::ifstream in(path, std::ios::binary);
-            if (!in)
-                return Error(ErrorCode::InvalidArgument,
-                             "cannot open FASTA file")
-                    .withContext("path", path);
-            try {
-                genome::FastaParseOptions options;
-                options.lenient = lenient;
-                size_t dropped = 0;
-                auto records = genome::readFasta(in, options, &dropped);
-                return genome::concatenateRecords(records);
-            } catch (const FatalError &e) {
-                return Error(ErrorCode::ParseError, e.what())
-                    .withContext("path", path);
-            }
-        },
-        deadline);
+    return tryLoad(GenomeRef::fasta(path), lenient, deadline);
 }
 
 SharedSequence
@@ -185,6 +270,12 @@ GenomeStore::loadFile(const std::string &path, bool lenient)
 }
 
 SharedSequence
+GenomeStore::put(const GenomeRef &ref, genome::Sequence seq)
+{
+    return put(ref.key(), std::move(seq));
+}
+
+SharedSequence
 GenomeStore::put(const std::string &key, genome::Sequence seq)
 {
     auto ptr = std::make_shared<const genome::Sequence>(std::move(seq));
@@ -194,14 +285,20 @@ GenomeStore::put(const std::string &key, genome::Sequence seq)
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = findLocked(key); it != entries_.end()) {
-        if (it->ready)
-            bytes_ -= it->bytes;
+        dropEntryBytesLocked(*it);
         entries_.erase(it);
     }
-    entries_.push_front(Entry{key, fut, nextId_++, ptr->size(), true});
+    entries_.push_front(Entry{key, fut, nextId_++, ptr->size(), true,
+                              nullptr, 0});
     bytes_ += ptr->size();
     evictOverBudgetLocked();
     return ptr;
+}
+
+SharedSequence
+GenomeStore::get(const GenomeRef &ref)
+{
+    return get(ref.key());
 }
 
 SharedSequence
@@ -225,16 +322,22 @@ GenomeStore::get(const std::string &key)
 }
 
 bool
+GenomeStore::erase(const GenomeRef &ref)
+{
+    return erase(ref.key());
+}
+
+bool
 GenomeStore::erase(const std::string &key)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = findLocked(key);
     if (it == entries_.end())
         return false;
-    if (it->ready)
-        bytes_ -= it->bytes;
+    dropEntryBytesLocked(*it);
     entries_.erase(it);
     bytesGauge_.set(static_cast<double>(bytes_));
+    mmapBytesGauge_.set(static_cast<double>(mmapBytes_));
     entriesGauge_.set(static_cast<double>(entries_.size()));
     return true;
 }
@@ -245,7 +348,9 @@ GenomeStore::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     bytes_ = 0;
+    mmapBytes_ = 0;
     bytesGauge_.set(0.0);
+    mmapBytesGauge_.set(0.0);
     entriesGauge_.set(0.0);
 }
 
@@ -254,6 +359,13 @@ GenomeStore::bytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return bytes_;
+}
+
+size_t
+GenomeStore::mmapBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mmapBytes_;
 }
 
 size_t

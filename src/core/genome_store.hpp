@@ -4,6 +4,17 @@
  * objects, so every batch and every request that names the same
  * reference scans shared immutable memory instead of re-parsing FASTA.
  *
+ * Genome identity is a typed GenomeRef (stable id + source kind:
+ * in-memory | FASTA file | packed ".2bit" file) rather than a raw
+ * string key; the old string-keyed methods survive as thin deprecated
+ * wrappers whose behaviour is unchanged (a string path is a FASTA ref,
+ * a string key is a memory ref). Packed refs are loaded through
+ * genome::PackedFile — mmap on POSIX — and the store keeps the mapping
+ * handle alive for the cache entry's lifetime, so N shard workers
+ * naming one packed reference share a single physical copy of the
+ * packed payload (the `store.mmap_bytes` gauge) on top of the one
+ * shared decoded Sequence.
+ *
  * Load-once semantics: concurrent getOrLoad() calls for one key share
  * a single parse — the first caller runs the loader while the racers
  * block on the same future, so a reference is never decoded twice no
@@ -18,7 +29,7 @@
  *
  * Metrics (metricsSnapshot()): `store.hits`, `store.misses`,
  * `store.loads`, `store.evictions`, `store.bytes`, `store.entries`,
- * `store.deadline_exceeded`.
+ * `store.mmap_bytes`, `store.deadline_exceeded`.
  */
 
 #ifndef CRISPR_CORE_GENOME_STORE_HPP_
@@ -35,12 +46,64 @@
 #include "common/deadline.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "genome/packed.hpp"
 #include "genome/sequence.hpp"
 
 namespace crispr::core {
 
 /** Shared, immutable handle to a cached genome. */
 using SharedSequence = std::shared_ptr<const genome::Sequence>;
+
+/** Where a GenomeRef's bytes come from. */
+enum class GenomeSource : uint8_t
+{
+    Memory,     //!< an in-store sequence put() under a chosen id
+    FastaFile,  //!< a FASTA path, parsed + concatenated on first load
+    PackedFile, //!< a ".2bit" packed file, mmap-shared across workers
+};
+
+/**
+ * Typed genome identity: a stable id plus its source kind. This is
+ * the public way requests, the service, and the shard coordinator
+ * name a reference (RequestOptions::genomeRef); the raw string/path
+ * overloads remain as deprecated wrappers that construct one of
+ * these. Two refs are the same genome iff their key()s agree —
+ * memory and FASTA refs keep the legacy string key unchanged, so
+ * pre-GenomeRef cache contents and call sites interoperate exactly.
+ */
+struct GenomeRef
+{
+    GenomeSource source = GenomeSource::Memory;
+    /** Memory: the store key. Fasta/Packed: the file path. */
+    std::string id;
+
+    static GenomeRef
+    memory(std::string key)
+    {
+        return GenomeRef{GenomeSource::Memory, std::move(key)};
+    }
+    static GenomeRef
+    fasta(std::string path)
+    {
+        return GenomeRef{GenomeSource::FastaFile, std::move(path)};
+    }
+    static GenomeRef
+    packed(std::string path)
+    {
+        return GenomeRef{GenomeSource::PackedFile, std::move(path)};
+    }
+
+    bool empty() const { return id.empty(); }
+
+    /** The store's cache key (legacy-compatible for memory/FASTA). */
+    std::string
+    key() const
+    {
+        return source == GenomeSource::PackedFile ? "2bit:" + id : id;
+    }
+
+    bool operator==(const GenomeRef &) const = default;
+};
 
 /** A keyed, LRU-byte-bounded cache of decoded genomes. */
 class GenomeStore
@@ -55,6 +118,31 @@ class GenomeStore
 
     GenomeStore(const GenomeStore &) = delete;
     GenomeStore &operator=(const GenomeStore &) = delete;
+
+    /**
+     * Resolve a typed ref: the cached sequence under ref.key(), or
+     * the result of loading it from its source. Memory refs never
+     * load — an absent memory ref is InvalidArgument (put() it
+     * first). FASTA refs parse the file (`lenient` skips malformed
+     * records); packed refs mmap + decode it, retaining the mapping
+     * for the entry's lifetime (`store.mmap_bytes`). Load-once and
+     * deadline semantics are those of tryGetOrLoad().
+     */
+    common::Expected<SharedSequence>
+    tryLoad(const GenomeRef &ref, bool lenient = false,
+            const common::Deadline &deadline = {});
+
+    /** Throwing wrapper over tryLoad (ErrorException). */
+    SharedSequence load(const GenomeRef &ref, bool lenient = false);
+
+    /** Insert an already-decoded sequence under a typed ref. */
+    SharedSequence put(const GenomeRef &ref, genome::Sequence seq);
+
+    /** The cached sequence, or nullptr; counts a store hit or miss. */
+    SharedSequence get(const GenomeRef &ref);
+
+    /** Drop one ref (callers' shared_ptrs stay valid). */
+    bool erase(const GenomeRef &ref);
 
     /**
      * The sequence cached under `key`, or the result of running
@@ -75,32 +163,27 @@ class GenomeStore
                  const common::Deadline &deadline = {});
 
     /**
-     * Load a FASTA file (key = path), concatenating its records into
-     * one scan stream exactly as genome::concatenateRecords does.
-     * @param lenient skip malformed records instead of failing.
-     * @param deadline bounds the wait as in tryGetOrLoad().
+     * Deprecated string-keyed surface (thin wrappers over the typed
+     * methods; behaviour unchanged — a path is a FASTA ref, a key a
+     * memory ref). Prefer the GenomeRef overloads.
      */
     common::Expected<SharedSequence>
     tryLoadFile(const std::string &path, bool lenient = false,
                 const common::Deadline &deadline = {});
-
-    /** Throwing wrappers (ErrorException). */
     SharedSequence getOrLoad(const std::string &key,
                              const Loader &loader);
     SharedSequence loadFile(const std::string &path,
                             bool lenient = false);
-
-    /** Insert an already-decoded sequence (replacing `key` if held). */
     SharedSequence put(const std::string &key, genome::Sequence seq);
-
-    /** The cached sequence, or nullptr; counts a store hit or miss. */
     SharedSequence get(const std::string &key);
-
-    /** Drop one key / every key (callers' shared_ptrs stay valid). */
     bool erase(const std::string &key);
+
+    /** Drop every entry (callers' shared_ptrs stay valid). */
     void clear();
 
     size_t bytes() const;     //!< decoded bytes currently cached
+    /** Bytes resident via packed-file mappings (shared, not heap). */
+    size_t mmapBytes() const;
     size_t entryCount() const;
     size_t hits() const;
     size_t misses() const;
@@ -119,6 +202,15 @@ class GenomeStore
   private:
     using LoadResult = common::Expected<SharedSequence>;
 
+    /** A loader's full product: the sequence plus, for packed refs,
+     *  the mapping handle the entry must keep alive. */
+    struct Loaded
+    {
+        genome::Sequence seq;
+        std::shared_ptr<const genome::PackedFile> mapped;
+    };
+    using RichLoader = std::function<common::Expected<Loaded>()>;
+
     struct Entry
     {
         std::string key;
@@ -129,10 +221,19 @@ class GenomeStore
         /** Decoded size once ready; 0 while the load is in flight. */
         size_t bytes = 0;
         bool ready = false;
+        /** Packed-file mapping pinned for the entry's lifetime. */
+        std::shared_ptr<const genome::PackedFile> mapped;
+        size_t mmapBytes = 0;
     };
+
+    common::Expected<SharedSequence>
+    tryGetOrLoadImpl(const std::string &key, const RichLoader &loader,
+                     const common::Deadline &deadline);
 
     /** Drop ready LRU entries until the byte budget holds. */
     void evictOverBudgetLocked();
+    /** Release an entry's bookkeeping (bytes + mmap accounting). */
+    void dropEntryBytesLocked(const Entry &entry);
     std::list<Entry>::iterator findLocked(const std::string &key);
 
     const size_t maxBytes_;
@@ -140,6 +241,7 @@ class GenomeStore
     mutable std::mutex mutex_;
     std::list<Entry> entries_; //!< front = most recently used
     size_t bytes_ = 0;         //!< sum of ready entries' bytes
+    size_t mmapBytes_ = 0;     //!< sum of ready entries' mapped bytes
     uint64_t nextId_ = 1;
 
     mutable common::MetricsRegistry metrics_;
@@ -150,6 +252,7 @@ class GenomeStore
     common::Counter deadlineExceeded_;
     common::Gauge bytesGauge_;
     common::Gauge entriesGauge_;
+    common::Gauge mmapBytesGauge_;
 };
 
 } // namespace crispr::core

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * ExecutionOptions: the one definition of the execution-tuning knobs
+ * that RequestOptions, RuntimeOptions, and ServiceOptions used to
+ * re-declare independently (threads, SIMD tier, executor, chunk
+ * geometry, deadline, retry budget, tracing). RuntimeOptions and
+ * ChunkedScanOptions inherit it; ServiceOptions embeds one as the
+ * service-wide default layer.
+ *
+ * Precedence (documented for the public API in crispr.hpp): a value
+ * set on the request wins; a request field left at its built-in
+ * default inherits the service's `ServiceOptions::defaults`; a service
+ * field left at its built-in default leaves the built-in in force.
+ *
+ * Every field here except `scanRange` is pure tuning — it may change
+ * how a pass executes, never which events it reports (tested). The
+ * exception, `scanRange`, restricts a scan to a genome interval and
+ * therefore *is* result-affecting: it exists for the shard coordinator
+ * (core/shard.hpp), which relies on disjoint emit ranges merging back
+ * into the whole-genome result, and it participates in the service's
+ * coalescing key for exactly that reason.
+ */
+
+#ifndef CRISPR_CORE_OPTIONS_HPP_
+#define CRISPR_CORE_OPTIONS_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/deadline.hpp"
+#include "common/trace.hpp"
+#include "hscan/simd.hpp"
+
+namespace crispr::common {
+class Executor;
+} // namespace crispr::common
+
+namespace crispr::core {
+
+/**
+ * Half-open genome interval [begin, end) a scan emits events for.
+ * The default {0, 0} means the whole sequence. A non-whole range is
+ * seam-safe: the scan re-reads up to overlap (longest pattern - 1)
+ * codes *before* `begin` so a site straddling the lower boundary is
+ * still matched, but only events whose end index lies inside
+ * [begin, end) are emitted — the same ownership rule ChunkedScanner
+ * applies between chunks, lifted to shard boundaries. Ranges are
+ * clamped to the sequence length.
+ */
+struct ScanRange
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+
+    /** True for the default whole-sequence range. */
+    bool whole() const { return begin == 0 && end == 0; }
+
+    bool operator==(const ScanRange &) const = default;
+};
+
+/**
+ * The shared execution-tuning layer. See the file comment for the
+ * request > service-default > built-in precedence contract.
+ */
+struct ExecutionOptions
+{
+    /**
+     * Worker threads for chunk-capable (CPU) engines: 1 = serial (the
+     * paper's single-core setups — never touches the shared pool),
+     * 0 = all hardware threads, n = n. Multi-threaded scans run as
+     * tasks on the process-wide work-stealing Executor (shared by
+     * every concurrent request), not on freshly spawned threads.
+     * Device-model engines (GPU/FPGA/AP) always consume the whole
+     * stream and ignore this.
+     */
+    unsigned threads = 1;
+
+    /**
+     * Requested SIMD tier for the vector-capable CPU scan kernels
+     * (hscan Shift-Or, prefilter anchor probe). Resolved per scan
+     * against the CRISPR_SIMD env override (which wins) and host
+     * CPUID; an unsupported request degrades to the widest usable
+     * tier. Every tier reports bit-identical hits (tested), so this
+     * is runtime tuning like `threads`, not a result knob.
+     */
+    hscan::SimdTier simdTier = hscan::SimdTier::Auto;
+
+    /**
+     * Pool multi-threaded scans schedule onto; nullptr = the
+     * process-wide Executor::shared(). Instanced pools are for tests
+     * and benchmarks.
+     */
+    common::Executor *executor = nullptr;
+
+    /**
+     * Benchmark baseline only: spawn fresh threads per scan (the
+     * pre-executor behaviour) instead of using the shared pool.
+     */
+    bool spawnThreads = false;
+
+    /** Emit-zone size per chunk when scanning chunked or streamed. */
+    size_t chunkSize = 4 << 20;
+
+    /**
+     * Genome interval this scan emits events for (default: whole).
+     * Set by the shard coordinator; see ScanRange for seam semantics.
+     */
+    ScanRange scanRange;
+
+    /**
+     * Cooperative deadline / cancel token: checked between chunks (and
+     * before an unchunkable whole-genome scan starts), so an expired or
+     * cancelled search stops early and reports the partial results with
+     * `search.timed_out` = 1. Default: unlimited.
+     */
+    common::Deadline deadline;
+
+    /**
+     * Per-chunk retries for transient scan failures (exponential
+     * backoff from retryBackoffSeconds, capped). 0 = fail fast.
+     */
+    unsigned scanRetries = 0;
+    double retryBackoffSeconds = 0.001;
+    double retryBackoffCapSeconds = 0.050;
+
+    /**
+     * Optional trace sink: when set, the search records RAII spans
+     * (search, parse, pattern.compile, engine.compile, scan,
+     * chunk.scan, report) into it, serializable to chrome://tracing
+     * JSON via TraceSink::writeJson. The sink must outlive the search.
+     */
+    common::TraceSink *trace = nullptr;
+};
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_OPTIONS_HPP_

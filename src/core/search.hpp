@@ -29,6 +29,7 @@
 #include "core/breaker.hpp"
 #include "core/engines.hpp"
 #include "core/offtarget.hpp"
+#include "core/options.hpp"
 #include "hscan/simd.hpp"
 
 namespace crispr::core {
@@ -64,48 +65,18 @@ struct CompileOptions
 
 /**
  * The runtime half of a search configuration: how a scan executes —
- * none of it affects which compilation serves the request or what hits
- * come back (geometry-independence is tested), only how the pass runs.
+ * none of it affects which compilation serves the request, and (with
+ * the one documented exception of `scanRange`, the shard coordinator's
+ * emit-interval restriction) none of it affects what hits come back
+ * (geometry-independence is tested), only how the pass runs. The
+ * execution-tuning knobs themselves (threads, simdTier, executor,
+ * chunkSize, deadline, retries, trace, scanRange) live in the shared
+ * ExecutionOptions base (core/options.hpp), which ChunkedScanOptions
+ * inherits and ServiceOptions embeds as its default layer — one
+ * definition instead of three per-site copies.
  */
-struct RuntimeOptions
+struct RuntimeOptions : ExecutionOptions
 {
-    /**
-     * Worker threads for chunk-capable (CPU) engines: 1 = serial (the
-     * paper's single-core setups — never touches the shared pool),
-     * 0 = all hardware threads, n = n. Multi-threaded scans run as
-     * tasks on the process-wide work-stealing Executor (shared by
-     * every concurrent request), not on freshly spawned threads.
-     * Device-model engines (GPU/FPGA/AP) always consume the whole
-     * stream and ignore this.
-     */
-    unsigned threads = 1;
-
-    /**
-     * Requested SIMD tier for the vector-capable CPU scan kernels
-     * (hscan Shift-Or, prefilter anchor probe). Resolved per scan
-     * against the CRISPR_SIMD env override (which wins) and host
-     * CPUID; an unsupported request degrades to the widest usable
-     * tier. Every tier reports bit-identical hits (tested), so this
-     * is runtime tuning like `threads`, not a result knob.
-     */
-    hscan::SimdTier simdTier = hscan::SimdTier::Auto;
-
-    /**
-     * Pool multi-threaded scans schedule onto; nullptr = the
-     * process-wide Executor::shared(). Instanced pools are for tests
-     * and benchmarks.
-     */
-    common::Executor *executor = nullptr;
-
-    /**
-     * Benchmark baseline only: spawn fresh threads per scan (the
-     * pre-executor behaviour) instead of using the shared pool.
-     */
-    bool spawnThreads = false;
-
-    /** Emit-zone size per chunk when scanning chunked or streamed. */
-    size_t chunkSize = 4 << 20;
-
     /**
      * Engines tried in order when `engine` fails to compile or scan
      * (the paper's cross-platform degradation: AP down -> same workload
@@ -114,21 +85,6 @@ struct RuntimeOptions
      * the one that served. Duplicates of `engine` are ignored.
      */
     std::vector<EngineKind> fallbacks;
-
-    /**
-     * Cooperative deadline / cancel token: checked between chunks (and
-     * before an unchunkable whole-genome scan starts), so an expired or
-     * cancelled search stops early and reports the partial results with
-     * `search.timed_out` = 1. Default: unlimited.
-     */
-    common::Deadline deadline;
-
-    /**
-     * Per-chunk retries for transient scan failures (exponential
-     * backoff from retryBackoffSeconds, capped). 0 = fail fast.
-     */
-    unsigned scanRetries = 0;
-    double retryBackoffSeconds = 0.001;
 
     /**
      * Streamed-FASTA leniency: skip malformed records (counted in the
@@ -147,13 +103,8 @@ struct RuntimeOptions
      */
     std::shared_ptr<CircuitBreakerBoard> breakers;
 
-    /**
-     * Optional trace sink: when set, the search records RAII spans
-     * (search, parse, pattern.compile, engine.compile, scan,
-     * chunk.scan, report) into it, serializable to chrome://tracing
-     * JSON via TraceSink::writeJson. The sink must outlive the search.
-     */
-    common::TraceSink *trace = nullptr;
+    ExecutionOptions &execution() { return *this; }
+    const ExecutionOptions &execution() const { return *this; }
 };
 
 /**

@@ -19,6 +19,44 @@ using common::Error;
 using common::ErrorCode;
 using common::Expected;
 
+namespace {
+
+/**
+ * The request > service-default > built-in precedence for the shared
+ * execution layer: a request field still at its built-in default
+ * inherits the service's value. `scanRange` is deliberately exempt —
+ * it is result-affecting and owned by the request (shard coordinator).
+ */
+void
+applyDefaultExecution(ExecutionOptions &exec,
+                      const ExecutionOptions &defaults)
+{
+    static const ExecutionOptions builtin;
+    if (exec.threads == builtin.threads)
+        exec.threads = defaults.threads;
+    if (exec.simdTier == builtin.simdTier)
+        exec.simdTier = defaults.simdTier;
+    if (exec.executor == nullptr)
+        exec.executor = defaults.executor;
+    if (exec.spawnThreads == builtin.spawnThreads)
+        exec.spawnThreads = defaults.spawnThreads;
+    if (exec.chunkSize == builtin.chunkSize)
+        exec.chunkSize = defaults.chunkSize;
+    if (!exec.deadline.limited())
+        exec.deadline = defaults.deadline;
+    if (exec.scanRetries == builtin.scanRetries)
+        exec.scanRetries = defaults.scanRetries;
+    if (exec.retryBackoffSeconds == builtin.retryBackoffSeconds)
+        exec.retryBackoffSeconds = defaults.retryBackoffSeconds;
+    if (exec.retryBackoffCapSeconds ==
+        builtin.retryBackoffCapSeconds)
+        exec.retryBackoffCapSeconds = defaults.retryBackoffCapSeconds;
+    if (exec.trace == nullptr)
+        exec.trace = defaults.trace;
+}
+
+} // namespace
+
 SearchService::SearchService(ServiceOptions options,
                              std::shared_ptr<GenomeStore> store)
     : options_(options),
@@ -191,17 +229,24 @@ SearchService::enqueue(std::vector<Guide> guides,
         return;
     }
 
+    applyDefaultExecution(options.config.execution(),
+                          options_.defaults);
+
     SharedSequence genome = std::move(options.genome);
     if (!genome) {
-        if (options.genomePath.empty()) {
+        // A raw genomePath is the deprecated spelling of a FASTA ref.
+        GenomeRef ref = options.genomeRef;
+        if (ref.empty() && !options.genomePath.empty())
+            ref = GenomeRef::fasta(options.genomePath);
+        if (ref.empty()) {
             complete(Error(ErrorCode::InvalidArgument,
-                           "request names no genome (set genome or "
-                           "genomePath)"));
+                           "request names no genome (set genome, "
+                           "genomeRef, or genomePath)"));
             return;
         }
-        auto loaded = store_->tryLoadFile(options.genomePath,
-                                          options.config.lenientFasta,
-                                          options.config.deadline);
+        auto loaded = store_->tryLoad(ref,
+                                      options.config.lenientFasta,
+                                      options.config.deadline);
         if (!loaded.ok()) {
             complete(loaded.error());
             return;
@@ -408,6 +453,11 @@ SearchService::coalescingKey(const Pending &request)
         << static_cast<int>(request.config.engine);
     for (EngineKind kind : request.config.fallbacks)
         key << ',' << static_cast<int>(kind);
+    // scanRange is the one result-affecting execution field (shard
+    // emit intervals): requests scanning different ranges must never
+    // share a pass.
+    key << '|' << request.config.scanRange.begin << '-'
+        << request.config.scanRange.end;
     key << '|' << compileOptionsKey(request.config.compile());
     return key.str();
 }
@@ -718,6 +768,7 @@ SearchService::health() const
     out.executorQueueDepth =
         common::Executor::shared().pendingCount();
     out.storeBytes = store_->bytes();
+    out.storeMmapBytes = store_->mmapBytes();
     out.storeEntries = store_->entryCount();
     out.breakers = breakers_->stateNames();
     return out;

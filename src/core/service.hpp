@@ -87,6 +87,16 @@ enum class AdmissionPolicy : uint8_t
 struct ServiceOptions
 {
     /**
+     * Service-default execution layer (core/options.hpp): a submitted
+     * request whose execution field is still at its built-in default
+     * inherits the value set here (request > service default >
+     * built-in; the precedence contract documented in crispr.hpp).
+     * `scanRange` is exempt — it is result-affecting and stays
+     * strictly per-request (the shard coordinator owns it).
+     */
+    ExecutionOptions defaults;
+
+    /**
      * Seconds a batch window stays open after the first pending
      * request arrives (more arrivals ride along). Negative = manual
      * mode: no dispatcher thread runs and requests accumulate until
@@ -172,7 +182,11 @@ struct ServiceHealth
     bool pressured = false;      //!< degraded mode active
     bool accepting = true;       //!< queue bounds not currently hit
     size_t executorQueueDepth = 0; //!< process-wide pool backlog
-    size_t storeBytes = 0;         //!< decoded genomes resident
+    size_t storeBytes = 0;         //!< heap-decoded genome bytes
+    /** Bytes resident via packed-file mmaps — shared across workers
+     *  (one physical copy), reported separately from the decoded
+     *  heap so operators can see the sharing win. */
+    size_t storeMmapBytes = 0;
     size_t storeEntries = 0;
     /** Engine -> breaker state name ("closed"/"half_open"/"open"). */
     std::map<std::string, std::string> breakers;
@@ -188,8 +202,18 @@ struct RequestOptions
     SharedSequence genome;
 
     /**
-     * Alternative to `genome`: a FASTA path resolved through the
-     * service's GenomeStore at submit time (load-once, LRU-cached).
+     * Alternative to `genome`: a typed reference (in-memory key,
+     * FASTA path, or packed ".2bit" file) resolved through the
+     * service's GenomeStore at submit time (load-once, LRU-cached;
+     * packed refs are mmap-shared). Precedence: `genome` wins, then
+     * `genomeRef`, then the deprecated `genomePath`.
+     */
+    GenomeRef genomeRef;
+
+    /**
+     * Deprecated: a FASTA path, equivalent to
+     * `genomeRef = GenomeRef::fasta(path)`. Kept so existing call
+     * sites compile unchanged.
      */
     std::string genomePath;
 

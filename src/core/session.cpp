@@ -109,16 +109,11 @@ SearchSession::engineChain(const SearchConfig &config) const
 ChunkedScanOptions
 SearchSession::chunkOptions(const SearchConfig &config) const
 {
+    // ChunkedScanOptions *is* the shared ExecutionOptions layer that
+    // RuntimeOptions inherits, so the handoff is one slice-assign —
+    // no per-field copy to fall out of date when a knob is added.
     ChunkedScanOptions opts;
-    opts.chunkSize = config.chunkSize;
-    opts.threads = config.threads;
-    opts.simdTier = config.simdTier;
-    opts.deadline = config.deadline;
-    opts.scanRetries = config.scanRetries;
-    opts.retryBackoffSeconds = config.retryBackoffSeconds;
-    opts.trace = config.trace;
-    opts.executor = config.executor;
-    opts.spawnThreads = config.spawnThreads;
+    static_cast<ExecutionOptions &>(opts) = config.execution();
     return opts;
 }
 
@@ -240,11 +235,15 @@ SearchSession::scanWith(
             .withContext("engine", engine.name());
 
     // A deadline or retry budget routes chunk-capable engines through
-    // the chunked pipeline even when serial, for per-chunk checks.
+    // the chunked pipeline even when serial, for per-chunk checks; a
+    // non-whole scanRange requires it (only the chunked path knows the
+    // emit-zone seam rule). Device-model engines consume the whole
+    // stream regardless — the shard coordinator's merge dedups their
+    // repeated full-genome results, so identity still holds.
     const bool chunked =
         engine.supportsChunkedScan() &&
         (config.threads != 1 || config.deadline.limited() ||
-         config.scanRetries > 0);
+         config.scanRetries > 0 || !config.scanRange.whole());
     if (chunked) {
         const ChunkedScanOptions opts = chunkOptions(config);
         if (auto st = ChunkedScanner::validate(engine, compiled, opts);

@@ -13,7 +13,16 @@
  *   auto one = crispr::core::search(genome, guides, config); // one-shot
  *   crispr::core::SearchService service;     // batching server front end
  *   auto fut = service.submit(guides, request);
+ *   crispr::core::ShardedSearchService sharded({.shards = 4});
+ *   auto f2 = sharded.submit(guides, request); // scatter-gather serving
  * @endcode
+ *
+ * Execution-option precedence (core/options.hpp): a request field
+ * still at its built-in default inherits the service-wide value
+ * (`ServiceOptions::defaults`), which in turn falls back to the
+ * built-in — request > service default > built-in. `scanRange` is the
+ * one exception: it is result-affecting, never inherited, and owned
+ * by the shard coordinator when one is serving.
  */
 
 #ifndef CRISPR_CRISPR_HPP_
@@ -71,10 +80,12 @@
 #include "core/engine_registry.hpp"
 #include "core/genome_store.hpp"
 #include "core/guide.hpp"
+#include "core/options.hpp"
 #include "core/report.hpp"
 #include "core/score.hpp"
 #include "core/search.hpp"
 #include "core/service.hpp"
 #include "core/session.hpp"
+#include "core/shard.hpp"
 
 #endif // CRISPR_CRISPR_HPP_

@@ -1,10 +1,92 @@
 #include "genome/packed.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <thread>
 
 #include "common/logging.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define CRISPR_PACKED_HAS_MMAP 1
+#else
+#define CRISPR_PACKED_HAS_MMAP 0
+#endif
+
 namespace crispr::genome {
+
+namespace fs = std::filesystem;
+using common::Error;
+using common::ErrorCode;
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'R', 'I', 'S', 'P', 'R', '2', 'B'};
+
+/** Decode [pos, end) of a packed payload into byte-per-base codes. */
+void
+decodePacked(std::span<const uint8_t> words,
+             std::span<const uint64_t> n_positions, size_t size,
+             size_t pos, size_t len, std::vector<uint8_t> &out)
+{
+    if (pos >= size) {
+        out.clear();
+        return;
+    }
+    const size_t end = std::min(size, pos + len);
+    out.resize(end - pos);
+    for (size_t i = pos; i < end; ++i)
+        out[i - pos] = static_cast<uint8_t>(
+            (words[i >> 2] >> ((i & 3) * 2)) & 3);
+    // Patch N exceptions intersecting [pos, end).
+    auto it = std::lower_bound(n_positions.begin(), n_positions.end(),
+                               static_cast<uint64_t>(pos));
+    for (; it != n_positions.end() && *it < end; ++it)
+        out[*it - pos] = kCodeN;
+}
+
+void
+storeU32(uint8_t *at, uint32_t v)
+{
+    std::memcpy(at, &v, sizeof(v));
+}
+
+void
+storeU64(uint8_t *at, uint64_t v)
+{
+    std::memcpy(at, &v, sizeof(v));
+}
+
+uint32_t
+loadU32(const uint8_t *at)
+{
+    uint32_t v;
+    std::memcpy(&v, at, sizeof(v));
+    return v;
+}
+
+uint64_t
+loadU64(const uint8_t *at)
+{
+    uint64_t v;
+    std::memcpy(&v, at, sizeof(v));
+    return v;
+}
+
+size_t
+paddedWordBytes(uint64_t base_count)
+{
+    const size_t raw = static_cast<size_t>((base_count + 3) / 4);
+    return (raw + 7) & ~size_t(7);
+}
+
+} // namespace
 
 PackedSequence
 PackedSequence::pack(const Sequence &seq)
@@ -35,20 +117,7 @@ void
 PackedSequence::decode(size_t pos, size_t len,
                        std::vector<uint8_t> &out) const
 {
-    if (pos >= size_) {
-        out.clear();
-        return;
-    }
-    const size_t end = std::min(size_, pos + len);
-    out.resize(end - pos);
-    for (size_t i = pos; i < end; ++i)
-        out[i - pos] = static_cast<uint8_t>(
-            (words_[i >> 2] >> ((i & 3) * 2)) & 3);
-    // Patch N exceptions intersecting [pos, end).
-    auto it = std::lower_bound(nPositions_.begin(), nPositions_.end(),
-                               static_cast<uint64_t>(pos));
-    for (; it != nPositions_.end() && *it < end; ++it)
-        out[*it - pos] = kCodeN;
+    decodePacked(words_, nPositions_, size_, pos, len, out);
 }
 
 uint8_t
@@ -84,6 +153,190 @@ PackedSequence::forEachChunk(
         if (end == size_)
             break;
     }
+}
+
+common::Status
+PackedFile::write(const std::string &path, const PackedSequence &packed)
+{
+    const std::span<const uint8_t> words = packed.words();
+    const std::span<const uint64_t> n_positions = packed.nExceptions();
+    const size_t padded = paddedWordBytes(packed.size());
+
+    std::vector<uint8_t> header(kHeaderBytes, 0);
+    std::memcpy(header.data(), kMagic, sizeof(kMagic));
+    storeU32(header.data() + 8, kVersion);
+    storeU32(header.data() + 12, 0);
+    storeU64(header.data() + 16, packed.size());
+    storeU64(header.data() + 24, n_positions.size());
+
+    // Unique temp per writer thread so concurrent writers never
+    // interleave; rename() is atomic within the directory (the
+    // PatternDatabase::store idiom).
+    const std::string tmp =
+        path + strprintf(".tmp.%llu",
+                         static_cast<unsigned long long>(
+                             std::hash<std::thread::id>{}(
+                                 std::this_thread::get_id())));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return Error(ErrorCode::Internal,
+                         "cannot open packed genome temp file for "
+                         "writing")
+                .withContext("path", tmp);
+        out.write(reinterpret_cast<const char *>(header.data()),
+                  static_cast<std::streamsize>(header.size()));
+        out.write(reinterpret_cast<const char *>(words.data()),
+                  static_cast<std::streamsize>(words.size()));
+        const std::vector<uint8_t> pad(padded - words.size(), 0);
+        out.write(reinterpret_cast<const char *>(pad.data()),
+                  static_cast<std::streamsize>(pad.size()));
+        out.write(reinterpret_cast<const char *>(n_positions.data()),
+                  static_cast<std::streamsize>(n_positions.size() *
+                                               sizeof(uint64_t)));
+        if (!out.good())
+            return Error(ErrorCode::Internal,
+                         "short write to packed genome temp file")
+                .withContext("path", tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return Error(ErrorCode::Internal,
+                     "cannot publish packed genome file")
+            .withContext("path", path);
+    }
+    return common::Status();
+}
+
+common::Status
+PackedFile::writeSequence(const std::string &path, const Sequence &seq)
+{
+    return write(path, PackedSequence::pack(seq));
+}
+
+common::Expected<std::shared_ptr<const PackedFile>>
+PackedFile::map(const std::string &path)
+{
+    auto file = std::shared_ptr<PackedFile>(new PackedFile());
+
+#if CRISPR_PACKED_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return Error(ErrorCode::InvalidArgument,
+                     "cannot open packed genome file")
+            .withContext("path", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return Error(ErrorCode::InvalidArgument,
+                     "cannot stat packed genome file")
+            .withContext("path", path);
+    }
+    const size_t total = static_cast<size_t>(st.st_size);
+    if (total < kHeaderBytes) {
+        ::close(fd);
+        return Error(ErrorCode::ParseError,
+                     "packed genome file shorter than its header")
+            .withContext("path", path);
+    }
+    void *base = ::mmap(nullptr, total, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd); // the mapping outlives the descriptor
+    if (base == MAP_FAILED)
+        return Error(ErrorCode::Internal,
+                     "mmap failed for packed genome file")
+            .withContext("path", path);
+    file->mapBase_ = base;
+    file->mmapped_ = true;
+    file->fileBytes_ = total;
+    const uint8_t *bytes = static_cast<const uint8_t *>(base);
+#else
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Error(ErrorCode::InvalidArgument,
+                     "cannot open packed genome file")
+            .withContext("path", path);
+    file->heap_.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return Error(ErrorCode::ParseError,
+                     "cannot read packed genome file")
+            .withContext("path", path);
+    const size_t total = file->heap_.size();
+    if (total < kHeaderBytes)
+        return Error(ErrorCode::ParseError,
+                     "packed genome file shorter than its header")
+            .withContext("path", path);
+    file->fileBytes_ = total;
+    const uint8_t *bytes = file->heap_.data();
+#endif
+
+    if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0)
+        return Error(ErrorCode::ParseError,
+                     "packed genome file has wrong magic")
+            .withContext("path", path);
+    const uint32_t version = loadU32(bytes + 8);
+    if (version != kVersion)
+        return Error(ErrorCode::ParseError,
+                     strprintf("unsupported packed genome version %u",
+                               version))
+            .withContext("path", path);
+    const uint64_t base_count = loadU64(bytes + 16);
+    const uint64_t n_count = loadU64(bytes + 24);
+    const size_t padded = paddedWordBytes(base_count);
+    // The declared counts must reproduce the file length exactly: a
+    // truncated or padded file is rejected, not partially trusted.
+    if (base_count > (uint64_t(1) << 62) ||
+        n_count > base_count ||
+        total != kHeaderBytes + padded + n_count * sizeof(uint64_t))
+        return Error(ErrorCode::ParseError,
+                     "packed genome file size disagrees with its "
+                     "header counts")
+            .withContext("path", path);
+
+    file->size_ = static_cast<size_t>(base_count);
+    file->words_ = std::span<const uint8_t>(
+        bytes + kHeaderBytes, static_cast<size_t>((base_count + 3) / 4));
+    file->nPositions_ = std::span<const uint64_t>(
+        reinterpret_cast<const uint64_t *>(bytes + kHeaderBytes +
+                                           padded),
+        static_cast<size_t>(n_count));
+    // N exceptions must be strictly increasing and in range, or the
+    // binary-search decode contract breaks.
+    for (size_t i = 0; i < file->nPositions_.size(); ++i) {
+        if (file->nPositions_[i] >= base_count ||
+            (i > 0 &&
+             file->nPositions_[i] <= file->nPositions_[i - 1]))
+            return Error(ErrorCode::ParseError,
+                         "packed genome N-exception list is unsorted "
+                         "or out of range")
+                .withContext("path", path);
+    }
+    return std::shared_ptr<const PackedFile>(std::move(file));
+}
+
+PackedFile::~PackedFile()
+{
+#if CRISPR_PACKED_HAS_MMAP
+    if (mmapped_ && mapBase_)
+        ::munmap(mapBase_, fileBytes_);
+#endif
+}
+
+void
+PackedFile::decode(size_t pos, size_t len,
+                   std::vector<uint8_t> &out) const
+{
+    decodePacked(words_, nPositions_, size_, pos, len, out);
+}
+
+Sequence
+PackedFile::unpack() const
+{
+    std::vector<uint8_t> codes;
+    decode(0, size_, codes);
+    return Sequence(std::move(codes));
 }
 
 } // namespace crispr::genome

@@ -308,6 +308,51 @@ TEST(Executor, PoolScanIsBitIdenticalToSerialScan)
     }
 }
 
+// A task submitted with mayBlock (a shard gather join, say) must not
+// be picked up by helping waits — only a dedicated worker may run it.
+// A scan's helper that executed a task which transitively waits on
+// the helper's own thread would deadlock; this pins the skip rule
+// (the deadlock itself needed a shard dispatcher mid-scan to steal a
+// gather whose sub-request was queued behind that same dispatcher).
+TEST(Executor, HelpingWaitsSkipMayBlockTasks)
+{
+    Executor pool(poolOf(1));
+    Gate occupy;
+    std::atomic<bool> worker_busy{false};
+    // Park the lone worker so every later task sits in the queue and
+    // the helping wait below is the only possible executor.
+    std::future<void> parked = pool.submit([&] {
+        worker_busy.store(true);
+        occupy.wait();
+    });
+    while (!worker_busy.load())
+        std::this_thread::yield();
+
+    common::TaskOptions blocking;
+    blocking.mayBlock = true;
+    std::atomic<bool> blocking_ran{false};
+    std::future<void> blocked =
+        pool.submit([&] { blocking_ran.store(true); }, blocking);
+    std::future<void> plain = pool.submit([] {});
+
+    // The default (non-opt-in) helping wait drains the plain task —
+    // queued BEHIND the mayBlock one — and leaves the mayBlock task
+    // for the worker.
+    pool.wait(plain);
+    plain.get();
+    EXPECT_FALSE(blocking_ran.load());
+    EXPECT_NE(blocked.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+
+    // An opted-in wait (a coordinator joining its own gathers) may
+    // execute it inline.
+    pool.wait(blocked, /*include_blocking=*/true);
+    blocked.get();
+    EXPECT_TRUE(blocking_ran.load());
+    occupy.open();
+    parked.get();
+}
+
 // One resolver for the 0-means-all-cores convention: the genome layer
 // delegates to the executor, so nested scan paths can't each invent
 // their own hardware-concurrency answer and multiply worker counts.
