@@ -96,6 +96,13 @@ main(int argc, char **argv)
     cli.addBool("forward-only", "skip the reverse strand");
     cli.addString("csv", "", "also write hits as CSV to this file");
     cli.addInt("max-lines", 50, "max hit lines to print");
+    cli.addInt("top-k", 0,
+               "rank the K most dangerous sites by in-scan penalty "
+               "(0 = no ranked report)");
+    cli.addString("score-threshold", "0",
+                  "ranked report: keep sites with penalty >= this");
+    cli.addString("ranked-csv", "",
+                  "write the ranked report as CSV to this file");
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -135,6 +142,9 @@ main(int argc, char **argv)
         config.engine = engineByName(cli.getString("engine"));
         config.threads =
             static_cast<unsigned>(cli.getInt("threads"));
+        config.topK = static_cast<size_t>(cli.getInt("top-k"));
+        config.scoreThreshold =
+            std::stod(cli.getString("score-threshold"));
 
         core::SearchSession session(guides, config);
         core::SearchResult result = session.search(genome_seq);
@@ -153,6 +163,27 @@ main(int argc, char **argv)
             std::cout << guides[s.guide].name << '\t' << s.onTargets
                       << '\t' << s.offTargets << '\t'
                       << strprintf("%.1f", s.specificity) << '\n';
+        }
+
+        if (result.rankedMode) {
+            std::cout << "\nranked sites (penalty desc, top "
+                      << (config.topK > 0
+                              ? std::to_string(config.topK)
+                              : std::string("all"))
+                      << "):\n";
+            core::printRanked(std::cout, genome_seq, guides, result,
+                              have_map ? &record_map : nullptr);
+        }
+
+        if (!cli.getString("ranked-csv").empty()) {
+            std::ofstream csv(cli.getString("ranked-csv"));
+            if (!csv)
+                fatal("cannot open '%s'",
+                      cli.getString("ranked-csv").c_str());
+            core::writeRankedCsv(csv, genome_seq, guides, result);
+            inform("wrote %zu ranked sites to %s",
+                   result.ranked.size(),
+                   cli.getString("ranked-csv").c_str());
         }
 
         if (!cli.getString("csv").empty()) {

@@ -2,10 +2,11 @@
 # CI entry point: build + test the default preset, re-run everything
 # under ASan/UBSan, run the fault-injection, cross-engine conformance,
 # serving-layer, executor-concurrency, pattern-database,
-# overload-protection, and sharded-serving suites as their own line
-# items (service, database, overload, and shard also under ASan; the
-# simd+conformance labels twice per preset — CRISPR_SIMD=scalar and
-# native tier; concurrency/service/fault/overload/simd/shard under
+# overload-protection, sharded-serving, and scoring-conformance
+# suites as their own line items (service, database, overload, shard,
+# and scoring also under ASan; the simd+conformance labels twice per
+# preset — CRISPR_SIMD=scalar and native tier;
+# concurrency/service/fault/overload/simd/shard/scoring under
 # ThreadSanitizer via the tsan preset, since those are the suites that
 # exercise the shared work-stealing pool), prove the
 # -DCRISPR_METRICS=OFF configuration
@@ -15,7 +16,8 @@
 # serving-throughput row (spawn-per-scan vs shared-pool, cold-compile
 # vs database-load, 1x/2x/4x overload goodput, and 1/2/4/8-shard
 # scatter-gather req/s) from bench_service plus a per-tier SIMD
-# kernel-throughput row from bench_hscan.
+# kernel-throughput row from bench_hscan and a scored-vs-boolean /
+# ranked-vs-post-hoc row from bench_e16_scoring.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -97,6 +99,16 @@ run ctest --test-dir build -L shard --output-on-failure -j "$jobs" --timeout 600
 run ctest --test-dir build-sanitize -L shard --output-on-failure \
     -j "$jobs" --timeout 600
 
+# The scoring conformance label on both presets: in-scan penalties
+# bit-identical to the post-hoc recomputation on every engine,
+# ranked-mode equivalence to filter-after-full-search, shard/geometry
+# invariance of the ranked listing, and scored-state database round
+# trips (deserialized weight tables are attacker-shaped bytes, so
+# ASan/UBSan matter).
+run ctest --test-dir build -L scoring --output-on-failure -j "$jobs" --timeout 600
+run ctest --test-dir build-sanitize -L scoring --output-on-failure \
+    -j "$jobs" --timeout 600
+
 # ThreadSanitizer over every suite that touches the pool: the
 # concurrency tier plus the service (coalescing + soak), fault
 # (retry/fallback under injected failures), overload (admission +
@@ -106,7 +118,7 @@ run ctest --test-dir build-sanitize -L shard --output-on-failure \
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$jobs"
 run ctest --test-dir build-tsan \
-    -L "concurrency|service|fault|overload|simd|shard" \
+    -L "concurrency|service|fault|overload|simd|shard|scoring" \
     --output-on-failure -j "$jobs" --timeout 600
 
 # The observability layer is compile-time optional; an OFF build must
@@ -172,5 +184,18 @@ test -s build/artifacts/BENCH_hscan.json
 grep -q '"shiftor_scalar_d3_g100_bps"' build/artifacts/BENCH_hscan.json
 grep -q '"best_tier"' build/artifacts/BENCH_hscan.json
 run cp build/artifacts/BENCH_hscan.json BENCH_hscan.latest.json
+
+# Scored-automata row (small shape for CI speed): in-scan scoring
+# overhead vs the boolean baseline and the integrated ranked path vs
+# boolean + post-hoc rescoring, on the hit-dense guide-family
+# workload. The binary fatals if the two ranked listings diverge, so
+# this doubles as a conformance check at bench scale.
+run ./build/bench/bench_e16_scoring --genome-mb 1 --guides 200 \
+    --reps 3 --json build/artifacts/BENCH_e16_scoring.json
+test -s build/artifacts/BENCH_e16_scoring.json
+grep -q '"scored_vs_boolean"' build/artifacts/BENCH_e16_scoring.json
+grep -q '"ranked_speedup"' build/artifacts/BENCH_e16_scoring.json
+run cp build/artifacts/BENCH_e16_scoring.json \
+    BENCH_e16_scoring.latest.json
 
 echo "==> ci: all green"

@@ -30,6 +30,30 @@ windowMismatches(const genome::Sequence &genome, size_t start,
     return mismatches;
 }
 
+int
+windowMismatches(const genome::Sequence &genome, size_t start,
+                 const HammingSpec &spec,
+                 std::vector<size_t> &mismatch_offsets)
+{
+    mismatch_offsets.clear();
+    const size_t len = spec.masks.size();
+    CRISPR_ASSERT(start + len <= genome.size());
+    const size_t lo = spec.mismatchLo;
+    const size_t hi = std::min(spec.mismatchHi, len);
+    int mismatches = 0;
+    for (size_t j = 0; j < len; ++j) {
+        if (genome::maskMatches(spec.masks[j], genome[start + j]))
+            continue;
+        const bool allowed = j >= lo && j < hi;
+        if (!allowed)
+            return -1;
+        if (++mismatches > spec.maxMismatches)
+            return -1;
+        mismatch_offsets.push_back(j);
+    }
+    return mismatches;
+}
+
 std::vector<ReportEvent>
 bruteForceScan(const genome::Sequence &genome,
                std::span<const HammingSpec> specs)

@@ -39,6 +39,17 @@ bruteForceScan(const genome::Sequence &genome,
 int windowMismatches(const genome::Sequence &genome, size_t start,
                      const automata::HammingSpec &spec);
 
+/**
+ * As above, additionally collecting the 0-based *site* offsets of the
+ * mismatching positions (ascending) into `mismatch_offsets` when the
+ * window is accepted. On rejection the vector contents are
+ * unspecified. Used by the in-scan scoring path to derive each hit's
+ * mismatch-position mask during verification.
+ */
+int windowMismatches(const genome::Sequence &genome, size_t start,
+                     const automata::HammingSpec &spec,
+                     std::vector<size_t> &mismatch_offsets);
+
 // normalizeEvents lives in automata/interp.hpp; re-exported here for
 // convenience of baseline users.
 using automata::normalizeEvents;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <bit>
+
 #include "common/logging.hpp"
 #include "common/serial.hpp"
+#include "core/score_table.hpp"
 
 namespace crispr::core {
 
@@ -108,6 +111,7 @@ tryBuildPatternSet(const std::vector<Guide> &guides, const PamSpec &pam,
     set.pamLength = pam.size();
     set.orientation = orientation;
     set.maxMismatches = max_mismatches;
+    set.scoreWeights = scoreWeightTable(glen);
 
     for (uint32_t gi = 0; gi < guides.size(); ++gi) {
         const std::vector<BaseMask> site = siteMasks(guides[gi], pam);
@@ -161,6 +165,9 @@ patternSetDigest(const PatternSet &set)
     w.u64(set.pamLength);
     w.u8(static_cast<uint8_t>(set.orientation));
     w.u32(static_cast<uint32_t>(set.maxMismatches));
+    w.u32(static_cast<uint32_t>(set.scoreWeights.size()));
+    for (double weight : set.scoreWeights)
+        w.u64(std::bit_cast<uint64_t>(weight));
     w.u32(static_cast<uint32_t>(set.patterns.size()));
     for (const Pattern &p : set.patterns) {
         w.u32(p.guideIndex);

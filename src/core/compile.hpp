@@ -66,6 +66,16 @@ struct PatternSet
     Orientation orientation = Orientation::SiteOrder;
     int maxMismatches = 0;
 
+    /**
+     * Per-position mismatch weights (score_table.hpp), one per guide
+     * position, baked in at compile time so every scan scores hits
+     * in-flight without consulting global tables. Participates in
+     * patternSetDigest() and the serialized engine-state envelope, so
+     * a persisted compiled state can never replay with a different
+     * weight table.
+     */
+    std::vector<double> scoreWeights;
+
     size_t siteLength() const { return guideLength + pamLength; }
 
     /** Specs of the patterns scanning the given stream direction. */

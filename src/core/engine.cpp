@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include <bit>
+
 #include "common/logging.hpp"
 #include "common/serial.hpp"
 #include "common/stopwatch.hpp"
@@ -9,8 +11,11 @@ namespace crispr::core {
 namespace {
 
 /** Envelope version of the engine-state wrapper (not the inner
- *  artifact, which carries its own kind + version). */
-constexpr uint32_t kEngineStateVersion = 1;
+ *  artifact, which carries its own kind + version). v2 added the
+ *  compiled score-weight table to the envelope; v1 blobs fail
+ *  openBlob's version check and fall back to a recompile (a database
+ *  miss, never an error). */
+constexpr uint32_t kEngineStateVersion = 2;
 
 } // namespace
 
@@ -159,6 +164,13 @@ Engine::serializeState(const CompiledPattern &compiled) const
     common::BlobWriter w;
     w.str(name());
     w.u64(patternSetDigest(*compiled.set));
+    // The scored state: the weight table the compiled patterns score
+    // with, stored bit-exact (the digest above already commits to it;
+    // carrying it explicitly lets load verify and report a weight
+    // mismatch instead of a generic digest failure).
+    w.u32(static_cast<uint32_t>(compiled.set->scoreWeights.size()));
+    for (double weight : compiled.set->scoreWeights)
+        w.u64(std::bit_cast<uint64_t>(weight));
     w.u32(static_cast<uint32_t>(inner.value().size()));
     w.bytes(inner.value());
     return common::sealBlob("engine-state", kEngineStateVersion,
@@ -195,6 +207,11 @@ Engine::deserializeState(const PatternSet &set,
     common::BlobReader r(payload.value());
     const std::string blob_engine = r.str();
     const uint64_t digest = r.u64();
+    const uint32_t weight_count = r.u32();
+    std::vector<double> blob_weights;
+    blob_weights.reserve(weight_count);
+    for (uint32_t i = 0; i < weight_count; ++i)
+        blob_weights.push_back(std::bit_cast<double>(r.u64()));
     const uint32_t inner_size = r.u32();
     std::span<const uint8_t> inner = r.raw(inner_size);
     if (auto st = r.finish(); !st.ok())
@@ -208,6 +225,18 @@ Engine::deserializeState(const PatternSet &set,
         return Error(ErrorCode::InvalidArgument,
                      "blob does not match the pattern set (guide set "
                      "or compile options changed)")
+            .withContext("engine", name());
+    // Bit-exact equality: the scored scan must reproduce the penalties
+    // of the compile that produced this blob, so a weight table that
+    // drifted by even one ULP is a stale entry.
+    bool weights_match = blob_weights.size() == set.scoreWeights.size();
+    for (size_t i = 0; weights_match && i < blob_weights.size(); ++i)
+        weights_match = std::bit_cast<uint64_t>(blob_weights[i]) ==
+                        std::bit_cast<uint64_t>(set.scoreWeights[i]);
+    if (!weights_match)
+        return Error(ErrorCode::InvalidArgument,
+                     "blob score-weight table does not match the "
+                     "pattern set")
             .withContext("engine", name());
 
     CompiledPattern compiled;

@@ -5,19 +5,30 @@
 
 #include "common/logging.hpp"
 #include "baselines/brute.hpp"
+#include "core/score_table.hpp"
 
 namespace crispr::core {
 
 std::vector<OffTargetHit>
 hitsFromEvents(const genome::Sequence &genome, const PatternSet &set,
                const std::vector<automata::ReportEvent> &events,
-               bool drop_unverified, size_t *dropped)
+               bool drop_unverified, size_t *dropped, bool with_scores)
 {
     if (dropped)
         *dropped = 0;
     std::vector<OffTargetHit> hits;
     hits.reserve(events.size());
     const size_t len = set.siteLength();
+    // The compiled weight table; sets built by tryBuildPatternSet carry
+    // one, hand-assembled test sets fall back to the shared table.
+    std::vector<double> fallback_weights;
+    const std::vector<double> *weights = &set.scoreWeights;
+    if (with_scores && set.scoreWeights.size() != set.guideLength) {
+        fallback_weights = scoreWeightTable(set.guideLength);
+        weights = &fallback_weights;
+    }
+    std::vector<size_t> offsets;
+    std::vector<size_t> positions;
     for (const automata::ReportEvent &ev : events) {
         if (ev.reportId >= set.patterns.size())
             panic("event with unknown pattern id %u", ev.reportId);
@@ -32,7 +43,10 @@ hitsFromEvents(const genome::Sequence &genome, const PatternSet &set,
             start = genome.size() - 1 - ev.end;
         }
         const automata::HammingSpec fwd = set.forwardSpec(ev.reportId);
-        const int mm = baselines::windowMismatches(genome, start, fwd);
+        const int mm =
+            with_scores
+                ? baselines::windowMismatches(genome, start, fwd, offsets)
+                : baselines::windowMismatches(genome, start, fwd);
         if (mm < 0) {
             if (drop_unverified) {
                 if (dropped)
@@ -43,7 +57,30 @@ hitsFromEvents(const genome::Sequence &genome, const PatternSet &set,
                   "re-verification",
                   static_cast<unsigned long long>(start));
         }
-        hits.push_back(OffTargetHit{p.guideIndex, p.strand, start, mm});
+        OffTargetHit hit{p.guideIndex, p.strand, start, mm};
+        if (with_scores) {
+            // Map site offsets to guide coordinates (5'->3') and sort
+            // ascending: the penalty product is order-sensitive, and
+            // hitMismatchPositions() yields the same ascending order —
+            // that is what makes the two paths bit-identical.
+            positions.clear();
+            for (size_t j : offsets) {
+                size_t guide_pos;
+                if (p.strand == Strand::Forward) {
+                    CRISPR_ASSERT(j < set.guideLength);
+                    guide_pos = j;
+                } else {
+                    CRISPR_ASSERT(j >= set.pamLength);
+                    guide_pos = len - 1 - j;
+                    CRISPR_ASSERT(guide_pos < set.guideLength);
+                }
+                positions.push_back(guide_pos);
+            }
+            std::sort(positions.begin(), positions.end());
+            hit.mismatchMask = mismatchPositionsToMask(positions);
+            hit.penalty = sitePenaltyFromWeights(positions, *weights);
+        }
+        hits.push_back(hit);
     }
     std::sort(hits.begin(), hits.end(),
               [](const OffTargetHit &a, const OffTargetHit &b) {
@@ -55,6 +92,42 @@ hitsFromEvents(const genome::Sequence &genome, const PatternSet &set,
               });
     hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
     return hits;
+}
+
+bool
+rankedHitBefore(const OffTargetHit &a, const OffTargetHit &b)
+{
+    if (a.penalty != b.penalty)
+        return a.penalty > b.penalty;
+    if (a.guide != b.guide)
+        return a.guide < b.guide;
+    if (a.start != b.start)
+        return a.start < b.start;
+    return a.strand < b.strand;
+}
+
+std::vector<OffTargetHit>
+rankHits(const std::vector<OffTargetHit> &hits, double score_threshold,
+         size_t top_k)
+{
+    std::vector<OffTargetHit> ranked;
+    ranked.reserve(hits.size());
+    for (const OffTargetHit &hit : hits)
+        if (hit.penalty >= score_threshold)
+            ranked.push_back(hit);
+    if (top_k > 0 && top_k < ranked.size()) {
+        // Deterministic top-K selection: partial_sort under a strict
+        // total order places exactly the K first elements of the full
+        // sort — same output as sort + truncate at a fraction of the
+        // comparisons when K << hits.
+        std::partial_sort(ranked.begin(),
+                          ranked.begin() + static_cast<long>(top_k),
+                          ranked.end(), rankedHitBefore);
+        ranked.resize(top_k);
+    } else {
+        std::sort(ranked.begin(), ranked.end(), rankedHitBefore);
+    }
+    return ranked;
 }
 
 std::string

@@ -12,13 +12,18 @@
  * default inherits the service's `ServiceOptions::defaults`; a service
  * field left at its built-in default leaves the built-in in force.
  *
- * Every field here except `scanRange` is pure tuning — it may change
- * how a pass executes, never which events it reports (tested). The
- * exception, `scanRange`, restricts a scan to a genome interval and
- * therefore *is* result-affecting: it exists for the shard coordinator
- * (core/shard.hpp), which relies on disjoint emit ranges merging back
- * into the whole-genome result, and it participates in the service's
- * coalescing key for exactly that reason.
+ * Every field here except `scanRange` and the ranked-report knobs is
+ * pure tuning — it may change how a pass executes, never which events
+ * it reports (tested). The exception, `scanRange`, restricts a scan
+ * to a genome interval and therefore *is* result-affecting: it exists
+ * for the shard coordinator (core/shard.hpp), which relies on
+ * disjoint emit ranges merging back into the whole-genome result, and
+ * it participates in the service's coalescing key for exactly that
+ * reason. The ranked-report knobs (`scoreThreshold`, `topK`) shape
+ * only the derived `SearchResult::ranked` listing — the verified
+ * `hits` list is never filtered by them — and `inScanScores` governs
+ * whether hits carry per-site penalties at all (a benchmarking
+ * baseline; ranked requests force it on).
  */
 
 #ifndef CRISPR_CORE_OPTIONS_HPP_
@@ -130,6 +135,38 @@ struct ExecutionOptions
      * JSON via TraceSink::writeJson. The sink must outlive the search.
      */
     common::TraceSink *trace = nullptr;
+
+    /**
+     * Ranked-report mode, part 1: keep only hits whose in-scan site
+     * penalty is >= this in `SearchResult::ranked`. 0.0 (the default)
+     * keeps every hit — penalties of verified hits are always > 0.
+     * Setting either ranked knob turns the ranked listing on; `hits`
+     * itself is never filtered.
+     */
+    double scoreThreshold = 0.0;
+
+    /**
+     * Ranked-report mode, part 2: truncate `SearchResult::ranked` to
+     * the K most dangerous sites (penalty descending, ties by guide /
+     * position / strand — a total order, so the listing is bit-stable
+     * across shard counts and chunk geometry, tested). 0 = unlimited.
+     */
+    size_t topK = 0;
+
+    /**
+     * Compute each hit's mismatch-position mask and site penalty
+     * during verification (the in-scan scoring path). On by default —
+     * the marginal cost is a table lookup per mismatch already found.
+     * Off is the boolean-scan baseline for benchmarks; a ranked
+     * request (topK / scoreThreshold) forces scoring back on.
+     */
+    bool inScanScores = true;
+
+    /** True when either ranked-report knob is engaged. */
+    bool rankedRequested() const
+    {
+        return topK > 0 || scoreThreshold > 0.0;
+    }
 };
 
 } // namespace crispr::core

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/table.hpp"
+#include "core/score.hpp"
 
 namespace crispr::core {
 
@@ -84,6 +85,53 @@ writeHitsCsv(std::ostream &out, const genome::Sequence &genome_seq,
     for (const OffTargetHit &hit : result.hits) {
         out << guides[hit.guide].name << ',' << hit.start << ','
             << strandStr(hit.strand) << ',' << hit.mismatches << ','
+            << hitSiteString(genome_seq, result.patterns, hit) << '\n';
+    }
+}
+
+void
+printRanked(std::ostream &out, const genome::Sequence &genome_seq,
+            const std::vector<Guide> &guides, const SearchResult &result,
+            const genome::RecordMap *record_map)
+{
+    if (!result.rankedMode) {
+        out << "(no ranked report: search without topK/scoreThreshold)"
+            << '\n';
+        return;
+    }
+    size_t rank = 0;
+    for (const OffTargetHit &hit : result.ranked) {
+        out << ++rank << '\t' << guides[hit.guide].name << '\t';
+        if (record_map) {
+            auto loc = record_map->locateWindow(
+                hit.start, result.patterns.siteLength());
+            out << loc.name << ':' << loc.offset;
+        } else {
+            out << hit.start;
+        }
+        out << '\t' << strandStr(hit.strand) << '\t' << hit.mismatches
+            << '\t' << strprintf("%.6f", hit.penalty) << '\t'
+            << hitAlignmentString(genome_seq, result.patterns, hit)
+            << '\n';
+    }
+}
+
+void
+writeRankedCsv(std::ostream &out, const genome::Sequence &genome_seq,
+               const std::vector<Guide> &guides,
+               const SearchResult &result)
+{
+    const std::vector<GuideScore> scores =
+        scoreGuidesFromHits(guides.size(), result);
+    out << "rank,guide,start,strand,mismatches,penalty,"
+           "guide_specificity,site\n";
+    size_t rank = 0;
+    for (const OffTargetHit &hit : result.ranked) {
+        out << ++rank << ',' << guides[hit.guide].name << ','
+            << hit.start << ',' << strandStr(hit.strand) << ','
+            << hit.mismatches << ','
+            << strprintf("%.9g", hit.penalty) << ','
+            << strprintf("%.9g", scores[hit.guide].specificity) << ','
             << hitSiteString(genome_seq, result.patterns, hit) << '\n';
     }
 }

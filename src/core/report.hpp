@@ -39,6 +39,29 @@ void writeHitsCsv(std::ostream &out, const genome::Sequence &genome,
                   const std::vector<Guide> &guides,
                   const SearchResult &result);
 
+/**
+ * Print the ranked report (result.ranked, penalty descending), one
+ * line per site:
+ *   rank  guide-name  start  strand  mismatches  penalty  aligned-site
+ * Requires a result searched in ranked mode (ExecutionOptions::topK /
+ * scoreThreshold); prints a note when the result carries no ranking.
+ */
+void printRanked(std::ostream &out, const genome::Sequence &genome,
+                 const std::vector<Guide> &guides,
+                 const SearchResult &result,
+                 const genome::RecordMap *record_map = nullptr);
+
+/**
+ * Ranked report as CSV
+ * (rank,guide,start,strand,mismatches,penalty,guide_specificity,site),
+ * where guide_specificity is the owning guide's aggregate specificity
+ * over the FULL hit list (scoreGuidesFromHits) — the ranked truncation
+ * shapes the listing, never the per-guide score.
+ */
+void writeRankedCsv(std::ostream &out, const genome::Sequence &genome,
+                    const std::vector<Guide> &guides,
+                    const SearchResult &result);
+
 } // namespace crispr::core
 
 #endif // CRISPR_CORE_REPORT_HPP_

@@ -7,61 +7,12 @@
 
 namespace crispr::core {
 
-namespace {
-
-/** Hsu et al. 2013 per-position mismatch weights for 20-nt guides,
- *  index 0 = PAM-distal. Higher weight = more damaging mismatch. */
-constexpr double kHsuWeights[20] = {
-    0.000, 0.000, 0.014, 0.000, 0.000, 0.395, 0.317, 0.000, 0.389,
-    0.079, 0.445, 0.508, 0.613, 0.851, 0.732, 0.828, 0.615, 0.804,
-    0.685, 0.583,
-};
-
-double
-weightAt(size_t pos, size_t guide_length)
-{
-    if (guide_length == 20)
-        return kHsuWeights[pos];
-    // Fallback: linear ramp from 0 (PAM-distal) to ~0.8 (PAM-proximal).
-    if (guide_length <= 1)
-        return 0.0;
-    return 0.8 * static_cast<double>(pos) /
-           static_cast<double>(guide_length - 1);
-}
-
-} // namespace
-
 double
 sitePenalty(const std::vector<size_t> &mismatch_positions,
             size_t guide_length)
 {
-    if (mismatch_positions.empty())
-        return 1.0; // a perfect duplicate competes at full strength
-
-    // Product of (1 - w_p) over mismatches ...
-    double product = 1.0;
-    for (size_t p : mismatch_positions) {
-        CRISPR_ASSERT(p < guide_length);
-        product *= 1.0 - weightAt(p, guide_length);
-    }
-    // ... damped by mean pairwise mismatch distance and count (the
-    // published formula's second and third factors).
-    const size_t n = mismatch_positions.size();
-    double distance_term = 1.0;
-    if (n > 1) {
-        auto sorted = mismatch_positions;
-        std::sort(sorted.begin(), sorted.end());
-        const double mean_d =
-            static_cast<double>(sorted.back() - sorted.front()) /
-            static_cast<double>(n - 1);
-        distance_term =
-            1.0 / ((static_cast<double>(guide_length - 1) - mean_d) /
-                       static_cast<double>(guide_length - 1) * 4.0 +
-                   1.0);
-    }
-    const double count_term =
-        1.0 / (static_cast<double>(n) * static_cast<double>(n));
-    return product * distance_term * count_term;
+    return sitePenaltyFromWeights(mismatch_positions,
+                                  scoreWeightTable(guide_length));
 }
 
 std::vector<size_t>
@@ -129,6 +80,36 @@ scoreGuides(const genome::Sequence &genome_seq,
     }
     for (GuideScore &score : scores)
         score.specificity = 100.0 / (1.0 + score.penaltySum);
+    return scores;
+}
+
+std::vector<GuideScore>
+scoreGuidesFromHits(size_t guide_count, const SearchResult &result)
+{
+    std::vector<GuideScore> scores(guide_count);
+    for (uint32_t gi = 0; gi < guide_count; ++gi)
+        scores[gi].guide = gi;
+
+    for (const OffTargetHit &hit : result.hits) {
+        CRISPR_ASSERT(hit.guide < scores.size());
+        GuideScore &score = scores[hit.guide];
+        if (hit.mismatches == 0) {
+            ++score.onTargets;
+            // A perfect site's in-scan penalty is exactly 1.0 (empty
+            // mismatch set), matching scoreGuides' += 1.0 bit for bit.
+            if (score.onTargets > 1)
+                score.penaltySum += hit.penalty;
+            continue;
+        }
+        ++score.offTargets;
+        score.penaltySum += hit.penalty;
+    }
+    for (GuideScore &score : scores) {
+        // Finite non-negative penalties guarantee an exact 100.0 for
+        // penaltySum == 0.0 and never a NaN.
+        CRISPR_ASSERT(score.penaltySum >= 0.0);
+        score.specificity = 100.0 / (1.0 + score.penaltySum);
+    }
     return scores;
 }
 

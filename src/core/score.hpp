@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "core/score_table.hpp"
 #include "core/search.hpp"
 
 namespace crispr::core {
@@ -25,7 +26,11 @@ namespace crispr::core {
  * Single-site penalty in [0, 1]: 1 for a perfect off-target duplicate,
  * decaying with mismatch count and position. `mismatch_positions` are
  * 0-based protospacer positions (0 = PAM-distal end for the standard
- * 5'->3' guide orientation).
+ * 5'->3' guide orientation). Delegates to sitePenaltyFromWeights()
+ * over scoreWeightTable() — the same primitives the in-scan path
+ * uses, so a hit's precomputed `penalty` is bit-identical to calling
+ * this on its hitMismatchPositions() (the scoring conformance tier
+ * asserts exactly that).
  */
 double sitePenalty(const std::vector<size_t> &mismatch_positions,
                    size_t guide_length);
@@ -42,20 +47,48 @@ hitMismatchPositions(const genome::Sequence &genome,
 struct GuideScore
 {
     uint32_t guide = 0;
-    size_t onTargets = 0;   //!< perfect (0-mismatch) sites
+    /**
+     * Perfect (0-mismatch) sites — ALL of them, including duplicates.
+     * This is deliberate and asymmetric with the penalty treatment:
+     * every perfect site counts here (so `onTargets` answers "how many
+     * places does this guide cut perfectly?"), while only perfect
+     * sites *beyond the first* contribute to `penaltySum` (at full
+     * penalty 1.0 — the first is the intended target). Tested in
+     * tests/test_score.cpp.
+     */
+    size_t onTargets = 0;
     size_t offTargets = 0;  //!< sites with >= 1 mismatch
     double penaltySum = 0.0;
-    double specificity = 100.0; //!< 100 / (1 + penaltySum)
+    /**
+     * 100 / (1 + penaltySum). Exactly 100.0 (not merely close) for a
+     * guide with no hits or only its single intended perfect site:
+     * penaltySum stays exactly 0.0 in both cases, and the quotient is
+     * exact. Never NaN — penalties are finite and non-negative.
+     */
+    double specificity = 100.0;
 };
 
 /**
  * Aggregate specificity per guide from a search result. Perfect sites
  * beyond the first are treated as off-target duplicates (full
- * penalty), matching the usual convention.
+ * penalty), matching the usual convention (see GuideScore::onTargets
+ * for the counting convention). Re-walks the genome per hit via
+ * hitMismatchPositions(); prefer scoreGuidesFromHits() when the
+ * result carries in-scan penalties (the default).
  */
 std::vector<GuideScore>
 scoreGuides(const genome::Sequence &genome,
             const std::vector<Guide> &guides, const SearchResult &result);
+
+/**
+ * scoreGuides() without the genome: aggregates the penalties the scan
+ * already computed (OffTargetHit::penalty), bit-identical to
+ * scoreGuides() on the same result (tested) since both paths sum the
+ * same doubles in the same hit order. Requires a result searched with
+ * in-scan scoring (ExecutionOptions::inScanScores, the default).
+ */
+std::vector<GuideScore>
+scoreGuidesFromHits(size_t guide_count, const SearchResult &result);
 
 } // namespace crispr::core
 

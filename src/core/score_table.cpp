@@ -1,0 +1,91 @@
+#include "core/score_table.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crispr::core {
+
+namespace {
+
+/** Hsu et al. 2013 per-position mismatch weights for 20-nt guides,
+ *  index 0 = PAM-distal. Higher weight = more damaging mismatch. */
+constexpr double kHsuWeights[20] = {
+    0.000, 0.000, 0.014, 0.000, 0.000, 0.395, 0.317, 0.000, 0.389,
+    0.079, 0.445, 0.508, 0.613, 0.851, 0.732, 0.828, 0.615, 0.804,
+    0.685, 0.583,
+};
+
+} // namespace
+
+std::vector<double>
+scoreWeightTable(size_t guide_length)
+{
+    if (guide_length == 20)
+        return {std::begin(kHsuWeights), std::end(kHsuWeights)};
+    std::vector<double> weights(guide_length, 0.0);
+    if (guide_length <= 1)
+        return weights;
+    // Fallback: linear ramp from 0 (PAM-distal) to ~0.8 (PAM-proximal).
+    for (size_t pos = 0; pos < guide_length; ++pos)
+        weights[pos] = 0.8 * static_cast<double>(pos) /
+                       static_cast<double>(guide_length - 1);
+    return weights;
+}
+
+double
+sitePenaltyFromWeights(const std::vector<size_t> &mismatch_positions,
+                       const std::vector<double> &weights)
+{
+    if (mismatch_positions.empty())
+        return 1.0; // a perfect duplicate competes at full strength
+
+    const size_t guide_length = weights.size();
+    // Product of (1 - w_p) over mismatches ...
+    double product = 1.0;
+    for (size_t p : mismatch_positions) {
+        CRISPR_ASSERT(p < guide_length);
+        product *= 1.0 - weights[p];
+    }
+    // ... damped by mean pairwise mismatch distance and count (the
+    // published formula's second and third factors).
+    const size_t n = mismatch_positions.size();
+    double distance_term = 1.0;
+    if (n > 1) {
+        auto sorted = mismatch_positions;
+        std::sort(sorted.begin(), sorted.end());
+        const double mean_d =
+            static_cast<double>(sorted.back() - sorted.front()) /
+            static_cast<double>(n - 1);
+        distance_term =
+            1.0 / ((static_cast<double>(guide_length - 1) - mean_d) /
+                       static_cast<double>(guide_length - 1) * 4.0 +
+                   1.0);
+    }
+    const double count_term =
+        1.0 / (static_cast<double>(n) * static_cast<double>(n));
+    return product * distance_term * count_term;
+}
+
+uint64_t
+mismatchPositionsToMask(const std::vector<size_t> &positions)
+{
+    uint64_t mask = 0;
+    for (size_t p : positions) {
+        CRISPR_ASSERT(p < 64);
+        mask |= uint64_t{1} << p;
+    }
+    return mask;
+}
+
+std::vector<size_t>
+mismatchMaskToPositions(uint64_t mask)
+{
+    std::vector<size_t> positions;
+    for (size_t p = 0; mask != 0; ++p, mask >>= 1)
+        if (mask & 1)
+            positions.push_back(p);
+    return positions;
+}
+
+} // namespace crispr::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The position-weight primitives behind guide scoring, split out of
+ * core/score.hpp so the compile pipeline (core/compile.hpp) can bake
+ * the weight table into compiled pattern state without pulling in the
+ * whole search surface. score.hpp's sitePenalty() delegates here, and
+ * hitsFromEvents() uses the same routines in-scan, so the two paths
+ * are bit-identical by construction (tested by the scoring
+ * conformance tier).
+ */
+
+#ifndef CRISPR_CORE_SCORE_TABLE_HPP_
+#define CRISPR_CORE_SCORE_TABLE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crispr::core {
+
+/**
+ * Per-position mismatch weights for a guide length, index 0 =
+ * PAM-distal. 20-nt guides get the published Hsu et al. 2013 table;
+ * other lengths fall back to a linear ramp from 0 (PAM-distal) to
+ * ~0.8 (PAM-proximal). Compiled pattern sets carry a copy
+ * (PatternSet::scoreWeights) that is serialized with the engine state
+ * and digest-checked on load.
+ */
+std::vector<double> scoreWeightTable(size_t guide_length);
+
+/**
+ * Single-site penalty in [0, 1] from an explicit weight table
+ * (weights.size() is the guide length): 1 for a perfect duplicate,
+ * decaying with mismatch count and position. The leading product
+ * multiplies in the order given, so callers that require bit-stable
+ * results must pass `mismatch_positions` sorted ascending — both the
+ * in-scan path and hitMismatchPositions() do.
+ */
+double sitePenaltyFromWeights(const std::vector<size_t> &mismatch_positions,
+                              const std::vector<double> &weights);
+
+/** Fold 0-based guide positions into a bitmask (bit p = position p).
+ *  Positions must be < 64 (guide lengths are far below that). */
+uint64_t mismatchPositionsToMask(const std::vector<size_t> &positions);
+
+/** Expand a mismatch mask back to ascending 0-based positions. */
+std::vector<size_t> mismatchMaskToPositions(uint64_t mask);
+
+} // namespace crispr::core
+
+#endif // CRISPR_CORE_SCORE_TABLE_HPP_

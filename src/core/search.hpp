@@ -142,6 +142,18 @@ struct SearchResult
     size_t droppedEvents = 0; //!< unverifiable events (AP counter design)
     /** Deadline expired mid-scan: `hits` is a partial prefix. */
     bool timedOut = false;
+
+    /**
+     * Ranked report (rankHits over `hits`): populated when the request
+     * engaged a ranked knob (ExecutionOptions::topK / scoreThreshold),
+     * ordered penalty-descending with deterministic tiebreaks and
+     * truncated to topK. On a timed-out partial result this is the
+     * ranking of the partial hit set — still duplicate- and
+     * phantom-free. Empty (with rankedMode false) otherwise.
+     */
+    std::vector<OffTargetHit> ranked;
+    /** The request asked for a ranked report. */
+    bool rankedMode = false;
 };
 
 /**

@@ -53,6 +53,12 @@ applyDefaultExecution(ExecutionOptions &exec,
         exec.retryBackoffCapSeconds = defaults.retryBackoffCapSeconds;
     if (exec.trace == nullptr)
         exec.trace = defaults.trace;
+    if (exec.scoreThreshold == builtin.scoreThreshold)
+        exec.scoreThreshold = defaults.scoreThreshold;
+    if (exec.topK == builtin.topK)
+        exec.topK = defaults.topK;
+    if (exec.inScanScores == builtin.inScanScores)
+        exec.inScanScores = defaults.inScanScores;
 }
 
 } // namespace
@@ -574,6 +580,10 @@ SearchService::expiredResult(const Pending &member)
     result.run.metrics["search.cancelled"] =
         member.config.deadline.cancelled() ? 1.0 : 0.0;
     result.timedOut = true;
+    // A ranked request stays a ranked request even when it never
+    // dispatched: the (empty) listing keeps its mode flag so gathers
+    // that mix expired and served shards merge consistently.
+    result.rankedMode = member.config.rankedRequested();
     return result;
 }
 
@@ -590,6 +600,7 @@ SearchService::demux(const SearchResult &batch, size_t offset,
     out.patterns.pamLength = batch.patterns.pamLength;
     out.patterns.orientation = batch.patterns.orientation;
     out.patterns.maxMismatches = batch.patterns.maxMismatches;
+    out.patterns.scoreWeights = batch.patterns.scoreWeights;
 
     // Slice the merged pattern set down to this member's guides,
     // re-indexing both the patterns and the events that name them.
@@ -667,11 +678,24 @@ SearchService::executeMerged(std::vector<Pending> members)
     }
 
     // The batch adopts the earliest member's runtime options; only the
-    // deadline is composed across members.
+    // deadline is composed across members. Ranked knobs are per-member
+    // result shaping, not batch execution: a member's topK must select
+    // against *its* guides, not the merged set, so the batch scans
+    // unranked (scores on if anyone ranks) and each member's ranked
+    // listing is derived after demux.
     SearchConfig config = members.front().config;
     config.deadline = members.size() > 1
                           ? combinedDeadline(members)
                           : members.front().config.deadline;
+    config.topK = 0;
+    config.scoreThreshold = 0.0;
+    const bool any_ranked =
+        std::any_of(members.begin(), members.end(),
+                    [](const Pending &member) {
+                        return member.config.rankedRequested();
+                    });
+    if (any_ranked)
+        config.inScanScores = true;
 
     // Degraded mode: under pressure an engine=auto batch is pinned to
     // the cost model's cheapest compile+scan choice for this genome
@@ -721,6 +745,15 @@ SearchService::executeMerged(std::vector<Pending> members)
             member_result.timedOut = true;
         member_result.run.metrics["search.timed_out"] =
             member_result.timedOut ? 1.0 : 0.0;
+        if (members[i].config.rankedRequested()) {
+            member_result.rankedMode = true;
+            member_result.ranked =
+                rankHits(member_result.hits,
+                         members[i].config.scoreThreshold,
+                         members[i].config.topK);
+            member_result.run.metrics["search.ranked"] =
+                static_cast<double>(member_result.ranked.size());
+        }
         members[i].complete(std::move(member_result));
     }
 }

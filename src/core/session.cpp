@@ -341,9 +341,20 @@ SearchSession::trySearch(const genome::Sequence &genome_seq,
         result.run = std::move(run).value();
         common::TraceSpan report_span(config.trace, "report");
         const bool tolerant = engine->kind() == EngineKind::ApCounter;
+        // A ranked request needs penalties even when the caller turned
+        // the in-scan scoring baseline off.
+        const bool with_scores =
+            config.inScanScores || config.rankedRequested();
         result.hits = hitsFromEvents(genome_seq, result.patterns,
                                      result.run.events, tolerant,
-                                     &result.droppedEvents);
+                                     &result.droppedEvents, with_scores);
+        if (config.rankedRequested()) {
+            result.rankedMode = true;
+            result.ranked = rankHits(result.hits, config.scoreThreshold,
+                                     config.topK);
+            result.run.metrics["search.ranked"] =
+                static_cast<double>(result.ranked.size());
+        }
         report_span.finish();
         result.run.metrics["events.dropped"] =
             static_cast<double>(result.droppedEvents);
@@ -431,12 +442,14 @@ SearchSession::trySearchStream(std::istream &fasta,
         // reversed-stream patterns), so a hit's window is local to the
         // chunk buffer that reported it: verify per chunk, then lift
         // start to global.
+        const bool with_scores =
+            config.inScanScores || config.rankedRequested();
         ChunkObserver verify = [&](const ChunkScanView &chunk) {
             common::TraceSpan report_span(config.trace, "report");
             size_t dropped = 0;
             std::vector<OffTargetHit> hits = hitsFromEvents(
                 chunk.buffer, result.patterns, chunk.events,
-                /*drop_unverified=*/false, &dropped);
+                /*drop_unverified=*/false, &dropped, with_scores);
             result.droppedEvents += dropped;
             for (OffTargetHit hit : hits) {
                 hit.start += chunk.bufferStart;
@@ -482,6 +495,13 @@ SearchSession::trySearchStream(std::istream &fasta,
             static_cast<double>(failed_engines);
         result.timedOut =
             result.run.metrics.at("search.timed_out") > 0.0;
+        if (config.rankedRequested()) {
+            result.rankedMode = true;
+            result.ranked = rankHits(result.hits, config.scoreThreshold,
+                                     config.topK);
+            result.run.metrics["search.ranked"] =
+                static_cast<double>(result.ranked.size());
+        }
         annotate(result.run);
         return result;
     }

@@ -222,6 +222,14 @@ ShardedSearchService::enqueue(std::vector<Guide> guides,
     state->futures = std::move(futures);
     state->complete = std::move(complete);
 
+    // The effective top-K for the merged ranking mirrors the workers'
+    // request > service-default precedence: each worker applies its
+    // service defaults to the sub-request it serves, so the gather
+    // must truncate with the same K those shards ranked under.
+    size_t top_k = options.config.topK;
+    if (top_k == 0)
+        top_k = options_.service.defaults.topK;
+
     // mayBlock: a gather waits on shard futures, so it must only run
     // on dedicated pool workers (or a coordinator-side opt-in wait) —
     // never inside a scan's helping loop, where it could wait on a
@@ -229,7 +237,7 @@ ShardedSearchService::enqueue(std::vector<Guide> guides,
     common::TaskOptions gather_opts;
     gather_opts.mayBlock = true;
     std::future<void> gathered = common::Executor::shared().submit(
-        [this, state] {
+        [this, state, top_k] {
             Stopwatch timer;
             Expected<SearchResult> merged =
                 [&]() -> Expected<SearchResult> {
@@ -240,7 +248,7 @@ ShardedSearchService::enqueue(std::vector<Guide> guides,
                         common::Executor::shared().wait(fut);
                         results.push_back(fut.get());
                     }
-                    return mergeShardResults(std::move(results));
+                    return mergeShardResults(std::move(results), top_k);
                 } catch (const std::exception &e) {
                     // A broken worker promise (teardown race) turns
                     // into an error result instead of a lost future.
@@ -267,7 +275,7 @@ ShardedSearchService::enqueue(std::vector<Guide> guides,
 
 Expected<SearchResult>
 ShardedSearchService::mergeShardResults(
-    std::vector<Expected<SearchResult>> shards)
+    std::vector<Expected<SearchResult>> shards, size_t top_k)
 {
     CRISPR_ASSERT(!shards.empty());
     // First shard error (by shard index) wins, deterministically.
@@ -280,6 +288,9 @@ ShardedSearchService::mergeShardResults(
         SearchResult part = std::move(shards[i]).value();
         out.hits.insert(out.hits.end(), part.hits.begin(),
                         part.hits.end());
+        out.ranked.insert(out.ranked.end(), part.ranked.begin(),
+                          part.ranked.end());
+        out.rankedMode = out.rankedMode || part.rankedMode;
         out.run.events.insert(out.run.events.end(),
                               part.run.events.begin(),
                               part.run.events.end());
@@ -321,9 +332,26 @@ ShardedSearchService::mergeShardResults(
                    out.hits.end());
     automata::normalizeEvents(out.run.events);
 
+    // Scatter-gather top-K: the per-shard listings concatenate into a
+    // superset of the global top-K (see the declaration comment);
+    // re-sorting under the ranked total order, deduplicating the
+    // device-model engines' repeated full-genome copies, and
+    // re-truncating recovers the single-shard listing exactly.
+    if (out.rankedMode) {
+        std::sort(out.ranked.begin(), out.ranked.end(),
+                  rankedHitBefore);
+        out.ranked.erase(
+            std::unique(out.ranked.begin(), out.ranked.end()),
+            out.ranked.end());
+        if (top_k > 0 && out.ranked.size() > top_k)
+            out.ranked.resize(top_k);
+    }
+
     auto &m = out.run.metrics;
     m["scan.events"] = static_cast<double>(out.run.events.size());
     m["search.hits"] = static_cast<double>(out.hits.size());
+    if (out.rankedMode)
+        m["search.ranked"] = static_cast<double>(out.ranked.size());
     m["search.timed_out"] = out.timedOut ? 1.0 : 0.0;
     if (out.droppedEvents > 0)
         m["events.dropped"] =

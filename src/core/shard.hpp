@@ -181,9 +181,21 @@ class ShardedSearchService
      * concatenated + re-sorted + deduplicated, events re-normalised,
      * additive scan metrics summed, timings folded as the max across
      * shards (the parallel wall-clock view), and rates recomputed.
+     *
+     * Ranked mode: per-shard top-K listings merge exactly. Any hit in
+     * the global top-K has fewer than K hits ranked above it globally,
+     * hence fewer than K within its own shard, so it survives its
+     * shard's truncation — the concatenation is a superset of the
+     * global top-K, and re-sorting under the same total order +
+     * re-truncating to `top_k` (the request's effective K) yields the
+     * single-shard listing bit-for-bit at every shard count. A
+     * timed-out shard contributes its partial ranking; the merge stays
+     * duplicate- and phantom-free because every entry is one shard's
+     * verified hit.
      */
     static common::Expected<SearchResult>
-    mergeShardResults(std::vector<common::Expected<SearchResult>> shards);
+    mergeShardResults(std::vector<common::Expected<SearchResult>> shards,
+                      size_t top_k);
 
     const ShardOptions options_;
     std::shared_ptr<GenomeStore> store_;

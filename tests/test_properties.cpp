@@ -15,6 +15,8 @@
 #include "baselines/casot.hpp"
 #include "fpga/fabric.hpp"
 #include "gpu/infant2.hpp"
+#include "core/score.hpp"
+#include "core/session.hpp"
 #include "hscan/multipattern.hpp"
 #include "hscan/parallel.hpp"
 #include "hscan/prefilter.hpp"
@@ -169,6 +171,71 @@ TEST_P(GuideShapeCrossValidation, RealisticShapesAgree)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GuideShapeCrossValidation,
                          ::testing::Range(0, 8));
+
+class ScoredHitProperty : public ::testing::TestWithParam<int>
+{
+};
+
+// Differential scoring property: the mismatch-position mask filled
+// in-scan equals the post-hoc hitMismatchPositions() recomputation for
+// every hit on every engine (the bit-level twin of the penalty
+// equality the scoring tier proves).
+TEST_P(ScoredHitProperty, InScanMaskMatchesPostHocOnEveryEngine)
+{
+    const uint64_t seed =
+        test::testSeed(0x5C03Eull * 1000003 + GetParam());
+    Rng rng(seed);
+    genome::Sequence g = test::randomGenome(rng, 6000);
+
+    std::vector<core::Guide> guides;
+    for (int i = 0; i < 2; ++i) {
+        guides.push_back(core::makeGuide(
+            "g" + std::to_string(i),
+            genome::randomGuide(rng, 20).str()));
+        genome::Sequence site = guides.back().protospacer;
+        site.append(genome::Sequence::fromString("AGG"));
+        for (int copy = 0; copy < 4; ++copy) {
+            genome::Sequence mutated = genome::mutateSite(
+                site, static_cast<int>(rng.below(4)), 0, 20, rng);
+            if (rng.chance(0.3))
+                mutated = mutated.reverseComplement();
+            genome::plantSite(
+                g, rng.below(g.size() - mutated.size() + 1), mutated);
+        }
+    }
+
+    core::SearchConfig cfg;
+    cfg.maxMismatches = 3;
+    cfg.params.fullSimSymbolLimit = 4 << 10;
+    core::SearchSession session(guides, cfg, /*cache_capacity=*/16);
+    for (core::EngineKind kind : core::allEngines()) {
+        core::SearchConfig engine_cfg = cfg;
+        engine_cfg.engine = kind;
+        auto got = session.trySearch(g, engine_cfg);
+        if (!got.ok()) {
+            const auto code = got.error().code();
+            if (kind == core::EngineKind::HscanDfa &&
+                (code == common::ErrorCode::CompileFailed ||
+                 code == common::ErrorCode::ResourceExhausted))
+                continue;
+            FAIL() << "seed=" << seed << " engine="
+                   << core::engineName(kind)
+                   << " failed: " << got.error().str();
+        }
+        for (const core::OffTargetHit &hit : got.value().hits) {
+            const auto positions = core::hitMismatchPositions(
+                g, got.value().patterns, hit);
+            EXPECT_EQ(hit.mismatchMask,
+                      core::mismatchPositionsToMask(positions))
+                << "seed=" << seed
+                << " engine=" << core::engineName(kind)
+                << " guide=" << hit.guide << " start=" << hit.start;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoredHitProperty,
+                         ::testing::Range(0, 4));
 
 } // namespace
 } // namespace crispr

@@ -1,5 +1,7 @@
 /** @file Unit tests for guide specificity scoring. */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/score.hpp"
@@ -115,6 +117,52 @@ TEST(Score, SpecificityAggregatesAndRanks)
     EXPECT_LE(scores[1].specificity, 100.0);
 }
 
+// Golden table: the exact published Hsu et al. 2013 weights for 20-nt
+// guides, pinned value by value so a table edit can never slip through
+// as a "refactor". EXPECT_EQ on doubles — these are literals, not
+// computed values.
+TEST(ScoreTable, TwentyNtTableMatchesPublishedWeights)
+{
+    const std::vector<double> want = {
+        0.000, 0.000, 0.014, 0.000, 0.000, 0.395, 0.317,
+        0.000, 0.389, 0.079, 0.445, 0.508, 0.613, 0.851,
+        0.732, 0.828, 0.615, 0.804, 0.685, 0.583,
+    };
+    EXPECT_EQ(scoreWeightTable(20), want);
+    // A single mismatch at position p has no distance/count damping:
+    // the penalty is exactly 1 - w_p.
+    for (size_t p = 0; p < 20; ++p)
+        EXPECT_EQ(sitePenalty({p}, 20), 1.0 - want[p])
+            << "position " << p;
+}
+
+// Non-20-nt guides fall back to the documented linear ramp: 0 at the
+// PAM-distal end rising to 0.8 PAM-proximal, exactly.
+TEST(ScoreTable, NonStandardLengthUsesLinearRamp)
+{
+    const std::vector<double> w18 = scoreWeightTable(18);
+    ASSERT_EQ(w18.size(), 18u);
+    for (size_t p = 0; p < 18; ++p)
+        EXPECT_EQ(w18[p], 0.8 * static_cast<double>(p) / 17.0)
+            << "position " << p;
+    // Degenerate lengths: no ramp to speak of, all-zero weights.
+    EXPECT_EQ(scoreWeightTable(1), std::vector<double>{0.0});
+    EXPECT_TRUE(scoreWeightTable(0).empty());
+}
+
+// Mask round trip: positions -> mask -> positions is the identity
+// (ascending order restored).
+TEST(ScoreTable, MismatchMaskRoundTrips)
+{
+    const std::vector<size_t> positions = {0, 3, 19};
+    const uint64_t mask = mismatchPositionsToMask(positions);
+    EXPECT_EQ(mask, (uint64_t{1} << 0) | (uint64_t{1} << 3) |
+                        (uint64_t{1} << 19));
+    EXPECT_EQ(mismatchMaskToPositions(mask), positions);
+    EXPECT_EQ(mismatchPositionsToMask({}), 0u);
+    EXPECT_TRUE(mismatchMaskToPositions(0).empty());
+}
+
 TEST(Score, DuplicatePerfectSitesPenalised)
 {
     auto guide = makeGuide("g", "GATTACAGATTACAGATTAC");
@@ -135,6 +183,107 @@ TEST(Score, DuplicatePerfectSitesPenalised)
     ASSERT_EQ(scores.size(), 1u);
     EXPECT_EQ(scores[0].onTargets, 2u);
     EXPECT_NEAR(scores[0].specificity, 50.0, 1e-6);
+}
+
+// The counting convention, pinned: onTargets counts EVERY perfect
+// site (duplicates included), while only perfect sites beyond the
+// first contribute penalty — so three perfect copies read as
+// onTargets=3, penaltySum=2.0.
+TEST(Score, OnTargetsCountAllPerfectSites)
+{
+    auto guide = makeGuide("g", "GATTACAGATTACAGATTAC");
+    genome::Sequence site = guide.protospacer;
+    site.append(genome::Sequence::fromString("AGG"));
+    genome::GenomeSpec gs;
+    gs.length = 30000;
+    gs.seed = 605;
+    genome::Sequence g = genome::generateGenome(gs);
+    genome::plantSite(g, 1000, site);
+    genome::plantSite(g, 9000, site);
+    genome::plantSite(g, 17000, site);
+
+    SearchConfig cfg;
+    cfg.maxMismatches = 0;
+    cfg.pam = pamNGG();
+    SearchResult res = search(g, {guide}, cfg);
+    auto scores = scoreGuides(g, {guide}, res);
+    ASSERT_EQ(scores.size(), 1u);
+    EXPECT_EQ(scores[0].onTargets, 3u);
+    EXPECT_EQ(scores[0].offTargets, 0u);
+    EXPECT_EQ(scores[0].penaltySum, 2.0);
+    EXPECT_EQ(scores[0].specificity, 100.0 / 3.0);
+}
+
+// Edge guards: a guide with no hits at all, and one with only its
+// single intended perfect site, both score EXACTLY 100.0 — not nearly
+// — and nothing in the summary is NaN.
+TEST(Score, ZeroHitAndSinglePerfectGuidesScoreExactlyHundred)
+{
+    auto hitless = makeGuide("none", "GATTACAGATTACAGATTAC");
+    auto clean = makeGuide("clean", "CCTTGGAACCTTGGAACCTT");
+    genome::GenomeSpec gs;
+    gs.length = 20000;
+    gs.seed = 606;
+    genome::Sequence g = genome::generateGenome(gs);
+    genome::Sequence site = clean.protospacer;
+    site.append(genome::Sequence::fromString("AGG"));
+    genome::plantSite(g, 5000, site);
+
+    SearchConfig cfg;
+    cfg.maxMismatches = 0;
+    cfg.pam = pamNGG();
+    SearchResult res = search(g, {hitless, clean}, cfg);
+    auto scores = scoreGuides(g, {hitless, clean}, res);
+    ASSERT_EQ(scores.size(), 2u);
+    EXPECT_EQ(scores[0].onTargets, 0u);
+    EXPECT_EQ(scores[0].penaltySum, 0.0);
+    EXPECT_EQ(scores[0].specificity, 100.0); // exact, not EXPECT_NEAR
+    EXPECT_EQ(scores[1].onTargets, 1u);
+    EXPECT_EQ(scores[1].penaltySum, 0.0);
+    EXPECT_EQ(scores[1].specificity, 100.0);
+    for (const GuideScore &s : scores) {
+        EXPECT_FALSE(std::isnan(s.specificity));
+        EXPECT_FALSE(std::isnan(s.penaltySum));
+    }
+}
+
+// scoreGuidesFromHits (the genome-free aggregation over in-scan
+// penalties) is bit-identical to the re-walking scoreGuides on the
+// same result — both sum the same doubles in the same hit order.
+TEST(Score, ScoreGuidesFromHitsMatchesRewalk)
+{
+    auto ga = makeGuide("a", "GATTACAGATTACAGATTAC");
+    auto gb = makeGuide("b", "CCTTGGAACCTTGGAACCTT");
+    genome::GenomeSpec gs;
+    gs.length = 40000;
+    gs.seed = 607;
+    genome::Sequence g = genome::generateGenome(gs);
+    Rng rng(608);
+    for (const Guide &guide : {ga, gb}) {
+        genome::Sequence site = guide.protospacer;
+        site.append(genome::Sequence::fromString("AGG"));
+        genome::plantSite(g, 1000 + rng.below(15000), site);
+        for (int mm = 1; mm <= 2; ++mm)
+            genome::plantSite(g, 18000 + rng.below(20000),
+                              genome::mutateSite(site, mm, 0, 20, rng));
+    }
+
+    SearchConfig cfg;
+    cfg.maxMismatches = 2;
+    cfg.pam = pamNGG();
+    SearchResult res = search(g, {ga, gb}, cfg);
+    ASSERT_FALSE(res.hits.empty());
+
+    const auto rewalk = scoreGuides(g, {ga, gb}, res);
+    const auto from_hits = scoreGuidesFromHits(2, res);
+    ASSERT_EQ(from_hits.size(), rewalk.size());
+    for (size_t i = 0; i < rewalk.size(); ++i) {
+        EXPECT_EQ(from_hits[i].guide, rewalk[i].guide);
+        EXPECT_EQ(from_hits[i].onTargets, rewalk[i].onTargets);
+        EXPECT_EQ(from_hits[i].offTargets, rewalk[i].offTargets);
+        EXPECT_EQ(from_hits[i].penaltySum, rewalk[i].penaltySum);
+        EXPECT_EQ(from_hits[i].specificity, rewalk[i].specificity);
+    }
 }
 
 } // namespace

@@ -393,6 +393,60 @@ TEST(ShardedSearchService, DeadlineMidGatherReturnsPartial)
             << "partial result invented a hit, seed=" << seed;
 }
 
+// Ranked gathers under a deadline cut: the merged top-K over whatever
+// the shards managed is still a valid listing — possibly short, never
+// over K, with no duplicate and no phantom entries, ordered penalty
+// descending.
+TEST(ShardedSearchService, RankedDeadlinePartialStaysValid)
+{
+    const uint64_t seed = test::testSeed(9310);
+    Rng rng(seed);
+    auto genome = std::make_shared<const genome::Sequence>(
+        test::randomGenome(rng, 60000));
+    auto guides = randomGuides(rng, 2);
+
+    core::SearchConfig config;
+    config.maxMismatches = 3;
+    config.topK = 10;
+    core::SearchSession session(guides, config);
+    const core::SearchResult full = session.search(*genome);
+
+    core::ShardedSearchService service(manualShards(4));
+    core::RequestOptions request;
+    request.genome = genome;
+    request.config = config;
+    request.config.chunkSize = 1024;
+    request.config.deadline = common::Deadline::after(1e-7);
+    auto fut = service.trySubmit(guides, request);
+    service.drain();
+    auto merged = fut.get();
+
+    ASSERT_TRUE(merged.ok()) << merged.error().message();
+    EXPECT_TRUE(merged.value().timedOut);
+    EXPECT_TRUE(merged.value().rankedMode);
+    const auto &ranked = merged.value().ranked;
+    EXPECT_LE(ranked.size(), 10u);
+
+    // No duplicates, no phantoms: every ranked entry is one of the
+    // merged (verified) hits and one of the full result's hits.
+    std::set<core::OffTargetHit> unique(ranked.begin(), ranked.end());
+    EXPECT_EQ(unique.size(), ranked.size())
+        << "duplicate ranked entry, seed=" << seed;
+    std::set<core::OffTargetHit> merged_hits(
+        merged.value().hits.begin(), merged.value().hits.end());
+    std::set<core::OffTargetHit> full_hits(full.hits.begin(),
+                                           full.hits.end());
+    for (const auto &hit : ranked) {
+        EXPECT_TRUE(merged_hits.count(hit))
+            << "ranked entry missing from merged hits, seed=" << seed;
+        EXPECT_TRUE(full_hits.count(hit))
+            << "ranked entry is a phantom, seed=" << seed;
+    }
+    for (size_t i = 1; i < ranked.size(); ++i)
+        EXPECT_FALSE(core::rankedHitBefore(ranked[i], ranked[i - 1]))
+            << "ranked order violated at " << i << ", seed=" << seed;
+}
+
 // Regression: windowed workers (zero batch window, dispatcher-thread
 // scans) serving many concurrent requests at a high shard count. This
 // is the shape that once deadlocked — a dispatcher mid-scan helping
